@@ -1,0 +1,77 @@
+"""Ablation E4: 64-bit vs 32-bit architecture at LMUL = 8.
+
+The paper: "the 64-bit architecture runs almost twice as fast as the
+32-bit architecture, and both use similar resources."  This bench
+quantifies both halves of that claim and shows where the 32-bit penalty
+originates (doubled theta/chi work, pair-rotation instructions, split
+iota).
+"""
+
+import pytest
+
+from repro.arch import ArchConfig, slices
+from repro.eval.measure import measure_config
+from repro.programs import build_program, run_keccak_program
+
+from conftest import make_states
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_comparison():
+    yield
+    m64 = measure_config(ArchConfig(64, 30, 8, 6))
+    m32 = measure_config(ArchConfig(32, 30, 8, 6))
+    print()
+    print("E4 — ELEN ablation at LMUL=8, EleNum=30")
+    print(f"  64-bit: {m64.cycles_per_round:.0f} cc/round, "
+          f"{m64.area_slices:.0f} slices")
+    print(f"  32-bit: {m32.cycles_per_round:.0f} cc/round, "
+          f"{m32.area_slices:.0f} slices")
+    print(f"  speed ratio: {m32.cycles_per_round / m64.cycles_per_round:.2f}"
+          f"x, area ratio: {m64.area_slices / m32.area_slices:.3f}x")
+
+
+def test_64bit_almost_twice_as_fast():
+    m64 = measure_config(ArchConfig(64, 30, 8, 6))
+    m32 = measure_config(ArchConfig(32, 30, 8, 6))
+    ratio = m32.permutation_cycles / m64.permutation_cycles
+    assert 1.8 < ratio < 2.0  # 3620 / 1892 = 1.913
+
+
+def test_similar_resources_at_elenum_30():
+    ratio = slices(64, 30) / slices(32, 30)
+    assert 0.95 < ratio < 1.05
+
+
+def test_32bit_penalty_decomposition():
+    """Per round: theta 26->52, rho 6->12, pi 7->14, chi 30->60,
+    iota 2->5 (two viota + one addi) — exactly doubling the vector work
+    except iota's extra scalar add."""
+    r64 = run_keccak_program(build_program(64, 8, 5), make_states(1))
+    r32 = run_keccak_program(build_program(32, 8, 5), make_states(1))
+    m64 = r64.stats.mnemonic_cycles
+    m32 = r32.stats.mnemonic_cycles
+    # chi slides: 2 per round at 64-bit, 4 per round at 32-bit.
+    assert m32["vslidedownm.vi"] == 2 * m64["vslidedownm.vi"]
+    # iota runs twice per round on 32-bit.
+    assert m32["viota.vx"] == 2 * m64["viota.vx"]
+    # 32-bit rho uses the pair instructions, 64-bit uses v64rho.
+    assert "v32lrho.vv" in m32 and "v32hrho.vv" in m32
+    assert "v64rho.vi" not in m32
+    assert "v32lrho.vv" not in m64
+
+
+def test_both_architectures_bit_exact(states6):
+    from repro.keccak import keccak_f1600
+
+    expected = [keccak_f1600(s) for s in states6]
+    for elen in (64, 32):
+        result = run_keccak_program(build_program(elen, 8, 30), states6)
+        assert result.states == expected
+
+
+@pytest.mark.parametrize("elen", [64, 32], ids=["elen64", "elen32"])
+def test_bench_elen_setting(benchmark, elen):
+    program = build_program(elen, 8, 5)
+    states = make_states(1)
+    benchmark(lambda: run_keccak_program(program, states, trace=False))

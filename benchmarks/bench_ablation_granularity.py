@@ -1,0 +1,85 @@
+"""Ablation: instruction granularity (the paper's future-work prediction).
+
+Section 5: "Predictably, the two architectures' performance will improve
+more if we increase the granularity or combine some adjacent operations."
+This bench quantifies the whole granularity axis on the 64-bit
+architecture:
+
+* LMUL=1 (Algorithm 2)             — 103 cycles/round
+* LMUL=4+1 (the rejected option)   —  87 cycles/round
+* LMUL=8 (Algorithm 3)             —  75 cycles/round
+* fused rho+pi and chi (future work) — 45 cycles/round
+"""
+
+import pytest
+
+from repro.programs import (
+    keccak64_fused,
+    keccak64_lmul1,
+    keccak64_lmul41,
+    keccak64_lmul8,
+    run_keccak_program,
+)
+
+from conftest import make_states
+
+VARIANTS = [
+    ("LMUL=1 (Algorithm 2)", keccak64_lmul1, 103),
+    ("LMUL=4+1 (rejected)", keccak64_lmul41, 87),
+    ("LMUL=8 (Algorithm 3)", keccak64_lmul8, 75),
+    ("fused rho+pi / chi", keccak64_fused, 45),
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_granularity_ladder():
+    yield
+    print()
+    print("Granularity ladder (64-bit, cycles/round):")
+    for label, builder, _ in VARIANTS:
+        result = run_keccak_program(builder.build(5), make_states(1))
+        print(f"  {label:28s} {result.cycles_per_round:6.0f} cc/round  "
+              f"{result.permutation_cycles:5d} cc/permutation")
+
+
+@pytest.mark.parametrize("label,builder,expected",
+                         VARIANTS, ids=[v[0] for v in VARIANTS])
+def test_cycles_per_round(label, builder, expected):
+    result = run_keccak_program(builder.build(5), make_states(1))
+    assert result.cycles_per_round == expected
+
+
+def test_ladder_is_strictly_ordered():
+    """Coarser granularity is strictly faster, at every step."""
+    cycles = [
+        run_keccak_program(b.build(5), make_states(1)).cycles_per_round
+        for _, b, _ in VARIANTS
+    ]
+    assert cycles == sorted(cycles, reverse=True)
+    assert len(set(cycles)) == len(cycles)
+
+
+def test_all_variants_bit_exact():
+    from repro.keccak import keccak_f1600
+
+    states = make_states(3)
+    expected = [keccak_f1600(s) for s in states]
+    for _, builder, _ in VARIANTS:
+        result = run_keccak_program(builder.build(15), states)
+        assert result.states == expected
+
+
+def test_fused_improvement_factor():
+    """Fusing rho+pi and chi buys another 1.61x over Algorithm 3."""
+    lmul8 = run_keccak_program(keccak64_lmul8.build(5), make_states(1))
+    fused = run_keccak_program(keccak64_fused.build(5), make_states(1))
+    gain = lmul8.permutation_cycles / fused.permutation_cycles
+    assert gain == pytest.approx(1.614, abs=0.01)
+
+
+@pytest.mark.parametrize("label,builder,expected",
+                         VARIANTS, ids=[v[0] for v in VARIANTS])
+def test_bench_variant(benchmark, label, builder, expected):
+    program = builder.build(5)
+    states = make_states(1)
+    benchmark(lambda: run_keccak_program(program, states, trace=False))

@@ -1,0 +1,70 @@
+"""Ablation E3: LMUL = 1 vs LMUL = 8 on the 64-bit architecture.
+
+The paper reports a 1.35x throughput improvement from register grouping.
+This bench sweeps both settings, decomposes the round into step mappings
+to show *where* the cycles go, and verifies the crossover reasoning: the
+gain comes entirely from rho/pi/chi (theta and iota stay at LMUL=1).
+"""
+
+import pytest
+
+from repro.programs import build_program, run_keccak_program
+
+from conftest import make_states
+
+
+def step_cycles(lmul):
+    """Cycles of one round, decomposed by step mapping, from the trace."""
+    program = build_program(64, lmul, 5)
+    result = run_keccak_program(program, make_states(1))
+    stats = result.stats
+    per_mnemonic = stats.mnemonic_cycles
+    return result, per_mnemonic
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_decomposition():
+    yield
+    print()
+    print("E3 — LMUL ablation (64-bit, one state, per-round cycles)")
+    for lmul, round_cycles in ((1, 103), (8, 75)):
+        result, _ = step_cycles(lmul)
+        print(f"  LMUL={lmul}: {result.cycles_per_round:.0f} cycles/round "
+              f"(paper: {round_cycles})")
+
+
+def test_throughput_gain_is_1_35x():
+    lmul1, _ = step_cycles(1)
+    lmul8, _ = step_cycles(8)
+    gain = lmul1.permutation_cycles / lmul8.permutation_cycles
+    assert gain == pytest.approx(1.355, abs=0.01)
+
+
+def test_gain_comes_from_grouped_steps():
+    """rho drops 5x2 -> 2+6 cc, pi 5x3 -> 7 cc, chi 25x2 -> 30 cc;
+    theta (26 cc) and iota are unchanged."""
+    _, m1 = step_cycles(1)
+    _, m8 = step_cycles(8)
+    # rho: five v64rho at LMUL=1 vs one (plus vsetvli) at LMUL=8.
+    assert m1["v64rho.vi"] == 24 * 5 * 2
+    assert m8["v64rho.vi"] == 24 * 6
+    # pi: five vpi (3 cc) vs one grouped vpi (7 cc).
+    assert m1["vpi.vi"] == 24 * 5 * 3
+    assert m8["vpi.vi"] == 24 * 7
+    # iota unchanged.
+    assert m1["viota.vx"] == m8["viota.vx"] == 24 * 2
+
+
+def test_lmul8_reconfiguration_overhead_counted():
+    """LMUL=8 pays two vsetvli (2 cc each) per round — still a net win."""
+    _, m8 = step_cycles(8)
+    assert m8["vsetvli"] == 2 + 24 * 2 * 2  # initial + 2 per round
+    _, m1 = step_cycles(1)
+    assert m1["vsetvli"] == 2  # configured once
+
+
+@pytest.mark.parametrize("lmul", [1, 8], ids=["lmul1", "lmul8"])
+def test_bench_lmul_setting(benchmark, lmul):
+    program = build_program(64, lmul, 5)
+    states = make_states(1)
+    benchmark(lambda: run_keccak_program(program, states, trace=False))

@@ -1,0 +1,61 @@
+"""Benchmark harness for batch hashing (E9): N messages, one stream.
+
+Quantifies the multi-state amortization end to end — the sponge layer
+included, not just the raw permutation.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.programs.batch_driver import BatchPermutation, batch_sha3_256
+
+MESSAGES = [bytes([i]) * 120 for i in range(6)]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_amortization():
+    yield
+    solo = BatchPermutation(elenum=5)
+    for message in MESSAGES:
+        batch_sha3_256([message], solo)
+    batch = BatchPermutation(elenum=30)
+    batch_sha3_256(MESSAGES, batch)
+    print()
+    print("E9 — batch hashing, six 120-byte messages (SHA3-256):")
+    print(f"  one-at-a-time (EleNum=5):   {solo.call_count} program runs, "
+          f"{solo.total_cycles} cycles")
+    print(f"  batched 6-wide (EleNum=30): {batch.call_count} program runs, "
+          f"{batch.total_cycles} cycles "
+          f"({solo.total_cycles / batch.total_cycles:.2f}x)")
+
+
+def test_batch_digests_correct():
+    digests = batch_sha3_256(MESSAGES, BatchPermutation(elenum=30))
+    for message, digest in zip(MESSAGES, digests):
+        assert digest == hashlib.sha3_256(message).digest()
+
+
+def test_batching_shape_6x_fewer_runs():
+    solo = BatchPermutation(elenum=5)
+    for message in MESSAGES:
+        batch_sha3_256([message], solo)
+    batch = BatchPermutation(elenum=30)
+    batch_sha3_256(MESSAGES, batch)
+    assert solo.call_count == 6 * batch.call_count
+
+
+def test_bench_batched_hashing(benchmark):
+    perm = BatchPermutation(elenum=30)
+    digests = benchmark(lambda: batch_sha3_256(MESSAGES, perm))
+    assert len(digests) == 6
+
+
+def test_bench_one_at_a_time(benchmark):
+    perm = BatchPermutation(elenum=5)
+
+    def run():
+        return [batch_sha3_256([m], perm)[0] for m in MESSAGES]
+
+    digests = benchmark(run)
+    assert len(digests) == 6

@@ -1,0 +1,69 @@
+"""Benchmark harness: reduced-round (KangarooTwelve) workloads.
+
+TurboSHAKE / K12 use Keccak-p[1600, 12] — the same datapath, half the
+rounds.  Every per-round cycle result of the paper transfers; this bench
+regenerates the projected K12-mode table and checks the shapes.
+"""
+
+import pytest
+
+from repro.keccak import kangarootwelve, keccak_p1600, turboshake128
+from repro.programs import build_program, run_keccak_program
+
+from conftest import make_states
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_k12_table():
+    yield
+    print()
+    print("Keccak-p[1600, 12] (TurboSHAKE/K12 mode) permutation latency:")
+    for elen, lmul in ((64, 1), (64, 8), (32, 8)):
+        full = run_keccak_program(build_program(elen, lmul, 5),
+                                  make_states(1), trace=False)
+        reduced = run_keccak_program(
+            build_program(elen, lmul, 5, num_rounds=12),
+            make_states(1), trace=False)
+        print(f"  {elen}-bit LMUL={lmul}: {reduced.stats.cycles:5d} vs "
+              f"{full.stats.cycles:5d} cycles "
+              f"({full.stats.cycles / reduced.stats.cycles:.2f}x)")
+
+
+@pytest.mark.parametrize("elen,lmul", [(64, 1), (64, 8), (32, 8)],
+                         ids=["64l1", "64l8", "32l8"])
+def test_reduced_rounds_correct_and_roughly_half(elen, lmul):
+    states = make_states(1)
+    reduced = run_keccak_program(
+        build_program(elen, lmul, 5, num_rounds=12), states, trace=False)
+    assert reduced.states[0] == keccak_p1600(states[0], 12)
+    full = run_keccak_program(build_program(elen, lmul, 5), states,
+                              trace=False)
+    ratio = full.stats.cycles / reduced.stats.cycles
+    assert 1.85 < ratio < 2.05
+
+
+def test_k12_single_chunk_known_answer():
+    assert kangarootwelve(b"", 32).hex().upper().startswith("1AC2D450")
+
+
+def test_bench_turboshake128(benchmark):
+    out = benchmark(lambda: turboshake128(b"data" * 100, 64))
+    assert len(out) == 64
+
+
+def test_bench_k12_single_chunk(benchmark):
+    message = bytes(1000)
+    benchmark(lambda: kangarootwelve(message, 32))
+
+
+def test_bench_k12_tree_mode(benchmark):
+    message = bytes(3 * 8192)
+    benchmark(lambda: kangarootwelve(message, 32))
+
+
+def test_bench_simulated_k12_permutation(benchmark):
+    program = build_program(64, 8, 5, num_rounds=12)
+    states = make_states(1)
+    result = benchmark(lambda: run_keccak_program(program, states,
+                                                  trace=False))
+    assert result.stats.cycles < 1100

@@ -1,0 +1,69 @@
+"""Benchmark harness for Figs. 5/6 (state layouts) and Figs. 7/8
+(custom-instruction semantics): regenerates the structural figures and
+times the layout conversions that the vector load/store path performs.
+"""
+
+import pytest
+
+from repro.eval.figures import render_fig5, render_fig6, render_fig7, render_fig8
+from repro.programs import layout
+from repro.sim import VectorRegfile
+
+from conftest import make_states
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_figures():
+    yield
+    print()
+    print(render_fig5(16, 3))
+    print()
+    print(render_fig6(5, 1))
+    print()
+    print(render_fig7(num_states=3, offset=1))
+    print()
+    print(render_fig8(num_states=1))
+
+
+def test_fig5_and_fig6_round_trip(states6):
+    image64 = layout.memory_image64(states6, 30)
+    assert layout.parse_memory_image64(image64, 30, 6) == states6
+    image32 = layout.memory_image32(states6, 30)
+    assert layout.parse_memory_image32(image32, 30, 6) == states6
+
+
+def test_bench_memory_image64(benchmark, states6):
+    benchmark(lambda: layout.memory_image64(states6, 30))
+
+
+def test_bench_memory_image32(benchmark, states6):
+    benchmark(lambda: layout.memory_image32(states6, 30))
+
+
+def test_bench_regfile_load64(benchmark, states6):
+    regfile = VectorRegfile(30 * 64)
+
+    def run():
+        layout.load_states_regfile64(regfile, states6)
+        return layout.read_states_regfile64(regfile, 6)
+
+    assert benchmark(run) == states6
+
+
+def test_bench_regfile_load32(benchmark, states6):
+    regfile = VectorRegfile(30 * 32)
+
+    def run():
+        layout.load_states_regfile32(regfile, states6)
+        return layout.read_states_regfile32(regfile, 6)
+
+    assert benchmark(run) == states6
+
+
+def test_bench_figure_rendering(benchmark):
+    def render_all():
+        return (render_fig5(30, 6), render_fig6(30, 6),
+                render_fig7(6, 2), render_fig8(6))
+
+    outputs = benchmark(render_all)
+    assert all(outputs)

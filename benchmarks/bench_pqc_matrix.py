@@ -1,0 +1,78 @@
+"""Benchmark harness for the PQC motivation (paper Section 1, future work).
+
+The paper motivates multi-state Keccak with Kyber's matrix-A expansion.
+This bench measures the software batch effect (numpy-parallel states vs
+one-at-a-time SHAKE) and projects the workload onto the paper's
+architectures via the simulator's permutation latencies.
+"""
+
+import pytest
+
+from repro.arch import ArchConfig
+from repro.eval.measure import measure_config, measure_scalar_baseline
+from repro.pqc import (
+    estimate_workload_cycles,
+    generate_matrix_parallel,
+    generate_matrix_sequential,
+)
+
+SEED = bytes(range(32))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_projection():
+    yield
+    k = 4  # Kyber1024: 16 XOF streams, each needs >= 3 permutations
+    permutations = 16 * 3
+    print()
+    print("Kyber1024 matrix-A expansion projected onto the architectures")
+    baseline = measure_scalar_baseline()
+    rows = [("Ibex C-code (1 state)", baseline.permutation_cycles, 1)]
+    for elen, lmul in ((64, 8), (32, 8)):
+        for elenum in (5, 30):
+            config = ArchConfig(elen, elenum, lmul, elenum // 5)
+            m = measure_config(config)
+            rows.append((config.label, m.permutation_cycles, m.num_states))
+    for label, cycles, sn in rows:
+        est = estimate_workload_cycles(permutations, cycles, sn, label)
+        print(f"  {label:45s} {est.batches:4d} batches  "
+              f"{est.total_cycles:9d} cycles")
+
+
+def test_parallel_matches_sequential_kyber768():
+    assert generate_matrix_parallel(SEED, 3) == \
+        generate_matrix_sequential(SEED, 3)
+
+
+def test_projection_shape_parallel_states_win():
+    """6-state configs need 6x fewer permutation batches."""
+    one = estimate_workload_cycles(48, 1892, 1, "one")
+    six = estimate_workload_cycles(48, 1892, 6, "six")
+    assert one.total_cycles == 6 * six.total_cycles
+
+
+def test_projection_vs_scalar_baseline():
+    """The projected vector speedup on the Kyber workload matches the
+    paper's per-permutation speedup (latency ratio x state count)."""
+    baseline = measure_scalar_baseline()
+    vector = measure_config(ArchConfig(64, 30, 8, 6))
+    scalar_est = estimate_workload_cycles(
+        48, baseline.permutation_cycles, 1, "scalar")
+    vector_est = estimate_workload_cycles(
+        48, vector.permutation_cycles, 6, "vector")
+    speedup = scalar_est.total_cycles / vector_est.total_cycles
+    expected = 6 * baseline.permutation_cycles / vector.permutation_cycles
+    assert speedup == pytest.approx(expected)
+    assert speedup > 100
+
+
+def test_bench_sequential_matrix(benchmark):
+    benchmark(lambda: generate_matrix_sequential(SEED, 2))
+
+
+def test_bench_parallel_matrix(benchmark):
+    benchmark(lambda: generate_matrix_parallel(SEED, 2))
+
+
+def test_bench_parallel_matrix_kyber1024(benchmark):
+    benchmark(lambda: generate_matrix_parallel(SEED, 4))

@@ -1,0 +1,73 @@
+"""Benchmarks of the software Keccak substrate itself.
+
+Not a paper table, but the measurement backbone: times the pure-Python
+reference permutation, the numpy batch permutation (the software analogue
+of the paper's multi-state registers), the hash functions against
+CPython's C implementation, and the end-to-end simulated SHA3.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.keccak import KeccakState, keccak_f1600, sha3_256, shake128
+from repro.keccak.parallel import ParallelKeccak
+from repro.programs import SimulatedPermutation, simulated_sha3_256
+
+from conftest import make_states
+
+MESSAGE = bytes(range(256)) * 4  # 1 KiB
+
+
+def test_bench_reference_permutation(benchmark):
+    state = make_states(1)[0]
+    out = benchmark(lambda: keccak_f1600(state))
+    assert out != state
+
+
+def test_bench_parallel_permutation_1_state(benchmark):
+    batch = ParallelKeccak.from_states(make_states(1))
+    benchmark(batch.permute)
+
+
+def test_bench_parallel_permutation_64_states(benchmark):
+    """Batch permutation amortizes: 64 states cost far less than 64x."""
+    batch = ParallelKeccak.from_states(make_states(64))
+    benchmark(batch.permute)
+
+
+def test_batch_effect_shape():
+    """The software batch effect mirrors the paper's SN scaling: going
+    from 1 to 64 states costs much less than 64x (vectorized lanes)."""
+    import time
+
+    def wall(fn, repeat=5):
+        best = float("inf")
+        for _ in range(repeat):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    one = ParallelKeccak.from_states(make_states(1))
+    many = ParallelKeccak.from_states(make_states(64))
+    t_one = wall(one.permute)
+    t_many = wall(many.permute)
+    assert t_many < 16 * t_one  # far below the 64x sequential cost
+
+
+def test_bench_sha3_256_pure_python(benchmark):
+    digest = benchmark(lambda: sha3_256(MESSAGE))
+    assert digest == hashlib.sha3_256(MESSAGE).digest()
+
+
+def test_bench_shake128_squeeze(benchmark):
+    out = benchmark(lambda: shake128(b"seed", 1344))
+    assert out == hashlib.shake_128(b"seed").digest(1344)
+
+
+def test_bench_simulated_sha3(benchmark):
+    """SHA3-256 with every permutation executed on the cycle simulator."""
+    perm = SimulatedPermutation(elen=64, lmul=8, elenum=5)
+    digest = benchmark(lambda: simulated_sha3_256(b"bench", perm))
+    assert digest == hashlib.sha3_256(b"bench").digest()

@@ -1,0 +1,49 @@
+"""Benchmark harness for the Section 4.2 headline speedup factors (E5).
+
+Regenerates all eight paper-vs-measured comparison factors and asserts
+each within tolerance; also times the full report generation.
+"""
+
+import pytest
+
+from repro.eval.report import generate_report, render_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_report(report):
+    yield
+    print()
+    print(render_report(report))
+
+
+def test_all_headline_factors_reproduced(report):
+    """Every Section 4.2 factor within 6% of the paper's claim."""
+    assert len(report) == 9
+    for comparison in report:
+        assert comparison.relative_error < 0.06, comparison.description
+
+
+@pytest.mark.parametrize("fragment,expected", [
+    ("LMUL=8 vs LMUL=1", 1.35),
+    ("vs C-code throughput", 117.9),
+    ("vs C-code area", 111.2),
+    ("MIPS Co-processor ISE throughput", 45.7),
+    ("MIPS Co-processor ISE area", 6.3),
+    ("DASIP throughput", 43.2),
+    ("DASIP area", 31.5),
+])
+def test_individual_factor(report, fragment, expected):
+    matches = [c for c in report if fragment in c.description]
+    assert len(matches) == 1
+    assert matches[0].measured_factor == pytest.approx(expected, rel=0.06)
+
+
+def test_bench_report_generation(benchmark):
+    """Time the full evaluation pipeline (uses cached measurements)."""
+    result = benchmark(generate_report)
+    assert len(result) == 9

@@ -1,0 +1,61 @@
+"""Benchmark harness for the design-space sweep (Pareto figure data).
+
+Extends the paper's three-point-per-architecture evaluation to the full
+EleNum grid and derives the throughput-vs-area efficiency frontier.
+"""
+
+import pytest
+
+from repro.eval.sweep import pareto_frontier, render_sweep, sweep_design_space
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep_design_space()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_sweep(points):
+    yield
+    print()
+    print(render_sweep(points))
+    print()
+    print("Pareto frontier:")
+    for p in pareto_frontier(points):
+        print(f"  {p.label:48s} {p.throughput_e3:9.2f} tput  "
+              f"{p.area_slices:8.0f} slices")
+
+
+def test_full_grid_size(points):
+    # 6 EleNums x 4 variants.
+    assert len(points) == 24
+
+
+def test_throughput_monotone_in_elenum(points):
+    """More states never hurt throughput at fixed latency."""
+    for elen, lmul, fused in ((64, 1, False), (64, 8, False),
+                              (32, 8, False), (64, 8, True)):
+        series = sorted(
+            (p for p in points
+             if p.elen == elen and p.lmul == lmul and p.fused == fused),
+            key=lambda p: p.elenum,
+        )
+        values = [p.throughput_e3 for p in series]
+        assert values == sorted(values)
+
+
+def test_efficiency_ranking(points):
+    """Throughput-per-slice: fused > LMUL=8 > LMUL=1 > 32-bit at any
+    common EleNum (the 64-bit datapath amortizes better)."""
+    for elenum in (5, 30):
+        at = {(p.elen, p.lmul, p.fused): p.throughput_per_kslice
+              for p in points if p.elenum == elenum}
+        assert at[(64, 8, True)] > at[(64, 8, False)]
+        assert at[(64, 8, False)] > at[(64, 1, False)]
+        assert at[(64, 1, False)] > at[(32, 8, False)]
+
+
+def test_bench_sweep(benchmark):
+    """Time a reduced sweep (measurements are cached after first run)."""
+    result = benchmark(lambda: sweep_design_space(elenums=[5, 30]))
+    assert len(result) == 8

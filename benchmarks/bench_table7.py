@@ -1,0 +1,79 @@
+"""Benchmark harness for Table 7: the 64-bit architectures.
+
+Regenerates every row of the paper's Table 7 (cycles/round, cycles/byte,
+throughput x10^3, slices) from the cycle-level simulator, checks the
+paper-vs-measured agreement, and times the simulation workloads.
+"""
+
+import pytest
+
+from repro.arch import ArchConfig, TABLE7_CONFIGS
+from repro.eval.measure import measure_config
+from repro.eval.tables import PAPER_TABLE7, generate_table7, render_table
+from repro.programs import build_program, run_keccak_program
+
+from conftest import make_states
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_table7():
+    """Print the regenerated table once per benchmark session."""
+    yield
+    print()
+    print(render_table(generate_table7(), "Table 7 — 64-bit architectures"))
+
+
+@pytest.mark.parametrize("config", TABLE7_CONFIGS, ids=lambda c: c.label)
+def test_table7_row_matches_paper(config):
+    """Every measured row must agree with the published row."""
+    measurement = measure_config(config)
+    c_round, c_byte, tput, slices = PAPER_TABLE7[config.label]
+    assert measurement.cycles_per_round == c_round
+    assert measurement.cycles_per_byte == pytest.approx(c_byte, abs=0.1)
+    assert measurement.throughput_e3 == pytest.approx(tput, rel=0.001)
+    assert measurement.area_slices == slices
+
+
+def test_table7_shape_lmul8_wins():
+    """Within Table 7, LMUL=8 beats LMUL=1 at every EleNum."""
+    for elenum in (5, 15, 30):
+        lmul1 = measure_config(ArchConfig(64, elenum, 1, elenum // 5))
+        lmul8 = measure_config(ArchConfig(64, elenum, 8, elenum // 5))
+        assert lmul8.throughput_e3 > lmul1.throughput_e3
+
+
+def test_table7_shape_vs_rawat():
+    """The EleNum=30 configs beat the Rawat vector extensions ~5x."""
+    from repro.related import RAWAT_VECTOR_EXTENSIONS
+
+    best = measure_config(ArchConfig(64, 30, 8, 6))
+    factor = best.throughput_e3 / RAWAT_VECTOR_EXTENSIONS.throughput_e3
+    assert 4.5 < factor < 5.5
+
+
+@pytest.mark.parametrize("lmul,cycles", [(1, 2564), (8, 1892)],
+                         ids=["lmul1", "lmul8"])
+def test_bench_64bit_permutation(benchmark, lmul, cycles):
+    """Time the full simulated permutation (1 state, EleNum=5)."""
+    program = build_program(64, lmul, 5)
+    states = make_states(1)
+
+    def run():
+        return run_keccak_program(program, states, trace=False)
+
+    result = benchmark(run)
+    assert result.stats.cycles >= cycles
+
+
+def test_bench_64bit_six_states(benchmark):
+    """Time the 6-state batch (EleNum=30) — latency must not grow."""
+    program = build_program(64, 8, 30)
+    states = make_states(6)
+
+    def run():
+        return run_keccak_program(program, states, trace=False)
+
+    result = benchmark(run)
+    assert result.stats.cycles == run_keccak_program(
+        build_program(64, 8, 5), make_states(1), trace=False
+    ).stats.cycles

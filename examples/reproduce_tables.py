@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's full evaluation: Tables 7 and 8 and the
+Section 4.2 headline speedup factors, paper vs measured.
+
+Run:  python examples/reproduce_tables.py
+"""
+
+from repro.eval import (
+    generate_report,
+    generate_table7,
+    generate_table8,
+    render_report,
+    render_table,
+)
+
+
+def main() -> None:
+    print(render_table(
+        generate_table7(),
+        "Table 7 — 64-bit architectures vs the 64-bit reference",
+    ))
+    print()
+    print(render_table(
+        generate_table8(),
+        "Table 8 — 32-bit architectures vs five 32-bit references",
+    ))
+    print()
+    print(render_report(generate_report()))
+    print()
+    print(render_report(generate_report(use_measured_baseline=True)))
+    print()
+    print("note: the second report uses our own simulated scalar baseline")
+    print("instead of the paper's published Ibex C-code number.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro — reproduction of "Maximizing the Potential of Custom RISC-V Vector
+Extensions for Speeding up SHA-3 Hash Functions" (Li, Mentens, Picek,
+DATE 2023).
+
+Public API layers
+-----------------
+
+``repro.keccak``
+    NIST-checked SHA-3/Keccak reference (hashes, XOFs, step mappings,
+    batched multi-state permutation).
+``repro.isa`` / ``repro.assembler``
+    The SIMD processor's instruction set (RV32IM + RVV subset + the ten
+    custom vector extensions) and a two-pass assembler/disassembler.
+``repro.sim``
+    Functional + cycle-level simulator of the SIMD processor (Ibex-like
+    scalar core + vector processing unit).
+``repro.programs``
+    The paper's Keccak assembly programs (Algorithms 2/3, the 32-bit
+    variant, and the scalar baseline) plus state layouts (Figs. 5/6).
+``repro.arch`` / ``repro.related`` / ``repro.eval``
+    Design-space configuration, calibrated area model, related-work
+    numbers, and the harness regenerating Tables 7/8 and the Section 4.2
+    headline factors.
+``repro.pqc``
+    Kyber-style matrix/secret generation over parallel Keccak states.
+"""
+
+from . import arch, assembler, eval, isa, keccak, pqc, programs, related, sim
+from .assembler import assemble, disassemble
+from .eval import generate_report, generate_table7, generate_table8
+from .keccak import (
+    SHA3_224,
+    SHA3_256,
+    SHA3_384,
+    SHA3_512,
+    SHAKE128,
+    SHAKE256,
+    KeccakState,
+    keccak_f1600,
+    sha3_224,
+    sha3_256,
+    sha3_384,
+    sha3_512,
+    shake128,
+    shake256,
+)
+from .programs import build_program, run_keccak_program
+from .sim import SIMDProcessor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "keccak",
+    "isa",
+    "assembler",
+    "sim",
+    "programs",
+    "arch",
+    "related",
+    "eval",
+    "pqc",
+    "KeccakState",
+    "keccak_f1600",
+    "SHA3_224",
+    "SHA3_256",
+    "SHA3_384",
+    "SHA3_512",
+    "SHAKE128",
+    "SHAKE256",
+    "sha3_224",
+    "sha3_256",
+    "sha3_384",
+    "sha3_512",
+    "shake128",
+    "shake256",
+    "assemble",
+    "disassemble",
+    "SIMDProcessor",
+    "build_program",
+    "run_keccak_program",
+    "generate_table7",
+    "generate_table8",
+    "generate_report",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Architecture configuration, area model and performance metrics."""
+
+from .area import AREA_ANCHORS, IBEX_SLICES, area_ratio, slices, slices_per_element
+from .frequency import PAPER_CLOCK_HZ, AbsolutePerformance, at_frequency
+from .config import TABLE7_CONFIGS, TABLE8_CONFIGS, ArchConfig
+from .metrics import (
+    PerformancePoint,
+    cycles_per_byte,
+    throughput_bits_per_cycle,
+    throughput_e3,
+)
+
+__all__ = [
+    "ArchConfig",
+    "TABLE7_CONFIGS",
+    "TABLE8_CONFIGS",
+    "slices",
+    "slices_per_element",
+    "area_ratio",
+    "AREA_ANCHORS",
+    "IBEX_SLICES",
+    "PAPER_CLOCK_HZ",
+    "AbsolutePerformance",
+    "at_frequency",
+    "PerformancePoint",
+    "cycles_per_byte",
+    "throughput_bits_per_cycle",
+    "throughput_e3",
+]

@@ -1,0 +1,72 @@
+"""FPGA area (slice-count) model, calibrated on the paper's results.
+
+The paper reports post-implementation Vivado slice counts on the Xilinx
+Alveo U250 for each (ELEN, EleNum) point.  We cannot run Vivado, so the
+area model interpolates the published anchor points piecewise-linearly in
+EleNum and extrapolates beyond the last segment with its slope.  The
+anchors themselves are therefore reproduced exactly, and intermediate
+configurations get a physically sensible estimate (area is dominated by
+the per-element execution lanes and register-file bits, which scale
+linearly in EleNum; the paper's own numbers are close to linear).
+
+Anchor points (paper Tables 7 and 8):
+
+=======  ========  =======
+ELEN     EleNum    Slices
+=======  ========  =======
+64       5         7 323
+64       15        24 789
+64       30        48 180
+32       5         6 359
+32       15        23 408
+32       30        48 036
+=======  ========  =======
+
+The bare Ibex core (the software-only baseline) measures 432 slices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Published slice counts: {elen: ((elenum, slices), ...)}.
+AREA_ANCHORS: Dict[int, Tuple[Tuple[int, int], ...]] = {
+    64: ((5, 7323), (15, 24789), (30, 48180)),
+    32: ((5, 6359), (15, 23408), (30, 48036)),
+}
+
+#: Slices of the bare Ibex core running the C-code baseline.
+IBEX_SLICES = 432
+
+
+def slices(elen: int, elenum: int) -> float:
+    """Estimated slice count of the SIMD processor for (ELEN, EleNum)."""
+    if elen not in AREA_ANCHORS:
+        raise ValueError(f"no area calibration for ELEN={elen}")
+    if elenum < 1:
+        raise ValueError(f"EleNum must be positive, got {elenum}")
+    anchors = AREA_ANCHORS[elen]
+    # Exact hit on an anchor.
+    for anchor_elenum, anchor_slices in anchors:
+        if elenum == anchor_elenum:
+            return float(anchor_slices)
+    # Piecewise-linear interpolation / extrapolation.
+    (x0, y0), (x1, y1) = anchors[0], anchors[1]
+    if elenum > anchors[1][0]:
+        (x0, y0), (x1, y1) = anchors[1], anchors[2]
+    slope = (y1 - y0) / (x1 - x0)
+    return y0 + slope * (elenum - x0)
+
+
+def slices_per_element(elen: int) -> float:
+    """Marginal slice cost of one additional vector element (last segment)."""
+    anchors = AREA_ANCHORS[elen]
+    (x0, y0), (x1, y1) = anchors[1], anchors[2]
+    return (y1 - y0) / (x1 - x0)
+
+
+def area_ratio(elen: int, elenum: int, reference_slices: float) -> float:
+    """Area of a configuration relative to a reference design."""
+    if reference_slices <= 0:
+        raise ValueError("reference area must be positive")
+    return slices(elen, elenum) / reference_slices

@@ -1,0 +1,78 @@
+"""Architecture configuration: the paper's design-space knobs.
+
+A configuration is (ELEN, EleNum, LMUL, SN): vector element width, elements
+per vector register, register-group multiplier and the number of Keccak
+states processed in parallel.  The paper evaluates ELEN ∈ {32, 64},
+LMUL ∈ {1, 8} and EleNum ∈ {5, 15, 30} (SN ∈ {1, 3, 6}).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """One point in the design space."""
+
+    elen: int
+    elenum: int
+    lmul: int
+    num_states: int
+
+    def __post_init__(self) -> None:
+        if self.elen not in (32, 64):
+            raise ValueError(f"ELEN must be 32 or 64, got {self.elen}")
+        if self.lmul not in (1, 2, 4, 8):
+            raise ValueError(
+                f"LMUL must be an integer in {{1, 2, 4, 8}}, got {self.lmul}"
+            )
+        if self.elenum < 5:
+            raise ValueError(
+                f"EleNum must be at least 5 (one plane), got {self.elenum}"
+            )
+        if self.num_states < 1:
+            raise ValueError(
+                f"need at least one Keccak state, got {self.num_states}"
+            )
+        if 5 * self.num_states > self.elenum:
+            raise ValueError(
+                f"{self.num_states} states need {5 * self.num_states} "
+                f"elements but EleNum is {self.elenum} "
+                "(paper: 5 x SN must not exceed EleNum)"
+            )
+
+    @property
+    def vlen_bits(self) -> int:
+        """Vector register width in bits."""
+        return self.elen * self.elenum
+
+    @property
+    def max_states(self) -> int:
+        """Maximum SN this EleNum supports."""
+        return self.elenum // 5
+
+    @property
+    def label(self) -> str:
+        """The implementation name used in the paper's result tables."""
+        state_word = "state" if self.num_states == 1 else "states"
+        return (
+            f"{self.elen}-bit with LMUL={self.lmul} "
+            f"(EleNum={self.elenum}, {self.num_states} {state_word})"
+        )
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: The six 64-bit configurations of Table 7.
+TABLE7_CONFIGS = tuple(
+    ArchConfig(64, elenum, lmul, elenum // 5)
+    for lmul in (1, 8)
+    for elenum in (5, 15, 30)
+)
+
+#: The three 32-bit configurations of Table 8.
+TABLE8_CONFIGS = tuple(
+    ArchConfig(32, elenum, 8, elenum // 5) for elenum in (5, 15, 30)
+)

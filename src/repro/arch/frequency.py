@@ -1,0 +1,64 @@
+"""Absolute-time projections at a given clock frequency.
+
+The paper implements the SIMD processor at 100 MHz on the Alveo U250 but
+reports only cycle-based metrics (the references use unknown/various
+clocks).  These helpers convert cycle metrics into absolute throughput
+and latency at a chosen frequency, for deployment-style what-ifs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..keccak.constants import STATE_BITS
+
+#: The paper's implementation clock on the Alveo U250.
+PAPER_CLOCK_HZ = 100_000_000
+
+
+@dataclass(frozen=True)
+class AbsolutePerformance:
+    """Cycle metrics projected to wall-clock at a given frequency."""
+
+    label: str
+    clock_hz: float
+    permutation_cycles: int
+    num_states: int
+
+    @property
+    def permutation_latency_s(self) -> float:
+        """Seconds per (multi-state) permutation."""
+        return self.permutation_cycles / self.clock_hz
+
+    @property
+    def permutations_per_second(self) -> float:
+        """Single-state permutations completed per second."""
+        return self.num_states * self.clock_hz / self.permutation_cycles
+
+    @property
+    def throughput_bits_per_second(self) -> float:
+        """State bits processed per second across all parallel states."""
+        return STATE_BITS * self.permutations_per_second
+
+    @property
+    def throughput_mbit_per_second(self) -> float:
+        """Throughput in Mbit/s."""
+        return self.throughput_bits_per_second / 1e6
+
+    def hash_rate_per_second(self, rate_bytes: int = 136) -> float:
+        """Message bytes absorbed per second for a given sponge rate
+        (default: SHA3-256's 136-byte rate)."""
+        return rate_bytes * self.permutations_per_second
+
+
+def at_frequency(label: str, permutation_cycles: int, num_states: int = 1,
+                 clock_hz: float = PAPER_CLOCK_HZ) -> AbsolutePerformance:
+    """Project a measured configuration to absolute numbers."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock must be positive, got {clock_hz}")
+    if permutation_cycles <= 0:
+        raise ValueError("permutation cycles must be positive")
+    if num_states < 1:
+        raise ValueError("need at least one state")
+    return AbsolutePerformance(label, clock_hz, permutation_cycles,
+                               num_states)

@@ -1,0 +1,63 @@
+"""Performance metrics used in the paper's evaluation (Section 4.2).
+
+Two execution-time measures and one throughput measure:
+
+* ``cycles/round`` — latency of one Keccak round (five step mappings);
+* ``cycles/byte`` — latency in clock cycles per message byte of one Keccak
+  state over the entire 24-round permutation (state = 200 bytes);
+* ``throughput`` — bits processed per cycle across all parallel states,
+  reported as (bits/cycle) x 10^3 in the tables.
+
+Latency is independent of the number of parallel states SN; throughput
+scales linearly with SN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..keccak.constants import STATE_BITS, STATE_BYTES
+
+
+def cycles_per_byte(permutation_cycles: float) -> float:
+    """Cycles per message byte of one state (200-byte state)."""
+    if permutation_cycles <= 0:
+        raise ValueError("permutation cycles must be positive")
+    return permutation_cycles / STATE_BYTES
+
+
+def throughput_bits_per_cycle(permutation_cycles: float,
+                              num_states: int = 1) -> float:
+    """Bits processed per cycle with ``num_states`` states in parallel."""
+    if permutation_cycles <= 0:
+        raise ValueError("permutation cycles must be positive")
+    if num_states < 1:
+        raise ValueError("need at least one state")
+    return STATE_BITS * num_states / permutation_cycles
+
+
+def throughput_e3(permutation_cycles: float, num_states: int = 1) -> float:
+    """Throughput in the tables' display unit, (bits/cycle) x 10^3."""
+    return 1000.0 * throughput_bits_per_cycle(permutation_cycles, num_states)
+
+
+@dataclass(frozen=True)
+class PerformancePoint:
+    """One implementation's measured performance."""
+
+    name: str
+    cycles_per_round: float
+    permutation_cycles: float
+    num_states: int = 1
+
+    @property
+    def cycles_per_byte(self) -> float:
+        return cycles_per_byte(self.permutation_cycles)
+
+    @property
+    def throughput_e3(self) -> float:
+        return throughput_e3(self.permutation_cycles, self.num_states)
+
+    def speedup_over(self, other: "PerformancePoint") -> float:
+        """Throughput ratio of this point over ``other``."""
+        return self.throughput_e3 / other.throughput_e3

@@ -1,0 +1,28 @@
+"""Two-pass assembler and disassembler for the SIMD processor's ISA."""
+
+from .assembler import Assembler, assemble
+from .disassembler import disassemble, disassemble_word
+from .errors import AssemblyError, OperandError, SymbolError
+from .expressions import evaluate
+from .lexer import Line, lex, lex_line
+from .program import AssembledInstruction, Program
+from .pseudo import PSEUDO_MNEMONICS, expand_pseudo, is_pseudo
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "disassemble",
+    "disassemble_word",
+    "AssemblyError",
+    "OperandError",
+    "SymbolError",
+    "evaluate",
+    "Line",
+    "lex",
+    "lex_line",
+    "Program",
+    "AssembledInstruction",
+    "PSEUDO_MNEMONICS",
+    "expand_pseudo",
+    "is_pseudo",
+]

@@ -1,0 +1,218 @@
+"""Two-pass assembler for the SIMD processor's ISA.
+
+Pass 1 lays out addresses (expanding pseudo-instructions to fixed sizes and
+collecting labels and ``.equ`` constants); pass 2 encodes every instruction
+through the shared :data:`repro.isa.ISA` table.
+
+Supported directives:
+
+``.equ NAME, expr``
+    Define a constant (usable in later expressions).
+``.org address``
+    Move the location counter forward (gap filled with ``nop``).
+``.align n``
+    Align to ``2**n`` bytes (gap filled with ``nop``).
+``.word expr[, expr...]``
+    Emit raw 32-bit words (e.g. data tables in program memory).
+``.text`` / ``.globl NAME``
+    Accepted and ignored (for compatibility with GNU-style sources).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa import ISA, encode_instruction
+from ..isa.custom import CUSTOM_ALIASES
+from ..isa.encoding import EncodingError
+from ..isa.spec import InstructionSet
+from .errors import AssemblyError, OperandError, SymbolError
+from .expressions import evaluate
+from .lexer import Line, lex
+from .operands import build_operands
+from .program import AssembledInstruction, Program
+from .pseudo import expand_pseudo, is_pseudo
+
+_IGNORED_DIRECTIVES = {".text", ".data", ".globl", ".global", ".section"}
+
+
+class Assembler:
+    """A reusable two-pass assembler over a given instruction set."""
+
+    def __init__(self, isa: InstructionSet = ISA) -> None:
+        self._isa = isa
+
+    # -- public API -------------------------------------------------------------
+
+    def assemble(self, source: str, base_address: int = 0) -> Program:
+        """Assemble ``source`` into a :class:`Program` at ``base_address``."""
+        lines = lex(source)
+        symbols = self._pass_one(lines, base_address)
+        return self._pass_two(lines, base_address, symbols)
+
+    # -- pass 1: layout ----------------------------------------------------------
+
+    def _pass_one(self, lines: List[Line], base: int) -> Dict[str, int]:
+        symbols: Dict[str, int] = {}
+        address = base
+        for line in lines:
+            if line.label is not None:
+                if line.label in symbols:
+                    raise SymbolError(
+                        f"label redefined: {line.label!r}",
+                        line.number, line.raw,
+                    )
+                symbols[line.label] = address
+            if line.mnemonic is None:
+                continue
+            address = self._advance(line, address, symbols)
+        return symbols
+
+    def _advance(self, line: Line, address: int,
+                 symbols: Dict[str, int]) -> int:
+        mnemonic = line.mnemonic
+        assert mnemonic is not None
+        try:
+            if line.is_directive:
+                return self._directive_size(line, address, symbols,
+                                            define=True)
+            if is_pseudo(mnemonic):
+                expanded = expand_pseudo(mnemonic, line.operands, symbols)
+                return address + 4 * len(expanded)
+            self._resolve_spec(line)  # validate mnemonic early
+            return address + 4
+        except AssemblyError:
+            raise
+        except (ValueError, KeyError) as exc:
+            raise AssemblyError(str(exc), line.number, line.raw) from exc
+
+    def _directive_size(self, line: Line, address: int,
+                        symbols: Dict[str, int], define: bool) -> int:
+        name = line.mnemonic
+        assert name is not None
+        if name in _IGNORED_DIRECTIVES:
+            return address
+        if name == ".equ":
+            if len(line.operands) != 2:
+                raise AssemblyError(
+                    ".equ expects NAME, value", line.number, line.raw
+                )
+            if define:
+                symbol = line.operands[0]
+                if symbol in symbols:
+                    raise SymbolError(
+                        f"symbol redefined: {symbol!r}", line.number, line.raw
+                    )
+                symbols[symbol] = evaluate(line.operands[1], symbols)
+            return address
+        if name == ".org":
+            target = evaluate(line.operands[0], symbols)
+            if target < address:
+                raise AssemblyError(
+                    f".org cannot move backwards ({target:#x} < {address:#x})",
+                    line.number, line.raw,
+                )
+            return target
+        if name == ".align":
+            power = evaluate(line.operands[0], symbols)
+            step = 1 << power
+            return (address + step - 1) & ~(step - 1)
+        if name == ".word":
+            return address + 4 * len(line.operands)
+        if name == ".zero":
+            count = evaluate(line.operands[0], symbols)
+            if count % 4:
+                raise AssemblyError(
+                    ".zero size must be word-aligned in program memory",
+                    line.number, line.raw,
+                )
+            return address + count
+        raise AssemblyError(f"unknown directive: {name}", line.number, line.raw)
+
+    # -- pass 2: encoding ----------------------------------------------------------
+
+    def _pass_two(self, lines: List[Line], base: int,
+                  symbols: Dict[str, int]) -> Program:
+        program = Program(base_address=base, symbols=dict(symbols))
+        address = base
+        for line in lines:
+            if line.mnemonic is None:
+                continue
+            if line.is_directive:
+                address = self._emit_directive(program, line, address, symbols)
+                continue
+            try:
+                address = self._emit_instruction(program, line, address,
+                                                 symbols)
+            except AssemblyError:
+                raise
+            except (EncodingError, OperandError, ValueError, KeyError) as exc:
+                raise AssemblyError(str(exc), line.number, line.raw) from exc
+        return program
+
+    def _emit_directive(self, program: Program, line: Line, address: int,
+                        symbols: Dict[str, int]) -> int:
+        name = line.mnemonic
+        assert name is not None
+        if name == ".word":
+            for operand in line.operands:
+                value = evaluate(operand, symbols) & 0xFFFFFFFF
+                program.instructions.append(
+                    AssembledInstruction(address, value, ".word",
+                                         line.number, line.raw)
+                )
+                address += 4
+            return address
+        if name in (".org", ".align", ".zero"):
+            target = self._directive_size(line, address, symbols, define=False)
+            nop_word = self._encode("addi", ["x0", "x0", "0"], symbols, address)
+            while address < target:
+                program.instructions.append(
+                    AssembledInstruction(address, nop_word, "nop",
+                                         line.number, line.raw)
+                )
+                address += 4
+            return address
+        # .equ and ignored directives emit nothing.
+        return self._directive_size(line, address, symbols, define=False)
+
+    def _emit_instruction(self, program: Program, line: Line, address: int,
+                          symbols: Dict[str, int]) -> int:
+        mnemonic = line.mnemonic
+        assert mnemonic is not None
+        if is_pseudo(mnemonic):
+            pieces = expand_pseudo(mnemonic, line.operands, symbols)
+        else:
+            pieces = [(mnemonic, line.operands)]
+        for real_mnemonic, tokens in pieces:
+            word = self._encode(real_mnemonic, tokens, symbols, address)
+            program.instructions.append(
+                AssembledInstruction(address, word, real_mnemonic,
+                                     line.number, line.raw)
+            )
+            address += 4
+        return address
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _resolve_spec(self, line: Line):
+        mnemonic = line.mnemonic
+        assert mnemonic is not None
+        mnemonic = CUSTOM_ALIASES.get(mnemonic, mnemonic)
+        try:
+            return self._isa.lookup(mnemonic)
+        except KeyError as exc:
+            raise AssemblyError(str(exc.args[0]), line.number, line.raw) from exc
+
+    def _encode(self, mnemonic: str, tokens: List[str],
+                symbols: Dict[str, int], address: int) -> int:
+        mnemonic = CUSTOM_ALIASES.get(mnemonic, mnemonic)
+        spec = self._isa.lookup(mnemonic)
+        operands = build_operands(spec, tokens, symbols, address)
+        return encode_instruction(spec, operands)
+
+
+def assemble(source: str, base_address: int = 0,
+             isa: Optional[InstructionSet] = None) -> Program:
+    """Module-level convenience wrapper around :class:`Assembler`."""
+    return Assembler(isa or ISA).assemble(source, base_address)

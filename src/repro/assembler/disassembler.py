@@ -1,0 +1,96 @@
+"""Disassembler: 32-bit words back to canonical assembly text."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ..isa import ISA, decode_operands, render_vtype
+from ..isa.registers import scalar_register_name, vector_register_name
+from ..isa.spec import InstructionSet, InstructionSpec
+
+
+def _mask_suffix(ops) -> str:
+    return ", v0.t" if ops.get("vm", 1) == 0 else ""
+
+
+def _render(spec: InstructionSpec, ops, address: int) -> str:
+    fmt = spec.fmt
+    x = scalar_register_name
+    v = vector_register_name
+    if fmt == "r":
+        return f"{spec.mnemonic} {x(ops['rd'])}, {x(ops['rs1'])}, {x(ops['rs2'])}"
+    if fmt == "i":
+        return f"{spec.mnemonic} {x(ops['rd'])}, {x(ops['rs1'])}, {ops['imm']}"
+    if fmt == "i_shift":
+        return f"{spec.mnemonic} {x(ops['rd'])}, {x(ops['rs1'])}, {ops['shamt']}"
+    if fmt == "load":
+        return f"{spec.mnemonic} {x(ops['rd'])}, {ops['imm']}({x(ops['rs1'])})"
+    if fmt == "store":
+        return f"{spec.mnemonic} {x(ops['rs2'])}, {ops['imm']}({x(ops['rs1'])})"
+    if fmt == "branch":
+        target = address + ops["offset"]
+        return (f"{spec.mnemonic} {x(ops['rs1'])}, {x(ops['rs2'])}, "
+                f"{target:#x}")
+    if fmt == "u":
+        return f"{spec.mnemonic} {x(ops['rd'])}, {ops['imm']:#x}"
+    if fmt == "jal":
+        target = address + ops["offset"]
+        return f"{spec.mnemonic} {x(ops['rd'])}, {target:#x}"
+    if fmt == "jalr":
+        return f"{spec.mnemonic} {x(ops['rd'])}, {ops['imm']}({x(ops['rs1'])})"
+    if fmt == "system":
+        return spec.mnemonic
+    if fmt == "csr":
+        from ..isa.csr import csr_name
+
+        return (f"{spec.mnemonic} {x(ops['rd'])}, {csr_name(ops['csr'])}, "
+                f"{x(ops['rs1'])}")
+    if fmt == "vsetvli":
+        return (f"{spec.mnemonic} {x(ops['rd'])}, {x(ops['rs1'])}, "
+                f"{render_vtype(ops['vtype'])}")
+    if fmt == "vls_unit":
+        return (f"{spec.mnemonic} {v(ops['vd'])}, ({x(ops['rs1'])})"
+                f"{_mask_suffix(ops)}")
+    if fmt == "vls_strided":
+        return (f"{spec.mnemonic} {v(ops['vd'])}, ({x(ops['rs1'])}), "
+                f"{x(ops['rs2'])}{_mask_suffix(ops)}")
+    if fmt == "vls_indexed":
+        return (f"{spec.mnemonic} {v(ops['vd'])}, ({x(ops['rs1'])}), "
+                f"{v(ops['vs2'])}{_mask_suffix(ops)}")
+    if fmt == "v_vv":
+        return (f"{spec.mnemonic} {v(ops['vd'])}, {v(ops['vs2'])}, "
+                f"{v(ops['vs1'])}{_mask_suffix(ops)}")
+    if fmt == "v_vx":
+        return (f"{spec.mnemonic} {v(ops['vd'])}, {v(ops['vs2'])}, "
+                f"{x(ops['rs1'])}{_mask_suffix(ops)}")
+    if fmt == "v_vi":
+        return (f"{spec.mnemonic} {v(ops['vd'])}, {v(ops['vs2'])}, "
+                f"{ops['imm']}{_mask_suffix(ops)}")
+    raise ValueError(f"unhandled format {fmt!r}")
+
+
+def disassemble_word(word: int, address: int = 0,
+                     isa: Optional[InstructionSet] = None) -> str:
+    """Disassemble one 32-bit instruction word.
+
+    Branch and jump targets are rendered as absolute hex addresses using
+    ``address``; unknown words render as ``.word``.
+    """
+    registry = isa or ISA
+    try:
+        spec = registry.find(word)
+    except LookupError:
+        return f".word {word:#010x}"
+    ops = decode_operands(word, spec)
+    return _render(spec, ops, address)
+
+
+def disassemble(words: Iterable[int], base_address: int = 0,
+                isa: Optional[InstructionSet] = None) -> List[str]:
+    """Disassemble a sequence of words starting at ``base_address``."""
+    out = []
+    address = base_address
+    for word in words:
+        out.append(disassemble_word(word, address, isa))
+        address += 4
+    return out

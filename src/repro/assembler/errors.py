@@ -1,0 +1,24 @@
+"""Assembler error types carrying source locations."""
+
+from __future__ import annotations
+
+
+class AssemblyError(Exception):
+    """An error in assembly source, with file/line context when known."""
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 source_line: str | None = None) -> None:
+        self.message = message
+        self.line_number = line_number
+        self.source_line = source_line
+        location = f"line {line_number}: " if line_number is not None else ""
+        context = f"\n    {source_line.strip()}" if source_line else ""
+        super().__init__(f"{location}{message}{context}")
+
+
+class SymbolError(AssemblyError):
+    """An undefined or redefined symbol."""
+
+
+class OperandError(AssemblyError):
+    """A malformed or out-of-range operand."""

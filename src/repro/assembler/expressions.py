@@ -1,0 +1,147 @@
+"""Constant-expression evaluation for immediates.
+
+Supports integer literals in decimal/hex/binary/octal, symbol references
+(``.equ`` constants and labels), unary ``+``/``-``/``~``, and the binary
+operators ``+ - * << >> & | ^`` with conventional precedence and
+parentheses.  Evaluation is a small recursive-descent parser — no ``eval``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from .errors import OperandError
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>0[xX][0-9a-fA-F]+|0[bB][01]+|0[oO][0-7]+|\d+)"
+    r"|(?P<sym>[A-Za-z_.$][A-Za-z0-9_.$]*)"
+    r"|(?P<op><<|>>|[-+*&|^~()]))"
+)
+
+
+def _tokenize(text: str):
+    pos = 0
+    tokens = []
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if not match or match.end() == pos:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise OperandError(f"cannot parse expression near {remainder!r}")
+        tokens.append(match)
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    """Precedence-climbing parser over the token list."""
+
+    _BINARY_PRECEDENCE = {
+        "|": 1, "^": 2, "&": 3, "<<": 4, ">>": 4,
+        "+": 5, "-": 5, "*": 6,
+    }
+
+    def __init__(self, tokens, symbols: Mapping[str, int], source: str):
+        self._tokens = tokens
+        self._index = 0
+        self._symbols = symbols
+        self._source = source
+
+    def parse(self) -> int:
+        value = self._expression(0)
+        if self._index != len(self._tokens):
+            raise OperandError(
+                f"trailing tokens in expression: {self._source!r}"
+            )
+        return value
+
+    def _peek_op(self):
+        if self._index < len(self._tokens):
+            token = self._tokens[self._index]
+            if token.lastgroup == "op":
+                return token.group("op")
+        return None
+
+    def _expression(self, min_precedence: int) -> int:
+        left = self._unary()
+        while True:
+            op = self._peek_op()
+            precedence = self._BINARY_PRECEDENCE.get(op or "", -1)
+            if op is None or precedence < min_precedence:
+                return left
+            self._index += 1
+            right = self._expression(precedence + 1)
+            left = self._apply(op, left, right)
+
+    def _apply(self, op: str, left: int, right: int) -> int:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "<<":
+            return left << right
+        if op == ">>":
+            return left >> right
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        raise OperandError(f"unknown operator {op!r}")
+
+    def _unary(self) -> int:
+        if self._index >= len(self._tokens):
+            raise OperandError(
+                f"unexpected end of expression: {self._source!r}"
+            )
+        token = self._tokens[self._index]
+        if token.lastgroup == "op":
+            op = token.group("op")
+            if op in ("+", "-", "~"):
+                self._index += 1
+                value = self._unary()
+                if op == "-":
+                    return -value
+                if op == "~":
+                    return ~value
+                return value
+            if op == "(":
+                self._index += 1
+                value = self._expression(0)
+                closing = self._peek_op()
+                if closing != ")":
+                    raise OperandError(
+                        f"missing ')' in expression: {self._source!r}"
+                    )
+                self._index += 1
+                return value
+            raise OperandError(f"unexpected operator {op!r} in expression")
+        self._index += 1
+        if token.lastgroup == "num":
+            return int(token.group("num"), 0)
+        name = token.group("sym")
+        if name not in self._symbols:
+            raise OperandError(f"undefined symbol {name!r}")
+        return self._symbols[name]
+
+
+def evaluate(text: str, symbols: Mapping[str, int] | None = None) -> int:
+    """Evaluate a constant expression against a symbol table."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise OperandError(f"empty expression: {text!r}")
+    return _Parser(tokens, symbols or {}, text).parse()
+
+
+def is_plain_integer(text: str) -> bool:
+    """True if ``text`` is a bare integer literal (no symbols/operators)."""
+    try:
+        int(text.strip(), 0)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,124 @@
+"""Line-level lexing of assembly source.
+
+Splits a source line into a label, a mnemonic/directive and its operand
+tokens.  Comments start with ``#``, ``//`` or ``;``.  Operands are
+comma-separated at the top level; parentheses (memory operands like
+``8(sp)``) keep their contents together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .errors import AssemblyError
+
+_COMMENT_MARKERS = ("#", "//", ";")
+
+
+@dataclass
+class Line:
+    """One lexed source line."""
+
+    number: int
+    raw: str
+    label: Optional[str] = None
+    mnemonic: Optional[str] = None
+    operands: List[str] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the line holds neither a label nor an instruction."""
+        return self.label is None and self.mnemonic is None
+
+    @property
+    def is_directive(self) -> bool:
+        """True if the line's mnemonic is an assembler directive."""
+        return self.mnemonic is not None and self.mnemonic.startswith(".")
+
+
+def strip_comment(text: str) -> str:
+    """Remove any trailing comment from a line."""
+    for marker in _COMMENT_MARKERS:
+        index = text.find(marker)
+        if index != -1:
+            text = text[:index]
+    return text
+
+
+def split_operands(text: str) -> List[str]:
+    """Split an operand string on top-level commas.
+
+    Commas inside parentheses do not split (no current operand syntax puts
+    commas there, but this keeps the lexer robust to extensions).
+    """
+    operands: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+            current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise AssemblyError(f"unbalanced ')' in operands: {text!r}")
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise AssemblyError(f"unbalanced '(' in operands: {text!r}")
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    if any(not op for op in operands):
+        raise AssemblyError(f"empty operand in: {text!r}")
+    return operands
+
+
+def lex_line(number: int, raw: str) -> Line:
+    """Lex one source line into a :class:`Line`."""
+    line = Line(number=number, raw=raw)
+    text = strip_comment(raw).strip()
+    if not text:
+        return line
+
+    colon = text.find(":")
+    if colon != -1:
+        candidate = text[:colon].strip()
+        if candidate and _is_identifier(candidate):
+            line.label = candidate
+            text = text[colon + 1 :].strip()
+    if not text:
+        return line
+
+    parts = text.split(None, 1)
+    line.mnemonic = parts[0].lower()
+    if len(parts) == 2:
+        try:
+            line.operands = split_operands(parts[1])
+        except AssemblyError as exc:
+            raise AssemblyError(exc.message, number, raw) from exc
+    return line
+
+
+def lex(source: str) -> List[Line]:
+    """Lex a whole source text into non-empty lines."""
+    lines = []
+    for number, raw in enumerate(source.splitlines(), start=1):
+        line = lex_line(number, raw)
+        if not line.is_empty:
+            lines.append(line)
+    return lines
+
+
+def _is_identifier(text: str) -> bool:
+    if not text:
+        return False
+    head, *rest = text
+    if not (head.isalpha() or head in "._"):
+        return False
+    return all(ch.isalnum() or ch in "._$" for ch in rest)

@@ -1,0 +1,215 @@
+"""Mapping assembly operand tokens to instruction-field dictionaries.
+
+Each instruction format has a matching operand convention; this module
+turns the comma-separated token list of one statement into the operand
+dictionary :func:`repro.isa.formats.encode_instruction` expects.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping
+
+from ..isa import parse_vtype_tokens
+from ..isa.registers import (
+    is_scalar_register,
+    is_vector_register,
+    parse_scalar_register,
+    parse_vector_register,
+)
+from ..isa.spec import InstructionSpec
+from .errors import OperandError
+from .expressions import evaluate
+
+_MEM_RE = re.compile(r"^(?P<offset>[^()]*)\((?P<base>[^()]+)\)$")
+
+#: The operand token that enables masking (RVV: mask register v0, true bits).
+MASK_TOKEN = "v0.t"
+
+
+def parse_memory_operand(token: str, symbols: Mapping[str, int]) -> Dict[str, int]:
+    """Parse ``imm(reg)`` / ``(reg)`` into ``{"imm": ..., "rs1": ...}``."""
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise OperandError(f"expected memory operand 'imm(reg)', got {token!r}")
+    base = match.group("base").strip()
+    if not is_scalar_register(base):
+        raise OperandError(f"memory base must be a scalar register: {token!r}")
+    offset_text = match.group("offset").strip()
+    offset = evaluate(offset_text, symbols) if offset_text else 0
+    return {"imm": offset, "rs1": parse_scalar_register(base)}
+
+
+def _take_mask(tokens: List[str]) -> int:
+    """Pop a trailing ``v0.t`` mask token; return the vm bit (1=unmasked)."""
+    if tokens and tokens[-1].strip().lower() == MASK_TOKEN:
+        tokens.pop()
+        return 0
+    return 1
+
+
+def _scalar(token: str) -> int:
+    if not is_scalar_register(token):
+        raise OperandError(f"expected a scalar register, got {token!r}")
+    return parse_scalar_register(token)
+
+
+def _vector(token: str) -> int:
+    if not is_vector_register(token):
+        raise OperandError(f"expected a vector register, got {token!r}")
+    return parse_vector_register(token)
+
+
+def _expect_count(spec: InstructionSpec, tokens: List[str], count: int) -> None:
+    if len(tokens) != count:
+        raise OperandError(
+            f"{spec.mnemonic} expects {count} operand(s), got {len(tokens)}: "
+            f"{tokens}"
+        )
+
+
+def build_operands(
+    spec: InstructionSpec,
+    tokens: List[str],
+    symbols: Mapping[str, int],
+    address: int,
+) -> Dict[str, int]:
+    """Build the operand dict for ``spec`` from assembly ``tokens``.
+
+    ``address`` is the instruction's own address, used to turn label targets
+    into pc-relative branch/jump offsets.
+    """
+    tokens = [t.strip() for t in tokens]
+    fmt = spec.fmt
+
+    if fmt == "r":
+        _expect_count(spec, tokens, 3)
+        return {"rd": _scalar(tokens[0]), "rs1": _scalar(tokens[1]),
+                "rs2": _scalar(tokens[2])}
+
+    if fmt == "i":
+        _expect_count(spec, tokens, 3)
+        return {"rd": _scalar(tokens[0]), "rs1": _scalar(tokens[1]),
+                "imm": evaluate(tokens[2], symbols)}
+
+    if fmt == "i_shift":
+        _expect_count(spec, tokens, 3)
+        return {"rd": _scalar(tokens[0]), "rs1": _scalar(tokens[1]),
+                "shamt": evaluate(tokens[2], symbols)}
+
+    if fmt == "load":
+        _expect_count(spec, tokens, 2)
+        mem = parse_memory_operand(tokens[1], symbols)
+        return {"rd": _scalar(tokens[0]), **mem}
+
+    if fmt == "store":
+        _expect_count(spec, tokens, 2)
+        mem = parse_memory_operand(tokens[1], symbols)
+        return {"rs2": _scalar(tokens[0]), **mem}
+
+    if fmt == "branch":
+        _expect_count(spec, tokens, 3)
+        target = evaluate(tokens[2], symbols)
+        return {"rs1": _scalar(tokens[0]), "rs2": _scalar(tokens[1]),
+                "offset": target - address}
+
+    if fmt == "u":
+        _expect_count(spec, tokens, 2)
+        return {"rd": _scalar(tokens[0]), "imm": evaluate(tokens[1], symbols)}
+
+    if fmt == "jal":
+        _expect_count(spec, tokens, 2)
+        target = evaluate(tokens[1], symbols)
+        return {"rd": _scalar(tokens[0]), "offset": target - address}
+
+    if fmt == "jalr":
+        # Accept both "jalr rd, imm(rs1)" and "jalr rd, rs1, imm".
+        if len(tokens) == 2:
+            mem = parse_memory_operand(tokens[1], symbols)
+            return {"rd": _scalar(tokens[0]), **mem}
+        _expect_count(spec, tokens, 3)
+        return {"rd": _scalar(tokens[0]), "rs1": _scalar(tokens[1]),
+                "imm": evaluate(tokens[2], symbols)}
+
+    if fmt == "system":
+        _expect_count(spec, tokens, 0)
+        return {}
+
+    if fmt == "csr":
+        from ..isa.csr import parse_csr
+
+        _expect_count(spec, tokens, 3)
+        try:
+            csr = parse_csr(tokens[1])
+        except ValueError as exc:
+            raise OperandError(str(exc)) from exc
+        return {"rd": _scalar(tokens[0]), "csr": csr,
+                "rs1": _scalar(tokens[2])}
+
+    if fmt == "vsetvli":
+        # vsetvli rd, rs1, e64, m1, tu, mu — all tokens after rs1 are vtype.
+        if len(tokens) < 4:
+            raise OperandError(
+                f"vsetvli expects rd, rs1 and vtype tokens, got {tokens}"
+            )
+        vtype = parse_vtype_tokens(tokens[2:])
+        return {"rd": _scalar(tokens[0]), "rs1": _scalar(tokens[1]),
+                "vtype": vtype}
+
+    if fmt == "vls_unit":
+        work = list(tokens)
+        vm = _take_mask(work)
+        _expect_count(spec, work, 2)
+        mem = parse_memory_operand(work[1], symbols)
+        if mem["imm"] != 0:
+            raise OperandError(
+                f"{spec.mnemonic} takes no address offset, got {work[1]!r}"
+            )
+        return {"vd": _vector(work[0]), "rs1": mem["rs1"], "vm": vm}
+
+    if fmt == "vls_strided":
+        work = list(tokens)
+        vm = _take_mask(work)
+        _expect_count(spec, work, 3)
+        mem = parse_memory_operand(work[1], symbols)
+        if mem["imm"] != 0:
+            raise OperandError(
+                f"{spec.mnemonic} takes no address offset, got {work[1]!r}"
+            )
+        return {"vd": _vector(work[0]), "rs1": mem["rs1"],
+                "rs2": _scalar(work[2]), "vm": vm}
+
+    if fmt == "vls_indexed":
+        work = list(tokens)
+        vm = _take_mask(work)
+        _expect_count(spec, work, 3)
+        mem = parse_memory_operand(work[1], symbols)
+        if mem["imm"] != 0:
+            raise OperandError(
+                f"{spec.mnemonic} takes no address offset, got {work[1]!r}"
+            )
+        return {"vd": _vector(work[0]), "rs1": mem["rs1"],
+                "vs2": _vector(work[2]), "vm": vm}
+
+    if fmt == "v_vv":
+        work = list(tokens)
+        vm = _take_mask(work)
+        _expect_count(spec, work, 3)
+        return {"vd": _vector(work[0]), "vs2": _vector(work[1]),
+                "vs1": _vector(work[2]), "vm": vm}
+
+    if fmt == "v_vx":
+        work = list(tokens)
+        vm = _take_mask(work)
+        _expect_count(spec, work, 3)
+        return {"vd": _vector(work[0]), "vs2": _vector(work[1]),
+                "rs1": _scalar(work[2]), "vm": vm}
+
+    if fmt == "v_vi":
+        work = list(tokens)
+        vm = _take_mask(work)
+        _expect_count(spec, work, 3)
+        return {"vd": _vector(work[0]), "vs2": _vector(work[1]),
+                "imm": evaluate(work[2], symbols), "vm": vm}
+
+    raise OperandError(f"unhandled instruction format: {fmt!r}")

@@ -1,0 +1,57 @@
+"""The assembled-program container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class AssembledInstruction:
+    """One encoded instruction with its provenance."""
+
+    address: int
+    word: int
+    mnemonic: str
+    source_line: int
+    source_text: str
+
+
+@dataclass
+class Program:
+    """An assembled program: words plus symbols and source mapping."""
+
+    base_address: int = 0
+    instructions: List[AssembledInstruction] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def words(self) -> List[int]:
+        """The raw 32-bit instruction words in address order."""
+        return [inst.word for inst in self.instructions]
+
+    @property
+    def size_bytes(self) -> int:
+        """Program footprint in bytes."""
+        return 4 * len(self.instructions)
+
+    def word_at(self, address: int) -> Optional[int]:
+        """The instruction word at ``address``, or None if outside."""
+        index, remainder = divmod(address - self.base_address, 4)
+        if remainder or not 0 <= index < len(self.instructions):
+            return None
+        return self.instructions[index].word
+
+    def to_bytes(self) -> bytes:
+        """Serialize as little-endian machine code."""
+        return b"".join(inst.word.to_bytes(4, "little")
+                        for inst in self.instructions)
+
+    def listing(self) -> str:
+        """A human-readable listing (address, word, source)."""
+        lines = []
+        for inst in self.instructions:
+            lines.append(
+                f"{inst.address:08x}:  {inst.word:08x}  {inst.source_text.strip()}"
+            )
+        return "\n".join(lines)

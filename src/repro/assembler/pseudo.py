@@ -1,0 +1,221 @@
+"""Pseudo-instruction expansion.
+
+Expansions are purely textual (token rewriting), performed before encoding.
+Every expansion has a fixed instruction count so that label addresses can be
+resolved in the first pass.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+
+from .errors import OperandError
+from .expressions import evaluate
+
+#: (mnemonic, operand tokens) — one expanded machine instruction.
+Expanded = Tuple[str, List[str]]
+
+
+def _one(mnemonic: str, *operands: str) -> List[Expanded]:
+    return [(mnemonic, list(operands))]
+
+
+def _expand_li(tokens: List[str], symbols: Mapping[str, int]) -> List[Expanded]:
+    if len(tokens) != 2:
+        raise OperandError(f"li expects rd, imm — got {tokens}")
+    rd = tokens[0]
+    value = evaluate(tokens[1], symbols)
+    if not -(1 << 31) <= value < (1 << 32):
+        raise OperandError(f"li immediate out of 32-bit range: {value}")
+    value &= 0xFFFFFFFF
+    signed = value - (1 << 32) if value >= (1 << 31) else value
+    if -2048 <= signed <= 2047:
+        return _one("addi", rd, "x0", str(signed))
+    upper = (value + 0x800) >> 12
+    lower = value - (upper << 12)
+    lower = lower - (1 << 32) if lower >= (1 << 31) else lower
+    out = _one("lui", rd, str(upper & 0xFFFFF))
+    if lower != 0:
+        out += _one("addi", rd, rd, str(lower))
+    else:
+        # Keep the expansion size fixed so pass-1 addresses stay valid.
+        out += _one("addi", rd, rd, "0")
+    return out
+
+
+def _expand_la(tokens: List[str], symbols: Mapping[str, int]) -> List[Expanded]:
+    if len(tokens) != 2:
+        raise OperandError(f"la expects rd, symbol — got {tokens}")
+    # Addresses are absolute in the simulator's flat memory, so la == li.
+    return _expand_li(tokens, symbols)
+
+
+def _fixed(mnemonic_map):
+    def expand(tokens: List[str], symbols: Mapping[str, int]) -> List[Expanded]:
+        return mnemonic_map(tokens)
+    return expand
+
+
+def _expand_mv(tokens):
+    if len(tokens) != 2:
+        raise OperandError(f"mv expects rd, rs — got {tokens}")
+    return _one("addi", tokens[0], tokens[1], "0")
+
+
+def _expand_not(tokens):
+    if len(tokens) != 2:
+        raise OperandError(f"not expects rd, rs — got {tokens}")
+    return _one("xori", tokens[0], tokens[1], "-1")
+
+
+def _expand_neg(tokens):
+    if len(tokens) != 2:
+        raise OperandError(f"neg expects rd, rs — got {tokens}")
+    return _one("sub", tokens[0], "x0", tokens[1])
+
+
+def _expand_nop(tokens):
+    if tokens:
+        raise OperandError(f"nop takes no operands — got {tokens}")
+    return _one("addi", "x0", "x0", "0")
+
+
+def _expand_j(tokens):
+    if len(tokens) != 1:
+        raise OperandError(f"j expects a target — got {tokens}")
+    return _one("jal", "x0", tokens[0])
+
+
+def _expand_jr(tokens):
+    if len(tokens) != 1:
+        raise OperandError(f"jr expects rs — got {tokens}")
+    return _one("jalr", "x0", tokens[0], "0")
+
+
+def _expand_ret(tokens):
+    if tokens:
+        raise OperandError(f"ret takes no operands — got {tokens}")
+    return _one("jalr", "x0", "ra", "0")
+
+
+def _expand_call(tokens):
+    if len(tokens) != 1:
+        raise OperandError(f"call expects a target — got {tokens}")
+    return _one("jal", "ra", tokens[0])
+
+
+def _expand_bgt(tokens):
+    if len(tokens) != 3:
+        raise OperandError(f"bgt expects rs, rt, target — got {tokens}")
+    return _one("blt", tokens[1], tokens[0], tokens[2])
+
+
+def _expand_ble(tokens):
+    if len(tokens) != 3:
+        raise OperandError(f"ble expects rs, rt, target — got {tokens}")
+    return _one("bge", tokens[1], tokens[0], tokens[2])
+
+
+def _expand_beqz(tokens):
+    if len(tokens) != 2:
+        raise OperandError(f"beqz expects rs, target — got {tokens}")
+    return _one("beq", tokens[0], "x0", tokens[1])
+
+
+def _expand_bnez(tokens):
+    if len(tokens) != 2:
+        raise OperandError(f"bnez expects rs, target — got {tokens}")
+    return _one("bne", tokens[0], "x0", tokens[1])
+
+
+def _expand_csrr(tokens):
+    if len(tokens) != 2:
+        raise OperandError(f"csrr expects rd, csr — got {tokens}")
+    return _one("csrrs", tokens[0], tokens[1], "x0")
+
+
+def _expand_csrw(tokens):
+    if len(tokens) != 2:
+        raise OperandError(f"csrw expects csr, rs — got {tokens}")
+    return _one("csrrw", "x0", tokens[0], tokens[1])
+
+
+def _expand_rdcycle(tokens):
+    if len(tokens) != 1:
+        raise OperandError(f"rdcycle expects rd — got {tokens}")
+    return _one("csrrs", tokens[0], "cycle", "x0")
+
+
+def _expand_rdinstret(tokens):
+    if len(tokens) != 1:
+        raise OperandError(f"rdinstret expects rd — got {tokens}")
+    return _one("csrrs", tokens[0], "instret", "x0")
+
+
+def _expand_vmv(tokens):
+    if len(tokens) != 2:
+        raise OperandError(f"vmv.v.v expects vd, vs — got {tokens}")
+    return _one("vadd.vi", tokens[0], tokens[1], "0")
+
+
+def _expand_vnot(tokens):
+    if len(tokens) != 2:
+        raise OperandError(f"vnot.v expects vd, vs — got {tokens}")
+    return _one("vxor.vi", tokens[0], tokens[1], "-1")
+
+
+_SYMBOLIC = {
+    "li": _expand_li,
+    "la": _expand_la,
+}
+
+_SIMPLE = {
+    "mv": _expand_mv,
+    "not": _expand_not,
+    "neg": _expand_neg,
+    "nop": _expand_nop,
+    "j": _expand_j,
+    "jr": _expand_jr,
+    "ret": _expand_ret,
+    "call": _expand_call,
+    "bgt": _expand_bgt,
+    "ble": _expand_ble,
+    "beqz": _expand_beqz,
+    "bnez": _expand_bnez,
+    "vmv.v.v": _expand_vmv,
+    "vnot.v": _expand_vnot,
+    "csrr": _expand_csrr,
+    "csrw": _expand_csrw,
+    "rdcycle": _expand_rdcycle,
+    "rdinstret": _expand_rdinstret,
+}
+
+#: All pseudo-instruction mnemonics.
+PSEUDO_MNEMONICS = tuple(sorted(set(_SYMBOLIC) | set(_SIMPLE)))
+
+
+def is_pseudo(mnemonic: str) -> bool:
+    """True if ``mnemonic`` names a pseudo-instruction."""
+    return mnemonic in _SYMBOLIC or mnemonic in _SIMPLE
+
+
+def expand_pseudo(
+    mnemonic: str, tokens: List[str], symbols: Mapping[str, int]
+) -> List[Expanded]:
+    """Expand one pseudo-instruction into real instructions."""
+    if mnemonic in _SYMBOLIC:
+        return _SYMBOLIC[mnemonic](tokens, symbols)
+    if mnemonic in _SIMPLE:
+        return _SIMPLE[mnemonic](tokens)
+    raise OperandError(f"not a pseudo-instruction: {mnemonic!r}")
+
+
+def pseudo_size(mnemonic: str, tokens: List[str],
+                symbols: Mapping[str, int]) -> int:
+    """Number of machine instructions ``mnemonic`` expands to.
+
+    Needed by pass 1 to lay out addresses before labels are resolvable.
+    ``li``/``la`` immediates must therefore be constant expressions over
+    ``.equ`` symbols (labels in ``li`` are not supported — by design).
+    """
+    return len(expand_pseudo(mnemonic, tokens, symbols))

@@ -1,0 +1,257 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``tables``
+    Regenerate Tables 7 and 8 and the Section 4.2 headline report.
+``sweep``
+    Design-space sweep with Pareto frontier (includes the fused variant).
+``hash``
+    Hash a file or string with any SHA-3 family function — optionally
+    executing every permutation on the processor simulator.
+``run``
+    Run one Keccak configuration on the simulator and print its metrics.
+``asm`` / ``dis``
+    Assemble a source file to machine words / disassemble words back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .assembler import assemble, disassemble
+from .keccak.hashes import SHA3_VARIANTS, SHAKE_VARIANTS
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .eval import (
+        generate_report,
+        generate_table7,
+        generate_table8,
+        render_report,
+        render_table,
+    )
+
+    print(render_table(generate_table7(), "Table 7 — 64-bit architectures"))
+    print()
+    print(render_table(generate_table8(), "Table 8 — 32-bit architectures"))
+    print()
+    print(render_report(generate_report()))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .eval import pareto_frontier, render_sweep, sweep_design_space
+
+    points = sweep_design_space(include_fused=not args.no_fused)
+    print(render_sweep(points))
+    print()
+    print("Pareto frontier (throughput vs area):")
+    for p in pareto_frontier(points):
+        print(f"  {p.label:48s} {p.throughput_e3:9.2f} tput e3  "
+              f"{p.area_slices:8.0f} slices")
+    return 0
+
+
+def _cmd_hash(args: argparse.Namespace) -> int:
+    if args.file:
+        with open(args.file, "rb") as handle:
+            message = handle.read()
+    else:
+        message = args.string.encode()
+
+    if args.simulate:
+        from .programs import SimulatedPermutation
+        from .keccak.sponge import Sponge, SHA3_SUFFIX, SHAKE_SUFFIX
+
+        perm = SimulatedPermutation(elen=args.elen, lmul=args.lmul,
+                                    elenum=5)
+        if args.algorithm in SHA3_VARIANTS:
+            bits = SHA3_VARIANTS[args.algorithm].output_bits
+            sponge = Sponge(2 * bits, SHA3_SUFFIX, permutation=perm)
+            digest = sponge.absorb(message).squeeze(bits // 8)
+        else:
+            strength = SHAKE_VARIANTS[args.algorithm].strength_bits
+            sponge = Sponge(2 * strength, SHAKE_SUFFIX, permutation=perm)
+            digest = sponge.absorb(message).squeeze(args.length)
+        print(digest.hex())
+        print(f"# {perm.call_count} permutations, "
+              f"{perm.total_cycles} simulated cycles "
+              f"({args.elen}-bit, LMUL={args.lmul})", file=sys.stderr)
+        return 0
+
+    if args.algorithm in SHA3_VARIANTS:
+        print(SHA3_VARIANTS[args.algorithm](message).hexdigest())
+    else:
+        print(SHAKE_VARIANTS[args.algorithm](message).hexdigest(args.length))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import random
+
+    from .keccak.permutation import keccak_f1600
+    from .keccak.state import KeccakState
+    from .programs import build_program
+    from .programs.runner import run_keccak_program
+
+    rng = random.Random(args.seed)
+    states = [
+        KeccakState([rng.getrandbits(64) for _ in range(25)])
+        for _ in range(args.states)
+    ]
+    program = build_program(args.elen, args.lmul, args.elenum)
+    result = run_keccak_program(program, states)
+    correct = result.states == [keccak_f1600(s) for s in states]
+    print(f"program:            {program.name} (EleNum={args.elenum}, "
+          f"{args.states} state(s))")
+    print(f"functionally exact: {correct}")
+    print(f"cycles/round:       {result.cycles_per_round:.0f}")
+    print(f"permutation cycles: {result.permutation_cycles}")
+    print(f"cycles/byte:        {result.cycles_per_byte:.2f}")
+    throughput = 1600.0 * args.states / result.permutation_cycles
+    print(f"throughput x10^3:   {1000 * throughput:.2f}")
+    return 0 if correct else 1
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    from .eval.instruction_mix import measure_instruction_mix
+    from .keccak.state import KeccakState
+    from .programs import (
+        keccak32_lmul8,
+        keccak64_fused,
+        keccak64_lmul1,
+        keccak64_lmul41,
+        keccak64_lmul8,
+    )
+
+    builders = {
+        "64-lmul1": keccak64_lmul1,
+        "64-lmul41": keccak64_lmul41,
+        "64-lmul8": keccak64_lmul8,
+        "64-fused": keccak64_fused,
+        "32-lmul8": keccak32_lmul8,
+    }
+    selected = [args.variant] if args.variant else list(builders)
+    state = [KeccakState(list(range(25)))]
+    for name in selected:
+        mix = measure_instruction_mix(builders[name].build(5), state)
+        print(mix.render())
+        print()
+    return 0
+
+
+def _cmd_isa_doc(args: argparse.Namespace) -> int:
+    from .isa import ISA
+    from .isa.doc import render_isa_reference
+
+    text = render_isa_reference(ISA)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    with open(args.source) as handle:
+        source = handle.read()
+    program = assemble(source, base_address=args.base)
+    if args.listing:
+        print(program.listing())
+    else:
+        for inst in program.instructions:
+            print(f"{inst.word:08x}")
+    return 0
+
+
+def _cmd_dis(args: argparse.Namespace) -> int:
+    words: List[int] = []
+    if args.source == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.source) as handle:
+            text = handle.read()
+    for token in text.split():
+        words.append(int(token, 16))
+    for address_offset, line in enumerate(disassemble(words, args.base)):
+        print(f"{args.base + 4 * address_offset:08x}:  {line}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Custom RISC-V vector extensions for SHA-3 "
+                    "(DATE 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="regenerate Tables 7/8 and the report")
+
+    p_sweep = sub.add_parser("sweep", help="design-space sweep + Pareto")
+    p_sweep.add_argument("--no-fused", action="store_true",
+                         help="exclude the future-work fused variant")
+
+    p_hash = sub.add_parser("hash", help="hash with a SHA-3 function")
+    p_hash.add_argument("algorithm",
+                        choices=sorted(SHA3_VARIANTS) + sorted(SHAKE_VARIANTS))
+    group = p_hash.add_mutually_exclusive_group(required=True)
+    group.add_argument("--file", help="file to hash")
+    group.add_argument("--string", help="literal string to hash")
+    p_hash.add_argument("--length", type=int, default=32,
+                        help="XOF output bytes (SHAKE only)")
+    p_hash.add_argument("--simulate", action="store_true",
+                        help="execute every permutation on the simulator")
+    p_hash.add_argument("--elen", type=int, default=64, choices=(32, 64))
+    p_hash.add_argument("--lmul", type=int, default=8, choices=(1, 8))
+
+    p_run = sub.add_parser("run", help="run a Keccak config on the simulator")
+    p_run.add_argument("--elen", type=int, default=64, choices=(32, 64))
+    p_run.add_argument("--lmul", type=int, default=8, choices=(1, 8))
+    p_run.add_argument("--elenum", type=int, default=5)
+    p_run.add_argument("--states", type=int, default=1)
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_mix = sub.add_parser("mix", help="per-step-mapping cycle breakdown")
+    p_mix.add_argument("--variant", choices=(
+        "64-lmul1", "64-lmul41", "64-lmul8", "64-fused", "32-lmul8"))
+
+    p_doc = sub.add_parser("isa-doc", help="render the ISA reference")
+    p_doc.add_argument("--output", help="write Markdown here (else stdout)")
+
+    p_asm = sub.add_parser("asm", help="assemble a source file")
+    p_asm.add_argument("source")
+    p_asm.add_argument("--base", type=lambda s: int(s, 0), default=0)
+    p_asm.add_argument("--listing", action="store_true")
+
+    p_dis = sub.add_parser("dis", help="disassemble hex words (file or -)")
+    p_dis.add_argument("source")
+    p_dis.add_argument("--base", type=lambda s: int(s, 0), default=0)
+
+    return parser
+
+
+_HANDLERS = {
+    "tables": _cmd_tables,
+    "sweep": _cmd_sweep,
+    "hash": _cmd_hash,
+    "run": _cmd_run,
+    "mix": _cmd_mix,
+    "isa-doc": _cmd_isa_doc,
+    "asm": _cmd_asm,
+    "dis": _cmd_dis,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

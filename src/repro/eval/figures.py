@@ -1,0 +1,122 @@
+"""Textual reproductions of the paper's structural figures (Figs. 5-8).
+
+The evaluation figures of this paper are architecture diagrams rather than
+data plots; these helpers render the data-layout and instruction-semantics
+figures as text so examples/tests can regenerate and check them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..programs.layout import check_capacity
+
+
+def render_fig5(elenum: int, num_states: int) -> str:
+    """Fig. 5: memory/register allocation of the 64-bit architecture."""
+    check_capacity(elenum, num_states)
+    lines = [
+        f"Fig. 5 — 64-bit architecture, EleNum={elenum}, "
+        f"{num_states} Keccak state(s)",
+    ]
+    header = "reg | " + " ".join(
+        f"{'e' + str(i):>5s}" for i in range(elenum)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for y in reversed(range(5)):
+        cells = []
+        for i in range(elenum):
+            s, x = divmod(i, 5)
+            if s < num_states and x < 5:
+                cells.append(f"A{s}s{x}{y}")
+            else:
+                cells.append("  .  ")
+        lines.append(f" v{y}  | " + " ".join(f"{c:>5s}" for c in cells))
+    return "\n".join(lines)
+
+
+def render_fig6(elenum: int, num_states: int) -> str:
+    """Fig. 6: hi/lo split allocation of the 32-bit architecture."""
+    check_capacity(elenum, num_states)
+    lines = [
+        f"Fig. 6 — 32-bit architecture, EleNum={elenum}, "
+        f"{num_states} Keccak state(s)",
+    ]
+    for part, base in (("high halves (sh)", 16), ("low halves (sl)", 0)):
+        lines.append(f"-- {part}, registers v{base}..v{base + 4} --")
+        for y in reversed(range(5)):
+            cells = []
+            for i in range(elenum):
+                s, x = divmod(i, 5)
+                prefix = "sh" if base else "sl"
+                cells.append(f"{prefix}{s}{x}{y}" if s < num_states
+                             else " .  ")
+            lines.append(f" v{base + y:<2d} | " +
+                         " ".join(f"{c:>5s}" for c in cells))
+    return "\n".join(lines)
+
+
+def slide_modulo_five(elements: List[str], offset: int,
+                      direction: str) -> List[str]:
+    """Fig. 7: the vslidedownm/vslideupm element movement, as data.
+
+    ``elements`` is the flat element list of one register (length must be a
+    multiple of 5 plus optional tail); Keccak-state elements move modulo 5
+    within their state, tail elements stay.
+    """
+    if direction not in ("down", "up"):
+        raise ValueError(f"direction must be 'down' or 'up': {direction}")
+    out = list(elements)
+    num_states = len(elements) // 5
+    for i in range(num_states):
+        for j in range(5):
+            if direction == "down":
+                src = 5 * i + (j + offset) % 5
+            else:
+                src = 5 * i + (j - offset) % 5
+            out[5 * i + j] = elements[src]
+    return out
+
+
+def render_fig7(num_states: int = 3, offset: int = 1) -> str:
+    """Fig. 7: slide modulo-five semantics over SN states."""
+    elements = [f"s{x}0" for _ in range(num_states) for x in range(5)]
+    down = slide_modulo_five(elements, offset, "down")
+    up = slide_modulo_five(elements, offset, "up")
+    fmt = lambda row: " ".join(f"{c:>4s}" for c in row)  # noqa: E731
+    return "\n".join([
+        f"Fig. 7 — vector slide modulo five, SN={num_states}, N={offset}",
+        "input:      " + fmt(elements),
+        "slide down: " + fmt(down),
+        "slide up:   " + fmt(up),
+    ])
+
+
+def pi_rearrangement(num_states: int = 1) -> List[List[str]]:
+    """Fig. 8: where the pi step puts every lane (symbolically).
+
+    Returns a 5x(5*SN) grid ``out[y][5s + x]`` of source lane names
+    ``s<x><y>`` after the full pi scramble.
+    """
+    grid = [["" for _ in range(5 * num_states)] for _ in range(5)]
+    for y in range(5):
+        for s in range(num_states):
+            for x in range(5):
+                # F[x, y] = E[(x + 3y) mod 5, x]
+                src_x = (x + 3 * y) % 5
+                src_y = x
+                grid[y][5 * s + x] = f"s{src_x}{src_y}"
+    return grid
+
+
+def render_fig8(num_states: int = 1) -> str:
+    """Fig. 8: the pi operation's row->column re-arrangement."""
+    grid = pi_rearrangement(num_states)
+    lines = [f"Fig. 8 — pi operation result (SN={num_states}), "
+             "entry = source lane s<x><y>"]
+    for y in reversed(range(5)):
+        lines.append(
+            f" row {y}: " + " ".join(f"{c:>4s}" for c in grid[y])
+        )
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Per-step-mapping cycle breakdown of a Keccak program.
+
+Attributes every retired instruction of a traced run to one of the five
+step mappings (theta, rho, pi, chi, iota) or to overhead (configuration,
+loop control, state load/store), using the program's source comments as
+ground truth for section boundaries.  This reproduces the reasoning of the
+paper's Section 4 discussion — *where* the LMUL=8 and fused variants win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..keccak.state import KeccakState
+from ..programs.base import KeccakProgram
+from ..programs.runner import run_keccak_program
+
+#: Section markers recognized in the generated program sources.
+_SECTION_KEYWORDS = (
+    ("theta", "theta"),
+    ("rho", "rho"),
+    ("pi", "pi"),
+    ("chi", "chi"),
+    ("iota", "iota"),
+)
+
+
+@dataclass
+class InstructionMix:
+    """Cycle totals per step mapping over a full run."""
+
+    program_name: str
+    total_cycles: int
+    section_cycles: Dict[str, int] = field(default_factory=dict)
+
+    def fraction(self, section: str) -> float:
+        """Fraction of total cycles spent in ``section``."""
+        return self.section_cycles.get(section, 0) / self.total_cycles
+
+    def render(self) -> str:
+        """Human-readable breakdown table."""
+        lines = [
+            f"Instruction mix — {self.program_name} "
+            f"({self.total_cycles} cycles)",
+        ]
+        for section, cycles in sorted(self.section_cycles.items(),
+                                      key=lambda kv: -kv[1]):
+            share = 100.0 * cycles / self.total_cycles
+            bar = "#" * int(share / 2)
+            lines.append(f"  {section:10s} {cycles:8d} cc  {share:5.1f}%  {bar}")
+        return "\n".join(lines)
+
+
+def _sections_from_source(program: KeccakProgram) -> Dict[int, str]:
+    """Walk the source line by line, tracking '# <step> step' markers."""
+    assembled = program.assemble()
+    body_start = assembled.symbols.get("round_body", 0)
+    body_end = assembled.symbols.get("round_end", 1 << 62)
+
+    # Build a mapping from source line number to section.
+    line_section: Dict[int, str] = {}
+    current = "setup"
+    for number, raw in enumerate(program.source.splitlines(), start=1):
+        lowered = raw.lower()
+        for keyword, name in _SECTION_KEYWORDS:
+            if f"{keyword} step" in lowered or \
+                    f"fused {keyword}" in lowered or \
+                    f"# {keyword}:" in lowered:
+                current = name
+                break
+        line_section[number] = current
+
+    sections: Dict[int, str] = {}
+    for inst in assembled.instructions:
+        if inst.address < body_start:
+            sections[inst.address] = "setup"
+        elif inst.address >= body_end:
+            sections[inst.address] = "loop"
+        else:
+            sections[inst.address] = line_section.get(inst.source_line,
+                                                      "other")
+    return sections
+
+
+def measure_instruction_mix(program: KeccakProgram,
+                            states: Sequence[KeccakState]) -> InstructionMix:
+    """Run ``program`` traced and attribute cycles to step mappings."""
+    result = run_keccak_program(program, states, trace=True)
+    sections = _sections_from_source(program)
+    totals: Dict[str, int] = {}
+    assert result.stats.records is not None
+    for record in result.stats.records:
+        section = sections.get(record.pc, "other")
+        totals[section] = totals.get(section, 0) + record.cycles
+    return InstructionMix(
+        program_name=program.name,
+        total_cycles=result.stats.cycles,
+        section_cycles=totals,
+    )

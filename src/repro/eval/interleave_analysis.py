@@ -1,0 +1,120 @@
+"""The bit-interleaving trade-off, modeled and *measured* (§3.2).
+
+The paper chooses the hi/lo split over bit interleaving.  Software Keccak
+folklore says interleaving is the right 32-bit representation because a
+64-bit rotation splits into two independent 32-bit rotations.  Both
+representations are implemented as scalar RV32IM programs in this
+repository (:mod:`repro.programs.scalar_keccak` and
+:mod:`repro.programs.scalar_keccak_interleaved`), so the trade-off is a
+measurement, not an argument — and the measurement is more nuanced than
+the folklore:
+
+* On **RV32IM there is no rotate instruction**, so a 32-bit rotation by a
+  table-driven amount costs sub+sll+srl+or — and two of those cost about
+  the same as one double-word variable rotation in the hi/lo form.  In
+  looped, table-driven code the interleaved round is within ~2% of the
+  hi/lo round (slightly *slower*: it needs three table bytes per lane
+  instead of one), and interleaving additionally pays the in-assembly
+  conversion passes.  The hi/lo split wins outright — consistent with the
+  paper's choice.
+* On ISAs **with a hardware rotate** (ARM's ROR, or cores with Zbb's
+  ``rori``), the interleaved 32-bit rotations collapse to ~1 cycle each
+  while the hi/lo double-word rotation still needs the 4-6 op sequence —
+  this is the regime where software interleaving genuinely wins, and the
+  scenario model below quantifies it.
+
+The paper's vector design sidesteps the whole trade-off: the
+``v32lrho``/``v32hrho`` pair hardware gives free 64-bit rotations on
+hi/lo data, so there is no conversion and no rotation penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Rotations per Keccak-f[1600] permutation: 24 rounds x (24 nonzero rho
+#: lanes + 5 theta parity rotations).
+ROTATIONS_PER_PERMUTATION = 24 * (24 + 5)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Per-rotation costs of the two representations on one ISA."""
+
+    name: str
+    hilo_rotation_cycles: float
+    interleaved_rotation_cycles: float
+    #: In-assembly interleave + deinterleave of one state, both directions
+    #: (measured: 1809 cycles each on the simulated Ibex).
+    conversion_cycles_per_state: float = 2 * 1809.0
+
+    @property
+    def rotation_savings_per_permutation(self) -> float:
+        return ROTATIONS_PER_PERMUTATION * (
+            self.hilo_rotation_cycles - self.interleaved_rotation_cycles
+        )
+
+    @property
+    def break_even_permutations(self) -> float:
+        """Permutations per conversion for interleaving to pay off
+        (infinity when interleaving saves nothing per rotation)."""
+        savings = self.rotation_savings_per_permutation
+        if savings <= 0:
+            return float("inf")
+        return self.conversion_cycles_per_state / savings
+
+    def interleaving_wins(self, permutations_per_conversion: float) -> bool:
+        return permutations_per_conversion > self.break_even_permutations
+
+
+#: RV32IM, looped table-driven code (our measured baseline pair): the
+#: interleaved rotation needs two shift-pair rotations plus two extra
+#: table-byte loads — no saving over the hi/lo double-word rotation.
+RV32_LOOPED = Scenario(
+    name="RV32IM, looped (measured)",
+    hilo_rotation_cycles=13.0,
+    interleaved_rotation_cycles=13.5,
+)
+
+#: A core with single-cycle rotates (ARM ROR / RISC-V Zbb rori): the
+#: interleaved rotation costs ~2 cycles (two rori), the hi/lo double-word
+#: variable rotation still ~10.
+HARDWARE_ROTATE = Scenario(
+    name="ISA with 1-cycle rotate (ARM/Zbb)",
+    hilo_rotation_cycles=10.0,
+    interleaved_rotation_cycles=2.0,
+)
+
+
+def analyze(scenario: Scenario = RV32_LOOPED) -> Scenario:
+    """Return the scenario (kept for API symmetry with other analyses)."""
+    return scenario
+
+
+def render_analysis() -> str:
+    """Human-readable summary of both regimes."""
+    lines = [
+        "Bit interleaving vs hi/lo split (scalar 32-bit cores, §3.2)",
+    ]
+    for scenario in (RV32_LOOPED, HARDWARE_ROTATE):
+        be = scenario.break_even_permutations
+        be_text = "never" if be == float("inf") else f"{be:.2f} permutations"
+        lines += [
+            f"  {scenario.name}:",
+            f"    rotation cycles  hi/lo {scenario.hilo_rotation_cycles:.1f}"
+            f"  vs interleaved {scenario.interleaved_rotation_cycles:.1f}",
+            f"    conversion cost {scenario.conversion_cycles_per_state:.0f}"
+            " cycles per state (measured, both directions)",
+            f"    break-even: {be_text} per conversion",
+        ]
+    lines += [
+        "",
+        "  -> On RISC-V (no rotate instruction) interleaving does not pay:",
+        "     the hi/lo split wins even before counting conversion — the",
+        "     paper's choice holds for software too on this ISA.  The",
+        "     classic software preference for interleaving comes from ISAs",
+        "     with single-cycle rotates.  The paper's vector design gets",
+        "     free 64-bit rotations from the v32lrho/v32hrho pair hardware",
+        "     and avoids the trade-off entirely.",
+    ]
+    return "\n".join(lines)

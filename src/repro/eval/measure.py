@@ -1,0 +1,106 @@
+"""Measurement driver: run a configuration on the simulator, extract metrics.
+
+Every measurement also *verifies* functional correctness: the simulator's
+permuted states must be bit-identical to the NIST-checked reference
+permutation, otherwise the measurement raises — a performance number from
+a wrong Keccak would be meaningless.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..arch.area import IBEX_SLICES, slices
+from ..arch.config import ArchConfig
+from ..arch.metrics import cycles_per_byte, throughput_e3
+from ..keccak.permutation import keccak_f1600
+from ..keccak.state import KeccakState
+from ..programs import build_program, scalar_keccak
+from ..programs.runner import run_keccak_program
+from ..sim.processor import SIMDProcessor
+
+#: Seed for the deterministic test states used by all measurements.
+_STATE_SEED = 0x5A5A
+
+
+def _random_states(count: int, seed: int = _STATE_SEED):
+    rng = random.Random(seed)
+    return [
+        KeccakState([rng.getrandbits(64) for _ in range(25)])
+        for _ in range(count)
+    ]
+
+
+class VerificationError(AssertionError):
+    """The simulated permutation disagreed with the reference."""
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Measured performance of one architecture configuration."""
+
+    label: str
+    cycles_per_round: float
+    permutation_cycles: int
+    num_states: int
+    area_slices: float
+
+    @property
+    def cycles_per_byte(self) -> float:
+        return cycles_per_byte(self.permutation_cycles)
+
+    @property
+    def throughput_e3(self) -> float:
+        return throughput_e3(self.permutation_cycles, self.num_states)
+
+
+@lru_cache(maxsize=None)
+def measure_config(config: ArchConfig, verify: bool = True) -> Measurement:
+    """Run one vector configuration end to end and extract its metrics."""
+    program = build_program(config.elen, config.lmul, config.elenum)
+    states = _random_states(config.num_states)
+    result = run_keccak_program(program, states)
+    if verify:
+        expected = [keccak_f1600(s) for s in states]
+        if result.states != expected:
+            raise VerificationError(
+                f"{config.label}: simulated permutation does not match the "
+                "reference"
+            )
+    return Measurement(
+        label=config.label,
+        cycles_per_round=result.cycles_per_round,
+        permutation_cycles=result.permutation_cycles,
+        num_states=config.num_states,
+        area_slices=slices(config.elen, config.elenum),
+    )
+
+
+@lru_cache(maxsize=None)
+def measure_scalar_baseline(verify: bool = True) -> Measurement:
+    """Run the scalar (Ibex C-code equivalent) baseline."""
+    program = scalar_keccak.build()
+    state = _random_states(1)[0]
+    processor = SIMDProcessor(elen=32, elenum=5, trace=True)
+    processor.load_program(program.assemble())
+    scalar_keccak.setup_data(processor.memory, state)
+    stats = processor.run()
+    if verify:
+        out = scalar_keccak.read_state(processor.memory)
+        if out != keccak_f1600(state):
+            raise VerificationError(
+                "scalar baseline does not match the reference"
+            )
+    assembled = program.assemble()
+    body_cycles = stats.cycles_in_pc_range(
+        assembled.symbols["round_body"], assembled.symbols["round_end"]
+    )
+    return Measurement(
+        label="Ibex core (C-code equivalent, measured)",
+        cycles_per_round=body_cycles / 24.0,
+        permutation_cycles=stats.cycles,
+        num_states=1,
+        area_slices=float(IBEX_SLICES),
+    )

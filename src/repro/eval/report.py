@@ -1,0 +1,135 @@
+"""The headline comparison factors of Section 4.2, paper vs measured.
+
+The paper states six headline numbers; each is regenerated here from the
+simulator measurements and the published literature values:
+
+* LMUL=8 improves throughput by **1.35x** over LMUL=1 (64-bit);
+* the 64-bit architecture runs **almost twice** as fast as the 32-bit one;
+* 32-bit (EleNum=30) vs C-code: **117.9x** faster, **111.2x** more area;
+* 32-bit (EleNum=30) vs MIPS Co-processor ISE: **45.7x** faster, **6.3x**
+  more area;
+* 32-bit (EleNum=30) vs DASIP: **43.2x** faster, **31.5x** larger;
+* 64-bit (EleNum=30, LMUL=8) vs Rawat vector extensions: **5.3x** faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..arch.config import ArchConfig
+from ..related.models import (
+    DASIP,
+    IBEX_C_CODE,
+    MIPS_COPROCESSOR_ISE,
+    RAWAT_VECTOR_EXTENSIONS,
+)
+from .measure import measure_config, measure_scalar_baseline
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One headline factor: paper's claim vs our measurement."""
+
+    description: str
+    paper_factor: float
+    measured_factor: float
+
+    @property
+    def relative_error(self) -> float:
+        """|measured - paper| / paper."""
+        return abs(self.measured_factor - self.paper_factor) / self.paper_factor
+
+
+def _cfg(elen: int, lmul: int, elenum: int) -> ArchConfig:
+    return ArchConfig(elen, elenum, lmul, elenum // 5)
+
+
+def generate_report(use_measured_baseline: bool = False) -> List[Comparison]:
+    """Regenerate every Section 4.2 headline factor.
+
+    With ``use_measured_baseline`` the C-code comparison uses our own
+    simulated scalar baseline instead of the paper's published Ibex number
+    (both are reported in EXPERIMENTS.md).
+    """
+    m64_l1 = measure_config(_cfg(64, 1, 30))
+    m64_l8 = measure_config(_cfg(64, 8, 30))
+    m32_l8 = measure_config(_cfg(32, 8, 30))
+
+    comparisons = [
+        Comparison(
+            "LMUL=8 vs LMUL=1 throughput (64-bit)",
+            paper_factor=1.35,
+            measured_factor=m64_l8.throughput_e3 / m64_l1.throughput_e3,
+        ),
+        Comparison(
+            "64-bit vs 32-bit throughput (LMUL=8)",
+            paper_factor=5073.00 / 2651.93,
+            measured_factor=m64_l8.throughput_e3 / m32_l8.throughput_e3,
+        ),
+    ]
+
+    if use_measured_baseline:
+        baseline = measure_scalar_baseline()
+        c_code_tput = baseline.throughput_e3
+        c_code_area = baseline.area_slices
+    else:
+        c_code_tput = IBEX_C_CODE.throughput_e3
+        c_code_area = float(IBEX_C_CODE.area_slices)
+
+    comparisons += [
+        Comparison(
+            "32-bit (EleNum=30) vs C-code throughput",
+            paper_factor=117.9,
+            measured_factor=m32_l8.throughput_e3 / c_code_tput,
+        ),
+        Comparison(
+            "32-bit (EleNum=30) vs C-code area",
+            paper_factor=111.2,
+            measured_factor=m32_l8.area_slices / c_code_area,
+        ),
+        Comparison(
+            "32-bit (EleNum=30) vs MIPS Co-processor ISE throughput",
+            paper_factor=45.7,
+            measured_factor=m32_l8.throughput_e3
+            / MIPS_COPROCESSOR_ISE.throughput_e3,
+        ),
+        Comparison(
+            "32-bit (EleNum=30) vs MIPS Co-processor ISE area",
+            paper_factor=6.3,
+            measured_factor=m32_l8.area_slices
+            / MIPS_COPROCESSOR_ISE.area_slices,
+        ),
+        Comparison(
+            "32-bit (EleNum=30) vs DASIP throughput",
+            paper_factor=43.2,
+            measured_factor=m32_l8.throughput_e3 / DASIP.throughput_e3,
+        ),
+        Comparison(
+            "32-bit (EleNum=30) vs DASIP area",
+            paper_factor=31.5,
+            measured_factor=m32_l8.area_slices / DASIP.area_slices,
+        ),
+        Comparison(
+            "64-bit (EleNum=30, LMUL=8) vs Rawat vector extensions",
+            paper_factor=5.3,
+            measured_factor=m64_l8.throughput_e3
+            / RAWAT_VECTOR_EXTENSIONS.throughput_e3,
+        ),
+    ]
+    return comparisons
+
+
+def render_report(comparisons: List[Comparison]) -> str:
+    """Human-readable paper-vs-measured factor table."""
+    header = (
+        f"{'Comparison':58s} {'paper':>8s} {'measured':>9s} {'err':>6s}"
+    )
+    lines = ["Section 4.2 headline factors", "=" * len(header), header,
+             "-" * len(header)]
+    for c in comparisons:
+        lines.append(
+            f"{c.description[:58]:58s} {c.paper_factor:8.2f} "
+            f"{c.measured_factor:9.2f} {100 * c.relative_error:5.1f}%"
+        )
+    return "\n".join(lines)

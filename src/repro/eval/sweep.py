@@ -1,0 +1,124 @@
+"""Design-space sweep: throughput/area across the whole configuration grid.
+
+The paper evaluates three EleNum points per architecture; this sweep fills
+in the rest of the design space (every EleNum that holds an integral
+number of states, both ELENs, both LMULs, plus the future-work fused
+variant) and derives the throughput-per-slice efficiency frontier — the
+data one would plot as a Pareto figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..arch.area import slices
+from ..arch.config import ArchConfig
+from ..arch.metrics import throughput_e3
+from ..keccak.permutation import keccak_f1600
+from ..programs import keccak64_fused
+from ..programs.runner import run_keccak_program
+from .measure import VerificationError, _random_states, measure_config
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One design point of the sweep."""
+
+    label: str
+    elen: int
+    lmul: int
+    elenum: int
+    num_states: int
+    cycles_per_round: float
+    permutation_cycles: int
+    throughput_e3: float
+    area_slices: float
+    fused: bool = False
+
+    @property
+    def throughput_per_kslice(self) -> float:
+        """Efficiency: throughput x10^3 per 1000 slices."""
+        return 1000.0 * self.throughput_e3 / self.area_slices
+
+
+def _measure_fused(elenum: int, num_states: int) -> SweepPoint:
+    program = keccak64_fused.build(elenum)
+    states = _random_states(num_states)
+    result = run_keccak_program(program, states)
+    if result.states != [keccak_f1600(s) for s in states]:
+        raise VerificationError("fused program does not match the reference")
+    state_word = "state" if num_states == 1 else "states"
+    return SweepPoint(
+        label=f"64-bit fused (EleNum={elenum}, {num_states} {state_word})",
+        elen=64,
+        lmul=8,
+        elenum=elenum,
+        num_states=num_states,
+        cycles_per_round=result.cycles_per_round,
+        permutation_cycles=result.permutation_cycles,
+        throughput_e3=throughput_e3(result.permutation_cycles, num_states),
+        area_slices=slices(64, elenum),
+        fused=True,
+    )
+
+
+def sweep_design_space(elenums: Optional[List[int]] = None,
+                       include_fused: bool = True) -> List[SweepPoint]:
+    """Measure every configuration on the grid; returns all sweep points.
+
+    ``elenums`` defaults to every multiple of 5 from 5 to 30 (each holding
+    an integral number of Keccak states, fully occupied).
+    """
+    elenums = elenums or [5, 10, 15, 20, 25, 30]
+    points: List[SweepPoint] = []
+    for elenum in elenums:
+        num_states = elenum // 5
+        for elen, lmul in ((64, 1), (64, 8), (32, 8)):
+            config = ArchConfig(elen, elenum, lmul, num_states)
+            m = measure_config(config)
+            points.append(SweepPoint(
+                label=config.label,
+                elen=elen,
+                lmul=lmul,
+                elenum=elenum,
+                num_states=num_states,
+                cycles_per_round=m.cycles_per_round,
+                permutation_cycles=m.permutation_cycles,
+                throughput_e3=m.throughput_e3,
+                area_slices=m.area_slices,
+            ))
+        if include_fused:
+            points.append(_measure_fused(elenum, num_states))
+    return points
+
+
+def pareto_frontier(points: List[SweepPoint]) -> List[SweepPoint]:
+    """Points not dominated in (throughput up, area down)."""
+    frontier = []
+    for p in points:
+        dominated = any(
+            q.throughput_e3 >= p.throughput_e3
+            and q.area_slices <= p.area_slices
+            and (q.throughput_e3 > p.throughput_e3
+                 or q.area_slices < p.area_slices)
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: p.area_slices)
+
+
+def render_sweep(points: List[SweepPoint]) -> str:
+    """Human-readable sweep table, sorted by throughput."""
+    header = (f"{'Configuration':48s} {'cyc/rnd':>8s} {'tput e3':>9s} "
+              f"{'slices':>8s} {'tput/kslice':>12s}")
+    lines = ["Design-space sweep", "=" * len(header), header,
+             "-" * len(header)]
+    for p in sorted(points, key=lambda p: p.throughput_e3):
+        lines.append(
+            f"{p.label[:48]:48s} {p.cycles_per_round:8.0f} "
+            f"{p.throughput_e3:9.2f} {p.area_slices:8.0f} "
+            f"{p.throughput_per_kslice:12.2f}"
+        )
+    return "\n".join(lines)

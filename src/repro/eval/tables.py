@@ -1,0 +1,124 @@
+"""Regeneration of the paper's result tables (Tables 7 and 8).
+
+Each table interleaves three kinds of rows: literature rows (published
+numbers the paper compares against), *paper* rows (what the paper reports
+for its own configurations) and *measured* rows (what our simulator
+reproduces for the same configurations), so paper-vs-measured is visible
+line by line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.config import TABLE7_CONFIGS, TABLE8_CONFIGS, ArchConfig
+from ..related.models import TABLE7_RELATED, TABLE8_RELATED
+from .measure import measure_config, measure_scalar_baseline
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One line of a result table."""
+
+    implementation: str
+    source: str  # "literature" | "paper" | "measured"
+    cycles_per_round: Optional[float] = None
+    cycles_per_byte: Optional[float] = None
+    throughput_e3: Optional[float] = None
+    area_slices: Optional[float] = None
+
+
+#: The paper's own Table 7 rows: label -> (c/round, c/byte, tput_e3, slices).
+PAPER_TABLE7: Dict[str, Tuple[float, float, float, int]] = {
+    "64-bit with LMUL=1 (EleNum=5, 1 state)": (103, 12.8, 624.02, 7323),
+    "64-bit with LMUL=1 (EleNum=15, 3 states)": (103, 12.8, 1872.07, 24789),
+    "64-bit with LMUL=1 (EleNum=30, 6 states)": (103, 12.8, 3744.15, 48180),
+    "64-bit with LMUL=8 (EleNum=5, 1 state)": (75, 9.5, 845.67, 7323),
+    "64-bit with LMUL=8 (EleNum=15, 3 states)": (75, 9.5, 2537.00, 24789),
+    "64-bit with LMUL=8 (EleNum=30, 6 states)": (75, 9.5, 5073.00, 48180),
+}
+
+#: The paper's own Table 8 rows.
+PAPER_TABLE8: Dict[str, Tuple[float, float, float, int]] = {
+    "32-bit with LMUL=8 (EleNum=5, 1 state)": (147, 18.1, 441.98, 6359),
+    "32-bit with LMUL=8 (EleNum=15, 3 states)": (147, 18.1, 1325.97, 23408),
+    "32-bit with LMUL=8 (EleNum=30, 6 states)": (147, 18.1, 2651.93, 48036),
+}
+
+
+def _literature_rows(designs) -> List[TableRow]:
+    return [
+        TableRow(
+            implementation=f"{d.name} [{d.citation}]",
+            source="literature",
+            cycles_per_round=d.cycles_per_round,
+            cycles_per_byte=d.cycles_per_byte,
+            throughput_e3=d.throughput_e3,
+            area_slices=d.area_slices,
+        )
+        for d in designs
+    ]
+
+
+def _config_rows(config: ArchConfig,
+                 paper: Dict[str, Tuple[float, float, float, int]]
+                 ) -> List[TableRow]:
+    rows: List[TableRow] = []
+    paper_values = paper.get(config.label)
+    if paper_values is not None:
+        c_round, c_byte, tput, area = paper_values
+        rows.append(TableRow(config.label, "paper", c_round, c_byte,
+                             tput, area))
+    m = measure_config(config)
+    rows.append(TableRow(config.label, "measured", m.cycles_per_round,
+                         m.cycles_per_byte, m.throughput_e3, m.area_slices))
+    return rows
+
+
+def generate_table7() -> List[TableRow]:
+    """Rows of Table 7: 64-bit architectures vs the 64-bit reference."""
+    rows = _literature_rows(TABLE7_RELATED)
+    for config in TABLE7_CONFIGS:
+        rows.extend(_config_rows(config, PAPER_TABLE7))
+    return rows
+
+
+def generate_table8() -> List[TableRow]:
+    """Rows of Table 8: 32-bit architectures vs five 32-bit references."""
+    rows = _literature_rows(TABLE8_RELATED)
+    baseline = measure_scalar_baseline()
+    rows.append(TableRow(baseline.label, "measured",
+                         baseline.cycles_per_round,
+                         baseline.cycles_per_byte,
+                         baseline.throughput_e3,
+                         baseline.area_slices))
+    for config in TABLE8_CONFIGS:
+        rows.extend(_config_rows(config, PAPER_TABLE8))
+    return rows
+
+
+def render_table(rows: List[TableRow], title: str) -> str:
+    """Format rows the way the paper's tables print them."""
+
+    def fmt(value: Optional[float], decimals: int = 1) -> str:
+        if value is None:
+            return "-"
+        if float(value).is_integer() and decimals <= 1:
+            return f"{value:.0f}"
+        return f"{value:.{decimals}f}"
+
+    header = (
+        f"{'Implementation':52s} {'src':9s} {'cyc/rnd':>8s} "
+        f"{'cyc/byte':>9s} {'tput e3':>10s} {'slices':>8s}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.implementation[:52]:52s} {row.source:9s} "
+            f"{fmt(row.cycles_per_round):>8s} "
+            f"{fmt(row.cycles_per_byte):>9s} "
+            f"{fmt(row.throughput_e3, 2):>10s} "
+            f"{fmt(row.area_slices, 0):>8s}"
+        )
+    return "\n".join(lines)

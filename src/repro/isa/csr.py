@@ -1,0 +1,80 @@
+"""Control and status registers: Zicsr instructions and CSR addresses.
+
+The vector unit exposes its configuration through the standard RVV CSRs
+(``vl``, ``vtype``, ``vlenb``), and the scalar core exposes the Zicntr
+performance counters (``cycle``, ``instret``) so programs can self-measure
+— which the evaluation uses to cross-check the harness's external cycle
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .spec import InstructionSpec
+
+_SYSTEM = 0x73
+_MASK_I = 0x0000707F
+
+#: CSR addresses (RISC-V privileged spec + RVV).
+CSR_ADDRESSES: Dict[str, int] = {
+    "vstart": 0x008,
+    "vl": 0xC20,
+    "vtype": 0xC21,
+    "vlenb": 0xC22,
+    "cycle": 0xC00,
+    "time": 0xC01,
+    "instret": 0xC02,
+    "cycleh": 0xC80,
+    "instreth": 0xC82,
+}
+
+_CSR_NAMES = {address: name for name, address in CSR_ADDRESSES.items()}
+
+#: CSRs that reject writes (read-only per the spec).
+READ_ONLY_CSRS = frozenset(
+    CSR_ADDRESSES[name]
+    for name in ("vl", "vtype", "vlenb", "cycle", "time", "instret",
+                 "cycleh", "instreth")
+)
+
+
+def csr_name(address: int) -> str:
+    """Symbolic name of a CSR address (hex string if unknown)."""
+    return _CSR_NAMES.get(address, f"{address:#x}")
+
+
+def parse_csr(token: str) -> int:
+    """Resolve a CSR operand: symbolic name or numeric address."""
+    key = token.strip().lower()
+    if key in CSR_ADDRESSES:
+        return CSR_ADDRESSES[key]
+    try:
+        address = int(key, 0)
+    except ValueError:
+        raise ValueError(f"unknown CSR: {token!r}") from None
+    if not 0 <= address < 4096:
+        raise ValueError(f"CSR address out of range: {token!r}")
+    return address
+
+
+def _csr(mnemonic: str, funct3: int, operands, description) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="csr",
+        match=(funct3 << 12) | _SYSTEM,
+        mask=_MASK_I,
+        operands=tuple(operands),
+        extension="zicsr",
+        description=description,
+    )
+
+
+ZICSR_SPECS: List[InstructionSpec] = [
+    _csr("csrrw", 0b001, ("rd", "csr", "rs1"),
+         "atomic CSR read/write"),
+    _csr("csrrs", 0b010, ("rd", "csr", "rs1"),
+         "atomic CSR read and set bits"),
+    _csr("csrrc", 0b011, ("rd", "csr", "rs1"),
+         "atomic CSR read and clear bits"),
+]

@@ -1,0 +1,150 @@
+"""The paper's ten custom vector extensions (Section 3.3, Tables 1/3/4/5).
+
+All ten live in the *custom-1* major opcode (0b0101011) so they cannot
+collide with standard RVV encodings, and reuse the RVV vector-arithmetic
+field layout (funct6 | vm | vs2 | vs1/imm5/rs1 | funct3 | vd | opcode).
+
+Semantics summary (SN = number of Keccak states = VL / 5; all instructions
+only touch elements with index < 5*SN, elements beyond are unchanged):
+
+===============  =====  ======================================================
+Instruction      Archs  Semantics
+===============  =====  ======================================================
+vslidedownm.vi   64/32  vd[5i+j] = vs2[5i + (j+uimm) mod 5]  (Table 1)
+vslideupm.vi     64/32  vd[5i+j] = vs2[5i + (j-uimm) mod 5]  (Table 1)
+vrotup.vi        64     vd = rotl64(vs2, uimm)               (Table 3)
+v32lrotup.vv     32     vd = rotl64(vs2||vs1, 1)[31:0]       (Table 3)
+v32hrotup.vv     32     vd = rotl64(vs2||vs1, 1)[63:32]      (Table 3)
+v64rho.vi        64     per-lane rho rotation; simm selects the row of the
+                        lookup table, simm = -1 iterates rows via lmul_cnt
+v32lrho.vv       32     rho rotation of vs2||vs1, low half; row via lmul_cnt
+v32hrho.vv       32     rho rotation of vs2||vs1, high half; row via lmul_cnt
+vpi.vi           64/32  pi lane scramble with column-mode writes (Table 4);
+                        simm selects the source row, -1 iterates all rows
+viota.vx         64/32  lane (x=0) of each state ^= RC[rs1]  (Table 5)
+===============  =====  ======================================================
+
+Note on mnemonics: the paper's Table 3 prints ``v32lrotup.vi vd, vs2, vs1``
+(and similar) with two *vector* source operands; since the operands are
+vector-vector we encode them as ``.vv`` and the assembler accepts the
+paper's ``.vi`` spelling as an alias.  ``viota.vx`` here is the paper's
+iota-step instruction, unrelated to the standard RVV mask instruction
+``viota.m`` (which the vector unit does not implement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .spec import InstructionSpec
+from .vector import OPIVI, OPIVV, OPIVX
+
+#: The custom-1 major opcode used for all ten extensions.
+CUSTOM_OPCODE = 0b0101011
+
+_MASK = 0xFC00707F
+
+
+def _custom(mnemonic: str, funct6: int, funct3: int, operands, description,
+            signed_imm: bool = False, archs=("rv64", "rv32")) -> InstructionSpec:
+    fmt = {OPIVV: "v_vv", OPIVX: "v_vx", OPIVI: "v_vi"}[funct3]
+    extra: Dict[str, object] = {"archs": tuple(archs)}
+    if signed_imm:
+        extra["signed_imm"] = True
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt=fmt,
+        match=(funct6 << 26) | (funct3 << 12) | CUSTOM_OPCODE,
+        mask=_MASK,
+        operands=tuple(operands),
+        extension="custom",
+        description=description,
+        extra=extra,
+    )
+
+
+CUSTOM_SPECS: List[InstructionSpec] = [
+    _custom(
+        "vslidedownm.vi", 0b000001, OPIVI, ("vd", "vs2", "imm"),
+        "slide elements down by uimm, modulo 5 within each Keccak state",
+    ),
+    _custom(
+        "vslideupm.vi", 0b000010, OPIVI, ("vd", "vs2", "imm"),
+        "slide elements up by uimm, modulo 5 within each Keccak state",
+    ),
+    _custom(
+        "vrotup.vi", 0b000011, OPIVI, ("vd", "vs2", "imm"),
+        "rotate each 64-bit element left by uimm (theta parity rotation)",
+        archs=("rv64",),
+    ),
+    _custom(
+        "v32lrotup.vv", 0b000100, OPIVV, ("vd", "vs2", "vs1"),
+        "rotate the 64-bit pair vs2||vs1 left by 1, keep the low 32 bits",
+        archs=("rv32",),
+    ),
+    _custom(
+        "v32hrotup.vv", 0b000101, OPIVV, ("vd", "vs2", "vs1"),
+        "rotate the 64-bit pair vs2||vs1 left by 1, keep the high 32 bits",
+        archs=("rv32",),
+    ),
+    _custom(
+        "v64rho.vi", 0b000110, OPIVI, ("vd", "vs2", "imm"),
+        "rho rotation per lane; simm = row index, -1 iterates via lmul_cnt",
+        signed_imm=True, archs=("rv64",),
+    ),
+    _custom(
+        "v32lrho.vv", 0b000111, OPIVV, ("vd", "vs2", "vs1"),
+        "rho rotation of vs2||vs1 per lane, low half; row via lmul_cnt",
+        archs=("rv32",),
+    ),
+    _custom(
+        "v32hrho.vv", 0b001000, OPIVV, ("vd", "vs2", "vs1"),
+        "rho rotation of vs2||vs1 per lane, high half; row via lmul_cnt",
+        archs=("rv32",),
+    ),
+    _custom(
+        "vpi.vi", 0b001001, OPIVI, ("vd", "vs2", "imm"),
+        "pi lane scramble with column-mode register-file writes; "
+        "simm = source row, -1 iterates via lmul_cnt",
+        signed_imm=True,
+    ),
+    _custom(
+        "viota.vx", 0b001010, OPIVX, ("vd", "vs2", "rs1"),
+        "XOR round constant RC[rs1] into lane (0, y) of each Keccak state",
+    ),
+]
+
+#: Fused-operation extensions (the paper's future work, Section 5: the
+#: performance "will improve more if we increase the granularity or
+#: combine some adjacent operations").  Not part of the paper's ten
+#: instructions; kept in a separate list so the baseline ISA stays faithful.
+FUSED_SPECS: List[InstructionSpec] = [
+    _custom(
+        "vrhopi.vi", 0b001011, OPIVI, ("vd", "vs2", "imm"),
+        "fused rho+pi: rotate each lane by its rho offset and scramble it "
+        "into the pi destination column in one pass; simm = source row, "
+        "-1 iterates via lmul_cnt",
+        signed_imm=True, archs=("rv64",),
+    ),
+    _custom(
+        "vchi.vi", 0b001100, OPIVI, ("vd", "vs2", "imm"),
+        "fused chi: vd[5i+j] = vs2[5i+j] ^ (~vs2[5i+(j+1)%5] & "
+        "vs2[5i+(j+2)%5]) in one pass; simm must be 0 (reserved)",
+        signed_imm=True,
+    ),
+]
+
+#: Mnemonics of the fused extensions.
+FUSED_MNEMONICS = tuple(spec.mnemonic for spec in FUSED_SPECS)
+
+#: Mnemonic aliases: the paper's Table 3 spells the two-vector-operand
+#: custom instructions with a ``.vi`` suffix; accept both spellings.
+CUSTOM_ALIASES: Dict[str, str] = {
+    "v32lrotup.vi": "v32lrotup.vv",
+    "v32hrotup.vi": "v32hrotup.vv",
+    "v32lrho.vi": "v32lrho.vv",
+    "v32hrho.vi": "v32hrho.vv",
+}
+
+#: The ten custom mnemonics in paper order (for docs and tests).
+CUSTOM_MNEMONICS = tuple(spec.mnemonic for spec in CUSTOM_SPECS)

@@ -1,0 +1,84 @@
+"""ISA reference generator: render the instruction set as Markdown.
+
+Because the assembler, decoder and simulator are all driven by the same
+spec table, this generated document is guaranteed to describe exactly what
+the tools implement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .spec import InstructionSet, InstructionSpec
+
+_EXTENSION_TITLES = {
+    "rv32i": "RV32I base integer instructions (scalar Ibex core)",
+    "rv32m": "RV32M multiply/divide extension",
+    "zicsr": "Zicsr control-and-status-register instructions",
+    "rvv": "RVV 1.0 subset (vector processing unit)",
+    "custom": "Custom vector extensions for Keccak (paper Section 3.3)",
+}
+
+_FORMAT_SYNTAX = {
+    "r": "{m} rd, rs1, rs2",
+    "i": "{m} rd, rs1, imm12",
+    "i_shift": "{m} rd, rs1, shamt",
+    "load": "{m} rd, imm(rs1)",
+    "store": "{m} rs2, imm(rs1)",
+    "branch": "{m} rs1, rs2, label",
+    "u": "{m} rd, imm20",
+    "jal": "{m} rd, label",
+    "jalr": "{m} rd, imm(rs1)",
+    "system": "{m}",
+    "csr": "{m} rd, csr, rs1",
+    "vsetvli": "{m} rd, rs1, eSEW, mLMUL, tu|ta, mu|ma",
+    "vls_unit": "{m} vd, (rs1)[, v0.t]",
+    "vls_strided": "{m} vd, (rs1), rs2[, v0.t]",
+    "vls_indexed": "{m} vd, (rs1), vs2[, v0.t]",
+    "v_vv": "{m} vd, vs2, vs1[, v0.t]",
+    "v_vx": "{m} vd, vs2, rs1[, v0.t]",
+    "v_vi": "{m} vd, vs2, imm5[, v0.t]",
+}
+
+
+def syntax_of(spec: InstructionSpec) -> str:
+    """Canonical assembly syntax of one instruction."""
+    return _FORMAT_SYNTAX[spec.fmt].format(m=spec.mnemonic)
+
+
+def _spec_row(spec: InstructionSpec) -> str:
+    archs = spec.extra.get("archs")
+    arch_note = f" *(archs: {', '.join(archs)})*" if archs else ""
+    return (
+        f"| `{spec.mnemonic}` | `{syntax_of(spec)}` | "
+        f"`{spec.match:#010x}` / `{spec.mask:#010x}` | "
+        f"{spec.description}{arch_note} |"
+    )
+
+
+def render_isa_reference(isa: InstructionSet,
+                         extensions: Optional[List[str]] = None) -> str:
+    """Render the full ISA reference as Markdown."""
+    extensions = extensions or ["rv32i", "rv32m", "zicsr", "rvv", "custom"]
+    lines = [
+        "# Instruction set reference",
+        "",
+        "Generated from the spec table that drives the assembler, the",
+        "disassembler and the simulator decoder (single source of truth).",
+        "",
+    ]
+    for extension in extensions:
+        specs = sorted(isa.by_extension(extension),
+                       key=lambda s: (s.match & 0x7F, s.match))
+        if not specs:
+            continue
+        lines.append(f"## {_EXTENSION_TITLES.get(extension, extension)}")
+        lines.append("")
+        lines.append(f"{len(specs)} instructions.")
+        lines.append("")
+        lines.append("| Mnemonic | Syntax | match / mask | Description |")
+        lines.append("|---|---|---|---|")
+        for spec in specs:
+            lines.append(_spec_row(spec))
+        lines.append("")
+    return "\n".join(lines)

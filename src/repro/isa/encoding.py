@@ -1,0 +1,173 @@
+"""Bit-level helpers for encoding and decoding 32-bit RISC-V instructions."""
+
+from __future__ import annotations
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class EncodingError(ValueError):
+    """Raised when a value does not fit its instruction field."""
+
+
+def get_bits(word: int, hi: int, lo: int) -> int:
+    """Extract bits ``hi:lo`` (inclusive) of ``word``."""
+    if hi < lo:
+        raise ValueError(f"invalid bit range {hi}:{lo}")
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def set_bits(word: int, hi: int, lo: int, value: int) -> int:
+    """Return ``word`` with bits ``hi:lo`` replaced by ``value``."""
+    if hi < lo:
+        raise ValueError(f"invalid bit range {hi}:{lo}")
+    width = hi - lo + 1
+    if not 0 <= value < (1 << width):
+        raise EncodingError(
+            f"value {value:#x} does not fit in {width} bits ({hi}:{lo})"
+        )
+    mask = ((1 << width) - 1) << lo
+    return (word & ~mask & WORD_MASK) | (value << lo)
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` of ``value`` to a Python int."""
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def to_unsigned(value: int, bits: int) -> int:
+    """Represent a (possibly negative) value in ``bits`` two's complement."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"value {value} does not fit in {bits} bits")
+    return value & ((1 << bits) - 1)
+
+
+def check_signed_range(value: int, bits: int, what: str) -> None:
+    """Validate a signed immediate range, with a helpful message."""
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(
+            f"{what} {value} out of signed {bits}-bit range [{lo}, {hi}]"
+        )
+
+
+def check_unsigned_range(value: int, bits: int, what: str) -> None:
+    """Validate an unsigned immediate range, with a helpful message."""
+    hi = (1 << bits) - 1
+    if not 0 <= value <= hi:
+        raise EncodingError(
+            f"{what} {value} out of unsigned {bits}-bit range [0, {hi}]"
+        )
+
+
+# -- base instruction formats (RISC-V spec chapter 2) --------------------------
+
+
+def encode_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int,
+             funct7: int) -> int:
+    """R-type: funct7 | rs2 | rs1 | funct3 | rd | opcode."""
+    word = 0
+    word = set_bits(word, 6, 0, opcode)
+    word = set_bits(word, 11, 7, rd)
+    word = set_bits(word, 14, 12, funct3)
+    word = set_bits(word, 19, 15, rs1)
+    word = set_bits(word, 24, 20, rs2)
+    word = set_bits(word, 31, 25, funct7)
+    return word
+
+
+def encode_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    """I-type: imm[11:0] | rs1 | funct3 | rd | opcode."""
+    check_signed_range(imm, 12, "I-type immediate")
+    word = 0
+    word = set_bits(word, 6, 0, opcode)
+    word = set_bits(word, 11, 7, rd)
+    word = set_bits(word, 14, 12, funct3)
+    word = set_bits(word, 19, 15, rs1)
+    word = set_bits(word, 31, 20, imm & 0xFFF)
+    return word
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    """S-type: imm[11:5] | rs2 | rs1 | funct3 | imm[4:0] | opcode."""
+    check_signed_range(imm, 12, "S-type immediate")
+    uimm = imm & 0xFFF
+    word = 0
+    word = set_bits(word, 6, 0, opcode)
+    word = set_bits(word, 11, 7, uimm & 0x1F)
+    word = set_bits(word, 14, 12, funct3)
+    word = set_bits(word, 19, 15, rs1)
+    word = set_bits(word, 24, 20, rs2)
+    word = set_bits(word, 31, 25, uimm >> 5)
+    return word
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    """B-type: byte offset, must be even, range +-4 KiB."""
+    if imm % 2:
+        raise EncodingError(f"branch offset must be even, got {imm}")
+    check_signed_range(imm, 13, "B-type immediate")
+    uimm = imm & 0x1FFF
+    word = 0
+    word = set_bits(word, 6, 0, opcode)
+    word = set_bits(word, 7, 7, (uimm >> 11) & 1)
+    word = set_bits(word, 11, 8, (uimm >> 1) & 0xF)
+    word = set_bits(word, 14, 12, funct3)
+    word = set_bits(word, 19, 15, rs1)
+    word = set_bits(word, 24, 20, rs2)
+    word = set_bits(word, 30, 25, (uimm >> 5) & 0x3F)
+    word = set_bits(word, 31, 31, (uimm >> 12) & 1)
+    return word
+
+
+def decode_b_imm(word: int) -> int:
+    """Recover the signed branch offset of a B-type instruction."""
+    imm = (
+        (get_bits(word, 31, 31) << 12)
+        | (get_bits(word, 7, 7) << 11)
+        | (get_bits(word, 30, 25) << 5)
+        | (get_bits(word, 11, 8) << 1)
+    )
+    return sign_extend(imm, 13)
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    """U-type: imm[31:12] | rd | opcode.  ``imm`` is the raw 20-bit field."""
+    check_unsigned_range(imm, 20, "U-type immediate")
+    word = 0
+    word = set_bits(word, 6, 0, opcode)
+    word = set_bits(word, 11, 7, rd)
+    word = set_bits(word, 31, 12, imm)
+    return word
+
+
+def encode_j(opcode: int, rd: int, imm: int) -> int:
+    """J-type: byte offset, must be even, range +-1 MiB."""
+    if imm % 2:
+        raise EncodingError(f"jump offset must be even, got {imm}")
+    check_signed_range(imm, 21, "J-type immediate")
+    uimm = imm & 0x1FFFFF
+    word = 0
+    word = set_bits(word, 6, 0, opcode)
+    word = set_bits(word, 11, 7, rd)
+    word = set_bits(word, 19, 12, (uimm >> 12) & 0xFF)
+    word = set_bits(word, 20, 20, (uimm >> 11) & 1)
+    word = set_bits(word, 30, 21, (uimm >> 1) & 0x3FF)
+    word = set_bits(word, 31, 31, (uimm >> 20) & 1)
+    return word
+
+
+def decode_j_imm(word: int) -> int:
+    """Recover the signed jump offset of a J-type instruction."""
+    imm = (
+        (get_bits(word, 31, 31) << 20)
+        | (get_bits(word, 19, 12) << 12)
+        | (get_bits(word, 20, 20) << 11)
+        | (get_bits(word, 30, 21) << 1)
+    )
+    return sign_extend(imm, 21)

@@ -1,0 +1,375 @@
+"""Instruction formats: the operand <-> bit-field mapping for each layout.
+
+A format knows how to *encode* an operand dictionary into a 32-bit word on
+top of a spec's fixed ``match`` bits, and how to *decode* the operand fields
+back out of a word.  Register operands are plain integers (already resolved
+from names); immediates are Python ints; the ``vm`` operand follows the RVV
+convention (1 = unmasked, 0 = masked by v0.t).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping
+
+from .encoding import (
+    EncodingError,
+    check_signed_range,
+    check_unsigned_range,
+    decode_b_imm,
+    decode_j_imm,
+    encode_b,
+    encode_j,
+    get_bits,
+    set_bits,
+    sign_extend,
+)
+from .spec import InstructionSpec
+
+Operands = Dict[str, int]
+
+
+class Format:
+    """One instruction layout: paired encode/decode functions."""
+
+    def __init__(
+        self,
+        name: str,
+        encode: Callable[[InstructionSpec, Mapping[str, int]], int],
+        decode: Callable[[int, InstructionSpec], Operands],
+    ) -> None:
+        self.name = name
+        self._encode = encode
+        self._decode = decode
+
+    def encode(self, spec: InstructionSpec, ops: Mapping[str, int]) -> int:
+        """Encode ``ops`` into a word for ``spec``."""
+        missing = [o for o in spec.operands if o not in ops]
+        if missing:
+            raise EncodingError(
+                f"{spec.mnemonic}: missing operands {missing}"
+            )
+        return self._encode(spec, ops)
+
+    def decode(self, word: int, spec: InstructionSpec) -> Operands:
+        """Extract operand values from ``word``."""
+        return self._decode(word, spec)
+
+
+def _reg(ops: Mapping[str, int], name: str) -> int:
+    value = ops[name]
+    if not 0 <= value < 32:
+        raise EncodingError(f"register operand {name}={value} out of range")
+    return value
+
+
+# -- scalar formats ------------------------------------------------------------
+
+
+def _enc_r(spec, ops):
+    word = spec.match
+    word = set_bits(word, 11, 7, _reg(ops, "rd"))
+    word = set_bits(word, 19, 15, _reg(ops, "rs1"))
+    word = set_bits(word, 24, 20, _reg(ops, "rs2"))
+    return word
+
+
+def _dec_r(word, spec):
+    return {
+        "rd": get_bits(word, 11, 7),
+        "rs1": get_bits(word, 19, 15),
+        "rs2": get_bits(word, 24, 20),
+    }
+
+
+def _enc_i(spec, ops):
+    check_signed_range(ops["imm"], 12, f"{spec.mnemonic} immediate")
+    word = spec.match
+    word = set_bits(word, 11, 7, _reg(ops, "rd"))
+    word = set_bits(word, 19, 15, _reg(ops, "rs1"))
+    word = set_bits(word, 31, 20, ops["imm"] & 0xFFF)
+    return word
+
+
+def _dec_i(word, spec):
+    return {
+        "rd": get_bits(word, 11, 7),
+        "rs1": get_bits(word, 19, 15),
+        "imm": sign_extend(get_bits(word, 31, 20), 12),
+    }
+
+
+def _enc_i_shift(spec, ops):
+    check_unsigned_range(ops["shamt"], 5, f"{spec.mnemonic} shift amount")
+    word = spec.match
+    word = set_bits(word, 11, 7, _reg(ops, "rd"))
+    word = set_bits(word, 19, 15, _reg(ops, "rs1"))
+    word = set_bits(word, 24, 20, ops["shamt"])
+    return word
+
+
+def _dec_i_shift(word, spec):
+    return {
+        "rd": get_bits(word, 11, 7),
+        "rs1": get_bits(word, 19, 15),
+        "shamt": get_bits(word, 24, 20),
+    }
+
+
+def _enc_load(spec, ops):
+    check_signed_range(ops["imm"], 12, f"{spec.mnemonic} offset")
+    word = spec.match
+    word = set_bits(word, 11, 7, _reg(ops, "rd"))
+    word = set_bits(word, 19, 15, _reg(ops, "rs1"))
+    word = set_bits(word, 31, 20, ops["imm"] & 0xFFF)
+    return word
+
+
+def _enc_store(spec, ops):
+    check_signed_range(ops["imm"], 12, f"{spec.mnemonic} offset")
+    uimm = ops["imm"] & 0xFFF
+    word = spec.match
+    word = set_bits(word, 11, 7, uimm & 0x1F)
+    word = set_bits(word, 19, 15, _reg(ops, "rs1"))
+    word = set_bits(word, 24, 20, _reg(ops, "rs2"))
+    word = set_bits(word, 31, 25, uimm >> 5)
+    return word
+
+
+def _dec_store(word, spec):
+    imm = (get_bits(word, 31, 25) << 5) | get_bits(word, 11, 7)
+    return {
+        "rs2": get_bits(word, 24, 20),
+        "rs1": get_bits(word, 19, 15),
+        "imm": sign_extend(imm, 12),
+    }
+
+
+def _enc_branch(spec, ops):
+    word = encode_b(
+        spec.match & 0x7F,
+        (spec.match >> 12) & 0x7,
+        _reg(ops, "rs1"),
+        _reg(ops, "rs2"),
+        ops["offset"],
+    )
+    return word
+
+
+def _dec_branch(word, spec):
+    return {
+        "rs1": get_bits(word, 19, 15),
+        "rs2": get_bits(word, 24, 20),
+        "offset": decode_b_imm(word),
+    }
+
+
+def _enc_u(spec, ops):
+    imm = ops["imm"]
+    if not -(1 << 19) <= imm < (1 << 20):
+        raise EncodingError(
+            f"{spec.mnemonic} immediate {imm} out of 20-bit range"
+        )
+    word = spec.match
+    word = set_bits(word, 11, 7, _reg(ops, "rd"))
+    word = set_bits(word, 31, 12, imm & 0xFFFFF)
+    return word
+
+
+def _dec_u(word, spec):
+    return {"rd": get_bits(word, 11, 7), "imm": get_bits(word, 31, 12)}
+
+
+def _enc_jal(spec, ops):
+    return encode_j(spec.match & 0x7F, _reg(ops, "rd"), ops["offset"])
+
+
+def _dec_jal(word, spec):
+    return {"rd": get_bits(word, 11, 7), "offset": decode_j_imm(word)}
+
+
+def _enc_system(spec, ops):
+    return spec.match
+
+
+def _dec_system(word, spec):
+    return {}
+
+
+def _enc_csr(spec, ops):
+    check_unsigned_range(ops["csr"], 12, "CSR address")
+    word = spec.match
+    word = set_bits(word, 11, 7, _reg(ops, "rd"))
+    word = set_bits(word, 19, 15, _reg(ops, "rs1"))
+    word = set_bits(word, 31, 20, ops["csr"])
+    return word
+
+
+def _dec_csr(word, spec):
+    return {
+        "rd": get_bits(word, 11, 7),
+        "rs1": get_bits(word, 19, 15),
+        "csr": get_bits(word, 31, 20),
+    }
+
+
+# -- vector formats -----------------------------------------------------------
+
+
+def _vm_bit(ops: Mapping[str, int]) -> int:
+    vm = ops.get("vm", 1)
+    if vm not in (0, 1):
+        raise EncodingError(f"vm must be 0 or 1, got {vm}")
+    return vm
+
+
+def _enc_vsetvli(spec, ops):
+    check_unsigned_range(ops["vtype"], 11, "vtype immediate")
+    word = spec.match
+    word = set_bits(word, 11, 7, _reg(ops, "rd"))
+    word = set_bits(word, 19, 15, _reg(ops, "rs1"))
+    word = set_bits(word, 30, 20, ops["vtype"])
+    return word
+
+
+def _dec_vsetvli(word, spec):
+    return {
+        "rd": get_bits(word, 11, 7),
+        "rs1": get_bits(word, 19, 15),
+        "vtype": get_bits(word, 30, 20),
+    }
+
+
+def _enc_vls_unit(spec, ops):
+    word = spec.match
+    word = set_bits(word, 11, 7, _reg(ops, "vd"))
+    word = set_bits(word, 19, 15, _reg(ops, "rs1"))
+    word = set_bits(word, 25, 25, _vm_bit(ops))
+    return word
+
+
+def _dec_vls_unit(word, spec):
+    return {
+        "vd": get_bits(word, 11, 7),
+        "rs1": get_bits(word, 19, 15),
+        "vm": get_bits(word, 25, 25),
+    }
+
+
+def _enc_vls_strided(spec, ops):
+    word = _enc_vls_unit(spec, ops)
+    word = set_bits(word, 24, 20, _reg(ops, "rs2"))
+    return word
+
+
+def _dec_vls_strided(word, spec):
+    ops = _dec_vls_unit(word, spec)
+    ops["rs2"] = get_bits(word, 24, 20)
+    return ops
+
+
+def _enc_vls_indexed(spec, ops):
+    word = _enc_vls_unit(spec, ops)
+    word = set_bits(word, 24, 20, _reg(ops, "vs2"))
+    return word
+
+
+def _dec_vls_indexed(word, spec):
+    ops = _dec_vls_unit(word, spec)
+    ops["vs2"] = get_bits(word, 24, 20)
+    return ops
+
+
+def _enc_v_vv(spec, ops):
+    word = spec.match
+    word = set_bits(word, 11, 7, _reg(ops, "vd"))
+    word = set_bits(word, 19, 15, _reg(ops, "vs1"))
+    word = set_bits(word, 24, 20, _reg(ops, "vs2"))
+    word = set_bits(word, 25, 25, _vm_bit(ops))
+    return word
+
+
+def _dec_v_vv(word, spec):
+    return {
+        "vd": get_bits(word, 11, 7),
+        "vs1": get_bits(word, 19, 15),
+        "vs2": get_bits(word, 24, 20),
+        "vm": get_bits(word, 25, 25),
+    }
+
+
+def _enc_v_vx(spec, ops):
+    word = spec.match
+    word = set_bits(word, 11, 7, _reg(ops, "vd"))
+    word = set_bits(word, 19, 15, _reg(ops, "rs1"))
+    word = set_bits(word, 24, 20, _reg(ops, "vs2"))
+    word = set_bits(word, 25, 25, _vm_bit(ops))
+    return word
+
+
+def _dec_v_vx(word, spec):
+    return {
+        "vd": get_bits(word, 11, 7),
+        "rs1": get_bits(word, 19, 15),
+        "vs2": get_bits(word, 24, 20),
+        "vm": get_bits(word, 25, 25),
+    }
+
+
+def _enc_v_vi(spec, ops):
+    imm = ops["imm"]
+    if spec.extra.get("signed_imm", False):
+        check_signed_range(imm, 5, f"{spec.mnemonic} immediate")
+        imm5 = imm & 0x1F
+    else:
+        check_unsigned_range(imm, 5, f"{spec.mnemonic} immediate")
+        imm5 = imm
+    word = spec.match
+    word = set_bits(word, 11, 7, _reg(ops, "vd"))
+    word = set_bits(word, 19, 15, imm5)
+    word = set_bits(word, 24, 20, _reg(ops, "vs2"))
+    word = set_bits(word, 25, 25, _vm_bit(ops))
+    return word
+
+
+def _dec_v_vi(word, spec):
+    raw = get_bits(word, 19, 15)
+    imm = sign_extend(raw, 5) if spec.extra.get("signed_imm", False) else raw
+    return {
+        "vd": get_bits(word, 11, 7),
+        "imm": imm,
+        "vs2": get_bits(word, 24, 20),
+        "vm": get_bits(word, 25, 25),
+    }
+
+
+#: All known formats, keyed by the name used in :class:`InstructionSpec`.
+FORMATS: Dict[str, Format] = {
+    "r": Format("r", _enc_r, _dec_r),
+    "i": Format("i", _enc_i, _dec_i),
+    "i_shift": Format("i_shift", _enc_i_shift, _dec_i_shift),
+    "load": Format("load", _enc_load, _dec_i),
+    "store": Format("store", _enc_store, _dec_store),
+    "branch": Format("branch", _enc_branch, _dec_branch),
+    "u": Format("u", _enc_u, _dec_u),
+    "jal": Format("jal", _enc_jal, _dec_jal),
+    "jalr": Format("jalr", _enc_i, _dec_i),
+    "system": Format("system", _enc_system, _dec_system),
+    "csr": Format("csr", _enc_csr, _dec_csr),
+    "vsetvli": Format("vsetvli", _enc_vsetvli, _dec_vsetvli),
+    "vls_unit": Format("vls_unit", _enc_vls_unit, _dec_vls_unit),
+    "vls_strided": Format("vls_strided", _enc_vls_strided, _dec_vls_strided),
+    "vls_indexed": Format("vls_indexed", _enc_vls_indexed, _dec_vls_indexed),
+    "v_vv": Format("v_vv", _enc_v_vv, _dec_v_vv),
+    "v_vx": Format("v_vx", _enc_v_vx, _dec_v_vx),
+    "v_vi": Format("v_vi", _enc_v_vi, _dec_v_vi),
+}
+
+
+def encode_instruction(spec: InstructionSpec, ops: Mapping[str, int]) -> int:
+    """Encode operands for ``spec`` into a 32-bit word."""
+    return FORMATS[spec.fmt].encode(spec, ops)
+
+
+def decode_operands(word: int, spec: InstructionSpec) -> Operands:
+    """Decode the operand fields of ``word`` according to ``spec``."""
+    return FORMATS[spec.fmt].decode(word, spec)

@@ -1,0 +1,82 @@
+"""Register names of the SIMD processor.
+
+The scalar core (Ibex) exposes the 32 RV32I integer registers with their
+ABI aliases; the vector processing unit exposes the 32 vector registers of
+the RVV register file (paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Number of scalar integer registers.
+NUM_SCALAR_REGS = 32
+
+#: Number of vector registers in the VecRegfile (paper Section 2.2, item 1).
+NUM_VECTOR_REGS = 32
+
+#: ABI aliases for the integer registers (RISC-V calling convention).
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+
+def _build_scalar_map() -> Dict[str, int]:
+    names: Dict[str, int] = {}
+    for i in range(NUM_SCALAR_REGS):
+        names[f"x{i}"] = i
+    for i, alias in enumerate(ABI_NAMES):
+        names[alias] = i
+    names["fp"] = 8  # frame pointer alias of s0
+    return names
+
+
+_SCALAR_BY_NAME = _build_scalar_map()
+_VECTOR_BY_NAME = {f"v{i}": i for i in range(NUM_VECTOR_REGS)}
+
+
+class RegisterError(ValueError):
+    """Raised for an unknown or out-of-range register name/number."""
+
+
+def parse_scalar_register(name: str) -> int:
+    """Resolve a scalar register name (``x7``, ``t2``, ``s1``...) to its number."""
+    key = name.strip().lower()
+    if key not in _SCALAR_BY_NAME:
+        raise RegisterError(f"unknown scalar register: {name!r}")
+    return _SCALAR_BY_NAME[key]
+
+
+def parse_vector_register(name: str) -> int:
+    """Resolve a vector register name (``v0``..``v31``) to its number."""
+    key = name.strip().lower()
+    if key not in _VECTOR_BY_NAME:
+        raise RegisterError(f"unknown vector register: {name!r}")
+    return _VECTOR_BY_NAME[key]
+
+
+def scalar_register_name(number: int, abi: bool = True) -> str:
+    """Render a scalar register number as a name (ABI alias by default)."""
+    if not 0 <= number < NUM_SCALAR_REGS:
+        raise RegisterError(f"scalar register number out of range: {number}")
+    return ABI_NAMES[number] if abi else f"x{number}"
+
+
+def vector_register_name(number: int) -> str:
+    """Render a vector register number as ``vN``."""
+    if not 0 <= number < NUM_VECTOR_REGS:
+        raise RegisterError(f"vector register number out of range: {number}")
+    return f"v{number}"
+
+
+def is_scalar_register(name: str) -> bool:
+    """True if ``name`` names a scalar register."""
+    return name.strip().lower() in _SCALAR_BY_NAME
+
+
+def is_vector_register(name: str) -> bool:
+    """True if ``name`` names a vector register."""
+    return name.strip().lower() in _VECTOR_BY_NAME

@@ -1,0 +1,146 @@
+"""RV32I base integer instruction set (the scalar Ibex core's ISA base)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .spec import InstructionSpec
+
+_OP = 0x33
+_OP_IMM = 0x13
+_LOAD = 0x03
+_STORE = 0x23
+_BRANCH = 0x63
+_LUI = 0x37
+_AUIPC = 0x17
+_JAL = 0x6F
+_JALR = 0x67
+_SYSTEM = 0x73
+_MISC_MEM = 0x0F
+
+_MASK_R = 0xFE00707F
+_MASK_I = 0x0000707F
+_MASK_OP7 = 0x0000007F
+
+
+def _r(mnemonic: str, funct3: int, funct7: int, description: str) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="r",
+        match=(funct7 << 25) | (funct3 << 12) | _OP,
+        mask=_MASK_R,
+        operands=("rd", "rs1", "rs2"),
+        extension="rv32i",
+        description=description,
+    )
+
+
+def _i(mnemonic: str, funct3: int, description: str) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="i",
+        match=(funct3 << 12) | _OP_IMM,
+        mask=_MASK_I,
+        operands=("rd", "rs1", "imm"),
+        extension="rv32i",
+        description=description,
+    )
+
+
+def _shift(mnemonic: str, funct3: int, funct7: int, description: str) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="i_shift",
+        match=(funct7 << 25) | (funct3 << 12) | _OP_IMM,
+        mask=_MASK_R,
+        operands=("rd", "rs1", "shamt"),
+        extension="rv32i",
+        description=description,
+    )
+
+
+def _ld(mnemonic: str, funct3: int, description: str) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="load",
+        match=(funct3 << 12) | _LOAD,
+        mask=_MASK_I,
+        operands=("rd", "imm", "rs1"),
+        extension="rv32i",
+        description=description,
+    )
+
+
+def _st(mnemonic: str, funct3: int, description: str) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="store",
+        match=(funct3 << 12) | _STORE,
+        mask=_MASK_I,
+        operands=("rs2", "imm", "rs1"),
+        extension="rv32i",
+        description=description,
+    )
+
+
+def _br(mnemonic: str, funct3: int, description: str) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="branch",
+        match=(funct3 << 12) | _BRANCH,
+        mask=_MASK_I,
+        operands=("rs1", "rs2", "offset"),
+        extension="rv32i",
+        description=description,
+    )
+
+
+RV32I_SPECS: List[InstructionSpec] = [
+    InstructionSpec("lui", "u", _LUI, _MASK_OP7, ("rd", "imm"),
+                    "rv32i", "load upper immediate"),
+    InstructionSpec("auipc", "u", _AUIPC, _MASK_OP7, ("rd", "imm"),
+                    "rv32i", "add upper immediate to pc"),
+    InstructionSpec("jal", "jal", _JAL, _MASK_OP7, ("rd", "offset"),
+                    "rv32i", "jump and link"),
+    InstructionSpec("jalr", "jalr", _JALR, _MASK_I, ("rd", "rs1", "imm"),
+                    "rv32i", "jump and link register"),
+    _br("beq", 0b000, "branch if equal"),
+    _br("bne", 0b001, "branch if not equal"),
+    _br("blt", 0b100, "branch if less than (signed)"),
+    _br("bge", 0b101, "branch if greater or equal (signed)"),
+    _br("bltu", 0b110, "branch if less than (unsigned)"),
+    _br("bgeu", 0b111, "branch if greater or equal (unsigned)"),
+    _ld("lb", 0b000, "load byte (sign-extended)"),
+    _ld("lh", 0b001, "load halfword (sign-extended)"),
+    _ld("lw", 0b010, "load word"),
+    _ld("lbu", 0b100, "load byte (zero-extended)"),
+    _ld("lhu", 0b101, "load halfword (zero-extended)"),
+    _st("sb", 0b000, "store byte"),
+    _st("sh", 0b001, "store halfword"),
+    _st("sw", 0b010, "store word"),
+    _i("addi", 0b000, "add immediate"),
+    _i("slti", 0b010, "set if less than immediate (signed)"),
+    _i("sltiu", 0b011, "set if less than immediate (unsigned)"),
+    _i("xori", 0b100, "xor immediate"),
+    _i("ori", 0b110, "or immediate"),
+    _i("andi", 0b111, "and immediate"),
+    _shift("slli", 0b001, 0b0000000, "shift left logical immediate"),
+    _shift("srli", 0b101, 0b0000000, "shift right logical immediate"),
+    _shift("srai", 0b101, 0b0100000, "shift right arithmetic immediate"),
+    _r("add", 0b000, 0b0000000, "add"),
+    _r("sub", 0b000, 0b0100000, "subtract"),
+    _r("sll", 0b001, 0b0000000, "shift left logical"),
+    _r("slt", 0b010, 0b0000000, "set if less than (signed)"),
+    _r("sltu", 0b011, 0b0000000, "set if less than (unsigned)"),
+    _r("xor", 0b100, 0b0000000, "xor"),
+    _r("srl", 0b101, 0b0000000, "shift right logical"),
+    _r("sra", 0b101, 0b0100000, "shift right arithmetic"),
+    _r("or", 0b110, 0b0000000, "or"),
+    _r("and", 0b111, 0b0000000, "and"),
+    InstructionSpec("ecall", "system", 0x00000073, 0xFFFFFFFF, (),
+                    "rv32i", "environment call (halts the simulator)"),
+    InstructionSpec("ebreak", "system", 0x00100073, 0xFFFFFFFF, (),
+                    "rv32i", "environment break (halts the simulator)"),
+    InstructionSpec("fence", "system", _MISC_MEM, _MASK_I, (),
+                    "rv32i", "memory fence (no-op in the simulator)"),
+]

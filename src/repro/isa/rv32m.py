@@ -1,0 +1,35 @@
+"""RV32M multiply/divide extension (kept in the scalar core, Section 4.2)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .spec import InstructionSpec
+
+_OP = 0x33
+_MULDIV = 0b0000001
+_MASK_R = 0xFE00707F
+
+
+def _m(mnemonic: str, funct3: int, description: str) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="r",
+        match=(_MULDIV << 25) | (funct3 << 12) | _OP,
+        mask=_MASK_R,
+        operands=("rd", "rs1", "rs2"),
+        extension="rv32m",
+        description=description,
+    )
+
+
+RV32M_SPECS: List[InstructionSpec] = [
+    _m("mul", 0b000, "multiply (low 32 bits)"),
+    _m("mulh", 0b001, "multiply high (signed x signed)"),
+    _m("mulhsu", 0b010, "multiply high (signed x unsigned)"),
+    _m("mulhu", 0b011, "multiply high (unsigned x unsigned)"),
+    _m("div", 0b100, "divide (signed)"),
+    _m("divu", 0b101, "divide (unsigned)"),
+    _m("rem", 0b110, "remainder (signed)"),
+    _m("remu", 0b111, "remainder (unsigned)"),
+]

@@ -1,0 +1,123 @@
+"""Declarative instruction specifications.
+
+Every instruction the SIMD processor understands — RV32I base, the M
+extension kept in the scalar core, the RVV 1.0 subset reserved in the
+vector processing unit, and the ten custom vector extensions — is described
+by one :class:`InstructionSpec` carrying a riscv-opcodes-style
+``match``/``mask`` pair plus a format key.  The assembler, disassembler and
+simulator decoder are all driven by the same table, so they cannot drift
+apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one instruction encoding.
+
+    Attributes
+    ----------
+    mnemonic:
+        Assembly mnemonic, e.g. ``"vxor.vv"`` or ``"v64rho.vi"``.
+    fmt:
+        Format key into :data:`repro.isa.formats.FORMATS`, which defines
+        how operands map to bit fields.
+    match:
+        Value of the fixed bits.
+    mask:
+        Bit mask of the fixed bits; ``word & mask == match`` identifies the
+        instruction.
+    operands:
+        Operand names in assembly order.
+    extension:
+        ISA extension this instruction belongs to (``rv32i``, ``rv32m``,
+        ``rvv`` or ``custom``).
+    description:
+        One-line human description.
+    extra:
+        Format-specific options (e.g. ``signed_imm`` for vector-immediate
+        instructions).
+    """
+
+    mnemonic: str
+    fmt: str
+    match: int
+    mask: int
+    operands: Tuple[str, ...]
+    extension: str
+    description: str = ""
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def matches(self, word: int) -> bool:
+        """True if the fixed bits of ``word`` identify this instruction."""
+        return (word & self.mask) == self.match
+
+
+class InstructionSet:
+    """A registry of instruction specs with decode support.
+
+    Decoding walks specs in *descending mask-popcount order* so that more
+    specific encodings (e.g. ``srai`` with its fixed funct7) win over less
+    specific ones.
+    """
+
+    def __init__(self) -> None:
+        self._by_mnemonic: Dict[str, InstructionSpec] = {}
+        self._decode_order: list = []
+
+    def register(self, spec: InstructionSpec) -> InstructionSpec:
+        """Add a spec; mnemonics must be unique."""
+        if spec.mnemonic in self._by_mnemonic:
+            raise ValueError(f"duplicate mnemonic: {spec.mnemonic}")
+        if spec.match & ~spec.mask:
+            raise ValueError(
+                f"{spec.mnemonic}: match has bits outside mask "
+                f"({spec.match:#010x} vs {spec.mask:#010x})"
+            )
+        self._by_mnemonic[spec.mnemonic] = spec
+        self._decode_order.append(spec)
+        self._decode_order.sort(
+            key=lambda s: bin(s.mask).count("1"), reverse=True
+        )
+        return spec
+
+    def register_all(self, specs) -> None:
+        """Register an iterable of specs."""
+        for spec in specs:
+            self.register(spec)
+
+    def lookup(self, mnemonic: str) -> InstructionSpec:
+        """Find a spec by mnemonic; raises KeyError with suggestions."""
+        key = mnemonic.lower()
+        if key not in self._by_mnemonic:
+            close = [m for m in self._by_mnemonic if m.startswith(key[:4])]
+            hint = f" (did you mean one of {sorted(close)[:4]}?)" if close else ""
+            raise KeyError(f"unknown instruction: {mnemonic!r}{hint}")
+        return self._by_mnemonic[key]
+
+    def __contains__(self, mnemonic: str) -> bool:
+        return mnemonic.lower() in self._by_mnemonic
+
+    def find(self, word: int) -> InstructionSpec:
+        """Decode the 32-bit ``word`` to its spec; raises LookupError."""
+        for spec in self._decode_order:
+            if spec.matches(word):
+                return spec
+        raise LookupError(f"cannot decode instruction word {word:#010x}")
+
+    def mnemonics(self) -> Tuple[str, ...]:
+        """All registered mnemonics, sorted."""
+        return tuple(sorted(self._by_mnemonic))
+
+    def by_extension(self, extension: str) -> Tuple[InstructionSpec, ...]:
+        """All specs of one ISA extension."""
+        return tuple(
+            s for s in self._by_mnemonic.values() if s.extension == extension
+        )
+
+    def __len__(self) -> int:
+        return len(self._by_mnemonic)

@@ -1,0 +1,269 @@
+"""The RVV 1.0 subset reserved in the vector processing unit.
+
+Per Section 4.2 of the paper, the vector unit keeps: configuration-setting
+instructions (``vsetvli``), vector load/store instructions (unit-stride,
+strided and indexed addressing modes), and the vector *logical* arithmetic
+instructions — plus ``vadd``, which Algorithm 2's chi step uses.  This
+module also provides the ``vtype`` encode/parse/render helpers used by the
+assembler and the simulator's configuration state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .spec import InstructionSpec
+
+_OP_V = 0x57
+_LOAD_FP = 0x07
+_STORE_FP = 0x27
+
+#: funct3 values selecting the vector-arithmetic operand category.
+OPIVV = 0b000
+OPIVX = 0b100
+OPIVI = 0b011
+
+_MASK_VARITH = 0xFC00707F
+_MASK_VLS_UNIT = 0xFDF0707F
+_MASK_VLS_OTHER = 0xFC00707F
+
+#: Element-width funct3 encodings for vector loads/stores (RVV 1.0 table).
+WIDTH_FUNCT3 = {8: 0b000, 16: 0b101, 32: 0b110, 64: 0b111}
+
+# Memory addressing modes (mop field, bits 27:26).
+_MOP_UNIT = 0b00
+_MOP_INDEXED = 0b01
+_MOP_STRIDED = 0b10
+
+# -- vtype ---------------------------------------------------------------------
+
+#: vsew field values: selected element width = 8 * 2^vsew.
+SEW_ENCODING = {8: 0b000, 16: 0b001, 32: 0b010, 64: 0b011}
+SEW_DECODING = {v: k for k, v in SEW_ENCODING.items()}
+
+#: vlmul field values for the integer register-group multipliers
+#: (the paper only uses integer LMUL: "LMUL supports integer values
+#: no larger than 8, that is, 1, 2, 4 or 8").
+LMUL_ENCODING = {1: 0b000, 2: 0b001, 4: 0b010, 8: 0b011}
+LMUL_DECODING = {v: k for k, v in LMUL_ENCODING.items()}
+
+
+def encode_vtype(sew: int, lmul: int, tail_agnostic: bool = False,
+                 mask_agnostic: bool = False) -> int:
+    """Build the 8-bit vtype value (vlmul | vsew | vta | vma)."""
+    if sew not in SEW_ENCODING:
+        raise ValueError(f"unsupported SEW: {sew} (expected 8/16/32/64)")
+    if lmul not in LMUL_ENCODING:
+        raise ValueError(f"unsupported LMUL: {lmul} (expected 1/2/4/8)")
+    return (
+        LMUL_ENCODING[lmul]
+        | (SEW_ENCODING[sew] << 3)
+        | (int(tail_agnostic) << 6)
+        | (int(mask_agnostic) << 7)
+    )
+
+
+def decode_vtype(vtype: int) -> Dict[str, int]:
+    """Split a vtype value into sew/lmul/ta/ma components."""
+    vlmul = vtype & 0x7
+    vsew = (vtype >> 3) & 0x7
+    if vsew not in SEW_DECODING:
+        raise ValueError(f"reserved vsew encoding: {vsew}")
+    if vlmul not in LMUL_DECODING:
+        raise ValueError(f"unsupported vlmul encoding: {vlmul}")
+    return {
+        "sew": SEW_DECODING[vsew],
+        "lmul": LMUL_DECODING[vlmul],
+        "ta": (vtype >> 6) & 1,
+        "ma": (vtype >> 7) & 1,
+    }
+
+
+def parse_vtype_tokens(tokens: List[str]) -> int:
+    """Parse assembly vtype tokens like ``["e64", "m1", "tu", "mu"]``."""
+    sew = None
+    lmul = None
+    ta = False
+    ma = False
+    for token in tokens:
+        t = token.strip().lower()
+        if t.startswith("e") and t[1:].isdigit():
+            sew = int(t[1:])
+        elif t.startswith("m") and t[1:].isdigit():
+            lmul = int(t[1:])
+        elif t == "tu":
+            ta = False
+        elif t == "ta":
+            ta = True
+        elif t == "mu":
+            ma = False
+        elif t == "ma":
+            ma = True
+        else:
+            raise ValueError(f"unknown vtype token: {token!r}")
+    if sew is None or lmul is None:
+        raise ValueError(f"vtype needs eSEW and mLMUL tokens, got {tokens}")
+    return encode_vtype(sew, lmul, ta, ma)
+
+
+def render_vtype(vtype: int) -> str:
+    """Render a vtype value in assembly syntax."""
+    parts = decode_vtype(vtype)
+    return (
+        f"e{parts['sew']},m{parts['lmul']},"
+        f"{'ta' if parts['ta'] else 'tu'},{'ma' if parts['ma'] else 'mu'}"
+    )
+
+
+# -- spec builders --------------------------------------------------------------
+
+
+def _varith(mnemonic: str, funct6: int, funct3: int, operands: Tuple[str, ...],
+            description: str, signed_imm: bool = False) -> InstructionSpec:
+    extra = {"signed_imm": True} if signed_imm else {}
+    fmt = {OPIVV: "v_vv", OPIVX: "v_vx", OPIVI: "v_vi"}[funct3]
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt=fmt,
+        match=(funct6 << 26) | (funct3 << 12) | _OP_V,
+        mask=_MASK_VARITH,
+        operands=operands,
+        extension="rvv",
+        description=description,
+        extra=extra,
+    )
+
+
+def _vv(mnemonic: str, funct6: int, description: str) -> InstructionSpec:
+    return _varith(mnemonic, funct6, OPIVV, ("vd", "vs2", "vs1"), description)
+
+
+def _vx(mnemonic: str, funct6: int, description: str) -> InstructionSpec:
+    return _varith(mnemonic, funct6, OPIVX, ("vd", "vs2", "rs1"), description)
+
+
+def _vi(mnemonic: str, funct6: int, description: str,
+        signed: bool = True) -> InstructionSpec:
+    return _varith(mnemonic, funct6, OPIVI, ("vd", "vs2", "imm"),
+                   description, signed_imm=signed)
+
+
+def _vload_unit(mnemonic: str, width: int) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="vls_unit",
+        match=(WIDTH_FUNCT3[width] << 12) | _LOAD_FP,
+        mask=_MASK_VLS_UNIT,
+        operands=("vd", "rs1"),
+        extension="rvv",
+        description=f"unit-stride vector load of {width}-bit memory elements",
+        extra={"width": width, "mop": "unit"},
+    )
+
+
+def _vstore_unit(mnemonic: str, width: int) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="vls_unit",
+        match=(WIDTH_FUNCT3[width] << 12) | _STORE_FP,
+        mask=_MASK_VLS_UNIT,
+        operands=("vd", "rs1"),
+        extension="rvv",
+        description=f"unit-stride vector store of {width}-bit memory elements",
+        extra={"width": width, "mop": "unit", "is_store": True},
+    )
+
+
+def _vload_strided(mnemonic: str, width: int) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="vls_strided",
+        match=(_MOP_STRIDED << 26) | (WIDTH_FUNCT3[width] << 12) | _LOAD_FP,
+        mask=_MASK_VLS_OTHER,
+        operands=("vd", "rs1", "rs2"),
+        extension="rvv",
+        description=f"strided vector load of {width}-bit memory elements",
+        extra={"width": width, "mop": "strided"},
+    )
+
+
+def _vstore_strided(mnemonic: str, width: int) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="vls_strided",
+        match=(_MOP_STRIDED << 26) | (WIDTH_FUNCT3[width] << 12) | _STORE_FP,
+        mask=_MASK_VLS_OTHER,
+        operands=("vd", "rs1", "rs2"),
+        extension="rvv",
+        description=f"strided vector store of {width}-bit memory elements",
+        extra={"width": width, "mop": "strided", "is_store": True},
+    )
+
+
+def _vload_indexed(mnemonic: str, width: int) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="vls_indexed",
+        match=(_MOP_INDEXED << 26) | (WIDTH_FUNCT3[width] << 12) | _LOAD_FP,
+        mask=_MASK_VLS_OTHER,
+        operands=("vd", "rs1", "vs2"),
+        extension="rvv",
+        description=f"indexed vector load with {width}-bit indices",
+        extra={"width": width, "mop": "indexed"},
+    )
+
+
+def _vstore_indexed(mnemonic: str, width: int) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        fmt="vls_indexed",
+        match=(_MOP_INDEXED << 26) | (WIDTH_FUNCT3[width] << 12) | _STORE_FP,
+        mask=_MASK_VLS_OTHER,
+        operands=("vd", "rs1", "vs2"),
+        extension="rvv",
+        description=f"indexed vector store with {width}-bit indices",
+        extra={"width": width, "mop": "indexed", "is_store": True},
+    )
+
+
+RVV_SPECS: List[InstructionSpec] = [
+    InstructionSpec(
+        "vsetvli", "vsetvli", 0x00007057, 0x8000707F,
+        ("rd", "rs1", "vtype"), "rvv",
+        "set vector length and configuration (VL, SEW, LMUL)",
+    ),
+    # Integer arithmetic (funct6 from the RVV 1.0 OPI table).
+    _vv("vadd.vv", 0b000000, "vector-vector addition"),
+    _vx("vadd.vx", 0b000000, "vector-scalar addition"),
+    _vi("vadd.vi", 0b000000, "vector-immediate addition"),
+    _vv("vsub.vv", 0b000010, "vector-vector subtraction"),
+    _vx("vsub.vx", 0b000010, "vector-scalar subtraction"),
+    _vv("vand.vv", 0b001001, "vector-vector bitwise and"),
+    _vx("vand.vx", 0b001001, "vector-scalar bitwise and"),
+    _vi("vand.vi", 0b001001, "vector-immediate bitwise and"),
+    _vv("vor.vv", 0b001010, "vector-vector bitwise or"),
+    _vx("vor.vx", 0b001010, "vector-scalar bitwise or"),
+    _vi("vor.vi", 0b001010, "vector-immediate bitwise or"),
+    _vv("vxor.vv", 0b001011, "vector-vector bitwise xor"),
+    _vx("vxor.vx", 0b001011, "vector-scalar bitwise xor"),
+    _vi("vxor.vi", 0b001011, "vector-immediate bitwise xor"),
+    _vv("vsll.vv", 0b100101, "vector-vector logical shift left"),
+    _vx("vsll.vx", 0b100101, "vector-scalar logical shift left"),
+    _vi("vsll.vi", 0b100101, "vector-immediate logical shift left", signed=False),
+    _vv("vsrl.vv", 0b101000, "vector-vector logical shift right"),
+    _vx("vsrl.vx", 0b101000, "vector-scalar logical shift right"),
+    _vi("vsrl.vi", 0b101000, "vector-immediate logical shift right", signed=False),
+    # Memory: unit-stride, strided and indexed (Section 2.2 item 9).
+    _vload_unit("vle32.v", 32),
+    _vload_unit("vle64.v", 64),
+    _vstore_unit("vse32.v", 32),
+    _vstore_unit("vse64.v", 64),
+    _vload_strided("vlse32.v", 32),
+    _vload_strided("vlse64.v", 64),
+    _vstore_strided("vsse32.v", 32),
+    _vstore_strided("vsse64.v", 64),
+    _vload_indexed("vluxei32.v", 32),
+    _vload_indexed("vluxei64.v", 64),
+    _vstore_indexed("vsuxei32.v", 32),
+    _vstore_indexed("vsuxei64.v", 64),
+]

@@ -1,0 +1,74 @@
+"""Constants of the Keccak-f[1600] permutation.
+
+These are the tables the paper bakes into hardware: the round constants used
+by the ``viota`` custom instruction (paper Table 6) and the per-lane rotation
+offsets used by the ``v64rho``/``v32lrho``/``v32hrho`` instructions (paper
+Table 2).  Both match FIPS 202.
+"""
+
+from __future__ import annotations
+
+#: Number of rounds of Keccak-f[1600].
+NUM_ROUNDS = 24
+
+#: Width of one lane in bits.
+LANE_BITS = 64
+
+#: Mask selecting the low 64 bits of an integer.
+MASK64 = (1 << 64) - 1
+
+#: State width in bits (5 x 5 x 64).
+STATE_BITS = 1600
+
+#: State width in bytes.
+STATE_BYTES = STATE_BITS // 8
+
+#: Round constants RC[i] for the iota step mapping (paper Table 6).
+ROUND_CONSTANTS = (
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+    0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+    0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+    0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+    0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+    0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+    0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+)
+
+#: Rotation offsets r[x][y] for the rho step mapping, indexed as
+#: ``RHO_OFFSETS[x][y]``.  The paper's Table 2 prints the same data with rows
+#: labelled by y and columns by x (i.e. its entry at row y, column x equals
+#: ``RHO_OFFSETS[x][y]``).
+RHO_OFFSETS = (
+    (0, 36, 3, 41, 18),
+    (1, 44, 10, 45, 2),
+    (62, 6, 43, 15, 61),
+    (28, 55, 25, 21, 56),
+    (27, 20, 39, 8, 14),
+)
+
+#: Rotation offsets in the paper's Table 2 layout: ``RHO_BY_ROW[y][x]``.
+#: This is the layout the rho hardware lookup table uses, where the row
+#: (plane) index y is supplied by the instruction immediate or the
+#: ``lmul_cnt`` hardware counter.
+RHO_BY_ROW = tuple(
+    tuple(RHO_OFFSETS[x][y] for x in range(5)) for y in range(5)
+)
+
+
+def rotl64(value: int, amount: int) -> int:
+    """Rotate a 64-bit ``value`` left by ``amount`` positions.
+
+    ``amount`` is reduced modulo 64, matching the behaviour of the hardware
+    rotators in the custom instructions.
+    """
+    amount %= 64
+    if amount == 0:
+        return value & MASK64
+    value &= MASK64
+    return ((value << amount) | (value >> (64 - amount))) & MASK64
+
+
+def rotr64(value: int, amount: int) -> int:
+    """Rotate a 64-bit ``value`` right by ``amount`` positions."""
+    return rotl64(value, (-amount) % 64)

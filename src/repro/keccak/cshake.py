@@ -1,0 +1,122 @@
+"""SHA-3 derived functions: cSHAKE and KMAC (NIST SP 800-185).
+
+These are the standardized customizable-XOF and MAC constructions built
+on the same Keccak sponge the paper accelerates — any speedup of
+Keccak-f[1600] transfers to them directly.  Included because realistic
+SHA-3 deployments (and several PQC schemes) use the derived functions,
+not just the base six.
+
+Implements ``left_encode``/``right_encode``/``encode_string``/``bytepad``
+exactly per SP 800-185 and validates against the NIST sample vectors.
+"""
+
+from __future__ import annotations
+
+from .sponge import Sponge
+
+#: Domain-separation suffix of cSHAKE (the two bits ``00`` + first pad bit).
+CSHAKE_SUFFIX = 0x04
+
+
+def left_encode(value: int) -> bytes:
+    """SP 800-185 left_encode: length-prefixed big-endian integer."""
+    if value < 0:
+        raise ValueError(f"cannot encode negative value: {value}")
+    digits = bytearray()
+    while True:
+        digits.insert(0, value & 0xFF)
+        value >>= 8
+        if value == 0:
+            break
+    return bytes([len(digits)]) + bytes(digits)
+
+
+def right_encode(value: int) -> bytes:
+    """SP 800-185 right_encode: big-endian integer with trailing length."""
+    if value < 0:
+        raise ValueError(f"cannot encode negative value: {value}")
+    digits = bytearray()
+    while True:
+        digits.insert(0, value & 0xFF)
+        value >>= 8
+        if value == 0:
+            break
+    return bytes(digits) + bytes([len(digits)])
+
+
+def encode_string(data: bytes) -> bytes:
+    """SP 800-185 encode_string: bit-length prefix + the string."""
+    return left_encode(8 * len(data)) + data
+
+
+def bytepad(data: bytes, width: int) -> bytes:
+    """SP 800-185 bytepad: prefix with the width, zero-pad to a multiple."""
+    if width <= 0:
+        raise ValueError(f"bytepad width must be positive: {width}")
+    out = bytearray(left_encode(width))
+    out.extend(data)
+    while len(out) % width:
+        out.append(0)
+    return bytes(out)
+
+
+def _cshake(data: bytes, length: int, function_name: bytes,
+            customization: bytes, capacity_bits: int,
+            rate_bytes: int) -> bytes:
+    from .hashes import SHAKE128, SHAKE256
+
+    if not function_name and not customization:
+        # SP 800-185: cSHAKE with empty N and S *is* SHAKE.
+        xof_cls = SHAKE128 if capacity_bits == 256 else SHAKE256
+        return xof_cls(data).digest(length)
+    sponge = Sponge(capacity_bits, CSHAKE_SUFFIX)
+    sponge.absorb(bytepad(
+        encode_string(function_name) + encode_string(customization),
+        rate_bytes,
+    ))
+    sponge.absorb(data)
+    return sponge.squeeze(length)
+
+
+def cshake128(data: bytes, length: int, function_name: bytes = b"",
+              customization: bytes = b"") -> bytes:
+    """cSHAKE128(X, L, N, S) — customizable 128-bit-strength XOF."""
+    return _cshake(data, length, function_name, customization, 256, 168)
+
+
+def cshake256(data: bytes, length: int, function_name: bytes = b"",
+              customization: bytes = b"") -> bytes:
+    """cSHAKE256(X, L, N, S) — customizable 256-bit-strength XOF."""
+    return _cshake(data, length, function_name, customization, 512, 136)
+
+
+def _kmac(key: bytes, data: bytes, length: int, customization: bytes,
+          capacity_bits: int, rate_bytes: int, xof: bool) -> bytes:
+    payload = bytepad(encode_string(key), rate_bytes) + data
+    payload += right_encode(0 if xof else 8 * length)
+    return _cshake(payload, length, b"KMAC", customization,
+                   capacity_bits, rate_bytes)
+
+
+def kmac128(key: bytes, data: bytes, length: int,
+            customization: bytes = b"") -> bytes:
+    """KMAC128 — keyed MAC with fixed output length."""
+    return _kmac(key, data, length, customization, 256, 168, xof=False)
+
+
+def kmac256(key: bytes, data: bytes, length: int,
+            customization: bytes = b"") -> bytes:
+    """KMAC256 — keyed MAC with fixed output length."""
+    return _kmac(key, data, length, customization, 512, 136, xof=False)
+
+
+def kmac128_xof(key: bytes, data: bytes, length: int,
+                customization: bytes = b"") -> bytes:
+    """KMACXOF128 — arbitrary-length variant (L encoded as 0)."""
+    return _kmac(key, data, length, customization, 256, 168, xof=True)
+
+
+def kmac256_xof(key: bytes, data: bytes, length: int,
+                customization: bytes = b"") -> bytes:
+    """KMACXOF256 — arbitrary-length variant (L encoded as 0)."""
+    return _kmac(key, data, length, customization, 512, 136, xof=True)

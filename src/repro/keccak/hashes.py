@@ -1,0 +1,186 @@
+"""The six SHA-3 family functions (FIPS 202).
+
+SHA3-224/256/384/512 fixed-length hashes and the SHAKE128/256 extendable
+output functions, all built on :class:`repro.keccak.sponge.Sponge`.  The API
+mirrors :mod:`hashlib` (``update`` / ``digest`` / ``hexdigest``), which the
+test suite exploits to cross-check every function against CPython's own
+SHA-3 implementation.
+"""
+
+from __future__ import annotations
+
+from .sponge import SHA3_SUFFIX, SHAKE_SUFFIX, Sponge
+
+
+class _Sha3Base:
+    """Common machinery for the fixed-output SHA-3 hashes."""
+
+    #: Output length in bits; set by subclasses.
+    output_bits: int = 0
+    name: str = "sha3"
+
+    def __init__(self, data: bytes = b"") -> None:
+        if self.output_bits == 0:
+            raise TypeError("instantiate a concrete SHA3 subclass")
+        # FIPS 202: capacity = 2 * output length.
+        self._sponge = Sponge(2 * self.output_bits, SHA3_SUFFIX)
+        if data:
+            self._sponge.absorb(data)
+
+    @property
+    def digest_size(self) -> int:
+        """Digest size in bytes (hashlib-compatible)."""
+        return self.output_bits // 8
+
+    @property
+    def block_size(self) -> int:
+        """Rate in bytes (hashlib-compatible block size)."""
+        return self._sponge.rate_bytes
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes."""
+        self._sponge.absorb(data)
+
+    def digest(self) -> bytes:
+        """Return the digest of everything absorbed so far."""
+        return self._sponge.copy().squeeze(self.digest_size)
+
+    def hexdigest(self) -> str:
+        """Digest as a lowercase hex string."""
+        return self.digest().hex()
+
+    def copy(self) -> "_Sha3Base":
+        clone = type(self)()
+        clone._sponge = self._sponge.copy()
+        return clone
+
+
+class SHA3_224(_Sha3Base):
+    """SHA3-224: 224-bit digest, capacity 448, rate 1152."""
+
+    output_bits = 224
+    name = "sha3_224"
+
+
+class SHA3_256(_Sha3Base):
+    """SHA3-256: 256-bit digest, capacity 512, rate 1088."""
+
+    output_bits = 256
+    name = "sha3_256"
+
+
+class SHA3_384(_Sha3Base):
+    """SHA3-384: 384-bit digest, capacity 768, rate 832."""
+
+    output_bits = 384
+    name = "sha3_384"
+
+
+class SHA3_512(_Sha3Base):
+    """SHA3-512: 512-bit digest, capacity 1024, rate 576."""
+
+    output_bits = 512
+    name = "sha3_512"
+
+
+class _ShakeBase:
+    """Common machinery for the SHAKE extendable-output functions."""
+
+    #: Security strength in bits; capacity = 2 * strength.
+    strength_bits: int = 0
+    name: str = "shake"
+
+    def __init__(self, data: bytes = b"") -> None:
+        if self.strength_bits == 0:
+            raise TypeError("instantiate a concrete SHAKE subclass")
+        self._sponge = Sponge(2 * self.strength_bits, SHAKE_SUFFIX)
+        if data:
+            self._sponge.absorb(data)
+
+    @property
+    def block_size(self) -> int:
+        """Rate in bytes."""
+        return self._sponge.rate_bytes
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes."""
+        self._sponge.absorb(data)
+
+    def digest(self, length: int) -> bytes:
+        """Return ``length`` output bytes (restartable: copies the sponge)."""
+        return self._sponge.copy().squeeze(length)
+
+    def hexdigest(self, length: int) -> str:
+        """``length`` output bytes as hex."""
+        return self.digest(length).hex()
+
+    def read(self, length: int) -> bytes:
+        """Streaming squeeze: successive calls continue the output stream."""
+        return self._sponge.squeeze(length)
+
+    def copy(self) -> "_ShakeBase":
+        clone = type(self)()
+        clone._sponge = self._sponge.copy()
+        return clone
+
+
+class SHAKE128(_ShakeBase):
+    """SHAKE128 XOF: 128-bit strength, capacity 256, rate 1344."""
+
+    strength_bits = 128
+    name = "shake_128"
+
+
+class SHAKE256(_ShakeBase):
+    """SHAKE256 XOF: 256-bit strength, capacity 512, rate 1088."""
+
+    strength_bits = 256
+    name = "shake_256"
+
+
+# -- one-shot helpers ---------------------------------------------------------
+
+
+def sha3_224(data: bytes) -> bytes:
+    """One-shot SHA3-224 digest."""
+    return SHA3_224(data).digest()
+
+
+def sha3_256(data: bytes) -> bytes:
+    """One-shot SHA3-256 digest."""
+    return SHA3_256(data).digest()
+
+
+def sha3_384(data: bytes) -> bytes:
+    """One-shot SHA3-384 digest."""
+    return SHA3_384(data).digest()
+
+
+def sha3_512(data: bytes) -> bytes:
+    """One-shot SHA3-512 digest."""
+    return SHA3_512(data).digest()
+
+
+def shake128(data: bytes, length: int) -> bytes:
+    """One-shot SHAKE128 output of ``length`` bytes."""
+    return SHAKE128(data).digest(length)
+
+
+def shake256(data: bytes, length: int) -> bytes:
+    """One-shot SHAKE256 output of ``length`` bytes."""
+    return SHAKE256(data).digest(length)
+
+
+#: All fixed-length hash classes, keyed by name.
+SHA3_VARIANTS = {
+    "sha3_224": SHA3_224,
+    "sha3_256": SHA3_256,
+    "sha3_384": SHA3_384,
+    "sha3_512": SHA3_512,
+}
+
+#: Both XOF classes, keyed by name.
+SHAKE_VARIANTS = {
+    "shake_128": SHAKE128,
+    "shake_256": SHAKE256,
+}

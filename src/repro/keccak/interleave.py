@@ -1,0 +1,129 @@
+"""32-bit lane decompositions (paper Section 3.2).
+
+Two ways to run 64-bit Keccak lanes on a 32-bit datapath:
+
+* **hi/lo split** — the paper's choice: the most-significant and
+  least-significant 32-bit halves are stored separately (Fig. 6).  No
+  pre/post transformation of the data is needed; the price is that a 64-bit
+  rotation must be synthesized from the two halves (the ``v32lrho`` /
+  ``v32hrho`` / ``v32lrotup`` / ``v32hrotup`` custom instructions).
+* **bit interleaving** — the common software technique the paper discusses
+  and rejects: odd bits in one word, even bits in another, which turns a
+  64-bit rotation into two independent 32-bit rotations but requires
+  interleave/deinterleave passes around the permutation.
+
+Both are implemented so the trade-off can be measured.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .constants import MASK64
+
+MASK32 = (1 << 32) - 1
+
+
+def split_hi_lo(lane: int) -> Tuple[int, int]:
+    """Split a 64-bit lane into (hi32, lo32) — the paper's Fig. 6 layout."""
+    if not 0 <= lane <= MASK64:
+        raise ValueError(f"lane out of 64-bit range: {lane:#x}")
+    return (lane >> 32) & MASK32, lane & MASK32
+
+
+def join_hi_lo(hi: int, lo: int) -> int:
+    """Rejoin (hi32, lo32) halves into a 64-bit lane."""
+    if not 0 <= hi <= MASK32 or not 0 <= lo <= MASK32:
+        raise ValueError("halves must be 32-bit values")
+    return (hi << 32) | lo
+
+
+def rotate_pair_left(hi: int, lo: int, amount: int) -> Tuple[int, int]:
+    """Rotate the 64-bit value ``hi||lo`` left by ``amount``; return halves.
+
+    This is the operation the ``v32lrho``/``v32hrho`` instructions perform
+    in hardware: concatenate, rotate, split.
+    """
+    value = join_hi_lo(hi, lo)
+    amount %= 64
+    rotated = ((value << amount) | (value >> (64 - amount))) & MASK64 \
+        if amount else value
+    return split_hi_lo(rotated)
+
+
+# -- bit interleaving ---------------------------------------------------------
+
+
+def _spread_bits(word: int) -> int:
+    """Spread the low 32 bits of ``word`` into the even positions of 64."""
+    x = word & MASK32
+    x = (x | (x << 16)) & 0x0000FFFF0000FFFF
+    x = (x | (x << 8)) & 0x00FF00FF00FF00FF
+    x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0F
+    x = (x | (x << 2)) & 0x3333333333333333
+    x = (x | (x << 1)) & 0x5555555555555555
+    return x
+
+
+def _gather_bits(word: int) -> int:
+    """Gather the even-position bits of a 64-bit ``word`` into 32 bits."""
+    x = word & 0x5555555555555555
+    x = (x | (x >> 1)) & 0x3333333333333333
+    x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0F
+    x = (x | (x >> 4)) & 0x00FF00FF00FF00FF
+    x = (x | (x >> 8)) & 0x0000FFFF0000FFFF
+    x = (x | (x >> 16)) & 0x00000000FFFFFFFF
+    return x
+
+
+def interleave(lane: int) -> Tuple[int, int]:
+    """Split a 64-bit lane into (even_bits, odd_bits) 32-bit words."""
+    if not 0 <= lane <= MASK64:
+        raise ValueError(f"lane out of 64-bit range: {lane:#x}")
+    even = _gather_bits(lane)
+    odd = _gather_bits(lane >> 1)
+    return even, odd
+
+
+def deinterleave(even: int, odd: int) -> int:
+    """Inverse of :func:`interleave`."""
+    if not 0 <= even <= MASK32 or not 0 <= odd <= MASK32:
+        raise ValueError("interleaved words must be 32-bit values")
+    return _spread_bits(even) | (_spread_bits(odd) << 1)
+
+
+def rotate_interleaved(even: int, odd: int, amount: int) -> Tuple[int, int]:
+    """Rotate an interleaved lane left by ``amount`` using 32-bit rotates.
+
+    This is why software 32-bit Keccak implementations interleave: a 64-bit
+    rotation by ``n`` becomes two 32-bit rotations (by ``n//2`` each if n is
+    even; by ``(n+1)//2`` and ``n//2`` with a half swap if n is odd).
+    """
+    amount %= 64
+
+    def rotl32(w: int, n: int) -> int:
+        n %= 32
+        if n == 0:
+            return w & MASK32
+        return ((w << n) | (w >> (32 - n))) & MASK32
+
+    if amount % 2 == 0:
+        return rotl32(even, amount // 2), rotl32(odd, amount // 2)
+    return rotl32(odd, (amount + 1) // 2), rotl32(even, amount // 2)
+
+
+def interleave_state(lanes: List[int]) -> Tuple[List[int], List[int]]:
+    """Interleave all 25 lanes; returns (even_words, odd_words)."""
+    evens, odds = [], []
+    for lane in lanes:
+        even, odd = interleave(lane)
+        evens.append(even)
+        odds.append(odd)
+    return evens, odds
+
+
+def deinterleave_state(evens: List[int], odds: List[int]) -> List[int]:
+    """Inverse of :func:`interleave_state`."""
+    if len(evens) != len(odds):
+        raise ValueError("even/odd word lists must have equal length")
+    return [deinterleave(e, o) for e, o in zip(evens, odds)]

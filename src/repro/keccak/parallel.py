@@ -1,0 +1,160 @@
+"""N-way parallel Keccak-f[1600] over numpy lanes (paper Section 3.1).
+
+The paper's central idea is to hold SN Keccak states side by side in the
+vector register file and run all of them under the same instruction stream.
+This module is the software analogue: a batch permutation over an
+``(SN, 25)`` array of uint64 lanes, where every step mapping is applied to
+all states at once.  It is used by the PQC workload generator
+(:mod:`repro.pqc`) and as a fast executable model in property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .constants import NUM_ROUNDS, RHO_OFFSETS, ROUND_CONSTANTS
+from .state import KeccakState
+
+_U64 = np.uint64
+
+
+def _rotl(lanes: np.ndarray, amount: int) -> np.ndarray:
+    """Rotate every uint64 element left by a compile-time constant amount."""
+    amount %= 64
+    if amount == 0:
+        return lanes
+    return (lanes << _U64(amount)) | (lanes >> _U64(64 - amount))
+
+
+class ParallelKeccak:
+    """A batch of SN Keccak states permuted in lock-step.
+
+    The lane layout matches :class:`~repro.keccak.state.KeccakState`:
+    ``lanes[s, 5 * y + x]`` is lane (x, y) of state s.
+    """
+
+    def __init__(self, num_states: int) -> None:
+        if num_states < 1:
+            raise ValueError(f"need at least one state, got {num_states}")
+        self.num_states = num_states
+        self.lanes = np.zeros((num_states, 25), dtype=_U64)
+
+    # -- conversions -----------------------------------------------------------
+
+    @classmethod
+    def from_states(cls, states: Sequence[KeccakState]) -> "ParallelKeccak":
+        """Pack individual states into a batch."""
+        batch = cls(len(states))
+        for s, state in enumerate(states):
+            batch.lanes[s, :] = np.array(state.lanes, dtype=_U64)
+        return batch
+
+    def to_states(self) -> list:
+        """Unpack the batch into individual :class:`KeccakState` objects."""
+        return [
+            KeccakState([int(v) for v in self.lanes[s]])
+            for s in range(self.num_states)
+        ]
+
+    def xor_block(self, state_index: int, block: bytes) -> None:
+        """Absorb ``block`` into one state of the batch (sponge XOR)."""
+        if len(block) > 200:
+            raise ValueError("block larger than the state")
+        padded = block + b"\x00" * (200 - len(block))
+        words = np.frombuffer(padded, dtype="<u8")
+        self.lanes[state_index, :] ^= words.astype(_U64)
+
+    def extract_bytes(self, state_index: int, length: int) -> bytes:
+        """Read the first ``length`` bytes of one state (sponge squeeze)."""
+        if not 0 <= length <= 200:
+            raise ValueError(f"length out of range: {length}")
+        raw = self.lanes[state_index].astype("<u8").tobytes()
+        return raw[:length]
+
+    # -- step mappings (all states at once) -------------------------------------
+
+    def _theta(self) -> None:
+        lanes = self.lanes
+        parity = np.zeros((self.num_states, 5), dtype=_U64)
+        for x in range(5):
+            column = lanes[:, x] ^ lanes[:, x + 5] ^ lanes[:, x + 10]
+            parity[:, x] = column ^ lanes[:, x + 15] ^ lanes[:, x + 20]
+        effect = np.empty_like(parity)
+        for x in range(5):
+            effect[:, x] = parity[:, (x - 1) % 5] ^ _rotl(
+                parity[:, (x + 1) % 5], 1
+            )
+        for y in range(5):
+            for x in range(5):
+                lanes[:, 5 * y + x] ^= effect[:, x]
+
+    def _rho(self) -> None:
+        lanes = self.lanes
+        for y in range(5):
+            for x in range(5):
+                offset = RHO_OFFSETS[x][y]
+                if offset:
+                    lanes[:, 5 * y + x] = _rotl(lanes[:, 5 * y + x], offset)
+
+    def _pi(self) -> None:
+        src = self.lanes.copy()
+        for y in range(5):
+            for x in range(5):
+                self.lanes[:, 5 * y + x] = src[:, 5 * x + (x + 3 * y) % 5]
+
+    def _chi(self) -> None:
+        src = self.lanes.copy()
+        for y in range(5):
+            base = 5 * y
+            for x in range(5):
+                self.lanes[:, base + x] = src[:, base + x] ^ (
+                    ~src[:, base + (x + 1) % 5] & src[:, base + (x + 2) % 5]
+                )
+
+    def _iota(self, round_index: int) -> None:
+        self.lanes[:, 0] ^= _U64(ROUND_CONSTANTS[round_index])
+
+    def round(self, round_index: int) -> None:
+        """Apply one full round to every state in the batch."""
+        self._theta()
+        self._rho()
+        self._pi()
+        self._chi()
+        self._iota(round_index)
+
+    def permute(self) -> None:
+        """Apply the full 24-round permutation to every state."""
+        for round_index in range(NUM_ROUNDS):
+            self.round(round_index)
+
+
+def parallel_shake128(seeds: Sequence[bytes], length: int) -> list:
+    """SHAKE128 over many inputs with one batched permutation per block.
+
+    Each seed must fit in a single rate block (168 bytes minus padding) and
+    each output in a single squeeze block — the regime of the Kyber matrix
+    expansion the paper's introduction motivates.  Returns one ``length``-
+    byte output per seed.
+    """
+    rate = 168  # SHAKE128 rate in bytes
+    for seed in seeds:
+        if len(seed) > rate - 1:
+            raise ValueError("seed does not fit in one SHAKE128 rate block")
+    batch = ParallelKeccak(len(seeds))
+    for s, seed in enumerate(seeds):
+        block = bytearray(seed)
+        block.append(0x1F)
+        block.extend(b"\x00" * (rate - len(block)))
+        block[rate - 1] ^= 0x80
+        batch.xor_block(s, bytes(block))
+    outputs = [bytearray() for _ in seeds]
+    remaining = length
+    while remaining > 0:
+        batch.permute()
+        take = min(rate, remaining)
+        for s in range(len(seeds)):
+            outputs[s].extend(batch.extract_bytes(s, take))
+        remaining -= take
+    return [bytes(out) for out in outputs]

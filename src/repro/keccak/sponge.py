@@ -1,0 +1,163 @@
+"""The sponge construction (paper Fig. 1).
+
+Padding, absorbing and squeezing over the Keccak-f[1600] permutation with
+arbitrary rate/capacity split and arbitrary input/output lengths.  The SHA-3
+hash functions and the SHAKE extendable-output functions in
+:mod:`repro.keccak.hashes` are thin wrappers around this class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .constants import STATE_BYTES
+from .permutation import keccak_f1600
+from .state import KeccakState
+
+#: Domain-separation suffix for the SHA-3 hash functions (FIPS 202: ``01``).
+SHA3_SUFFIX = 0x06
+
+#: Domain-separation suffix for the SHAKE XOFs (FIPS 202: ``1111``).
+SHAKE_SUFFIX = 0x1F
+
+#: Suffix for the original (pre-standardization) Keccak submission.
+KECCAK_SUFFIX = 0x01
+
+PermutationFn = Callable[[KeccakState], KeccakState]
+
+
+def pad10star1(message_length: int, rate_bytes: int) -> bytes:
+    """Return the pad10*1 padding bytes for a message of the given length.
+
+    The returned bytes already include the domain suffix's *first* padding
+    bit convention used by :class:`Sponge` (the suffix byte is merged by the
+    caller); this helper pads a raw Keccak message (suffix ``0x01``).
+    """
+    if rate_bytes <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bytes}")
+    remainder = message_length % rate_bytes
+    pad_length = rate_bytes - remainder
+    if pad_length == 1:
+        return b"\x81"
+    return b"\x01" + b"\x00" * (pad_length - 2) + b"\x80"
+
+
+class Sponge:
+    """A duplex-free sponge over Keccak-f[1600].
+
+    Parameters
+    ----------
+    capacity_bits:
+        The capacity c in bits.  The rate is ``1600 - c``.  Must be a
+        positive multiple of 8 and smaller than 1600.
+    suffix:
+        Domain-separation suffix byte.  Encodes the suffix bits followed by
+        the first padding ``1`` bit, LSB first (``0x06`` for SHA-3, ``0x1F``
+        for SHAKE, ``0x01`` for raw Keccak).
+    permutation:
+        The permutation to iterate; injectable for testing (defaults to
+        Keccak-f[1600]).
+    """
+
+    def __init__(
+        self,
+        capacity_bits: int,
+        suffix: int = SHA3_SUFFIX,
+        permutation: PermutationFn = keccak_f1600,
+    ) -> None:
+        if capacity_bits % 8 != 0:
+            raise ValueError("capacity must be a multiple of 8 bits")
+        if not 0 < capacity_bits < 1600:
+            raise ValueError(
+                f"capacity must be in (0, 1600), got {capacity_bits}"
+            )
+        if not 0 < suffix <= 0xFF:
+            raise ValueError(f"suffix must be a non-zero byte, got {suffix}")
+        self.capacity_bits = capacity_bits
+        self.rate_bits = 1600 - capacity_bits
+        self.rate_bytes = self.rate_bits // 8
+        self.suffix = suffix
+        self._permutation = permutation
+        self._state = KeccakState()
+        self._buffer = bytearray()
+        self._squeezing = False
+        self._squeeze_offset = 0
+
+    # -- absorbing -----------------------------------------------------------
+
+    def absorb(self, data: bytes) -> "Sponge":
+        """Absorb message bytes.  May be called repeatedly (streaming)."""
+        if self._squeezing:
+            raise RuntimeError("cannot absorb after squeezing has started")
+        self._buffer.extend(data)
+        while len(self._buffer) >= self.rate_bytes:
+            block = bytes(self._buffer[: self.rate_bytes])
+            del self._buffer[: self.rate_bytes]
+            self._state.xor_bytes(block)
+            self._state = self._permutation(self._state)
+        return self
+
+    def _finalize(self) -> None:
+        """Apply suffix + pad10*1 and transition to the squeezing phase."""
+        block = bytearray(self._buffer)
+        self._buffer.clear()
+        block.append(self.suffix)
+        while len(block) < self.rate_bytes:
+            block.append(0)
+        block[self.rate_bytes - 1] ^= 0x80
+        self._state.xor_bytes(bytes(block))
+        self._state = self._permutation(self._state)
+        self._squeezing = True
+        self._squeeze_offset = 0
+
+    # -- squeezing -----------------------------------------------------------
+
+    def squeeze(self, num_bytes: int) -> bytes:
+        """Squeeze the next ``num_bytes`` of output (streaming)."""
+        if num_bytes < 0:
+            raise ValueError(f"cannot squeeze {num_bytes} bytes")
+        if not self._squeezing:
+            self._finalize()
+        out = bytearray()
+        while len(out) < num_bytes:
+            if self._squeeze_offset == self.rate_bytes:
+                self._state = self._permutation(self._state)
+                self._squeeze_offset = 0
+            available = self.rate_bytes - self._squeeze_offset
+            take = min(available, num_bytes - len(out))
+            state_bytes = self._state.to_bytes()
+            out.extend(
+                state_bytes[self._squeeze_offset : self._squeeze_offset + take]
+            )
+            self._squeeze_offset += take
+        return bytes(out)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def state(self) -> KeccakState:
+        """A copy of the current internal state (for tests/inspection)."""
+        return self._state.copy()
+
+    @property
+    def squeezing(self) -> bool:
+        """True once the sponge has entered the squeezing phase."""
+        return self._squeezing
+
+    def copy(self) -> "Sponge":
+        """Deep copy, preserving phase and buffered bytes."""
+        clone = Sponge(self.capacity_bits, self.suffix, self._permutation)
+        clone._state = self._state.copy()
+        clone._buffer = bytearray(self._buffer)
+        clone._squeezing = self._squeezing
+        clone._squeeze_offset = self._squeeze_offset
+        return clone
+
+
+def sponge_hash(
+    data: bytes, capacity_bits: int, output_bytes: int, suffix: int
+) -> bytes:
+    """One-shot sponge evaluation (absorb everything, squeeze once)."""
+    if output_bytes > STATE_BYTES * 1024:
+        raise ValueError("unreasonably large output requested")
+    return Sponge(capacity_bits, suffix).absorb(data).squeeze(output_bytes)

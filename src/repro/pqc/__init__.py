@@ -1,0 +1,29 @@
+"""Kyber-style PQC workloads driving multi-state Keccak (paper future work)."""
+
+from .kyber_gen import (
+    KYBER_K,
+    KYBER_N,
+    KYBER_Q,
+    ParallelShake128,
+    WorkloadEstimate,
+    cbd,
+    estimate_workload_cycles,
+    generate_matrix_parallel,
+    generate_matrix_sequential,
+    parse_xof,
+    sample_secret,
+)
+
+__all__ = [
+    "KYBER_N",
+    "KYBER_Q",
+    "KYBER_K",
+    "parse_xof",
+    "generate_matrix_sequential",
+    "generate_matrix_parallel",
+    "ParallelShake128",
+    "cbd",
+    "sample_secret",
+    "WorkloadEstimate",
+    "estimate_workload_cycles",
+]

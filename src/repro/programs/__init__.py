@@ -1,0 +1,44 @@
+"""Generated assembly programs: the paper's Keccak implementations."""
+
+from . import (
+    keccak32_lmul8,
+    keccak64_fused,
+    keccak64_lmul1,
+    keccak64_lmul41,
+    keccak64_lmul8,
+    layout,
+    scalar_keccak,
+    scalar_keccak_interleaved,
+)
+from .base import DEFAULT_STATE_BASE, KeccakProgram
+from .factory import build_program
+from .runner import RunResult, make_processor, run_keccak_program
+from .batch_driver import BatchPermutation, BatchSponge, batch_sha3_256, batch_shake128
+from . import sha3_driver
+from .sha3_driver import SimulatedPermutation, simulated_sha3_256, simulated_shake128
+
+__all__ = [
+    "KeccakProgram",
+    "DEFAULT_STATE_BASE",
+    "RunResult",
+    "run_keccak_program",
+    "make_processor",
+    "build_program",
+    "keccak64_lmul1",
+    "keccak64_lmul8",
+    "keccak32_lmul8",
+    "keccak64_fused",
+    "keccak64_lmul41",
+    "scalar_keccak",
+    "scalar_keccak_interleaved",
+    "layout",
+    "sha3_driver",
+    "SimulatedPermutation",
+    "simulated_sha3_256",
+    "simulated_shake128",
+    "BatchPermutation",
+    "BatchSponge",
+    "batch_sha3_256",
+    "batch_shake128",
+]
+

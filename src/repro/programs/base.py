@@ -1,0 +1,43 @@
+"""Common container for generated Keccak programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..assembler import assemble
+from ..assembler.program import Program
+
+#: Data-memory address where the Keccak state image lives by default.
+DEFAULT_STATE_BASE = 0x1000
+
+
+@dataclass
+class KeccakProgram:
+    """A generated assembly program plus its architectural parameters."""
+
+    name: str
+    source: str
+    elen: int
+    elenum: int
+    lmul: int
+    description: str = ""
+    #: Data-memory address of the state image (None if the program does no
+    #: memory I/O and states are pre-placed in the register file).
+    state_base: Optional[int] = None
+    #: Rounds executed: 24 for Keccak-f[1600], fewer for Keccak-p[1600, nr]
+    #: (e.g. 12 for the TurboSHAKE / KangarooTwelve permutation).
+    num_rounds: int = 24
+    _assembled: Optional[Program] = field(default=None, repr=False)
+
+    def assemble(self, base_address: int = 0) -> Program:
+        """Assemble (and cache) the program."""
+        if self._assembled is None or \
+                self._assembled.base_address != base_address:
+            self._assembled = assemble(self.source, base_address)
+        return self._assembled
+
+    @property
+    def max_states(self) -> int:
+        """How many Keccak states this configuration processes in parallel."""
+        return self.elenum // 5

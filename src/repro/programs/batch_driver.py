@@ -1,0 +1,177 @@
+"""Batch hashing: N distinct messages over N parallel Keccak states.
+
+This is the workload the multi-state vector register file exists for
+(paper Section 1: Kyber generates A, s and e from *similar but distinct*
+inputs, "it would be beneficial if one or more Keccak states could work
+simultaneously").  Each message gets its own sponge state; all states are
+absorbed/permuted together by a single program run on the simulator, so N
+messages cost the same cycle count as one.
+
+The batch sponge handles messages of *different lengths* by sub-batching:
+once a lane's message is exhausted it drops out of the absorb batches,
+and the remaining active lanes keep permuting together — mirroring how
+software would drive the hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..keccak.sponge import SHA3_SUFFIX, SHAKE_SUFFIX
+from ..keccak.state import KeccakState
+from . import layout
+from .base import KeccakProgram
+from .factory import build_program
+from .runner import make_processor
+
+
+class BatchPermutation:
+    """Permute up to SN states simultaneously on the simulator."""
+
+    def __init__(self, elen: int = 64, lmul: int = 8,
+                 elenum: int = 30,
+                 program: Optional[KeccakProgram] = None) -> None:
+        self.program = program or build_program(elen, lmul, elenum,
+                                                include_memory_io=True)
+        if self.program.state_base is None:
+            raise ValueError("batch permutation needs a memory-IO program")
+        self._processor = make_processor(self.program, trace=False)
+        self._assembled = self.program.assemble()
+        self.call_count = 0
+        self.total_cycles = 0
+
+    @property
+    def max_states(self) -> int:
+        """States permuted per call."""
+        return self.program.max_states
+
+    def __call__(self, states: Sequence[KeccakState]) -> List[KeccakState]:
+        if len(states) > self.max_states:
+            raise ValueError(
+                f"batch of {len(states)} exceeds {self.max_states} states"
+            )
+        processor = self._processor
+        processor.load_program(self._assembled)
+        processor.reset_stats(trace=False)
+        elenum = self.program.elenum
+        base = self.program.state_base
+        if self.program.elen == 64:
+            image = layout.memory_image64(states, elenum)
+        else:
+            image = layout.memory_image32(states, elenum)
+        processor.memory.store_bytes(base, image)
+        stats = processor.run()
+        self.call_count += 1
+        self.total_cycles += stats.cycles
+        if self.program.elen == 64:
+            raw = processor.memory.load_bytes(base, 5 * elenum * 8)
+            return layout.parse_memory_image64(raw, elenum, len(states))
+        raw = processor.memory.load_bytes(base, 2 * 5 * elenum * 4)
+        return layout.parse_memory_image32(raw, elenum, len(states))
+
+
+class BatchSponge:
+    """N independent sponges advanced in lock-step by batch permutations."""
+
+    def __init__(self, num_lanes: int, capacity_bits: int, suffix: int,
+                 permutation: BatchPermutation) -> None:
+        if num_lanes < 1:
+            raise ValueError("need at least one lane")
+        if num_lanes > permutation.max_states:
+            raise ValueError(
+                f"{num_lanes} lanes exceed the permutation's "
+                f"{permutation.max_states} states"
+            )
+        if capacity_bits % 8 or not 0 < capacity_bits < 1600:
+            raise ValueError(f"bad capacity: {capacity_bits}")
+        self.num_lanes = num_lanes
+        self.rate_bytes = (1600 - capacity_bits) // 8
+        self.suffix = suffix
+        self._permutation = permutation
+        self._states = [KeccakState() for _ in range(num_lanes)]
+        self._buffers = [bytearray() for _ in range(num_lanes)]
+        self._squeezing = False
+        self._squeeze_offsets = [0] * num_lanes
+
+    def absorb(self, lane: int, data: bytes) -> None:
+        """Buffer message bytes for one lane (no permutation yet)."""
+        if self._squeezing:
+            raise RuntimeError("cannot absorb after squeezing started")
+        if not 0 <= lane < self.num_lanes:
+            raise IndexError(f"lane out of range: {lane}")
+        self._buffers[lane].extend(data)
+
+    def _finalize(self) -> None:
+        """Pad every lane and absorb all blocks with batched permutations."""
+        # Build each lane's padded message, then absorb block-by-block:
+        # iteration k XORs block k of every lane that has one and permutes
+        # the whole batch once.  Lanes that ran out of blocks must not
+        # change, so they are absorbed with *frozen* snapshots: we permute
+        # only lanes still active, in sub-batches.
+        padded: List[bytes] = []
+        for buffer in self._buffers:
+            block = bytearray(buffer)
+            pad_len = self.rate_bytes - (len(block) % self.rate_bytes)
+            tail = bytearray(pad_len)
+            tail[0] = self.suffix
+            tail[-1] ^= 0x80  # pad_len == 1 folds suffix and final bit
+            block.extend(tail)
+            padded.append(bytes(block))
+
+        max_blocks = max(len(p) // self.rate_bytes for p in padded)
+        for k in range(max_blocks):
+            active = [i for i in range(self.num_lanes)
+                      if k < len(padded[i]) // self.rate_bytes]
+            for i in active:
+                block = padded[i][k * self.rate_bytes:(k + 1) * self.rate_bytes]
+                self._states[i].xor_bytes(block)
+            # Batch-permute the active lanes together (one program run).
+            permuted = self._permutation([self._states[i] for i in active])
+            for slot, i in enumerate(active):
+                self._states[i] = permuted[slot]
+        self._squeezing = True
+
+    def squeeze(self, length: int) -> List[bytes]:
+        """Squeeze ``length`` bytes from every lane (batched permutes)."""
+        if length < 0:
+            raise ValueError(f"cannot squeeze {length} bytes")
+        if not self._squeezing:
+            self._finalize()
+        outputs = [bytearray() for _ in range(self.num_lanes)]
+        while any(len(o) < length for o in outputs):
+            if all(off == self.rate_bytes for off in self._squeeze_offsets):
+                self._states = self._permutation(self._states)
+                self._squeeze_offsets = [0] * self.num_lanes
+            for i in range(self.num_lanes):
+                need = length - len(outputs[i])
+                if need <= 0:
+                    continue
+                offset = self._squeeze_offsets[i]
+                take = min(self.rate_bytes - offset, need)
+                outputs[i].extend(
+                    self._states[i].to_bytes()[offset:offset + take]
+                )
+                self._squeeze_offsets[i] += take
+        return [bytes(o) for o in outputs]
+
+
+def batch_sha3_256(messages: Sequence[bytes],
+                   permutation: Optional[BatchPermutation] = None
+                   ) -> List[bytes]:
+    """SHA3-256 of up to SN messages with batched simulator permutations."""
+    perm = permutation or BatchPermutation()
+    sponge = BatchSponge(len(messages), 512, SHA3_SUFFIX, perm)
+    for lane, message in enumerate(messages):
+        sponge.absorb(lane, message)
+    return [d[:32] for d in sponge.squeeze(32)]
+
+
+def batch_shake128(messages: Sequence[bytes], length: int,
+                   permutation: Optional[BatchPermutation] = None
+                   ) -> List[bytes]:
+    """SHAKE128 outputs of up to SN messages, batched on the simulator."""
+    perm = permutation or BatchPermutation()
+    sponge = BatchSponge(len(messages), 256, SHAKE_SUFFIX, perm)
+    for lane, message in enumerate(messages):
+        sponge.absorb(lane, message)
+    return sponge.squeeze(length)

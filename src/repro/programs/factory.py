@@ -1,0 +1,29 @@
+"""Program factory: pick the right Keccak program for an architecture."""
+
+from __future__ import annotations
+
+from . import keccak32_lmul8, keccak64_lmul1, keccak64_lmul8
+from .base import KeccakProgram
+
+
+def build_program(elen: int, lmul: int, elenum: int,
+                  include_memory_io: bool = False,
+                  num_rounds: int = 24) -> KeccakProgram:
+    """Build one of the three vector Keccak programs by architecture knobs.
+
+    ``num_rounds`` < 24 generates the Keccak-p[1600, nr] variant (e.g. 12
+    rounds for the TurboSHAKE / KangarooTwelve permutation).
+    """
+    if elen == 64 and lmul == 1:
+        return keccak64_lmul1.build(elenum, include_memory_io,
+                                    num_rounds=num_rounds)
+    if elen == 64 and lmul == 8:
+        return keccak64_lmul8.build(elenum, include_memory_io,
+                                    num_rounds=num_rounds)
+    if elen == 32 and lmul == 8:
+        return keccak32_lmul8.build(elenum, include_memory_io,
+                                    num_rounds=num_rounds)
+    raise ValueError(
+        f"no program for ELEN={elen}, LMUL={lmul} — the paper evaluates "
+        "(64, 1), (64, 8) and (32, 8)"
+    )

@@ -1,0 +1,139 @@
+"""Keccak-f[1600] for the 32-bit architecture with LMUL = 8 (Section 4.1).
+
+Each 64-bit lane is split into hi/lo 32-bit halves (paper Fig. 6): the
+least-significant halves live in vector registers 0..4, the most
+significant halves in registers 16..20.  The program mirrors the 64-bit
+LMUL=8 structure, except that the two rotations (theta's parity rotation
+and rho) use the pair-concatenating custom instructions ``v32lrotup`` /
+``v32hrotup`` / ``v32lrho`` / ``v32hrho``, and iota runs twice per round
+with the round constant split into 32-bit halves (round-constant indices
+count by two: even = low half, odd = high half).
+
+The round body costs 147 cycles under the calibrated cycle model, matching
+the paper's Table 8.
+"""
+
+from __future__ import annotations
+
+from .base import DEFAULT_STATE_BASE, KeccakProgram
+
+_ROUND_BODY = """\
+round_body:
+    # theta step (LMUL=1): parities of both halves
+    vxor.vv v5, v3, v4
+    vxor.vv v6, v1, v2
+    vxor.vv v7, v0, v6
+    vxor.vv v5, v5, v7              # B_lo[x]
+    vxor.vv v21, v19, v20
+    vxor.vv v22, v17, v18
+    vxor.vv v23, v16, v22
+    vxor.vv v21, v21, v23           # B_hi[x]
+    vslideupm.vi v6, v5, 1          # B_lo[(x-1) mod 5]
+    vslideupm.vi v22, v21, 1        # B_hi[(x-1) mod 5]
+    vslidedownm.vi v7, v5, 1        # B_lo[(x+1) mod 5]
+    vslidedownm.vi v23, v21, 1      # B_hi[(x+1) mod 5]
+    v32lrotup.vv v8, v23, v7        # ROT(B[(x+1) mod 5], 1) low half
+    v32hrotup.vv v23, v23, v7       # ROT(B[(x+1) mod 5], 1) high half
+    vxor.vv v5, v6, v8              # C_lo[x]
+    vxor.vv v21, v22, v23           # C_hi[x]
+    vxor.vv v0, v0, v5              # D = A ^ C, low halves
+    vxor.vv v1, v1, v5
+    vxor.vv v2, v2, v5
+    vxor.vv v3, v3, v5
+    vxor.vv v4, v4, v5
+    vxor.vv v16, v16, v21           # D = A ^ C, high halves
+    vxor.vv v17, v17, v21
+    vxor.vv v18, v18, v21
+    vxor.vv v19, v19, v21
+    vxor.vv v20, v20, v21
+    # rho step (LMUL=8): rotate hi||lo pairs, rows via lmul_cnt
+    vsetvli x0, s5, e32, m8, tu, mu
+    v32lrho.vv v8, v16, v0          # rotated low halves -> v8 group
+    v32hrho.vv v24, v16, v0         # rotated high halves -> v24 group
+    # pi step: scramble both halves back into the state registers
+    vpi.vi v0, v8, -1
+    vpi.vi v16, v24, -1
+    # chi step, low halves
+    vslidedownm.vi v8, v0, 1
+    vxor.vx v8, v8, s2
+    vslidedownm.vi v24, v0, 2
+    vand.vv v8, v8, v24
+    vxor.vv v0, v0, v8
+    # chi step, high halves
+    vslidedownm.vi v8, v16, 1
+    vxor.vx v8, v8, s2
+    vslidedownm.vi v24, v16, 2
+    vand.vv v8, v8, v24
+    vxor.vv v16, v16, v8
+    # iota step (LMUL=1): low then high round-constant half
+    vsetvli x0, s1, e32, m1, tu, mu
+    viota.vx v0, v0, s3             # even index: low half of RC
+    addi s7, s3, 1
+    viota.vx v16, v16, s7           # odd index: high half of RC
+round_end:
+"""
+
+
+def build(elenum: int, include_memory_io: bool = False,
+          state_base: int = DEFAULT_STATE_BASE,
+          num_rounds: int = 24) -> KeccakProgram:
+    """Generate the 32-bit LMUL=8 Keccak permutation program."""
+    if not 0 < num_rounds <= 24:
+        raise ValueError(
+            f"round count must be in 1..24, got {num_rounds}"
+        )
+    row_bytes = elenum * 4
+    hi_base = state_base + 5 * row_bytes
+    lines = [
+        "# Keccak-f[1600], 32-bit architecture, LMUL=8 (paper Section 4.1)",
+        f".equ ELENUM, {elenum}",
+        f".equ STATE_BASE, {state_base:#x}",
+        f".equ HI_BASE, {hi_base:#x}",
+        f".equ ROW_BYTES, {row_bytes}",
+        "    li s1, ELENUM                   # VL for LMUL=1 sections",
+        "    li s2, -1                       # all-ones for NOT-by-XOR",
+        f"    li s3, {2 * (24 - num_rounds)}"
+        "                       # round-constant index (by 2)",
+        "    li s4, 48                       # last RC index bound",
+        f"    li s5, {5 * elenum}                     # VL for LMUL=8 sections",
+        "    vsetvli x0, s1, e32, m1, tu, mu",
+    ]
+    if include_memory_io:
+        load_lines = ["    li a0, STATE_BASE"]
+        for y in range(5):
+            load_lines.append(f"    vle32.v v{y}, (a0)")
+            load_lines.append("    addi a0, a0, ROW_BYTES")
+        load_lines.append("    li a0, HI_BASE")
+        for y in range(5):
+            load_lines.append(f"    vle32.v v{16 + y}, (a0)")
+            if y != 4:
+                load_lines.append("    addi a0, a0, ROW_BYTES")
+        lines += load_lines
+    lines.append("permutation:")
+    lines.append(_ROUND_BODY)
+    lines += [
+        "    addi s3, s3, 2",
+        "    blt s3, s4, permutation",
+    ]
+    if include_memory_io:
+        store_lines = ["    li a0, STATE_BASE"]
+        for y in range(5):
+            store_lines.append(f"    vse32.v v{y}, (a0)")
+            store_lines.append("    addi a0, a0, ROW_BYTES")
+        store_lines.append("    li a0, HI_BASE")
+        for y in range(5):
+            store_lines.append(f"    vse32.v v{16 + y}, (a0)")
+            if y != 4:
+                store_lines.append("    addi a0, a0, ROW_BYTES")
+        lines += store_lines
+    lines.append("    ecall")
+    return KeccakProgram(
+        name="keccak32_lmul8",
+        source="\n".join(lines) + "\n",
+        elen=32,
+        elenum=elenum,
+        lmul=8,
+        description="32-bit architecture, LMUL=8 (hi/lo lane split, Fig. 6)",
+        state_base=state_base if include_memory_io else None,
+        num_rounds=num_rounds,
+    )

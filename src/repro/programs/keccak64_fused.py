@@ -1,0 +1,93 @@
+"""Keccak-f[1600] with fused custom instructions (paper future work).
+
+The paper's conclusion predicts: "the two architectures' performance will
+improve more if we increase the granularity or combine some adjacent
+operations."  This program quantifies that prediction on the 64-bit
+architecture with two fused extensions:
+
+* ``vrhopi.vi`` — the rho rotation and the pi column-scramble in a single
+  register-file pass (the classic rho+pi fusion of software Keccak);
+* ``vchi.vi`` — the whole chi row function (slide, NOT, slide, AND, XOR)
+  in one instruction.
+
+The LMUL=8 round drops from 75 to 45 cycles: theta (26) + vsetvli (2) +
+vrhopi (7) + vchi (6) + vsetvli (2) + viota (2).
+"""
+
+from __future__ import annotations
+
+from .base import DEFAULT_STATE_BASE, KeccakProgram
+
+_ROUND_BODY = """\
+round_body:
+    # theta step (LMUL=1, unchanged from Algorithm 2)
+    vxor.vv v5, v3, v4
+    vxor.vv v6, v1, v2
+    vxor.vv v7, v0, v6
+    vxor.vv v5, v5, v7
+    vslideupm.vi v6, v5, 1
+    vslidedownm.vi v7, v5, 1
+    vrotup.vi v7, v7, 1
+    vxor.vv v5, v6, v7
+    vxor.vv v0, v0, v5
+    vxor.vv v1, v1, v5
+    vxor.vv v2, v2, v5
+    vxor.vv v3, v3, v5
+    vxor.vv v4, v4, v5
+    # fused rho + pi (LMUL=8): one column-writing pass over the state
+    vsetvli x0, s5, e64, m8, tu, mu
+    vrhopi.vi v8, v0, -1
+    # fused chi: the whole row function in one instruction
+    vchi.vi v0, v8, 0
+    # iota step (LMUL=1)
+    vsetvli x0, s1, e64, m1, tu, mu
+    viota.vx v0, v0, s3
+round_end:
+"""
+
+
+def build(elenum: int, include_memory_io: bool = False,
+          state_base: int = DEFAULT_STATE_BASE) -> KeccakProgram:
+    """Generate the fused-instruction 64-bit LMUL=8 program."""
+    row_bytes = elenum * 8
+    lines = [
+        "# Keccak-f[1600], 64-bit, LMUL=8, fused rho+pi and chi"
+        " (future-work extension)",
+        f".equ ELENUM, {elenum}",
+        f".equ STATE_BASE, {state_base:#x}",
+        f".equ ROW_BYTES, {row_bytes}",
+        "    li s1, ELENUM",
+        "    li s2, -1",
+        "    li s3, 0",
+        "    li s4, 24",
+        f"    li s5, {5 * elenum}",
+        "    vsetvli x0, s1, e64, m1, tu, mu",
+    ]
+    if include_memory_io:
+        lines.append("    li a0, STATE_BASE")
+        for y in range(5):
+            lines.append(f"    vle64.v v{y}, (a0)")
+            if y != 4:
+                lines.append("    addi a0, a0, ROW_BYTES")
+    lines.append("permutation:")
+    lines.append(_ROUND_BODY)
+    lines += [
+        "    addi s3, s3, 1",
+        "    blt s3, s4, permutation",
+    ]
+    if include_memory_io:
+        lines.append("    li a0, STATE_BASE")
+        for y in range(5):
+            lines.append(f"    vse64.v v{y}, (a0)")
+            if y != 4:
+                lines.append("    addi a0, a0, ROW_BYTES")
+    lines.append("    ecall")
+    return KeccakProgram(
+        name="keccak64_fused",
+        source="\n".join(lines) + "\n",
+        elen=64,
+        elenum=elenum,
+        lmul=8,
+        description="64-bit, LMUL=8, fused rho+pi and chi (future work)",
+        state_base=state_base if include_memory_io else None,
+    )

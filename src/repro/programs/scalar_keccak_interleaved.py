@@ -1,0 +1,416 @@
+"""Scalar Keccak baseline using *bit interleaving* (paper Section 3.2).
+
+The alternative 32-bit lane representation the paper discusses: even bits
+of each 64-bit lane in one word, odd bits in the other.  A 64-bit rotation
+then becomes two independent, branchless 32-bit rotations — cheaper than
+the hi/lo split's double-word shifting — but the data must be interleaved
+before the permutation and deinterleaved after ("extra efforts are
+required to separate the lane into odd parts and even parts", §3.2).
+
+This program measures both sides of that trade-off in actual RV32IM
+machine code: the state arrives in natural (hi/lo) form, is converted
+in place by an in-assembly interleave pass, permuted for 24 rounds in the
+interleaved domain, and converted back.  Labels around each phase let the
+harness attribute cycles to conversion vs permutation.
+
+Additional register conventions beyond :mod:`scalar_keccak`'s:
+
+======  ==========================================
+s3      rotation-table base (rotE at +0, rotO at +32, swap at +64)
+s4      pi destination-index table base
+======  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..keccak.constants import RHO_OFFSETS, ROUND_CONSTANTS
+from ..keccak.interleave import interleave
+from ..keccak.state import KeccakState
+from ..sim.memory import DataMemory
+from .base import KeccakProgram
+from .scalar_keccak import pi_destination_table
+
+#: Data-memory map.
+STATE_BASE = 0x1000   # 25 lanes x 8 bytes; natural in/out, interleaved inside
+B_BASE = 0x1100       # rho+pi scratch buffer
+C_BASE = 0x1200       # theta parities
+RC_BASE = 0x1300      # interleaved round constants (even word, odd word)
+ROT_BASE = 0x1400     # rotE (25 B) @ +0, rotO @ +32, swap @ +64
+PI_BASE = 0x1480      # pi destination indices
+IDX1_BASE = 0x14C0    # (x+1) mod 5
+IDX2_BASE = 0x14C8    # (x+2) mod 5
+IDX4_BASE = 0x14D0    # (x+4) mod 5
+
+
+def rotation_tables() -> Tuple[List[int], List[int], List[int]]:
+    """Per-lane (rotE, rotO, swap) for interleaved rho rotations.
+
+    Rotating an interleaved lane left by n: if n is even, both words
+    rotate by n/2 in place; if n is odd, the words swap roles and rotate
+    by (n+1)/2 (new even, from old odd) and n/2 (new odd, from old even).
+    """
+    rot_e, rot_o, swap = [], [], []
+    for i in range(25):
+        n = RHO_OFFSETS[i % 5][i // 5]
+        if n % 2 == 0:
+            rot_e.append((n // 2) % 32)
+            rot_o.append((n // 2) % 32)
+            swap.append(0)
+        else:
+            rot_e.append(((n + 1) // 2) % 32)
+            rot_o.append((n // 2) % 32)
+            swap.append(1)
+    return rot_e, rot_o, swap
+
+
+_GATHER_EVEN = """\
+    and  {d}, {w}, a0
+    srli t5, {d}, 1
+    or   {d}, {d}, t5
+    and  {d}, {d}, a1
+    srli t5, {d}, 2
+    or   {d}, {d}, t5
+    and  {d}, {d}, a2
+    srli t5, {d}, 4
+    or   {d}, {d}, t5
+    and  {d}, {d}, a3
+    srli t5, {d}, 8
+    or   {d}, {d}, t5
+    and  {d}, {d}, a4
+"""
+
+_SPREAD16 = """\
+    and  {d}, {w}, a4
+    slli t5, {d}, 8
+    or   {d}, {d}, t5
+    and  {d}, {d}, a3
+    slli t5, {d}, 4
+    or   {d}, {d}, t5
+    and  {d}, {d}, a2
+    slli t5, {d}, 2
+    or   {d}, {d}, t5
+    and  {d}, {d}, a1
+    slli t5, {d}, 1
+    or   {d}, {d}, t5
+    and  {d}, {d}, a0
+"""
+
+
+def _conversion_constants() -> str:
+    return """\
+    li a0, 0x55555555
+    li a1, 0x33333333
+    li a2, 0x0F0F0F0F
+    li a3, 0x00FF00FF
+    li a4, 0x0000FFFF
+"""
+
+
+def _interleave_pass() -> str:
+    """Natural (lo, hi) -> interleaved (even, odd), in place, looped."""
+    body = f"""\
+interleave_start:
+{_conversion_constants()}\
+    li   t0, 0
+interleave_loop:
+    slli t1, t0, 3
+    add  t1, t1, s0
+    lw   t2, 0(t1)            # lo 32 bits of the lane
+    lw   t3, 4(t1)            # hi 32 bits
+{_GATHER_EVEN.format(d="t4", w="t2")}\
+{_GATHER_EVEN.format(d="t6", w="t3")}\
+    slli t6, t6, 16
+    or   t4, t4, t6           # even word
+    srli t2, t2, 1
+    srli t3, t3, 1
+{_GATHER_EVEN.format(d="a5", w="t2")}\
+{_GATHER_EVEN.format(d="t6", w="t3")}\
+    slli t6, t6, 16
+    or   a5, a5, t6           # odd word
+    sw   t4, 0(t1)
+    sw   a5, 4(t1)
+    addi t0, t0, 1
+    blt  t0, a7, interleave_loop
+interleave_end:
+"""
+    return body
+
+
+def _deinterleave_pass() -> str:
+    """Interleaved (even, odd) -> natural (lo, hi), in place, looped."""
+    body = f"""\
+deinterleave_start:
+{_conversion_constants()}\
+    li   t0, 0
+deinterleave_loop:
+    slli t1, t0, 3
+    add  t1, t1, s0
+    lw   t2, 0(t1)            # even word
+    lw   t3, 4(t1)            # odd word
+{_SPREAD16.format(d="t4", w="t2")}\
+{_SPREAD16.format(d="t6", w="t3")}\
+    slli t6, t6, 1
+    or   t4, t4, t6           # lo 32 bits
+    srli t2, t2, 16
+    srli t3, t3, 16
+{_SPREAD16.format(d="a5", w="t2")}\
+{_SPREAD16.format(d="t6", w="t3")}\
+    slli t6, t6, 1
+    or   a5, a5, t6           # hi 32 bits
+    sw   t4, 0(t1)
+    sw   a5, 4(t1)
+    addi t0, t0, 1
+    blt  t0, a7, deinterleave_loop
+deinterleave_end:
+"""
+    return body
+
+
+_PERMUTATION = """\
+    li a6, 32
+round_loop:
+round_body:
+    # ---- theta, part 1: C[x] = XOR of the column (word-wise, both words)
+    li t0, 0
+theta_c_loop:
+    slli t1, t0, 3
+    add  t1, t1, s0
+    lw   t2, 0(t1)
+    lw   t3, 4(t1)
+    lw   t4, 40(t1)
+    lw   t5, 44(t1)
+    xor  t2, t2, t4
+    xor  t3, t3, t5
+    lw   t4, 80(t1)
+    lw   t5, 84(t1)
+    xor  t2, t2, t4
+    xor  t3, t3, t5
+    lw   t4, 120(t1)
+    lw   t5, 124(t1)
+    xor  t2, t2, t4
+    xor  t3, t3, t5
+    lw   t4, 160(t1)
+    lw   t5, 164(t1)
+    xor  t2, t2, t4
+    xor  t3, t3, t5
+    slli t4, t0, 3
+    add  t4, t4, s7
+    sw   t2, 0(t4)
+    sw   t3, 4(t4)
+    addi t0, t0, 1
+    blt  t0, s8, theta_c_loop
+    # ---- theta, part 2: D = C[(x+4)%5] ^ ROL1(C[(x+1)%5]); A ^= D
+    li t0, 0
+theta_d_loop:
+    add  t1, t0, s9
+    lbu  t1, 0(t1)
+    slli t1, t1, 3
+    add  t1, t1, s7
+    lw   t2, 0(t1)            # C1 even
+    lw   t3, 4(t1)            # C1 odd
+    # interleaved ROL1: even' = rotl32(odd, 1); odd' = even
+    srli t5, t3, 31
+    slli t4, t3, 1
+    or   t4, t4, t5
+    mv   t3, t2
+    mv   t2, t4
+    add  t1, t0, s11
+    lbu  t1, 0(t1)
+    slli t1, t1, 3
+    add  t1, t1, s7
+    lw   t4, 0(t1)
+    lw   t5, 4(t1)
+    xor  t2, t2, t4           # D even
+    xor  t3, t3, t5           # D odd
+    slli t1, t0, 3
+    add  t1, t1, s0
+    lw   t4, 0(t1)
+    xor  t4, t4, t2
+    sw   t4, 0(t1)
+    lw   t4, 4(t1)
+    xor  t4, t4, t3
+    sw   t4, 4(t1)
+    lw   t4, 40(t1)
+    xor  t4, t4, t2
+    sw   t4, 40(t1)
+    lw   t4, 44(t1)
+    xor  t4, t4, t3
+    sw   t4, 44(t1)
+    lw   t4, 80(t1)
+    xor  t4, t4, t2
+    sw   t4, 80(t1)
+    lw   t4, 84(t1)
+    xor  t4, t4, t3
+    sw   t4, 84(t1)
+    lw   t4, 120(t1)
+    xor  t4, t4, t2
+    sw   t4, 120(t1)
+    lw   t4, 124(t1)
+    xor  t4, t4, t3
+    sw   t4, 124(t1)
+    lw   t4, 160(t1)
+    xor  t4, t4, t2
+    sw   t4, 160(t1)
+    lw   t4, 164(t1)
+    xor  t4, t4, t3
+    sw   t4, 164(t1)
+    addi t0, t0, 1
+    blt  t0, s8, theta_d_loop
+    # ---- rho + pi: branchless interleaved rotations (the win of §3.2)
+    li t0, 0
+rhopi_loop:
+    slli t1, t0, 3
+    add  t1, t1, s0
+    lw   a0, 0(t1)            # even
+    lw   a1, 4(t1)            # odd
+    add  t2, t0, s3
+    lbu  a2, 0(t2)            # rotE
+    lbu  a3, 32(t2)           # rotO
+    lbu  a4, 64(t2)           # swap flag (odd rotation amount)
+    beqz a4, rho_noswap
+    mv   t3, a0
+    mv   a0, a1
+    mv   a1, t3
+rho_noswap:
+    sub  t3, a6, a2
+    sll  t4, a0, a2
+    srl  t5, a0, t3
+    or   a0, t4, t5           # even' = rotl32(., rotE)
+    sub  t3, a6, a3
+    sll  t4, a1, a3
+    srl  t5, a1, t3
+    or   a1, t4, t5           # odd' = rotl32(., rotO)
+    add  t2, t0, s4
+    lbu  t2, 0(t2)
+    slli t2, t2, 3
+    add  t2, t2, s1
+    sw   a0, 0(t2)
+    sw   a1, 4(t2)
+    addi t0, t0, 1
+    blt  t0, a7, rhopi_loop
+    # ---- chi (word-wise, identical to the hi/lo variant)
+    li   a3, 0
+    li   a4, 0
+chi_y_loop:
+    li   t1, 0
+chi_x_loop:
+    add  t2, t1, s9
+    lbu  t2, 0(t2)
+    add  t3, t1, s10
+    lbu  t3, 0(t3)
+    slli t2, t2, 3
+    add  t2, t2, a4
+    add  t2, t2, s1
+    lw   t4, 0(t2)
+    lw   t5, 4(t2)
+    xori t4, t4, -1
+    xori t5, t5, -1
+    slli t3, t3, 3
+    add  t3, t3, a4
+    add  t3, t3, s1
+    lw   a0, 0(t3)
+    lw   a1, 4(t3)
+    and  t4, t4, a0
+    and  t5, t5, a1
+    slli t3, t1, 3
+    add  t3, t3, a4
+    add  t3, t3, s1
+    lw   a0, 0(t3)
+    lw   a1, 4(t3)
+    xor  t4, t4, a0
+    xor  t5, t5, a1
+    add  t3, t3, s0
+    sub  t3, t3, s1
+    sw   t4, 0(t3)
+    sw   t5, 4(t3)
+    addi t1, t1, 1
+    blt  t1, s8, chi_x_loop
+    addi a4, a4, 40
+    addi a3, a3, 1
+    blt  a3, s8, chi_y_loop
+    # ---- iota with interleaved round constants
+    slli t1, s5, 3
+    add  t1, t1, s2
+    lw   t2, 0(t1)
+    lw   t3, 4(t1)
+    lw   t4, 0(s0)
+    lw   t5, 4(s0)
+    xor  t4, t4, t2
+    xor  t5, t5, t3
+    sw   t4, 0(s0)
+    sw   t5, 4(s0)
+round_end:
+    addi s5, s5, 1
+    blt  s5, s6, round_loop
+"""
+
+
+def build() -> KeccakProgram:
+    """Generate the bit-interleaved scalar Keccak baseline."""
+    source = "\n".join([
+        "# Scalar Keccak-f[1600], bit-interleaved representation (§3.2)",
+        f".equ STATE, {STATE_BASE:#x}",
+        f".equ BBUF, {B_BASE:#x}",
+        f".equ CBUF, {C_BASE:#x}",
+        f".equ RCTAB, {RC_BASE:#x}",
+        f".equ ROTTAB, {ROT_BASE:#x}",
+        f".equ PITAB, {PI_BASE:#x}",
+        f".equ IDX1, {IDX1_BASE:#x}",
+        f".equ IDX2, {IDX2_BASE:#x}",
+        f".equ IDX4, {IDX4_BASE:#x}",
+        "    li s0, STATE",
+        "    li s1, BBUF",
+        "    li s2, RCTAB",
+        "    li s3, ROTTAB",
+        "    li s4, PITAB",
+        "    li s5, 0",
+        "    li s6, 24",
+        "    li s7, CBUF",
+        "    li s8, 5",
+        "    li s9, IDX1",
+        "    li s10, IDX2",
+        "    li s11, IDX4",
+        "    li a7, 25",
+        _interleave_pass(),
+        _PERMUTATION,
+        _deinterleave_pass(),
+        "    ecall",
+    ])
+    return KeccakProgram(
+        name="scalar_keccak_interleaved",
+        source=source,
+        elen=32,
+        elenum=1,
+        lmul=1,
+        description="bit-interleaved scalar baseline (Section 3.2 "
+                    "alternative)",
+        state_base=STATE_BASE,
+    )
+
+
+def setup_data(memory: DataMemory, state: KeccakState) -> None:
+    """Write the state (natural form) and all lookup tables."""
+    for i, lane in enumerate(state.lanes):
+        memory.store_bytes(STATE_BASE + 8 * i, lane.to_bytes(8, "little"))
+    for i, rc in enumerate(ROUND_CONSTANTS):
+        even, odd = interleave(rc)
+        memory.store(RC_BASE + 8 * i, 32, even)
+        memory.store(RC_BASE + 8 * i + 4, 32, odd)
+    rot_e, rot_o, swap = rotation_tables()
+    memory.store_bytes(ROT_BASE, bytes(rot_e))
+    memory.store_bytes(ROT_BASE + 32, bytes(rot_o))
+    memory.store_bytes(ROT_BASE + 64, bytes(swap))
+    memory.store_bytes(PI_BASE, bytes(pi_destination_table()))
+    memory.store_bytes(IDX1_BASE, bytes((x + 1) % 5 for x in range(5)))
+    memory.store_bytes(IDX2_BASE, bytes((x + 2) % 5 for x in range(5)))
+    memory.store_bytes(IDX4_BASE, bytes((x + 4) % 5 for x in range(5)))
+
+
+def read_state(memory: DataMemory) -> KeccakState:
+    """Read the permuted state back (natural form after deinterleave)."""
+    return KeccakState([
+        int.from_bytes(memory.load_bytes(STATE_BASE + 8 * i, 8), "little")
+        for i in range(25)
+    ])

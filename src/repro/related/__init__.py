@@ -1,0 +1,29 @@
+"""Published results of the designs the paper compares against."""
+
+from .models import (
+    ALL_RELATED,
+    DASIP,
+    IBEX_C_CODE,
+    LEON3_ISE,
+    MIPS_COPROCESSOR_ISE,
+    MIPS_NATIVE_ISE,
+    OASIP,
+    RAWAT_VECTOR_EXTENSIONS,
+    TABLE7_RELATED,
+    TABLE8_RELATED,
+    RelatedDesign,
+)
+
+__all__ = [
+    "RelatedDesign",
+    "LEON3_ISE",
+    "MIPS_NATIVE_ISE",
+    "MIPS_COPROCESSOR_ISE",
+    "OASIP",
+    "DASIP",
+    "RAWAT_VECTOR_EXTENSIONS",
+    "IBEX_C_CODE",
+    "TABLE7_RELATED",
+    "TABLE8_RELATED",
+    "ALL_RELATED",
+]

@@ -1,0 +1,132 @@
+"""Related-work comparison models (paper Section 2.3 and Tables 7/8).
+
+The paper compares against five previously published designs using the
+numbers those papers report — not re-implementations.  We carry the same
+published figures, typed and cited, so the comparison tables and speedup
+factors can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RelatedDesign:
+    """One published design's reported results."""
+
+    name: str
+    citation: str
+    year: int
+    architecture: str  # "32-bit" or "64-bit"
+    cycles_per_round: Optional[float] = None
+    cycles_per_byte: Optional[float] = None
+    throughput_e3: Optional[float] = None  # (bits/cycle) x 10^3
+    area_slices: Optional[int] = None
+    supports_parallelism: bool = False
+    notes: str = ""
+
+
+LEON3_ISE = RelatedDesign(
+    name="LEON3 ISE",
+    citation="Wang et al., EDSSC 2015 [25]",
+    year=2015,
+    architecture="32-bit",
+    cycles_per_byte=369.0,
+    throughput_e3=21.68,
+    area_slices=8648,
+    notes="First SHA-3 instruction set extension on FPGA; tailored LEON3; "
+          "~87% cycle-count reduction vs software.",
+)
+
+MIPS_NATIVE_ISE = RelatedDesign(
+    name="MIPS Native ISE",
+    citation="Elmohr et al., ICM 2016 [10]",
+    year=2016,
+    architecture="32-bit",
+    cycles_per_byte=178.1,
+    throughput_e3=44.92,
+    area_slices=6595,
+    notes="Four custom instructions, slight datapath modifications; "
+          "25% performance improvement.",
+)
+
+MIPS_COPROCESSOR_ISE = RelatedDesign(
+    name="MIPS Co-processor ISE",
+    citation="Elmohr et al., ICM 2016 [10]",
+    year=2016,
+    architecture="32-bit",
+    cycles_per_byte=137.9,
+    throughput_e3=58.01,
+    area_slices=7643,
+    supports_parallelism=True,
+    notes="Auxiliary registers + co-processor for parallel inputs; "
+          "61.4% speedup.",
+)
+
+OASIP = RelatedDesign(
+    name="OASIP",
+    citation="Rao et al., IEICE 2018 [19]",
+    year=2018,
+    architecture="32-bit",
+    cycles_per_byte=291.5,
+    throughput_e3=27.44,
+    area_slices=981,
+    notes="RISC-V ASIP, seven instruction extensions on the existing "
+          "datapath, no parallelism; 71% improvement.",
+)
+
+DASIP = RelatedDesign(
+    name="DASIP",
+    citation="Rao et al., IEICE 2018 [19]",
+    year=2018,
+    architecture="32-bit",
+    cycles_per_byte=130.4,
+    throughput_e3=61.35,
+    area_slices=1522,
+    supports_parallelism=True,
+    notes="RISC-V ASIP with 21 extensions, 64-bit auxiliary register file, "
+          "data- and instruction-level parallelism; 262% improvement.",
+)
+
+RAWAT_VECTOR_EXTENSIONS = RelatedDesign(
+    name="Vector Extensions",
+    citation="Rawat & Schaumont, IEEE TC 2017 [20]",
+    year=2017,
+    architecture="64-bit",
+    cycles_per_round=66.0,
+    throughput_e3=1010.1,
+    area_slices=None,
+    supports_parallelism=True,
+    notes="Six vector extensions for 128-bit SIMD units (NEON/SSE/AVX "
+          "style), evaluated in the GEM5 simulator only; 66 instructions "
+          "and 66 cycles per Keccak round.",
+)
+
+IBEX_C_CODE = RelatedDesign(
+    name="Ibex core (C-code)",
+    citation="PQ-M4 Keccak C code on Ibex [13, 16]",
+    year=2021,
+    architecture="32-bit",
+    cycles_per_round=2908.0,
+    cycles_per_byte=355.69,
+    throughput_e3=22.45,
+    area_slices=432,
+    notes="Software-only baseline: unmodified 32-bit Ibex core.",
+)
+
+#: Related designs in the 32-bit comparison (Table 8 order).
+TABLE8_RELATED: Tuple[RelatedDesign, ...] = (
+    LEON3_ISE,
+    MIPS_NATIVE_ISE,
+    MIPS_COPROCESSOR_ISE,
+    OASIP,
+    DASIP,
+    IBEX_C_CODE,
+)
+
+#: Related designs in the 64-bit comparison (Table 7 order).
+TABLE7_RELATED: Tuple[RelatedDesign, ...] = (RAWAT_VECTOR_EXTENSIONS,)
+
+ALL_RELATED: Tuple[RelatedDesign, ...] = TABLE7_RELATED + TABLE8_RELATED

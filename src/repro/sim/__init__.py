@@ -1,0 +1,35 @@
+"""Functional + cycle-level simulator of the SIMD RISC-V based processor."""
+
+from .cycles import DEFAULT_CYCLE_MODEL, CycleModel
+from .exceptions import (
+    ExecutionLimitExceeded,
+    IllegalInstructionError,
+    MemoryAccessError,
+    ProcessorHalted,
+    SimulationError,
+)
+from .memory import DataMemory
+from .processor import SIMDProcessor
+from .scalar_core import ScalarCore
+from .trace import ExecutionStats, TraceRecord
+from .vector_regfile import NUM_VECTOR_REGISTERS, VectorRegfile
+from .vector_unit import RC32_TABLE, VectorUnit
+
+__all__ = [
+    "SIMDProcessor",
+    "ScalarCore",
+    "VectorUnit",
+    "VectorRegfile",
+    "DataMemory",
+    "CycleModel",
+    "DEFAULT_CYCLE_MODEL",
+    "ExecutionStats",
+    "TraceRecord",
+    "RC32_TABLE",
+    "NUM_VECTOR_REGISTERS",
+    "SimulationError",
+    "MemoryAccessError",
+    "IllegalInstructionError",
+    "ExecutionLimitExceeded",
+    "ProcessorHalted",
+]

@@ -1,0 +1,66 @@
+"""The cycle cost model, calibrated against the paper's annotations.
+
+The paper annotates its assembly listings (Algorithms 2 and 3) with per-
+instruction cycle counts on the SIMD processor:
+
+* every LMUL=1 vector instruction: 2 cc; ``vpi``: 3 cc;
+* every LMUL=8 vector instruction over the 5 active registers: 6 cc;
+  ``vpi``: 7 cc; ``vsetvli``: 2 cc.
+
+These are all consistent with one simple model, which we adopt::
+
+    cycles(vector op) = ceil(VL / elements_per_register) + 1
+
+i.e. one register-file pass per active register group member, plus one
+dispatch cycle through the VecISAInterface.  ``vpi`` pays one extra cycle
+for its column-mode write interface.  Scalar costs follow the Ibex core's
+documented timing (single-issue, in-order): 1 cycle ALU, 2-cycle loads and
+stores, 1-cycle multiply (single-cycle multiplier option), 37-cycle divide,
+3 cycles for taken branches and jumps (fetch refill), 1 cycle for untaken
+branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CycleModel:
+    """Per-class cycle costs; all fields overridable for ablations."""
+
+    scalar_alu: int = 1
+    scalar_load: int = 2
+    scalar_store: int = 2
+    scalar_mul: int = 1
+    scalar_div: int = 37
+    branch_taken: int = 3
+    branch_not_taken: int = 1
+    jump: int = 3
+    vsetvli: int = 2
+    vector_dispatch: int = 1
+    vpi_extra: int = 1
+    #: Extra cycles per register pass for vector memory operations
+    #: (the VecLSU pays a memory round-trip per group member).
+    vector_memory_extra_per_pass: int = 1
+
+    def vector_arith(self, register_passes: int) -> int:
+        """A vector arithmetic / slide / rotate / iota instruction."""
+        if register_passes < 1:
+            raise ValueError("a vector op needs at least one register pass")
+        return register_passes + self.vector_dispatch
+
+    def vector_pi(self, register_passes: int) -> int:
+        """The vpi instruction (column-mode write interface)."""
+        return self.vector_arith(register_passes) + self.vpi_extra
+
+    def vector_memory(self, register_passes: int) -> int:
+        """A vector load or store."""
+        return (
+            register_passes * (1 + self.vector_memory_extra_per_pass)
+            + self.vector_dispatch
+        )
+
+
+#: The calibrated default model used throughout the evaluation.
+DEFAULT_CYCLE_MODEL = CycleModel()

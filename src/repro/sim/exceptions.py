@@ -1,0 +1,23 @@
+"""Simulator exception types."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class MemoryAccessError(SimulationError):
+    """Out-of-range or misaligned memory access."""
+
+
+class IllegalInstructionError(SimulationError):
+    """Undecodable word, or an instruction illegal in the current config."""
+
+
+class ExecutionLimitExceeded(SimulationError):
+    """The run exceeded its instruction or cycle budget (likely a hang)."""
+
+
+class ProcessorHalted(SimulationError):
+    """Raised internally when ``ecall``/``ebreak`` stops the processor."""

@@ -1,0 +1,69 @@
+"""Data memory of the SIMD processor (paper Fig. 3, "Data Mem").
+
+A flat little-endian byte-addressed memory.  The processor uses a Harvard
+organisation: instructions live in a separate program memory (the assembled
+:class:`~repro.assembler.program.Program`), data lives here.
+"""
+
+from __future__ import annotations
+
+from .exceptions import MemoryAccessError
+
+_WIDTH_BYTES = {8: 1, 16: 2, 32: 4, 64: 8}
+
+
+class DataMemory:
+    """Byte-addressable little-endian RAM with bounds checking."""
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        if size <= 0:
+            raise ValueError(f"memory size must be positive, got {size}")
+        self.size = size
+        self._bytes = bytearray(size)
+
+    def _check(self, address: int, nbytes: int) -> None:
+        if address < 0 or address + nbytes > self.size:
+            raise MemoryAccessError(
+                f"access of {nbytes} byte(s) at {address:#x} outside "
+                f"memory of size {self.size:#x}"
+            )
+
+    # -- typed accessors -------------------------------------------------------
+
+    def load(self, address: int, width: int, signed: bool = False) -> int:
+        """Load a ``width``-bit value (8/16/32/64)."""
+        nbytes = _WIDTH_BYTES.get(width)
+        if nbytes is None:
+            raise ValueError(f"unsupported access width: {width}")
+        self._check(address, nbytes)
+        value = int.from_bytes(self._bytes[address : address + nbytes],
+                               "little")
+        if signed and value >= 1 << (width - 1):
+            value -= 1 << width
+        return value
+
+    def store(self, address: int, width: int, value: int) -> None:
+        """Store the low ``width`` bits of ``value``."""
+        nbytes = _WIDTH_BYTES.get(width)
+        if nbytes is None:
+            raise ValueError(f"unsupported access width: {width}")
+        self._check(address, nbytes)
+        self._bytes[address : address + nbytes] = (
+            value & ((1 << width) - 1)
+        ).to_bytes(nbytes, "little")
+
+    # -- bulk accessors ----------------------------------------------------------
+
+    def load_bytes(self, address: int, length: int) -> bytes:
+        """Read ``length`` raw bytes."""
+        self._check(address, length)
+        return bytes(self._bytes[address : address + length])
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        """Write raw bytes."""
+        self._check(address, len(data))
+        self._bytes[address : address + len(data)] = data
+
+    def clear(self) -> None:
+        """Zero the whole memory."""
+        self._bytes = bytearray(self.size)

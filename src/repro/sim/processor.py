@@ -1,0 +1,218 @@
+"""The SIMD processor: scalar Ibex core + vector processing unit (Fig. 3).
+
+:class:`SIMDProcessor` is the top-level executable model.  It owns the
+program memory (an assembled :class:`~repro.assembler.program.Program`),
+the data memory, the scalar core and the vector unit, and runs the classic
+fetch → decode → dispatch loop:
+
+* configuration-setting instructions (``vsetvli``) update the vector unit's
+  VL/SEW/LMUL and write the resulting VL back to the scalar register file;
+* vector memory and arithmetic instructions (standard RVV subset plus the
+  ten custom extensions) are executed by the vector unit;
+* everything else executes on the scalar core.
+
+The hardware parameters mirror the paper's: ``elen`` (the vector element
+width — 64 for the 64-bit architecture, 32 for the 32-bit one) and
+``elenum`` (elements per vector register), giving VLEN = elen * elenum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..assembler.program import Program
+from ..isa import ISA, decode_operands
+from ..isa.spec import InstructionSet
+from .cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from .exceptions import (
+    ExecutionLimitExceeded,
+    IllegalInstructionError,
+    ProcessorHalted,
+)
+from .memory import DataMemory
+from .scalar_core import ScalarCore
+from .trace import ExecutionStats
+from .vector_unit import VectorUnit
+
+
+class SIMDProcessor:
+    """Executable model of the scalable SIMD RISC-V based processor."""
+
+    def __init__(
+        self,
+        elen: int = 64,
+        elenum: int = 16,
+        memory_size: int = 1 << 20,
+        cycle_model: CycleModel = DEFAULT_CYCLE_MODEL,
+        trace: bool = False,
+        isa: InstructionSet = ISA,
+    ) -> None:
+        if elen not in (32, 64):
+            raise ValueError(f"ELEN must be 32 or 64, got {elen}")
+        if elenum < 1:
+            raise ValueError(f"EleNum must be positive, got {elenum}")
+        self.elen = elen
+        self.elenum = elenum
+        self.vlen_bits = elen * elenum
+        self._isa = isa
+        self.memory = DataMemory(memory_size)
+        self.cycle_model = cycle_model
+        self.scalar = ScalarCore(self.memory, cycle_model)
+        self.vector = VectorUnit(self.vlen_bits, self.memory, cycle_model)
+        self.stats = ExecutionStats(records=[] if trace else None)
+        self.halted = False
+        self._program_words: Dict[int, int] = {}
+        self._program: Optional[Program] = None
+
+    # -- program loading ----------------------------------------------------------
+
+    def load_program(self, program: Program) -> None:
+        """Load an assembled program into program memory and reset the pc."""
+        self._program = program
+        self._program_words = {
+            inst.address: inst.word for inst in program.instructions
+        }
+        self.scalar.pc = program.base_address
+        self.halted = False
+
+    @property
+    def program(self) -> Optional[Program]:
+        """The currently loaded program."""
+        return self._program
+
+    def symbol(self, name: str) -> int:
+        """Resolve a label/constant of the loaded program."""
+        if self._program is None:
+            raise ValueError("no program loaded")
+        return self._program.symbols[name]
+
+    # -- execution ------------------------------------------------------------------
+
+    def step(self) -> int:
+        """Fetch, decode and execute one instruction; returns its cycles."""
+        if self.halted:
+            raise ProcessorHalted("processor is halted")
+        pc = self.scalar.pc
+        word = self._program_words.get(pc)
+        if word is None:
+            raise IllegalInstructionError(
+                f"instruction fetch outside the program at pc={pc:#x}"
+            )
+        try:
+            spec = self._isa.find(word)
+        except LookupError as exc:
+            raise IllegalInstructionError(str(exc)) from exc
+        ops = decode_operands(word, spec)
+
+        next_pc: Optional[int] = None
+        if spec.mnemonic == "vsetvli":
+            cycles = self._execute_vsetvli(ops)
+        elif spec.extension == "zicsr":
+            cycles = self._execute_csr(spec, ops)
+        elif spec.extension in ("rvv", "custom"):
+            cycles = self.vector.execute(spec, ops, self.scalar.read_register)
+        else:
+            try:
+                cycles, next_pc = self.scalar.execute(spec, ops)
+            except ProcessorHalted:
+                self.halted = True
+                cycles = self.cycle_model.scalar_alu
+        self.stats.record(pc, word, spec.mnemonic, cycles)
+        self.scalar.pc = next_pc if next_pc is not None else pc + 4
+        return cycles
+
+    def _execute_vsetvli(self, ops) -> int:
+        rd, rs1 = ops["rd"], ops["rs1"]
+        vtype = ops["vtype"]
+        if rs1 != 0:
+            avl = self.scalar.read_register(rs1)
+        elif rd != 0:
+            avl = 1 << 31  # rs1=x0, rd!=x0: request VLMAX
+        else:
+            avl = self.vector.vl  # keep the current VL, change vtype only
+        new_vl = self.vector.configure(avl, vtype)
+        self.scalar.write_register(rd, new_vl)
+        return self.cycle_model.vsetvli
+
+    def _execute_csr(self, spec, ops) -> int:
+        from ..isa.csr import READ_ONLY_CSRS, csr_name
+        from ..isa.vector import encode_vtype
+
+        address = ops["csr"]
+        rd, rs1 = ops["rd"], ops["rs1"]
+        rs1_value = self.scalar.read_register(rs1)
+
+        def read() -> int:
+            if address == 0xC20:  # vl
+                return self.vector.vl
+            if address == 0xC21:  # vtype
+                return encode_vtype(self.vector.sew, self.vector.lmul)
+            if address == 0xC22:  # vlenb
+                return self.vlen_bits // 8
+            if address == 0x008:  # vstart (always 0 in this model)
+                return 0
+            if address == 0xC00:  # cycle
+                return self.stats.cycles & 0xFFFFFFFF
+            if address == 0xC80:  # cycleh
+                return (self.stats.cycles >> 32) & 0xFFFFFFFF
+            if address == 0xC02:  # instret
+                return self.stats.instructions & 0xFFFFFFFF
+            if address == 0xC82:  # instreth
+                return (self.stats.instructions >> 32) & 0xFFFFFFFF
+            if address == 0xC01:  # time (== cycle at 1 tick per cycle)
+                return self.stats.cycles & 0xFFFFFFFF
+            raise IllegalInstructionError(
+                f"unimplemented CSR {csr_name(address)}"
+            )
+
+        wants_write = (spec.mnemonic == "csrrw") or rs1 != 0
+        if wants_write and address in READ_ONLY_CSRS:
+            raise IllegalInstructionError(
+                f"write to read-only CSR {csr_name(address)}"
+            )
+        old = read()
+        # The only writable CSR in this model is vstart, whose writes are
+        # accepted and discarded (it always reads 0 — the vector unit never
+        # interrupts mid-instruction).
+        self.scalar.write_register(rd, old)
+        return self.cycle_model.scalar_alu
+
+    def run(self, max_instructions: int = 10_000_000,
+            max_cycles: Optional[int] = None) -> ExecutionStats:
+        """Run until ecall/ebreak; returns the accumulated statistics."""
+        while not self.halted:
+            if self.stats.instructions >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions at "
+                    f"pc={self.scalar.pc:#x} — infinite loop?"
+                )
+            if max_cycles is not None and self.stats.cycles >= max_cycles:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_cycles} cycles at pc={self.scalar.pc:#x}"
+                )
+            self.step()
+        return self.stats
+
+    # -- test/eval conveniences --------------------------------------------------------
+
+    def reset_stats(self, trace: Optional[bool] = None) -> None:
+        """Clear counters (and optionally toggle tracing)."""
+        if trace is None:
+            trace = self.stats.records is not None
+        self.stats = ExecutionStats(records=[] if trace else None)
+
+    def write_scalar(self, name_or_number, value: int) -> None:
+        """Write a scalar register by ABI name or number (test setup)."""
+        from ..isa.registers import parse_scalar_register
+
+        number = (parse_scalar_register(name_or_number)
+                  if isinstance(name_or_number, str) else name_or_number)
+        self.scalar.write_register(number, value)
+
+    def read_scalar(self, name_or_number) -> int:
+        """Read a scalar register by ABI name or number."""
+        from ..isa.registers import parse_scalar_register
+
+        number = (parse_scalar_register(name_or_number)
+                  if isinstance(name_or_number, str) else name_or_number)
+        return self.scalar.read_register(number)

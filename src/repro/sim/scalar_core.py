@@ -1,0 +1,239 @@
+"""The scalar core (paper Fig. 3, top half — the Ibex core).
+
+A single-issue in-order RV32IM core: 32 registers (x0 hardwired to zero),
+a program counter, and Ibex-like cycle costs from the shared
+:class:`~repro.sim.cycles.CycleModel`.  Vector instructions are *not*
+handled here — the processor routes them to the vector unit, mirroring the
+hardware where Ibex forwards vector instructions over the VecISAInterface.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from ..isa.spec import InstructionSpec
+from .cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from .exceptions import IllegalInstructionError, ProcessorHalted
+from .memory import DataMemory
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    """Interpret a 32-bit pattern as signed."""
+    value &= _MASK32
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+class ScalarCore:
+    """RV32IM register state and instruction execution."""
+
+    def __init__(self, memory: DataMemory,
+                 cycle_model: CycleModel = DEFAULT_CYCLE_MODEL) -> None:
+        self.memory = memory
+        self.cycle_model = cycle_model
+        self.pc = 0
+        self._regs = [0] * 32
+
+    # -- register access -------------------------------------------------------
+
+    def read_register(self, number: int) -> int:
+        """Read a register (x0 always reads 0)."""
+        if not 0 <= number < 32:
+            raise IllegalInstructionError(f"register out of range: {number}")
+        return 0 if number == 0 else self._regs[number]
+
+    def write_register(self, number: int, value: int) -> None:
+        """Write a register (writes to x0 are discarded)."""
+        if not 0 <= number < 32:
+            raise IllegalInstructionError(f"register out of range: {number}")
+        if number != 0:
+            self._regs[number] = value & _MASK32
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, spec: InstructionSpec,
+                ops: Mapping[str, int]) -> Tuple[int, Optional[int]]:
+        """Execute one scalar instruction at the current pc.
+
+        Returns ``(cycles, next_pc)``; ``next_pc`` is None for sequential
+        fall-through.  Raises :class:`ProcessorHalted` on ecall/ebreak.
+        """
+        mnemonic = spec.mnemonic
+        model = self.cycle_model
+
+        if mnemonic in _ALU_OPS:
+            op = _ALU_OPS[mnemonic]
+            a = self.read_register(ops["rs1"])
+            b = self.read_register(ops["rs2"])
+            self.write_register(ops["rd"], op(a, b))
+            return model.scalar_alu, None
+
+        if mnemonic in _ALU_IMM_OPS:
+            op = _ALU_IMM_OPS[mnemonic]
+            a = self.read_register(ops["rs1"])
+            self.write_register(ops["rd"], op(a, ops["imm"]))
+            return model.scalar_alu, None
+
+        if mnemonic in _SHIFT_IMM_OPS:
+            op = _SHIFT_IMM_OPS[mnemonic]
+            a = self.read_register(ops["rs1"])
+            self.write_register(ops["rd"], op(a, ops["shamt"]))
+            return model.scalar_alu, None
+
+        if mnemonic in _MUL_OPS:
+            a = self.read_register(ops["rs1"])
+            b = self.read_register(ops["rs2"])
+            self.write_register(ops["rd"], _MUL_OPS[mnemonic](a, b))
+            return model.scalar_mul, None
+
+        if mnemonic in _DIV_OPS:
+            a = self.read_register(ops["rs1"])
+            b = self.read_register(ops["rs2"])
+            self.write_register(ops["rd"], _DIV_OPS[mnemonic](a, b))
+            return model.scalar_div, None
+
+        if mnemonic in _LOADS:
+            width, is_signed = _LOADS[mnemonic]
+            address = (self.read_register(ops["rs1"]) + ops["imm"]) & _MASK32
+            value = self.memory.load(address, width, signed=is_signed)
+            self.write_register(ops["rd"], value & _MASK32)
+            return model.scalar_load, None
+
+        if mnemonic in _STORES:
+            width = _STORES[mnemonic]
+            address = (self.read_register(ops["rs1"]) + ops["imm"]) & _MASK32
+            self.memory.store(address, width, self.read_register(ops["rs2"]))
+            return model.scalar_store, None
+
+        if mnemonic in _BRANCHES:
+            taken = _BRANCHES[mnemonic](
+                self.read_register(ops["rs1"]),
+                self.read_register(ops["rs2"]),
+            )
+            if taken:
+                return model.branch_taken, (self.pc + ops["offset"]) & _MASK32
+            return model.branch_not_taken, None
+
+        if mnemonic == "lui":
+            self.write_register(ops["rd"], (ops["imm"] << 12) & _MASK32)
+            return model.scalar_alu, None
+
+        if mnemonic == "auipc":
+            self.write_register(
+                ops["rd"], (self.pc + (ops["imm"] << 12)) & _MASK32
+            )
+            return model.scalar_alu, None
+
+        if mnemonic == "jal":
+            self.write_register(ops["rd"], (self.pc + 4) & _MASK32)
+            return model.jump, (self.pc + ops["offset"]) & _MASK32
+
+        if mnemonic == "jalr":
+            target = (self.read_register(ops["rs1"]) + ops["imm"]) & ~1
+            self.write_register(ops["rd"], (self.pc + 4) & _MASK32)
+            return model.jump, target & _MASK32
+
+        if mnemonic in ("ecall", "ebreak"):
+            raise ProcessorHalted(f"{mnemonic} at pc={self.pc:#x}")
+
+        if mnemonic == "fence":
+            return model.scalar_alu, None
+
+        raise IllegalInstructionError(
+            f"scalar core cannot execute {mnemonic!r}"
+        )
+
+
+# -- operation tables ------------------------------------------------------------
+
+
+def _sra(a: int, b: int) -> int:
+    return (_signed(a) >> (b & 31)) & _MASK32
+
+
+def _div(a: int, b: int) -> int:
+    sa, sb = _signed(a), _signed(b)
+    if sb == 0:
+        return _MASK32  # RISC-V: division by zero yields all ones
+    if sa == -(1 << 31) and sb == -1:
+        return a  # overflow case: result is the dividend
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return quotient & _MASK32
+
+
+def _rem(a: int, b: int) -> int:
+    sa, sb = _signed(a), _signed(b)
+    if sb == 0:
+        return a
+    if sa == -(1 << 31) and sb == -1:
+        return 0
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return remainder & _MASK32
+
+
+_ALU_OPS = {
+    "add": lambda a, b: (a + b) & _MASK32,
+    "sub": lambda a, b: (a - b) & _MASK32,
+    "sll": lambda a, b: (a << (b & 31)) & _MASK32,
+    "slt": lambda a, b: int(_signed(a) < _signed(b)),
+    "sltu": lambda a, b: int((a & _MASK32) < (b & _MASK32)),
+    "xor": lambda a, b: (a ^ b) & _MASK32,
+    "srl": lambda a, b: (a & _MASK32) >> (b & 31),
+    "sra": _sra,
+    "or": lambda a, b: (a | b) & _MASK32,
+    "and": lambda a, b: (a & b) & _MASK32,
+}
+
+_ALU_IMM_OPS = {
+    "addi": lambda a, imm: (a + imm) & _MASK32,
+    "slti": lambda a, imm: int(_signed(a) < imm),
+    "sltiu": lambda a, imm: int((a & _MASK32) < (imm & _MASK32)),
+    "xori": lambda a, imm: (a ^ imm) & _MASK32,
+    "ori": lambda a, imm: (a | imm) & _MASK32,
+    "andi": lambda a, imm: (a & imm) & _MASK32,
+}
+
+_SHIFT_IMM_OPS = {
+    "slli": lambda a, sh: (a << sh) & _MASK32,
+    "srli": lambda a, sh: (a & _MASK32) >> sh,
+    "srai": _sra,
+}
+
+_MUL_OPS = {
+    "mul": lambda a, b: (_signed(a) * _signed(b)) & _MASK32,
+    "mulh": lambda a, b: ((_signed(a) * _signed(b)) >> 32) & _MASK32,
+    "mulhsu": lambda a, b: ((_signed(a) * (b & _MASK32)) >> 32) & _MASK32,
+    "mulhu": lambda a, b: (((a & _MASK32) * (b & _MASK32)) >> 32) & _MASK32,
+}
+
+_DIV_OPS = {
+    "div": _div,
+    "divu": lambda a, b: _MASK32 if b == 0 else (a & _MASK32) // (b & _MASK32),
+    "rem": _rem,
+    "remu": lambda a, b: a & _MASK32 if b == 0
+            else (a & _MASK32) % (b & _MASK32),
+}
+
+_LOADS = {
+    "lb": (8, True),
+    "lh": (16, True),
+    "lw": (32, False),
+    "lbu": (8, False),
+    "lhu": (16, False),
+}
+
+_STORES = {"sb": 8, "sh": 16, "sw": 32}
+
+_BRANCHES = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _signed(a) < _signed(b),
+    "bge": lambda a, b: _signed(a) >= _signed(b),
+    "bltu": lambda a, b: (a & _MASK32) < (b & _MASK32),
+    "bgeu": lambda a, b: (a & _MASK32) >= (b & _MASK32),
+}

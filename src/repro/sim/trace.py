@@ -1,0 +1,64 @@
+"""Execution statistics and optional instruction-level tracing."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class TraceRecord:
+    """One retired instruction."""
+
+    pc: int
+    word: int
+    mnemonic: str
+    cycles: int
+    cycle_total: int
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate counters for a simulation run."""
+
+    cycles: int = 0
+    instructions: int = 0
+    mnemonic_counts: Counter = field(default_factory=Counter)
+    mnemonic_cycles: Counter = field(default_factory=Counter)
+    records: Optional[List[TraceRecord]] = None
+
+    def record(self, pc: int, word: int, mnemonic: str, cycles: int) -> None:
+        """Account one retired instruction."""
+        self.cycles += cycles
+        self.instructions += 1
+        self.mnemonic_counts[mnemonic] += 1
+        self.mnemonic_cycles[mnemonic] += cycles
+        if self.records is not None:
+            self.records.append(
+                TraceRecord(pc, word, mnemonic, cycles, self.cycles)
+            )
+
+    def cycles_in_pc_range(self, low: int, high: int) -> int:
+        """Cycles spent at addresses in [low, high) — needs tracing on."""
+        if self.records is None:
+            raise ValueError("run the processor with trace=True first")
+        return sum(r.cycles for r in self.records if low <= r.pc < high)
+
+    def instructions_in_pc_range(self, low: int, high: int) -> int:
+        """Instructions retired at addresses in [low, high)."""
+        if self.records is None:
+            raise ValueError("run the processor with trace=True first")
+        return sum(1 for r in self.records if low <= r.pc < high)
+
+    def summary(self) -> str:
+        """A short human-readable report."""
+        lines = [
+            f"instructions retired: {self.instructions}",
+            f"total cycles:         {self.cycles}",
+            "per-mnemonic cycles:",
+        ]
+        for mnemonic, cycles in self.mnemonic_cycles.most_common():
+            count = self.mnemonic_counts[mnemonic]
+            lines.append(f"  {mnemonic:16s} {count:8d} x  {cycles:10d} cc")
+        return "\n".join(lines)

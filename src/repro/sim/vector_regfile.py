@@ -1,0 +1,120 @@
+"""The vector register file (paper Fig. 4, VecRegfile module).
+
+32 registers of VLEN bits each.  Each register is stored as one Python
+integer; elements are bit-slices of width SEW, so the same physical
+register can be viewed with 32-bit elements by the 32-bit architecture and
+64-bit elements by the 64-bit architecture — exactly like the hardware,
+where the ELEN/SEW configuration reinterprets the register bits.
+
+Register *groups* (LMUL > 1) address element ``i`` of a group based at
+register ``base`` as register ``base + i // elements_per_register``,
+element slot ``i % elements_per_register`` — the address allocation of
+Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .exceptions import IllegalInstructionError
+
+NUM_VECTOR_REGISTERS = 32
+
+
+class VectorRegfile:
+    """32 x VLEN-bit registers with SEW-granular element access."""
+
+    def __init__(self, vlen_bits: int) -> None:
+        if vlen_bits < 8:
+            raise ValueError(f"VLEN too small: {vlen_bits}")
+        self.vlen_bits = vlen_bits
+        self._regs: List[int] = [0] * NUM_VECTOR_REGISTERS
+        self._full_mask = (1 << vlen_bits) - 1
+
+    def _check_reg(self, reg: int) -> None:
+        if not 0 <= reg < NUM_VECTOR_REGISTERS:
+            raise IllegalInstructionError(f"vector register out of range: {reg}")
+
+    def elements_per_register(self, sew: int) -> int:
+        """How many SEW-bit elements one register holds."""
+        if sew <= 0 or self.vlen_bits % sew:
+            raise IllegalInstructionError(
+                f"SEW {sew} does not divide VLEN {self.vlen_bits}"
+            )
+        return self.vlen_bits // sew
+
+    # -- raw access ---------------------------------------------------------------
+
+    def read_raw(self, reg: int) -> int:
+        """The whole register as a VLEN-bit integer."""
+        self._check_reg(reg)
+        return self._regs[reg]
+
+    def write_raw(self, reg: int, value: int) -> None:
+        """Replace the whole register."""
+        self._check_reg(reg)
+        self._regs[reg] = value & self._full_mask
+
+    # -- element access -------------------------------------------------------------
+
+    def get_element(self, reg: int, index: int, sew: int) -> int:
+        """Element ``index`` of ``reg`` viewed at SEW granularity."""
+        per_reg = self.elements_per_register(sew)
+        if not 0 <= index < per_reg:
+            raise IllegalInstructionError(
+                f"element index {index} out of range for SEW {sew}"
+            )
+        self._check_reg(reg)
+        return (self._regs[reg] >> (index * sew)) & ((1 << sew) - 1)
+
+    def set_element(self, reg: int, index: int, sew: int, value: int) -> None:
+        """Write element ``index`` of ``reg`` at SEW granularity."""
+        per_reg = self.elements_per_register(sew)
+        if not 0 <= index < per_reg:
+            raise IllegalInstructionError(
+                f"element index {index} out of range for SEW {sew}"
+            )
+        self._check_reg(reg)
+        mask = (1 << sew) - 1
+        shift = index * sew
+        self._regs[reg] = (
+            self._regs[reg] & ~(mask << shift) | ((value & mask) << shift)
+        )
+
+    # -- group (LMUL) access -----------------------------------------------------------
+
+    def get_group_element(self, base: int, index: int, sew: int) -> int:
+        """Element ``index`` of the register group based at ``base``."""
+        per_reg = self.elements_per_register(sew)
+        reg, slot = divmod(index, per_reg)
+        return self.get_element(base + reg, slot, sew)
+
+    def set_group_element(self, base: int, index: int, sew: int,
+                          value: int) -> None:
+        """Write element ``index`` of the register group based at ``base``."""
+        per_reg = self.elements_per_register(sew)
+        reg, slot = divmod(index, per_reg)
+        self.set_element(base + reg, slot, sew, value)
+
+    def read_elements(self, reg: int, sew: int) -> List[int]:
+        """All elements of one register at SEW granularity."""
+        per_reg = self.elements_per_register(sew)
+        return [self.get_element(reg, i, sew) for i in range(per_reg)]
+
+    def write_elements(self, reg: int, sew: int, values: List[int]) -> None:
+        """Replace all elements of one register."""
+        per_reg = self.elements_per_register(sew)
+        if len(values) != per_reg:
+            raise ValueError(
+                f"expected {per_reg} elements for SEW {sew}, got {len(values)}"
+            )
+        for i, value in enumerate(values):
+            self.set_element(reg, i, sew, value)
+
+    def mask_bit(self, index: int) -> int:
+        """Mask bit for element ``index`` (bit ``index`` of v0, RVV layout)."""
+        return (self._regs[0] >> index) & 1
+
+    def clear(self) -> None:
+        """Zero every register."""
+        self._regs = [0] * NUM_VECTOR_REGISTERS

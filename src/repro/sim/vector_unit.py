@@ -1,0 +1,564 @@
+"""The vector processing unit (paper Fig. 3, bottom half).
+
+Models the VecISAInterface / VecLSU / VecOpExec / VecRegfile pipeline at
+functional + cycle level.  Configuration state (VL, SEW, LMUL) is set by
+``vsetvli``; arithmetic, slides, rotations, the pi scramble and iota are
+executed element-wise over the active register-group passes, with RVV
+masking (``vm`` bit + v0 mask register) honoured everywhere.
+
+Custom-instruction semantics follow Section 3.3 exactly; in particular all
+custom instructions only operate on elements holding Keccak state values
+(element index < 5*SN with SN = VL // 5) and leave other elements
+unchanged, and the ``lmul_cnt`` hardware counter supplies the row index to
+``v64rho``/``v32lrho``/``v32hrho``/``vpi`` when the immediate is -1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping
+
+from ..keccak.constants import RHO_BY_ROW, ROUND_CONSTANTS
+from ..isa.spec import InstructionSpec
+from ..isa.vector import decode_vtype
+from .cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from .exceptions import IllegalInstructionError
+from .memory import DataMemory
+from .vector_regfile import VectorRegfile
+
+
+def _sign_extend_to(value: int, from_bits: int, to_bits: int) -> int:
+    """Sign-extend a from_bits value to to_bits (as an unsigned bit pattern)."""
+    value &= (1 << from_bits) - 1
+    if value & (1 << (from_bits - 1)):
+        value |= ((1 << to_bits) - 1) ^ ((1 << from_bits) - 1)
+    return value & ((1 << to_bits) - 1)
+
+
+#: 32-bit round-constant table for the 32-bit architecture's ``viota``:
+#: index 2i selects the low half of RC[i], index 2i+1 the high half
+#: ("every round constant is divided into a high 32-bit value and a low
+#: 32-bit value, and the viota instruction runs twice for each round").
+RC32_TABLE = tuple(
+    (rc >> 32) & 0xFFFFFFFF if half else rc & 0xFFFFFFFF
+    for rc in ROUND_CONSTANTS
+    for half in (0, 1)
+)
+
+
+class VectorUnit:
+    """Functional + cycle-level model of the vector processing unit."""
+
+    def __init__(
+        self,
+        vlen_bits: int,
+        memory: DataMemory,
+        cycle_model: CycleModel = DEFAULT_CYCLE_MODEL,
+    ) -> None:
+        self.regfile = VectorRegfile(vlen_bits)
+        self.memory = memory
+        self.cycle_model = cycle_model
+        self.vl = 0
+        self.sew = 64
+        self.lmul = 1
+        self._handlers = self._build_handlers()
+
+    # -- configuration (vsetvli) ---------------------------------------------------
+
+    def vlmax(self, sew: int, lmul: int) -> int:
+        """Maximum VL for a given SEW/LMUL on this register file."""
+        return self.regfile.elements_per_register(sew) * lmul
+
+    def configure(self, avl: int, vtype: int) -> int:
+        """Apply a vtype and requested AVL; returns the new VL.
+
+        Reserved vtype encodings raise IllegalInstructionError (hardware
+        would set ``vill``; this model treats executing with an ill vtype
+        as a fault).
+        """
+        try:
+            parts = decode_vtype(vtype)
+        except ValueError as exc:
+            raise IllegalInstructionError(
+                f"reserved vtype encoding {vtype:#x}: {exc}"
+            ) from exc
+        sew, lmul = parts["sew"], parts["lmul"]
+        new_vl = min(avl, self.vlmax(sew, lmul))
+        self.sew = sew
+        self.lmul = lmul
+        self.vl = new_vl
+        return new_vl
+
+    # -- derived quantities -----------------------------------------------------------
+
+    @property
+    def elements_per_register(self) -> int:
+        """Elements one register holds at the current SEW."""
+        return self.regfile.elements_per_register(self.sew)
+
+    @property
+    def register_passes(self) -> int:
+        """Active register-group passes for the current VL (>= 1)."""
+        if self.vl == 0:
+            return 1
+        return math.ceil(self.vl / self.elements_per_register)
+
+    @property
+    def states_per_register(self) -> int:
+        """Keccak states held per register pass (local SN)."""
+        return min(self.vl, self.elements_per_register) // 5
+
+    def _element_mask(self) -> int:
+        return (1 << self.sew) - 1
+
+    def _check_group(self, base: int, what: str) -> None:
+        if self.lmul > 1 and base % self.lmul:
+            raise IllegalInstructionError(
+                f"{what} register v{base} not aligned to LMUL={self.lmul} group"
+            )
+        if base + self.register_passes > 32:
+            raise IllegalInstructionError(
+                f"{what} group v{base}.. exceeds the register file"
+            )
+
+    def _active(self, vm: int, element_index: int) -> bool:
+        """Is ``element_index`` active under the mask policy?"""
+        if element_index >= self.vl:
+            return False
+        if vm == 1:
+            return True
+        return self.regfile.mask_bit(element_index) == 1
+
+    # -- execution entry point ---------------------------------------------------------
+
+    def execute(self, spec: InstructionSpec, ops: Mapping[str, int],
+                scalar_value: Callable[[int], int]) -> int:
+        """Execute one vector instruction; returns its cycle cost.
+
+        ``scalar_value`` reads a scalar register (for .vx operands and
+        memory base/stride addresses).
+        """
+        handler = self._handlers.get(spec.mnemonic)
+        if handler is None:
+            raise IllegalInstructionError(
+                f"vector unit does not implement {spec.mnemonic!r}"
+            )
+        return handler(spec, dict(ops), scalar_value)
+
+    def _build_handlers(self) -> Dict[str, Callable]:
+        mask64 = (1 << 64) - 1
+
+        def rotl_sew64(value: int, amount: int) -> int:
+            amount %= 64
+            if amount == 0:
+                return value & mask64
+            return ((value << amount) | (value >> (64 - amount))) & mask64
+
+        handlers: Dict[str, Callable] = {}
+
+        def binary(op):
+            def run(spec, ops, scalar_value):
+                return self._exec_binary(spec, ops, scalar_value, op)
+            return run
+
+        handlers["vadd.vv"] = handlers["vadd.vx"] = handlers["vadd.vi"] = \
+            binary(lambda a, b, m: (a + b) & m)
+        handlers["vsub.vv"] = handlers["vsub.vx"] = \
+            binary(lambda a, b, m: (a - b) & m)
+        handlers["vand.vv"] = handlers["vand.vx"] = handlers["vand.vi"] = \
+            binary(lambda a, b, m: a & b)
+        handlers["vor.vv"] = handlers["vor.vx"] = handlers["vor.vi"] = \
+            binary(lambda a, b, m: a | b)
+        handlers["vxor.vv"] = handlers["vxor.vx"] = handlers["vxor.vi"] = \
+            binary(lambda a, b, m: a ^ b)
+        handlers["vsll.vv"] = handlers["vsll.vx"] = handlers["vsll.vi"] = \
+            binary(lambda a, b, m: (a << (b % self.sew)) & m)
+        handlers["vsrl.vv"] = handlers["vsrl.vx"] = handlers["vsrl.vi"] = \
+            binary(lambda a, b, m: (a & m) >> (b % self.sew))
+
+        handlers["vslidedownm.vi"] = self._exec_slide_modulo
+        handlers["vslideupm.vi"] = self._exec_slide_modulo
+        handlers["vrotup.vi"] = self._exec_vrotup
+        handlers["v32lrotup.vv"] = self._exec_v32rotup
+        handlers["v32hrotup.vv"] = self._exec_v32rotup
+        handlers["v64rho.vi"] = self._exec_v64rho
+        handlers["v32lrho.vv"] = self._exec_v32rho
+        handlers["v32hrho.vv"] = self._exec_v32rho
+        handlers["vpi.vi"] = self._exec_vpi
+        handlers["viota.vx"] = self._exec_viota
+        handlers["vrhopi.vi"] = self._exec_vrhopi
+        handlers["vchi.vi"] = self._exec_vchi
+
+        for mnemonic in ("vle32.v", "vle64.v", "vlse32.v", "vlse64.v",
+                         "vluxei32.v", "vluxei64.v"):
+            handlers[mnemonic] = self._exec_vload
+        for mnemonic in ("vse32.v", "vse64.v", "vsse32.v", "vsse64.v",
+                         "vsuxei32.v", "vsuxei64.v"):
+            handlers[mnemonic] = self._exec_vstore
+
+        self._rotl64 = rotl_sew64
+        return handlers
+
+    # -- generic element-wise binary ops -------------------------------------------------
+
+    def _exec_binary(self, spec, ops, scalar_value, op) -> int:
+        vd = ops["vd"]
+        vs2 = ops["vs2"]
+        vm = ops["vm"]
+        sew = self.sew
+        mask = self._element_mask()
+        self._check_group(vd, "destination")
+        self._check_group(vs2, "source")
+
+        if spec.fmt == "v_vv":
+            vs1 = ops["vs1"]
+            self._check_group(vs1, "source")
+            sources = [self.regfile.get_group_element(vs1, i, sew)
+                       for i in range(self.vl)]
+        elif spec.fmt == "v_vx":
+            scalar = _sign_extend_to(scalar_value(ops["rs1"]), 32, sew)
+            sources = [scalar] * self.vl
+        else:  # v_vi
+            imm = ops["imm"]
+            if spec.extra.get("signed_imm", True):
+                value = _sign_extend_to(imm & 0x1F, 5, sew)
+            else:
+                value = imm & 0x1F
+            sources = [value] * self.vl
+
+        snapshot2 = [self.regfile.get_group_element(vs2, i, sew)
+                     for i in range(self.vl)]
+        for i in range(self.vl):
+            if not self._active(vm, i):
+                continue
+            self.regfile.set_group_element(
+                vd, i, sew, op(snapshot2[i], sources[i], mask)
+            )
+        return self.cycle_model.vector_arith(self.register_passes)
+
+    # -- custom: slide modulo five (Table 1) ----------------------------------------------
+
+    def _exec_slide_modulo(self, spec, ops, scalar_value) -> int:
+        vd, vs2, vm = ops["vd"], ops["vs2"], ops["vm"]
+        offset = ops["imm"] % 5
+        down = spec.mnemonic == "vslidedownm.vi"
+        sew = self.sew
+        per_reg = self.elements_per_register
+        self._check_group(vd, "destination")
+        self._check_group(vs2, "source")
+
+        for p in range(self.register_passes):
+            base_index = p * per_reg
+            count = min(per_reg, self.vl - base_index)
+            local_sn = count // 5
+            src = self.regfile.read_elements(vs2 + p, sew)
+            for i in range(local_sn):
+                for j in range(5):
+                    if down:
+                        source_slot = 5 * i + (j + offset) % 5
+                    else:
+                        source_slot = 5 * i + (j - offset) % 5
+                    if not self._active(vm, base_index + 5 * i + j):
+                        continue
+                    self.regfile.set_element(
+                        vd + p, 5 * i + j, sew, src[source_slot]
+                    )
+        return self.cycle_model.vector_arith(self.register_passes)
+
+    # -- custom: rotations (Table 3) ---------------------------------------------------------
+
+    def _exec_vrotup(self, spec, ops, scalar_value) -> int:
+        if self.sew != 64:
+            raise IllegalInstructionError(
+                "vrotup.vi requires the 64-bit architecture (SEW=64)"
+            )
+        vd, vs2, vm = ops["vd"], ops["vs2"], ops["vm"]
+        amount = ops["imm"] % 64
+        self._check_group(vd, "destination")
+        self._check_group(vs2, "source")
+        snapshot = [self.regfile.get_group_element(vs2, i, 64)
+                    for i in range(self.vl)]
+        for i in range(self.vl):
+            if not self._active(vm, i):
+                continue
+            self.regfile.set_group_element(
+                vd, i, 64, self._rotl64(snapshot[i], amount)
+            )
+        return self.cycle_model.vector_arith(self.register_passes)
+
+    def _exec_v32rotup(self, spec, ops, scalar_value) -> int:
+        if self.sew != 32:
+            raise IllegalInstructionError(
+                f"{spec.mnemonic} requires the 32-bit architecture (SEW=32)"
+            )
+        vd, vs2, vs1, vm = ops["vd"], ops["vs2"], ops["vs1"], ops["vm"]
+        keep_high = spec.mnemonic == "v32hrotup.vv"
+        self._check_group(vd, "destination")
+        self._check_group(vs2, "source")
+        self._check_group(vs1, "source")
+        hi = [self.regfile.get_group_element(vs2, i, 32) for i in range(self.vl)]
+        lo = [self.regfile.get_group_element(vs1, i, 32) for i in range(self.vl)]
+        for i in range(self.vl):
+            if not self._active(vm, i):
+                continue
+            rotated = self._rotl64((hi[i] << 32) | lo[i], 1)
+            value = (rotated >> 32) if keep_high else (rotated & 0xFFFFFFFF)
+            self.regfile.set_group_element(vd, i, 32, value)
+        return self.cycle_model.vector_arith(self.register_passes)
+
+    def _rho_row_for_pass(self, simm: int, pass_index: int) -> int:
+        """Row index: the immediate, or the hardware lmul_cnt counter."""
+        if simm == -1:
+            return pass_index % 5
+        if not 0 <= simm <= 4:
+            raise IllegalInstructionError(
+                f"rho/pi row immediate out of range: {simm}"
+            )
+        if self.lmul != 1 and self.register_passes > 1:
+            raise IllegalInstructionError(
+                "explicit row immediate requires LMUL=1 (use -1 for groups)"
+            )
+        return simm
+
+    def _exec_v64rho(self, spec, ops, scalar_value) -> int:
+        if self.sew != 64:
+            raise IllegalInstructionError(
+                "v64rho.vi requires the 64-bit architecture (SEW=64)"
+            )
+        vd, vs2, vm, simm = ops["vd"], ops["vs2"], ops["vm"], ops["imm"]
+        per_reg = self.elements_per_register
+        self._check_group(vd, "destination")
+        self._check_group(vs2, "source")
+        for p in range(self.register_passes):
+            row = self._rho_row_for_pass(simm, p)
+            base_index = p * per_reg
+            count = min(per_reg, self.vl - base_index)
+            local_sn = count // 5
+            src = self.regfile.read_elements(vs2 + p, 64)
+            for i in range(local_sn):
+                for j in range(5):
+                    if not self._active(vm, base_index + 5 * i + j):
+                        continue
+                    amount = RHO_BY_ROW[row][j]
+                    self.regfile.set_element(
+                        vd + p, 5 * i + j, 64,
+                        self._rotl64(src[5 * i + j], amount),
+                    )
+        return self.cycle_model.vector_arith(self.register_passes)
+
+    def _exec_v32rho(self, spec, ops, scalar_value) -> int:
+        if self.sew != 32:
+            raise IllegalInstructionError(
+                f"{spec.mnemonic} requires the 32-bit architecture (SEW=32)"
+            )
+        vd, vs2, vs1, vm = ops["vd"], ops["vs2"], ops["vs1"], ops["vm"]
+        keep_high = spec.mnemonic == "v32hrho.vv"
+        per_reg = self.elements_per_register
+        self._check_group(vd, "destination")
+        self._check_group(vs2, "source")
+        self._check_group(vs1, "source")
+        for p in range(self.register_passes):
+            row = p % 5  # lmul_cnt indexes the row automatically
+            base_index = p * per_reg
+            count = min(per_reg, self.vl - base_index)
+            local_sn = count // 5
+            hi = self.regfile.read_elements(vs2 + p, 32)
+            lo = self.regfile.read_elements(vs1 + p, 32)
+            for i in range(local_sn):
+                for j in range(5):
+                    if not self._active(vm, base_index + 5 * i + j):
+                        continue
+                    slot = 5 * i + j
+                    amount = RHO_BY_ROW[row][j]
+                    rotated = self._rotl64((hi[slot] << 32) | lo[slot], amount)
+                    value = (rotated >> 32) if keep_high \
+                        else (rotated & 0xFFFFFFFF)
+                    self.regfile.set_element(vd + p, slot, 32, value)
+        return self.cycle_model.vector_arith(self.register_passes)
+
+    # -- custom: pi (Table 4, Fig. 8) ------------------------------------------------------------
+
+    def _exec_vpi(self, spec, ops, scalar_value) -> int:
+        vd, vs2, vm, simm = ops["vd"], ops["vs2"], ops["vm"], ops["imm"]
+        sew = self.sew
+        per_reg = self.elements_per_register
+        self._check_group(vs2, "source")
+        if vd + 5 > 32:
+            raise IllegalInstructionError(
+                f"vpi destination column v{vd}..v{vd + 4} exceeds the "
+                "register file"
+            )
+        for p in range(self.register_passes):
+            row = self._rho_row_for_pass(simm, p)
+            base_index = p * per_reg
+            count = min(per_reg, self.vl - base_index)
+            local_sn = count // 5
+            src = self.regfile.read_elements(vs2 + p, sew)
+            for i in range(local_sn):
+                for lane in range(5):
+                    if not self._active(vm, base_index + 5 * i + lane):
+                        continue
+                    # pi: lane `lane` of source plane `row` lands in plane
+                    # 2*(lane - row) mod 5, at lane position `row`.
+                    dest_plane = (2 * (lane - row)) % 5
+                    self.regfile.set_element(
+                        vd + dest_plane, 5 * i + row, sew, src[5 * i + lane]
+                    )
+        return self.cycle_model.vector_pi(self.register_passes)
+
+    # -- fused extensions (paper future work, Section 5) -----------------------------
+
+    def _exec_vrhopi(self, spec, ops, scalar_value) -> int:
+        """Fused rho+pi: rotate each lane, then column-write it (64-bit)."""
+        if self.sew != 64:
+            raise IllegalInstructionError(
+                "vrhopi.vi requires the 64-bit architecture (SEW=64)"
+            )
+        vd, vs2, vm, simm = ops["vd"], ops["vs2"], ops["vm"], ops["imm"]
+        per_reg = self.elements_per_register
+        self._check_group(vs2, "source")
+        if vd + 5 > 32:
+            raise IllegalInstructionError(
+                f"vrhopi destination column v{vd}..v{vd + 4} exceeds the "
+                "register file"
+            )
+        for p in range(self.register_passes):
+            row = self._rho_row_for_pass(simm, p)
+            base_index = p * per_reg
+            count = min(per_reg, self.vl - base_index)
+            local_sn = count // 5
+            src = self.regfile.read_elements(vs2 + p, 64)
+            for i in range(local_sn):
+                for lane in range(5):
+                    if not self._active(vm, base_index + 5 * i + lane):
+                        continue
+                    rotated = self._rotl64(
+                        src[5 * i + lane], RHO_BY_ROW[row][lane]
+                    )
+                    dest_plane = (2 * (lane - row)) % 5
+                    self.regfile.set_element(
+                        vd + dest_plane, 5 * i + row, 64, rotated
+                    )
+        return self.cycle_model.vector_pi(self.register_passes)
+
+    def _exec_vchi(self, spec, ops, scalar_value) -> int:
+        """Fused chi: the whole row function in one instruction."""
+        vd, vs2, vm, simm = ops["vd"], ops["vs2"], ops["vm"], ops["imm"]
+        if simm != 0:
+            raise IllegalInstructionError(
+                f"vchi.vi immediate is reserved and must be 0, got {simm}"
+            )
+        sew = self.sew
+        mask = self._element_mask()
+        per_reg = self.elements_per_register
+        self._check_group(vd, "destination")
+        self._check_group(vs2, "source")
+        for p in range(self.register_passes):
+            base_index = p * per_reg
+            count = min(per_reg, self.vl - base_index)
+            local_sn = count // 5
+            src = self.regfile.read_elements(vs2 + p, sew)
+            for i in range(local_sn):
+                for j in range(5):
+                    if not self._active(vm, base_index + 5 * i + j):
+                        continue
+                    value = src[5 * i + j] ^ (
+                        (~src[5 * i + (j + 1) % 5] & mask)
+                        & src[5 * i + (j + 2) % 5]
+                    )
+                    self.regfile.set_element(vd + p, 5 * i + j, sew, value)
+        return self.cycle_model.vector_arith(self.register_passes)
+
+    # -- custom: iota (Table 5) --------------------------------------------------------------------
+
+    def _exec_viota(self, spec, ops, scalar_value) -> int:
+        vd, vs2, vm = ops["vd"], ops["vs2"], ops["vm"]
+        index = scalar_value(ops["rs1"])
+        sew = self.sew
+        per_reg = self.elements_per_register
+        self._check_group(vd, "destination")
+        self._check_group(vs2, "source")
+        if sew == 64:
+            if not 0 <= index < len(ROUND_CONSTANTS):
+                raise IllegalInstructionError(
+                    f"viota round-constant index out of range: {index}"
+                )
+            constant = ROUND_CONSTANTS[index]
+        elif sew == 32:
+            if not 0 <= index < len(RC32_TABLE):
+                raise IllegalInstructionError(
+                    f"viota 32-bit round-constant index out of range: {index}"
+                )
+            constant = RC32_TABLE[index]
+        else:
+            raise IllegalInstructionError(
+                f"viota.vx requires SEW of 32 or 64, have {sew}"
+            )
+        for p in range(self.register_passes):
+            base_index = p * per_reg
+            count = min(per_reg, self.vl - base_index)
+            local_sn = count // 5
+            src = self.regfile.read_elements(vs2 + p, sew)
+            for i in range(local_sn):
+                for j in range(5):
+                    if not self._active(vm, base_index + 5 * i + j):
+                        continue
+                    value = src[5 * i + j]
+                    if j == 0:
+                        value ^= constant
+                    self.regfile.set_element(vd + p, 5 * i + j, sew, value)
+        return self.cycle_model.vector_arith(self.register_passes)
+
+    # -- memory (VecLSU) ------------------------------------------------------------------------------
+
+    def _memory_addresses(self, spec, ops, scalar_value) -> List[int]:
+        base = scalar_value(ops["rs1"]) & 0xFFFFFFFF
+        width_bytes = spec.extra["width"] // 8
+        mop = spec.extra["mop"]
+        if mop == "unit":
+            return [base + i * width_bytes for i in range(self.vl)]
+        if mop == "strided":
+            stride = scalar_value(ops["rs2"]) & 0xFFFFFFFF
+            return [base + i * stride for i in range(self.vl)]
+        if mop == "indexed":
+            vs2 = ops["vs2"]
+            index_width = spec.extra["width"]
+            return [
+                base + self.regfile.get_group_element(vs2, i, index_width)
+                for i in range(self.vl)
+            ]
+        raise IllegalInstructionError(f"unknown addressing mode {mop!r}")
+
+    def _exec_vload(self, spec, ops, scalar_value) -> int:
+        vd, vm = ops["vd"], ops["vm"]
+        mop = spec.extra["mop"]
+        # Indexed loads transfer SEW-wide data; unit/strided use the encoded
+        # memory element width for both memory and register elements (EEW).
+        data_width = self.sew if mop == "indexed" else spec.extra["width"]
+        addresses = self._memory_addresses(spec, ops, scalar_value)
+        for i, address in enumerate(addresses):
+            if not self._active(vm, i):
+                continue
+            value = self.memory.load(address, data_width)
+            per_reg = self.regfile.elements_per_register(data_width)
+            reg, slot = divmod(i, per_reg)
+            self.regfile.set_element(vd + reg, slot, data_width, value)
+        passes = math.ceil(self.vl / self.regfile.elements_per_register(
+            data_width)) if self.vl else 1
+        return self.cycle_model.vector_memory(passes)
+
+    def _exec_vstore(self, spec, ops, scalar_value) -> int:
+        vs3, vm = ops["vd"], ops["vm"]  # store data register reuses vd field
+        mop = spec.extra["mop"]
+        data_width = self.sew if mop == "indexed" else spec.extra["width"]
+        addresses = self._memory_addresses(spec, ops, scalar_value)
+        for i, address in enumerate(addresses):
+            if not self._active(vm, i):
+                continue
+            per_reg = self.regfile.elements_per_register(data_width)
+            reg, slot = divmod(i, per_reg)
+            value = self.regfile.get_element(vs3 + reg, slot, data_width)
+            self.memory.store(address, data_width, value)
+        passes = math.ceil(self.vl / self.regfile.elements_per_register(
+            data_width)) if self.vl else 1
+        return self.cycle_model.vector_memory(passes)

@@ -1,0 +1,82 @@
+"""Tests for the calibrated slice-count model."""
+
+import pytest
+
+from repro.arch.area import (
+    AREA_ANCHORS,
+    IBEX_SLICES,
+    area_ratio,
+    slices,
+    slices_per_element,
+)
+
+
+class TestAnchorsReproduced:
+    @pytest.mark.parametrize("elen,elenum,expected", [
+        (64, 5, 7323), (64, 15, 24789), (64, 30, 48180),
+        (32, 5, 6359), (32, 15, 23408), (32, 30, 48036),
+    ])
+    def test_published_points_exact(self, elen, elenum, expected):
+        assert slices(elen, elenum) == expected
+
+    def test_ibex_baseline(self):
+        assert IBEX_SLICES == 432
+
+
+class TestInterpolation:
+    def test_between_anchors_monotone(self):
+        for elen in (32, 64):
+            previous = slices(elen, 5)
+            for elenum in range(6, 31):
+                current = slices(elen, elenum)
+                assert current > previous, (elen, elenum)
+                previous = current
+
+    def test_midpoint_between_anchors(self):
+        mid = slices(64, 10)
+        assert slices(64, 5) < mid < slices(64, 15)
+
+    def test_extrapolation_beyond_30(self):
+        beyond = slices(64, 40)
+        slope = slices_per_element(64)
+        assert beyond == pytest.approx(48180 + 10 * slope)
+
+    def test_small_elenum_extrapolates_down(self):
+        assert slices(64, 1) < slices(64, 5)
+
+    def test_marginal_cost_positive(self):
+        assert slices_per_element(64) > 0
+        assert slices_per_element(32) > 0
+
+
+class TestPaperObservations:
+    def test_32_and_64_bit_similar_at_elenum_30(self):
+        """Paper: 'both use similar resources' at LMUL=8/EleNum=30."""
+        ratio = slices(64, 30) / slices(32, 30)
+        assert 0.95 < ratio < 1.05
+
+    def test_64bit_larger_at_small_elenum(self):
+        assert slices(64, 5) > slices(32, 5)
+
+    def test_area_ratio_vs_ibex(self):
+        assert area_ratio(32, 30, IBEX_SLICES) == \
+            pytest.approx(111.2, abs=0.1)
+
+
+class TestValidation:
+    def test_unknown_elen(self):
+        with pytest.raises(ValueError):
+            slices(128, 5)
+
+    def test_invalid_elenum(self):
+        with pytest.raises(ValueError):
+            slices(64, 0)
+
+    def test_invalid_reference_area(self):
+        with pytest.raises(ValueError):
+            area_ratio(64, 5, 0)
+
+    def test_anchor_table_shape(self):
+        assert set(AREA_ANCHORS) == {32, 64}
+        for anchors in AREA_ANCHORS.values():
+            assert [a[0] for a in anchors] == [5, 15, 30]

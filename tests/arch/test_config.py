@@ -1,0 +1,72 @@
+"""Tests for the architecture configuration dataclass."""
+
+import pytest
+
+from repro.arch import ArchConfig, TABLE7_CONFIGS, TABLE8_CONFIGS
+
+
+class TestValidation:
+    def test_valid_configs(self):
+        ArchConfig(64, 5, 1, 1)
+        ArchConfig(64, 30, 8, 6)
+        ArchConfig(32, 15, 8, 3)
+
+    def test_invalid_elen(self):
+        with pytest.raises(ValueError, match="ELEN"):
+            ArchConfig(16, 5, 1, 1)
+
+    def test_invalid_lmul(self):
+        with pytest.raises(ValueError, match="LMUL"):
+            ArchConfig(64, 5, 3, 1)
+
+    def test_elenum_too_small(self):
+        with pytest.raises(ValueError, match="EleNum"):
+            ArchConfig(64, 4, 1, 1)
+
+    def test_states_need_elements(self):
+        # Paper: 5 x SN must not exceed EleNum.
+        with pytest.raises(ValueError, match="5 x SN|elements"):
+            ArchConfig(64, 5, 1, 2)
+
+    def test_at_least_one_state(self):
+        with pytest.raises(ValueError):
+            ArchConfig(64, 5, 1, 0)
+
+
+class TestDerived:
+    def test_vlen(self):
+        assert ArchConfig(64, 30, 8, 6).vlen_bits == 1920
+        assert ArchConfig(32, 5, 8, 1).vlen_bits == 160
+
+    def test_max_states(self):
+        assert ArchConfig(64, 16, 1, 3).max_states == 3
+        assert ArchConfig(64, 30, 8, 1).max_states == 6
+
+    def test_label_matches_paper_wording(self):
+        assert ArchConfig(64, 5, 1, 1).label == \
+            "64-bit with LMUL=1 (EleNum=5, 1 state)"
+        assert ArchConfig(32, 30, 8, 6).label == \
+            "32-bit with LMUL=8 (EleNum=30, 6 states)"
+
+    def test_str(self):
+        assert str(ArchConfig(64, 5, 1, 1)).startswith("64-bit")
+
+    def test_frozen(self):
+        config = ArchConfig(64, 5, 1, 1)
+        with pytest.raises(Exception):
+            config.elen = 32
+
+
+class TestPaperConfigLists:
+    def test_table7_has_six_configs(self):
+        assert len(TABLE7_CONFIGS) == 6
+        assert all(c.elen == 64 for c in TABLE7_CONFIGS)
+        assert {c.lmul for c in TABLE7_CONFIGS} == {1, 8}
+        assert {c.elenum for c in TABLE7_CONFIGS} == {5, 15, 30}
+
+    def test_table8_has_three_configs(self):
+        assert len(TABLE8_CONFIGS) == 3
+        assert all(c.elen == 32 and c.lmul == 8 for c in TABLE8_CONFIGS)
+
+    def test_state_counts(self):
+        assert [c.num_states for c in TABLE8_CONFIGS] == [1, 3, 6]

@@ -1,0 +1,54 @@
+"""Tests for absolute-time projections at the paper's 100 MHz clock."""
+
+import pytest
+
+from repro.arch.frequency import PAPER_CLOCK_HZ, at_frequency
+
+
+class TestProjection:
+    def test_paper_clock(self):
+        assert PAPER_CLOCK_HZ == 100_000_000
+
+    def test_latency(self):
+        perf = at_frequency("x", 1892, 1)
+        assert perf.permutation_latency_s == pytest.approx(18.92e-6)
+
+    def test_permutations_per_second_scale_with_states(self):
+        one = at_frequency("x", 1892, 1)
+        six = at_frequency("x", 1892, 6)
+        assert six.permutations_per_second == \
+            pytest.approx(6 * one.permutations_per_second)
+
+    def test_throughput_at_100mhz(self):
+        # 6 x 1600 bits / 1892 cycles x 100 MHz = 507.4 Mbit/s.
+        perf = at_frequency("64-bit LMUL=8, 6 states", 1892, 6)
+        assert perf.throughput_mbit_per_second == pytest.approx(507.4,
+                                                                abs=0.1)
+
+    def test_throughput_consistent_with_table_metric(self):
+        # (bits/cycle) x clock == bits/second.
+        from repro.arch.metrics import throughput_bits_per_cycle
+
+        perf = at_frequency("x", 3620, 3)
+        expected = throughput_bits_per_cycle(3620, 3) * PAPER_CLOCK_HZ
+        assert perf.throughput_bits_per_second == pytest.approx(expected)
+
+    def test_hash_rate_uses_rate_bytes(self):
+        perf = at_frequency("x", 1892, 1)
+        sha3_256_rate = perf.hash_rate_per_second(136)
+        shake128_rate = perf.hash_rate_per_second(168)
+        assert shake128_rate > sha3_256_rate
+
+    def test_custom_clock(self):
+        slow = at_frequency("x", 1892, 1, clock_hz=50e6)
+        fast = at_frequency("x", 1892, 1, clock_hz=200e6)
+        assert fast.throughput_bits_per_second == \
+            pytest.approx(4 * slow.throughput_bits_per_second)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            at_frequency("x", 1892, 1, clock_hz=0)
+        with pytest.raises(ValueError):
+            at_frequency("x", 0, 1)
+        with pytest.raises(ValueError):
+            at_frequency("x", 1892, 0)

@@ -1,0 +1,65 @@
+"""Tests for the performance metrics (Section 4.2 definitions)."""
+
+import pytest
+
+from repro.arch.metrics import (
+    PerformancePoint,
+    cycles_per_byte,
+    throughput_bits_per_cycle,
+    throughput_e3,
+)
+
+
+class TestCyclesPerByte:
+    def test_paper_values(self):
+        # 2564 cycles / 200 bytes = 12.8 c/b (Table 7).
+        assert cycles_per_byte(2564) == pytest.approx(12.8, abs=0.05)
+        assert cycles_per_byte(1892) == pytest.approx(9.5, abs=0.05)
+        assert cycles_per_byte(3620) == pytest.approx(18.1, abs=0.05)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            cycles_per_byte(0)
+
+
+class TestThroughput:
+    def test_single_state_paper_value(self):
+        # 1600 bits / 2564 cycles = 0.62402 b/c -> 624.02 x10^-3.
+        assert throughput_e3(2564, 1) == pytest.approx(624.02, abs=0.01)
+
+    def test_scales_linearly_with_states(self):
+        one = throughput_e3(1892, 1)
+        six = throughput_e3(1892, 6)
+        assert six == pytest.approx(6 * one)
+
+    def test_paper_table7_values(self):
+        assert throughput_e3(1892, 1) == pytest.approx(845.67, abs=0.01)
+        assert throughput_e3(1892, 3) == pytest.approx(2537.00, abs=0.05)
+        assert throughput_e3(2564, 6) == pytest.approx(3744.15, abs=0.01)
+
+    def test_paper_table8_values(self):
+        assert throughput_e3(3620, 1) == pytest.approx(441.99, abs=0.01)
+        assert throughput_e3(3620, 6) == pytest.approx(2651.93, abs=0.01)
+
+    def test_bits_per_cycle_base_unit(self):
+        assert throughput_bits_per_cycle(1600, 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            throughput_e3(-1, 1)
+        with pytest.raises(ValueError):
+            throughput_e3(100, 0)
+
+
+class TestPerformancePoint:
+    def test_derived_metrics(self):
+        point = PerformancePoint("x", 75, 1892, 6)
+        assert point.cycles_per_byte == pytest.approx(9.46)
+        assert point.throughput_e3 == pytest.approx(5074.0, abs=0.1)
+
+    def test_speedup_over(self):
+        fast = PerformancePoint("fast", 75, 1892, 6)
+        slow = PerformancePoint("slow", 103, 2564, 1)
+        assert fast.speedup_over(slow) == pytest.approx(
+            (6 * 1600 / 1892) / (1600 / 2564)
+        )

@@ -1,0 +1,222 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.assembler import AssemblyError, SymbolError, assemble
+from repro.isa import ISA, decode_operands
+
+
+def words_of(source, base=0):
+    return assemble(source, base).words
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        words = words_of("addi x1, x2, 100")
+        assert words == [0x06410093]
+
+    def test_known_add_encoding(self):
+        assert words_of("add x1, x2, x3") == [0x003100B3]
+
+    def test_abi_names(self):
+        assert words_of("add ra, sp, gp") == words_of("add x1, x2, x3")
+
+    def test_program_size(self):
+        program = assemble("nop\nnop\nnop")
+        assert program.size_bytes == 12
+        assert len(program.instructions) == 3
+
+    def test_addresses_sequential(self):
+        program = assemble("nop\nnop", base_address=0x100)
+        assert [i.address for i in program.instructions] == [0x100, 0x104]
+
+    def test_to_bytes_little_endian(self):
+        program = assemble("addi x1, x2, 100")
+        assert program.to_bytes() == (0x06410093).to_bytes(4, "little")
+
+    def test_word_at(self):
+        program = assemble("nop\naddi x1, x2, 100", base_address=0x40)
+        assert program.word_at(0x44) == 0x06410093
+        assert program.word_at(0x46) is None
+        assert program.word_at(0x48) is None
+
+    def test_listing_contains_source(self):
+        listing = assemble("addi x1, x2, 100  # bump").listing()
+        assert "addi x1, x2, 100" in listing
+        assert "06410093" in listing
+
+
+class TestLabelsAndBranches:
+    def test_backward_branch_offset(self):
+        program = assemble("loop:\nnop\nblt s3, s4, loop")
+        word = program.words[1]
+        spec = ISA.find(word)
+        assert spec.mnemonic == "blt"
+        assert decode_operands(word, spec)["offset"] == -4
+
+    def test_forward_branch_offset(self):
+        program = assemble("beq x0, x0, done\nnop\ndone:\nnop")
+        word = program.words[0]
+        assert decode_operands(word, ISA.find(word))["offset"] == 8
+
+    def test_jump_to_label(self):
+        program = assemble("start:\nnop\nj start")
+        word = program.words[1]
+        spec = ISA.find(word)
+        assert spec.mnemonic == "jal"
+        assert decode_operands(word, spec)["offset"] == -4
+
+    def test_label_redefinition_rejected(self):
+        with pytest.raises(SymbolError, match="redefined"):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined symbol"):
+            assemble("beq x0, x0, nowhere")
+
+    def test_labels_in_symbol_table(self):
+        program = assemble("nop\nhere:\nnop", base_address=0x10)
+        assert program.symbols["here"] == 0x14
+
+    def test_label_after_pseudo_accounts_expansion(self):
+        # li with a large value expands to 2 instructions; the label after
+        # it must sit at +8.
+        program = assemble("li t0, 0x12345\nafter:\nnop")
+        assert program.symbols["after"] == 8
+
+
+class TestDirectives:
+    def test_equ_constant(self):
+        words = words_of(".equ N, 30\naddi x1, x0, N")
+        assert decode_operands(words[0], ISA.find(words[0]))["imm"] == 30
+
+    def test_equ_expression(self):
+        words = words_of(".equ A, 8\n.equ B, A * 5\naddi x1, x0, B")
+        assert decode_operands(words[0], ISA.find(words[0]))["imm"] == 40
+
+    def test_equ_redefinition_rejected(self):
+        with pytest.raises(SymbolError):
+            assemble(".equ N, 1\n.equ N, 2")
+
+    def test_word_directive(self):
+        program = assemble(".word 0xDEADBEEF, 17")
+        assert program.words == [0xDEADBEEF, 17]
+
+    def test_org_pads_with_nops(self):
+        program = assemble("nop\n.org 0x10\nmarker:\naddi x1, x0, 1")
+        assert program.symbols["marker"] == 0x10
+        assert len(program.instructions) == 5  # 1 + 3 pad + 1
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AssemblyError, match="backwards"):
+            assemble("nop\nnop\n.org 4")
+
+    def test_align(self):
+        program = assemble("nop\n.align 3\nhere:\nnop")
+        assert program.symbols["here"] == 8
+
+    def test_ignored_directives(self):
+        program = assemble(".text\n.globl main\nmain:\nnop")
+        assert len(program.instructions) == 1
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError, match="unknown directive"):
+            assemble(".bogus 1")
+
+
+class TestVectorAssembly:
+    def test_vsetvli_paper_syntax(self):
+        words = words_of("vsetvli x0, s1, e64, m1, tu, mu")
+        spec = ISA.find(words[0])
+        assert spec.mnemonic == "vsetvli"
+        assert decode_operands(words[0], spec)["vtype"] == 0b011_000
+
+    def test_vector_arith_operand_order(self):
+        # vxor.vv vd, vs2, vs1
+        words = words_of("vxor.vv v5, v3, v4")
+        ops = decode_operands(words[0], ISA.find(words[0]))
+        assert ops == {"vd": 5, "vs2": 3, "vs1": 4, "vm": 1}
+
+    def test_mask_suffix(self):
+        words = words_of("vadd.vv v1, v2, v3, v0.t")
+        assert decode_operands(words[0], ISA.find(words[0]))["vm"] == 0
+
+    def test_unit_stride_load(self):
+        words = words_of("vle64.v v0, (a0)")
+        ops = decode_operands(words[0], ISA.find(words[0]))
+        assert ops["vd"] == 0
+        assert ops["rs1"] == 10
+
+    def test_load_with_offset_rejected(self):
+        with pytest.raises(AssemblyError, match="no address offset"):
+            assemble("vle64.v v0, 8(a0)")
+
+    def test_strided_store(self):
+        words = words_of("vsse32.v v2, (a0), t1")
+        ops = decode_operands(words[0], ISA.find(words[0]))
+        assert ops["rs2"] == 6
+
+    def test_indexed_load(self):
+        words = words_of("vluxei32.v v2, (a0), v8")
+        ops = decode_operands(words[0], ISA.find(words[0]))
+        assert ops["vs2"] == 8
+
+    def test_custom_instructions_assemble(self):
+        source = """
+            vslidedownm.vi v7, v5, 1
+            vslideupm.vi v6, v5, 1
+            vrotup.vi v7, v7, 1
+            v64rho.vi v0, v0, -1
+            vpi.vi v5, v0, 0
+            viota.vx v0, v0, s3
+            v32lrotup.vv v8, v23, v7
+            v32hrho.vv v24, v16, v0
+        """
+        program = assemble(source)
+        mnemonics = [i.mnemonic for i in program.instructions]
+        assert mnemonics == [
+            "vslidedownm.vi", "vslideupm.vi", "vrotup.vi", "v64rho.vi",
+            "vpi.vi", "viota.vx", "v32lrotup.vv", "v32hrho.vv",
+        ]
+
+    def test_paper_vi_alias_for_vv_customs(self):
+        # The paper's Table 3 spells v32lrotup with a .vi suffix.
+        a = words_of("v32lrotup.vi v8, v23, v7")
+        b = words_of("v32lrotup.vv v8, v23, v7")
+        assert a == b
+
+    def test_signed_custom_immediate_range(self):
+        with pytest.raises(AssemblyError):
+            assemble("v64rho.vi v0, v0, 16")  # simm5 max is 15
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown instruction"):
+            assemble("frobnicate x1, x2")
+
+    def test_error_reports_line(self):
+        with pytest.raises(AssemblyError) as err:
+            assemble("nop\nnop\nbadop x1")
+        assert err.value.line_number == 3
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("add x1, x2")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            assemble("addi x1, x2, 5000")
+
+    def test_scalar_where_vector_expected(self):
+        with pytest.raises(AssemblyError, match="vector register"):
+            assemble("vxor.vv x1, v2, v3")
+
+    def test_vector_where_scalar_expected(self):
+        with pytest.raises(AssemblyError, match="scalar register"):
+            assemble("addi v1, x2, 0")
+
+    def test_branch_offset_overflow(self):
+        source = "start:\n" + ".zero 8192\n" + "beq x0, x0, start"
+        with pytest.raises(AssemblyError):
+            assemble(source)

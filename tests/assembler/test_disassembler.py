@@ -1,0 +1,124 @@
+"""Tests for the disassembler, including full round-trip properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assembler import assemble, disassemble, disassemble_word
+from repro.isa import ISA
+from repro.isa.formats import encode_instruction
+from repro.programs import keccak32_lmul8, keccak64_lmul1, keccak64_lmul8, scalar_keccak
+
+
+class TestSingleWords:
+    def test_addi(self):
+        assert disassemble_word(0x06410093) == "addi ra, sp, 100"
+
+    def test_unknown_word_renders_as_data(self):
+        assert disassemble_word(0x00000000) == ".word 0x00000000"
+
+    def test_branch_target_absolute(self):
+        program = assemble("loop:\nnop\nblt s3, s4, loop", base_address=0x100)
+        text = disassemble_word(program.words[1], 0x104)
+        assert text == "blt s3, s4, 0x100"
+
+    def test_vsetvli_renders_vtype(self):
+        program = assemble("vsetvli x0, s1, e64, m8, tu, mu")
+        assert disassemble_word(program.words[0]) == \
+            "vsetvli zero, s1, e64,m8,tu,mu"
+
+    def test_mask_suffix_rendered(self):
+        program = assemble("vadd.vv v1, v2, v3, v0.t")
+        assert disassemble_word(program.words[0]).endswith(", v0.t")
+
+    def test_memory_operand_rendered(self):
+        program = assemble("lw t0, -4(sp)")
+        assert disassemble_word(program.words[0]) == "lw t0, -4(sp)"
+
+    def test_vector_load_rendered(self):
+        program = assemble("vle64.v v0, (a0)")
+        assert disassemble_word(program.words[0]) == "vle64.v v0, (a0)"
+
+
+class TestRoundTrips:
+    def _round_trip(self, source):
+        """asm -> dis -> asm must reproduce identical machine code."""
+        program = assemble(source)
+        texts = disassemble(program.words, program.base_address)
+        # Branch/jump targets come back as absolute addresses, which the
+        # assembler evaluates relative to each line's own address.
+        reassembled = assemble("\n".join(texts))
+        assert reassembled.words == program.words
+
+    def test_straight_line_round_trip(self):
+        self._round_trip("""
+            addi x1, x2, -7
+            lui t0, 0x12345
+            lw a0, 16(sp)
+            sw a0, -16(sp)
+            xor s1, s2, s3
+            srai t1, t2, 5
+            mul a2, a3, a4
+            vsetvli x0, s1, e32, m8, tu, mu
+            vxor.vv v5, v3, v4
+            vand.vi v1, v2, -5
+            vslidedownm.vi v7, v5, 2
+            v64rho.vi v0, v0, -1
+            vpi.vi v5, v0, 3
+            viota.vx v0, v0, s3
+            vle32.v v1, (a0)
+            vsse64.v v2, (a1), t3
+            ecall
+        """)
+
+    def test_keccak_programs_round_trip(self):
+        for program in (
+            keccak64_lmul1.build(15).assemble(),
+            keccak64_lmul8.build(30).assemble(),
+            keccak32_lmul8.build(5).assemble(),
+            scalar_keccak.build().assemble(),
+        ):
+            texts = disassemble(program.words, program.base_address)
+            reassembled = assemble("\n".join(texts))
+            assert reassembled.words == program.words
+
+
+@given(mnemonic=st.sampled_from(sorted(ISA.mnemonics())),
+       regs=st.lists(st.integers(0, 31), min_size=4, max_size=4),
+       imm=st.integers(-16, 15),
+       data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_fuzz_encode_disassemble_reassemble(mnemonic, regs, imm, data):
+    """Any encodable instruction survives dis/assembly bit-exactly."""
+    spec = ISA.lookup(mnemonic)
+    ops = {}
+    for name in spec.operands:
+        if name in ("rd", "rs1", "rs2"):
+            ops[name] = regs[0]
+        elif name in ("vd", "vs1", "vs2"):
+            ops[name] = regs[1]
+        elif name == "imm":
+            if spec.fmt in ("i", "load", "store", "jalr"):
+                ops[name] = data.draw(st.integers(-2048, 2047))
+            elif spec.fmt == "u":
+                ops[name] = data.draw(st.integers(0, (1 << 20) - 1))
+            elif spec.extra.get("signed_imm"):
+                ops[name] = imm
+            else:
+                ops[name] = abs(imm)
+        elif name == "shamt":
+            ops[name] = data.draw(st.integers(0, 31))
+        elif name == "offset":
+            ops[name] = 2 * data.draw(st.integers(-512, 511))
+        elif name == "vtype":
+            ops[name] = data.draw(st.sampled_from([0x18, 0x1B, 0x10, 0x13]))
+        elif name == "csr":
+            ops[name] = data.draw(st.sampled_from(
+                [0x008, 0xC00, 0xC01, 0xC02, 0xC20, 0xC21, 0xC22]))
+    if spec.fmt.startswith("v"):
+        ops.setdefault("vm", data.draw(st.sampled_from([0, 1])))
+    word = encode_instruction(spec, ops)
+    address = 0x1000
+    text = disassemble_word(word, address)
+    assert not text.startswith(".word"), (mnemonic, hex(word))
+    reassembled = assemble(text, base_address=address)
+    assert reassembled.words[-1] == word, (mnemonic, text)

@@ -1,0 +1,99 @@
+"""Tests for the constant-expression evaluator."""
+
+import pytest
+
+from repro.assembler.errors import OperandError
+from repro.assembler.expressions import evaluate, is_plain_integer
+
+
+class TestLiterals:
+    def test_decimal(self):
+        assert evaluate("42") == 42
+
+    def test_hex(self):
+        assert evaluate("0x1000") == 4096
+        assert evaluate("0XFF") == 255
+
+    def test_binary_and_octal(self):
+        assert evaluate("0b1010") == 10
+        assert evaluate("0o17") == 15
+
+    def test_negative(self):
+        assert evaluate("-1") == -1
+        assert evaluate("-0x10") == -16
+
+    def test_unary_plus_and_not(self):
+        assert evaluate("+5") == 5
+        assert evaluate("~0") == -1
+
+
+class TestOperators:
+    def test_additive(self):
+        assert evaluate("1 + 2 - 3") == 0
+
+    def test_precedence(self):
+        assert evaluate("2 + 3 * 4") == 14
+        assert evaluate("(2 + 3) * 4") == 20
+
+    def test_shifts(self):
+        assert evaluate("1 << 12") == 4096
+        assert evaluate("256 >> 4") == 16
+
+    def test_bitwise(self):
+        assert evaluate("0xF0 | 0x0F") == 0xFF
+        assert evaluate("0xFF & 0x0F") == 0x0F
+        assert evaluate("0xFF ^ 0x0F") == 0xF0
+
+    def test_bitwise_precedence_below_shift(self):
+        assert evaluate("1 << 4 | 1") == 17
+
+    def test_nested_parens(self):
+        assert evaluate("((1 + 2) * (3 + 4))") == 21
+
+
+class TestSymbols:
+    def test_lookup(self):
+        assert evaluate("N + 1", {"N": 4}) == 5
+
+    def test_symbols_with_dots(self):
+        assert evaluate(".base + 8", {".base": 0x100}) == 0x108
+
+    def test_undefined_symbol(self):
+        with pytest.raises(OperandError, match="undefined symbol"):
+            evaluate("MISSING")
+
+    def test_symbol_times_constant(self):
+        assert evaluate("ROW * 5", {"ROW": 8}) == 40
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(OperandError):
+            evaluate("")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(OperandError, match="trailing"):
+            evaluate("1 2")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(OperandError, match="missing"):
+            evaluate("(1 + 2")
+
+    def test_dangling_operator(self):
+        with pytest.raises(OperandError):
+            evaluate("1 +")
+
+    def test_invalid_characters(self):
+        with pytest.raises(OperandError):
+            evaluate("1 @ 2")
+
+
+class TestIsPlainInteger:
+    def test_plain(self):
+        assert is_plain_integer("5")
+        assert is_plain_integer("-0x10")
+        assert is_plain_integer(" 12 ")
+
+    def test_not_plain(self):
+        assert not is_plain_integer("N")
+        assert not is_plain_integer("1+2")

@@ -1,0 +1,91 @@
+"""Tests for assembly-line lexing."""
+
+import pytest
+
+from repro.assembler.errors import AssemblyError
+from repro.assembler.lexer import lex, lex_line, split_operands, strip_comment
+
+
+class TestComments:
+    def test_hash_comment(self):
+        assert strip_comment("addi x1, x1, 1 # inc") == "addi x1, x1, 1 "
+
+    def test_double_slash_comment(self):
+        assert strip_comment("nop // nothing") == "nop "
+
+    def test_semicolon_comment(self):
+        assert strip_comment("nop ; nothing") == "nop "
+
+    def test_comment_only_line(self):
+        line = lex_line(1, "# just a comment")
+        assert line.is_empty
+
+
+class TestLabels:
+    def test_label_alone(self):
+        line = lex_line(1, "loop:")
+        assert line.label == "loop"
+        assert line.mnemonic is None
+
+    def test_label_with_instruction(self):
+        line = lex_line(1, "loop: addi x1, x1, 1")
+        assert line.label == "loop"
+        assert line.mnemonic == "addi"
+        assert line.operands == ["x1", "x1", "1"]
+
+    def test_label_with_dots_and_underscores(self):
+        assert lex_line(1, "_my.label$2:").label == "_my.label$2"
+
+    def test_numeric_start_is_not_a_label(self):
+        # "1:" is not a valid identifier here.
+        line = lex_line(1, "1: nop")
+        assert line.label is None
+
+
+class TestOperands:
+    def test_simple_split(self):
+        assert split_operands("x1, x2, 3") == ["x1", "x2", "3"]
+
+    def test_memory_operand_kept_together(self):
+        assert split_operands("t0, 8(sp)") == ["t0", "8(sp)"]
+
+    def test_vtype_tokens(self):
+        line = lex_line(1, "vsetvli x0, s1, e64, m1, tu, mu")
+        assert line.operands == ["x0", "s1", "e64", "m1", "tu", "mu"]
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(AssemblyError, match="unbalanced"):
+            split_operands("t0, 8(sp")
+        with pytest.raises(AssemblyError, match="unbalanced"):
+            split_operands("t0, 8)sp(")
+
+    def test_empty_operand(self):
+        with pytest.raises(AssemblyError, match="empty operand"):
+            split_operands("x1,, x2")
+
+    def test_mask_operand(self):
+        line = lex_line(1, "vadd.vv v1, v2, v3, v0.t")
+        assert line.operands[-1] == "v0.t"
+
+
+class TestLexWholeSource:
+    def test_skips_blank_lines(self):
+        lines = lex("\n\naddi x1, x1, 1\n\n# c\nnop\n")
+        assert [l.mnemonic for l in lines] == ["addi", "nop"]
+
+    def test_line_numbers_are_original(self):
+        lines = lex("\nnop\n\nnop\n")
+        assert [l.number for l in lines] == [2, 4]
+
+    def test_directive_detection(self):
+        lines = lex(".equ N, 5\naddi x1, x0, N\n")
+        assert lines[0].is_directive
+        assert not lines[1].is_directive
+
+    def test_mnemonic_lowercased(self):
+        assert lex_line(1, "ADDI x1, x1, 1").mnemonic == "addi"
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as err:
+            lex("nop\naddi x1,, 1\n")
+        assert err.value.line_number == 2

@@ -1,0 +1,124 @@
+"""Tests for pseudo-instruction expansion."""
+
+import pytest
+
+from repro.assembler.errors import OperandError
+from repro.assembler.pseudo import expand_pseudo, is_pseudo, pseudo_size
+
+
+class TestLi:
+    def test_small_immediate_single_addi(self):
+        assert expand_pseudo("li", ["t0", "42"], {}) == \
+            [("addi", ["t0", "x0", "42"])]
+
+    def test_negative_small(self):
+        assert expand_pseudo("li", ["t0", "-2048"], {}) == \
+            [("addi", ["t0", "x0", "-2048"])]
+
+    def test_large_immediate_lui_addi(self):
+        pieces = expand_pseudo("li", ["t0", "0x12345"], {})
+        assert len(pieces) == 2
+        assert pieces[0][0] == "lui"
+        assert pieces[1][0] == "addi"
+
+    def test_large_expansion_reconstructs_value(self):
+        for value in (0x12345, 0xFFFFF800, 0x7FFFFFFF, -0x80000000, 4096,
+                      0x1000, 0xABCDE123, -1, 2047, 2048, -2049):
+            pieces = expand_pseudo("li", ["t0", str(value)], {})
+            result = 0
+            for mnemonic, ops in pieces:
+                if mnemonic == "lui":
+                    result = (int(ops[1], 0) << 12) & 0xFFFFFFFF
+                elif mnemonic == "addi":
+                    base = 0 if ops[1] == "x0" else result
+                    result = (base + int(ops[1 + 1], 0)) & 0xFFFFFFFF
+            assert result == value & 0xFFFFFFFF, value
+
+    def test_symbolic_immediate(self):
+        assert expand_pseudo("li", ["s1", "N"], {"N": 30}) == \
+            [("addi", ["s1", "x0", "30"])]
+
+    def test_out_of_range(self):
+        with pytest.raises(OperandError):
+            expand_pseudo("li", ["t0", str(1 << 32)], {})
+
+    def test_fixed_size_for_layout(self):
+        # The pass-1 size must equal the pass-2 expansion length.
+        for imm in ("0", "0x1000", "0x12345678"):
+            size = pseudo_size("li", ["t0", imm], {})
+            assert size == len(expand_pseudo("li", ["t0", imm], {}))
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(OperandError):
+            expand_pseudo("li", ["t0"], {})
+
+
+class TestSimplePseudos:
+    def test_mv(self):
+        assert expand_pseudo("mv", ["a0", "a1"], {}) == \
+            [("addi", ["a0", "a1", "0"])]
+
+    def test_not(self):
+        assert expand_pseudo("not", ["t0", "t1"], {}) == \
+            [("xori", ["t0", "t1", "-1"])]
+
+    def test_neg(self):
+        assert expand_pseudo("neg", ["t0", "t1"], {}) == \
+            [("sub", ["t0", "x0", "t1"])]
+
+    def test_nop(self):
+        assert expand_pseudo("nop", [], {}) == \
+            [("addi", ["x0", "x0", "0"])]
+
+    def test_j(self):
+        assert expand_pseudo("j", ["loop"], {}) == \
+            [("jal", ["x0", "loop"])]
+
+    def test_jr_and_ret(self):
+        assert expand_pseudo("jr", ["t0"], {}) == \
+            [("jalr", ["x0", "t0", "0"])]
+        assert expand_pseudo("ret", [], {}) == \
+            [("jalr", ["x0", "ra", "0"])]
+
+    def test_call(self):
+        assert expand_pseudo("call", ["func"], {}) == \
+            [("jal", ["ra", "func"])]
+
+    def test_branch_aliases_swap_operands(self):
+        assert expand_pseudo("bgt", ["a0", "a1", "x"], {}) == \
+            [("blt", ["a1", "a0", "x"])]
+        assert expand_pseudo("ble", ["a0", "a1", "x"], {}) == \
+            [("bge", ["a1", "a0", "x"])]
+
+    def test_zero_compare_branches(self):
+        assert expand_pseudo("beqz", ["a0", "x"], {}) == \
+            [("beq", ["a0", "x0", "x"])]
+        assert expand_pseudo("bnez", ["a0", "x"], {}) == \
+            [("bne", ["a0", "x0", "x"])]
+
+    def test_vector_pseudos(self):
+        assert expand_pseudo("vmv.v.v", ["v1", "v2"], {}) == \
+            [("vadd.vi", ["v1", "v2", "0"])]
+        assert expand_pseudo("vnot.v", ["v1", "v2"], {}) == \
+            [("vxor.vi", ["v1", "v2", "-1"])]
+
+    def test_operand_count_validation(self):
+        for mnemonic, tokens in [("mv", ["a0"]), ("nop", ["x"]),
+                                 ("ret", ["x"]), ("j", []),
+                                 ("bgt", ["a0", "a1"])]:
+            with pytest.raises(OperandError):
+                expand_pseudo(mnemonic, tokens, {})
+
+
+class TestPredicate:
+    def test_known_pseudos(self):
+        for name in ("li", "mv", "not", "nop", "j", "ret", "vmv.v.v"):
+            assert is_pseudo(name)
+
+    def test_real_instructions_are_not_pseudo(self):
+        for name in ("addi", "vxor.vv", "vpi.vi"):
+            assert not is_pseudo(name)
+
+    def test_expand_non_pseudo_raises(self):
+        with pytest.raises(OperandError):
+            expand_pseudo("addi", ["x1", "x1", "1"], {})

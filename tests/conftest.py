@@ -1,0 +1,34 @@
+"""Shared fixtures for the whole test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.keccak import KeccakState
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG, reseeded per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def random_state(rng):
+    """One random Keccak state."""
+    return KeccakState([rng.getrandbits(64) for _ in range(25)])
+
+
+@pytest.fixture
+def random_states(rng):
+    """A factory for lists of random Keccak states."""
+
+    def make(count: int):
+        return [
+            KeccakState([rng.getrandbits(64) for _ in range(25)])
+            for _ in range(count)
+        ]
+
+    return make

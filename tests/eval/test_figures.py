@@ -1,0 +1,100 @@
+"""Tests for the figure reproductions (Figs. 5-8)."""
+
+import pytest
+
+from repro.eval.figures import (
+    pi_rearrangement,
+    render_fig5,
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    slide_modulo_five,
+)
+from repro.keccak import KeccakState, pi
+
+
+class TestFig5:
+    def test_renders_all_registers(self):
+        text = render_fig5(16, 3)
+        for y in range(5):
+            assert f"v{y}" in text
+
+    def test_marks_occupied_slots(self):
+        text = render_fig5(16, 3)
+        assert "A0s00" in text
+        assert "A2s44" in text
+
+    def test_empty_slots_for_partial_occupancy(self):
+        text = render_fig5(16, 1)
+        assert "A1s" not in text
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            render_fig5(5, 2)
+
+
+class TestFig6:
+    def test_both_half_regions(self):
+        text = render_fig6(15, 3)
+        assert "high halves" in text
+        assert "low halves" in text
+        assert "v16" in text and "v0" in text
+
+    def test_sh_and_sl_prefixes(self):
+        text = render_fig6(5, 1)
+        assert "sh000" in text
+        assert "sl000" in text
+
+
+class TestSlideModuloFive:
+    def test_fig7_slide_down(self):
+        elements = [f"s{x}0" for _ in range(3) for x in range(5)]
+        out = slide_modulo_five(elements, 1, "down")
+        assert out[:5] == ["s10", "s20", "s30", "s40", "s00"]
+        # Third state shows the same rotation (no cross-state mixing).
+        assert out[10:15] == ["s10", "s20", "s30", "s40", "s00"]
+
+    def test_fig7_slide_up(self):
+        elements = [f"s{x}0" for _ in range(2) for x in range(5)]
+        out = slide_modulo_five(elements, 1, "up")
+        assert out[:5] == ["s40", "s00", "s10", "s20", "s30"]
+
+    def test_tail_elements_stay(self):
+        elements = ["a", "b", "c", "d", "e", "tail1", "tail2"]
+        out = slide_modulo_five(elements, 1, "down")
+        assert out[5:] == ["tail1", "tail2"]
+
+    def test_offset_zero_is_identity(self):
+        elements = list("abcde")
+        assert slide_modulo_five(elements, 0, "down") == elements
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            slide_modulo_five(list("abcde"), 1, "left")
+
+    def test_render_fig7(self):
+        text = render_fig7(num_states=3, offset=1)
+        assert "slide down" in text
+        assert "slide up" in text
+
+
+class TestFig8:
+    def test_pi_rearrangement_matches_reference_pi(self, random_state):
+        grid = pi_rearrangement(1)
+        permuted = pi(random_state)
+        for y in range(5):
+            for x in range(5):
+                name = grid[y][x]  # "s<x><y>" of the source lane
+                src_x, src_y = int(name[1]), int(name[2])
+                assert permuted[x, y] == random_state[src_x, src_y]
+
+    def test_multi_state_grid(self):
+        grid = pi_rearrangement(3)
+        assert len(grid[0]) == 15
+        # Same scramble replicated per state.
+        assert grid[2][0] == grid[2][5] == grid[2][10]
+
+    def test_render_fig8(self):
+        text = render_fig8()
+        assert "pi operation" in text
+        assert "s00" in text

@@ -1,0 +1,90 @@
+"""Tests for the per-step-mapping cycle breakdown."""
+
+import pytest
+
+from repro.eval.instruction_mix import measure_instruction_mix
+from repro.keccak import KeccakState
+from repro.programs import (
+    keccak32_lmul8,
+    keccak64_fused,
+    keccak64_lmul1,
+    keccak64_lmul8,
+)
+
+
+@pytest.fixture(scope="module")
+def state():
+    return [KeccakState(list(range(25)))]
+
+
+class TestAlgorithm2Mix:
+    def test_sections_sum_to_total(self, state):
+        mix = measure_instruction_mix(keccak64_lmul1.build(5), state)
+        assert sum(mix.section_cycles.values()) == mix.total_cycles
+
+    def test_exact_section_cycles(self, state):
+        """Algorithm 2 per-round: theta 26, rho 10, pi 15, chi 50, iota 2."""
+        mix = measure_instruction_mix(keccak64_lmul1.build(5), state)
+        assert mix.section_cycles["theta"] == 24 * 26
+        assert mix.section_cycles["rho"] == 24 * 10
+        assert mix.section_cycles["pi"] == 24 * 15
+        assert mix.section_cycles["chi"] == 24 * 50
+        assert mix.section_cycles["iota"] == 24 * 2
+
+    def test_chi_dominates(self, state):
+        mix = measure_instruction_mix(keccak64_lmul1.build(5), state)
+        assert mix.section_cycles["chi"] == max(
+            cycles for section, cycles in mix.section_cycles.items()
+            if section not in ("setup", "loop")
+        )
+
+
+class TestLmul8Mix:
+    def test_exact_section_cycles(self, state):
+        """Algorithm 3: rho section includes its vsetvli (2+6), iota its
+        vsetvli (2+2)."""
+        mix = measure_instruction_mix(keccak64_lmul8.build(5), state)
+        assert mix.section_cycles["theta"] == 24 * 26
+        assert mix.section_cycles["rho"] == 24 * 8
+        assert mix.section_cycles["pi"] == 24 * 7
+        assert mix.section_cycles["chi"] == 24 * 30
+        assert mix.section_cycles["iota"] == 24 * 4
+
+    def test_grouping_shrinks_rho_pi_chi_only(self, state):
+        m1 = measure_instruction_mix(keccak64_lmul1.build(5), state)
+        m8 = measure_instruction_mix(keccak64_lmul8.build(5), state)
+        assert m8.section_cycles["theta"] == m1.section_cycles["theta"]
+        for section in ("rho", "pi", "chi"):
+            assert m8.section_cycles[section] < m1.section_cycles[section]
+
+
+class TestFusedMix:
+    def test_theta_becomes_the_bottleneck(self, state):
+        """After fusing rho+pi and chi, theta dominates the round —
+        the next optimization target the breakdown exposes."""
+        mix = measure_instruction_mix(keccak64_fused.build(5), state)
+        step_sections = {k: v for k, v in mix.section_cycles.items()
+                         if k in ("theta", "rho", "pi", "chi", "iota")}
+        assert max(step_sections, key=step_sections.get) == "theta"
+        assert mix.fraction("theta") > 0.5
+
+
+class Test32BitMix:
+    def test_sections_double_vs_64bit(self, state):
+        m64 = measure_instruction_mix(keccak64_lmul8.build(5), state)
+        m32 = measure_instruction_mix(keccak32_lmul8.build(5), state)
+        assert m32.section_cycles["theta"] == 2 * m64.section_cycles["theta"]
+        assert m32.section_cycles["chi"] == 2 * m64.section_cycles["chi"]
+
+
+class TestRendering:
+    def test_render(self, state):
+        mix = measure_instruction_mix(keccak64_lmul1.build(5), state)
+        text = mix.render()
+        assert "keccak64_lmul1" in text
+        assert "chi" in text and "%" in text
+
+    def test_fraction(self, state):
+        mix = measure_instruction_mix(keccak64_lmul1.build(5), state)
+        total = sum(mix.fraction(s) for s in mix.section_cycles)
+        assert total == pytest.approx(1.0)

@@ -1,0 +1,61 @@
+"""Tests for the measurement driver."""
+
+import pytest
+
+from repro.arch import ArchConfig
+from repro.eval.measure import (
+    Measurement,
+    measure_config,
+    measure_scalar_baseline,
+)
+
+
+class TestMeasureConfig:
+    def test_64bit_lmul1(self):
+        m = measure_config(ArchConfig(64, 5, 1, 1))
+        assert m.cycles_per_round == 103
+        assert m.permutation_cycles == 2564
+        assert m.cycles_per_byte == pytest.approx(12.8, abs=0.05)
+        assert m.throughput_e3 == pytest.approx(624.02, abs=0.01)
+        assert m.area_slices == 7323
+
+    def test_64bit_lmul8(self):
+        m = measure_config(ArchConfig(64, 30, 8, 6))
+        assert m.cycles_per_round == 75
+        assert m.permutation_cycles == 1892
+        assert m.throughput_e3 == pytest.approx(5074.0, abs=0.1)
+
+    def test_32bit_lmul8(self):
+        m = measure_config(ArchConfig(32, 15, 8, 3))
+        assert m.cycles_per_round == 147
+        assert m.permutation_cycles == 3620
+        assert m.throughput_e3 == pytest.approx(1325.97, abs=0.01)
+        assert m.area_slices == 23408
+
+    def test_measurement_cached(self):
+        config = ArchConfig(64, 5, 1, 1)
+        assert measure_config(config) is measure_config(config)
+
+    def test_labels_match_paper(self):
+        m = measure_config(ArchConfig(64, 15, 8, 3))
+        assert m.label == "64-bit with LMUL=8 (EleNum=15, 3 states)"
+
+
+class TestScalarBaseline:
+    def test_in_paper_regime(self):
+        m = measure_scalar_baseline()
+        assert 2000 < m.cycles_per_round < 3500
+        assert 250 < m.cycles_per_byte < 400
+        assert m.area_slices == 432
+
+    def test_throughput_same_order_as_paper(self):
+        m = measure_scalar_baseline()
+        # Paper: 22.45; ours must be the same order of magnitude.
+        assert 15 < m.throughput_e3 < 35
+
+
+class TestMeasurementDataclass:
+    def test_derived_fields(self):
+        m = Measurement("x", 100, 2000, 2, 1000.0)
+        assert m.cycles_per_byte == 10.0
+        assert m.throughput_e3 == pytest.approx(1600.0)

@@ -1,0 +1,75 @@
+"""Tests for the Section 4.2 headline-factor report."""
+
+import pytest
+
+from repro.eval.report import Comparison, generate_report, render_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report()
+
+
+def by_description(report, fragment):
+    matches = [c for c in report if fragment in c.description]
+    assert len(matches) == 1, fragment
+    return matches[0]
+
+
+class TestHeadlineFactors:
+    def test_lmul8_vs_lmul1_is_1_35(self, report):
+        c = by_description(report, "LMUL=8 vs LMUL=1")
+        assert c.paper_factor == 1.35
+        assert c.measured_factor == pytest.approx(1.355, abs=0.01)
+
+    def test_64_vs_32_bit_almost_twice(self, report):
+        c = by_description(report, "64-bit vs 32-bit")
+        assert c.measured_factor == pytest.approx(1.913, abs=0.01)
+
+    def test_vs_c_code_117_9(self, report):
+        c = by_description(report, "vs C-code throughput")
+        assert c.measured_factor == pytest.approx(117.9, rel=0.01)
+
+    def test_vs_c_code_area_111_2(self, report):
+        c = by_description(report, "vs C-code area")
+        assert c.measured_factor == pytest.approx(111.2, rel=0.01)
+
+    def test_vs_mips_coprocessor_45_7(self, report):
+        c = by_description(report, "MIPS Co-processor ISE throughput")
+        assert c.measured_factor == pytest.approx(45.7, rel=0.01)
+
+    def test_vs_dasip_43_2(self, report):
+        c = by_description(report, "DASIP throughput")
+        assert c.measured_factor == pytest.approx(43.2, rel=0.01)
+
+    def test_vs_rawat(self, report):
+        # The paper states 5.3x; recomputing from its own table values
+        # (5073.00 / 1010.1) gives 5.02x — we reproduce the recomputation.
+        c = by_description(report, "Rawat")
+        assert c.measured_factor == pytest.approx(5.02, abs=0.02)
+        assert c.relative_error < 0.06
+
+    def test_all_factors_within_6_percent(self, report):
+        for c in report:
+            assert c.relative_error < 0.06, c.description
+
+
+class TestMeasuredBaselineVariant:
+    def test_measured_baseline_shifts_c_code_factor(self):
+        report = generate_report(use_measured_baseline=True)
+        c = by_description(report, "vs C-code throughput")
+        # Our hand-written looped assembly is somewhat faster than the
+        # paper's compiled C, so the factor drops but stays ~100x.
+        assert 80 < c.measured_factor < 130
+
+
+class TestRendering:
+    def test_render(self, report):
+        text = render_report(report)
+        assert "Section 4.2 headline factors" in text
+        assert "paper" in text and "measured" in text
+        assert "117.9" in text or "117.90" in text
+
+    def test_comparison_relative_error(self):
+        c = Comparison("x", 2.0, 2.2)
+        assert c.relative_error == pytest.approx(0.1)

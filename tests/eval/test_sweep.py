@@ -1,0 +1,86 @@
+"""Tests for the design-space sweep."""
+
+import pytest
+
+from repro.eval.sweep import pareto_frontier, render_sweep, sweep_design_space
+
+
+@pytest.fixture(scope="module")
+def points():
+    return sweep_design_space(elenums=[5, 15, 30])
+
+
+class TestSweep:
+    def test_point_count(self, points):
+        # 3 EleNums x (3 paper configs + 1 fused).
+        assert len(points) == 12
+
+    def test_latency_constant_across_elenum(self, points):
+        for lmul, elen in ((1, 64), (8, 64), (8, 32)):
+            rounds = {p.cycles_per_round for p in points
+                      if p.lmul == lmul and p.elen == elen and not p.fused}
+            assert len(rounds) == 1
+
+    def test_throughput_scales_with_states(self, points):
+        lmul8_64 = sorted(
+            (p for p in points if p.elen == 64 and p.lmul == 8
+             and not p.fused),
+            key=lambda p: p.num_states,
+        )
+        base = lmul8_64[0].throughput_e3
+        for p in lmul8_64:
+            assert p.throughput_e3 == pytest.approx(
+                base * p.num_states, rel=0.001)
+
+    def test_fused_fastest_at_every_elenum(self, points):
+        for elenum in (5, 15, 30):
+            group = [p for p in points if p.elenum == elenum]
+            best = max(group, key=lambda p: p.throughput_e3)
+            assert best.fused
+
+    def test_fused_cycles(self, points):
+        fused = [p for p in points if p.fused]
+        assert all(p.cycles_per_round == 45 for p in fused)
+        assert all(p.permutation_cycles == 1172 for p in fused)
+
+    def test_without_fused(self):
+        points = sweep_design_space(elenums=[5], include_fused=False)
+        assert len(points) == 3
+        assert not any(p.fused for p in points)
+
+    def test_efficiency_metric(self, points):
+        p = points[0]
+        assert p.throughput_per_kslice == pytest.approx(
+            1000 * p.throughput_e3 / p.area_slices)
+
+
+class TestPareto:
+    def test_frontier_subset(self, points):
+        frontier = pareto_frontier(points)
+        assert set(p.label for p in frontier) <= set(p.label for p in points)
+        assert frontier
+
+    def test_frontier_sorted_by_area(self, points):
+        frontier = pareto_frontier(points)
+        areas = [p.area_slices for p in frontier]
+        assert areas == sorted(areas)
+
+    def test_no_point_dominates_frontier_member(self, points):
+        frontier = pareto_frontier(points)
+        for f in frontier:
+            for p in points:
+                dominates = (p.throughput_e3 > f.throughput_e3
+                             and p.area_slices <= f.area_slices)
+                assert not dominates, (p.label, f.label)
+
+    def test_fused_on_frontier(self, points):
+        frontier = pareto_frontier(points)
+        assert any(p.fused for p in frontier)
+
+
+class TestRendering:
+    def test_render(self, points):
+        text = render_sweep(points)
+        assert "Design-space sweep" in text
+        assert "tput/kslice" in text
+        assert "64-bit fused" in text

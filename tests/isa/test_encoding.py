@@ -1,0 +1,117 @@
+"""Tests for the bit-level encoding helpers."""
+
+import pytest
+
+from repro.isa.encoding import (
+    EncodingError,
+    check_signed_range,
+    check_unsigned_range,
+    decode_b_imm,
+    decode_j_imm,
+    encode_b,
+    encode_i,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_u,
+    get_bits,
+    set_bits,
+    sign_extend,
+    to_unsigned,
+)
+
+
+class TestBitHelpers:
+    def test_get_bits(self):
+        assert get_bits(0xDEADBEEF, 31, 16) == 0xDEAD
+        assert get_bits(0xDEADBEEF, 15, 0) == 0xBEEF
+        assert get_bits(0b1010, 3, 3) == 1
+
+    def test_set_bits(self):
+        assert set_bits(0, 15, 8, 0xAB) == 0xAB00
+        assert set_bits(0xFFFF, 7, 4, 0) == 0xFF0F
+
+    def test_set_bits_overflow(self):
+        with pytest.raises(EncodingError):
+            set_bits(0, 3, 0, 16)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            get_bits(0, 0, 5)
+        with pytest.raises(ValueError):
+            set_bits(0, 0, 5, 0)
+
+    def test_sign_extend(self):
+        assert sign_extend(0xFFF, 12) == -1
+        assert sign_extend(0x7FF, 12) == 2047
+        assert sign_extend(0x800, 12) == -2048
+        assert sign_extend(0, 12) == 0
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1, 12) == 0xFFF
+        assert to_unsigned(5, 12) == 5
+        with pytest.raises(EncodingError):
+            to_unsigned(-3000, 12)
+
+    def test_range_checks(self):
+        check_signed_range(-2048, 12, "imm")
+        check_signed_range(2047, 12, "imm")
+        with pytest.raises(EncodingError):
+            check_signed_range(2048, 12, "imm")
+        check_unsigned_range(31, 5, "shamt")
+        with pytest.raises(EncodingError):
+            check_unsigned_range(32, 5, "shamt")
+        with pytest.raises(EncodingError):
+            check_unsigned_range(-1, 5, "shamt")
+
+
+class TestBaseFormats:
+    def test_encode_r_known_word(self):
+        # add x1, x2, x3 == 0x003100B3
+        assert encode_r(0x33, 1, 0, 2, 3, 0) == 0x003100B3
+
+    def test_encode_i_known_word(self):
+        # addi x1, x2, 100 == 0x06410093
+        assert encode_i(0x13, 1, 0, 2, 100) == 0x06410093
+
+    def test_encode_i_negative_imm(self):
+        # addi x18, x18, -1: imm field all ones
+        word = encode_i(0x13, 18, 0, 18, -1)
+        assert (word >> 20) == 0xFFF
+
+    def test_encode_s_splits_immediate(self):
+        word = encode_s(0x23, 2, 2, 5, 8)  # sw x5, 8(x2)
+        low = get_bits(word, 11, 7)
+        high = get_bits(word, 31, 25)
+        assert (high << 5) | low == 8
+
+    def test_b_imm_round_trip(self):
+        for offset in (-4096, -2, 0, 2, 4094, -236):
+            word = encode_b(0x63, 4, 1, 2, offset)
+            assert decode_b_imm(word) == offset
+
+    def test_b_odd_offset_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_b(0x63, 0, 0, 0, 3)
+
+    def test_b_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode_b(0x63, 0, 0, 0, 4096)
+
+    def test_j_imm_round_trip(self):
+        for offset in (-1048576, -2, 0, 2, 1048574, 0x1234):
+            word = encode_j(0x6F, 1, offset)
+            assert decode_j_imm(word) == offset
+
+    def test_j_odd_offset_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_j(0x6F, 0, 1)
+
+    def test_encode_u(self):
+        word = encode_u(0x37, 5, 0xABCDE)
+        assert get_bits(word, 31, 12) == 0xABCDE
+        assert get_bits(word, 11, 7) == 5
+
+    def test_u_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode_u(0x37, 0, 1 << 20)

@@ -1,0 +1,83 @@
+"""Tests for register-name resolution."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_SCALAR_REGS,
+    NUM_VECTOR_REGS,
+    RegisterError,
+    is_scalar_register,
+    is_vector_register,
+    parse_scalar_register,
+    parse_vector_register,
+    scalar_register_name,
+    vector_register_name,
+)
+
+
+class TestScalarRegisters:
+    def test_numeric_names(self):
+        for i in range(32):
+            assert parse_scalar_register(f"x{i}") == i
+
+    def test_abi_aliases(self):
+        assert parse_scalar_register("zero") == 0
+        assert parse_scalar_register("ra") == 1
+        assert parse_scalar_register("sp") == 2
+        assert parse_scalar_register("s0") == 8
+        assert parse_scalar_register("fp") == 8
+        assert parse_scalar_register("s1") == 9
+        assert parse_scalar_register("a0") == 10
+        assert parse_scalar_register("s2") == 18
+        assert parse_scalar_register("s11") == 27
+        assert parse_scalar_register("t6") == 31
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_scalar_register("  T0 ") == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(RegisterError):
+            parse_scalar_register("x32")
+        with pytest.raises(RegisterError):
+            parse_scalar_register("r5")
+
+    def test_render_abi_and_numeric(self):
+        assert scalar_register_name(18) == "s2"
+        assert scalar_register_name(18, abi=False) == "x18"
+
+    def test_render_out_of_range(self):
+        with pytest.raises(RegisterError):
+            scalar_register_name(32)
+
+    def test_predicate(self):
+        assert is_scalar_register("t3")
+        assert not is_scalar_register("v3")
+        assert not is_scalar_register("1234")
+
+    def test_count(self):
+        assert NUM_SCALAR_REGS == 32
+
+
+class TestVectorRegisters:
+    def test_all_names(self):
+        for i in range(32):
+            assert parse_vector_register(f"v{i}") == i
+
+    def test_unknown(self):
+        with pytest.raises(RegisterError):
+            parse_vector_register("v32")
+        with pytest.raises(RegisterError):
+            parse_vector_register("x1")
+
+    def test_render(self):
+        assert vector_register_name(7) == "v7"
+        with pytest.raises(RegisterError):
+            vector_register_name(-1)
+
+    def test_predicate(self):
+        assert is_vector_register("v31")
+        assert not is_vector_register("t0")
+
+    def test_count_matches_rvv(self):
+        # RVV 1.0: 32 vector registers (paper Section 2.2, feature 1).
+        assert NUM_VECTOR_REGS == 32

@@ -1,0 +1,79 @@
+"""Tests for vtype encode/parse/render (vsetvli configuration)."""
+
+import pytest
+
+from repro.isa.vector import (
+    LMUL_ENCODING,
+    SEW_ENCODING,
+    decode_vtype,
+    encode_vtype,
+    parse_vtype_tokens,
+    render_vtype,
+)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("sew", [8, 16, 32, 64])
+    @pytest.mark.parametrize("lmul", [1, 2, 4, 8])
+    def test_round_trip(self, sew, lmul):
+        vtype = encode_vtype(sew, lmul)
+        parts = decode_vtype(vtype)
+        assert parts["sew"] == sew
+        assert parts["lmul"] == lmul
+
+    def test_field_layout(self):
+        # vlmul bits 2:0, vsew bits 5:3, vta bit 6, vma bit 7 (RVV 1.0).
+        vtype = encode_vtype(64, 8, tail_agnostic=True, mask_agnostic=True)
+        assert vtype & 0x7 == LMUL_ENCODING[8]
+        assert (vtype >> 3) & 0x7 == SEW_ENCODING[64]
+        assert (vtype >> 6) & 1 == 1
+        assert (vtype >> 7) & 1 == 1
+
+    def test_e64_m1_tu_mu_value(self):
+        # The configuration Algorithm 2 uses.
+        assert encode_vtype(64, 1) == 0b011_000
+
+    def test_unsupported_sew(self):
+        with pytest.raises(ValueError):
+            encode_vtype(128, 1)
+
+    def test_unsupported_lmul(self):
+        with pytest.raises(ValueError, match="LMUL"):
+            encode_vtype(64, 3)
+
+    def test_decode_reserved_sew(self):
+        with pytest.raises(ValueError):
+            decode_vtype(0b111_000)
+
+    def test_decode_fractional_lmul_rejected(self):
+        # The paper only supports integer LMUL (Section 2.2, feature 6).
+        with pytest.raises(ValueError):
+            decode_vtype(0b000_101)
+
+
+class TestAssemblySyntax:
+    def test_parse_paper_syntax(self):
+        vtype = parse_vtype_tokens(["e64", "m1", "tu", "mu"])
+        assert decode_vtype(vtype) == {"sew": 64, "lmul": 1, "ta": 0, "ma": 0}
+
+    def test_parse_m8(self):
+        vtype = parse_vtype_tokens(["e32", "m8", "ta", "ma"])
+        assert decode_vtype(vtype) == {"sew": 32, "lmul": 8, "ta": 1, "ma": 1}
+
+    def test_parse_order_insensitive(self):
+        assert parse_vtype_tokens(["m2", "e16"]) == \
+            parse_vtype_tokens(["e16", "m2"])
+
+    def test_missing_sew(self):
+        with pytest.raises(ValueError, match="eSEW"):
+            parse_vtype_tokens(["m1", "tu"])
+
+    def test_unknown_token(self):
+        with pytest.raises(ValueError, match="unknown vtype token"):
+            parse_vtype_tokens(["e64", "m1", "zz"])
+
+    def test_render_round_trip(self):
+        for tokens in (["e64", "m1", "tu", "mu"], ["e32", "m8", "ta", "ma"]):
+            vtype = parse_vtype_tokens(tokens)
+            rendered = render_vtype(vtype)
+            assert parse_vtype_tokens(rendered.split(",")) == vtype

@@ -1,0 +1,124 @@
+"""Tests for the Keccak constant tables and rotation helpers."""
+
+import pytest
+
+from repro.keccak.constants import (
+    LANE_BITS,
+    MASK64,
+    NUM_ROUNDS,
+    RHO_BY_ROW,
+    RHO_OFFSETS,
+    ROUND_CONSTANTS,
+    STATE_BYTES,
+    rotl64,
+    rotr64,
+)
+
+
+class TestRoundConstants:
+    def test_there_are_24_round_constants(self):
+        assert len(ROUND_CONSTANTS) == NUM_ROUNDS == 24
+
+    def test_first_and_last_match_fips202(self):
+        assert ROUND_CONSTANTS[0] == 0x0000000000000001
+        assert ROUND_CONSTANTS[23] == 0x8000000080008008
+
+    def test_spot_values_match_paper_table6(self):
+        assert ROUND_CONSTANTS[2] == 0x800000000000808A
+        assert ROUND_CONSTANTS[10] == 0x0000000080008009
+        assert ROUND_CONSTANTS[17] == 0x8000000000000080
+
+    def test_all_fit_in_64_bits(self):
+        for rc in ROUND_CONSTANTS:
+            assert 0 <= rc <= MASK64
+
+    def test_round_constants_follow_lfsr_definition(self):
+        # FIPS 202: RC bits come from the rc(t) LFSR at positions 2^j - 1.
+        def rc_bit(t):
+            if t % 255 == 0:
+                return 1
+            r = 0x01
+            for _ in range(t % 255):
+                r <<= 1
+                if r & 0x100:
+                    r ^= 0x171
+            return r & 1
+
+        for i, rc in enumerate(ROUND_CONSTANTS):
+            expected = 0
+            for j in range(7):
+                if rc_bit(j + 7 * i):
+                    expected |= 1 << ((1 << j) - 1)
+            assert rc == expected, f"round {i}"
+
+
+class TestRhoOffsets:
+    def test_shape(self):
+        assert len(RHO_OFFSETS) == 5
+        assert all(len(row) == 5 for row in RHO_OFFSETS)
+
+    def test_origin_lane_not_rotated(self):
+        assert RHO_OFFSETS[0][0] == 0
+
+    def test_matches_paper_table2(self):
+        # Paper Table 2 is indexed [y][x]; RHO_BY_ROW mirrors that layout.
+        paper = (
+            (0, 1, 62, 28, 27),
+            (36, 44, 6, 55, 20),
+            (3, 10, 43, 25, 39),
+            (41, 45, 15, 21, 8),
+            (18, 2, 61, 56, 14),
+        )
+        assert RHO_BY_ROW == paper
+
+    def test_by_row_is_transpose_of_by_xy(self):
+        for x in range(5):
+            for y in range(5):
+                assert RHO_BY_ROW[y][x] == RHO_OFFSETS[x][y]
+
+    def test_offsets_follow_triangular_number_definition(self):
+        # rho offset of the t-th lane in the (x,y) walk is (t+1)(t+2)/2 mod 64.
+        x, y = 1, 0
+        for t in range(24):
+            expected = ((t + 1) * (t + 2) // 2) % 64
+            assert RHO_OFFSETS[x][y] == expected
+            x, y = y, (2 * x + 3 * y) % 5
+
+    def test_all_nonzero_offsets_distinct(self):
+        offsets = [RHO_OFFSETS[x][y] for x in range(5) for y in range(5)]
+        nonzero = [o for o in offsets if o != 0]
+        assert len(nonzero) == 24
+        assert len(set(nonzero)) == 24
+
+
+class TestRotations:
+    def test_rotl_by_zero_is_identity(self):
+        assert rotl64(0x0123456789ABCDEF, 0) == 0x0123456789ABCDEF
+
+    def test_rotl_by_64_is_identity(self):
+        assert rotl64(0xDEADBEEF, 64) == 0xDEADBEEF
+
+    def test_rotl_wraps_msb_into_lsb(self):
+        assert rotl64(1 << 63, 1) == 1
+
+    def test_rotl_known_value(self):
+        assert rotl64(0x8000000000000001, 1) == 0x0000000000000003
+
+    def test_rotr_is_inverse_of_rotl(self):
+        value = 0xFEDCBA9876543210
+        for amount in (0, 1, 7, 31, 32, 33, 63):
+            assert rotr64(rotl64(value, amount), amount) == value
+
+    def test_rotl_negative_amount_wraps(self):
+        value = 0x0123456789ABCDEF
+        assert rotl64(value, -1) == rotl64(value, 63)
+
+    def test_rotl_masks_oversized_input(self):
+        assert rotl64((1 << 64) | 1, 0) == 1
+
+
+class TestDimensions:
+    def test_lane_and_state_sizes(self):
+        assert LANE_BITS == 64
+        assert STATE_BYTES == 200
+        assert MASK64 == (1 << 64) - 1

@@ -1,0 +1,151 @@
+"""Tests for the SP 800-185 derived functions (cSHAKE, KMAC)."""
+
+import hashlib
+
+import pytest
+
+from repro.keccak.cshake import (
+    bytepad,
+    cshake128,
+    cshake256,
+    encode_string,
+    kmac128,
+    kmac128_xof,
+    kmac256,
+    kmac256_xof,
+    left_encode,
+    right_encode,
+)
+
+#: NIST SP 800-185 sample inputs.
+DATA4 = bytes([0x00, 0x01, 0x02, 0x03])
+DATA200 = bytes(range(0xC8))
+KEY = bytes(range(0x40, 0x60))
+SIG = b"Email Signature"
+APP = b"My Tagged Application"
+
+
+class TestEncodingPrimitives:
+    def test_left_encode_zero(self):
+        assert left_encode(0) == b"\x01\x00"
+
+    def test_left_encode_small(self):
+        assert left_encode(168) == b"\x01\xa8"
+
+    def test_left_encode_multibyte(self):
+        assert left_encode(0x1234) == b"\x02\x12\x34"
+
+    def test_right_encode_zero(self):
+        assert right_encode(0) == b"\x00\x01"
+
+    def test_right_encode_small(self):
+        assert right_encode(256) == b"\x01\x00\x02"
+
+    def test_encode_negative_rejected(self):
+        with pytest.raises(ValueError):
+            left_encode(-1)
+        with pytest.raises(ValueError):
+            right_encode(-1)
+
+    def test_encode_string_empty(self):
+        assert encode_string(b"") == b"\x01\x00"
+
+    def test_encode_string_prefixes_bit_length(self):
+        assert encode_string(b"KMAC") == b"\x01\x20" + b"KMAC"
+
+    def test_bytepad_pads_to_width(self):
+        out = bytepad(b"abc", 8)
+        assert len(out) % 8 == 0
+        assert out.startswith(left_encode(8))
+
+    def test_bytepad_invalid_width(self):
+        with pytest.raises(ValueError):
+            bytepad(b"", 0)
+
+
+class TestCshakeNistVectors:
+    """The published SP 800-185 sample vectors."""
+
+    def test_cshake128_sample1(self):
+        assert cshake128(DATA4, 32, b"", SIG).hex().upper() == (
+            "C1C36925B6409A04F1B504FCBCA9D82B"
+            "4017277CB5ED2B2065FC1D3814D5AAF5"
+        )
+
+    def test_cshake256_sample3(self):
+        out = cshake256(DATA200, 64, b"", SIG)
+        assert out[:32].hex().upper() == (
+            "07DC27B11E51FBAC75BC7B3C1D983E8B"
+            "4B85FB1DEFAF218912AC864302730917"
+        )
+
+
+class TestCshakeProperties:
+    def test_empty_n_and_s_equals_shake(self):
+        """SP 800-185: cSHAKE(X, L, "", "") = SHAKE(X, L)."""
+        for data in (b"", b"abc", bytes(300)):
+            assert cshake128(data, 64) == \
+                hashlib.shake_128(data).digest(64)
+            assert cshake256(data, 64) == \
+                hashlib.shake_256(data).digest(64)
+
+    def test_customization_separates_outputs(self):
+        a = cshake128(b"msg", 32, b"", b"context-a")
+        b = cshake128(b"msg", 32, b"", b"context-b")
+        plain = cshake128(b"msg", 32)
+        assert len({a, b, plain}) == 3
+
+    def test_function_name_separates_outputs(self):
+        a = cshake128(b"msg", 32, b"FN1", b"")
+        b = cshake128(b"msg", 32, b"FN2", b"")
+        assert a != b
+
+    def test_output_lengths(self):
+        for length in (0, 1, 167, 168, 169, 500):
+            assert len(cshake128(b"x", length, b"", b"c")) == length
+
+
+class TestKmacNistVectors:
+    def test_kmac128_sample1(self):
+        assert kmac128(KEY, DATA4, 32).hex().upper() == (
+            "E5780B0D3EA6F7D3A429C5706AA43A00"
+            "FADBD7D49628839E3187243F456EE14E"
+        )
+
+    def test_kmac128_sample2(self):
+        assert kmac128(KEY, DATA4, 32, APP).hex().upper() == (
+            "3B1FBA963CD8B0B59E8C1A6D71888B71"
+            "43651AF8BA0A7070C0979E2811324AA5"
+        )
+
+
+class TestKmacProperties:
+    def test_key_separates_outputs(self):
+        a = kmac128(b"key-a" * 4, b"msg", 32)
+        b = kmac128(b"key-b" * 4, b"msg", 32)
+        assert a != b
+
+    def test_output_length_binds_the_mac(self):
+        """KMAC (non-XOF) encodes L into the input, so different lengths
+        give unrelated outputs — not prefixes of each other."""
+        short = kmac128(KEY, DATA4, 16)
+        long = kmac128(KEY, DATA4, 32)
+        assert long[:16] != short
+
+    def test_xof_variant_is_prefix_consistent(self):
+        """KMACXOF encodes L = 0, so outputs are prefix-consistent."""
+        short = kmac128_xof(KEY, DATA4, 16)
+        long = kmac128_xof(KEY, DATA4, 32)
+        assert long[:16] == short
+
+    def test_xof_differs_from_fixed(self):
+        assert kmac128_xof(KEY, DATA4, 32) != kmac128(KEY, DATA4, 32)
+
+    def test_kmac256_variants(self):
+        a = kmac256(KEY, DATA4, 64)
+        b = kmac256_xof(KEY, DATA4, 64)
+        assert len(a) == len(b) == 64
+        assert a != b
+
+    def test_customization(self):
+        assert kmac256(KEY, DATA4, 32, APP) != kmac256(KEY, DATA4, 32)

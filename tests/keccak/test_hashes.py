@@ -1,0 +1,190 @@
+"""Tests for the six SHA-3 family functions, cross-checked against hashlib."""
+
+import hashlib
+
+import pytest
+
+from repro.keccak import (
+    SHA3_224,
+    SHA3_256,
+    SHA3_384,
+    SHA3_512,
+    SHA3_VARIANTS,
+    SHAKE128,
+    SHAKE256,
+    SHAKE_VARIANTS,
+    sha3_224,
+    sha3_256,
+    sha3_384,
+    sha3_512,
+    shake128,
+    shake256,
+)
+
+_FIXED_MESSAGES = [
+    b"",
+    b"abc",
+    b"The quick brown fox jumps over the lazy dog",
+    bytes(range(256)),
+    b"\x00" * 1000,
+    b"a" * 143,  # SHA3-224 rate - 1
+    b"a" * 144,  # SHA3-224 rate
+]
+
+
+class TestKnownAnswerVectors:
+    """Published FIPS 202 test vectors (independent of hashlib)."""
+
+    def test_sha3_224_empty(self):
+        assert sha3_224(b"").hex() == (
+            "6b4e03423667dbb73b6e15454f0eb1abd4597f9a1b078e3f5b5a6bc7"
+        )
+
+    def test_sha3_256_empty(self):
+        assert sha3_256(b"").hex() == (
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        )
+
+    def test_sha3_384_empty(self):
+        assert sha3_384(b"").hex() == (
+            "0c63a75b845e4f7d01107d852e4c2485c51a50aaaa94fc61995e71bbee983a2a"
+            "c3713831264adb47fb6bd1e058d5f004"
+        )
+
+    def test_sha3_512_empty(self):
+        assert sha3_512(b"").hex() == (
+            "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a6"
+            "15b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26"
+        )
+
+    def test_sha3_256_abc(self):
+        assert sha3_256(b"abc").hex() == (
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+        )
+
+    def test_shake128_empty_first_bytes(self):
+        assert shake128(b"", 16).hex() == "7f9c2ba4e88f827d616045507605853e"
+
+    def test_shake256_empty_first_bytes(self):
+        assert shake256(b"", 16).hex() == "46b9dd2b0ba88d13233b3feb743eeb24"
+
+
+class TestAgainstHashlib:
+    @pytest.mark.parametrize("message", _FIXED_MESSAGES,
+                             ids=lambda m: f"len{len(m)}")
+    @pytest.mark.parametrize("name", sorted(SHA3_VARIANTS))
+    def test_fixed_hashes(self, name, message):
+        ours = SHA3_VARIANTS[name](message).digest()
+        theirs = hashlib.new(name, message).digest()
+        assert ours == theirs
+
+    @pytest.mark.parametrize("message", _FIXED_MESSAGES,
+                             ids=lambda m: f"len{len(m)}")
+    @pytest.mark.parametrize("name", sorted(SHAKE_VARIANTS))
+    def test_fixed_xofs(self, name, message):
+        ours = SHAKE_VARIANTS[name](message).digest(333)
+        theirs = hashlib.new(name, message).digest(333)
+        assert ours == theirs
+
+    def test_random_messages(self, rng):
+        for _ in range(20):
+            message = bytes(rng.getrandbits(8)
+                            for _ in range(rng.randrange(0, 500)))
+            assert sha3_256(message) == hashlib.sha3_256(message).digest()
+            assert shake256(message, 77) == \
+                hashlib.shake_256(message).digest(77)
+
+
+class TestHashlibLikeApi:
+    def test_incremental_update(self):
+        h = SHA3_256()
+        h.update(b"hello ")
+        h.update(b"world")
+        assert h.digest() == hashlib.sha3_256(b"hello world").digest()
+
+    def test_digest_does_not_finalize(self):
+        h = SHA3_512(b"part one")
+        first = h.digest()
+        assert h.digest() == first  # repeatable
+        h.update(b" part two")
+        assert h.digest() == hashlib.sha3_512(b"part one part two").digest()
+
+    def test_hexdigest(self):
+        assert SHA3_224(b"x").hexdigest() == \
+            hashlib.sha3_224(b"x").hexdigest()
+
+    def test_copy_forks_the_stream(self):
+        h = SHA3_256(b"common")
+        fork = h.copy()
+        h.update(b"-a")
+        fork.update(b"-b")
+        assert h.digest() == hashlib.sha3_256(b"common-a").digest()
+        assert fork.digest() == hashlib.sha3_256(b"common-b").digest()
+
+    def test_digest_size_properties(self):
+        assert SHA3_224().digest_size == 28
+        assert SHA3_256().digest_size == 32
+        assert SHA3_384().digest_size == 48
+        assert SHA3_512().digest_size == 64
+
+    def test_block_size_is_rate(self):
+        assert SHA3_224().block_size == 144
+        assert SHA3_256().block_size == 136
+        assert SHA3_384().block_size == 104
+        assert SHA3_512().block_size == 72
+        assert SHAKE128().block_size == 168
+        assert SHAKE256().block_size == 136
+
+    def test_names(self):
+        assert SHA3_256().name == "sha3_256"
+        assert SHAKE128().name == "shake_128"
+
+    def test_base_classes_not_instantiable(self):
+        from repro.keccak.hashes import _Sha3Base, _ShakeBase
+
+        with pytest.raises(TypeError):
+            _Sha3Base()
+        with pytest.raises(TypeError):
+            _ShakeBase()
+
+
+class TestShakeStreaming:
+    def test_read_continues_stream(self):
+        xof = SHAKE128(b"seed")
+        combined = xof.read(100) + xof.read(100)
+        assert combined == hashlib.shake_128(b"seed").digest(200)
+
+    def test_digest_is_restartable_but_read_is_not(self):
+        xof = SHAKE256(b"seed")
+        assert xof.digest(50) == xof.digest(50)
+        first = xof.read(50)
+        second = xof.read(50)
+        assert first + second == hashlib.shake_256(b"seed").digest(100)
+
+    def test_copy_preserves_read_position(self):
+        xof = SHAKE128(b"seed")
+        xof.read(10)
+        clone = xof.copy()
+        assert xof.read(20) == clone.read(20)
+
+    def test_very_long_output(self):
+        assert shake128(b"long", 5000) == \
+            hashlib.shake_128(b"long").digest(5000)
+
+
+class TestMonteCarloChains:
+    """NIST-style Monte Carlo: iterate digest -> message 300 times."""
+
+    def test_sha3_256_chain_matches_hashlib(self):
+        ours = theirs = b"\x5a" * 32
+        for _ in range(300):
+            ours = SHA3_256(ours).digest()
+            theirs = hashlib.sha3_256(theirs).digest()
+        assert ours == theirs
+
+    def test_shake128_feedback_chain(self):
+        ours = theirs = b"\x11" * 16
+        for _ in range(100):
+            ours = SHAKE128(ours).digest(16)
+            theirs = hashlib.shake_128(theirs).digest(16)
+        assert ours == theirs

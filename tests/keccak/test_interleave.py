@@ -1,0 +1,125 @@
+"""Tests for the 32-bit lane decompositions (paper Section 3.2)."""
+
+import pytest
+
+from repro.keccak import rotl64
+from repro.keccak.interleave import (
+    deinterleave,
+    deinterleave_state,
+    interleave,
+    interleave_state,
+    join_hi_lo,
+    rotate_interleaved,
+    rotate_pair_left,
+    split_hi_lo,
+)
+
+
+class TestHiLoSplit:
+    def test_round_trip(self, rng):
+        for _ in range(50):
+            lane = rng.getrandbits(64)
+            hi, lo = split_hi_lo(lane)
+            assert join_hi_lo(hi, lo) == lane
+
+    def test_halves_are_32_bit(self):
+        hi, lo = split_hi_lo(0xFFFFFFFFFFFFFFFF)
+        assert hi == lo == 0xFFFFFFFF
+
+    def test_known_split(self):
+        assert split_hi_lo(0x0123456789ABCDEF) == (0x01234567, 0x89ABCDEF)
+
+    def test_split_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            split_hi_lo(1 << 64)
+
+    def test_join_rejects_oversized_halves(self):
+        with pytest.raises(ValueError):
+            join_hi_lo(1 << 32, 0)
+        with pytest.raises(ValueError):
+            join_hi_lo(0, -1)
+
+    def test_rotate_pair_matches_rotl64(self, rng):
+        for amount in (0, 1, 31, 32, 33, 63):
+            lane = rng.getrandbits(64)
+            hi, lo = split_hi_lo(lane)
+            rhi, rlo = rotate_pair_left(hi, lo, amount)
+            assert join_hi_lo(rhi, rlo) == rotl64(lane, amount)
+
+    def test_rotate_pair_is_v32rotup_semantics(self):
+        # v32lrotup/v32hrotup rotate the hi||lo pair left by one.
+        hi, lo = 0x80000000, 0x00000001
+        rhi, rlo = rotate_pair_left(hi, lo, 1)
+        assert rlo == 0x00000003  # MSB of hi wraps into LSB of lo
+        assert rhi == 0x00000000
+
+
+class TestBitInterleaving:
+    def test_round_trip(self, rng):
+        for _ in range(50):
+            lane = rng.getrandbits(64)
+            even, odd = interleave(lane)
+            assert deinterleave(even, odd) == lane
+
+    def test_even_bits_extracted(self):
+        # 0b0101 = bits 0 and 2 set -> both even positions.
+        even, odd = interleave(0b0101)
+        assert even == 0b11
+        assert odd == 0
+
+    def test_odd_bits_extracted(self):
+        even, odd = interleave(0b1010)
+        assert even == 0
+        assert odd == 0b11
+
+    def test_interleave_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            interleave(1 << 64)
+
+    def test_deinterleave_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            deinterleave(1 << 32, 0)
+
+    def test_rotation_by_even_amount(self, rng):
+        lane = rng.getrandbits(64)
+        even, odd = interleave(lane)
+        for amount in (0, 2, 8, 30, 32, 62):
+            re, ro = rotate_interleaved(even, odd, amount)
+            assert deinterleave(re, ro) == rotl64(lane, amount)
+
+    def test_rotation_by_odd_amount(self, rng):
+        lane = rng.getrandbits(64)
+        even, odd = interleave(lane)
+        for amount in (1, 3, 7, 31, 33, 63):
+            re, ro = rotate_interleaved(even, odd, amount)
+            assert deinterleave(re, ro) == rotl64(lane, amount)
+
+    def test_state_round_trip(self, random_state):
+        evens, odds = interleave_state(list(random_state.lanes))
+        assert deinterleave_state(evens, odds) == list(random_state.lanes)
+
+    def test_state_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            deinterleave_state([1, 2], [3])
+
+
+class TestTradeoffDocumented:
+    """The paper's argument: hi/lo split avoids pre/post transform."""
+
+    def test_hi_lo_needs_no_transformation(self, rng):
+        # Splitting is just byte-slicing of the little-endian lane: the low
+        # word equals bytes 0-3, the high word bytes 4-7 — i.e. data can be
+        # loaded directly with indexed vector loads (paper Section 3.2).
+        lane = rng.getrandbits(64)
+        raw = lane.to_bytes(8, "little")
+        hi, lo = split_hi_lo(lane)
+        assert lo == int.from_bytes(raw[:4], "little")
+        assert hi == int.from_bytes(raw[4:], "little")
+
+    def test_interleaving_is_not_byte_slicing(self):
+        # Bit interleaving genuinely reshuffles bits across bytes.
+        lane = 0x0000000100000000
+        even, odd = interleave(lane)
+        raw = lane.to_bytes(8, "little")
+        assert even != int.from_bytes(raw[:4], "little") or \
+            odd != int.from_bytes(raw[4:], "little")

@@ -1,0 +1,159 @@
+"""Tests for Keccak-p, TurboSHAKE and KangarooTwelve."""
+
+import pytest
+
+from repro.keccak import KeccakState, keccak_f1600, keccak_round
+from repro.keccak.kangarootwelve import (
+    K12_CHUNK_BYTES,
+    k12_pattern,
+    kangarootwelve,
+    length_encode,
+    turboshake128,
+    turboshake256,
+)
+from repro.keccak.permutation import keccak_p1600
+
+
+class TestKeccakP:
+    def test_24_rounds_equals_keccak_f(self, random_state):
+        assert keccak_p1600(random_state, 24) == keccak_f1600(random_state)
+
+    def test_12_rounds_uses_last_constants(self, random_state):
+        expected = random_state
+        for round_index in range(12, 24):
+            expected = keccak_round(expected, round_index)
+        assert keccak_p1600(random_state, 12) == expected
+
+    def test_single_round(self, random_state):
+        assert keccak_p1600(random_state, 1) == \
+            keccak_round(random_state, 23)
+
+    def test_round_count_validated(self, random_state):
+        with pytest.raises(ValueError):
+            keccak_p1600(random_state, 0)
+        with pytest.raises(ValueError):
+            keccak_p1600(random_state, 25)
+
+    def test_fewer_rounds_differ(self, random_state):
+        assert keccak_p1600(random_state, 12) != \
+            keccak_p1600(random_state, 24)
+
+
+class TestLengthEncode:
+    def test_zero_is_single_byte(self):
+        # K12's length_encode(0) = 0x00 (unlike SP 800-185 right_encode).
+        assert length_encode(0) == b"\x00"
+
+    def test_small_values(self):
+        assert length_encode(12) == b"\x0c\x01"
+        assert length_encode(65538) == b"\x01\x00\x02\x03"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            length_encode(-1)
+
+
+class TestTurboShake:
+    def test_lengths(self):
+        assert len(turboshake128(b"x", 100)) == 100
+        assert len(turboshake256(b"x", 100)) == 100
+
+    def test_domain_byte_separates(self):
+        a = turboshake128(b"m", 32, domain=0x07)
+        b = turboshake128(b"m", 32, domain=0x0B)
+        assert a != b
+
+    def test_domain_byte_validated(self):
+        with pytest.raises(ValueError):
+            turboshake128(b"", 32, domain=0x00)
+        with pytest.raises(ValueError):
+            turboshake128(b"", 32, domain=0x80)
+
+    def test_differs_from_full_round_shake(self):
+        import hashlib
+
+        # 12 rounds != 24 rounds even at the same rate/suffix structure.
+        assert turboshake128(b"", 32, domain=0x1F) != \
+            hashlib.shake_128(b"").digest(32)
+
+    def test_128_and_256_differ(self):
+        assert turboshake128(b"m", 32) != turboshake256(b"m", 32)
+
+
+class TestK12KnownAnswers:
+    """Published KangarooTwelve test vectors (draft-irtf-cfrg-kangarootwelve)."""
+
+    def test_empty_message_32(self):
+        assert kangarootwelve(b"", 32).hex().upper() == (
+            "1AC2D450FC3B4205D19DA7BFCA1B3751"
+            "3C0803577AC7167F06FE2CE1F0EF39E5"
+        )
+
+    def test_pattern_17_bytes(self):
+        assert kangarootwelve(k12_pattern(17), 32).hex().upper() == (
+            "6BF75FA2239198DB4772E36478F8E19B"
+            "0F371205F6A9A93A273F51DF37122888"
+        )
+
+    def test_customization_1_byte(self):
+        assert kangarootwelve(b"", 32, k12_pattern(1)).hex().upper() == (
+            "FAB658DB63E94A246188BF7AF69A1330"
+            "45F46EE984C56E3C3328CAAF1AA1A583"
+        )
+
+
+class TestK12Structure:
+    def test_pattern_helper(self):
+        pattern = k12_pattern(0xFB + 2)
+        assert pattern[0] == 0
+        assert pattern[0xFA] == 0xFA
+        assert pattern[0xFB] == 0
+
+    def test_single_chunk_is_turboshake_07(self):
+        message = b"m" * 100
+        stream = message + length_encode(0)
+        assert kangarootwelve(message, 32) == \
+            turboshake128(stream, 32, domain=0x07)
+
+    def test_tree_mode_kicks_in_above_chunk_size(self):
+        # At the boundary the combined stream exceeds one chunk.
+        at_boundary = kangarootwelve(b"a" * K12_CHUNK_BYTES, 32)
+        single_chunk = turboshake128(
+            b"a" * K12_CHUNK_BYTES + length_encode(0), 32, domain=0x07
+        )
+        # |M| + |length_encode(0)| = 8193 > 8192: tree mode, not single.
+        assert at_boundary != single_chunk
+
+    def test_tree_mode_deterministic(self):
+        message = k12_pattern(3 * K12_CHUNK_BYTES + 5)
+        assert kangarootwelve(message, 64) == \
+            kangarootwelve(message, 64)
+
+    def test_tree_outputs_prefix_consistent(self):
+        message = k12_pattern(2 * K12_CHUNK_BYTES)
+        assert kangarootwelve(message, 64)[:32] == \
+            kangarootwelve(message, 32)
+
+    def test_customization_separates(self):
+        assert kangarootwelve(b"m", 32, b"ctx-a") != \
+            kangarootwelve(b"m", 32, b"ctx-b")
+
+    def test_customization_vs_message_ambiguity_resolved(self):
+        # (M="ab", C="c") and (M="a", C="bc") must differ: the length
+        # encoding of C disambiguates the concatenation.
+        assert kangarootwelve(b"ab", 32, b"c") != \
+            kangarootwelve(b"a", 32, b"bc")
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            kangarootwelve(b"", -1)
+
+    def test_k12_halves_the_permutation_work(self):
+        """The cycle argument: K12 permutations are 12 rounds, so every
+        per-round cycle count in the evaluation applies with ~half the
+        permutation latency (plus the constant loop overhead)."""
+        rounds_full, rounds_k12 = 24, 12
+        cycles_per_round = 75  # 64-bit LMUL=8
+        full = rounds_full * cycles_per_round
+        k12 = rounds_k12 * cycles_per_round
+        assert k12 == full / 2

@@ -1,0 +1,103 @@
+"""Tests for the batched multi-state permutation (paper Section 3.1)."""
+
+import hashlib
+
+import pytest
+
+from repro.keccak import KeccakState, keccak_f1600
+from repro.keccak.parallel import ParallelKeccak, parallel_shake128
+
+
+class TestParallelKeccak:
+    def test_single_state_matches_reference(self, random_state):
+        batch = ParallelKeccak.from_states([random_state])
+        batch.permute()
+        assert batch.to_states()[0] == keccak_f1600(random_state)
+
+    def test_six_states_match_reference(self, random_states):
+        states = random_states(6)
+        batch = ParallelKeccak.from_states(states)
+        batch.permute()
+        out = batch.to_states()
+        for i, state in enumerate(states):
+            assert out[i] == keccak_f1600(state), f"state {i}"
+
+    def test_states_are_independent(self, random_states):
+        """Permuting states in a batch equals permuting them alone."""
+        states = random_states(3)
+        batch = ParallelKeccak.from_states(states)
+        batch.permute()
+        batched = batch.to_states()
+        for i, state in enumerate(states):
+            solo = ParallelKeccak.from_states([state])
+            solo.permute()
+            assert solo.to_states()[0] == batched[i]
+
+    def test_round_by_round_matches_reference(self, random_state):
+        from repro.keccak import keccak_round
+
+        batch = ParallelKeccak.from_states([random_state])
+        expected = random_state
+        for i in range(24):
+            batch.round(i)
+            expected = keccak_round(expected, i)
+            assert batch.to_states()[0] == expected, f"after round {i}"
+
+    def test_zero_states_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelKeccak(0)
+
+    def test_xor_block_and_extract(self):
+        batch = ParallelKeccak(2)
+        batch.xor_block(1, b"\x01\x02\x03")
+        assert batch.extract_bytes(1, 3) == b"\x01\x02\x03"
+        assert batch.extract_bytes(0, 3) == b"\x00\x00\x00"
+
+    def test_xor_block_too_large(self):
+        with pytest.raises(ValueError):
+            ParallelKeccak(1).xor_block(0, b"\x00" * 201)
+
+    def test_extract_length_bounds(self):
+        batch = ParallelKeccak(1)
+        with pytest.raises(ValueError):
+            batch.extract_bytes(0, 201)
+        assert batch.extract_bytes(0, 0) == b""
+
+    def test_large_batch(self, random_states):
+        states = random_states(32)
+        batch = ParallelKeccak.from_states(states)
+        batch.permute()
+        out = batch.to_states()
+        # Spot-check first, middle, last.
+        for i in (0, 15, 31):
+            assert out[i] == keccak_f1600(states[i])
+
+
+class TestParallelShake128:
+    def test_matches_hashlib_single_block(self):
+        seeds = [b"alpha", b"beta", b"gamma"]
+        outputs = parallel_shake128(seeds, 100)
+        for seed, out in zip(seeds, outputs):
+            assert out == hashlib.shake_128(seed).digest(100)
+
+    def test_matches_hashlib_multi_block(self):
+        seeds = [b"s1", b"s2"]
+        outputs = parallel_shake128(seeds, 1000)  # ~6 squeeze blocks
+        for seed, out in zip(seeds, outputs):
+            assert out == hashlib.shake_128(seed).digest(1000)
+
+    def test_kyber_style_seeds(self):
+        # 32-byte seed + 2 index bytes, the matrix-A expansion pattern.
+        base = bytes(range(32))
+        seeds = [base + bytes([i, j]) for i in range(2) for j in range(2)]
+        outputs = parallel_shake128(seeds, 504)
+        for seed, out in zip(seeds, outputs):
+            assert out == hashlib.shake_128(seed).digest(504)
+
+    def test_seed_too_long_rejected(self):
+        with pytest.raises(ValueError, match="rate block"):
+            parallel_shake128([b"x" * 168], 10)
+
+    def test_exact_rate_length_output(self):
+        outputs = parallel_shake128([b"q"], 168)
+        assert outputs[0] == hashlib.shake_128(b"q").digest(168)

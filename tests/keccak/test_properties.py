@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the Keccak core invariants."""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.keccak import (
+    KeccakState,
+    Sponge,
+    SHA3_SUFFIX,
+    chi,
+    chi_inverse,
+    keccak_f1600,
+    pi,
+    pi_inverse,
+    rho,
+    rho_inverse,
+    sha3_256,
+    shake128,
+    theta,
+    theta_inverse,
+)
+from repro.keccak.interleave import (
+    deinterleave,
+    interleave,
+    join_hi_lo,
+    rotate_interleaved,
+    rotate_pair_left,
+    split_hi_lo,
+)
+from repro.keccak.constants import rotl64
+
+lanes_strategy = st.lists(
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    min_size=25, max_size=25,
+)
+
+lane_strategy = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+@given(data=st.binary(max_size=600))
+@settings(max_examples=30, deadline=None)
+def test_sha3_256_matches_hashlib(data):
+    assert sha3_256(data) == hashlib.sha3_256(data).digest()
+
+
+@given(data=st.binary(max_size=400),
+       length=st.integers(min_value=0, max_value=400))
+@settings(max_examples=30, deadline=None)
+def test_shake128_matches_hashlib(data, length):
+    assert shake128(data, length) == hashlib.shake_128(data).digest(length)
+
+
+@given(data=st.binary(max_size=500),
+       split=st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_split_absorb_equals_oneshot(data, split):
+    split = min(split, len(data))
+    oneshot = Sponge(512, SHA3_SUFFIX).absorb(data).squeeze(32)
+    streamed = (
+        Sponge(512, SHA3_SUFFIX)
+        .absorb(data[:split])
+        .absorb(data[split:])
+        .squeeze(32)
+    )
+    assert streamed == oneshot
+
+
+@given(lanes=lanes_strategy)
+@settings(max_examples=25, deadline=None)
+def test_state_bytes_round_trip(lanes):
+    state = KeccakState(lanes)
+    assert KeccakState.from_bytes(state.to_bytes()) == state
+
+
+@given(lanes=lanes_strategy)
+@settings(max_examples=15, deadline=None)
+def test_step_mappings_are_bijections(lanes):
+    state = KeccakState(lanes)
+    assert theta_inverse(theta(state)) == state
+    assert rho_inverse(rho(state)) == state
+    assert pi_inverse(pi(state)) == state
+    assert chi_inverse(chi(state)) == state
+
+
+@given(lanes=lanes_strategy)
+@settings(max_examples=10, deadline=None)
+def test_permutation_round_trips_through_serialization(lanes):
+    state = KeccakState(lanes)
+    out = keccak_f1600(state)
+    again = keccak_f1600(KeccakState.from_bytes(state.to_bytes()))
+    assert out == again
+
+
+@given(lane=lane_strategy,
+       amount=st.integers(min_value=0, max_value=63))
+@settings(max_examples=50, deadline=None)
+def test_hi_lo_rotation_equivalence(lane, amount):
+    hi, lo = split_hi_lo(lane)
+    rhi, rlo = rotate_pair_left(hi, lo, amount)
+    assert join_hi_lo(rhi, rlo) == rotl64(lane, amount)
+
+
+@given(lane=lane_strategy,
+       amount=st.integers(min_value=0, max_value=63))
+@settings(max_examples=50, deadline=None)
+def test_interleaved_rotation_equivalence(lane, amount):
+    even, odd = interleave(lane)
+    re, ro = rotate_interleaved(even, odd, amount)
+    assert deinterleave(re, ro) == rotl64(lane, amount)
+
+
+@given(lane=lane_strategy)
+@settings(max_examples=50, deadline=None)
+def test_both_decompositions_round_trip(lane):
+    hi, lo = split_hi_lo(lane)
+    assert join_hi_lo(hi, lo) == lane
+    even, odd = interleave(lane)
+    assert deinterleave(even, odd) == lane
+
+
+@given(lanes=lanes_strategy, rounds=st.integers(min_value=1, max_value=3))
+@settings(max_examples=10, deadline=None)
+def test_repeated_permutation_never_cycles_quickly(lanes, rounds):
+    """Keccak-f has no short cycles on random states (overwhelming odds)."""
+    state = KeccakState(lanes)
+    current = state
+    for _ in range(rounds):
+        current = keccak_f1600(current)
+        assert current != state

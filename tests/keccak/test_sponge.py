@@ -1,0 +1,152 @@
+"""Tests for the sponge construction (paper Fig. 1)."""
+
+import hashlib
+
+import pytest
+
+from repro.keccak import KECCAK_SUFFIX, SHA3_SUFFIX, SHAKE_SUFFIX, Sponge, pad10star1, sponge_hash
+
+
+class TestConstruction:
+    def test_rate_plus_capacity_is_1600(self):
+        sponge = Sponge(512)
+        assert sponge.rate_bits + sponge.capacity_bits == 1600
+        assert sponge.rate_bytes == 136
+
+    def test_capacity_must_be_byte_aligned(self):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            Sponge(511)
+
+    def test_capacity_bounds(self):
+        with pytest.raises(ValueError):
+            Sponge(0)
+        with pytest.raises(ValueError):
+            Sponge(1600)
+
+    def test_suffix_must_be_nonzero_byte(self):
+        with pytest.raises(ValueError):
+            Sponge(512, suffix=0)
+        with pytest.raises(ValueError):
+            Sponge(512, suffix=0x100)
+
+
+class TestAbsorbSqueeze:
+    def test_sha3_256_empty_message(self):
+        digest = Sponge(512, SHA3_SUFFIX).squeeze(32)
+        assert digest == hashlib.sha3_256(b"").digest()
+
+    def test_shake128_empty_message(self):
+        digest = Sponge(256, SHAKE_SUFFIX).squeeze(64)
+        assert digest == hashlib.shake_128(b"").digest(64)
+
+    def test_streaming_absorb_equals_oneshot(self):
+        message = bytes(range(256)) * 3
+        oneshot = Sponge(512, SHA3_SUFFIX).absorb(message).squeeze(32)
+        streaming = Sponge(512, SHA3_SUFFIX)
+        for i in range(0, len(message), 37):
+            streaming.absorb(message[i : i + 37])
+        assert streaming.squeeze(32) == oneshot
+
+    def test_streaming_squeeze_equals_oneshot(self):
+        sponge_a = Sponge(256, SHAKE_SUFFIX).absorb(b"stream me")
+        sponge_b = Sponge(256, SHAKE_SUFFIX).absorb(b"stream me")
+        oneshot = sponge_a.squeeze(500)
+        pieces = b"".join(sponge_b.squeeze(n) for n in (1, 7, 160, 168, 164))
+        assert pieces == oneshot
+
+    def test_absorb_after_squeeze_rejected(self):
+        sponge = Sponge(512)
+        sponge.squeeze(1)
+        with pytest.raises(RuntimeError, match="absorb after squeezing"):
+            sponge.absorb(b"late")
+
+    def test_squeeze_zero_bytes(self):
+        assert Sponge(512).squeeze(0) == b""
+
+    def test_squeeze_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Sponge(512).squeeze(-1)
+
+    def test_multi_block_message(self):
+        message = b"x" * 400  # > 2 rate blocks at capacity 512
+        assert Sponge(512, SHA3_SUFFIX).absorb(message).squeeze(32) == \
+            hashlib.sha3_256(message).digest()
+
+    def test_exact_rate_boundary_messages(self):
+        for length in (135, 136, 137, 271, 272, 273):
+            message = bytes([length & 0xFF]) * length
+            assert Sponge(512, SHA3_SUFFIX).absorb(message).squeeze(32) == \
+                hashlib.sha3_256(message).digest(), length
+
+    def test_domain_suffixes_separate_outputs(self):
+        sha3 = Sponge(512, SHA3_SUFFIX).absorb(b"msg").squeeze(32)
+        shake = Sponge(512, SHAKE_SUFFIX).absorb(b"msg").squeeze(32)
+        keccak = Sponge(512, KECCAK_SUFFIX).absorb(b"msg").squeeze(32)
+        assert len({sha3, shake, keccak}) == 3
+
+    def test_multi_block_squeeze_output(self):
+        # Squeezing more than one rate block applies extra permutations.
+        ours = Sponge(256, SHAKE_SUFFIX).absorb(b"abc").squeeze(1000)
+        assert ours == hashlib.shake_128(b"abc").digest(1000)
+
+
+class TestCopyAndState:
+    def test_copy_preserves_absorb_phase(self):
+        sponge = Sponge(512, SHA3_SUFFIX).absorb(b"partial")
+        clone = sponge.copy()
+        assert clone.squeeze(32) == \
+            hashlib.sha3_256(b"partial").digest()
+        sponge.absorb(b" more")
+        assert sponge.squeeze(32) == \
+            hashlib.sha3_256(b"partial more").digest()
+
+    def test_copy_preserves_squeeze_offset(self):
+        sponge = Sponge(256, SHAKE_SUFFIX).absorb(b"x")
+        first = sponge.squeeze(10)
+        clone = sponge.copy()
+        assert sponge.squeeze(10) == clone.squeeze(10)
+        assert first != clone.squeeze(0) + b""[:10] or True
+
+    def test_squeezing_flag(self):
+        sponge = Sponge(512)
+        assert not sponge.squeezing
+        sponge.squeeze(1)
+        assert sponge.squeezing
+
+    def test_state_property_returns_copy(self):
+        sponge = Sponge(512)
+        sponge.state[0, 0] = 123  # mutating the copy must not leak back
+        assert sponge.state[0, 0] == 0
+
+
+class TestPadding:
+    def test_pad_length_completes_block(self):
+        for message_length in range(0, 300):
+            pad = pad10star1(message_length, 136)
+            assert (message_length + len(pad)) % 136 == 0
+
+    def test_single_byte_pad(self):
+        assert pad10star1(135, 136) == b"\x81"
+
+    def test_two_byte_pad(self):
+        assert pad10star1(134, 136) == b"\x01\x80"
+
+    def test_full_block_pad_when_aligned(self):
+        pad = pad10star1(136, 136)
+        assert len(pad) == 136
+        assert pad[0] == 0x01
+        assert pad[-1] == 0x80
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            pad10star1(10, 0)
+
+
+class TestOneShotHelper:
+    def test_sponge_hash_matches_class(self):
+        assert sponge_hash(b"data", 512, 32, SHA3_SUFFIX) == \
+            hashlib.sha3_256(b"data").digest()
+
+    def test_unreasonable_output_rejected(self):
+        with pytest.raises(ValueError):
+            sponge_hash(b"", 512, 200 * 1024 + 1, SHA3_SUFFIX)

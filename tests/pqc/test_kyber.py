@@ -1,0 +1,185 @@
+"""Tests for the Kyber-style PQC workloads over parallel Keccak states."""
+
+import hashlib
+
+import pytest
+
+from repro.pqc import (
+    KYBER_K,
+    KYBER_N,
+    KYBER_Q,
+    ParallelShake128,
+    cbd,
+    estimate_workload_cycles,
+    generate_matrix_parallel,
+    generate_matrix_sequential,
+    parse_xof,
+    sample_secret,
+)
+
+SEED = bytes(range(32))
+
+
+class TestParseXof:
+    def test_coefficients_below_q(self):
+        stream = hashlib.shake_128(b"x").digest(1000)
+        coefficients = parse_xof(stream)
+        assert len(coefficients) == KYBER_N
+        assert all(0 <= c < KYBER_Q for c in coefficients)
+
+    def test_deterministic(self):
+        stream = hashlib.shake_128(b"y").digest(1000)
+        assert parse_xof(stream) == parse_xof(stream)
+
+    def test_rejection_actually_happens(self):
+        # A stream of 0xFF bytes yields candidates 0xFFF >= q: all rejected.
+        with pytest.raises(ValueError, match="exhausted"):
+            parse_xof(b"\xff" * 300)
+
+    def test_known_encoding_of_candidates(self):
+        # bytes (1, 16, 2): d1 = 1 + 256*(16%16) = 1, d2 = 16//16 + 16*2 = 33.
+        coefficients = parse_xof(bytes([1, 16, 2]) * 400, count=2)
+        assert coefficients[:2] == [1, 33]
+
+    def test_partial_count(self):
+        stream = hashlib.shake_128(b"z").digest(100)
+        assert len(parse_xof(stream, count=16)) == 16
+
+
+class TestMatrixGeneration:
+    @pytest.mark.parametrize("k", sorted(KYBER_K.values()))
+    def test_parallel_equals_sequential(self, k):
+        seq = generate_matrix_sequential(SEED, k)
+        par = generate_matrix_parallel(SEED, k)
+        assert seq == par
+
+    def test_matrix_shape(self):
+        matrix = generate_matrix_parallel(SEED, 2)
+        assert len(matrix) == 2
+        assert all(len(row) == 2 for row in matrix)
+        assert all(len(entry) == KYBER_N for row in matrix for entry in row)
+
+    def test_transposed_swaps_indices(self):
+        a = generate_matrix_parallel(SEED, 2, transposed=False)
+        at = generate_matrix_parallel(SEED, 2, transposed=True)
+        assert a[0][1] == at[1][0]
+        assert a[1][0] == at[0][1]
+        assert a[0][0] == at[0][0]
+
+    def test_different_seeds_differ(self):
+        a = generate_matrix_parallel(SEED, 2)
+        b = generate_matrix_parallel(bytes(32), 2)
+        assert a != b
+
+    def test_seed_length_validated(self):
+        with pytest.raises(ValueError, match="32 bytes"):
+            generate_matrix_sequential(b"short", 2)
+
+    def test_entries_derive_from_shake128(self):
+        # Entry (i=0, j=0) is Parse(SHAKE128(seed || 0 || 0)).
+        matrix = generate_matrix_sequential(SEED, 2)
+        stream = hashlib.shake_128(SEED + bytes([0, 0])).digest(3 * 168)
+        assert matrix[0][0] == parse_xof(stream)
+
+
+class TestParallelShake128Streaming:
+    def test_blocks_match_hashlib(self):
+        seeds = [b"a", b"b", b"c"]
+        xof = ParallelShake128(seeds)
+        first = xof.read_block()
+        second = xof.read_block()
+        for i, seed in enumerate(seeds):
+            expected = hashlib.shake_128(seed).digest(336)
+            assert first[i] + second[i] == expected
+
+    def test_permutation_counter(self):
+        xof = ParallelShake128([b"a", b"b"])
+        assert xof.permutation_count == 0
+        xof.read_block()
+        xof.read_block()
+        assert xof.permutation_count == 2
+
+    def test_oversized_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelShake128([b"x" * 200])
+
+
+class TestCbd:
+    def test_output_shape_and_range(self):
+        stream = hashlib.shake_256(b"prf").digest(128)
+        poly = cbd(stream, eta=2)
+        assert len(poly) == KYBER_N
+        for c in poly:
+            # CBD_2 outputs lie in [-2, 2] mod q.
+            assert c < 3 or c > KYBER_Q - 3
+
+    def test_eta3(self):
+        stream = hashlib.shake_256(b"prf").digest(192)
+        poly = cbd(stream, eta=3)
+        for c in poly:
+            assert c < 4 or c > KYBER_Q - 4
+
+    def test_eta_validated(self):
+        with pytest.raises(ValueError):
+            cbd(b"\x00" * 128, eta=4)
+
+    def test_stream_length_validated(self):
+        with pytest.raises(ValueError, match="needs"):
+            cbd(b"\x00" * 10, eta=2)
+
+    def test_zero_stream_gives_zero_polynomial(self):
+        assert cbd(b"\x00" * 128, eta=2) == [0] * KYBER_N
+
+    def test_distribution_is_centered(self):
+        stream = hashlib.shake_256(b"center").digest(128)
+        poly = cbd(stream, eta=2)
+        centered = [c if c < KYBER_Q // 2 else c - KYBER_Q for c in poly]
+        assert abs(sum(centered)) < KYBER_N  # mean well inside +-1
+
+
+class TestSampleSecret:
+    def test_shape(self):
+        vector = sample_secret(SEED, k=3)
+        assert len(vector) == 3
+        assert all(len(p) == KYBER_N for p in vector)
+
+    def test_nonce_separates_polynomials(self):
+        vector = sample_secret(SEED, k=2)
+        assert vector[0] != vector[1]
+
+    def test_nonce_base_continues_stream(self):
+        s = sample_secret(SEED, k=2, nonce_base=0)
+        e = sample_secret(SEED, k=2, nonce_base=2)
+        assert s[0] != e[0]
+
+    def test_seed_validated(self):
+        with pytest.raises(ValueError):
+            sample_secret(b"x", k=2)
+
+
+class TestWorkloadEstimate:
+    def test_batching(self):
+        est = estimate_workload_cycles(16, 1892, 6, "64-bit")
+        assert est.batches == 3
+        assert est.total_cycles == 3 * 1892
+
+    def test_exact_multiple(self):
+        est = estimate_workload_cycles(12, 1892, 6, "64-bit")
+        assert est.batches == 2
+
+    def test_single_state_architecture(self):
+        est = estimate_workload_cycles(16, 1892, 1, "64-bit")
+        assert est.batches == 16
+
+    def test_parallel_speedup_ratio(self):
+        solo = estimate_workload_cycles(24, 1892, 1, "x")
+        batch = estimate_workload_cycles(24, 1892, 6, "x")
+        assert solo.total_cycles / batch.total_cycles == 6.0
+
+    def test_zero_permutations(self):
+        est = estimate_workload_cycles(0, 1892, 6, "x")
+        assert est.total_cycles == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_workload_cycles(-1, 1892, 6, "x")

@@ -1,0 +1,140 @@
+"""Tests for batch hashing over parallel Keccak states."""
+
+import hashlib
+
+import pytest
+
+from repro.keccak.sponge import SHA3_SUFFIX
+from repro.programs.batch_driver import (
+    BatchPermutation,
+    BatchSponge,
+    batch_sha3_256,
+    batch_shake128,
+)
+from repro.programs.factory import build_program
+
+
+@pytest.fixture(scope="module")
+def perm6():
+    return BatchPermutation(elen=64, lmul=8, elenum=30)
+
+
+@pytest.fixture(scope="module")
+def perm3_32():
+    return BatchPermutation(elen=32, lmul=8, elenum=15)
+
+
+class TestBatchPermutation:
+    def test_matches_reference(self, perm6, random_states):
+        from repro.keccak import keccak_f1600
+
+        states = random_states(6)
+        assert perm6(states) == [keccak_f1600(s) for s in states]
+
+    def test_partial_batch(self, perm6, random_states):
+        from repro.keccak import keccak_f1600
+
+        states = random_states(2)
+        assert perm6(states) == [keccak_f1600(s) for s in states]
+
+    def test_too_many_states(self, perm6, random_states):
+        with pytest.raises(ValueError, match="exceeds"):
+            perm6(random_states(7))
+
+    def test_requires_memory_io(self):
+        with pytest.raises(ValueError, match="memory-IO"):
+            BatchPermutation(program=build_program(64, 8, 5))
+
+    def test_cycle_accounting(self, random_states):
+        perm = BatchPermutation(elenum=30)
+        perm(random_states(6))
+        perm(random_states(1))
+        assert perm.call_count == 2
+        assert perm.total_cycles > 2 * 1892
+
+
+class TestBatchSha3:
+    def test_equal_length_messages(self, perm6):
+        messages = [bytes([i]) * 50 for i in range(6)]
+        digests = batch_sha3_256(messages, perm6)
+        for message, digest in zip(messages, digests):
+            assert digest == hashlib.sha3_256(message).digest()
+
+    def test_unequal_length_messages(self, perm6):
+        messages = [b"", b"x", b"y" * 136, b"z" * 300, b"w" * 137, b"v" * 272]
+        digests = batch_sha3_256(messages, perm6)
+        for message, digest in zip(messages, digests):
+            assert digest == hashlib.sha3_256(message).digest()
+
+    def test_single_message(self, perm6):
+        assert batch_sha3_256([b"solo"], perm6)[0] == \
+            hashlib.sha3_256(b"solo").digest()
+
+    def test_32bit_architecture(self, perm3_32):
+        messages = [b"a", b"bb" * 100, b"ccc"]
+        digests = batch_sha3_256(messages, perm3_32)
+        for message, digest in zip(messages, digests):
+            assert digest == hashlib.sha3_256(message).digest()
+
+    def test_batching_cost_amortized(self):
+        """Six equal-length messages need the same number of program runs
+        as one message (the core multi-state claim)."""
+        one = BatchPermutation(elenum=30)
+        batch_sha3_256([b"m" * 100], one)
+        six = BatchPermutation(elenum=30)
+        batch_sha3_256([bytes([i]) * 100 for i in range(6)], six)
+        assert six.call_count == one.call_count
+
+
+class TestBatchShake:
+    def test_outputs_match_hashlib(self, perm6):
+        messages = [b"s1", b"s2", b"s3"]
+        outputs = batch_shake128(messages, 400, perm6)
+        for message, output in zip(messages, outputs):
+            assert output == hashlib.shake_128(message).digest(400)
+
+    def test_multiblock_squeeze_shares_permutes(self):
+        perm = BatchPermutation(elenum=30)
+        batch_shake128([b"a", b"b"], 336, perm)  # 2 squeeze blocks
+        # 1 absorb permute + 1 extra squeeze permute.
+        assert perm.call_count == 2
+
+
+class TestBatchSpongeValidation:
+    def test_lane_bounds(self, perm6):
+        sponge = BatchSponge(2, 512, SHA3_SUFFIX, perm6)
+        with pytest.raises(IndexError):
+            sponge.absorb(2, b"x")
+
+    def test_too_many_lanes(self, perm6):
+        with pytest.raises(ValueError, match="exceed"):
+            BatchSponge(7, 512, SHA3_SUFFIX, perm6)
+
+    def test_zero_lanes(self, perm6):
+        with pytest.raises(ValueError):
+            BatchSponge(0, 512, SHA3_SUFFIX, perm6)
+
+    def test_bad_capacity(self, perm6):
+        with pytest.raises(ValueError):
+            BatchSponge(1, 511, SHA3_SUFFIX, perm6)
+
+    def test_absorb_after_squeeze(self, perm6):
+        sponge = BatchSponge(1, 512, SHA3_SUFFIX, perm6)
+        sponge.absorb(0, b"data")
+        sponge.squeeze(1)
+        with pytest.raises(RuntimeError):
+            sponge.absorb(0, b"late")
+
+    def test_negative_squeeze(self, perm6):
+        sponge = BatchSponge(1, 512, SHA3_SUFFIX, perm6)
+        with pytest.raises(ValueError):
+            sponge.squeeze(-1)
+
+    def test_incremental_absorb(self, perm6):
+        sponge = BatchSponge(2, 512, SHA3_SUFFIX, perm6)
+        sponge.absorb(0, b"hello ")
+        sponge.absorb(0, b"world")
+        sponge.absorb(1, b"other")
+        digests = sponge.squeeze(32)
+        assert digests[0] == hashlib.sha3_256(b"hello world").digest()
+        assert digests[1] == hashlib.sha3_256(b"other").digest()

@@ -1,0 +1,167 @@
+"""Tests for the extension programs: fused instructions and LMUL=4+1."""
+
+import pytest
+
+from repro.isa import ISA, decode_operands
+from repro.isa.vector import encode_vtype
+from repro.assembler import assemble
+from repro.keccak import KeccakState, chi, keccak_f1600, pi, rho
+from repro.programs import keccak64_fused, keccak64_lmul41, run_keccak_program
+from repro.programs import layout
+from repro.sim import DataMemory, VectorUnit
+from repro.sim.exceptions import IllegalInstructionError
+
+
+def execute(unit, text, scalars=None):
+    word = assemble(text).words[0]
+    spec = ISA.find(word)
+    ops = decode_operands(word, spec)
+    values = scalars or {}
+    return unit.execute(spec, ops, lambda n: values.get(n, 0))
+
+
+class TestVrhopiInstruction:
+    def test_matches_rho_then_pi(self, random_state):
+        unit = VectorUnit(5 * 64, DataMemory(64))
+        unit.configure(25, encode_vtype(64, 8))
+        layout.load_states_regfile64(unit.regfile, [random_state])
+        execute(unit, "vrhopi.vi v8, v0, -1")
+        unit.configure(5, encode_vtype(64, 1))
+        out = layout.read_states_regfile64(unit.regfile, 1, base_reg=8)[0]
+        assert out == pi(rho(random_state))
+
+    def test_explicit_rows(self, random_state):
+        unit = VectorUnit(5 * 64, DataMemory(64))
+        unit.configure(5, encode_vtype(64, 1))
+        layout.load_states_regfile64(unit.regfile, [random_state])
+        for y in range(5):
+            execute(unit, f"vrhopi.vi v8, v{y}, {y}")
+        out = layout.read_states_regfile64(unit.regfile, 1, base_reg=8)[0]
+        assert out == pi(rho(random_state))
+
+    def test_multi_state(self, random_states):
+        states = random_states(3)
+        unit = VectorUnit(15 * 64, DataMemory(64))
+        unit.configure(75, encode_vtype(64, 8))
+        layout.load_states_regfile64(unit.regfile, states)
+        execute(unit, "vrhopi.vi v8, v0, -1")
+        unit.configure(15, encode_vtype(64, 1))
+        out = layout.read_states_regfile64(unit.regfile, 3, base_reg=8)
+        assert out == [pi(rho(s)) for s in states]
+
+    def test_requires_sew64(self):
+        unit = VectorUnit(5 * 32, DataMemory(64))
+        unit.configure(5, encode_vtype(32, 1))
+        with pytest.raises(IllegalInstructionError, match="64-bit"):
+            execute(unit, "vrhopi.vi v8, v0, 0")
+
+    def test_costs_like_vpi(self):
+        unit = VectorUnit(5 * 64, DataMemory(64))
+        unit.configure(25, encode_vtype(64, 8))
+        assert execute(unit, "vrhopi.vi v8, v0, -1") == 7
+
+
+class TestVchiInstruction:
+    def test_matches_chi(self, random_state):
+        unit = VectorUnit(5 * 64, DataMemory(64))
+        unit.configure(25, encode_vtype(64, 8))
+        layout.load_states_regfile64(unit.regfile, [random_state])
+        execute(unit, "vchi.vi v8, v0, 0")
+        unit.configure(5, encode_vtype(64, 1))
+        out = layout.read_states_regfile64(unit.regfile, 1, base_reg=8)[0]
+        assert out == chi(random_state)
+
+    def test_works_on_32bit_halves(self, random_state):
+        # chi is bitwise, so it applies to hi/lo halves independently.
+        unit = VectorUnit(5 * 32, DataMemory(64))
+        unit.configure(25, encode_vtype(32, 8))
+        layout.load_states_regfile32(unit.regfile, [random_state],
+                                     lo_base=0, hi_base=16)
+        execute(unit, "vchi.vi v8, v0, 0")
+        execute(unit, "vchi.vi v24, v16, 0")
+        unit.configure(5, encode_vtype(32, 1))
+        out = layout.read_states_regfile32(unit.regfile, 1,
+                                           lo_base=8, hi_base=24)[0]
+        assert out == chi(random_state)
+
+    def test_reserved_immediate(self):
+        unit = VectorUnit(5 * 64, DataMemory(64))
+        unit.configure(5, encode_vtype(64, 1))
+        with pytest.raises(IllegalInstructionError, match="reserved"):
+            execute(unit, "vchi.vi v8, v0, 1")
+
+    def test_in_place(self, random_state):
+        unit = VectorUnit(5 * 64, DataMemory(64))
+        unit.configure(25, encode_vtype(64, 8))
+        layout.load_states_regfile64(unit.regfile, [random_state])
+        execute(unit, "vchi.vi v0, v0, 0")
+        unit.configure(5, encode_vtype(64, 1))
+        out = layout.read_states_regfile64(unit.regfile, 1)[0]
+        assert out == chi(random_state)
+
+
+class TestFusedProgram:
+    def test_correct_all_configs(self, random_states):
+        for elenum, count in ((5, 1), (15, 3), (30, 6)):
+            states = random_states(count)
+            result = run_keccak_program(keccak64_fused.build(elenum), states)
+            assert result.states == [keccak_f1600(s) for s in states]
+
+    def test_45_cycles_per_round(self, random_states):
+        result = run_keccak_program(keccak64_fused.build(5),
+                                    random_states(1))
+        assert result.cycles_per_round == 45
+        assert result.permutation_cycles == 1172
+
+    def test_improvement_over_algorithm3(self, random_states):
+        from repro.programs import keccak64_lmul8
+
+        fused = run_keccak_program(keccak64_fused.build(5), random_states(1))
+        baseline = run_keccak_program(keccak64_lmul8.build(5),
+                                      random_states(1))
+        gain = baseline.permutation_cycles / fused.permutation_cycles
+        assert gain == pytest.approx(1892 / 1172, abs=0.001)
+        assert gain > 1.6  # the paper's predicted further improvement
+
+    def test_memory_io_variant(self, random_states):
+        states = random_states(2)
+        program = keccak64_fused.build(15, include_memory_io=True)
+        result = run_keccak_program(program, states)
+        assert result.states == [keccak_f1600(s) for s in states]
+
+
+class TestLmul41Program:
+    def test_correct(self, random_states):
+        for elenum, count in ((5, 1), (30, 6)):
+            states = random_states(count)
+            result = run_keccak_program(keccak64_lmul41.build(elenum),
+                                        states)
+            assert result.states == [keccak_f1600(s) for s in states]
+
+    def test_87_cycles_per_round(self, random_states):
+        result = run_keccak_program(keccak64_lmul41.build(5),
+                                    random_states(1))
+        assert result.cycles_per_round == 87
+
+    def test_validates_papers_rejection(self, random_states):
+        """Section 4.1: alternating LMUL 'would consume more time' —
+        quantitatively: 87 > 75 cycles/round."""
+        from repro.programs import keccak64_lmul8
+
+        lmul41 = run_keccak_program(keccak64_lmul41.build(5),
+                                    random_states(1))
+        lmul8 = run_keccak_program(keccak64_lmul8.build(5),
+                                   random_states(1))
+        assert lmul41.cycles_per_round > lmul8.cycles_per_round
+        # But still better than no grouping at all (103).
+        assert lmul41.cycles_per_round < 103
+
+    def test_memory_io_not_supported(self):
+        with pytest.raises(NotImplementedError):
+            keccak64_lmul41.build(5, include_memory_io=True)
+
+    def test_uses_alternating_vsetvli(self, random_states):
+        result = run_keccak_program(keccak64_lmul41.build(5),
+                                    random_states(1))
+        # 4 vsetvli per round (m4/m1/m4/m1) + 1 initial.
+        assert result.stats.mnemonic_counts["vsetvli"] == 1 + 24 * 4

@@ -1,0 +1,101 @@
+"""Tests for the state layouts of Figs. 5 and 6."""
+
+import pytest
+
+from repro.keccak import KeccakState, split_hi_lo
+from repro.programs import layout
+from repro.sim import VectorRegfile
+
+
+class TestRegfile64:
+    def test_round_trip_single_state(self, random_state):
+        regfile = VectorRegfile(5 * 64)
+        layout.load_states_regfile64(regfile, [random_state])
+        assert layout.read_states_regfile64(regfile, 1)[0] == random_state
+
+    def test_round_trip_multi_state(self, random_states):
+        states = random_states(3)
+        regfile = VectorRegfile(16 * 64)
+        layout.load_states_regfile64(regfile, states)
+        assert layout.read_states_regfile64(regfile, 3) == states
+
+    def test_fig5_placement(self, random_state):
+        # Plane y in register y; lane (x, y) of state s at element 5s+x.
+        regfile = VectorRegfile(16 * 64)
+        layout.load_states_regfile64(regfile, [random_state, random_state])
+        assert regfile.get_element(2, 3, 64) == random_state[3, 2]
+        assert regfile.get_element(2, 5 + 3, 64) == random_state[3, 2]
+
+    def test_capacity_enforced(self, random_states):
+        regfile = VectorRegfile(5 * 64)
+        with pytest.raises(ValueError, match="elements"):
+            layout.load_states_regfile64(regfile, random_states(2))
+
+    def test_base_register_offset(self, random_state):
+        regfile = VectorRegfile(5 * 64)
+        layout.load_states_regfile64(regfile, [random_state], base_reg=8)
+        assert layout.read_states_regfile64(regfile, 1, base_reg=8)[0] == \
+            random_state
+        assert regfile.read_raw(0) == 0
+
+
+class TestRegfile32:
+    def test_round_trip(self, random_states):
+        states = random_states(2)
+        regfile = VectorRegfile(10 * 32)
+        layout.load_states_regfile32(regfile, states)
+        assert layout.read_states_regfile32(regfile, 2) == states
+
+    def test_fig6_hi_lo_placement(self, random_state):
+        regfile = VectorRegfile(5 * 32)
+        layout.load_states_regfile32(regfile, [random_state])
+        hi, lo = split_hi_lo(random_state[2, 1])
+        assert regfile.get_element(1, 2, 32) == lo     # low in v0..v4
+        assert regfile.get_element(17, 2, 32) == hi    # high in v16..v20
+
+    def test_custom_bases(self, random_state):
+        regfile = VectorRegfile(5 * 32)
+        layout.load_states_regfile32(regfile, [random_state],
+                                     lo_base=8, hi_base=24)
+        assert layout.read_states_regfile32(
+            regfile, 1, lo_base=8, hi_base=24)[0] == random_state
+
+
+class TestMemoryImages:
+    def test_image64_round_trip(self, random_states):
+        states = random_states(3)
+        image = layout.memory_image64(states, elenum=16)
+        assert len(image) == 5 * 16 * 8
+        assert layout.parse_memory_image64(image, 16, 3) == states
+
+    def test_image64_lane_position(self, random_state):
+        image = layout.memory_image64([random_state], elenum=5)
+        # Lane (x=2, y=1) at offset (1*5 + 2) * 8.
+        offset = 7 * 8
+        assert image[offset : offset + 8] == \
+            random_state[2, 1].to_bytes(8, "little")
+
+    def test_image32_round_trip(self, random_states):
+        states = random_states(2)
+        image = layout.memory_image32(states, elenum=10)
+        assert len(image) == 2 * 5 * 10 * 4
+        assert layout.parse_memory_image32(image, 10, 2) == states
+
+    def test_image32_regions(self, random_state):
+        image = layout.memory_image32([random_state], elenum=5)
+        region = 5 * 5 * 4
+        hi, lo = split_hi_lo(random_state[0, 0])
+        assert image[0:4] == lo.to_bytes(4, "little")
+        assert image[region : region + 4] == hi.to_bytes(4, "little")
+
+    def test_parse_too_small(self):
+        with pytest.raises(ValueError, match="too small"):
+            layout.parse_memory_image64(b"", 5, 1)
+        with pytest.raises(ValueError, match="too small"):
+            layout.parse_memory_image32(b"", 5, 1)
+
+    def test_capacity_checks(self, random_states):
+        with pytest.raises(ValueError):
+            layout.memory_image64(random_states(2), elenum=5)
+        with pytest.raises(ValueError):
+            layout.check_capacity(5, 0)

@@ -1,0 +1,83 @@
+"""Tests for reduced-round (Keccak-p) program variants — the K12 mode."""
+
+import pytest
+
+from repro.keccak import keccak_f1600, keccak_p1600, turboshake128
+from repro.keccak.sponge import Sponge
+from repro.programs import (
+    SimulatedPermutation,
+    build_program,
+    keccak32_lmul8,
+    keccak64_lmul1,
+    keccak64_lmul8,
+    run_keccak_program,
+)
+
+
+class TestReducedRoundPrograms:
+    @pytest.mark.parametrize("builder", [keccak64_lmul1, keccak64_lmul8,
+                                         keccak32_lmul8],
+                             ids=["64l1", "64l8", "32l8"])
+    @pytest.mark.parametrize("rounds", [1, 12, 24])
+    def test_matches_keccak_p(self, builder, rounds, random_states):
+        states = random_states(1)
+        program = builder.build(5, num_rounds=rounds)
+        result = run_keccak_program(program, states)
+        assert result.states[0] == keccak_p1600(states[0], rounds)
+
+    def test_24_rounds_is_keccak_f(self, random_states):
+        states = random_states(1)
+        program = keccak64_lmul8.build(5, num_rounds=24)
+        result = run_keccak_program(program, states)
+        assert result.states[0] == keccak_f1600(states[0])
+
+    def test_k12_permutation_latency(self, random_states):
+        """12 rounds: 12 x 75 + 11 x 4 loop cycles = 944."""
+        program = keccak64_lmul8.build(5, num_rounds=12)
+        result = run_keccak_program(program, random_states(1))
+        assert result.permutation_cycles == 944
+        assert result.cycles_per_round == 75
+
+    def test_multi_state_reduced_rounds(self, random_states):
+        states = random_states(3)
+        program = keccak64_lmul8.build(15, num_rounds=12)
+        result = run_keccak_program(program, states)
+        assert result.states == [keccak_p1600(s, 12) for s in states]
+
+    def test_32bit_uses_doubled_rc_index(self, random_states):
+        states = random_states(1)
+        program = keccak32_lmul8.build(5, num_rounds=12)
+        result = run_keccak_program(program, states)
+        assert result.states[0] == keccak_p1600(states[0], 12)
+
+    def test_round_count_validated(self):
+        for builder in (keccak64_lmul1, keccak64_lmul8, keccak32_lmul8):
+            with pytest.raises(ValueError):
+                builder.build(5, num_rounds=0)
+            with pytest.raises(ValueError):
+                builder.build(5, num_rounds=25)
+
+    def test_factory_forwards_rounds(self, random_states):
+        program = build_program(64, 8, 5, num_rounds=12)
+        assert program.num_rounds == 12
+        result = run_keccak_program(program, random_states(1))
+        assert result.permutation_cycles == 944
+
+
+class TestTurboShakeOnSimulator:
+    def test_turboshake128_digest_matches(self):
+        perm12 = SimulatedPermutation(elen=64, lmul=8, elenum=5,
+                                      num_rounds=12)
+        out = Sponge(256, suffix=0x07, permutation=perm12) \
+            .absorb(b"message").squeeze(64)
+        assert out == turboshake128(b"message", 64, domain=0x07)
+
+    def test_k12_mode_roughly_halves_cycles(self):
+        full = SimulatedPermutation(elen=64, lmul=8, elenum=5)
+        reduced = SimulatedPermutation(elen=64, lmul=8, elenum=5,
+                                       num_rounds=12)
+        Sponge(256, suffix=0x07, permutation=full).absorb(b"m").squeeze(32)
+        Sponge(256, suffix=0x07, permutation=reduced).absorb(b"m") \
+            .squeeze(32)
+        ratio = full.total_cycles / reduced.total_cycles
+        assert 1.9 < ratio < 2.1

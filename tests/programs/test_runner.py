@@ -1,0 +1,49 @@
+"""Tests for the program runner glue (RunResult, processors)."""
+
+import pytest
+
+from repro.keccak import KeccakState, keccak_f1600
+from repro.programs import keccak64_lmul8, run_keccak_program
+from repro.programs.runner import RunResult, make_processor
+
+
+class TestMakeProcessor:
+    def test_matches_program_architecture(self):
+        program = keccak64_lmul8.build(15)
+        processor = make_processor(program)
+        assert processor.elen == 64
+        assert processor.elenum == 15
+        assert processor.vlen_bits == 960
+
+    def test_trace_flag(self):
+        program = keccak64_lmul8.build(5)
+        assert make_processor(program, trace=True).stats.records is not None
+        assert make_processor(program, trace=False).stats.records is None
+
+
+class TestRunResult:
+    def test_cycles_per_byte_definition(self):
+        result = RunResult(states=[], stats=None, cycles_per_round=75,
+                           permutation_cycles=1892)
+        assert result.cycles_per_byte == pytest.approx(1892 / 200)
+
+    def test_untraced_run_estimates_from_totals(self, random_states):
+        program = keccak64_lmul8.build(5)
+        result = run_keccak_program(program, random_states(1), trace=False)
+        # Without a trace the per-round figure is total/rounds — close to
+        # but above the body-only number.
+        assert 75 <= result.cycles_per_round < 85
+        assert result.states[0] is not None
+
+    def test_external_processor_reuse(self, random_states):
+        program = keccak64_lmul8.build(5)
+        processor = make_processor(program)
+        states = random_states(1)
+        result = run_keccak_program(program, states, processor=processor)
+        assert result.states[0] == keccak_f1600(states[0])
+
+    def test_empty_state_list(self):
+        program = keccak64_lmul8.build(5)
+        result = run_keccak_program(program, [])
+        assert result.states == []
+        assert result.permutation_cycles == 1892  # latency is SN-free

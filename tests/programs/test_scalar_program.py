@@ -1,0 +1,103 @@
+"""Tests for the scalar (Ibex C-code equivalent) Keccak baseline."""
+
+import pytest
+
+from repro.keccak import KeccakState, keccak_f1600
+from repro.keccak.constants import RHO_OFFSETS
+from repro.programs import scalar_keccak
+from repro.sim import SIMDProcessor
+
+
+def run_baseline(state, trace=False):
+    program = scalar_keccak.build()
+    processor = SIMDProcessor(elen=32, elenum=5, trace=trace)
+    processor.load_program(program.assemble())
+    scalar_keccak.setup_data(processor.memory, state)
+    stats = processor.run()
+    return scalar_keccak.read_state(processor.memory), stats, program
+
+
+class TestCorrectness:
+    def test_random_state(self, random_state):
+        out, _, _ = run_baseline(random_state)
+        assert out == keccak_f1600(random_state)
+
+    def test_zero_state(self):
+        out, _, _ = run_baseline(KeccakState())
+        assert out == keccak_f1600(KeccakState())
+
+    def test_all_ones_state(self):
+        state = KeccakState([(1 << 64) - 1] * 25)
+        out, _, _ = run_baseline(state)
+        assert out == keccak_f1600(state)
+
+    def test_single_bit_states(self):
+        # Diffusion check: a single bit anywhere still permutes correctly.
+        for lane_index in (0, 12, 24):
+            lanes = [0] * 25
+            lanes[lane_index] = 1
+            state = KeccakState(lanes)
+            out, _, _ = run_baseline(state)
+            assert out == keccak_f1600(state), f"lane {lane_index}"
+
+    def test_uses_scalar_instructions_only(self, random_state):
+        _, stats, _ = run_baseline(random_state)
+        vector_mnemonics = [m for m in stats.mnemonic_counts
+                            if m.startswith("v")]
+        assert vector_mnemonics == []
+
+
+class TestPerformance:
+    def test_cycles_per_round_in_paper_regime(self, random_state):
+        """The paper reports 2908 cycles/round for C code on Ibex; our
+        looped table-driven assembly must land in the same regime."""
+        _, stats, program = run_baseline(random_state, trace=True)
+        assembled = program.assemble()
+        body = stats.cycles_in_pc_range(assembled.symbols["round_body"],
+                                        assembled.symbols["round_end"])
+        cycles_per_round = body / 24
+        assert 2000 < cycles_per_round < 3500
+
+    def test_deterministic_cycle_count(self, random_states):
+        a, b = random_states(2)
+        _, stats_a, _ = run_baseline(a)
+        _, stats_b, _ = run_baseline(b)
+        # Data-independent control flow except the rho shift branches,
+        # which depend on the (fixed) offset table only.
+        assert stats_a.cycles == stats_b.cycles
+
+    def test_orders_of_magnitude_slower_than_vector(self, random_state):
+        from repro.programs import keccak64_lmul8, run_keccak_program
+
+        _, stats, _ = run_baseline(random_state)
+        vector = run_keccak_program(keccak64_lmul8.build(5), [random_state])
+        assert stats.cycles > 25 * vector.permutation_cycles
+
+
+class TestTables:
+    def test_rho_offset_table_matches_constants(self):
+        table = scalar_keccak.rho_offset_table()
+        for i, offset in enumerate(table):
+            assert offset == RHO_OFFSETS[i % 5][i // 5]
+
+    def test_pi_destination_table_is_permutation(self):
+        table = scalar_keccak.pi_destination_table()
+        assert sorted(table) == list(range(25))
+
+    def test_pi_destination_matches_reference_pi(self, random_state):
+        from repro.keccak import pi
+
+        table = scalar_keccak.pi_destination_table()
+        scrambled = [0] * 25
+        for i, lane in enumerate(random_state.lanes):
+            scrambled[table[i]] = lane
+        assert KeccakState(scrambled) == pi(random_state)
+
+    def test_setup_data_writes_all_tables(self, random_state):
+        processor = SIMDProcessor(elen=32, elenum=5)
+        scalar_keccak.setup_data(processor.memory, random_state)
+        assert scalar_keccak.read_state(processor.memory) == random_state
+        rc0 = processor.memory.load(scalar_keccak.RC_BASE, 64)
+        assert rc0 == 1  # RC[0]
+        idx1 = processor.memory.load_bytes(scalar_keccak.IDX1_BASE, 5)
+        assert list(idx1) == [1, 2, 3, 4, 0]

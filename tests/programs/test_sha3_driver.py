@@ -1,0 +1,74 @@
+"""Tests for SHA-3 hashing with the simulator as permutation engine."""
+
+import hashlib
+
+import pytest
+
+from repro.programs import (
+    SimulatedPermutation,
+    simulated_sha3_256,
+    simulated_shake128,
+)
+from repro.programs.factory import build_program
+
+
+@pytest.fixture(scope="module")
+def perm64():
+    return SimulatedPermutation(elen=64, lmul=8, elenum=5)
+
+
+@pytest.fixture(scope="module")
+def perm32():
+    return SimulatedPermutation(elen=32, lmul=8, elenum=5)
+
+
+class TestDigestsMatchHashlib:
+    def test_sha3_256_empty(self, perm64):
+        assert simulated_sha3_256(b"", perm64) == \
+            hashlib.sha3_256(b"").digest()
+
+    def test_sha3_256_short_message(self, perm64):
+        message = b"vectorized keccak"
+        assert simulated_sha3_256(message, perm64) == \
+            hashlib.sha3_256(message).digest()
+
+    def test_sha3_256_multi_block(self, perm64):
+        message = bytes(range(256)) + b"x" * 100  # 3 rate blocks
+        assert simulated_sha3_256(message, perm64) == \
+            hashlib.sha3_256(message).digest()
+
+    def test_shake128_output(self, perm64):
+        assert simulated_shake128(b"seed", 300, perm64) == \
+            hashlib.shake_128(b"seed").digest(300)
+
+    def test_32bit_architecture_digests(self, perm32):
+        message = b"32-bit hi/lo split"
+        assert simulated_sha3_256(message, perm32) == \
+            hashlib.sha3_256(message).digest()
+
+    def test_lmul1_program_digests(self):
+        perm = SimulatedPermutation(elen=64, lmul=1, elenum=5)
+        assert simulated_sha3_256(b"lmul1", perm) == \
+            hashlib.sha3_256(b"lmul1").digest()
+
+
+class TestAccounting:
+    def test_call_count_tracks_permutations(self):
+        perm = SimulatedPermutation()
+        simulated_sha3_256(b"", perm)  # 1 block
+        assert perm.call_count == 1
+        simulated_sha3_256(b"x" * 200, perm)  # 2 blocks (136-byte rate)
+        assert perm.call_count == 3
+
+    def test_cycles_accumulate(self):
+        perm = SimulatedPermutation()
+        simulated_sha3_256(b"", perm)
+        first = perm.total_cycles
+        assert first > 1892  # permutation + memory IO
+        simulated_sha3_256(b"", perm)
+        assert perm.total_cycles == 2 * first
+
+    def test_requires_memory_io_program(self):
+        program = build_program(64, 8, 5, include_memory_io=False)
+        with pytest.raises(ValueError, match="memory-IO"):
+            SimulatedPermutation(program=program)

@@ -1,0 +1,80 @@
+"""Tests for the related-work comparison data (paper Section 2.3)."""
+
+import pytest
+
+from repro.related import (
+    ALL_RELATED,
+    DASIP,
+    IBEX_C_CODE,
+    LEON3_ISE,
+    MIPS_COPROCESSOR_ISE,
+    MIPS_NATIVE_ISE,
+    OASIP,
+    RAWAT_VECTOR_EXTENSIONS,
+    TABLE7_RELATED,
+    TABLE8_RELATED,
+)
+
+
+class TestPublishedNumbers:
+    """The exact figures from the paper's Tables 7 and 8."""
+
+    def test_leon3(self):
+        assert LEON3_ISE.cycles_per_byte == 369.0
+        assert LEON3_ISE.throughput_e3 == 21.68
+        assert LEON3_ISE.area_slices == 8648
+
+    def test_mips_native(self):
+        assert MIPS_NATIVE_ISE.cycles_per_byte == 178.1
+        assert MIPS_NATIVE_ISE.throughput_e3 == 44.92
+        assert MIPS_NATIVE_ISE.area_slices == 6595
+
+    def test_mips_coprocessor(self):
+        assert MIPS_COPROCESSOR_ISE.cycles_per_byte == 137.9
+        assert MIPS_COPROCESSOR_ISE.throughput_e3 == 58.01
+        assert MIPS_COPROCESSOR_ISE.area_slices == 7643
+        assert MIPS_COPROCESSOR_ISE.supports_parallelism
+
+    def test_oasip_and_dasip(self):
+        assert OASIP.cycles_per_byte == 291.5
+        assert OASIP.area_slices == 981
+        assert not OASIP.supports_parallelism
+        assert DASIP.cycles_per_byte == 130.4
+        assert DASIP.throughput_e3 == 61.35
+        assert DASIP.area_slices == 1522
+        assert DASIP.supports_parallelism
+
+    def test_rawat(self):
+        assert RAWAT_VECTOR_EXTENSIONS.cycles_per_round == 66.0
+        assert RAWAT_VECTOR_EXTENSIONS.throughput_e3 == 1010.1
+        assert RAWAT_VECTOR_EXTENSIONS.area_slices is None  # simulation only
+
+    def test_ibex_baseline(self):
+        assert IBEX_C_CODE.cycles_per_round == 2908.0
+        assert IBEX_C_CODE.cycles_per_byte == 355.69
+        assert IBEX_C_CODE.throughput_e3 == 22.45
+        assert IBEX_C_CODE.area_slices == 432
+
+
+class TestConsistency:
+    def test_throughput_consistent_with_cycles_per_byte(self):
+        """tput (b/c x10^3) = 8 / (c/b) x10^3 for single-state designs."""
+        for design in (LEON3_ISE, MIPS_NATIVE_ISE, MIPS_COPROCESSOR_ISE,
+                       OASIP, DASIP, IBEX_C_CODE):
+            derived = 8000.0 / design.cycles_per_byte
+            assert derived == pytest.approx(design.throughput_e3, rel=0.01), \
+                design.name
+
+    def test_table_membership(self):
+        assert RAWAT_VECTOR_EXTENSIONS in TABLE7_RELATED
+        assert len(TABLE8_RELATED) == 6
+        assert len(ALL_RELATED) == 7
+
+    def test_all_designs_cited(self):
+        for design in ALL_RELATED:
+            assert design.citation
+            assert design.year >= 2015
+
+    def test_architecture_labels(self):
+        assert RAWAT_VECTOR_EXTENSIONS.architecture == "64-bit"
+        assert all(d.architecture == "32-bit" for d in TABLE8_RELATED)

@@ -1,0 +1,215 @@
+"""Tests for the Zicsr instructions and the vector/counter CSRs."""
+
+import pytest
+
+from repro.assembler import assemble
+from repro.isa import CSR_ADDRESSES, parse_csr
+from repro.isa.csr import csr_name
+from repro.sim import IllegalInstructionError, SIMDProcessor
+
+
+def run(source, **kwargs):
+    processor = SIMDProcessor(**kwargs)
+    processor.load_program(assemble(source))
+    processor.run()
+    return processor
+
+
+class TestCsrAddresses:
+    def test_standard_addresses(self):
+        assert CSR_ADDRESSES["vl"] == 0xC20
+        assert CSR_ADDRESSES["vtype"] == 0xC21
+        assert CSR_ADDRESSES["vlenb"] == 0xC22
+        assert CSR_ADDRESSES["cycle"] == 0xC00
+        assert CSR_ADDRESSES["instret"] == 0xC02
+
+    def test_parse_symbolic_and_numeric(self):
+        assert parse_csr("vl") == 0xC20
+        assert parse_csr("0xC20") == 0xC20
+        assert parse_csr("3104") == 0xC20
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            parse_csr("bogus")
+        with pytest.raises(ValueError):
+            parse_csr("0x10000")
+
+    def test_name_round_trip(self):
+        assert csr_name(0xC20) == "vl"
+        assert csr_name(0x123) == "0x123"
+
+
+class TestVectorCsrs:
+    def test_vl_reflects_vsetvli(self):
+        processor = run("""
+            li s1, 7
+            vsetvli x0, s1, e64, m1, tu, mu
+            csrr t0, vl
+            ecall
+        """, elen=64, elenum=16)
+        assert processor.read_scalar("t0") == 7
+
+    def test_vlenb_is_vlen_bytes(self):
+        processor = run("csrr t0, vlenb\necall", elen=64, elenum=30)
+        assert processor.read_scalar("t0") == 30 * 64 // 8
+
+    def test_vtype_readback(self):
+        from repro.isa.vector import encode_vtype
+
+        processor = run("""
+            li s1, 5
+            vsetvli x0, s1, e32, m8, tu, mu
+            csrr t0, vtype
+            ecall
+        """, elen=32, elenum=5)
+        assert processor.read_scalar("t0") == encode_vtype(32, 8)
+
+    def test_vstart_reads_zero(self):
+        processor = run("csrr t0, vstart\necall")
+        assert processor.read_scalar("t0") == 0
+
+    def test_write_to_read_only_csr_rejected(self):
+        processor = SIMDProcessor()
+        processor.load_program(assemble("li t0, 1\ncsrw vl, t0\necall"))
+        with pytest.raises(IllegalInstructionError, match="read-only"):
+            processor.run()
+
+    def test_csrrs_with_x0_is_pure_read(self):
+        # csrr expands to csrrs rd, csr, x0 — must not count as a write.
+        processor = run("csrr t0, cycle\necall")
+        assert processor.halted
+
+
+class TestCounters:
+    def test_instret_counts_instructions(self):
+        processor = run("""
+            nop
+            nop
+            rdinstret t0
+            ecall
+        """)
+        # Two nops retired before the read (the read itself not yet).
+        assert processor.read_scalar("t0") == 2
+
+    def test_cycle_counts_cycles(self):
+        processor = run("""
+            li t1, 0x100
+            lw t2, 0(t1)
+            rdcycle t0
+            ecall
+        """)
+        # li (1) + lw (2) retired before the read.
+        assert processor.read_scalar("t0") == 3
+
+    def test_self_measured_vector_cost(self):
+        """A program can measure a vector instruction with rdcycle —
+        the delta equals rdcycle (1) + the instruction's cost."""
+        processor = run("""
+            li s1, 5
+            vsetvli x0, s1, e64, m8, tu, mu
+            rdcycle t0
+            vxor.vv v8, v8, v8
+            rdcycle t1
+            sub t2, t1, t0
+            ecall
+        """, elen=64, elenum=5)
+        # vl=5 at m8 -> 1 pass + dispatch = 2 cycles, +1 for the rdcycle.
+        assert processor.read_scalar("t2") == 3
+
+    def test_high_words_zero_for_short_runs(self):
+        processor = run("csrr t0, cycleh\ncsrr t1, instreth\necall")
+        assert processor.read_scalar("t0") == 0
+        assert processor.read_scalar("t1") == 0
+
+    def test_time_aliases_cycle(self):
+        processor = run("""
+            nop
+            csrr t0, time
+            csrr t1, cycle
+            sub t2, t1, t0
+            ecall
+        """)
+        assert processor.read_scalar("t2") == 1  # one csrr in between
+
+
+class TestEncodings:
+    def test_round_trip(self):
+        from repro.isa import ISA, decode_operands, encode_instruction
+
+        spec = ISA.lookup("csrrw")
+        word = encode_instruction(spec, {"rd": 5, "csr": 0xC00, "rs1": 6})
+        assert ISA.find(word).mnemonic == "csrrw"
+        assert decode_operands(word, spec) == \
+            {"rd": 5, "csr": 0xC00, "rs1": 6}
+
+    def test_disassembly_uses_symbolic_names(self):
+        from repro.assembler import disassemble_word
+
+        program = assemble("csrr t0, vl")
+        assert disassemble_word(program.words[0]) == "csrrs t0, vl, zero"
+
+    def test_unimplemented_csr_raises(self):
+        processor = SIMDProcessor()
+        processor.load_program(assemble("csrr t0, 0x555\necall"))
+        with pytest.raises(IllegalInstructionError, match="unimplemented"):
+            processor.run()
+
+
+class TestSelfMeasuredKeccak:
+    def test_program_measures_its_own_permutation(self, random_states):
+        """Wrap the Keccak permutation loop in rdcycle reads: the
+        self-measured cycle count must equal the harness's external
+        accounting (loop cycles + the first rdcycle's own cost)."""
+        from repro.keccak import keccak_f1600
+        from repro.programs import keccak64_lmul8, layout
+        from repro.programs.runner import make_processor
+
+        base = keccak64_lmul8.build(5)
+        source = base.source.replace(
+            "permutation:", "rdcycle s8\npermutation:"
+        ).replace(
+            "    blt s3, s4, permutation\n",
+            "    blt s3, s4, permutation\n"
+            "    rdcycle s9\n    sub s10, s9, s8\n",
+        )
+        from repro.assembler import assemble
+
+        program = assemble(source)
+        processor = make_processor(base, trace=True)
+        processor.load_program(program)
+        states = random_states(1)
+        layout.load_states_regfile64(processor.vector.regfile, states)
+        stats = processor.run()
+        out = layout.read_states_regfile64(processor.vector.regfile, 1)
+        assert out[0] == keccak_f1600(states[0])
+
+        self_measured = processor.read_scalar("s10")
+        loop_start = program.symbols["permutation"]
+        body_end = program.symbols["round_end"]
+        external = stats.cycles_in_pc_range(loop_start, body_end + 8)
+        # The delta is the first rdcycle's own cost (1 cycle), retired
+        # between the two reads.
+        assert self_measured == external + 1
+
+    def test_self_measured_round_against_paper(self, random_states):
+        """Self-measure a single LMUL=8 round from inside the machine:
+        the 75-cycle figure is observable by software, not only by the
+        harness."""
+        from repro.assembler import assemble
+        from repro.programs import keccak64_lmul8, layout
+        from repro.programs.runner import make_processor
+
+        base = keccak64_lmul8.build(5)
+        source = base.source.replace(
+            "round_body:", "rdcycle s8\nround_body:"
+        ).replace(
+            "round_end:", "rdcycle s9\nround_end:\n    sub s10, s9, s8"
+        ).replace("    li s4, 24", "    li s4, 1")  # one round only
+        program = assemble(source)
+        processor = make_processor(base, trace=False)
+        processor.load_program(program)
+        layout.load_states_regfile64(processor.vector.regfile,
+                                     random_states(1))
+        processor.run()
+        # 75-cycle round + 1 cycle for the opening rdcycle itself.
+        assert processor.read_scalar("s10") == 76

@@ -1,0 +1,83 @@
+"""Tests for the calibrated cycle model in isolation."""
+
+import pytest
+
+from repro.sim.cycles import DEFAULT_CYCLE_MODEL, CycleModel
+
+
+class TestCalibration:
+    """The model must reproduce every annotation in Algorithms 2 and 3."""
+
+    def test_lmul1_vector_arith_is_2cc(self):
+        assert DEFAULT_CYCLE_MODEL.vector_arith(1) == 2
+
+    def test_lmul8_five_registers_is_6cc(self):
+        assert DEFAULT_CYCLE_MODEL.vector_arith(5) == 6
+
+    def test_vpi_lmul1_is_3cc(self):
+        assert DEFAULT_CYCLE_MODEL.vector_pi(1) == 3
+
+    def test_vpi_lmul8_is_7cc(self):
+        assert DEFAULT_CYCLE_MODEL.vector_pi(5) == 7
+
+    def test_vsetvli_is_2cc(self):
+        assert DEFAULT_CYCLE_MODEL.vsetvli == 2
+
+    def test_vector_memory_cost(self):
+        assert DEFAULT_CYCLE_MODEL.vector_memory(1) == 3
+        assert DEFAULT_CYCLE_MODEL.vector_memory(5) == 11
+
+    def test_scalar_costs_ibex_like(self):
+        m = DEFAULT_CYCLE_MODEL
+        assert m.scalar_alu == 1
+        assert m.scalar_load == 2
+        assert m.scalar_store == 2
+        assert m.branch_taken == 3
+        assert m.branch_not_taken == 1
+        assert m.jump == 3
+        assert m.scalar_div == 37
+
+    def test_invalid_pass_count(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CYCLE_MODEL.vector_arith(0)
+
+
+class TestAblationKnobs:
+    def test_overridable_dispatch_cost(self):
+        model = CycleModel(vector_dispatch=3)
+        assert model.vector_arith(1) == 4
+        assert model.vector_pi(1) == 5
+
+    def test_model_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CYCLE_MODEL.scalar_alu = 2
+
+    def test_round_cost_formula_lmul1(self):
+        """Algorithm 2 round: 13 theta + 5 rho + 5 pi + 25 chi + 1 iota."""
+        m = DEFAULT_CYCLE_MODEL
+        theta = 13 * m.vector_arith(1)
+        rho = 5 * m.vector_arith(1)
+        pi = 5 * m.vector_pi(1)
+        chi = 25 * m.vector_arith(1)
+        iota = m.vector_arith(1)
+        assert theta + rho + pi + chi + iota == 103
+
+    def test_round_cost_formula_lmul8(self):
+        """Algorithm 3 round: theta at LMUL=1 + grouped rho/pi/chi + iota."""
+        m = DEFAULT_CYCLE_MODEL
+        theta = 13 * m.vector_arith(1)
+        rho = m.vsetvli + m.vector_arith(5)
+        pi = m.vector_pi(5)
+        chi = 5 * m.vector_arith(5)
+        iota = m.vsetvli + m.vector_arith(1)
+        assert theta + rho + pi + chi + iota == 75
+
+    def test_round_cost_formula_32bit(self):
+        """32-bit round: doubled halves + pair rotations + split iota."""
+        m = DEFAULT_CYCLE_MODEL
+        theta = 26 * m.vector_arith(1)
+        rho = m.vsetvli + 2 * m.vector_arith(5)
+        pi = 2 * m.vector_pi(5)
+        chi = 10 * m.vector_arith(5)
+        iota = m.vsetvli + 2 * m.vector_arith(1) + m.scalar_alu
+        assert theta + rho + pi + chi + iota == 147

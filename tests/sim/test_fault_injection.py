@@ -1,0 +1,98 @@
+"""Fault-injection campaign: single-bit flips in the Keccak program.
+
+For each injected fault (one flipped bit in one instruction word of the
+round body), the run must end in one of three observable outcomes:
+
+* ``illegal`` — the corrupted word no longer decodes (or decodes to an
+  instruction that is illegal in the configuration);
+* ``wrong`` — the program completes but the permuted state differs from
+  the reference (the corruption is caught by verification);
+* ``benign`` — the output is still correct (the flip hit a bit that does
+  not affect this program's semantics, e.g. turning an unmasked op into a
+  masked one with an all-ones mask).
+
+What must NEVER happen is a fourth category: a crash of the *simulator
+itself* (Python-level error other than the defined simulation errors).
+"""
+
+import random
+
+import pytest
+
+from repro.assembler.program import AssembledInstruction, Program
+from repro.keccak import KeccakState, keccak_f1600
+from repro.programs import keccak64_lmul8, layout
+from repro.programs.runner import make_processor
+from repro.sim.exceptions import SimulationError
+
+
+def classify(program_words, flip_index, flip_bit, state):
+    """Run the program with one bit flipped; classify the outcome."""
+    base = keccak64_lmul8.build(5)
+    assembled = base.assemble()
+    mutated = Program(
+        base_address=assembled.base_address,
+        symbols=dict(assembled.symbols),
+        instructions=[
+            AssembledInstruction(
+                inst.address,
+                inst.word ^ ((1 << flip_bit) if i == flip_index else 0),
+                inst.mnemonic, inst.source_line, inst.source_text,
+            )
+            for i, inst in enumerate(assembled.instructions)
+        ],
+    )
+    processor = make_processor(base, trace=False)
+    processor.load_program(mutated)
+    layout.load_states_regfile64(processor.vector.regfile, [state])
+    try:
+        processor.run(max_instructions=100_000)
+    except SimulationError:
+        return "illegal"
+    out = layout.read_states_regfile64(processor.vector.regfile, 1)[0]
+    return "benign" if out == keccak_f1600(state) else "wrong"
+
+
+@pytest.fixture(scope="module")
+def campaign_results():
+    rng = random.Random(1234)
+    state = KeccakState([rng.getrandbits(64) for _ in range(25)])
+    assembled = keccak64_lmul8.build(5).assemble()
+    body_start = assembled.symbols["round_body"]
+    body_end = assembled.symbols["round_end"]
+    body_indices = [i for i, inst in enumerate(assembled.instructions)
+                    if body_start <= inst.address < body_end]
+    results = {}
+    # Exhaustive over the round body's instructions, sampled over bits.
+    for index in body_indices:
+        for bit in rng.sample(range(32), 8):
+            results[(index, bit)] = classify(None, index, bit, state)
+    return results
+
+
+class TestFaultInjection:
+    def test_no_simulator_crashes(self, campaign_results):
+        """Every outcome is one of the three defined categories (the
+        classify helper would have raised otherwise)."""
+        assert set(campaign_results.values()) <= \
+            {"illegal", "wrong", "benign"}
+
+    def test_most_faults_are_detected_or_corrupting(self, campaign_results):
+        outcomes = list(campaign_results.values())
+        harmful = sum(1 for o in outcomes if o != "benign")
+        assert harmful / len(outcomes) > 0.7
+
+    def test_some_faults_decode_illegal(self, campaign_results):
+        assert "illegal" in campaign_results.values()
+
+    def test_some_faults_corrupt_silently_at_isa_level(self, campaign_results):
+        """Some flips stay decodable but corrupt the state — exactly why
+        the harness verifies every run against the reference."""
+        assert "wrong" in campaign_results.values()
+
+    def test_opcode_bit_flips_usually_illegal_or_wrong(self):
+        rng = random.Random(7)
+        state = KeccakState([rng.getrandbits(64) for _ in range(25)])
+        outcomes = [classify(None, 10, bit, state) for bit in range(7)]
+        assert all(o in ("illegal", "wrong", "benign") for o in outcomes)
+        assert outcomes.count("benign") <= 2

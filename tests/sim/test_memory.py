@@ -1,0 +1,86 @@
+"""Tests for the data memory."""
+
+import pytest
+
+from repro.sim import DataMemory, MemoryAccessError
+
+
+class TestTypedAccess:
+    def test_store_load_widths(self):
+        mem = DataMemory(1024)
+        mem.store(0, 8, 0xAB)
+        mem.store(2, 16, 0xCDEF)
+        mem.store(4, 32, 0x01234567)
+        mem.store(8, 64, 0x0123456789ABCDEF)
+        assert mem.load(0, 8) == 0xAB
+        assert mem.load(2, 16) == 0xCDEF
+        assert mem.load(4, 32) == 0x01234567
+        assert mem.load(8, 64) == 0x0123456789ABCDEF
+
+    def test_little_endian_layout(self):
+        mem = DataMemory(16)
+        mem.store(0, 32, 0x01020304)
+        assert mem.load(0, 8) == 0x04
+        assert mem.load(3, 8) == 0x01
+
+    def test_signed_load(self):
+        mem = DataMemory(16)
+        mem.store(0, 8, 0xFF)
+        assert mem.load(0, 8, signed=True) == -1
+        assert mem.load(0, 8, signed=False) == 255
+        mem.store(4, 16, 0x8000)
+        assert mem.load(4, 16, signed=True) == -32768
+
+    def test_store_truncates_to_width(self):
+        mem = DataMemory(16)
+        mem.store(0, 8, 0x1FF)
+        assert mem.load(0, 8) == 0xFF
+        assert mem.load(1, 8) == 0
+
+    def test_unsupported_width(self):
+        mem = DataMemory(16)
+        with pytest.raises(ValueError):
+            mem.load(0, 24)
+        with pytest.raises(ValueError):
+            mem.store(0, 48, 0)
+
+
+class TestBounds:
+    def test_out_of_range_load(self):
+        mem = DataMemory(16)
+        with pytest.raises(MemoryAccessError):
+            mem.load(16, 8)
+        with pytest.raises(MemoryAccessError):
+            mem.load(13, 32)
+
+    def test_negative_address(self):
+        with pytest.raises(MemoryAccessError):
+            DataMemory(16).load(-1, 8)
+
+    def test_boundary_access_ok(self):
+        mem = DataMemory(16)
+        mem.store(8, 64, 0)  # last valid 8-byte slot
+        assert mem.load(8, 64) == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            DataMemory(0)
+
+
+class TestBulkAccess:
+    def test_bytes_round_trip(self):
+        mem = DataMemory(64)
+        mem.store_bytes(10, b"hello")
+        assert mem.load_bytes(10, 5) == b"hello"
+
+    def test_bulk_bounds(self):
+        mem = DataMemory(16)
+        with pytest.raises(MemoryAccessError):
+            mem.store_bytes(12, b"too long!")
+
+    def test_clear(self):
+        mem = DataMemory(16)
+        mem.store(0, 32, 0xFFFFFFFF)
+        mem.clear()
+        assert mem.load(0, 32) == 0
+        assert mem.size == 16

@@ -1,0 +1,271 @@
+"""Tests for the top-level SIMD processor (fetch/decode/dispatch loop)."""
+
+import pytest
+
+from repro.assembler import assemble
+from repro.sim import (
+    DEFAULT_CYCLE_MODEL,
+    CycleModel,
+    ExecutionLimitExceeded,
+    IllegalInstructionError,
+    ProcessorHalted,
+    SIMDProcessor,
+)
+
+
+def run_source(source, proc=None, **kwargs):
+    proc = proc or SIMDProcessor(**kwargs)
+    proc.load_program(assemble(source))
+    stats = proc.run()
+    return proc, stats
+
+
+class TestBasicExecution:
+    def test_simple_program(self):
+        proc, stats = run_source("""
+            li t0, 5
+            li t1, 7
+            add t2, t0, t1
+            ecall
+        """)
+        assert proc.read_scalar("t2") == 12
+        assert proc.halted
+        assert stats.instructions == 4
+
+    def test_loop(self):
+        proc, _ = run_source("""
+            li t0, 0
+            li t1, 10
+        loop:
+            addi t0, t0, 1
+            blt t0, t1, loop
+            ecall
+        """)
+        assert proc.read_scalar("t0") == 10
+
+    def test_memory_program(self):
+        proc, _ = run_source("""
+            li t0, 0x100
+            li t1, 42
+            sw t1, 0(t0)
+            lw t2, 4(t0)
+            lw t3, 0(t0)
+            ecall
+        """)
+        assert proc.read_scalar("t3") == 42
+        assert proc.read_scalar("t2") == 0
+
+    def test_function_call_and_return(self):
+        proc, _ = run_source("""
+            li a0, 3
+            call double
+            mv s0, a0
+            ecall
+        double:
+            add a0, a0, a0
+            ret
+        """)
+        assert proc.read_scalar("s0") == 6
+
+    def test_fetch_outside_program(self):
+        proc = SIMDProcessor()
+        proc.load_program(assemble("nop"))  # runs off the end
+        with pytest.raises(IllegalInstructionError, match="fetch"):
+            proc.run()
+
+    def test_instruction_limit(self):
+        proc = SIMDProcessor()
+        proc.load_program(assemble("spin:\nj spin"))
+        with pytest.raises(ExecutionLimitExceeded):
+            proc.run(max_instructions=100)
+
+    def test_cycle_limit(self):
+        proc = SIMDProcessor()
+        proc.load_program(assemble("spin:\nj spin"))
+        with pytest.raises(ExecutionLimitExceeded):
+            proc.run(max_cycles=50)
+
+    def test_step_after_halt_rejected(self):
+        proc, _ = run_source("ecall")
+        with pytest.raises(ProcessorHalted):
+            proc.step()
+
+    def test_symbol_lookup(self):
+        proc = SIMDProcessor()
+        proc.load_program(assemble("nop\nhere:\necall"))
+        assert proc.symbol("here") == 4
+
+    def test_symbol_without_program(self):
+        with pytest.raises(ValueError):
+            SIMDProcessor().symbol("x")
+
+
+class TestVsetvli:
+    def test_sets_vl_from_register(self):
+        proc, _ = run_source("""
+            li s1, 5
+            vsetvli t0, s1, e64, m1, tu, mu
+            ecall
+        """, elen=64, elenum=16)
+        assert proc.read_scalar("t0") == 5
+        assert proc.vector.vl == 5
+        assert proc.vector.sew == 64
+        assert proc.vector.lmul == 1
+
+    def test_vl_clamped_to_vlmax(self):
+        proc, _ = run_source("""
+            li s1, 99
+            vsetvli t0, s1, e64, m1, tu, mu
+            ecall
+        """, elen=64, elenum=16)
+        assert proc.read_scalar("t0") == 16
+
+    def test_rs1_x0_rd_nonzero_requests_vlmax(self):
+        proc, _ = run_source("""
+            vsetvli t0, x0, e64, m8, tu, mu
+            ecall
+        """, elen=64, elenum=16)
+        assert proc.read_scalar("t0") == 128
+
+    def test_rs1_x0_rd_x0_keeps_vl(self):
+        proc, _ = run_source("""
+            li s1, 5
+            vsetvli x0, s1, e64, m1, tu, mu
+            vsetvli x0, x0, e64, m8, tu, mu
+            ecall
+        """, elen=64, elenum=16)
+        assert proc.vector.vl == 5
+        assert proc.vector.lmul == 8
+
+    def test_vsetvli_costs_2_cycles(self):
+        proc = SIMDProcessor(elen=64, elenum=16)
+        proc.load_program(assemble("vsetvli x0, x0, e64, m1, tu, mu\necall"))
+        cycles = proc.step()
+        assert cycles == 2
+
+
+class TestVectorDispatch:
+    def test_vector_program_end_to_end(self):
+        proc, _ = run_source("""
+            li s1, 4
+            vsetvli x0, s1, e64, m1, tu, mu
+            li a0, 0x100
+            li a1, 0x200
+            vle64.v v1, (a0)
+            vxor.vv v2, v1, v1
+            vse64.v v2, (a1)
+            ecall
+        """, elen=64, elenum=4)
+        assert proc.memory.load_bytes(0x200, 32) == b"\x00" * 32
+
+    def test_scalar_value_feeds_vector_unit(self):
+        proc = SIMDProcessor(elen=64, elenum=5)
+        proc.load_program(assemble("""
+            li s1, 5
+            vsetvli x0, s1, e64, m1, tu, mu
+            li s2, -1
+            vxor.vx v2, v1, s2
+            ecall
+        """))
+        proc.run()
+        assert proc.vector.regfile.read_elements(2, 64) == \
+            [(1 << 64) - 1] * 5
+
+
+class TestStatistics:
+    def test_mnemonic_histogram(self):
+        _, stats = run_source("""
+            li t0, 1
+            li t1, 2
+            add t2, t0, t1
+            ecall
+        """)
+        assert stats.mnemonic_counts["addi"] == 2
+        assert stats.mnemonic_counts["add"] == 1
+        assert stats.mnemonic_counts["ecall"] == 1
+
+    def test_cycle_accounting(self):
+        _, stats = run_source("""
+            li t0, 0x100
+            lw t1, 0(t0)
+            ecall
+        """)
+        # addi(1) + lw(2) + ecall(1)
+        assert stats.cycles == 4
+
+    def test_trace_records(self):
+        proc = SIMDProcessor(trace=True)
+        proc.load_program(assemble("nop\nnop\necall"))
+        stats = proc.run()
+        assert len(stats.records) == 3
+        assert [r.pc for r in stats.records] == [0, 4, 8]
+
+    def test_pc_range_queries(self):
+        proc = SIMDProcessor(trace=True)
+        proc.load_program(assemble("nop\nnop\nnop\necall"))
+        stats = proc.run()
+        assert stats.cycles_in_pc_range(4, 12) == 2
+        assert stats.instructions_in_pc_range(0, 8) == 2
+
+    def test_pc_range_requires_trace(self):
+        proc = SIMDProcessor(trace=False)
+        proc.load_program(assemble("ecall"))
+        stats = proc.run()
+        with pytest.raises(ValueError, match="trace"):
+            stats.cycles_in_pc_range(0, 4)
+
+    def test_reset_stats(self):
+        proc, stats = run_source("nop\necall")
+        assert stats.instructions == 2
+        proc.reset_stats()
+        assert proc.stats.instructions == 0
+
+    def test_summary_renders(self):
+        _, stats = run_source("nop\necall")
+        text = stats.summary()
+        assert "instructions retired: 2" in text
+        assert "addi" in text
+
+
+class TestConfiguration:
+    def test_elen_validation(self):
+        with pytest.raises(ValueError):
+            SIMDProcessor(elen=16)
+
+    def test_elenum_validation(self):
+        with pytest.raises(ValueError):
+            SIMDProcessor(elenum=0)
+
+    def test_vlen_derived(self):
+        proc = SIMDProcessor(elen=64, elenum=30)
+        assert proc.vlen_bits == 1920
+
+    def test_custom_cycle_model(self):
+        model = CycleModel(scalar_alu=5)
+        proc = SIMDProcessor(cycle_model=model)
+        proc.load_program(assemble("nop\necall"))
+        assert proc.step() == 5
+
+    def test_default_cycle_model_values(self):
+        assert DEFAULT_CYCLE_MODEL.vsetvli == 2
+        assert DEFAULT_CYCLE_MODEL.vector_dispatch == 1
+        assert DEFAULT_CYCLE_MODEL.vpi_extra == 1
+        assert DEFAULT_CYCLE_MODEL.branch_taken == 3
+
+
+class TestReservedVtype:
+    def test_reserved_vtype_is_illegal_instruction(self):
+        """Regression: a reserved vtype encoding (e.g. fractional LMUL)
+        must fault as an illegal instruction, not leak a ValueError —
+        found by the fault-injection campaign."""
+        from repro.isa import ISA, encode_instruction
+
+        proc = SIMDProcessor(elen=64, elenum=5)
+        spec = ISA.lookup("vsetvli")
+        word = encode_instruction(spec, {"rd": 0, "rs1": 9,
+                                         "vtype": 0b111})  # vlmul=7
+        program = assemble("nop")
+        program.instructions[0].word = word
+        proc.load_program(program)
+        with pytest.raises(IllegalInstructionError, match="vtype"):
+            proc.step()

@@ -1,0 +1,242 @@
+"""Tests for the scalar (Ibex-like) core's instruction semantics and timing."""
+
+import pytest
+
+from repro.isa import ISA
+from repro.sim import DataMemory, ProcessorHalted
+from repro.sim.scalar_core import ScalarCore
+
+
+@pytest.fixture
+def core():
+    return ScalarCore(DataMemory(4096))
+
+
+def run(core, mnemonic, **ops):
+    return core.execute(ISA.lookup(mnemonic), ops)
+
+
+class TestRegisters:
+    def test_x0_reads_zero(self, core):
+        core.write_register(0, 12345)
+        assert core.read_register(0) == 0
+
+    def test_writes_masked_to_32_bits(self, core):
+        core.write_register(5, 1 << 35 | 7)
+        assert core.read_register(5) == 7
+
+    def test_out_of_range(self, core):
+        from repro.sim.exceptions import IllegalInstructionError
+
+        with pytest.raises(IllegalInstructionError):
+            core.read_register(32)
+
+
+class TestArithmetic:
+    def test_add_wraps(self, core):
+        core.write_register(1, 0xFFFFFFFF)
+        core.write_register(2, 1)
+        run(core, "add", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 0
+
+    def test_sub(self, core):
+        core.write_register(1, 5)
+        core.write_register(2, 7)
+        run(core, "sub", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 0xFFFFFFFE  # -2
+
+    def test_slt_signed(self, core):
+        core.write_register(1, 0xFFFFFFFF)  # -1
+        core.write_register(2, 1)
+        run(core, "slt", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 1
+
+    def test_sltu_unsigned(self, core):
+        core.write_register(1, 0xFFFFFFFF)
+        core.write_register(2, 1)
+        run(core, "sltu", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 0
+
+    def test_logical_ops(self, core):
+        core.write_register(1, 0b1100)
+        core.write_register(2, 0b1010)
+        run(core, "and", rd=3, rs1=1, rs2=2)
+        run(core, "or", rd=4, rs1=1, rs2=2)
+        run(core, "xor", rd=5, rs1=1, rs2=2)
+        assert core.read_register(3) == 0b1000
+        assert core.read_register(4) == 0b1110
+        assert core.read_register(5) == 0b0110
+
+    def test_shifts_use_low_5_bits(self, core):
+        core.write_register(1, 1)
+        core.write_register(2, 33)
+        run(core, "sll", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 2
+
+    def test_sra_sign_extends(self, core):
+        core.write_register(1, 0x80000000)
+        core.write_register(2, 4)
+        run(core, "sra", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 0xF8000000
+
+    def test_srl_zero_extends(self, core):
+        core.write_register(1, 0x80000000)
+        core.write_register(2, 4)
+        run(core, "srl", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 0x08000000
+
+    def test_immediates(self, core):
+        core.write_register(1, 10)
+        run(core, "addi", rd=2, rs1=1, imm=-3)
+        assert core.read_register(2) == 7
+        run(core, "xori", rd=3, rs1=1, imm=-1)  # NOT
+        assert core.read_register(3) == ~10 & 0xFFFFFFFF
+        run(core, "srai", rd=4, rs1=1, shamt=1)
+        assert core.read_register(4) == 5
+
+
+class TestMultiplyDivide:
+    def test_mul_low(self, core):
+        core.write_register(1, 0x10000)
+        core.write_register(2, 0x10000)
+        run(core, "mul", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 0
+
+    def test_mulh_signed(self, core):
+        core.write_register(1, 0xFFFFFFFF)  # -1
+        core.write_register(2, 0xFFFFFFFF)  # -1
+        run(core, "mulh", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 0  # (-1)*(-1) = 1, high = 0
+
+    def test_mulhu_unsigned(self, core):
+        core.write_register(1, 0xFFFFFFFF)
+        core.write_register(2, 0xFFFFFFFF)
+        run(core, "mulhu", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 0xFFFFFFFE
+
+    def test_div_truncates_toward_zero(self, core):
+        core.write_register(1, (-7) & 0xFFFFFFFF)
+        core.write_register(2, 2)
+        run(core, "div", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == (-3) & 0xFFFFFFFF
+
+    def test_div_by_zero_riscv_semantics(self, core):
+        core.write_register(1, 42)
+        core.write_register(2, 0)
+        run(core, "div", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 0xFFFFFFFF
+        run(core, "rem", rd=4, rs1=1, rs2=2)
+        assert core.read_register(4) == 42
+
+    def test_div_overflow_case(self, core):
+        core.write_register(1, 0x80000000)  # INT_MIN
+        core.write_register(2, 0xFFFFFFFF)  # -1
+        run(core, "div", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == 0x80000000
+        run(core, "rem", rd=4, rs1=1, rs2=2)
+        assert core.read_register(4) == 0
+
+    def test_rem_sign_follows_dividend(self, core):
+        core.write_register(1, (-7) & 0xFFFFFFFF)
+        core.write_register(2, 2)
+        run(core, "rem", rd=3, rs1=1, rs2=2)
+        assert core.read_register(3) == (-1) & 0xFFFFFFFF
+
+
+class TestMemoryInstructions:
+    def test_word_round_trip(self, core):
+        core.write_register(1, 100)
+        core.write_register(2, 0xDEADBEEF)
+        run(core, "sw", rs2=2, rs1=1, imm=4)
+        run(core, "lw", rd=3, rs1=1, imm=4)
+        assert core.read_register(3) == 0xDEADBEEF
+
+    def test_byte_sign_extension(self, core):
+        core.write_register(1, 0)
+        core.write_register(2, 0x80)
+        run(core, "sb", rs2=2, rs1=1, imm=0)
+        run(core, "lb", rd=3, rs1=1, imm=0)
+        assert core.read_register(3) == 0xFFFFFF80
+        run(core, "lbu", rd=4, rs1=1, imm=0)
+        assert core.read_register(4) == 0x80
+
+    def test_half_access(self, core):
+        core.write_register(1, 8)
+        core.write_register(2, 0xFFFF8001)
+        run(core, "sh", rs2=2, rs1=1, imm=0)
+        run(core, "lhu", rd=3, rs1=1, imm=0)
+        assert core.read_register(3) == 0x8001
+        run(core, "lh", rd=4, rs1=1, imm=0)
+        assert core.read_register(4) == 0xFFFF8001
+
+    def test_negative_offset(self, core):
+        core.write_register(1, 16)
+        core.write_register(2, 7)
+        run(core, "sw", rs2=2, rs1=1, imm=-8)
+        assert core.memory.load(8, 32) == 7
+
+    def test_load_store_cycle_costs(self, core):
+        core.write_register(1, 0)
+        cycles, _ = run(core, "lw", rd=2, rs1=1, imm=0)
+        assert cycles == core.cycle_model.scalar_load == 2
+        cycles, _ = run(core, "sw", rs2=2, rs1=1, imm=0)
+        assert cycles == core.cycle_model.scalar_store == 2
+
+
+class TestControlFlow:
+    def test_branch_taken_returns_target(self, core):
+        core.pc = 0x100
+        core.write_register(1, 1)
+        core.write_register(2, 2)
+        cycles, target = run(core, "blt", rs1=1, rs2=2, offset=-0x20)
+        assert target == 0xE0
+        assert cycles == core.cycle_model.branch_taken == 3
+
+    def test_branch_not_taken(self, core):
+        core.pc = 0x100
+        cycles, target = run(core, "bne", rs1=0, rs2=0, offset=8)
+        assert target is None
+        assert cycles == core.cycle_model.branch_not_taken == 1
+
+    def test_unsigned_branches(self, core):
+        core.write_register(1, 0xFFFFFFFF)
+        core.write_register(2, 1)
+        _, target = run(core, "bltu", rs1=2, rs2=1, offset=8)
+        assert target is not None  # 1 < 0xFFFFFFFF unsigned
+        _, target = run(core, "bgeu", rs1=1, rs2=2, offset=8)
+        assert target is not None
+
+    def test_jal_links_return_address(self, core):
+        core.pc = 0x40
+        cycles, target = run(core, "jal", rd=1, offset=0x100)
+        assert target == 0x140
+        assert core.read_register(1) == 0x44
+        assert cycles == core.cycle_model.jump
+
+    def test_jalr_clears_low_bit(self, core):
+        core.pc = 0
+        core.write_register(1, 0x101)
+        _, target = run(core, "jalr", rd=2, rs1=1, imm=0)
+        assert target == 0x100
+
+    def test_lui_auipc(self, core):
+        core.pc = 0x1000
+        run(core, "lui", rd=1, imm=0x12345)
+        assert core.read_register(1) == 0x12345000
+        run(core, "auipc", rd=2, imm=1)
+        assert core.read_register(2) == 0x2000
+
+    def test_ecall_halts(self, core):
+        with pytest.raises(ProcessorHalted):
+            run(core, "ecall")
+
+    def test_fence_is_noop(self, core):
+        cycles, target = run(core, "fence")
+        assert target is None
+        assert cycles == 1
+
+    def test_vector_instruction_rejected(self, core):
+        from repro.sim.exceptions import IllegalInstructionError
+
+        with pytest.raises(IllegalInstructionError):
+            run(core, "vxor.vv", vd=0, vs2=0, vs1=0, vm=1)

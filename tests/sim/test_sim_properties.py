@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) for the simulator's vector unit.
+
+The oracle for every property is either the NIST-checked reference step
+mapping or a direct Python model of the element-wise semantics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assembler import assemble
+from repro.isa import ISA, decode_operands
+from repro.isa.vector import encode_vtype
+from repro.keccak import KeccakState, chi, keccak_round, pi, rho, theta
+from repro.keccak.constants import rotl64
+from repro.programs import layout
+from repro.sim import DataMemory, VectorUnit
+
+lane64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+lanes25 = st.lists(lane64, min_size=25, max_size=25)
+elements5 = st.lists(lane64, min_size=5, max_size=5)
+
+
+def make_unit(elen=64, elenum=5):
+    unit = VectorUnit(elen * elenum, DataMemory(1 << 12))
+    unit.configure(elenum, encode_vtype(elen, 1))
+    return unit
+
+
+def execute(unit, text, scalars=None):
+    word = assemble(text).words[0]
+    spec = ISA.find(word)
+    ops = decode_operands(word, spec)
+    values = scalars or {}
+    return unit.execute(spec, ops, lambda n: values.get(n, 0))
+
+
+@given(values=elements5,
+       offset=st.integers(min_value=0, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_slide_down_then_up_is_identity(values, offset):
+    unit = make_unit()
+    unit.regfile.write_elements(5, 64, values)
+    execute(unit, f"vslidedownm.vi v6, v5, {offset}")
+    execute(unit, f"vslideupm.vi v7, v6, {offset}")
+    assert unit.regfile.read_elements(7, 64) == values
+
+
+@given(values=elements5,
+       a=st.integers(min_value=0, max_value=4),
+       b=st.integers(min_value=0, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_slides_compose_modulo_five(values, a, b):
+    unit = make_unit()
+    unit.regfile.write_elements(5, 64, values)
+    execute(unit, f"vslidedownm.vi v6, v5, {a}")
+    execute(unit, f"vslidedownm.vi v7, v6, {b}")
+    execute(unit, f"vslidedownm.vi v8, v5, {(a + b) % 5}")
+    assert unit.regfile.read_elements(7, 64) == \
+        unit.regfile.read_elements(8, 64)
+
+
+@given(values=elements5,
+       amount=st.integers(min_value=0, max_value=31))
+@settings(max_examples=40, deadline=None)
+def test_vrotup_matches_rotl64(values, amount):
+    unit = make_unit()
+    unit.regfile.write_elements(5, 64, values)
+    execute(unit, f"vrotup.vi v6, v5, {amount}")
+    assert unit.regfile.read_elements(6, 64) == \
+        [rotl64(v, amount) for v in values]
+
+
+@given(lanes=lanes25)
+@settings(max_examples=20, deadline=None)
+def test_v64rho_vpi_match_reference_composition(lanes):
+    state = KeccakState(lanes)
+    unit = make_unit(elenum=5)
+    layout.load_states_regfile64(unit.regfile, [state])
+    unit.configure(25, encode_vtype(64, 8))
+    execute(unit, "v64rho.vi v0, v0, -1")
+    execute(unit, "vpi.vi v8, v0, -1")
+    unit.configure(5, encode_vtype(64, 1))
+    out = layout.read_states_regfile64(unit.regfile, 1, base_reg=8)[0]
+    assert out == pi(rho(state))
+
+
+@given(lanes=lanes25)
+@settings(max_examples=20, deadline=None)
+def test_fused_vrhopi_equals_separate_instructions(lanes):
+    state = KeccakState(lanes)
+    unit = make_unit(elenum=5)
+    layout.load_states_regfile64(unit.regfile, [state])
+    unit.configure(25, encode_vtype(64, 8))
+    execute(unit, "vrhopi.vi v8, v0, -1")
+    unit.configure(5, encode_vtype(64, 1))
+    out = layout.read_states_regfile64(unit.regfile, 1, base_reg=8)[0]
+    assert out == pi(rho(state))
+
+
+@given(lanes=lanes25)
+@settings(max_examples=20, deadline=None)
+def test_vchi_matches_reference_chi(lanes):
+    state = KeccakState(lanes)
+    unit = make_unit(elenum=5)
+    layout.load_states_regfile64(unit.regfile, [state])
+    unit.configure(25, encode_vtype(64, 8))
+    execute(unit, "vchi.vi v8, v0, 0")
+    unit.configure(5, encode_vtype(64, 1))
+    out = layout.read_states_regfile64(unit.regfile, 1, base_reg=8)[0]
+    assert out == chi(state)
+
+
+@given(lanes=lanes25, round_index=st.integers(min_value=0, max_value=23))
+@settings(max_examples=10, deadline=None)
+def test_single_round_sequence_matches_reference(lanes, round_index):
+    """theta (via xors/slides/rot) + rho + pi + chi + iota, one round."""
+    state = KeccakState(lanes)
+    unit = make_unit(elenum=5)
+    layout.load_states_regfile64(unit.regfile, [state])
+
+    # theta, exactly as Algorithm 2.
+    for line in (
+        "vxor.vv v5, v3, v4", "vxor.vv v6, v1, v2", "vxor.vv v7, v0, v6",
+        "vxor.vv v5, v5, v7", "vslideupm.vi v6, v5, 1",
+        "vslidedownm.vi v7, v5, 1", "vrotup.vi v7, v7, 1",
+        "vxor.vv v5, v6, v7", "vxor.vv v0, v0, v5", "vxor.vv v1, v1, v5",
+        "vxor.vv v2, v2, v5", "vxor.vv v3, v3, v5", "vxor.vv v4, v4, v5",
+    ):
+        execute(unit, line)
+    after_theta = layout.read_states_regfile64(unit.regfile, 1)[0]
+    assert after_theta == theta(state)
+
+    unit.configure(25, encode_vtype(64, 8))
+    execute(unit, "v64rho.vi v0, v0, -1")
+    execute(unit, "vpi.vi v8, v0, -1")
+    execute(unit, "vchi.vi v0, v8, 0")
+    unit.configure(5, encode_vtype(64, 1))
+    execute(unit, "viota.vx v0, v0, s3", scalars={19: round_index})
+    out = layout.read_states_regfile64(unit.regfile, 1)[0]
+    assert out == keccak_round(state, round_index)
+
+
+@given(a=elements5, b=elements5)
+@settings(max_examples=40, deadline=None)
+def test_vector_xor_is_involution(a, b):
+    unit = make_unit()
+    unit.regfile.write_elements(1, 64, a)
+    unit.regfile.write_elements(2, 64, b)
+    execute(unit, "vxor.vv v3, v1, v2")
+    execute(unit, "vxor.vv v4, v3, v2")
+    assert unit.regfile.read_elements(4, 64) == a
+
+
+@given(values=elements5, mask=st.integers(min_value=0, max_value=31))
+@settings(max_examples=40, deadline=None)
+def test_masking_touches_exactly_the_masked_elements(values, mask):
+    unit = make_unit()
+    unit.regfile.write_raw(0, mask)
+    unit.regfile.write_elements(1, 64, values)
+    unit.regfile.write_elements(2, 64, [0xAA] * 5)
+    unit.regfile.write_elements(3, 64, [7] * 5)
+    execute(unit, "vxor.vv v3, v1, v2, v0.t")
+    out = unit.regfile.read_elements(3, 64)
+    for i in range(5):
+        if (mask >> i) & 1:
+            assert out[i] == values[i] ^ 0xAA
+        else:
+            assert out[i] == 7
+
+
+@given(lanes=lanes25)
+@settings(max_examples=15, deadline=None)
+def test_32bit_halves_roundtrip_through_regfile(lanes):
+    state = KeccakState(lanes)
+    unit = make_unit(elen=32, elenum=5)
+    layout.load_states_regfile32(unit.regfile, [state])
+    assert layout.read_states_regfile32(unit.regfile, 1)[0] == state
+
+
+@given(lanes=lanes25)
+@settings(max_examples=15, deadline=None)
+def test_32bit_rho_pair_matches_reference(lanes):
+    state = KeccakState(lanes)
+    unit = make_unit(elen=32, elenum=5)
+    layout.load_states_regfile32(unit.regfile, [state])
+    unit.configure(25, encode_vtype(32, 8))
+    execute(unit, "v32lrho.vv v8, v16, v0")
+    execute(unit, "v32hrho.vv v24, v16, v0")
+    unit.configure(5, encode_vtype(32, 1))
+    out = layout.read_states_regfile32(unit.regfile, 1,
+                                       lo_base=8, hi_base=24)[0]
+    assert out == rho(state)

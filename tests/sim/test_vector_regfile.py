@@ -1,0 +1,120 @@
+"""Tests for the vector register file (paper Fig. 4)."""
+
+import pytest
+
+from repro.sim import NUM_VECTOR_REGISTERS, VectorRegfile
+from repro.sim.exceptions import IllegalInstructionError
+
+
+@pytest.fixture
+def regfile():
+    return VectorRegfile(vlen_bits=320)  # EleNum=5 at SEW=64
+
+
+class TestElementAccess:
+    def test_round_trip(self, regfile):
+        regfile.set_element(3, 2, 64, 0xDEADBEEFCAFEBABE)
+        assert regfile.get_element(3, 2, 64) == 0xDEADBEEFCAFEBABE
+
+    def test_elements_per_register(self, regfile):
+        assert regfile.elements_per_register(64) == 5
+        assert regfile.elements_per_register(32) == 10
+
+    def test_sew_must_divide_vlen(self, regfile):
+        with pytest.raises(IllegalInstructionError):
+            regfile.elements_per_register(48)
+
+    def test_element_independence(self, regfile):
+        regfile.set_element(0, 0, 64, 0xAAAA)
+        regfile.set_element(0, 1, 64, 0xBBBB)
+        assert regfile.get_element(0, 0, 64) == 0xAAAA
+        assert regfile.get_element(0, 1, 64) == 0xBBBB
+
+    def test_value_truncated_to_sew(self, regfile):
+        regfile.set_element(0, 0, 32, 0x1FFFFFFFF)
+        assert regfile.get_element(0, 0, 32) == 0xFFFFFFFF
+        assert regfile.get_element(0, 1, 32) == 0
+
+    def test_index_bounds(self, regfile):
+        with pytest.raises(IllegalInstructionError):
+            regfile.get_element(0, 5, 64)
+        with pytest.raises(IllegalInstructionError):
+            regfile.set_element(0, -1, 64, 0)
+
+    def test_register_bounds(self, regfile):
+        with pytest.raises(IllegalInstructionError):
+            regfile.get_element(32, 0, 64)
+
+
+class TestSewReinterpretation:
+    """The same bits viewed at 32-bit and 64-bit granularity (hi/lo split)."""
+
+    def test_64_bit_element_is_two_32_bit_elements(self, regfile):
+        regfile.set_element(1, 0, 64, 0x0123456789ABCDEF)
+        assert regfile.get_element(1, 0, 32) == 0x89ABCDEF  # low half first
+        assert regfile.get_element(1, 1, 32) == 0x01234567
+
+    def test_32_bit_writes_compose_64_bit_element(self, regfile):
+        regfile.set_element(2, 0, 32, 0xCDEF)
+        regfile.set_element(2, 1, 32, 0xAB)
+        assert regfile.get_element(2, 0, 64) == 0xAB_0000CDEF
+
+
+class TestGroupAccess:
+    def test_group_element_spans_registers(self, regfile):
+        # Element 7 of the group at base 8 lives in register 9, slot 2.
+        regfile.set_group_element(8, 7, 64, 0x77)
+        assert regfile.get_element(9, 2, 64) == 0x77
+        assert regfile.get_group_element(8, 7, 64) == 0x77
+
+    def test_group_wraps_at_register_boundary(self, regfile):
+        regfile.set_group_element(0, 4, 64, 1)
+        regfile.set_group_element(0, 5, 64, 2)
+        assert regfile.get_element(0, 4, 64) == 1
+        assert regfile.get_element(1, 0, 64) == 2
+
+
+class TestBulkAccess:
+    def test_read_write_elements(self, regfile):
+        values = [10, 20, 30, 40, 50]
+        regfile.write_elements(4, 64, values)
+        assert regfile.read_elements(4, 64) == values
+
+    def test_write_elements_length_checked(self, regfile):
+        with pytest.raises(ValueError):
+            regfile.write_elements(0, 64, [1, 2, 3])
+
+    def test_raw_round_trip(self, regfile):
+        regfile.write_raw(7, (1 << 320) - 1)
+        assert regfile.read_raw(7) == (1 << 320) - 1
+
+    def test_raw_write_masks_to_vlen(self, regfile):
+        regfile.write_raw(7, 1 << 320)
+        assert regfile.read_raw(7) == 0
+
+    def test_clear(self, regfile):
+        regfile.write_raw(5, 123)
+        regfile.clear()
+        assert all(regfile.read_raw(r) == 0
+                   for r in range(NUM_VECTOR_REGISTERS))
+
+
+class TestMaskBits:
+    def test_mask_bit_reads_v0(self, regfile):
+        regfile.write_raw(0, 0b1011)
+        assert regfile.mask_bit(0) == 1
+        assert regfile.mask_bit(1) == 1
+        assert regfile.mask_bit(2) == 0
+        assert regfile.mask_bit(3) == 1
+
+
+class TestConstruction:
+    def test_vlen_validation(self):
+        with pytest.raises(ValueError):
+            VectorRegfile(4)
+
+    def test_non_power_of_two_vlen_supported(self):
+        # The paper's EleNum=5/15/30 give non-power-of-2 VLEN; the
+        # simulator deliberately allows this (documented deviation).
+        regfile = VectorRegfile(1920)  # EleNum=30 at SEW=64
+        assert regfile.elements_per_register(64) == 30

@@ -1,0 +1,565 @@
+"""Tests for the vector processing unit: every instruction's semantics.
+
+Each custom instruction is checked against the corresponding reference
+step mapping from :mod:`repro.keccak.permutation`, and against the
+element-movement semantics of the paper's Tables 1/3/4/5 and Figs. 7/8.
+"""
+
+import pytest
+
+from repro.assembler import assemble
+from repro.isa import ISA, decode_operands
+from repro.isa.vector import encode_vtype
+from repro.keccak import KeccakState, pi, rho
+from repro.keccak.constants import RHO_BY_ROW, ROUND_CONSTANTS, rotl64
+from repro.programs import layout
+from repro.sim import DataMemory, VectorUnit
+from repro.sim.exceptions import IllegalInstructionError
+from repro.sim.vector_unit import RC32_TABLE
+
+
+def make_unit(elen=64, elenum=5):
+    unit = VectorUnit(elen * elenum, DataMemory(1 << 16))
+    unit.configure(elenum, encode_vtype(elen, 1))
+    return unit
+
+
+def execute(unit, text, scalars=None):
+    """Assemble one instruction line and run it on the unit."""
+    word = assemble(text).words[0]
+    spec = ISA.find(word)
+    ops = decode_operands(word, spec)
+    values = scalars or {}
+    return unit.execute(spec, ops, lambda n: values.get(n, 0))
+
+
+class TestConfiguration:
+    def test_configure_sets_vl_sew_lmul(self):
+        unit = VectorUnit(320, DataMemory(64))
+        vl = unit.configure(5, encode_vtype(64, 1))
+        assert vl == 5
+        assert (unit.vl, unit.sew, unit.lmul) == (5, 64, 1)
+
+    def test_vl_clamped_to_vlmax(self):
+        unit = VectorUnit(320, DataMemory(64))
+        assert unit.configure(100, encode_vtype(64, 1)) == 5
+        assert unit.configure(100, encode_vtype(64, 8)) == 40
+        assert unit.configure(100, encode_vtype(32, 1)) == 10
+
+    def test_register_passes(self):
+        unit = VectorUnit(320, DataMemory(64))
+        unit.configure(5, encode_vtype(64, 1))
+        assert unit.register_passes == 1
+        unit.configure(25, encode_vtype(64, 8))
+        assert unit.register_passes == 5  # VL = 5*EleNum -> 5 passes
+
+    def test_unknown_instruction_rejected(self):
+        unit = make_unit()
+        spec = ISA.lookup("mul")
+        with pytest.raises(IllegalInstructionError):
+            unit.execute(spec, {"rd": 1, "rs1": 2, "rs2": 3}, lambda n: 0)
+
+
+class TestArithmetic:
+    def test_vxor_vv(self):
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [1, 2, 3, 4, 5])
+        unit.regfile.write_elements(2, 64, [7, 7, 7, 7, 7])
+        execute(unit, "vxor.vv v3, v1, v2")
+        assert unit.regfile.read_elements(3, 64) == [6, 5, 4, 3, 2]
+
+    def test_vadd_wraps_at_sew(self):
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [(1 << 64) - 1] * 5)
+        unit.regfile.write_elements(2, 64, [1] * 5)
+        execute(unit, "vadd.vv v3, v1, v2")
+        assert unit.regfile.read_elements(3, 64) == [0] * 5
+
+    def test_vsub(self):
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [10] * 5)
+        unit.regfile.write_elements(2, 64, [3] * 5)
+        execute(unit, "vsub.vv v3, v1, v2")
+        assert unit.regfile.read_elements(3, 64) == [7] * 5
+
+    def test_vxor_vx_sign_extends_scalar(self):
+        # The paper's NOT idiom: s2 = -1 (32-bit all-ones) must become
+        # 64-bit all-ones at SEW=64 ("adjust the length of the scalar
+        # integer register", Section 3).
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [0, 1, 2, 3, 4])
+        execute(unit, "vxor.vx v3, v1, s2", scalars={18: 0xFFFFFFFF})
+        mask = (1 << 64) - 1
+        assert unit.regfile.read_elements(3, 64) == \
+            [~v & mask for v in [0, 1, 2, 3, 4]]
+
+    def test_vxor_vx_positive_scalar_zero_extends(self):
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [0] * 5)
+        execute(unit, "vxor.vx v3, v1, t0", scalars={5: 0x7FFFFFFF})
+        assert unit.regfile.read_elements(3, 64) == [0x7FFFFFFF] * 5
+
+    def test_vand_vi_sign_extended_immediate(self):
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [0xFF00, 0x1234, 7, 8, 9])
+        execute(unit, "vand.vi v3, v1, -1")
+        assert unit.regfile.read_elements(3, 64) == [0xFF00, 0x1234, 7, 8, 9]
+
+    def test_vsll_vi(self):
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [1, 2, 3, 4, 5])
+        execute(unit, "vsll.vi v3, v1, 4")
+        assert unit.regfile.read_elements(3, 64) == [16, 32, 48, 64, 80]
+
+    def test_vsrl_vv(self):
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [256] * 5)
+        unit.regfile.write_elements(2, 64, [0, 1, 2, 3, 4])
+        execute(unit, "vsrl.vv v3, v1, v2")
+        assert unit.regfile.read_elements(3, 64) == [256, 128, 64, 32, 16]
+
+    def test_masked_operation_skips_elements(self):
+        unit = make_unit()
+        unit.regfile.write_raw(0, 0b00101)  # mask: elements 0 and 2 active
+        unit.regfile.write_elements(1, 64, [1, 1, 1, 1, 1])
+        unit.regfile.write_elements(2, 64, [2, 2, 2, 2, 2])
+        unit.regfile.write_elements(3, 64, [9, 9, 9, 9, 9])
+        execute(unit, "vadd.vv v3, v1, v2, v0.t")
+        assert unit.regfile.read_elements(3, 64) == [3, 9, 3, 9, 9]
+
+    def test_tail_elements_undisturbed(self):
+        unit = make_unit(elenum=8)
+        unit.configure(5, encode_vtype(64, 1))  # VL=5 of 8 elements
+        unit.regfile.write_elements(
+            3, 64, [9, 9, 9, 9, 9, 111, 222, 333])
+        unit.regfile.write_elements(1, 64, [1] * 8)
+        unit.regfile.write_elements(2, 64, [1] * 8)
+        execute(unit, "vadd.vv v3, v1, v2")
+        assert unit.regfile.read_elements(3, 64) == \
+            [2, 2, 2, 2, 2, 111, 222, 333]
+
+    def test_in_place_operation(self):
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [1, 2, 3, 4, 5])
+        execute(unit, "vxor.vv v1, v1, v1")
+        assert unit.regfile.read_elements(1, 64) == [0] * 5
+
+    def test_lmul8_group_operation(self):
+        unit = make_unit(elenum=5)
+        unit.configure(25, encode_vtype(64, 8))
+        for r in range(5):
+            unit.regfile.write_elements(8 + r, 64, [r * 10 + x
+                                                    for x in range(5)])
+            unit.regfile.write_elements(16 + r, 64, [1] * 5)
+        execute(unit, "vadd.vv v24, v8, v16")
+        for r in range(5):
+            assert unit.regfile.read_elements(24 + r, 64) == \
+                [r * 10 + x + 1 for x in range(5)]
+
+    def test_lmul_group_alignment_enforced(self):
+        unit = make_unit(elenum=5)
+        unit.configure(25, encode_vtype(64, 8))
+        with pytest.raises(IllegalInstructionError, match="aligned"):
+            execute(unit, "vadd.vv v1, v8, v16")
+
+
+class TestSlideModuloFive:
+    """Paper Table 1 and Fig. 7."""
+
+    def test_slide_down_single_state(self):
+        unit = make_unit()
+        unit.regfile.write_elements(5, 64, [100, 101, 102, 103, 104])
+        execute(unit, "vslidedownm.vi v7, v5, 1")
+        # vd[j] = vs2[(j+1) mod 5]
+        assert unit.regfile.read_elements(7, 64) == \
+            [101, 102, 103, 104, 100]
+
+    def test_slide_up_single_state(self):
+        unit = make_unit()
+        unit.regfile.write_elements(5, 64, [100, 101, 102, 103, 104])
+        execute(unit, "vslideupm.vi v6, v5, 1")
+        # vd[j] = vs2[(j-1) mod 5]
+        assert unit.regfile.read_elements(6, 64) == \
+            [104, 100, 101, 102, 103]
+
+    def test_slide_down_offset_two(self):
+        unit = make_unit()
+        unit.regfile.write_elements(5, 64, [0, 1, 2, 3, 4])
+        execute(unit, "vslidedownm.vi v7, v5, 2")
+        assert unit.regfile.read_elements(7, 64) == [2, 3, 4, 0, 1]
+
+    def test_states_do_not_interfere(self):
+        # Fig. 7: lanes of different Keccak states never mix.
+        unit = make_unit(elenum=15)
+        elements = [s * 100 + x for s in range(3) for x in range(5)]
+        unit.regfile.write_elements(5, 64, elements)
+        execute(unit, "vslidedownm.vi v7, v5, 1")
+        out = unit.regfile.read_elements(7, 64)
+        for s in range(3):
+            chunk = out[5 * s : 5 * s + 5]
+            assert chunk == [s * 100 + (x + 1) % 5 for x in range(5)]
+
+    def test_slide_up_then_down_is_identity(self):
+        unit = make_unit()
+        values = [7, 11, 13, 17, 19]
+        unit.regfile.write_elements(5, 64, values)
+        execute(unit, "vslideupm.vi v6, v5, 2")
+        execute(unit, "vslidedownm.vi v7, v6, 2")
+        assert unit.regfile.read_elements(7, 64) == values
+
+    def test_elements_beyond_states_untouched(self):
+        # Section 3.3: elements with index >= 5*SN are unchanged.
+        unit = make_unit(elenum=8)
+        unit.configure(8, encode_vtype(64, 1))  # VL=8 -> SN=1, 3 tail elems
+        unit.regfile.write_elements(5, 64, [0, 1, 2, 3, 4, 55, 66, 77])
+        unit.regfile.write_elements(7, 64, [0] * 8)
+        execute(unit, "vslidedownm.vi v7, v5, 1")
+        assert unit.regfile.read_elements(7, 64) == \
+            [1, 2, 3, 4, 0, 0, 0, 0]
+
+    def test_lmul8_slides_each_register_independently(self):
+        unit = make_unit(elenum=5)
+        unit.configure(25, encode_vtype(64, 8))
+        for r in range(5):
+            unit.regfile.write_elements(8 + r, 64,
+                                        [r * 10 + x for x in range(5)])
+        execute(unit, "vslidedownm.vi v16, v8, 1")
+        for r in range(5):
+            assert unit.regfile.read_elements(16 + r, 64) == \
+                [r * 10 + (x + 1) % 5 for x in range(5)]
+
+
+class TestRotations:
+    """Paper Table 3."""
+
+    def test_vrotup_rotates_all_elements(self):
+        unit = make_unit()
+        values = [0x8000000000000001, 1, 2, 1 << 63, 0]
+        unit.regfile.write_elements(7, 64, values)
+        execute(unit, "vrotup.vi v7, v7, 1")
+        assert unit.regfile.read_elements(7, 64) == \
+            [rotl64(v, 1) for v in values]
+
+    def test_vrotup_requires_sew64(self):
+        unit = make_unit(elen=32)
+        with pytest.raises(IllegalInstructionError, match="64-bit"):
+            execute(unit, "vrotup.vi v7, v7, 1")
+
+    def test_v32rotup_pair_semantics(self):
+        unit = make_unit(elen=32)
+        hi = [0x80000000, 0, 1, 2, 3]
+        lo = [0x00000001, 5, 6, 7, 8]
+        unit.regfile.write_elements(23, 32, hi)
+        unit.regfile.write_elements(7, 32, lo)
+        execute(unit, "v32lrotup.vv v8, v23, v7")
+        execute(unit, "v32hrotup.vv v9, v23, v7")
+        for i in range(5):
+            rotated = rotl64((hi[i] << 32) | lo[i], 1)
+            assert unit.regfile.get_element(8, i, 32) == rotated & 0xFFFFFFFF
+            assert unit.regfile.get_element(9, i, 32) == rotated >> 32
+
+    def test_v32rotup_requires_sew32(self):
+        unit = make_unit(elen=64)
+        with pytest.raises(IllegalInstructionError):
+            execute(unit, "v32lrotup.vv v8, v23, v7")
+
+    def test_v32hrotup_can_overwrite_source(self):
+        # The 32-bit theta writes v32hrotup.vv v23, v23, v7 in place.
+        unit = make_unit(elen=32)
+        unit.regfile.write_elements(23, 32, [0x80000000] * 5)
+        unit.regfile.write_elements(7, 32, [1] * 5)
+        execute(unit, "v32hrotup.vv v23, v23, v7")
+        rotated = rotl64((0x80000000 << 32) | 1, 1)
+        assert unit.regfile.get_element(23, 0, 32) == rotated >> 32
+
+
+class TestRho:
+    """Paper Table 3, v64rho/v32lrho/v32hrho vs the reference rho step."""
+
+    def test_v64rho_explicit_rows_match_reference(self, random_state):
+        unit = make_unit()
+        layout.load_states_regfile64(unit.regfile, [random_state])
+        for y in range(5):
+            execute(unit, f"v64rho.vi v{y}, v{y}, {y}")
+        out = layout.read_states_regfile64(unit.regfile, 1)[0]
+        assert out == rho(random_state)
+
+    def test_v64rho_lmul8_matches_reference(self, random_state):
+        unit = make_unit(elenum=5)
+        layout.load_states_regfile64(unit.regfile, [random_state])
+        unit.configure(25, encode_vtype(64, 8))
+        execute(unit, "v64rho.vi v0, v0, -1")
+        unit.configure(5, encode_vtype(64, 1))
+        out = layout.read_states_regfile64(unit.regfile, 1)[0]
+        assert out == rho(random_state)
+
+    def test_v64rho_row_uses_paper_lookup_table(self):
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [1, 1, 1, 1, 1])
+        execute(unit, "v64rho.vi v2, v1, 2")
+        assert unit.regfile.read_elements(2, 64) == \
+            [1 << RHO_BY_ROW[2][x] for x in range(5)]
+
+    def test_v64rho_invalid_row(self):
+        unit = make_unit()
+        with pytest.raises(IllegalInstructionError):
+            execute(unit, "v64rho.vi v0, v0, 5")
+
+    def test_v64rho_explicit_row_needs_lmul1(self):
+        unit = make_unit(elenum=5)
+        unit.configure(25, encode_vtype(64, 8))
+        with pytest.raises(IllegalInstructionError, match="LMUL=1"):
+            execute(unit, "v64rho.vi v0, v0, 2")
+
+    def test_v32rho_pair_matches_reference(self, random_state):
+        unit = make_unit(elen=32, elenum=5)
+        layout.load_states_regfile32(unit.regfile, [random_state])
+        unit.configure(25, encode_vtype(32, 8))
+        execute(unit, "v32lrho.vv v8, v16, v0")
+        execute(unit, "v32hrho.vv v24, v16, v0")
+        unit.configure(5, encode_vtype(32, 1))
+        out = layout.read_states_regfile32(unit.regfile, 1,
+                                           lo_base=8, hi_base=24)[0]
+        assert out == rho(random_state)
+
+    def test_v32rho_requires_sew32(self):
+        unit = make_unit(elen=64)
+        with pytest.raises(IllegalInstructionError):
+            execute(unit, "v32lrho.vv v8, v16, v0")
+
+
+class TestPi:
+    """Paper Table 4 / Fig. 8, vpi vs the reference pi step."""
+
+    def test_vpi_explicit_rows_match_reference(self, random_state):
+        unit = make_unit()
+        layout.load_states_regfile64(unit.regfile, [random_state])
+        for y in range(5):
+            execute(unit, f"vpi.vi v5, v{y}, {y}")
+        out = layout.read_states_regfile64(unit.regfile, 1, base_reg=5)[0]
+        assert out == pi(random_state)
+
+    def test_vpi_lmul8_matches_reference(self, random_state):
+        unit = make_unit(elenum=5)
+        layout.load_states_regfile64(unit.regfile, [random_state])
+        unit.configure(25, encode_vtype(64, 8))
+        execute(unit, "vpi.vi v8, v0, -1")
+        unit.configure(5, encode_vtype(64, 1))
+        out = layout.read_states_regfile64(unit.regfile, 1, base_reg=8)[0]
+        assert out == pi(random_state)
+
+    def test_vpi_multi_state(self, random_states):
+        states = random_states(3)
+        unit = make_unit(elenum=15)
+        layout.load_states_regfile64(unit.regfile, states)
+        unit.configure(75, encode_vtype(64, 8))
+        execute(unit, "vpi.vi v8, v0, -1")
+        unit.configure(15, encode_vtype(64, 1))
+        out = layout.read_states_regfile64(unit.regfile, 3, base_reg=8)
+        for i, state in enumerate(states):
+            assert out[i] == pi(state), f"state {i}"
+
+    def test_vpi_writes_columns(self):
+        # Processing source row 0: lane a goes to plane 2a mod 5, lane
+        # slot 0 — a column write across five destination registers.
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [100, 101, 102, 103, 104])
+        execute(unit, "vpi.vi v5, v1, 0")
+        for a in range(5):
+            dest_reg = 5 + (2 * a) % 5
+            assert unit.regfile.get_element(dest_reg, 0, 64) == 100 + a
+
+    def test_vpi_destination_bounds_checked(self):
+        unit = make_unit()
+        with pytest.raises(IllegalInstructionError, match="exceeds"):
+            execute(unit, "vpi.vi v28, v1, 0")
+
+
+class TestIota:
+    """Paper Table 5, viota in 64-bit and 32-bit modes."""
+
+    def test_viota_xors_lane0_of_each_state(self):
+        unit = make_unit(elenum=10)
+        unit.configure(10, encode_vtype(64, 1))
+        unit.regfile.write_elements(1, 64, list(range(10)))
+        execute(unit, "viota.vx v2, v1, s3", scalars={19: 3})
+        out = unit.regfile.read_elements(2, 64)
+        assert out[0] == 0 ^ ROUND_CONSTANTS[3]
+        assert out[5] == 5 ^ ROUND_CONSTANTS[3]
+        assert out[1:5] == [1, 2, 3, 4]
+        assert out[6:10] == [6, 7, 8, 9]
+
+    def test_viota_32bit_uses_split_table(self):
+        unit = make_unit(elen=32)
+        unit.regfile.write_elements(1, 32, [0] * 5)
+        execute(unit, "viota.vx v2, v1, s3", scalars={19: 4})  # round 2 low
+        assert unit.regfile.get_element(2, 0, 32) == \
+            ROUND_CONSTANTS[2] & 0xFFFFFFFF
+        execute(unit, "viota.vx v3, v1, s3", scalars={19: 5})  # round 2 high
+        assert unit.regfile.get_element(3, 0, 32) == \
+            ROUND_CONSTANTS[2] >> 32
+
+    def test_rc32_table_is_interleaved_halves(self):
+        assert len(RC32_TABLE) == 48
+        for i, rc in enumerate(ROUND_CONSTANTS):
+            assert RC32_TABLE[2 * i] == rc & 0xFFFFFFFF
+            assert RC32_TABLE[2 * i + 1] == rc >> 32
+
+    def test_viota_index_out_of_range(self):
+        unit = make_unit()
+        with pytest.raises(IllegalInstructionError):
+            execute(unit, "viota.vx v2, v1, s3", scalars={19: 24})
+
+
+class TestVectorMemory:
+    def test_unit_stride_load_store(self):
+        unit = make_unit()
+        data = bytes(range(40))
+        unit.memory.store_bytes(0x100, data)
+        execute(unit, "vle64.v v1, (a0)", scalars={10: 0x100})
+        expected = [int.from_bytes(data[8 * i : 8 * i + 8], "little")
+                    for i in range(5)]
+        assert unit.regfile.read_elements(1, 64) == expected
+        execute(unit, "vse64.v v1, (a1)", scalars={11: 0x200})
+        assert unit.memory.load_bytes(0x200, 40) == data
+
+    def test_strided_load(self):
+        unit = make_unit()
+        for i in range(5):
+            unit.memory.store(0x100 + 16 * i, 64, i + 1)
+        execute(unit, "vlse64.v v1, (a0), t0",
+                scalars={10: 0x100, 5: 16})
+        assert unit.regfile.read_elements(1, 64) == [1, 2, 3, 4, 5]
+
+    def test_indexed_load_gathers(self):
+        unit = make_unit()
+        for i in range(5):
+            unit.memory.store(0x100 + 8 * i, 64, 100 + i)
+        # Indices pick elements in reverse order.
+        unit.regfile.write_elements(2, 64, [32, 24, 16, 8, 0])
+        execute(unit, "vluxei64.v v1, (a0), v2", scalars={10: 0x100})
+        assert unit.regfile.read_elements(1, 64) == \
+            [104, 103, 102, 101, 100]
+
+    def test_indexed_store_scatters(self):
+        unit = make_unit()
+        unit.regfile.write_elements(1, 64, [5, 6, 7, 8, 9])
+        unit.regfile.write_elements(2, 64, [32, 24, 16, 8, 0])
+        execute(unit, "vsuxei64.v v1, (a0), v2", scalars={10: 0x100})
+        assert unit.memory.load(0x100, 64) == 9
+        assert unit.memory.load(0x120, 64) == 5
+
+    def test_masked_store_skips_elements(self):
+        unit = make_unit()
+        unit.memory.store_bytes(0x100, b"\xee" * 40)
+        unit.regfile.write_raw(0, 0b00001)  # only element 0 active
+        unit.regfile.write_elements(1, 64, [1, 2, 3, 4, 5])
+        execute(unit, "vse64.v v1, (a0), v0.t", scalars={10: 0x100})
+        assert unit.memory.load(0x100, 64) == 1
+        assert unit.memory.load(0x108, 64) == 0xEEEEEEEEEEEEEEEE
+
+    def test_vle32_loads_32_bit_elements(self):
+        unit = make_unit(elen=32)
+        for i in range(5):
+            unit.memory.store(0x100 + 4 * i, 32, 0xA0 + i)
+        execute(unit, "vle32.v v1, (a0)", scalars={10: 0x100})
+        assert unit.regfile.read_elements(1, 32) == \
+            [0xA0, 0xA1, 0xA2, 0xA3, 0xA4]
+
+
+class TestCycleCosts:
+    """The calibrated cycle model (paper Algorithms 2/3 annotations)."""
+
+    def test_lmul1_arith_costs_2(self):
+        unit = make_unit()
+        assert execute(unit, "vxor.vv v3, v1, v2") == 2
+
+    def test_lmul1_vpi_costs_3(self):
+        unit = make_unit()
+        assert execute(unit, "vpi.vi v5, v1, 0") == 3
+
+    def test_lmul8_over_5_registers_costs_6(self):
+        unit = make_unit(elenum=5)
+        unit.configure(25, encode_vtype(64, 8))
+        assert execute(unit, "vxor.vv v24, v8, v16") == 6
+        assert execute(unit, "vslidedownm.vi v16, v8, 1") == 6
+        assert execute(unit, "v64rho.vi v0, v0, -1") == 6
+
+    def test_lmul8_vpi_costs_7(self):
+        unit = make_unit(elenum=5)
+        unit.configure(25, encode_vtype(64, 8))
+        assert execute(unit, "vpi.vi v8, v0, -1") == 7
+
+    def test_full_lmul8_group_costs_9(self):
+        unit = make_unit(elenum=5)
+        unit.configure(40, encode_vtype(64, 8))  # all 8 registers active
+        assert execute(unit, "vxor.vv v24, v8, v16") == 9
+
+
+class TestRvvCornerCases:
+    def test_vl_zero_is_noop(self):
+        unit = make_unit()
+        unit.configure(0, encode_vtype(64, 1))
+        unit.regfile.write_elements(3, 64, [9] * 5)
+        execute(unit, "vxor.vv v3, v1, v2")
+        assert unit.regfile.read_elements(3, 64) == [9] * 5
+
+    def test_vl_zero_still_costs_dispatch(self):
+        unit = make_unit()
+        unit.configure(0, encode_vtype(64, 1))
+        assert execute(unit, "vxor.vv v3, v1, v2") == 2
+
+    def test_lmul2_group(self):
+        unit = make_unit(elenum=5)
+        unit.configure(10, encode_vtype(64, 2))
+        unit.regfile.write_elements(2, 64, [1] * 5)
+        unit.regfile.write_elements(3, 64, [2] * 5)
+        unit.regfile.write_elements(4, 64, [10] * 5)
+        unit.regfile.write_elements(5, 64, [20] * 5)
+        assert execute(unit, "vadd.vv v6, v2, v4") == 3  # 2 passes + 1
+        assert unit.regfile.read_elements(6, 64) == [11] * 5
+        assert unit.regfile.read_elements(7, 64) == [22] * 5
+
+    def test_lmul4_slide_per_register(self):
+        unit = make_unit(elenum=5)
+        unit.configure(20, encode_vtype(64, 4))
+        for r in range(4):
+            unit.regfile.write_elements(
+                4 + r, 64, [100 * r + x for x in range(5)])
+        assert execute(unit, "vslidedownm.vi v8, v4, 1") == 5
+        for r in range(4):
+            assert unit.regfile.read_elements(8 + r, 64) == \
+                [100 * r + (x + 1) % 5 for x in range(5)]
+
+    def test_lmul2_misaligned_group_rejected(self):
+        unit = make_unit(elenum=5)
+        unit.configure(10, encode_vtype(64, 2))
+        with pytest.raises(IllegalInstructionError, match="aligned"):
+            execute(unit, "vadd.vv v6, v3, v4")
+
+    def test_partial_final_register_in_group(self):
+        # VL = 7 at EleNum=5, LMUL=2: second register only has 2 active.
+        unit = make_unit(elenum=5)
+        unit.configure(7, encode_vtype(64, 2))
+        unit.regfile.write_elements(2, 64, [1] * 5)
+        unit.regfile.write_elements(3, 64, [1, 1, 77, 77, 77])
+        unit.regfile.write_elements(4, 64, [3] * 5)
+        unit.regfile.write_elements(5, 64, [3] * 5)
+        execute(unit, "vadd.vv v6, v2, v4")
+        assert unit.regfile.read_elements(6, 64) == [4] * 5
+        out = unit.regfile.read_elements(7, 64)
+        assert out[:2] == [4, 4]
+        assert out[2:] == [0, 0, 0]  # tail untouched (registers were 0)
+
+    def test_slide_with_partial_state_in_vl(self):
+        # VL = 7: one full state (5) plus 2 tail elements -> SN = 1; the
+        # two extra elements must not move.
+        unit = make_unit(elenum=10)
+        unit.configure(7, encode_vtype(64, 1))
+        unit.regfile.write_elements(
+            5, 64, [0, 1, 2, 3, 4, 55, 66, 0, 0, 0])
+        unit.regfile.write_elements(6, 64, [9] * 10)
+        execute(unit, "vslidedownm.vi v6, v5, 1")
+        out = unit.regfile.read_elements(6, 64)
+        assert out[:5] == [1, 2, 3, 4, 0]
+        assert out[5:7] == [9, 9]  # beyond 5*SN: unchanged in vd

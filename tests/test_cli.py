@@ -1,0 +1,148 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import hashlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("tables", "sweep", "hash", "run", "asm", "dis"):
+            args = {
+                "tables": [],
+                "sweep": [],
+                "hash": ["sha3_256", "--string", "x"],
+                "run": [],
+                "asm": ["f.s"],
+                "dis": ["f.hex"],
+            }[command]
+            parsed = parser.parse_args([command] + args)
+            assert parsed.command == command
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_hash_needs_input(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hash", "sha3_256"])
+
+
+class TestHashCommand:
+    def test_string_digest(self, capsys):
+        assert main(["hash", "sha3_256", "--string", "abc"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == hashlib.sha3_256(b"abc").hexdigest()
+
+    def test_file_digest(self, tmp_path, capsys):
+        path = tmp_path / "data.bin"
+        path.write_bytes(b"file contents")
+        assert main(["hash", "sha3_512", "--file", str(path)]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == hashlib.sha3_512(b"file contents").hexdigest()
+
+    def test_shake_with_length(self, capsys):
+        assert main(["hash", "shake_128", "--string", "s",
+                     "--length", "16"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == hashlib.shake_128(b"s").hexdigest(16)
+
+    def test_simulated_digest_matches(self, capsys):
+        assert main(["hash", "sha3_256", "--string", "abc",
+                     "--simulate"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == hashlib.sha3_256(b"abc").hexdigest()
+        assert "simulated cycles" in captured.err
+
+    def test_simulated_32bit(self, capsys):
+        assert main(["hash", "sha3_256", "--string", "q", "--simulate",
+                     "--elen", "32"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == hashlib.sha3_256(b"q").hexdigest()
+
+
+class TestRunCommand:
+    def test_default_run(self, capsys):
+        assert main(["run"]) == 0
+        out = capsys.readouterr().out
+        assert "functionally exact: True" in out
+        assert "cycles/round:       75" in out
+
+    def test_32bit_run(self, capsys):
+        assert main(["run", "--elen", "32", "--elenum", "15",
+                     "--states", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles/round:       147" in out
+
+
+class TestAsmDisCommands:
+    SOURCE = "li t0, 5\nloop:\naddi t0, t0, -1\nbnez t0, loop\necall\n"
+
+    def test_asm_outputs_hex_words(self, tmp_path, capsys):
+        src = tmp_path / "prog.s"
+        src.write_text(self.SOURCE)
+        assert main(["asm", str(src)]) == 0
+        words = capsys.readouterr().out.split()
+        assert len(words) == 4
+        assert all(len(w) == 8 for w in words)
+
+    def test_asm_listing(self, tmp_path, capsys):
+        src = tmp_path / "prog.s"
+        src.write_text(self.SOURCE)
+        assert main(["asm", str(src), "--listing"]) == 0
+        assert "bnez t0, loop" in capsys.readouterr().out
+
+    def test_dis_round_trip(self, tmp_path, capsys):
+        src = tmp_path / "prog.s"
+        src.write_text(self.SOURCE)
+        main(["asm", str(src)])
+        hex_words = capsys.readouterr().out
+        hexfile = tmp_path / "prog.hex"
+        hexfile.write_text(hex_words)
+        assert main(["dis", str(hexfile)]) == 0
+        out = capsys.readouterr().out
+        assert "addi t0, zero, 5" in out
+        assert "ecall" in out
+
+
+class TestSweepCommand:
+    def test_sweep_runs(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "Design-space sweep" in out
+        assert "Pareto frontier" in out
+
+    def test_sweep_no_fused(self, capsys):
+        assert main(["sweep", "--no-fused"]) == 0
+        assert "fused" not in capsys.readouterr().out
+
+
+class TestMixCommand:
+    def test_all_variants(self, capsys):
+        assert main(["mix"]) == 0
+        out = capsys.readouterr().out
+        for name in ("keccak64_lmul1", "keccak64_lmul8", "keccak64_fused",
+                     "keccak64_lmul41", "keccak32_lmul8"):
+            assert name in out
+
+    def test_single_variant(self, capsys):
+        assert main(["mix", "--variant", "64-fused"]) == 0
+        out = capsys.readouterr().out
+        assert "keccak64_fused" in out
+        assert "keccak64_lmul1" not in out
+
+
+class TestIsaDocCommand:
+    def test_stdout(self, capsys):
+        assert main(["isa-doc"]) == 0
+        out = capsys.readouterr().out
+        assert "# Instruction set reference" in out
+        assert "vpi.vi" in out
+
+    def test_output_file(self, tmp_path):
+        target = tmp_path / "isa.md"
+        assert main(["isa-doc", "--output", str(target)]) == 0
+        assert "vslidedownm.vi" in target.read_text()

@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must run and self-verify.
+
+Each example asserts its own correctness internally (digests vs hashlib,
+simulator vs reference); these tests execute them end to end so the
+examples can never rot.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    runpy.run_path(str(EXAMPLES_DIR / f"{name}.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_expected_examples_present():
+    assert set(ALL_EXAMPLES) >= {
+        "quickstart",
+        "reproduce_tables",
+        "sha3_on_simulator",
+        "kyber_matrix_expansion",
+        "custom_instruction_tour",
+        "batch_hashing",
+    }
+
+
+def test_quickstart_reports_paper_numbers(capsys, monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "(paper: 75)" in out
+    assert "(paper: 1892)" in out
+
+
+def test_reproduce_tables_shows_measured_rows(capsys, monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    runpy.run_path(str(EXAMPLES_DIR / "reproduce_tables.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Table 7" in out and "Table 8" in out
+    assert "headline factors" in out
