@@ -7,8 +7,9 @@ Run:  python examples/quickstart.py
 
 import hashlib
 
+import repro
 from repro import SHA3_256, SHAKE128, KeccakState, keccak_f1600, sha3_256
-from repro.programs import build_program, run_keccak_program
+from repro.programs import build_program
 
 
 def main() -> None:
@@ -38,7 +39,7 @@ def main() -> None:
     #    simulated SIMD processor with the paper's 64-bit LMUL=8 program
     #    (Algorithm 3) — bit-exact, and cycle-counted.
     program = build_program(elen=64, lmul=8, elenum=5)
-    result = run_keccak_program(program, [state])
+    result = repro.run(program, [state], trace=True)
     assert result.states[0] == permuted
     print(f"simulator agrees    = True")
     print(f"cycles/round        = {result.cycles_per_round:.0f}  "
@@ -51,10 +52,12 @@ def main() -> None:
     # 4. Six states in parallel: same latency, 6x throughput.
     states = [KeccakState([i * 25 + j for j in range(25)])
               for i in range(6)]
-    batch = run_keccak_program(build_program(64, 8, 30), states)
+    batch = repro.run(build_program(64, 8, 30), states, trace=True)
     assert batch.permutation_cycles == result.permutation_cycles
     print(f"6-state latency     = {batch.permutation_cycles} "
           "(unchanged — throughput scales 6x)")
+    print(f"throughput x10^3    = {batch.throughput_kbits_per_cycle:.0f} "
+          f"(vs {result.throughput_kbits_per_cycle:.0f} single-state)")
 
 
 if __name__ == "__main__":

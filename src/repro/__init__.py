@@ -5,6 +5,10 @@ DATE 2023).
 Public API layers
 -----------------
 
+``repro.run`` / ``repro.Session``
+    The unified execution entry point: run a generated Keccak program on
+    the simulator with predecoded-program and processor reuse, returning
+    a ``RunResult`` with all paper metrics as properties.
 ``repro.keccak``
     NIST-checked SHA-3/Keccak reference (hashes, XOFs, step mappings,
     batched multi-state permutation).
@@ -37,6 +41,7 @@ from .keccak import (
     SHAKE256,
     KeccakState,
     keccak_f1600,
+    new,
     sha3_224,
     sha3_256,
     sha3_384,
@@ -44,7 +49,13 @@ from .keccak import (
     shake128,
     shake256,
 )
-from .programs import build_program, run_keccak_program
+from .programs import (
+    RunResult,
+    Session,
+    build_program,
+    run,
+    run_keccak_program,
+)
 from .sim import SIMDProcessor
 
 __version__ = "1.0.0"
@@ -77,6 +88,10 @@ __all__ = [
     "disassemble",
     "SIMDProcessor",
     "build_program",
+    "run",
+    "Session",
+    "RunResult",
+    "new",
     "run_keccak_program",
     "generate_table7",
     "generate_table8",

@@ -95,8 +95,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     from .keccak.permutation import keccak_f1600
     from .keccak.state import KeccakState
-    from .programs import build_program
-    from .programs.runner import run_keccak_program
+    from .programs import build_program, run
 
     rng = random.Random(args.seed)
     states = [
@@ -104,7 +103,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for _ in range(args.states)
     ]
     program = build_program(args.elen, args.lmul, args.elenum)
-    result = run_keccak_program(program, states)
+    result = run(program, states, trace=True)
     correct = result.states == [keccak_f1600(s) for s in states]
     print(f"program:            {program.name} (EleNum={args.elenum}, "
           f"{args.states} state(s))")
@@ -112,8 +111,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"cycles/round:       {result.cycles_per_round:.0f}")
     print(f"permutation cycles: {result.permutation_cycles}")
     print(f"cycles/byte:        {result.cycles_per_byte:.2f}")
-    throughput = 1600.0 * args.states / result.permutation_cycles
-    print(f"throughput x10^3:   {1000 * throughput:.2f}")
+    print(f"throughput x10^3:   {result.throughput_e3:.2f}")
     return 0 if correct else 1
 
 

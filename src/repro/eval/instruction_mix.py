@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence
 
 from ..keccak.state import KeccakState
 from ..programs.base import KeccakProgram
-from ..programs.runner import run_keccak_program
+from ..programs.session import run
 
 #: Section markers recognized in the generated program sources.
 _SECTION_KEYWORDS = (
@@ -86,7 +86,7 @@ def _sections_from_source(program: KeccakProgram) -> Dict[int, str]:
 def measure_instruction_mix(program: KeccakProgram,
                             states: Sequence[KeccakState]) -> InstructionMix:
     """Run ``program`` traced and attribute cycles to step mappings."""
-    result = run_keccak_program(program, states, trace=True)
+    result = run(program, states, trace=True)
     sections = _sections_from_source(program)
     totals: Dict[str, int] = {}
     assert result.stats.records is not None

@@ -18,7 +18,7 @@ from ..arch.metrics import cycles_per_byte, throughput_e3
 from ..keccak.permutation import keccak_f1600
 from ..keccak.state import KeccakState
 from ..programs import build_program, scalar_keccak
-from ..programs.runner import run_keccak_program
+from ..programs.session import run
 from ..sim.processor import SIMDProcessor
 
 #: Seed for the deterministic test states used by all measurements.
@@ -61,7 +61,7 @@ def measure_config(config: ArchConfig, verify: bool = True) -> Measurement:
     """Run one vector configuration end to end and extract its metrics."""
     program = build_program(config.elen, config.lmul, config.elenum)
     states = _random_states(config.num_states)
-    result = run_keccak_program(program, states)
+    result = run(program, states, trace=True)
     if verify:
         expected = [keccak_f1600(s) for s in states]
         if result.states != expected:

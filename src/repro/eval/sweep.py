@@ -14,10 +14,9 @@ from typing import List, Optional
 
 from ..arch.area import slices
 from ..arch.config import ArchConfig
-from ..arch.metrics import throughput_e3
 from ..keccak.permutation import keccak_f1600
 from ..programs import keccak64_fused
-from ..programs.runner import run_keccak_program
+from ..programs.session import run
 from .measure import VerificationError, _random_states, measure_config
 
 
@@ -45,7 +44,7 @@ class SweepPoint:
 def _measure_fused(elenum: int, num_states: int) -> SweepPoint:
     program = keccak64_fused.build(elenum)
     states = _random_states(num_states)
-    result = run_keccak_program(program, states)
+    result = run(program, states, trace=True)
     if result.states != [keccak_f1600(s) for s in states]:
         raise VerificationError("fused program does not match the reference")
     state_word = "state" if num_states == 1 else "states"
@@ -57,7 +56,7 @@ def _measure_fused(elenum: int, num_states: int) -> SweepPoint:
         num_states=num_states,
         cycles_per_round=result.cycles_per_round,
         permutation_cycles=result.permutation_cycles,
-        throughput_e3=throughput_e3(result.permutation_cycles, num_states),
+        throughput_e3=result.throughput_e3,
         area_slices=slices(64, elenum),
         fused=True,
     )

@@ -184,3 +184,23 @@ SHAKE_VARIANTS = {
     "shake_128": SHAKE128,
     "shake_256": SHAKE256,
 }
+
+#: Constructor registry for :func:`new`: canonical names plus the
+#: underscore-free spellings hashlib also accepts.
+_CONSTRUCTORS = {**SHA3_VARIANTS, **SHAKE_VARIANTS,
+                 "shake128": SHAKE128, "shake256": SHAKE256}
+
+
+def new(name: str, data: bytes = b""):
+    """hashlib-style constructor: ``new("sha3_256", b"...")``.
+
+    Accepts the six family names in any case, with ``-`` or ``_``
+    separators (``"SHA3-256"``, ``"shake_128"``, ``"shake128"``...).
+    Raises ``ValueError`` for anything else, like ``hashlib.new``.
+    """
+    normalized = name.strip().lower().replace("-", "_")
+    try:
+        constructor = _CONSTRUCTORS[normalized]
+    except KeyError:
+        raise ValueError(f"unsupported hash type {name!r}") from None
+    return constructor(data)

@@ -10,7 +10,7 @@ all states at once.  It is used by the PQC workload generator
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -51,7 +51,7 @@ class ParallelKeccak:
             batch.lanes[s, :] = np.array(state.lanes, dtype=_U64)
         return batch
 
-    def to_states(self) -> list:
+    def to_states(self) -> List[KeccakState]:
         """Unpack the batch into individual :class:`KeccakState` objects."""
         return [
             KeccakState([int(v) for v in self.lanes[s]])
@@ -130,7 +130,7 @@ class ParallelKeccak:
             self.round(round_index)
 
 
-def parallel_shake128(seeds: Sequence[bytes], length: int) -> list:
+def parallel_shake128(seeds: Sequence[bytes], length: int) -> List[bytes]:
     """SHAKE128 over many inputs with one batched permutation per block.
 
     Each seed must fit in a single rate block (168 bytes minus padding) and

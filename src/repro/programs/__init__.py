@@ -12,7 +12,8 @@ from . import (
 )
 from .base import DEFAULT_STATE_BASE, KeccakProgram
 from .factory import build_program
-from .runner import RunResult, make_processor, run_keccak_program
+from .session import RunResult, Session, default_session, run
+from .runner import make_processor, run_keccak_program
 from .batch_driver import BatchPermutation, BatchSponge, batch_sha3_256, batch_shake128
 from . import sha3_driver
 from .sha3_driver import SimulatedPermutation, simulated_sha3_256, simulated_shake128
@@ -21,6 +22,9 @@ __all__ = [
     "KeccakProgram",
     "DEFAULT_STATE_BASE",
     "RunResult",
+    "Session",
+    "run",
+    "default_session",
     "run_keccak_program",
     "make_processor",
     "build_program",

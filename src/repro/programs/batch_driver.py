@@ -19,10 +19,9 @@ from typing import List, Optional, Sequence
 
 from ..keccak.sponge import SHA3_SUFFIX, SHAKE_SUFFIX
 from ..keccak.state import KeccakState
-from . import layout
 from .base import KeccakProgram
 from .factory import build_program
-from .runner import make_processor
+from .session import Session
 
 
 class BatchPermutation:
@@ -35,8 +34,7 @@ class BatchPermutation:
                                                 include_memory_io=True)
         if self.program.state_base is None:
             raise ValueError("batch permutation needs a memory-IO program")
-        self._processor = make_processor(self.program, trace=False)
-        self._assembled = self.program.assemble()
+        self._session = Session()
         self.call_count = 0
         self.total_cycles = 0
 
@@ -50,24 +48,10 @@ class BatchPermutation:
             raise ValueError(
                 f"batch of {len(states)} exceeds {self.max_states} states"
             )
-        processor = self._processor
-        processor.load_program(self._assembled)
-        processor.reset_stats(trace=False)
-        elenum = self.program.elenum
-        base = self.program.state_base
-        if self.program.elen == 64:
-            image = layout.memory_image64(states, elenum)
-        else:
-            image = layout.memory_image32(states, elenum)
-        processor.memory.store_bytes(base, image)
-        stats = processor.run()
+        result = self._session.run(self.program, states)
         self.call_count += 1
-        self.total_cycles += stats.cycles
-        if self.program.elen == 64:
-            raw = processor.memory.load_bytes(base, 5 * elenum * 8)
-            return layout.parse_memory_image64(raw, elenum, len(states))
-        raw = processor.memory.load_bytes(base, 2 * 5 * elenum * 4)
-        return layout.parse_memory_image32(raw, elenum, len(states))
+        self.total_cycles += result.stats.cycles
+        return result.states
 
 
 class BatchSponge:

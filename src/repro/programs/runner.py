@@ -1,37 +1,21 @@
-"""Running generated Keccak programs on the simulator.
+"""Legacy entry points for running generated Keccak programs.
 
-Glue between the program generators, the state layouts and the processor:
-set up a processor with the right ELEN/EleNum, place the input states (in
-the register file directly, or in data memory when the program does its
-own vector loads/stores), execute, and read the permuted states back.
+The execution logic lives in :mod:`repro.programs.session`; this module
+keeps the original seed API as thin wrappers.  New code should use
+``repro.run`` / :class:`repro.Session` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..keccak.state import KeccakState
 from ..sim.cycles import CycleModel, DEFAULT_CYCLE_MODEL
 from ..sim.processor import SIMDProcessor
-from ..sim.trace import ExecutionStats
-from . import layout
 from .base import KeccakProgram
+from .session import RunResult, _check_capacity, _execute, default_session
 
-
-@dataclass
-class RunResult:
-    """Outcome of one program execution."""
-
-    states: List[KeccakState]
-    stats: ExecutionStats
-    cycles_per_round: float
-    permutation_cycles: int
-
-    @property
-    def cycles_per_byte(self) -> float:
-        """Cycles per state byte over the whole permutation (paper metric)."""
-        return self.permutation_cycles / 200.0
+__all__ = ["RunResult", "make_processor", "run_keccak_program"]
 
 
 def make_processor(program: KeccakProgram, trace: bool = True,
@@ -57,78 +41,15 @@ def run_keccak_program(
 
     The number of states must not exceed ``program.max_states``; remaining
     element slots are left zero (and verified untouched by tests).
+
+    Without an explicit ``processor`` the run goes through the shared
+    default :class:`~repro.programs.session.Session`, so repeated calls
+    with the same program reuse one processor and its predecoded program.
+    A caller-supplied ``processor`` is used as-is — no reset, no session —
+    preserving the original semantics (``trace``/``cycle_model`` are then
+    properties of that processor, not of this call).
     """
-    if len(states) > program.max_states:
-        raise ValueError(
-            f"{program.name} with EleNum={program.elenum} holds at most "
-            f"{program.max_states} states, got {len(states)}"
-        )
-    proc = processor or make_processor(program, trace, cycle_model)
-    assembled = program.assemble()
-    proc.load_program(assembled)
-
-    uses_memory = program.state_base is not None
-    if not states:
-        uses_memory = False  # nothing to place or read back
-    if uses_memory:
-        if program.elen == 64:
-            image = layout.memory_image64(states, program.elenum)
-        else:
-            image = layout.memory_image32(states, program.elenum)
-        proc.memory.store_bytes(program.state_base, image)
-    elif states:
-        if program.elen == 64:
-            layout.load_states_regfile64(proc.vector.regfile, states)
-        else:
-            layout.load_states_regfile32(proc.vector.regfile, states)
-
-    stats = proc.run()
-
-    if not states:
-        out = []
-    elif uses_memory:
-        if program.elen == 64:
-            size = 5 * program.elenum * 8
-            image = proc.memory.load_bytes(program.state_base, size)
-            out = layout.parse_memory_image64(image, program.elenum,
-                                              len(states))
-        else:
-            size = 2 * 5 * program.elenum * 4
-            image = proc.memory.load_bytes(program.state_base, size)
-            out = layout.parse_memory_image32(image, program.elenum,
-                                              len(states))
-    else:
-        if program.elen == 64:
-            out = layout.read_states_regfile64(proc.vector.regfile,
-                                               len(states))
-        else:
-            out = layout.read_states_regfile32(proc.vector.regfile,
-                                               len(states))
-
-    rounds = program.num_rounds
-    if stats.records is not None:
-        body_start = assembled.symbols["round_body"]
-        body_end = assembled.symbols["round_end"]
-        body_cycles = stats.cycles_in_pc_range(body_start, body_end)
-        cycles_per_round = body_cycles / rounds
-        loop_start = assembled.symbols["permutation"]
-        # Permutation latency: from the first round instruction until the
-        # permuted state is ready, i.e. the end of the last round body.
-        # The loop-control addi/blt of iterations 1..23 sit between round
-        # bodies and count; the final iteration's addi + untaken blt happen
-        # after the result is available and do not (this matches the
-        # paper's 2564/1892/3620 cycle totals exactly).
-        in_loop = [r for r in stats.records
-                   if loop_start <= r.pc < body_end + 8]
-        final_overhead = sum(r.cycles for r in in_loop[-2:]
-                             if r.pc >= body_end)
-        permutation_cycles = sum(r.cycles for r in in_loop) - final_overhead
-    else:
-        cycles_per_round = stats.cycles / rounds
-        permutation_cycles = stats.cycles
-    return RunResult(
-        states=out,
-        stats=stats,
-        cycles_per_round=cycles_per_round,
-        permutation_cycles=permutation_cycles,
-    )
+    _check_capacity(program, states)
+    if processor is not None:
+        return _execute(processor, program, states)
+    return default_session(cycle_model).run(program, states, trace=trace)

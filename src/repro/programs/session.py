@@ -1,0 +1,218 @@
+"""The unified execution entry point: :class:`Session` and :func:`run`.
+
+Everything that executes a Keccak program on the simulator — the legacy
+:func:`~repro.programs.runner.run_keccak_program`, the batch/sponge
+drivers, the eval harness, benchmarks and examples — funnels through this
+module.  A :class:`Session` owns one processor per architecture
+(ELEN, EleNum) and therefore one predecode cache per architecture: the
+first run of a program decodes it, every subsequent run of the same
+assembled program skips straight to execution.  The module-level
+:func:`run` uses a process-wide default session per cycle model, so ad-hoc
+callers get the caching for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..keccak.constants import STATE_BITS, STATE_BYTES
+from ..keccak.state import KeccakState
+from ..sim.cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from ..sim.processor import SIMDProcessor
+from ..sim.trace import ExecutionStats
+from . import layout
+from .base import KeccakProgram
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution."""
+
+    states: List[KeccakState]
+    stats: ExecutionStats
+    cycles_per_round: float
+    permutation_cycles: int
+
+    @property
+    def num_states(self) -> int:
+        """States processed by the run (at least 1 for throughput math)."""
+        return len(self.states) or 1
+
+    @property
+    def cycles_per_byte(self) -> float:
+        """Cycles per state byte over the whole permutation (paper metric)."""
+        return self.permutation_cycles / float(STATE_BYTES)
+
+    @property
+    def throughput_bits_per_cycle(self) -> float:
+        """Bits processed per cycle across all parallel states."""
+        return STATE_BITS * self.num_states / self.permutation_cycles
+
+    @property
+    def throughput_kbits_per_cycle(self) -> float:
+        """Throughput in the tables' display unit, (bits/cycle) x 10^3."""
+        return 1000.0 * self.throughput_bits_per_cycle
+
+    #: Alias matching the column name used by the paper's tables.
+    throughput_e3 = throughput_kbits_per_cycle
+
+
+def _check_capacity(program: KeccakProgram,
+                    states: Sequence[KeccakState]) -> None:
+    if len(states) > program.max_states:
+        raise ValueError(
+            f"{program.name} with EleNum={program.elenum} holds at most "
+            f"{program.max_states} states, got {len(states)}"
+        )
+
+
+def _execute(proc: SIMDProcessor, program: KeccakProgram,
+             states: Sequence[KeccakState]) -> RunResult:
+    """Load, place states, run and extract metrics on a prepared processor.
+
+    Does *not* reset the processor — callers decide (a :class:`Session`
+    resets; the legacy ``processor=`` path keeps the seed semantics of
+    running on whatever state the caller set up).
+    """
+    assembled = program.assemble()
+    proc.load_program(assembled)
+
+    uses_memory = program.state_base is not None
+    if not states:
+        uses_memory = False  # nothing to place or read back
+    if uses_memory:
+        if program.elen == 64:
+            image = layout.memory_image64(states, program.elenum)
+        else:
+            image = layout.memory_image32(states, program.elenum)
+        proc.memory.store_bytes(program.state_base, image)
+    elif states:
+        if program.elen == 64:
+            layout.load_states_regfile64(proc.vector.regfile, states)
+        else:
+            layout.load_states_regfile32(proc.vector.regfile, states)
+
+    stats = proc.run()
+
+    if not states:
+        out: List[KeccakState] = []
+    elif uses_memory:
+        if program.elen == 64:
+            size = 5 * program.elenum * 8
+            image = proc.memory.load_bytes(program.state_base, size)
+            out = layout.parse_memory_image64(image, program.elenum,
+                                              len(states))
+        else:
+            size = 2 * 5 * program.elenum * 4
+            image = proc.memory.load_bytes(program.state_base, size)
+            out = layout.parse_memory_image32(image, program.elenum,
+                                              len(states))
+    else:
+        if program.elen == 64:
+            out = layout.read_states_regfile64(proc.vector.regfile,
+                                               len(states))
+        else:
+            out = layout.read_states_regfile32(proc.vector.regfile,
+                                               len(states))
+
+    rounds = program.num_rounds
+    if stats.records is not None:
+        body_start = assembled.symbols["round_body"]
+        body_end = assembled.symbols["round_end"]
+        body_cycles = stats.cycles_in_pc_range(body_start, body_end)
+        cycles_per_round = body_cycles / rounds
+        loop_start = assembled.symbols["permutation"]
+        # Permutation latency: from the first round instruction until the
+        # permuted state is ready, i.e. the end of the last round body.
+        # The loop-control addi/blt of iterations 1..23 sit between round
+        # bodies and count; the final iteration's addi + untaken blt happen
+        # after the result is available and do not (this matches the
+        # paper's 2564/1892/3620 cycle totals exactly).
+        in_loop = [r for r in stats.records
+                   if loop_start <= r.pc < body_end + 8]
+        final_overhead = sum(r.cycles for r in in_loop[-2:]
+                             if r.pc >= body_end)
+        permutation_cycles = sum(r.cycles for r in in_loop) - final_overhead
+    else:
+        cycles_per_round = stats.cycles / rounds
+        permutation_cycles = stats.cycles
+    return RunResult(
+        states=out,
+        stats=stats,
+        cycles_per_round=cycles_per_round,
+        permutation_cycles=permutation_cycles,
+    )
+
+
+class Session:
+    """A reusable execution context: processors plus predecode caches.
+
+    One processor is kept per (ELEN, EleNum) architecture; each run does a
+    full in-place architectural reset (registers, vector state, memory,
+    stats), so results are identical to running on a freshly constructed
+    processor — minus the construction and re-decode cost.
+    """
+
+    def __init__(self, cycle_model: CycleModel = DEFAULT_CYCLE_MODEL) -> None:
+        self.cycle_model = cycle_model
+        self._processors: Dict[Tuple[int, int], SIMDProcessor] = {}
+
+    def processor(self, elen: int, elenum: int) -> SIMDProcessor:
+        """The session's processor for one architecture (created lazily)."""
+        key = (elen, elenum)
+        proc = self._processors.get(key)
+        if proc is None:
+            proc = SIMDProcessor(
+                elen=elen,
+                elenum=elenum,
+                cycle_model=self.cycle_model,
+                trace=False,
+            )
+            self._processors[key] = proc
+        return proc
+
+    def run(self, program: KeccakProgram,
+            states: Sequence[KeccakState] = (),
+            *, trace: bool = False) -> RunResult:
+        """Execute ``program`` on ``states``; returns states + metrics.
+
+        The number of states must not exceed ``program.max_states``;
+        remaining element slots are left zero.  ``trace=True`` records a
+        full instruction trace (needed for the per-round/permutation
+        cycle metrics; without it those fall back to whole-run totals).
+        """
+        _check_capacity(program, states)
+        proc = self.processor(program.elen, program.elenum)
+        proc.reset(trace=trace)
+        return _execute(proc, program, states)
+
+
+#: Process-wide default sessions, one per cycle model (CycleModel is a
+#: frozen dataclass, hence hashable).  Bounded: a sweep over ad-hoc cycle
+#: models must not accumulate processors forever.
+_DEFAULT_SESSIONS: Dict[CycleModel, Session] = {}
+_MAX_DEFAULT_SESSIONS = 8
+
+
+def default_session(cycle_model: CycleModel = DEFAULT_CYCLE_MODEL
+                    ) -> Session:
+    """The shared session for ``cycle_model`` (created on first use)."""
+    session = _DEFAULT_SESSIONS.get(cycle_model)
+    if session is None:
+        if len(_DEFAULT_SESSIONS) >= _MAX_DEFAULT_SESSIONS:
+            _DEFAULT_SESSIONS.pop(next(iter(_DEFAULT_SESSIONS)))
+        session = _DEFAULT_SESSIONS[cycle_model] = Session(cycle_model)
+    return session
+
+
+def run(program: KeccakProgram,
+        states: Sequence[KeccakState] = (),
+        *, trace: bool = False,
+        cycle_model: CycleModel = DEFAULT_CYCLE_MODEL) -> RunResult:
+    """Execute a Keccak program on the shared default session.
+
+    The top-level entry point (`repro.run`): repeated runs of the same
+    program reuse the session's processor and predecoded program.
+    """
+    return default_session(cycle_model).run(program, states, trace=trace)

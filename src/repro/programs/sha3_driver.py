@@ -17,17 +17,16 @@ from typing import Optional
 
 from ..keccak.sponge import SHA3_SUFFIX, SHAKE_SUFFIX, Sponge
 from ..keccak.state import KeccakState
-from . import layout
 from .factory import build_program
 from .base import KeccakProgram
-from .runner import make_processor
+from .session import Session
 
 
 class SimulatedPermutation:
     """A Keccak-f[1600] callable backed by the processor simulator.
 
-    Reuses one processor instance across calls (reloading the state image
-    and re-running the program each time) and accumulates cycle counts.
+    Reuses one :class:`~repro.programs.session.Session` across calls (so
+    the program is decoded once) and accumulates cycle counts.
     """
 
     def __init__(self, elen: int = 64, lmul: int = 8, elenum: int = 5,
@@ -41,32 +40,15 @@ class SimulatedPermutation:
             raise ValueError(
                 "the simulated permutation needs a memory-IO program"
             )
-        self._processor = make_processor(self.program, trace=False)
-        self._assembled = self.program.assemble()
+        self._session = Session()
         self.call_count = 0
         self.total_cycles = 0
 
     def __call__(self, state: KeccakState) -> KeccakState:
-        processor = self._processor
-        processor.load_program(self._assembled)
-        processor.reset_stats(trace=False)
-        elenum = self.program.elenum
-        base = self.program.state_base
-        if self.program.elen == 64:
-            image = layout.memory_image64([state], elenum)
-        else:
-            image = layout.memory_image32([state], elenum)
-        processor.memory.store_bytes(base, image)
-        stats = processor.run()
+        result = self._session.run(self.program, [state])
         self.call_count += 1
-        self.total_cycles += stats.cycles
-        if self.program.elen == 64:
-            size = 5 * elenum * 8
-            raw = processor.memory.load_bytes(base, size)
-            return layout.parse_memory_image64(raw, elenum, 1)[0]
-        size = 2 * 5 * elenum * 4
-        raw = processor.memory.load_bytes(base, size)
-        return layout.parse_memory_image32(raw, elenum, 1)[0]
+        self.total_cycles += result.stats.cycles
+        return result.states[0]
 
 
 def simulated_sha3_256(message: bytes,

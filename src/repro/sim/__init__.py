@@ -9,6 +9,7 @@ from .exceptions import (
     SimulationError,
 )
 from .memory import DataMemory
+from .predecode import DecodedInstruction, PredecodedProgram, predecode
 from .processor import SIMDProcessor
 from .scalar_core import ScalarCore
 from .trace import ExecutionStats, TraceRecord
@@ -17,6 +18,9 @@ from .vector_unit import RC32_TABLE, VectorUnit
 
 __all__ = [
     "SIMDProcessor",
+    "DecodedInstruction",
+    "PredecodedProgram",
+    "predecode",
     "ScalarCore",
     "VectorUnit",
     "VectorRegfile",

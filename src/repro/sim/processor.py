@@ -30,9 +30,13 @@ from .exceptions import (
     ProcessorHalted,
 )
 from .memory import DataMemory
+from .predecode import PredecodedProgram, predecode
 from .scalar_core import ScalarCore
 from .trace import ExecutionStats
 from .vector_unit import VectorUnit
+
+#: Predecoded programs kept per processor before the oldest is evicted.
+_PREDECODE_CACHE_SIZE = 16
 
 
 class SIMDProcessor:
@@ -46,6 +50,7 @@ class SIMDProcessor:
         cycle_model: CycleModel = DEFAULT_CYCLE_MODEL,
         trace: bool = False,
         isa: InstructionSet = ISA,
+        predecode: bool = True,
     ) -> None:
         if elen not in (32, 64):
             raise ValueError(f"ELEN must be 32 or 64, got {elen}")
@@ -63,15 +68,34 @@ class SIMDProcessor:
         self.halted = False
         self._program_words: Dict[int, int] = {}
         self._program: Optional[Program] = None
+        self._predecode_enabled = predecode
+        self._predecoded: Optional[PredecodedProgram] = None
+        self._predecode_cache: Dict[int, PredecodedProgram] = {}
 
     # -- program loading ----------------------------------------------------------
 
     def load_program(self, program: Program) -> None:
-        """Load an assembled program into program memory and reset the pc."""
+        """Load an assembled program into program memory and reset the pc.
+
+        With predecoding enabled (the default) every instruction word is
+        decoded once, here, into a dense executor array; re-loading the
+        same (unmutated) :class:`Program` hits a per-processor cache and
+        is free — the batch-hashing and sweep pattern.
+        """
         self._program = program
         self._program_words = {
             inst.address: inst.word for inst in program.instructions
         }
+        if self._predecode_enabled:
+            cached = self._predecode_cache.get(id(program))
+            if cached is None or not cached.matches(program):
+                cached = predecode(self, program)
+                if len(self._predecode_cache) >= _PREDECODE_CACHE_SIZE:
+                    self._predecode_cache.pop(
+                        next(iter(self._predecode_cache))
+                    )
+                self._predecode_cache[id(program)] = cached
+            self._predecoded = cached
         self.scalar.pc = program.base_address
         self.halted = False
 
@@ -89,10 +113,34 @@ class SIMDProcessor:
     # -- execution ------------------------------------------------------------------
 
     def step(self) -> int:
-        """Fetch, decode and execute one instruction; returns its cycles."""
+        """Fetch and execute one instruction; returns its cycles.
+
+        Uses the predecoded entry when available, falling back to the
+        naive fetch → ``ISA.find`` → ``decode_operands`` path otherwise
+        (``predecode=False`` processors).
+        """
         if self.halted:
             raise ProcessorHalted("processor is halted")
         pc = self.scalar.pc
+        pre = self._predecoded
+        if pre is not None:
+            entry = pre.entry_at(pc)
+            if entry is None:
+                raise IllegalInstructionError(
+                    f"instruction fetch outside the program at pc={pc:#x}"
+                )
+            try:
+                cycles, next_pc = entry.execute()
+            except ProcessorHalted:
+                self.halted = True
+                cycles, next_pc = self.cycle_model.scalar_alu, None
+            self.stats.record(pc, entry.word, entry.mnemonic, cycles)
+            self.scalar.pc = next_pc if next_pc is not None else pc + 4
+            return cycles
+        return self._step_decode(pc)
+
+    def _step_decode(self, pc: int) -> int:
+        """The original per-step decode path (reference semantics)."""
         word = self._program_words.get(pc)
         if word is None:
             raise IllegalInstructionError(
@@ -179,21 +227,84 @@ class SIMDProcessor:
 
     def run(self, max_instructions: int = 10_000_000,
             max_cycles: Optional[int] = None) -> ExecutionStats:
-        """Run until ecall/ebreak; returns the accumulated statistics."""
+        """Run until ecall/ebreak; returns the accumulated statistics.
+
+        With a predecoded program this is a tight loop over the executor
+        array — no per-step decode, and no trace-record allocation when
+        tracing is off.
+        """
+        pre = self._predecoded
+        if pre is None:
+            while not self.halted:
+                if self.stats.instructions >= max_instructions:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {max_instructions} instructions at "
+                        f"pc={self.scalar.pc:#x} — infinite loop?"
+                    )
+                if max_cycles is not None \
+                        and self.stats.cycles >= max_cycles:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {max_cycles} cycles at "
+                        f"pc={self.scalar.pc:#x}"
+                    )
+                self.step()
+            return self.stats
+
+        entries = pre.entries
+        base = pre.base_address
+        size = len(entries)
+        scalar = self.scalar
+        stats = self.stats
+        record = stats.record
+        halt_cycles = self.cycle_model.scalar_alu
+        pc = scalar.pc
         while not self.halted:
-            if self.stats.instructions >= max_instructions:
+            if stats.instructions >= max_instructions:
                 raise ExecutionLimitExceeded(
                     f"exceeded {max_instructions} instructions at "
-                    f"pc={self.scalar.pc:#x} — infinite loop?"
+                    f"pc={pc:#x} — infinite loop?"
                 )
-            if max_cycles is not None and self.stats.cycles >= max_cycles:
+            if max_cycles is not None and stats.cycles >= max_cycles:
                 raise ExecutionLimitExceeded(
-                    f"exceeded {max_cycles} cycles at pc={self.scalar.pc:#x}"
+                    f"exceeded {max_cycles} cycles at pc={pc:#x}"
                 )
-            self.step()
-        return self.stats
+            offset = pc - base
+            index = offset >> 2
+            if offset & 3 or not 0 <= index < size:
+                raise IllegalInstructionError(
+                    f"instruction fetch outside the program at pc={pc:#x}"
+                )
+            entry = entries[index]
+            try:
+                cycles, next_pc = entry.execute()
+            except ProcessorHalted:
+                self.halted = True
+                cycles, next_pc = halt_cycles, None
+            record(pc, entry.word, entry.mnemonic, cycles)
+            pc = next_pc if next_pc is not None else pc + 4
+            scalar.pc = pc
+        return stats
 
     # -- test/eval conveniences --------------------------------------------------------
+
+    def reset(self, trace: Optional[bool] = None) -> None:
+        """Full architectural reset: registers, vector state, memory, stats.
+
+        Equivalent to constructing a fresh processor (which is what the
+        seed drivers did per run), but keeps the predecode cache — state
+        is cleared in place so compiled executors stay valid.  The pc
+        returns to the loaded program's base address.
+        """
+        self.scalar.reset()
+        self.vector.vl = 0
+        self.vector.sew = 64
+        self.vector.lmul = 1
+        self.vector.regfile.clear()
+        self.memory.clear()
+        self.reset_stats(trace=trace)
+        self.halted = False
+        if self._program is not None:
+            self.scalar.pc = self._program.base_address
 
     def reset_stats(self, trace: Optional[bool] = None) -> None:
         """Clear counters (and optionally toggle tracing)."""

@@ -9,7 +9,7 @@ hardware where Ibex forwards vector instructions over the VecISAInterface.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Tuple
+from typing import Callable, Mapping, Optional, Tuple
 
 from ..isa.spec import InstructionSpec
 from .cycles import CycleModel, DEFAULT_CYCLE_MODEL
@@ -34,6 +34,15 @@ class ScalarCore:
         self.cycle_model = cycle_model
         self.pc = 0
         self._regs = [0] * 32
+
+    def reset(self) -> None:
+        """Zero registers and pc.
+
+        The register list is cleared in place so executors compiled by
+        :meth:`compile_executor` (which capture the list) stay valid.
+        """
+        self._regs[:] = [0] * 32
+        self.pc = 0
 
     # -- register access -------------------------------------------------------
 
@@ -143,6 +152,157 @@ class ScalarCore:
         raise IllegalInstructionError(
             f"scalar core cannot execute {mnemonic!r}"
         )
+
+    def compile_executor(
+        self, spec: InstructionSpec, ops: Mapping[str, int], pc: int
+    ) -> Callable[[], Tuple[int, Optional[int]]]:
+        """Bind one decoded scalar instruction at address ``pc`` to a
+        zero-argument executor returning ``(cycles, next_pc)``.
+
+        Used by the predecode engine: table lookups, pc-relative targets
+        and immediate values are resolved once at decode time.  Executors
+        capture the register *list*, so :meth:`reset` must clear it in
+        place.  Unknown mnemonics yield an executor that faults when (and
+        only when) the instruction is actually reached, matching the
+        per-step decode behaviour.
+        """
+        mnemonic = spec.mnemonic
+        model = self.cycle_model
+        regs = self._regs
+
+        if mnemonic in _ALU_OPS or mnemonic in _MUL_OPS or \
+                mnemonic in _DIV_OPS:
+            if mnemonic in _ALU_OPS:
+                op, cost = _ALU_OPS[mnemonic], model.scalar_alu
+            elif mnemonic in _MUL_OPS:
+                op, cost = _MUL_OPS[mnemonic], model.scalar_mul
+            else:
+                op, cost = _DIV_OPS[mnemonic], model.scalar_div
+            rd, rs1, rs2 = ops["rd"], ops["rs1"], ops["rs2"]
+            if rd == 0:
+                return lambda: (cost, None)
+
+            def run_rtype() -> Tuple[int, Optional[int]]:
+                regs[rd] = op(regs[rs1], regs[rs2])
+                return cost, None
+
+            return run_rtype
+
+        if mnemonic in _ALU_IMM_OPS or mnemonic in _SHIFT_IMM_OPS:
+            if mnemonic in _ALU_IMM_OPS:
+                op = _ALU_IMM_OPS[mnemonic]
+                imm = ops["imm"]
+            else:
+                op = _SHIFT_IMM_OPS[mnemonic]
+                imm = ops["shamt"]
+            cost = model.scalar_alu
+            rd, rs1 = ops["rd"], ops["rs1"]
+            if rd == 0:
+                return lambda: (cost, None)
+
+            def run_itype() -> Tuple[int, Optional[int]]:
+                regs[rd] = op(regs[rs1], imm)
+                return cost, None
+
+            return run_itype
+
+        if mnemonic in _LOADS:
+            width, is_signed = _LOADS[mnemonic]
+            cost = model.scalar_load
+            rd, rs1, imm = ops["rd"], ops["rs1"], ops["imm"]
+            load = self.memory.load
+
+            def run_load() -> Tuple[int, Optional[int]]:
+                value = load((regs[rs1] + imm) & _MASK32, width,
+                             signed=is_signed)
+                if rd != 0:
+                    regs[rd] = value & _MASK32
+                return cost, None
+
+            return run_load
+
+        if mnemonic in _STORES:
+            width = _STORES[mnemonic]
+            cost = model.scalar_store
+            rs1, rs2, imm = ops["rs1"], ops["rs2"], ops["imm"]
+            store = self.memory.store
+
+            def run_store() -> Tuple[int, Optional[int]]:
+                store((regs[rs1] + imm) & _MASK32, width, regs[rs2])
+                return cost, None
+
+            return run_store
+
+        if mnemonic in _BRANCHES:
+            cond = _BRANCHES[mnemonic]
+            rs1, rs2 = ops["rs1"], ops["rs2"]
+            target = (pc + ops["offset"]) & _MASK32
+            taken, not_taken = model.branch_taken, model.branch_not_taken
+
+            def run_branch() -> Tuple[int, Optional[int]]:
+                if cond(regs[rs1], regs[rs2]):
+                    return taken, target
+                return not_taken, None
+
+            return run_branch
+
+        if mnemonic in ("lui", "auipc"):
+            cost = model.scalar_alu
+            rd = ops["rd"]
+            value = (ops["imm"] << 12) & _MASK32
+            if mnemonic == "auipc":
+                value = (pc + value) & _MASK32
+            if rd == 0:
+                return lambda: (cost, None)
+
+            def run_upper() -> Tuple[int, Optional[int]]:
+                regs[rd] = value
+                return cost, None
+
+            return run_upper
+
+        if mnemonic == "jal":
+            cost = model.jump
+            rd = ops["rd"]
+            link = (pc + 4) & _MASK32
+            target = (pc + ops["offset"]) & _MASK32
+
+            def run_jal() -> Tuple[int, Optional[int]]:
+                if rd != 0:
+                    regs[rd] = link
+                return cost, target
+
+            return run_jal
+
+        if mnemonic == "jalr":
+            cost = model.jump
+            rd, rs1, imm = ops["rd"], ops["rs1"], ops["imm"]
+            link = (pc + 4) & _MASK32
+
+            def run_jalr() -> Tuple[int, Optional[int]]:
+                target = ((regs[rs1] + imm) & ~1) & _MASK32
+                if rd != 0:
+                    regs[rd] = link
+                return cost, target
+
+            return run_jalr
+
+        if mnemonic in ("ecall", "ebreak"):
+            def run_halt() -> Tuple[int, Optional[int]]:
+                raise ProcessorHalted(f"{mnemonic} at pc={pc:#x}")
+
+            return run_halt
+
+        if mnemonic == "fence":
+            cost = model.scalar_alu
+            return lambda: (cost, None)
+
+        def run_illegal() -> Tuple[int, Optional[int]]:
+            raise IllegalInstructionError(
+                f"scalar core cannot execute {mnemonic!r}"
+            )
+
+        return run_illegal
 
 
 # -- operation tables ------------------------------------------------------------

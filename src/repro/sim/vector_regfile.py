@@ -30,6 +30,7 @@ class VectorRegfile:
         self.vlen_bits = vlen_bits
         self._regs: List[int] = [0] * NUM_VECTOR_REGISTERS
         self._full_mask = (1 << vlen_bits) - 1
+        self._per_reg: dict = {}  # SEW -> elements per register, memoized
 
     def _check_reg(self, reg: int) -> None:
         if not 0 <= reg < NUM_VECTOR_REGISTERS:
@@ -37,11 +38,14 @@ class VectorRegfile:
 
     def elements_per_register(self, sew: int) -> int:
         """How many SEW-bit elements one register holds."""
-        if sew <= 0 or self.vlen_bits % sew:
-            raise IllegalInstructionError(
-                f"SEW {sew} does not divide VLEN {self.vlen_bits}"
-            )
-        return self.vlen_bits // sew
+        per_reg = self._per_reg.get(sew)
+        if per_reg is None:
+            if sew <= 0 or self.vlen_bits % sew:
+                raise IllegalInstructionError(
+                    f"SEW {sew} does not divide VLEN {self.vlen_bits}"
+                )
+            per_reg = self._per_reg[sew] = self.vlen_bits // sew
+        return per_reg
 
     # -- raw access ---------------------------------------------------------------
 
@@ -98,18 +102,35 @@ class VectorRegfile:
 
     def read_elements(self, reg: int, sew: int) -> List[int]:
         """All elements of one register at SEW granularity."""
-        per_reg = self.elements_per_register(sew)
-        return [self.get_element(reg, i, sew) for i in range(per_reg)]
+        per_reg = self._per_reg.get(sew) or self.elements_per_register(sew)
+        if not 0 <= reg < NUM_VECTOR_REGISTERS:
+            raise IllegalInstructionError(f"vector register out of range: {reg}")
+        # Peel elements off the low end instead of shifting by index * sew
+        # each time — the shift distances stay small, which matters for the
+        # wide registers of the high-EleNum configurations.
+        mask = (1 << sew) - 1
+        value = self._regs[reg]
+        elements = []
+        append = elements.append
+        for _ in range(per_reg):
+            append(value & mask)
+            value >>= sew
+        return elements
 
     def write_elements(self, reg: int, sew: int, values: List[int]) -> None:
         """Replace all elements of one register."""
-        per_reg = self.elements_per_register(sew)
+        per_reg = self._per_reg.get(sew) or self.elements_per_register(sew)
         if len(values) != per_reg:
             raise ValueError(
                 f"expected {per_reg} elements for SEW {sew}, got {len(values)}"
             )
-        for i, value in enumerate(values):
-            self.set_element(reg, i, sew, value)
+        if not 0 <= reg < NUM_VECTOR_REGISTERS:
+            raise IllegalInstructionError(f"vector register out of range: {reg}")
+        mask = (1 << sew) - 1
+        packed = 0
+        for value in reversed(values):
+            packed = (packed << sew) | (value & mask)
+        self._regs[reg] = packed
 
     def mask_bit(self, index: int) -> int:
         """Mask bit for element ``index`` (bit ``index`` of v0, RVV layout)."""

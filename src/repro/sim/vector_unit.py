@@ -108,15 +108,28 @@ class VectorUnit:
         """Keccak states held per register pass (local SN)."""
         return min(self.vl, self.elements_per_register) // 5
 
+    def _geometry(self) -> "tuple[int, int]":
+        """(elements per register, register passes) without the property
+        chain — one call per executed vector instruction, so it is hot."""
+        sew = self.sew
+        per_reg = self.regfile._per_reg.get(sew)
+        if per_reg is None:
+            per_reg = self.regfile.elements_per_register(sew)
+        vl = self.vl
+        return per_reg, (1 if vl == 0 else -(-vl // per_reg))
+
     def _element_mask(self) -> int:
         return (1 << self.sew) - 1
 
-    def _check_group(self, base: int, what: str) -> None:
+    def _check_group(self, base: int, what: str,
+                     passes: int | None = None) -> None:
         if self.lmul > 1 and base % self.lmul:
             raise IllegalInstructionError(
                 f"{what} register v{base} not aligned to LMUL={self.lmul} group"
             )
-        if base + self.register_passes > 32:
+        if passes is None:
+            passes = self.register_passes
+        if base + passes > 32:
             raise IllegalInstructionError(
                 f"{what} group v{base}.. exceeds the register file"
             )
@@ -145,6 +158,63 @@ class VectorUnit:
             )
         return handler(spec, dict(ops), scalar_value)
 
+    def compile_executor(self, spec: InstructionSpec, ops: Mapping[str, int],
+                         scalar_value: Callable[[int], int]
+                         ) -> "Callable[[], tuple]":
+        """Bind one decoded vector instruction to a zero-argument executor
+        returning ``(cycles, None)`` — vector instructions always fall
+        through sequentially.
+
+        Used by the predecode engine: the handler lookup and the operand
+        dict are resolved once at decode time, so the per-step cost is just
+        the handler call.  Semantics are identical to :meth:`execute`
+        (including deferring the unknown-mnemonic fault to execution time).
+        """
+        handler = self._handlers.get(spec.mnemonic)
+        if handler is None:
+            mnemonic = spec.mnemonic
+
+            def missing() -> tuple:
+                raise IllegalInstructionError(
+                    f"vector unit does not implement {mnemonic!r}"
+                )
+
+            return missing
+        bound_ops = dict(ops)
+
+        raw = self._raw_vv.get(spec.mnemonic)
+        if raw is not None and ops.get("vm") == 1:
+            # Unmasked .vv bitwise op (the Keccak theta/chi hot path):
+            # when every pass covers a whole register, operate on the
+            # packed VLEN-bit integers directly.  Any violated
+            # precondition (tail pass, misalignment, out-of-range group)
+            # falls back to the generic handler, which performs the full
+            # checks and raises exactly what the seed interpreter did.
+            vd, vs2, vs1 = ops["vd"], ops["vs2"], ops["vs1"]
+
+            def run_raw() -> tuple:
+                per_reg, passes = self._geometry()
+                lmul = self.lmul
+                if (self.vl == passes * per_reg
+                        and vd + passes <= 32
+                        and vs2 + passes <= 32
+                        and vs1 + passes <= 32
+                        and (lmul == 1
+                             or not (vd % lmul or vs2 % lmul
+                                     or vs1 % lmul))):
+                    regs = self.regfile._regs
+                    for p in range(passes):
+                        regs[vd + p] = raw(regs[vs2 + p], regs[vs1 + p])
+                    return self.cycle_model.vector_arith(passes), None
+                return handler(spec, bound_ops, scalar_value), None
+
+            return run_raw
+
+        def run() -> tuple:
+            return handler(spec, bound_ops, scalar_value), None
+
+        return run
+
     def _build_handlers(self) -> Dict[str, Callable]:
         mask64 = (1 << 64) - 1
 
@@ -156,21 +226,31 @@ class VectorUnit:
 
         handlers: Dict[str, Callable] = {}
 
-        def binary(op):
+        def binary(op, raw=None):
             def run(spec, ops, scalar_value):
-                return self._exec_binary(spec, ops, scalar_value, op)
+                return self._exec_binary(spec, ops, scalar_value, op, raw)
             return run
 
         handlers["vadd.vv"] = handlers["vadd.vx"] = handlers["vadd.vi"] = \
             binary(lambda a, b, m: (a + b) & m)
         handlers["vsub.vv"] = handlers["vsub.vx"] = \
             binary(lambda a, b, m: (a - b) & m)
+        # The bitwise ops have no cross-element carries, so on fully
+        # active registers they run on the packed VLEN-bit integers
+        # directly (`raw`) — the Keccak theta/chi hot path.
         handlers["vand.vv"] = handlers["vand.vx"] = handlers["vand.vi"] = \
-            binary(lambda a, b, m: a & b)
+            binary(lambda a, b, m: a & b, raw=lambda a, b: a & b)
         handlers["vor.vv"] = handlers["vor.vx"] = handlers["vor.vi"] = \
-            binary(lambda a, b, m: a | b)
+            binary(lambda a, b, m: a | b, raw=lambda a, b: a | b)
         handlers["vxor.vv"] = handlers["vxor.vx"] = handlers["vxor.vi"] = \
-            binary(lambda a, b, m: a ^ b)
+            binary(lambda a, b, m: a ^ b, raw=lambda a, b: a ^ b)
+        # Raw (packed-register) forms for the .vv bitwise ops, used by
+        # compile_executor to emit a specialized fast executor.
+        self._raw_vv = {
+            "vand.vv": lambda a, b: a & b,
+            "vor.vv": lambda a, b: a | b,
+            "vxor.vv": lambda a, b: a ^ b,
+        }
         handlers["vsll.vv"] = handlers["vsll.vx"] = handlers["vsll.vi"] = \
             binary(lambda a, b, m: (a << (b % self.sew)) & m)
         handlers["vsrl.vv"] = handlers["vsrl.vx"] = handlers["vsrl.vi"] = \
@@ -201,40 +281,83 @@ class VectorUnit:
 
     # -- generic element-wise binary ops -------------------------------------------------
 
-    def _exec_binary(self, spec, ops, scalar_value, op) -> int:
+    def _exec_binary(self, spec, ops, scalar_value, op, raw=None) -> int:
         vd = ops["vd"]
         vs2 = ops["vs2"]
         vm = ops["vm"]
         sew = self.sew
-        mask = self._element_mask()
-        self._check_group(vd, "destination")
-        self._check_group(vs2, "source")
+        mask = (1 << sew) - 1
+        per_reg, passes = self._geometry()
+        self._check_group(vd, "destination", passes)
+        self._check_group(vs2, "source", passes)
 
+        vs1 = None
+        scalar = 0
         if spec.fmt == "v_vv":
             vs1 = ops["vs1"]
-            self._check_group(vs1, "source")
-            sources = [self.regfile.get_group_element(vs1, i, sew)
-                       for i in range(self.vl)]
+            self._check_group(vs1, "source", passes)
         elif spec.fmt == "v_vx":
             scalar = _sign_extend_to(scalar_value(ops["rs1"]), 32, sew)
-            sources = [scalar] * self.vl
         else:  # v_vi
             imm = ops["imm"]
             if spec.extra.get("signed_imm", True):
-                value = _sign_extend_to(imm & 0x1F, 5, sew)
+                scalar = _sign_extend_to(imm & 0x1F, 5, sew)
             else:
-                value = imm & 0x1F
-            sources = [value] * self.vl
+                scalar = imm & 0x1F
 
-        snapshot2 = [self.regfile.get_group_element(vs2, i, sew)
-                     for i in range(self.vl)]
-        for i in range(self.vl):
-            if not self._active(vm, i):
+        # One whole-register read/modify/write per group pass.  Register
+        # groups are LMUL-aligned, so vd's group is either identical to or
+        # disjoint from each source group and pass p never reads a register
+        # an earlier pass wrote — results match the snapshot-first order.
+        vl = self.vl
+        regfile = self.regfile
+        packed_scalar = None
+        if raw is not None and vm == 1 and vs1 is None:
+            packed_scalar = 0
+            for _ in range(per_reg):
+                packed_scalar = (packed_scalar << sew) | scalar
+        regs = regfile._regs
+        for p in range(passes):
+            base_index = p * per_reg
+            count = min(per_reg, vl - base_index)
+            if count <= 0:
                 continue
-            self.regfile.set_group_element(
-                vd, i, sew, op(snapshot2[i], sources[i], mask)
-            )
-        return self.cycle_model.vector_arith(self.register_passes)
+            if raw is not None and vm == 1 and count == per_reg:
+                # Whole register, every element active: operate on the
+                # packed integers (bitwise ops have no carries).
+                regs[vd + p] = raw(
+                    regs[vs2 + p],
+                    regs[vs1 + p] if vs1 is not None else packed_scalar,
+                )
+                continue
+            src2 = regfile.read_elements(vs2 + p, sew)
+            src1 = regfile.read_elements(vs1 + p, sew) \
+                if vs1 is not None else None
+            if vm == 1 and count == per_reg:
+                # Whole register overwritten: build it, no dst read.
+                if src1 is not None:
+                    dst = [op(a, b, mask) for a, b in zip(src2, src1)]
+                else:
+                    dst = [op(a, scalar, mask) for a in src2]
+            else:
+                dst = regfile.read_elements(vd + p, sew)
+                if vm == 1:
+                    if src1 is not None:
+                        for i in range(count):
+                            dst[i] = op(src2[i], src1[i], mask)
+                    else:
+                        for i in range(count):
+                            dst[i] = op(src2[i], scalar, mask)
+                else:
+                    for i in range(count):
+                        if self._active(vm, base_index + i):
+                            dst[i] = op(
+                                src2[i],
+                                src1[i] if src1 is not None else scalar,
+                                mask,
+                            )
+            regfile.write_elements(vd + p, sew, dst)
+        return self.cycle_model.vector_arith(passes)
 
     # -- custom: slide modulo five (Table 1) ----------------------------------------------
 
@@ -243,27 +366,38 @@ class VectorUnit:
         offset = ops["imm"] % 5
         down = spec.mnemonic == "vslidedownm.vi"
         sew = self.sew
-        per_reg = self.elements_per_register
-        self._check_group(vd, "destination")
-        self._check_group(vs2, "source")
+        per_reg, passes = self._geometry()
+        self._check_group(vd, "destination", passes)
+        self._check_group(vs2, "source", passes)
 
-        for p in range(self.register_passes):
+        # Source slot for lane j of each state, fixed across states/passes.
+        if down:
+            rotation = [(j + offset) % 5 for j in range(5)]
+        else:
+            rotation = [(j - offset) % 5 for j in range(5)]
+        for p in range(passes):
             base_index = p * per_reg
             count = min(per_reg, self.vl - base_index)
             local_sn = count // 5
             src = self.regfile.read_elements(vs2 + p, sew)
-            for i in range(local_sn):
-                for j in range(5):
-                    if down:
-                        source_slot = 5 * i + (j + offset) % 5
-                    else:
-                        source_slot = 5 * i + (j - offset) % 5
-                    if not self._active(vm, base_index + 5 * i + j):
-                        continue
-                    self.regfile.set_element(
-                        vd + p, 5 * i + j, sew, src[source_slot]
-                    )
-        return self.cycle_model.vector_arith(self.register_passes)
+            if vm == 1 and 5 * local_sn == per_reg:
+                dst = [src[slot + rot]
+                       for slot in range(0, count, 5) for rot in rotation]
+            else:
+                dst = self.regfile.read_elements(vd + p, sew)
+                if vm == 1:
+                    for i in range(local_sn):
+                        slot = 5 * i
+                        for j in range(5):
+                            dst[slot + j] = src[slot + rotation[j]]
+                else:
+                    for i in range(local_sn):
+                        slot = 5 * i
+                        for j in range(5):
+                            if self._active(vm, base_index + slot + j):
+                                dst[slot + j] = src[slot + rotation[j]]
+            self.regfile.write_elements(vd + p, sew, dst)
+        return self.cycle_model.vector_arith(passes)
 
     # -- custom: rotations (Table 3) ---------------------------------------------------------
 
@@ -274,17 +408,30 @@ class VectorUnit:
             )
         vd, vs2, vm = ops["vd"], ops["vs2"], ops["vm"]
         amount = ops["imm"] % 64
-        self._check_group(vd, "destination")
-        self._check_group(vs2, "source")
-        snapshot = [self.regfile.get_group_element(vs2, i, 64)
-                    for i in range(self.vl)]
-        for i in range(self.vl):
-            if not self._active(vm, i):
+        per_reg, passes = self._geometry()
+        self._check_group(vd, "destination", passes)
+        self._check_group(vs2, "source", passes)
+        vl = self.vl
+        rotl = self._rotl64
+        for p in range(passes):
+            base_index = p * per_reg
+            count = min(per_reg, vl - base_index)
+            if count <= 0:
                 continue
-            self.regfile.set_group_element(
-                vd, i, 64, self._rotl64(snapshot[i], amount)
-            )
-        return self.cycle_model.vector_arith(self.register_passes)
+            src = self.regfile.read_elements(vs2 + p, 64)
+            if vm == 1 and count == per_reg:
+                dst = [rotl(value, amount) for value in src]
+            else:
+                dst = self.regfile.read_elements(vd + p, 64)
+                if vm == 1:
+                    for i in range(count):
+                        dst[i] = rotl(src[i], amount)
+                else:
+                    for i in range(count):
+                        if self._active(vm, base_index + i):
+                            dst[i] = rotl(src[i], amount)
+            self.regfile.write_elements(vd + p, 64, dst)
+        return self.cycle_model.vector_arith(passes)
 
     def _exec_v32rotup(self, spec, ops, scalar_value) -> int:
         if self.sew != 32:
@@ -293,18 +440,41 @@ class VectorUnit:
             )
         vd, vs2, vs1, vm = ops["vd"], ops["vs2"], ops["vs1"], ops["vm"]
         keep_high = spec.mnemonic == "v32hrotup.vv"
-        self._check_group(vd, "destination")
-        self._check_group(vs2, "source")
-        self._check_group(vs1, "source")
-        hi = [self.regfile.get_group_element(vs2, i, 32) for i in range(self.vl)]
-        lo = [self.regfile.get_group_element(vs1, i, 32) for i in range(self.vl)]
-        for i in range(self.vl):
-            if not self._active(vm, i):
+        per_reg, passes = self._geometry()
+        self._check_group(vd, "destination", passes)
+        self._check_group(vs2, "source", passes)
+        self._check_group(vs1, "source", passes)
+        vl = self.vl
+        rotl = self._rotl64
+        for p in range(passes):
+            base_index = p * per_reg
+            count = min(per_reg, vl - base_index)
+            if count <= 0:
                 continue
-            rotated = self._rotl64((hi[i] << 32) | lo[i], 1)
-            value = (rotated >> 32) if keep_high else (rotated & 0xFFFFFFFF)
-            self.regfile.set_group_element(vd, i, 32, value)
-        return self.cycle_model.vector_arith(self.register_passes)
+            hi = self.regfile.read_elements(vs2 + p, 32)
+            lo = self.regfile.read_elements(vs1 + p, 32)
+            if vm == 1 and count == per_reg:
+                if keep_high:
+                    dst = [rotl((h << 32) | l, 1) >> 32
+                           for h, l in zip(hi, lo)]
+                else:
+                    dst = [rotl((h << 32) | l, 1) & 0xFFFFFFFF
+                           for h, l in zip(hi, lo)]
+            else:
+                dst = self.regfile.read_elements(vd + p, 32)
+                if vm == 1:
+                    for i in range(count):
+                        rotated = rotl((hi[i] << 32) | lo[i], 1)
+                        dst[i] = (rotated >> 32) if keep_high \
+                            else (rotated & 0xFFFFFFFF)
+                else:
+                    for i in range(count):
+                        if self._active(vm, base_index + i):
+                            rotated = rotl((hi[i] << 32) | lo[i], 1)
+                            dst[i] = (rotated >> 32) if keep_high \
+                                else (rotated & 0xFFFFFFFF)
+            self.regfile.write_elements(vd + p, 32, dst)
+        return self.cycle_model.vector_arith(passes)
 
     def _rho_row_for_pass(self, simm: int, pass_index: int) -> int:
         """Row index: the immediate, or the hardware lmul_cnt counter."""
@@ -326,25 +496,37 @@ class VectorUnit:
                 "v64rho.vi requires the 64-bit architecture (SEW=64)"
             )
         vd, vs2, vm, simm = ops["vd"], ops["vs2"], ops["vm"], ops["imm"]
-        per_reg = self.elements_per_register
-        self._check_group(vd, "destination")
-        self._check_group(vs2, "source")
-        for p in range(self.register_passes):
+        per_reg, passes = self._geometry()
+        self._check_group(vd, "destination", passes)
+        self._check_group(vs2, "source", passes)
+        rotl = self._rotl64
+        for p in range(passes):
             row = self._rho_row_for_pass(simm, p)
+            amounts = RHO_BY_ROW[row]
             base_index = p * per_reg
             count = min(per_reg, self.vl - base_index)
             local_sn = count // 5
             src = self.regfile.read_elements(vs2 + p, 64)
-            for i in range(local_sn):
-                for j in range(5):
-                    if not self._active(vm, base_index + 5 * i + j):
-                        continue
-                    amount = RHO_BY_ROW[row][j]
-                    self.regfile.set_element(
-                        vd + p, 5 * i + j, 64,
-                        self._rotl64(src[5 * i + j], amount),
-                    )
-        return self.cycle_model.vector_arith(self.register_passes)
+            if vm == 1 and 5 * local_sn == per_reg:
+                dst = [rotl(src[slot + j], amounts[j])
+                       for slot in range(0, count, 5) for j in range(5)]
+            else:
+                dst = self.regfile.read_elements(vd + p, 64)
+                if vm == 1:
+                    for i in range(local_sn):
+                        slot = 5 * i
+                        for j in range(5):
+                            dst[slot + j] = rotl(src[slot + j], amounts[j])
+                else:
+                    for i in range(local_sn):
+                        slot = 5 * i
+                        for j in range(5):
+                            if self._active(vm, base_index + slot + j):
+                                dst[slot + j] = rotl(
+                                    src[slot + j], amounts[j]
+                                )
+            self.regfile.write_elements(vd + p, 64, dst)
+        return self.cycle_model.vector_arith(passes)
 
     def _exec_v32rho(self, spec, ops, scalar_value) -> int:
         if self.sew != 32:
@@ -353,58 +535,113 @@ class VectorUnit:
             )
         vd, vs2, vs1, vm = ops["vd"], ops["vs2"], ops["vs1"], ops["vm"]
         keep_high = spec.mnemonic == "v32hrho.vv"
-        per_reg = self.elements_per_register
-        self._check_group(vd, "destination")
-        self._check_group(vs2, "source")
-        self._check_group(vs1, "source")
-        for p in range(self.register_passes):
+        per_reg, passes = self._geometry()
+        self._check_group(vd, "destination", passes)
+        self._check_group(vs2, "source", passes)
+        self._check_group(vs1, "source", passes)
+        rotl = self._rotl64
+        for p in range(passes):
             row = p % 5  # lmul_cnt indexes the row automatically
+            amounts = RHO_BY_ROW[row]
             base_index = p * per_reg
             count = min(per_reg, self.vl - base_index)
             local_sn = count // 5
             hi = self.regfile.read_elements(vs2 + p, 32)
             lo = self.regfile.read_elements(vs1 + p, 32)
-            for i in range(local_sn):
-                for j in range(5):
-                    if not self._active(vm, base_index + 5 * i + j):
-                        continue
-                    slot = 5 * i + j
-                    amount = RHO_BY_ROW[row][j]
-                    rotated = self._rotl64((hi[slot] << 32) | lo[slot], amount)
-                    value = (rotated >> 32) if keep_high \
-                        else (rotated & 0xFFFFFFFF)
-                    self.regfile.set_element(vd + p, slot, 32, value)
-        return self.cycle_model.vector_arith(self.register_passes)
+            if vm == 1 and 5 * local_sn == per_reg:
+                if keep_high:
+                    dst = [rotl((hi[slot + j] << 32) | lo[slot + j],
+                                amounts[j]) >> 32
+                           for slot in range(0, count, 5) for j in range(5)]
+                else:
+                    dst = [rotl((hi[slot + j] << 32) | lo[slot + j],
+                                amounts[j]) & 0xFFFFFFFF
+                           for slot in range(0, count, 5) for j in range(5)]
+            else:
+                dst = self.regfile.read_elements(vd + p, 32)
+                if vm == 1:
+                    for i in range(local_sn):
+                        slot = 5 * i
+                        for j in range(5):
+                            rotated = rotl(
+                                (hi[slot + j] << 32) | lo[slot + j],
+                                amounts[j],
+                            )
+                            dst[slot + j] = (rotated >> 32) if keep_high \
+                                else (rotated & 0xFFFFFFFF)
+                else:
+                    for i in range(local_sn):
+                        slot = 5 * i
+                        for j in range(5):
+                            if self._active(vm, base_index + slot + j):
+                                rotated = rotl(
+                                    (hi[slot + j] << 32) | lo[slot + j],
+                                    amounts[j],
+                                )
+                                dst[slot + j] = (rotated >> 32) if keep_high \
+                                    else (rotated & 0xFFFFFFFF)
+            self.regfile.write_elements(vd + p, 32, dst)
+        return self.cycle_model.vector_arith(passes)
 
     # -- custom: pi (Table 4, Fig. 8) ------------------------------------------------------------
 
     def _exec_vpi(self, spec, ops, scalar_value) -> int:
         vd, vs2, vm, simm = ops["vd"], ops["vs2"], ops["vm"], ops["imm"]
         sew = self.sew
-        per_reg = self.elements_per_register
-        self._check_group(vs2, "source")
+        per_reg, passes = self._geometry()
+        self._check_group(vs2, "source", passes)
         if vd + 5 > 32:
             raise IllegalInstructionError(
                 f"vpi destination column v{vd}..v{vd + 4} exceeds the "
                 "register file"
             )
-        for p in range(self.register_passes):
+        if passes == 1 or (vs2 < vd + 5 and vd < vs2 + passes):
+            # Source group overlaps the destination column (write each
+            # element through immediately — a later pass may read it
+            # back), or a single pass, where touching only the five
+            # written elements beats buffering five whole registers.
+            for p in range(passes):
+                row = self._rho_row_for_pass(simm, p)
+                base_index = p * per_reg
+                count = min(per_reg, self.vl - base_index)
+                local_sn = count // 5
+                src = self.regfile.read_elements(vs2 + p, sew)
+                for i in range(local_sn):
+                    for lane in range(5):
+                        if not self._active(vm, base_index + 5 * i + lane):
+                            continue
+                        # pi: lane `lane` of source plane `row` lands in
+                        # plane 2*(lane - row) mod 5, at lane position `row`.
+                        dest_plane = (2 * (lane - row)) % 5
+                        self.regfile.set_element(
+                            vd + dest_plane, 5 * i + row, sew,
+                            src[5 * i + lane],
+                        )
+            return self.cycle_model.vector_pi(passes)
+        # Disjoint groups: buffer the five destination planes and write
+        # each register once.
+        dst = [self.regfile.read_elements(vd + k, sew) for k in range(5)]
+        for p in range(passes):
             row = self._rho_row_for_pass(simm, p)
+            planes = [(2 * (lane - row)) % 5 for lane in range(5)]
             base_index = p * per_reg
             count = min(per_reg, self.vl - base_index)
             local_sn = count // 5
             src = self.regfile.read_elements(vs2 + p, sew)
-            for i in range(local_sn):
-                for lane in range(5):
-                    if not self._active(vm, base_index + 5 * i + lane):
-                        continue
-                    # pi: lane `lane` of source plane `row` lands in plane
-                    # 2*(lane - row) mod 5, at lane position `row`.
-                    dest_plane = (2 * (lane - row)) % 5
-                    self.regfile.set_element(
-                        vd + dest_plane, 5 * i + row, sew, src[5 * i + lane]
-                    )
-        return self.cycle_model.vector_pi(self.register_passes)
+            if vm == 1:
+                for i in range(local_sn):
+                    slot = 5 * i
+                    for lane in range(5):
+                        dst[planes[lane]][slot + row] = src[slot + lane]
+            else:
+                for i in range(local_sn):
+                    slot = 5 * i
+                    for lane in range(5):
+                        if self._active(vm, base_index + slot + lane):
+                            dst[planes[lane]][slot + row] = src[slot + lane]
+        for k in range(5):
+            self.regfile.write_elements(vd + k, sew, dst[k])
+        return self.cycle_model.vector_pi(passes)
 
     # -- fused extensions (paper future work, Section 5) -----------------------------
 
@@ -415,31 +652,60 @@ class VectorUnit:
                 "vrhopi.vi requires the 64-bit architecture (SEW=64)"
             )
         vd, vs2, vm, simm = ops["vd"], ops["vs2"], ops["vm"], ops["imm"]
-        per_reg = self.elements_per_register
-        self._check_group(vs2, "source")
+        per_reg, passes = self._geometry()
+        rotl = self._rotl64
+        self._check_group(vs2, "source", passes)
         if vd + 5 > 32:
             raise IllegalInstructionError(
                 f"vrhopi destination column v{vd}..v{vd + 4} exceeds the "
                 "register file"
             )
-        for p in range(self.register_passes):
+        if passes == 1 or (vs2 < vd + 5 and vd < vs2 + passes):
+            for p in range(passes):
+                row = self._rho_row_for_pass(simm, p)
+                base_index = p * per_reg
+                count = min(per_reg, self.vl - base_index)
+                local_sn = count // 5
+                src = self.regfile.read_elements(vs2 + p, 64)
+                for i in range(local_sn):
+                    for lane in range(5):
+                        if not self._active(vm, base_index + 5 * i + lane):
+                            continue
+                        rotated = rotl(
+                            src[5 * i + lane], RHO_BY_ROW[row][lane]
+                        )
+                        dest_plane = (2 * (lane - row)) % 5
+                        self.regfile.set_element(
+                            vd + dest_plane, 5 * i + row, 64, rotated
+                        )
+            return self.cycle_model.vector_pi(passes)
+        dst = [self.regfile.read_elements(vd + k, 64) for k in range(5)]
+        for p in range(passes):
             row = self._rho_row_for_pass(simm, p)
+            amounts = RHO_BY_ROW[row]
+            planes = [(2 * (lane - row)) % 5 for lane in range(5)]
             base_index = p * per_reg
             count = min(per_reg, self.vl - base_index)
             local_sn = count // 5
             src = self.regfile.read_elements(vs2 + p, 64)
-            for i in range(local_sn):
-                for lane in range(5):
-                    if not self._active(vm, base_index + 5 * i + lane):
-                        continue
-                    rotated = self._rotl64(
-                        src[5 * i + lane], RHO_BY_ROW[row][lane]
-                    )
-                    dest_plane = (2 * (lane - row)) % 5
-                    self.regfile.set_element(
-                        vd + dest_plane, 5 * i + row, 64, rotated
-                    )
-        return self.cycle_model.vector_pi(self.register_passes)
+            if vm == 1:
+                for i in range(local_sn):
+                    slot = 5 * i
+                    for lane in range(5):
+                        dst[planes[lane]][slot + row] = rotl(
+                            src[slot + lane], amounts[lane]
+                        )
+            else:
+                for i in range(local_sn):
+                    slot = 5 * i
+                    for lane in range(5):
+                        if self._active(vm, base_index + slot + lane):
+                            dst[planes[lane]][slot + row] = rotl(
+                                src[slot + lane], amounts[lane]
+                            )
+        for k in range(5):
+            self.regfile.write_elements(vd + k, 64, dst[k])
+        return self.cycle_model.vector_pi(passes)
 
     def _exec_vchi(self, spec, ops, scalar_value) -> int:
         """Fused chi: the whole row function in one instruction."""
@@ -449,25 +715,43 @@ class VectorUnit:
                 f"vchi.vi immediate is reserved and must be 0, got {simm}"
             )
         sew = self.sew
-        mask = self._element_mask()
-        per_reg = self.elements_per_register
-        self._check_group(vd, "destination")
-        self._check_group(vs2, "source")
-        for p in range(self.register_passes):
+        mask = (1 << sew) - 1
+        per_reg, passes = self._geometry()
+        self._check_group(vd, "destination", passes)
+        self._check_group(vs2, "source", passes)
+        offset1 = (1, 2, 3, 4, 0)
+        offset2 = (2, 3, 4, 0, 1)
+        for p in range(passes):
             base_index = p * per_reg
             count = min(per_reg, self.vl - base_index)
             local_sn = count // 5
             src = self.regfile.read_elements(vs2 + p, sew)
-            for i in range(local_sn):
-                for j in range(5):
-                    if not self._active(vm, base_index + 5 * i + j):
-                        continue
-                    value = src[5 * i + j] ^ (
-                        (~src[5 * i + (j + 1) % 5] & mask)
-                        & src[5 * i + (j + 2) % 5]
-                    )
-                    self.regfile.set_element(vd + p, 5 * i + j, sew, value)
-        return self.cycle_model.vector_arith(self.register_passes)
+            if vm == 1 and 5 * local_sn == per_reg:
+                dst = [src[slot + j]
+                       ^ ((~src[slot + offset1[j]] & mask)
+                          & src[slot + offset2[j]])
+                       for slot in range(0, count, 5) for j in range(5)]
+            else:
+                dst = self.regfile.read_elements(vd + p, sew)
+                if vm == 1:
+                    for i in range(local_sn):
+                        slot = 5 * i
+                        for j in range(5):
+                            dst[slot + j] = src[slot + j] ^ (
+                                (~src[slot + offset1[j]] & mask)
+                                & src[slot + offset2[j]]
+                            )
+                else:
+                    for i in range(local_sn):
+                        slot = 5 * i
+                        for j in range(5):
+                            if self._active(vm, base_index + slot + j):
+                                dst[slot + j] = src[slot + j] ^ (
+                                    (~src[slot + offset1[j]] & mask)
+                                    & src[slot + offset2[j]]
+                                )
+            self.regfile.write_elements(vd + p, sew, dst)
+        return self.cycle_model.vector_arith(passes)
 
     # -- custom: iota (Table 5) --------------------------------------------------------------------
 
@@ -475,9 +759,9 @@ class VectorUnit:
         vd, vs2, vm = ops["vd"], ops["vs2"], ops["vm"]
         index = scalar_value(ops["rs1"])
         sew = self.sew
-        per_reg = self.elements_per_register
-        self._check_group(vd, "destination")
-        self._check_group(vs2, "source")
+        per_reg, passes = self._geometry()
+        self._check_group(vd, "destination", passes)
+        self._check_group(vs2, "source", passes)
         if sew == 64:
             if not 0 <= index < len(ROUND_CONSTANTS):
                 raise IllegalInstructionError(
@@ -494,20 +778,33 @@ class VectorUnit:
             raise IllegalInstructionError(
                 f"viota.vx requires SEW of 32 or 64, have {sew}"
             )
-        for p in range(self.register_passes):
+        for p in range(passes):
             base_index = p * per_reg
             count = min(per_reg, self.vl - base_index)
             local_sn = count // 5
             src = self.regfile.read_elements(vs2 + p, sew)
-            for i in range(local_sn):
-                for j in range(5):
-                    if not self._active(vm, base_index + 5 * i + j):
-                        continue
-                    value = src[5 * i + j]
-                    if j == 0:
-                        value ^= constant
-                    self.regfile.set_element(vd + p, 5 * i + j, sew, value)
-        return self.cycle_model.vector_arith(self.register_passes)
+            if vm == 1 and 5 * local_sn == per_reg:
+                dst = src[:]
+                for slot in range(0, count, 5):
+                    dst[slot] ^= constant
+            else:
+                dst = self.regfile.read_elements(vd + p, sew)
+                if vm == 1:
+                    for i in range(local_sn):
+                        slot = 5 * i
+                        dst[slot] = src[slot] ^ constant
+                        dst[slot + 1:slot + 5] = src[slot + 1:slot + 5]
+                else:
+                    for i in range(local_sn):
+                        slot = 5 * i
+                        for j in range(5):
+                            if self._active(vm, base_index + slot + j):
+                                value = src[slot + j]
+                                if j == 0:
+                                    value ^= constant
+                                dst[slot + j] = value
+            self.regfile.write_elements(vd + p, sew, dst)
+        return self.cycle_model.vector_arith(passes)
 
     # -- memory (VecLSU) ------------------------------------------------------------------------------
 

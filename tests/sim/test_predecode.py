@@ -1,0 +1,167 @@
+"""Differential tests: predecoded execution vs the naive per-step decoder.
+
+The predecode engine must be an optimization only — every observable of a
+run (permuted states, retired instruction count, total cycles, and the
+per-record trace) must be bit-identical to the seed's decode-every-step
+interpreter.  This is checked across all five generated program variants,
+the scalar baseline, and both trace modes, plus the paper's headline
+cycle counts as absolute pins.
+"""
+
+import pytest
+
+from repro.keccak import KeccakState, keccak_f1600
+from repro.programs import (
+    build_program,
+    keccak32_lmul8,
+    keccak64_fused,
+    keccak64_lmul1,
+    keccak64_lmul41,
+    keccak64_lmul8,
+    scalar_keccak,
+)
+from repro.programs.runner import run_keccak_program
+from repro.programs.session import Session, run
+from repro.sim.predecode import predecode
+from repro.sim.processor import SIMDProcessor
+
+VARIANTS = [
+    ("lmul1", keccak64_lmul1),
+    ("lmul8", keccak64_lmul8),
+    ("lmul41", keccak64_lmul41),
+    ("fused", keccak64_fused),
+    ("32bit", keccak32_lmul8),
+]
+
+
+def _states(count, seed=0xC0FFEE):
+    import random
+
+    rng = random.Random(seed)
+    return [KeccakState([rng.getrandbits(64) for _ in range(25)])
+            for _ in range(count)]
+
+
+def _run_pair(program, states, trace):
+    """Run once predecoded and once with the naive decoder."""
+    fast = SIMDProcessor(elen=program.elen, elenum=program.elenum,
+                         trace=trace)
+    slow = SIMDProcessor(elen=program.elen, elenum=program.elenum,
+                         trace=trace, predecode=False)
+    return (run_keccak_program(program, states, processor=fast),
+            run_keccak_program(program, states, processor=slow))
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("trace", [True, False],
+                             ids=["traced", "untraced"])
+    @pytest.mark.parametrize("name,module", VARIANTS)
+    def test_variants_bit_identical(self, name, module, trace):
+        program = module.build(5)
+        states = _states(1)
+        fast, slow = _run_pair(program, states, trace)
+        assert fast.states == slow.states
+        assert fast.states == [keccak_f1600(s) for s in states]
+        assert fast.stats.instructions == slow.stats.instructions
+        assert fast.stats.cycles == slow.stats.cycles
+        assert fast.permutation_cycles == slow.permutation_cycles
+        assert fast.cycles_per_round == slow.cycles_per_round
+        if trace:
+            assert len(fast.stats.records) == len(slow.stats.records)
+            for a, b in zip(fast.stats.records, slow.stats.records):
+                assert (a.pc, a.word, a.mnemonic, a.cycles) == \
+                       (b.pc, b.word, b.mnemonic, b.cycles)
+
+    @pytest.mark.parametrize("trace", [True, False],
+                             ids=["traced", "untraced"])
+    def test_scalar_program_bit_identical(self, trace):
+        program = scalar_keccak.build()
+        state = _states(1)[0]
+        results = []
+        for use_predecode in (True, False):
+            proc = SIMDProcessor(elen=32, elenum=5, trace=trace,
+                                 predecode=use_predecode)
+            proc.load_program(program.assemble())
+            scalar_keccak.setup_data(proc.memory, state)
+            stats = proc.run()
+            results.append((scalar_keccak.read_state(proc.memory),
+                            stats.instructions, stats.cycles))
+        assert results[0] == results[1]
+        assert results[0][0] == keccak_f1600(state)
+
+
+class TestCyclePins:
+    """The paper's Table 7/8 numbers must survive the predecode engine."""
+
+    @pytest.mark.parametrize("elen,lmul,cycles,per_round", [
+        (64, 1, 2564, 103),
+        (64, 8, 1892, 75),
+        (32, 8, 3620, 147),
+    ])
+    def test_permutation_cycles(self, elen, lmul, cycles, per_round):
+        result = run(build_program(elen, lmul, 5), _states(1), trace=True)
+        assert result.permutation_cycles == cycles
+        assert result.cycles_per_round == pytest.approx(per_round)
+
+
+class TestPredecodeCache:
+    def test_reload_same_program_reuses_predecode(self):
+        program = keccak64_lmul8.build(5)
+        assembled = program.assemble()
+        proc = SIMDProcessor(elen=64, elenum=5, trace=False)
+        proc.load_program(assembled)
+        first = proc._predecoded
+        assert first is not None
+        proc.load_program(assembled)
+        assert proc._predecoded is first
+
+    def test_mutated_word_invalidates_cache(self):
+        program = keccak64_lmul8.build(5)
+        assembled = program.assemble()
+        proc = SIMDProcessor(elen=64, elenum=5, trace=False)
+        proc.load_program(assembled)
+        first = proc._predecoded
+        original = assembled.instructions[10].word
+        assembled.instructions[10].word = original ^ 1
+        try:
+            proc.load_program(assembled)
+            assert proc._predecoded is not first
+        finally:
+            assembled.instructions[10].word = original
+
+    def test_predecode_defers_illegal_words(self):
+        # An undecodable word must not fault at predecode time, only when
+        # (and if) the pc reaches it — matching the per-step decoder.
+        program = keccak64_lmul8.build(5)
+        assembled = program.assemble()
+        proc = SIMDProcessor(elen=64, elenum=5, trace=False)
+        pre = predecode(proc, assembled)
+        assert all(e.execute is not None for e in pre.entries)
+
+
+class TestSessionEquivalence:
+    def test_session_matches_fresh_processor(self):
+        program = build_program(64, 8, 30)
+        states = _states(6)
+        session = Session()
+        warm = None
+        for _ in range(3):  # repeated runs must not drift
+            result = session.run(program, states, trace=True)
+            if warm is None:
+                warm = result
+            assert result.states == warm.states
+            assert result.permutation_cycles == warm.permutation_cycles
+        fresh = run_keccak_program(program, states)
+        assert warm.states == fresh.states
+        assert warm.permutation_cycles == fresh.permutation_cycles
+        assert warm.stats.cycles == fresh.stats.cycles
+
+    def test_session_trace_toggle(self):
+        program = build_program(64, 8, 5)
+        session = Session()
+        traced = session.run(program, _states(1), trace=True)
+        untraced = session.run(program, _states(1), trace=False)
+        assert traced.stats.records is not None
+        assert untraced.stats.records is None
+        assert traced.stats.cycles == untraced.stats.cycles
+        assert traced.states == untraced.states
