@@ -5,12 +5,22 @@ included, not just the raw permutation.
 """
 
 import hashlib
+import os
 
 import pytest
 
-from repro.programs.batch_driver import BatchPermutation, batch_sha3_256
+from repro.programs.batch_driver import (
+    BatchPermutation,
+    batch_sha3_256,
+    run_many,
+)
 
 MESSAGES = [bytes([i]) * 120 for i in range(6)]
+
+#: The process-parallel acceptance workload: >= 600 messages sharded
+#: across the pool.  Scaling benches only mean something on multicore.
+MANY_MESSAGES = [bytes([i % 256, i // 256]) * 20 for i in range(600)]
+_MULTICORE = (os.cpu_count() or 1) >= 2
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -59,3 +69,23 @@ def test_bench_one_at_a_time(benchmark):
 
     digests = benchmark(run)
     assert len(digests) == 6
+
+
+@pytest.mark.parametrize("workers", [1, 4], ids=["workers1", "workers4"])
+def test_bench_run_many_600(benchmark, workers):
+    """The workers=4 vs workers=1 scaling pair over 600 messages.
+
+    One round per measurement (the workload is seconds long); compare the
+    two BENCH json records to read off the speedup.  The pool only helps
+    with real cores, so the 4-worker leg is skipped on single-core boxes.
+    """
+    if workers > 1 and not _MULTICORE:
+        pytest.skip("multi-worker scaling needs more than one core")
+
+    def run():
+        return run_many(MANY_MESSAGES, workers=workers)
+
+    digests = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["messages"] = len(MANY_MESSAGES)
+    assert digests == [hashlib.sha3_256(m).digest() for m in MANY_MESSAGES]

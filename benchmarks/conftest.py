@@ -15,6 +15,29 @@ import pytest
 
 from repro.keccak import KeccakState
 
+from record import extract_stats, record_benchmark
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", default=None, metavar="DIR",
+        help="write per-benchmark wall-clock + cycles to "
+             "DIR/BENCH_<name>.json",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    directory = session.config.getoption("--bench-json")
+    if not directory:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    for bench in bench_session.benchmarks:
+        if not bench.has_error and bench.stats is not None:
+            record_benchmark(directory, bench.name, extract_stats(bench),
+                             dict(bench.extra_info))
+
 
 def make_states(count: int, seed: int = 2023):
     rng = random.Random(seed)

@@ -1,0 +1,54 @@
+"""Machine-readable benchmark recording (``--bench-json``).
+
+With ``pytest benchmarks/ --benchmark-only --bench-json=DIR``, each
+benchmark's wall-clock statistics (and any simulator cycle counts the
+benchmark attached via ``benchmark.extra_info``) are written to
+``DIR/BENCH_<name>.json``, one file per benchmark, so the performance
+trajectory across PRs can be diffed and plotted without parsing pytest
+output.
+
+Schema of each file::
+
+    {
+      "name": "test_bench_64bit_permutation[lmul1]",
+      "wall_clock": {"min": ..., "mean": ..., "stddev": ..., "rounds": N},
+      "extra": {"cycles": ..., ...}        # whatever the bench recorded
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict
+
+
+def _slug(name: str) -> str:
+    """A filesystem-safe version of a benchmark's test name."""
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+
+
+def record_benchmark(directory: str, name: str,
+                     stats: Dict[str, Any],
+                     extra: Dict[str, Any]) -> str:
+    """Write one benchmark's record; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{_slug(name)}.json")
+    with open(path, "w") as handle:
+        json.dump({"name": name, "wall_clock": stats, "extra": extra},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def extract_stats(bench) -> Dict[str, Any]:
+    """Pull the portable wall-clock numbers off a pytest-benchmark entry."""
+    stats = bench.stats.stats if hasattr(bench.stats, "stats") else bench.stats
+    return {
+        "min": stats.min,
+        "max": stats.max,
+        "mean": stats.mean,
+        "stddev": stats.stddev,
+        "rounds": stats.rounds,
+    }

@@ -9,6 +9,10 @@ Public API layers
     The unified execution entry point: run a generated Keccak program on
     the simulator with predecoded-program and processor reuse, returning
     a ``RunResult`` with all paper metrics as properties.
+``repro.run_many`` / ``repro.parallel_exec``
+    Process-parallel batch hashing: shard any number of messages across
+    a pool of persistent worker processes (warm simulator session per
+    worker), with deterministic ordering and crash/timeout retry.
 ``repro.keccak``
     NIST-checked SHA-3/Keccak reference (hashes, XOFs, step mappings,
     batched multi-state permutation).
@@ -29,7 +33,18 @@ Public API layers
     Kyber-style matrix/secret generation over parallel Keccak states.
 """
 
-from . import arch, assembler, eval, isa, keccak, pqc, programs, related, sim
+from . import (
+    arch,
+    assembler,
+    eval,
+    isa,
+    keccak,
+    parallel_exec,
+    pqc,
+    programs,
+    related,
+    sim,
+)
 from .assembler import assemble, disassemble
 from .eval import generate_report, generate_table7, generate_table8
 from .keccak import (
@@ -55,6 +70,7 @@ from .programs import (
     build_program,
     run,
     run_keccak_program,
+    run_many,
 )
 from .sim import SIMDProcessor
 
@@ -89,6 +105,8 @@ __all__ = [
     "SIMDProcessor",
     "build_program",
     "run",
+    "run_many",
+    "parallel_exec",
     "Session",
     "RunResult",
     "new",

@@ -12,6 +12,9 @@ Commands
     executing every permutation on the processor simulator.
 ``run``
     Run one Keccak configuration on the simulator and print its metrics.
+``batch``
+    Hash a batch of generated messages across a worker pool
+    (``repro.run_many``), optionally verifying against ``hashlib``.
 ``asm`` / ``dis``
     Assemble a source file to machine words / disassemble words back.
 """
@@ -115,6 +118,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if correct else 1
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import hashlib
+    import random
+    import time
+
+    from .programs import run_many
+
+    rng = random.Random(args.seed)
+    messages = [rng.randbytes(args.size) for _ in range(args.count)]
+    start = time.perf_counter()
+    digests = run_many(messages, workers=args.workers,
+                       chunk_size=args.chunk_size)
+    elapsed = time.perf_counter() - start
+    print(f"hashed {args.count} messages of {args.size} bytes "
+          f"with {args.workers} worker(s) in {elapsed:.2f}s "
+          f"({args.count / elapsed:.1f} msg/s)")
+    if args.verify:
+        expected = [hashlib.sha3_256(m).digest() for m in messages]
+        if digests != expected:
+            print("MISMATCH against hashlib.sha3_256", file=sys.stderr)
+            return 1
+        print("all digests match hashlib.sha3_256")
+    else:
+        print(digests[0].hex())
+    return 0
+
+
 def _cmd_mix(args: argparse.Namespace) -> int:
     from .eval.instruction_mix import measure_instruction_mix
     from .keccak.state import KeccakState
@@ -215,6 +245,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--states", type=int, default=1)
     p_run.add_argument("--seed", type=int, default=0)
 
+    p_batch = sub.add_parser(
+        "batch", help="hash a generated batch across a worker pool")
+    p_batch.add_argument("--count", type=int, default=60,
+                         help="number of messages")
+    p_batch.add_argument("--size", type=int, default=64,
+                         help="bytes per message")
+    p_batch.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = serial)")
+    p_batch.add_argument("--chunk-size", type=int, default=None,
+                         help="messages per pool chunk")
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument("--verify", action="store_true",
+                         help="check every digest against hashlib")
+
     p_mix = sub.add_parser("mix", help="per-step-mapping cycle breakdown")
     p_mix.add_argument("--variant", choices=(
         "64-lmul1", "64-lmul41", "64-lmul8", "64-fused", "32-lmul8"))
@@ -239,6 +283,7 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "hash": _cmd_hash,
     "run": _cmd_run,
+    "batch": _cmd_batch,
     "mix": _cmd_mix,
     "isa-doc": _cmd_isa_doc,
     "asm": _cmd_asm,

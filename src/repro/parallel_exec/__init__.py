@@ -1,0 +1,45 @@
+"""Process-parallel batch execution for the simulator.
+
+The simulator is pure Python, so one process is pinned to one core by the
+GIL; production-scale batch hashing (the ROADMAP north star) needs the
+other cores.  This package shards large work lists across a pool of
+persistent worker processes:
+
+* :mod:`~repro.parallel_exec.pool` — worker lifecycle, task-kind
+  registry, per-worker task queues, shared result queue.
+* :mod:`~repro.parallel_exec.scheduler` — chunked distribution, one
+  chunk in flight per worker, per-chunk timeout + crash retry, task
+  errors fail fast.
+* :mod:`~repro.parallel_exec.results` — deterministic reassembly in
+  submission order.
+
+Workers are *persistent*: each keeps its warm
+:class:`~repro.programs.session.Session` (predecoded programs and fused
+superblocks survive across chunks), so the per-chunk cost is the
+simulation itself, not setup.  The high-level front ends live in
+:func:`repro.run_many` and ``batch_sha3_256(..., workers=N)``.
+"""
+
+from .pool import WorkerPool, default_worker_count, register_task_kind
+from .results import (
+    ChunkTimeoutError,
+    ParallelExecError,
+    ResultAssembler,
+    TaskError,
+    WorkerCrashError,
+)
+from .scheduler import chunked, run_chunked, run_chunks
+
+__all__ = [
+    "WorkerPool",
+    "default_worker_count",
+    "register_task_kind",
+    "ResultAssembler",
+    "ParallelExecError",
+    "TaskError",
+    "WorkerCrashError",
+    "ChunkTimeoutError",
+    "chunked",
+    "run_chunked",
+    "run_chunks",
+]

@@ -1,0 +1,174 @@
+"""The multiprocessing worker pool: process lifecycle and task transport.
+
+Each worker is a long-lived child process with its *own* task queue (so
+the scheduler always knows which chunk a worker holds, and a kill only
+ever loses that one chunk) and a result queue shared by the pool.  Tasks
+are named *kinds* resolved through a registry: the parent registers a
+callable under a string key, the child inherits the registry through
+``fork`` (or re-imports it via the module import on other start methods),
+and the queue only ever carries ``(chunk_index, kind, payload)`` — never
+code objects.
+
+Workers deliberately hold mutable per-process caches (the batch-hashing
+task keeps a warm :class:`~repro.programs.session.Session` per
+architecture), which is the whole point of a persistent pool: predecode
+and superblock construction happen once per process, not once per chunk.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: kind -> callable(payload) -> list of results.  Populated at import
+#: time by task-owning modules (and by tests before they start a pool).
+_TASK_KINDS: Dict[str, Callable[[Any], Any]] = {}
+
+
+def register_task_kind(kind: str, fn: Callable[[Any], Any]) -> None:
+    """Register ``fn`` to run in workers for tasks named ``kind``.
+
+    Registration must happen at import time (or before the pool starts):
+    forked workers inherit the registry as of the fork.
+    """
+    _TASK_KINDS[kind] = fn
+
+
+def _mp_context():
+    """Prefer ``fork``: it inherits the task registry and warm caches."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: run tasks until the ``None`` sentinel arrives.
+
+    Results are ``(worker_id, chunk_index, ok, payload)``; a task
+    exception is reported (not raised) so the worker survives for the
+    next chunk — the scheduler decides whether to abort the run.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        chunk_index, kind, payload = item
+        try:
+            fn = _TASK_KINDS[kind]
+            result = fn(payload)
+        except BaseException as exc:  # noqa: BLE001 - reported, not raised
+            result_queue.put(
+                (worker_id, chunk_index, False,
+                 f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            result_queue.put((worker_id, chunk_index, True, result))
+
+
+class _Worker:
+    """One pool slot: a process, its private task queue, and its task."""
+
+    def __init__(self, worker_id: int, ctx, result_queue) -> None:
+        self.worker_id = worker_id
+        self.task_queue = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.task_queue, result_queue),
+            daemon=True,
+        )
+        self.process.start()
+        #: (chunk_index, kind, payload, attempts) currently dispatched.
+        self.task: Optional[Tuple[int, str, Any, int]] = None
+        self.deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def dispatch(self, chunk_index: int, kind: str, payload: Any,
+                 attempts: int, timeout: Optional[float]) -> None:
+        self.task = (chunk_index, kind, payload, attempts)
+        self.deadline = (time.monotonic() + timeout) if timeout else None
+        self.task_queue.put((chunk_index, kind, payload))
+
+    def finish(self) -> None:
+        self.task = None
+        self.deadline = None
+
+    def timed_out(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=5.0)
+        self.task_queue.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown: sentinel, short join, then force."""
+        if self.process.is_alive():
+            try:
+                self.task_queue.put(None)
+            except (OSError, ValueError):  # pragma: no cover - closed queue
+                pass
+            self.process.join(timeout=2.0)
+        self.kill()
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent workers with crash recovery."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker: {num_workers}")
+        self._ctx = _mp_context()
+        self.result_queue = self._ctx.Queue()
+        self._next_id = 0
+        self.workers: Dict[int, _Worker] = {}
+        for _ in range(num_workers):
+            self._spawn()
+
+    def _spawn(self) -> _Worker:
+        worker = _Worker(self._next_id, self._ctx, self.result_queue)
+        self.workers[self._next_id] = worker
+        self._next_id += 1
+        return worker
+
+    def idle_workers(self):
+        return [w for w in self.workers.values() if not w.busy and w.alive]
+
+    def busy_workers(self):
+        return [w for w in self.workers.values() if w.busy]
+
+    def replace(self, worker: _Worker) -> Tuple[Optional[Tuple], "_Worker"]:
+        """Kill ``worker``, spawn a fresh one; returns its lost task."""
+        task = worker.task
+        worker.kill()
+        del self.workers[worker.worker_id]
+        return task, self._spawn()
+
+    def poll_result(self, timeout: float) -> Optional[Tuple]:
+        """Next ``(worker_id, chunk_index, ok, payload)`` or None."""
+        try:
+            return self.result_queue.get(timeout=timeout)
+        except Exception:  # queue.Empty (type depends on context)
+            return None
+
+    def shutdown(self) -> None:
+        for worker in self.workers.values():
+            worker.stop()
+        self.workers.clear()
+        self.result_queue.close()
+        self.result_queue.join_thread()
+
+
+def default_worker_count() -> int:
+    """A sensible worker count for this machine (at least 1)."""
+    return max(1, os.cpu_count() or 1)

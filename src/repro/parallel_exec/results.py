@@ -1,0 +1,92 @@
+"""Deterministic result assembly for chunked parallel work.
+
+Workers finish chunks in whatever order the scheduler and the OS decide;
+the assembler restores the submission order so a parallel run returns
+exactly what the serial run would.  Each chunk's payload is a *list* of
+per-item results; :meth:`ResultAssembler.assemble` concatenates them by
+chunk index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+
+class ParallelExecError(RuntimeError):
+    """Base class for worker-pool failures."""
+
+
+class TaskError(ParallelExecError):
+    """A task raised inside a worker.
+
+    Task exceptions are deterministic (re-running the same chunk would
+    raise again), so they propagate immediately — only worker *crashes*
+    and timeouts are retried.
+    """
+
+    def __init__(self, chunk_index: int, message: str) -> None:
+        super().__init__(f"chunk {chunk_index} failed: {message}")
+        self.chunk_index = chunk_index
+
+
+class WorkerCrashError(ParallelExecError):
+    """A worker process died (signal/exit) too many times on one chunk."""
+
+    def __init__(self, chunk_index: int, attempts: int) -> None:
+        super().__init__(
+            f"chunk {chunk_index} crashed its worker {attempts} time(s); "
+            "giving up"
+        )
+        self.chunk_index = chunk_index
+
+
+class ChunkTimeoutError(ParallelExecError):
+    """A chunk exceeded its per-chunk timeout too many times."""
+
+    def __init__(self, chunk_index: int, timeout: float,
+                 attempts: int) -> None:
+        super().__init__(
+            f"chunk {chunk_index} timed out after {timeout:g}s on "
+            f"{attempts} attempt(s); giving up"
+        )
+        self.chunk_index = chunk_index
+
+
+class ResultAssembler:
+    """Collects per-chunk results and restores submission order."""
+
+    def __init__(self, num_chunks: int) -> None:
+        self._slots: List[Optional[List[Any]]] = [None] * num_chunks
+        self._filled = [False] * num_chunks
+        self._remaining = num_chunks
+
+    @property
+    def complete(self) -> bool:
+        return self._remaining == 0
+
+    def add(self, chunk_index: int, values: List[Any]) -> None:
+        """Record one chunk's results (duplicate delivery is ignored).
+
+        A duplicate can arrive when a timed-out chunk was requeued but
+        the original worker's result was already in flight; the first
+        delivery wins, keeping results deterministic.
+        """
+        if self._filled[chunk_index]:
+            return
+        self._slots[chunk_index] = values
+        self._filled[chunk_index] = True
+        self._remaining -= 1
+
+    def has(self, chunk_index: int) -> bool:
+        return self._filled[chunk_index]
+
+    def assemble(self) -> List[Any]:
+        """All item results, concatenated in original chunk order."""
+        if self._remaining:
+            raise ParallelExecError(
+                f"{self._remaining} chunk(s) still outstanding"
+            )
+        out: List[Any] = []
+        for values in self._slots:
+            out.extend(values)  # type: ignore[arg-type]
+        return out

@@ -1,0 +1,138 @@
+"""Chunked scheduling: shard a work list across the pool, keep order.
+
+The scheduler owns the retry policy:
+
+* A **task exception** aborts the whole run immediately (re-running the
+  same deterministic chunk would fail again) as :class:`TaskError`.
+* A **worker crash** (process died mid-chunk) requeues the chunk on a
+  fresh worker, up to ``max_retries`` extra attempts, then raises
+  :class:`WorkerCrashError`.
+* A **per-chunk timeout** kills the worker holding the chunk, requeues
+  it the same way, then raises :class:`ChunkTimeoutError`.
+
+One chunk is in flight per worker, so the timeout clock starts at
+dispatch, not at submission.  Completed chunks land in a
+:class:`~repro.parallel_exec.results.ResultAssembler`, which restores
+submission order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, List, Optional, Sequence
+
+from .pool import WorkerPool, _TASK_KINDS
+from .results import (
+    ChunkTimeoutError,
+    ResultAssembler,
+    TaskError,
+    WorkerCrashError,
+)
+
+#: How long one poll of the result queue blocks while chunks are in
+#: flight; bounds how stale a timeout/crash check can be.
+_POLL_INTERVAL = 0.05
+
+
+def chunked(items: Sequence[Any], chunk_size: int) -> List[List[Any]]:
+    """Split ``items`` into consecutive chunks of at most ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk size must be positive: {chunk_size}")
+    return [list(items[i:i + chunk_size])
+            for i in range(0, len(items), chunk_size)]
+
+
+def run_chunks(kind: str, chunks: Sequence[Any], *,
+               workers: int,
+               timeout: Optional[float] = None,
+               max_retries: int = 2) -> List[Any]:
+    """Run every chunk payload through task ``kind``; flat ordered results.
+
+    Each chunk's task must return a list; the returned list is the
+    concatenation in chunk order.  ``workers=1`` runs everything in this
+    process (no multiprocessing, no IPC) — the serial reference the
+    parallel path is tested against.
+    """
+    if kind not in _TASK_KINDS:
+        raise KeyError(f"unknown task kind: {kind!r}")
+    if not chunks:
+        return []
+    if workers <= 1:
+        fn = _TASK_KINDS[kind]
+        out: List[Any] = []
+        for chunk_index, payload in enumerate(chunks):
+            try:
+                out.extend(fn(payload))
+            except Exception as exc:
+                raise TaskError(chunk_index,
+                                f"{type(exc).__name__}: {exc}") from exc
+        return out
+
+    pool = WorkerPool(min(workers, len(chunks)))
+    try:
+        assembler = _drive(pool, kind, chunks, timeout, max_retries)
+    finally:
+        pool.shutdown()
+    return assembler.assemble()
+
+
+def _drive(pool: WorkerPool, kind: str, chunks: Sequence[Any],
+           timeout: Optional[float], max_retries: int) -> ResultAssembler:
+    assembler = ResultAssembler(len(chunks))
+    #: (chunk_index, payload, attempts) awaiting a worker.
+    pending = deque((i, payload, 1) for i, payload in enumerate(chunks))
+
+    while not assembler.complete:
+        for worker in list(pool.workers.values()):
+            if not worker.busy and not worker.alive:
+                # Died between chunks (e.g. OOM-killed while idle):
+                # replace it so the pool keeps its size.
+                pool.replace(worker)
+        for worker in pool.idle_workers():
+            if not pending:
+                break
+            chunk_index, payload, attempts = pending.popleft()
+            worker.dispatch(chunk_index, kind, payload, attempts, timeout)
+
+        message = pool.poll_result(_POLL_INTERVAL)
+        if message is not None:
+            worker_id, chunk_index, ok, payload = message
+            worker = pool.workers.get(worker_id)
+            if worker is not None and worker.task is not None \
+                    and worker.task[0] == chunk_index:
+                worker.finish()
+            if not ok:
+                raise TaskError(chunk_index, payload)
+            assembler.add(chunk_index, payload)
+            continue
+
+        now = time.monotonic()
+        for worker in pool.busy_workers():
+            chunk_index, _, payload, attempts = worker.task
+            if assembler.has(chunk_index):
+                # Result arrived from a requeued copy; free this slot.
+                _, _ = pool.replace(worker)
+                continue
+            if not worker.alive:
+                if attempts > max_retries:
+                    raise WorkerCrashError(chunk_index, attempts)
+                pool.replace(worker)
+                pending.append((chunk_index, payload, attempts + 1))
+            elif worker.timed_out(now):
+                if attempts > max_retries:
+                    raise ChunkTimeoutError(chunk_index, timeout or 0.0,
+                                            attempts)
+                pool.replace(worker)
+                pending.append((chunk_index, payload, attempts + 1))
+    return assembler
+
+
+def run_chunked(kind: str, items: Sequence[Any], *,
+                workers: int,
+                chunk_size: int,
+                timeout: Optional[float] = None,
+                max_retries: int = 2) -> List[Any]:
+    """Chunk ``items`` and run them; results stay in item order."""
+    return run_chunks(kind, chunked(items, chunk_size), workers=workers,
+                      timeout=timeout, max_retries=max_retries)

@@ -14,7 +14,13 @@ from .base import DEFAULT_STATE_BASE, KeccakProgram
 from .factory import build_program
 from .session import RunResult, Session, default_session, run
 from .runner import make_processor, run_keccak_program
-from .batch_driver import BatchPermutation, BatchSponge, batch_sha3_256, batch_shake128
+from .batch_driver import (
+    BatchPermutation,
+    BatchSponge,
+    batch_sha3_256,
+    batch_shake128,
+    run_many,
+)
 from . import sha3_driver
 from .sha3_driver import SimulatedPermutation, simulated_sha3_256, simulated_shake128
 
@@ -44,5 +50,6 @@ __all__ = [
     "BatchSponge",
     "batch_sha3_256",
     "batch_shake128",
+    "run_many",
 ]
 

@@ -15,10 +15,11 @@ software would drive the hardware.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..keccak.sponge import SHA3_SUFFIX, SHAKE_SUFFIX
 from ..keccak.state import KeccakState
+from ..parallel_exec import register_task_kind, run_chunks
 from .base import KeccakProgram
 from .factory import build_program
 from .session import Session
@@ -140,9 +141,20 @@ class BatchSponge:
 
 
 def batch_sha3_256(messages: Sequence[bytes],
-                   permutation: Optional[BatchPermutation] = None
-                   ) -> List[bytes]:
-    """SHA3-256 of up to SN messages with batched simulator permutations."""
+                   permutation: Optional[BatchPermutation] = None,
+                   workers: Optional[int] = None) -> List[bytes]:
+    """SHA3-256 of ``messages`` with batched simulator permutations.
+
+    Without ``workers`` the batch must fit the permutation's SN states
+    (the original lock-step semantics).  With ``workers`` the batch may
+    be any size: it is split into SN-sized lock-step groups, and
+    ``workers > 1`` distributes those groups across a process pool via
+    :func:`run_many` — digests come back in message order either way.
+    """
+    if workers is not None:
+        arch = _arch_of(permutation)
+        return run_many(messages, algorithm="sha3_256", workers=workers,
+                        elen=arch[0], lmul=arch[1], elenum=arch[2])
     perm = permutation or BatchPermutation()
     sponge = BatchSponge(len(messages), 512, SHA3_SUFFIX, perm)
     for lane, message in enumerate(messages):
@@ -151,11 +163,111 @@ def batch_sha3_256(messages: Sequence[bytes],
 
 
 def batch_shake128(messages: Sequence[bytes], length: int,
-                   permutation: Optional[BatchPermutation] = None
-                   ) -> List[bytes]:
-    """SHAKE128 outputs of up to SN messages, batched on the simulator."""
+                   permutation: Optional[BatchPermutation] = None,
+                   workers: Optional[int] = None) -> List[bytes]:
+    """SHAKE128 outputs of ``messages``, batched on the simulator.
+
+    ``workers`` behaves as in :func:`batch_sha3_256`.
+    """
+    if workers is not None:
+        arch = _arch_of(permutation)
+        return run_many(messages, algorithm="shake128", length=length,
+                        workers=workers, elen=arch[0], lmul=arch[1],
+                        elenum=arch[2])
     perm = permutation or BatchPermutation()
     sponge = BatchSponge(len(messages), 256, SHAKE_SUFFIX, perm)
     for lane, message in enumerate(messages):
         sponge.absorb(lane, message)
     return sponge.squeeze(length)
+
+
+# -- process-parallel front end ---------------------------------------------------
+
+#: Architecture key: (ELEN, LMUL, EleNum).
+_ArchKey = Tuple[int, int, int]
+
+#: Per-process permutation cache.  In a worker this is the warm state the
+#: pool exists for: the first chunk predecodes the program and builds its
+#: superblocks, every later chunk reuses them.
+_PERMUTATIONS: Dict[_ArchKey, BatchPermutation] = {}
+
+_HASH_TASK_KIND = "repro.batch_hash"
+
+
+def _arch_of(permutation: Optional[BatchPermutation]) -> _ArchKey:
+    if permutation is None:
+        return (64, 8, 30)
+    program = permutation.program
+    return (program.elen, program.lmul, program.elenum)
+
+
+def _cached_permutation(arch: _ArchKey) -> BatchPermutation:
+    perm = _PERMUTATIONS.get(arch)
+    if perm is None:
+        elen, lmul, elenum = arch
+        perm = _PERMUTATIONS[arch] = BatchPermutation(elen, lmul, elenum)
+    return perm
+
+
+def _hash_chunk(payload) -> List[bytes]:
+    """Task body (runs in workers *and* on the serial path).
+
+    ``payload`` is ``(algorithm, length, arch, messages)``; the chunk is
+    processed in SN-sized lock-step groups on this process's cached
+    permutation and returns one digest per message, in order.
+    """
+    algorithm, length, arch, messages = payload
+    perm = _cached_permutation(arch)
+    sn = perm.max_states
+    digests: List[bytes] = []
+    for start in range(0, len(messages), sn):
+        group = messages[start:start + sn]
+        if algorithm == "sha3_256":
+            digests.extend(batch_sha3_256(group, perm))
+        elif algorithm == "shake128":
+            digests.extend(batch_shake128(group, length, perm))
+        else:
+            raise ValueError(f"unsupported algorithm: {algorithm!r}")
+    return digests
+
+
+register_task_kind(_HASH_TASK_KIND, _hash_chunk)
+
+
+def run_many(messages: Sequence[bytes], *,
+             algorithm: str = "sha3_256",
+             length: int = 32,
+             workers: Optional[int] = None,
+             elen: int = 64, lmul: int = 8, elenum: int = 30,
+             chunk_size: Optional[int] = None,
+             timeout: Optional[float] = None,
+             max_retries: int = 2) -> List[bytes]:
+    """Hash arbitrarily many messages on the simulator, in parallel.
+
+    Messages are split into chunks, each chunk is hashed in SN-sized
+    lock-step batches (SN states per program run, the paper's Table 7/8
+    batching), and chunks are distributed across ``workers`` persistent
+    processes.  Digests return in message order; every digest matches
+    ``hashlib``.  ``workers=None``/``1`` runs serially in this process —
+    same code path, no pool.  ``chunk_size`` defaults to four SN groups,
+    big enough to amortize queue IPC, small enough to load-balance;
+    ``timeout``/``max_retries`` are the per-chunk retry policy of
+    :func:`repro.parallel_exec.run_chunked`.
+    """
+    if algorithm not in ("sha3_256", "shake128"):
+        raise ValueError(f"unsupported algorithm: {algorithm!r}")
+    arch = (elen, lmul, elenum)
+    if chunk_size is None:
+        sn = _cached_permutation(arch).max_states
+        chunk_size = 4 * sn
+    payloads = [bytes(m) for m in messages]
+    chunks = [(algorithm, length, arch, chunk)
+              for chunk in _chunk_list(payloads, chunk_size)]
+    return run_chunks(_HASH_TASK_KIND, chunks, workers=workers or 1,
+                      timeout=timeout, max_retries=max_retries)
+
+
+def _chunk_list(items: List[bytes], size: int) -> List[List[bytes]]:
+    if size < 1:
+        raise ValueError(f"chunk size must be positive: {size}")
+    return [items[i:i + size] for i in range(0, len(items), size)]

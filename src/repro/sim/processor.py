@@ -30,7 +30,7 @@ from .exceptions import (
     ProcessorHalted,
 )
 from .memory import DataMemory
-from .predecode import PredecodedProgram, predecode
+from .predecode import PredecodedProgram, build_superblocks, predecode
 from .scalar_core import ScalarCore
 from .trace import ExecutionStats
 from .vector_unit import VectorUnit
@@ -51,6 +51,7 @@ class SIMDProcessor:
         trace: bool = False,
         isa: InstructionSet = ISA,
         predecode: bool = True,
+        fuse: bool = True,
     ) -> None:
         if elen not in (32, 64):
             raise ValueError(f"ELEN must be 32 or 64, got {elen}")
@@ -69,6 +70,7 @@ class SIMDProcessor:
         self._program_words: Dict[int, int] = {}
         self._program: Optional[Program] = None
         self._predecode_enabled = predecode
+        self._fuse_enabled = fuse and predecode
         self._predecoded: Optional[PredecodedProgram] = None
         self._predecode_cache: Dict[int, PredecodedProgram] = {}
 
@@ -229,9 +231,13 @@ class SIMDProcessor:
             max_cycles: Optional[int] = None) -> ExecutionStats:
         """Run until ecall/ebreak; returns the accumulated statistics.
 
-        With a predecoded program this is a tight loop over the executor
-        array — no per-step decode, and no trace-record allocation when
-        tracing is off.
+        With a predecoded program the hot loop dispatches fused
+        superblocks: one call executes a whole straight-line run with a
+        single batched statistics update (see
+        :class:`~repro.sim.predecode.FusedBlock`).  ``max_cycles`` runs
+        and the final approach to ``max_instructions`` fall back to the
+        per-instruction loop so limit errors fire at exactly the same
+        instruction as before.
         """
         pre = self._predecoded
         if pre is None:
@@ -249,7 +255,57 @@ class SIMDProcessor:
                     )
                 self.step()
             return self.stats
+        if not self._fuse_enabled or max_cycles is not None:
+            return self._run_predecoded(pre, max_instructions, max_cycles)
 
+        superblocks = pre.superblocks
+        if superblocks is None:
+            superblocks = pre.superblocks = build_superblocks(self, pre)
+        blocks = superblocks.blocks
+        margin = superblocks.max_block_len
+        entries = pre.entries
+        base = pre.base_address
+        size = len(entries)
+        scalar = self.scalar
+        stats = self.stats
+        traced = stats.records is not None
+        halt_cycles = self.cycle_model.scalar_alu
+        pc = scalar.pc
+        while not self.halted:
+            if stats.instructions + margin > max_instructions:
+                # Close enough to the limit that a fused block could
+                # overshoot it: finish per-instruction, which raises (or
+                # halts) at exactly the reference point.
+                scalar.pc = pc
+                return self._run_predecoded(pre, max_instructions,
+                                            max_cycles)
+            offset = pc - base
+            index = offset >> 2
+            if offset & 3 or not 0 <= index < size:
+                raise IllegalInstructionError(
+                    f"instruction fetch outside the program at pc={pc:#x}"
+                )
+            block = blocks[index]
+            if block is not None:
+                pc = block.run_traced(stats) if traced \
+                    else block.run(stats)
+            else:
+                # Mid-block pc (an indirect-jump target): single-step it.
+                entry = entries[index]
+                try:
+                    cycles, next_pc = entry.execute()
+                except ProcessorHalted:
+                    self.halted = True
+                    cycles, next_pc = halt_cycles, None
+                stats.record(pc, entry.word, entry.mnemonic, cycles)
+                pc = next_pc if next_pc is not None else pc + 4
+            scalar.pc = pc
+        return stats
+
+    def _run_predecoded(self, pre: PredecodedProgram,
+                        max_instructions: int,
+                        max_cycles: Optional[int]) -> ExecutionStats:
+        """Per-instruction predecoded loop (reference dispatch order)."""
         entries = pre.entries
         base = pre.base_address
         size = len(entries)

@@ -14,7 +14,7 @@ Fig. 4.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from .exceptions import IllegalInstructionError
 
@@ -24,13 +24,16 @@ NUM_VECTOR_REGISTERS = 32
 class VectorRegfile:
     """32 x VLEN-bit registers with SEW-granular element access."""
 
+    __slots__ = ("vlen_bits", "_regs", "_full_mask", "_per_reg")
+
     def __init__(self, vlen_bits: int) -> None:
         if vlen_bits < 8:
             raise ValueError(f"VLEN too small: {vlen_bits}")
         self.vlen_bits = vlen_bits
         self._regs: List[int] = [0] * NUM_VECTOR_REGISTERS
         self._full_mask = (1 << vlen_bits) - 1
-        self._per_reg: dict = {}  # SEW -> elements per register, memoized
+        # SEW -> elements per register, memoized
+        self._per_reg: Dict[int, int] = {}
 
     def _check_reg(self, reg: int) -> None:
         if not 0 <= reg < NUM_VECTOR_REGISTERS:
@@ -137,5 +140,7 @@ class VectorRegfile:
         return (self._regs[0] >> index) & 1
 
     def clear(self) -> None:
-        """Zero every register."""
-        self._regs = [0] * NUM_VECTOR_REGISTERS
+        """Zero every register (in place: compiled executors and the
+        element-access helpers bind ``self``, and keeping the same list
+        object means a cleared file never aliases a stale snapshot)."""
+        self._regs[:] = [0] * NUM_VECTOR_REGISTERS

@@ -62,6 +62,7 @@ class VectorUnit:
         self.sew = 64
         self.lmul = 1
         self._handlers = self._build_handlers()
+        self._specializers = self._build_specializers()
 
     # -- configuration (vsetvli) ---------------------------------------------------
 
@@ -169,6 +170,14 @@ class VectorUnit:
         dict are resolved once at decode time, so the per-step cost is just
         the handler call.  Semantics are identical to :meth:`execute`
         (including deferring the unknown-mnemonic fault to execution time).
+
+        For the unmasked Keccak hot-path instructions a *specializer* (see
+        :meth:`_build_specializers`) compiles a packed-integer fast
+        executor bound to the current (VL, SEW, LMUL) configuration; the
+        executor re-specializes whenever the configuration changes and
+        falls back to the generic handler for any geometry it cannot
+        prove safe (partial tail pass, misaligned group, out-of-range
+        registers), so faults and masked/partial semantics are untouched.
         """
         handler = self._handlers.get(spec.mnemonic)
         if handler is None:
@@ -182,33 +191,25 @@ class VectorUnit:
             return missing
         bound_ops = dict(ops)
 
-        raw = self._raw_vv.get(spec.mnemonic)
-        if raw is not None and ops.get("vm") == 1:
-            # Unmasked .vv bitwise op (the Keccak theta/chi hot path):
-            # when every pass covers a whole register, operate on the
-            # packed VLEN-bit integers directly.  Any violated
-            # precondition (tail pass, misalignment, out-of-range group)
-            # falls back to the generic handler, which performs the full
-            # checks and raises exactly what the seed interpreter did.
-            vd, vs2, vs1 = ops["vd"], ops["vs2"], ops["vs1"]
+        builder = self._specializers.get(spec.mnemonic)
+        if builder is not None and bound_ops.get("vm") == 1:
+            # [config key, fast executor or None] — rebuilt whenever the
+            # vector configuration no longer matches.  The key is the
+            # observable configuration itself (not a generation counter)
+            # so direct vl/sew/lmul pokes by tests re-specialize too.
+            state: list = [None, None]
 
-            def run_raw() -> tuple:
-                per_reg, passes = self._geometry()
-                lmul = self.lmul
-                if (self.vl == passes * per_reg
-                        and vd + passes <= 32
-                        and vs2 + passes <= 32
-                        and vs1 + passes <= 32
-                        and (lmul == 1
-                             or not (vd % lmul or vs2 % lmul
-                                     or vs1 % lmul))):
-                    regs = self.regfile._regs
-                    for p in range(passes):
-                        regs[vd + p] = raw(regs[vs2 + p], regs[vs1 + p])
-                    return self.cycle_model.vector_arith(passes), None
+            def run_specialized() -> tuple:
+                key = (self.vl, self.sew, self.lmul)
+                if key != state[0]:
+                    state[0] = key
+                    state[1] = builder(bound_ops, scalar_value)
+                fast = state[1]
+                if fast is not None:
+                    return fast()
                 return handler(spec, bound_ops, scalar_value), None
 
-            return run_raw
+            return run_specialized
 
         def run() -> tuple:
             return handler(spec, bound_ops, scalar_value), None
@@ -278,6 +279,407 @@ class VectorUnit:
 
         self._rotl64 = rotl_sew64
         return handlers
+
+    # -- compile-time specialization (superblock hot path) ---------------------------
+
+    def _spec_geometry(self, lanes_of_five: bool):
+        """(sew, per_reg, passes) when every pass covers a whole register.
+
+        Returns None — meaning "use the generic handler" — unless VL fills
+        an exact number of whole registers (no partial tail pass) and, for
+        the five-lane Keccak instructions, registers hold whole lane
+        groups.
+        """
+        vl, sew = self.vl, self.sew
+        vlen = self.regfile.vlen_bits
+        if vl <= 0 or sew <= 0 or vlen % sew:
+            return None
+        per_reg = vlen // sew
+        if vl % per_reg or (lanes_of_five and per_reg % 5):
+            return None
+        return sew, per_reg, vl // per_reg
+
+    def _spec_groups_ok(self, passes: int, *bases: int) -> bool:
+        """Are all register groups aligned and inside the register file?"""
+        lmul = self.lmul
+        for base in bases:
+            if base + passes > 32:
+                return False
+            if lmul > 1 and base % lmul:
+                return False
+        return True
+
+    def _build_specializers(self) -> Dict[str, Callable]:
+        """Builders compiling packed-integer executors per configuration.
+
+        Each builder is called with the decoded operands (``vm`` == 1
+        guaranteed by the caller) under the *current* vector
+        configuration and returns either a zero-argument fast executor
+        returning ``(cycles, None)``, or None when any precondition fails
+        — misaligned group, partial tail, wrong SEW, reserved operand —
+        in which case the generic handler runs (and raises) instead.  The
+        fast executors operate on the packed VLEN-bit register integers
+        directly, with shift/mask plans precomputed at specialization
+        time; results are bit-identical to the element-wise handlers.
+        """
+        cm = self.cycle_model
+        regfile = self.regfile
+
+        def bitwise(raw):
+            def build(ops, scalar_value):
+                g = self._spec_geometry(False)
+                if g is None:
+                    return None
+                _, _, passes = g
+                vd, vs2, vs1 = ops["vd"], ops["vs2"], ops["vs1"]
+                if not self._spec_groups_ok(passes, vd, vs2, vs1):
+                    return None
+                cost = cm.vector_arith(passes)
+                if passes == 1:
+                    def fast():
+                        regs = regfile._regs
+                        regs[vd] = raw(regs[vs2], regs[vs1])
+                        return cost, None
+                else:
+                    prange = range(passes)
+
+                    def fast():
+                        regs = regfile._regs
+                        for p in prange:
+                            regs[vd + p] = raw(regs[vs2 + p], regs[vs1 + p])
+                        return cost, None
+                return fast
+            return build
+
+        def slide(down):
+            def build(ops, scalar_value):
+                g = self._spec_geometry(True)
+                if g is None:
+                    return None
+                sew, per_reg, passes = g
+                vd, vs2 = ops["vd"], ops["vs2"]
+                if not self._spec_groups_ok(passes, vd, vs2):
+                    return None
+                offset = ops["imm"] % 5
+                emask = (1 << sew) - 1
+                pairs = []
+                for i in range(per_reg):
+                    group, lane = i - i % 5, i % 5
+                    src_lane = (lane + offset) % 5 if down \
+                        else (lane - offset) % 5
+                    pairs.append(((group + src_lane) * sew, i * sew))
+                pairs = tuple(pairs)
+                cost = cm.vector_arith(passes)
+                prange = range(passes)
+
+                def fast():
+                    regs = regfile._regs
+                    for p in prange:
+                        src = regs[vs2 + p]
+                        packed = 0
+                        for src_shift, dst_shift in pairs:
+                            packed |= ((src >> src_shift) & emask) \
+                                << dst_shift
+                        regs[vd + p] = packed
+                    return cost, None
+                return fast
+            return build
+
+        def rotup(ops, scalar_value):
+            if self.sew != 64:
+                return None
+            g = self._spec_geometry(False)
+            if g is None:
+                return None
+            _, per_reg, passes = g
+            vd, vs2 = ops["vd"], ops["vs2"]
+            if not self._spec_groups_ok(passes, vd, vs2):
+                return None
+            amount = ops["imm"] % 64
+            cost = cm.vector_arith(passes)
+            prange = range(passes)
+            if amount == 0:
+                def fast_copy():
+                    regs = regfile._regs
+                    for p in prange:
+                        regs[vd + p] = regs[vs2 + p]
+                    return cost, None
+                return fast_copy
+            # Rotate every 64-bit element by the same amount with two
+            # whole-register shifts: the bits that stay inside their
+            # element after << amount, plus each element's top bits
+            # brought down to its own low positions.
+            stay = (1 << (64 - amount)) - 1
+            wrap = (1 << amount) - 1
+            mask_stay = sum(stay << (64 * i) for i in range(per_reg))
+            mask_wrap = sum(wrap << (64 * i) for i in range(per_reg))
+            down = 64 - amount
+
+            def fast():
+                regs = regfile._regs
+                for p in prange:
+                    x = regs[vs2 + p]
+                    regs[vd + p] = ((x & mask_stay) << amount) \
+                        | ((x >> down) & mask_wrap)
+                return cost, None
+            return fast
+
+        def rho_rows(simm, passes):
+            """Row schedule for rho/pi, or None to fall back (generic
+            handler raises for genuinely invalid immediates)."""
+            if simm == -1:
+                return [p % 5 for p in range(passes)]
+            if 0 <= simm <= 4:
+                if self.lmul != 1 and passes > 1:
+                    return None
+                return [simm] * passes
+            return None
+
+        def v64rho(ops, scalar_value):
+            if self.sew != 64:
+                return None
+            g = self._spec_geometry(True)
+            if g is None:
+                return None
+            _, per_reg, passes = g
+            vd, vs2 = ops["vd"], ops["vs2"]
+            if not self._spec_groups_ok(passes, vd, vs2):
+                return None
+            rows = rho_rows(ops["imm"], passes)
+            if rows is None:
+                return None
+            m64 = (1 << 64) - 1
+            plan = tuple(
+                tuple((i * 64, RHO_BY_ROW[row][i % 5])
+                      for i in range(per_reg))
+                for row in rows
+            )
+            cost = cm.vector_arith(passes)
+
+            def fast():
+                regs = regfile._regs
+                for p, elems in enumerate(plan):
+                    src = regs[vs2 + p]
+                    packed = 0
+                    for shift, amount in elems:
+                        e = (src >> shift) & m64
+                        packed |= (((e << amount) | (e >> (64 - amount)))
+                                   & m64) << shift
+                    regs[vd + p] = packed
+                return cost, None
+            return fast
+
+        def vchi(ops, scalar_value):
+            if ops["imm"] != 0:
+                return None
+            g = self._spec_geometry(True)
+            if g is None:
+                return None
+            sew, per_reg, passes = g
+            vd, vs2 = ops["vd"], ops["vs2"]
+            if not self._spec_groups_ok(passes, vd, vs2):
+                return None
+            emask = (1 << sew) - 1
+            full = regfile._full_mask
+
+            def shuffle_masks(k):
+                # Masks for "element j+k (mod 5) of each lane group":
+                # near elements arrive via >> (k*sew), wrapped ones via
+                # << ((5-k)*sew).
+                near = wrapm = 0
+                for slot in range(per_reg):
+                    j = slot % 5
+                    if j + k < 5:
+                        near |= emask << (slot * sew)
+                    else:
+                        wrapm |= emask << (slot * sew)
+                return near, wrapm
+
+            near1, wrap1 = shuffle_masks(1)
+            near2, wrap2 = shuffle_masks(2)
+            d1, u1 = 1 * sew, 4 * sew
+            d2, u2 = 2 * sew, 3 * sew
+            cost = cm.vector_arith(passes)
+            prange = range(passes)
+
+            def fast():
+                regs = regfile._regs
+                for p in prange:
+                    x = regs[vs2 + p]
+                    s1 = ((x >> d1) & near1) | ((x << u1) & wrap1)
+                    s2 = ((x >> d2) & near2) | ((x << u2) & wrap2)
+                    regs[vd + p] = x ^ ((s1 ^ full) & s2)
+                return cost, None
+            return fast
+
+        def viota(ops, scalar_value):
+            g = self._spec_geometry(True)
+            if g is None:
+                return None
+            sew, per_reg, passes = g
+            if sew == 64:
+                table, what = ROUND_CONSTANTS, "viota"
+            elif sew == 32:
+                table, what = RC32_TABLE, "viota 32-bit"
+            else:
+                return None
+            vd, vs2 = ops["vd"], ops["vs2"]
+            if not self._spec_groups_ok(passes, vd, vs2):
+                return None
+            rs1 = ops["rs1"]
+            # Multiplying by the spread broadcasts the constant to every
+            # group's lane-0 slot (slots are 5*sew apart > sew bits, so
+            # the products cannot overlap).
+            spread = sum(1 << (5 * k * sew) for k in range(per_reg // 5))
+            table_len = len(table)
+            cost = cm.vector_arith(passes)
+            prange = range(passes)
+
+            def fast():
+                index = scalar_value(rs1)
+                if not 0 <= index < table_len:
+                    raise IllegalInstructionError(
+                        f"{what} round-constant index out of range: {index}"
+                    )
+                packed_rc = table[index] * spread
+                regs = regfile._regs
+                for p in prange:
+                    regs[vd + p] = regs[vs2 + p] ^ packed_rc
+                return cost, None
+            return fast
+
+        def column_write(with_rho):
+            """vpi / vrhopi: rotate (optionally) and column-scatter."""
+            def build(ops, scalar_value):
+                if with_rho and self.sew != 64:
+                    return None
+                g = self._spec_geometry(True)
+                if g is None:
+                    return None
+                sew, per_reg, passes = g
+                vd, vs2 = ops["vd"], ops["vs2"]
+                if vd + 5 > 32:
+                    return None
+                if not self._spec_groups_ok(passes, vs2):
+                    return None
+                overlap = vs2 < vd + 5 and vd < vs2 + passes
+                if overlap and passes > 1:
+                    # Multi-pass write-through semantics (a later pass
+                    # re-reads what an earlier one wrote): generic only.
+                    return None
+                rows = rho_rows(ops["imm"], passes)
+                if rows is None:
+                    return None
+                emask = (1 << sew) - 1
+                m64 = (1 << 64) - 1
+                plan = []
+                for row in rows:
+                    amounts = RHO_BY_ROW[row]
+                    steps = []
+                    for i in range(per_reg // 5):
+                        for lane in range(5):
+                            steps.append((
+                                (5 * i + lane) * sew,
+                                amounts[lane] if with_rho else 0,
+                                (2 * (lane - row)) % 5,
+                                (5 * i + row) * sew,
+                                ~(emask << ((5 * i + row) * sew)),
+                            ))
+                    plan.append(tuple(steps))
+                plan = tuple(plan)
+                cost = cm.vector_pi(passes)
+
+                def fast():
+                    regs = regfile._regs
+                    acc = regs[vd:vd + 5]
+                    for p, steps in enumerate(plan):
+                        src = regs[vs2 + p]
+                        for src_shift, rot, k, dst_shift, clear in steps:
+                            e = (src >> src_shift) & emask
+                            if rot:
+                                e = ((e << rot) | (e >> (64 - rot))) & m64
+                            acc[k] = (acc[k] & clear) | (e << dst_shift)
+                    regs[vd:vd + 5] = acc
+                    return cost, None
+                return fast
+            return build
+
+        def v32pair(keep_high, is_rho):
+            """v32{l,h}{rho,rotup}.vv: combine hi/lo 32-bit halves, rotate,
+            keep one half."""
+            def build(ops, scalar_value):
+                if self.sew != 32:
+                    return None
+                g = self._spec_geometry(is_rho)
+                if g is None:
+                    return None
+                _, per_reg, passes = g
+                vd, vs2, vs1 = ops["vd"], ops["vs2"], ops["vs1"]
+                if not self._spec_groups_ok(passes, vd, vs2, vs1):
+                    return None
+                m32 = 0xFFFFFFFF
+                m64 = (1 << 64) - 1
+                if is_rho:
+                    plan = tuple(
+                        tuple((i * 32, RHO_BY_ROW[p % 5][i % 5])
+                              for i in range(per_reg))
+                        for p in range(passes)
+                    )
+                else:
+                    plan = tuple(
+                        tuple((i * 32, 1) for i in range(per_reg))
+                        for _ in range(passes)
+                    )
+                cost = cm.vector_arith(passes)
+
+                if keep_high:
+                    def fast():
+                        regs = regfile._regs
+                        for p, elems in enumerate(plan):
+                            hi, lo = regs[vs2 + p], regs[vs1 + p]
+                            packed = 0
+                            for shift, amount in elems:
+                                w = (((hi >> shift) & m32) << 32) \
+                                    | ((lo >> shift) & m32)
+                                r = ((w << amount) | (w >> (64 - amount))) \
+                                    & m64
+                                packed |= (r >> 32) << shift
+                            regs[vd + p] = packed
+                        return cost, None
+                else:
+                    def fast():
+                        regs = regfile._regs
+                        for p, elems in enumerate(plan):
+                            hi, lo = regs[vs2 + p], regs[vs1 + p]
+                            packed = 0
+                            for shift, amount in elems:
+                                w = (((hi >> shift) & m32) << 32) \
+                                    | ((lo >> shift) & m32)
+                                r = ((w << amount) | (w >> (64 - amount))) \
+                                    & m64
+                                packed |= (r & m32) << shift
+                            regs[vd + p] = packed
+                        return cost, None
+                return fast
+            return build
+
+        return {
+            "vand.vv": bitwise(lambda a, b: a & b),
+            "vor.vv": bitwise(lambda a, b: a | b),
+            "vxor.vv": bitwise(lambda a, b: a ^ b),
+            "vslidedownm.vi": slide(down=True),
+            "vslideupm.vi": slide(down=False),
+            "vrotup.vi": rotup,
+            "v64rho.vi": v64rho,
+            "vchi.vi": vchi,
+            "viota.vx": viota,
+            "vpi.vi": column_write(with_rho=False),
+            "vrhopi.vi": column_write(with_rho=True),
+            "v32lrho.vv": v32pair(keep_high=False, is_rho=True),
+            "v32hrho.vv": v32pair(keep_high=True, is_rho=True),
+            "v32lrotup.vv": v32pair(keep_high=False, is_rho=False),
+            "v32hrotup.vv": v32pair(keep_high=True, is_rho=False),
+        }
 
     # -- generic element-wise binary ops -------------------------------------------------
 

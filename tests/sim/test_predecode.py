@@ -90,6 +90,125 @@ class TestDifferential:
         assert results[0][0] == keccak_f1600(state)
 
 
+class TestSuperblocks:
+    """Fused-superblock execution vs per-instruction predecoded execution.
+
+    Superblock fusion batches the cycle/instruction accounting per
+    straight-line block; every observable — states, totals, per-mnemonic
+    counts and cycles, and the full trace — must stay bit-identical to
+    stepping the same predecoded entries one at a time.
+    """
+
+    @pytest.mark.parametrize("trace", [True, False],
+                             ids=["traced", "untraced"])
+    @pytest.mark.parametrize("name,module", VARIANTS)
+    def test_fused_vs_per_instruction(self, name, module, trace):
+        program = module.build(5)
+        states = _states(1)
+        fused = SIMDProcessor(elen=program.elen, elenum=program.elenum,
+                              trace=trace)
+        stepped = SIMDProcessor(elen=program.elen, elenum=program.elenum,
+                                trace=trace, fuse=False)
+        a = run_keccak_program(program, states, processor=fused)
+        b = run_keccak_program(program, states, processor=stepped)
+        assert a.states == b.states
+        assert a.states == [keccak_f1600(s) for s in states]
+        assert a.stats.instructions == b.stats.instructions
+        assert a.stats.cycles == b.stats.cycles
+        assert a.stats.mnemonic_counts == b.stats.mnemonic_counts
+        assert a.stats.mnemonic_cycles == b.stats.mnemonic_cycles
+        if trace:
+            assert len(a.stats.records) == len(b.stats.records)
+            for ra, rb in zip(a.stats.records, b.stats.records):
+                assert (ra.pc, ra.word, ra.mnemonic, ra.cycles) == \
+                       (rb.pc, rb.word, rb.mnemonic, rb.cycles)
+
+    def test_superblocks_built_lazily_and_cached(self):
+        program = keccak64_lmul8.build(5)
+        assembled = program.assemble()
+        proc = SIMDProcessor(elen=64, elenum=5, trace=False)
+        proc.load_program(assembled)
+        pre = proc._predecoded
+        assert pre.superblocks is None  # not built until the first run
+        proc.run()
+        blocks = pre.superblocks
+        assert blocks is not None
+        proc.reset()
+        proc.load_program(assembled)
+        proc.run()
+        assert proc._predecoded.superblocks is blocks  # reused, not rebuilt
+
+    def test_mutated_word_drops_superblocks(self):
+        # The word-snapshot cache check must invalidate fused blocks too:
+        # a re-decode produces a fresh PredecodedProgram with no blocks.
+        program = keccak64_lmul8.build(5)
+        assembled = program.assemble()
+        proc = SIMDProcessor(elen=64, elenum=5, trace=False)
+        proc.load_program(assembled)
+        proc.run()
+        old = proc._predecoded
+        assert old.superblocks is not None
+        original = assembled.instructions[10].word
+        assembled.instructions[10].word = original ^ 1
+        try:
+            proc.reset()
+            proc.load_program(assembled)
+            assert proc._predecoded is not old
+            assert proc._predecoded.superblocks is None
+        finally:
+            assembled.instructions[10].word = original
+
+    def test_max_instructions_limit_identical(self):
+        # The limit must fire at the exact same instruction whether or
+        # not blocks are fused (the fused loop falls back to stepping
+        # when a block could overrun the limit).
+        from repro.sim.exceptions import ExecutionLimitExceeded
+
+        program = keccak64_lmul8.build(5)
+        assembled = program.assemble()
+        results = []
+        for fuse in (True, False):
+            proc = SIMDProcessor(elen=64, elenum=5, trace=False, fuse=fuse)
+            proc.load_program(assembled)
+            with pytest.raises(ExecutionLimitExceeded):
+                proc.run(max_instructions=500)
+            results.append((proc.stats.instructions, proc.stats.cycles,
+                            proc.scalar.pc))
+        assert results[0] == results[1]
+
+
+class TestSessionReuseIsolation:
+    """Two back-to-back runs on one Session == two fresh processors.
+
+    The worker pool keeps one warm Session per process, so the in-place
+    reset must leave *no* residue between runs — same states, same
+    cycles, bit for bit.
+    """
+
+    @pytest.mark.parametrize("name,module", VARIANTS)
+    def test_back_to_back_runs_match_fresh(self, name, module):
+        program = module.build(5)
+        first_states = _states(1, seed=0xAAAA)
+        second_states = _states(1, seed=0xBBBB)
+        session = Session()
+        warm1 = session.run(program, first_states)
+        warm2 = session.run(program, second_states)
+        fresh1 = run_keccak_program(
+            program, first_states,
+            processor=SIMDProcessor(elen=program.elen,
+                                    elenum=program.elenum, trace=False))
+        fresh2 = run_keccak_program(
+            program, second_states,
+            processor=SIMDProcessor(elen=program.elen,
+                                    elenum=program.elenum, trace=False))
+        assert warm1.states == fresh1.states
+        assert warm2.states == fresh2.states
+        assert warm1.stats.cycles == fresh1.stats.cycles
+        assert warm2.stats.cycles == fresh2.stats.cycles
+        assert warm1.stats.instructions == fresh1.stats.instructions
+        assert warm2.stats.instructions == fresh2.stats.instructions
+
+
 class TestCyclePins:
     """The paper's Table 7/8 numbers must survive the predecode engine."""
 

@@ -10,12 +10,14 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("tables", "sweep", "hash", "run", "asm", "dis"):
+        for command in ("tables", "sweep", "hash", "run", "batch", "asm",
+                        "dis"):
             args = {
                 "tables": [],
                 "sweep": [],
                 "hash": ["sha3_256", "--string", "x"],
                 "run": [],
+                "batch": [],
                 "asm": ["f.s"],
                 "dis": ["f.hex"],
             }[command]
@@ -76,6 +78,32 @@ class TestRunCommand:
                      "--states", "3"]) == 0
         out = capsys.readouterr().out
         assert "cycles/round:       147" in out
+
+
+class TestBatchCommand:
+    def test_batch_verify_serial(self, capsys):
+        assert main(["batch", "--count", "8", "--size", "40",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "8 messages" in out
+        assert "match hashlib" in out
+
+    def test_batch_verify_two_workers(self, capsys):
+        assert main(["batch", "--count", "12", "--size", "40",
+                     "--workers", "2", "--chunk-size", "6",
+                     "--verify"]) == 0
+        assert "match hashlib" in capsys.readouterr().out
+
+    def test_batch_prints_first_digest_without_verify(self, capsys):
+        import hashlib as _hashlib
+        import random
+
+        assert main(["batch", "--count", "2", "--size", "10",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        expected = _hashlib.sha3_256(
+            random.Random(7).randbytes(10)).hexdigest()
+        assert out[-1] == expected
 
 
 class TestAsmDisCommands:
