@@ -43,6 +43,7 @@ from . import (
     pqc,
     programs,
     related,
+    resilience,
     sim,
 )
 from .assembler import assemble, disassemble
@@ -107,6 +108,7 @@ __all__ = [
     "run",
     "run_many",
     "parallel_exec",
+    "resilience",
     "Session",
     "RunResult",
     "new",

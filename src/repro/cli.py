@@ -14,9 +14,18 @@ Commands
     Run one Keccak configuration on the simulator and print its metrics.
 ``batch``
     Hash a batch of generated messages across a worker pool
-    (``repro.run_many``), optionally verifying against ``hashlib``.
+    (``repro.run_many``), optionally verifying against ``hashlib``;
+    supports checkpoint/resume (``--resume``) and the hardened pool's
+    quarantine report (``--quarantine-report``).
+``faultcampaign``
+    Seeded fault-injection campaign over the execution engines; fails
+    (exit 1) on any silent divergence.
 ``asm`` / ``dis``
     Assemble a source file to machine words / disassemble words back.
+
+Bad input (unreadable files, malformed hex, invalid parameters) exits
+with status 2 and a one-line diagnostic on stderr; simulation or pool
+failures exit 1.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from typing import List, Optional
 
 from .assembler import assemble, disassemble
 from .keccak.hashes import SHA3_VARIANTS, SHAKE_VARIANTS
+from .sim.exceptions import SimulationError
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -123,25 +133,72 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     import random
     import time
 
-    from .programs import run_many
+    from .parallel_exec import RetryPolicy
+    from .programs import run_many, run_many_report
 
     rng = random.Random(args.seed)
     messages = [rng.randbytes(args.size) for _ in range(args.count)]
+    hardened = args.resume or args.quarantine_report
     start = time.perf_counter()
-    digests = run_many(messages, workers=args.workers,
-                       chunk_size=args.chunk_size)
+    if hardened:
+        outcome = run_many_report(messages, workers=args.workers,
+                                  chunk_size=args.chunk_size,
+                                  timeout=args.timeout,
+                                  policy=RetryPolicy.hardened(),
+                                  checkpoint=args.resume)
+        digests = outcome.digests
+    else:
+        outcome = None
+        digests = run_many(messages, workers=args.workers,
+                           chunk_size=args.chunk_size,
+                           timeout=args.timeout)
     elapsed = time.perf_counter() - start
     print(f"hashed {args.count} messages of {args.size} bytes "
           f"with {args.workers} worker(s) in {elapsed:.2f}s "
           f"({args.count / elapsed:.1f} msg/s)")
+    if args.quarantine_report and outcome is not None:
+        print(outcome.summary())
+    status = 0
+    if outcome is not None and not outcome.ok:
+        missing = sum(1 for d in digests if d is None)
+        print(f"{missing} digest(s) missing from quarantined chunks",
+              file=sys.stderr)
+        status = 1
     if args.verify:
         expected = [hashlib.sha3_256(m).digest() for m in messages]
-        if digests != expected:
+        completed = [(got, want) for got, want in zip(digests, expected)
+                     if got is not None]
+        if any(got != want for got, want in completed):
             print("MISMATCH against hashlib.sha3_256", file=sys.stderr)
             return 1
-        print("all digests match hashlib.sha3_256")
-    else:
+        print(f"all {len(completed)} digest(s) match hashlib.sha3_256")
+    elif digests and digests[0] is not None:
         print(digests[0].hex())
+    return status
+
+
+def _cmd_faultcampaign(args: argparse.Namespace) -> int:
+    from .resilience import run_campaign
+    from .resilience.campaign import MODES, VARIANTS
+
+    variants = tuple(args.variants.split(",")) if args.variants \
+        else tuple(VARIANTS)
+    modes = tuple(args.modes.split(",")) if args.modes else MODES
+    for variant in variants:
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant: {variant!r} "
+                             f"(choose from {', '.join(VARIANTS)})")
+    report = run_campaign(num_faults=args.faults, seed=args.seed,
+                          variants=variants, modes=modes,
+                          crosscheck=not args.no_crosscheck)
+    print(report.summary())
+    if not report.zero_silent:
+        for result in report.silent_divergences:
+            print(f"SILENT: #{result.trial.index} "
+                  f"[{result.trial.variant}/{result.trial.mode}] "
+                  f"{result.trial.spec.describe()}: {result.detail}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -258,6 +315,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--seed", type=int, default=0)
     p_batch.add_argument("--verify", action="store_true",
                          help="check every digest against hashlib")
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="per-chunk timeout in seconds")
+    p_batch.add_argument("--resume", metavar="MANIFEST", default=None,
+                         help="checkpoint manifest path: created on first "
+                              "run, completed chunks are skipped on rerun")
+    p_batch.add_argument("--quarantine-report", action="store_true",
+                         help="run with the hardened retry policy and "
+                              "print the quarantine/pool report")
+
+    p_campaign = sub.add_parser(
+        "faultcampaign",
+        help="seeded fault-injection campaign over the execution engines")
+    p_campaign.add_argument("--faults", type=int, default=200,
+                            help="number of faults to inject")
+    p_campaign.add_argument("--seed", type=int, default=0)
+    p_campaign.add_argument("--variants", default=None,
+                            help="comma-separated variant list "
+                                 "(default: all)")
+    p_campaign.add_argument("--modes", default=None,
+                            help="comma-separated engine modes "
+                                 "(stepped,predecoded,fused)")
+    p_campaign.add_argument("--no-crosscheck", action="store_true",
+                            help="skip replaying faults on the reference "
+                                 "engine")
 
     p_mix = sub.add_parser("mix", help="per-step-mapping cycle breakdown")
     p_mix.add_argument("--variant", choices=(
@@ -284,6 +365,7 @@ _HANDLERS = {
     "hash": _cmd_hash,
     "run": _cmd_run,
     "batch": _cmd_batch,
+    "faultcampaign": _cmd_faultcampaign,
     "mix": _cmd_mix,
     "isa-doc": _cmd_isa_doc,
     "asm": _cmd_asm,
@@ -293,7 +375,17 @@ _HANDLERS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except (OSError, ValueError, LookupError) as exc:
+        # Bad input (unreadable file, malformed hex, invalid parameter):
+        # one-line diagnostic, exit 2 — same contract as argparse errors.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except (RuntimeError, SimulationError) as exc:
+        # Simulation or worker-pool failure on valid input.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -6,12 +6,19 @@ other cores.  This package shards large work lists across a pool of
 persistent worker processes:
 
 * :mod:`~repro.parallel_exec.pool` — worker lifecycle, task-kind
-  registry, per-worker task queues, shared result queue.
+  registry, per-worker task queues, shared result queue, heartbeat
+  pings.
 * :mod:`~repro.parallel_exec.scheduler` — chunked distribution, one
-  chunk in flight per worker, per-chunk timeout + crash retry, task
-  errors fail fast.
+  chunk in flight per worker, crash/timeout retry with exponential
+  backoff + jitter, per-worker circuit breaker, poisoned-chunk
+  quarantine, task errors fail fast by default.
+* :mod:`~repro.parallel_exec.hardening` — the :class:`RetryPolicy`
+  knobs, quarantine log and pool statistics backing the above.
+* :mod:`~repro.parallel_exec.checkpoint` — JSON manifest
+  checkpoint/resume so a killed batch run continues where it stopped.
 * :mod:`~repro.parallel_exec.results` — deterministic reassembly in
-  submission order.
+  submission order, and the structured error taxonomy
+  (:class:`ParallelExecError` and subclasses).
 
 Workers are *persistent*: each keeps its warm
 :class:`~repro.programs.session.Session` (predecoded programs and fused
@@ -20,15 +27,29 @@ simulation itself, not setup.  The high-level front ends live in
 :func:`repro.run_many` and ``batch_sha3_256(..., workers=N)``.
 """
 
+from .checkpoint import BatchCheckpoint, chunk_fingerprint
+from .hardening import (
+    PoolStats,
+    QuarantinedChunk,
+    QuarantineLog,
+    RetryPolicy,
+)
 from .pool import WorkerPool, default_worker_count, register_task_kind
 from .results import (
+    ChunkQuarantinedError,
     ChunkTimeoutError,
     ParallelExecError,
     ResultAssembler,
     TaskError,
     WorkerCrashError,
 )
-from .scheduler import chunked, run_chunked, run_chunks
+from .scheduler import (
+    ChunkRunReport,
+    chunked,
+    run_chunked,
+    run_chunks,
+    run_chunks_report,
+)
 
 __all__ = [
     "WorkerPool",
@@ -39,7 +60,16 @@ __all__ = [
     "TaskError",
     "WorkerCrashError",
     "ChunkTimeoutError",
+    "ChunkQuarantinedError",
+    "RetryPolicy",
+    "PoolStats",
+    "QuarantineLog",
+    "QuarantinedChunk",
+    "BatchCheckpoint",
+    "chunk_fingerprint",
+    "ChunkRunReport",
     "chunked",
     "run_chunked",
     "run_chunks",
+    "run_chunks_report",
 ]

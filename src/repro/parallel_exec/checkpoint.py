@@ -1,0 +1,135 @@
+"""Checkpoint/resume for chunked batch runs (JSON manifest on disk).
+
+A killed batch run (OOM, preemption, ^C) should not redo finished work.
+The scheduler writes a manifest as chunks complete; a rerun over the
+*same* chunk list loads the manifest, pre-fills the finished chunks and
+only dispatches the rest — producing byte-identical, order-preserving
+results.
+
+Safety properties:
+
+* **Atomic writes** — the manifest is rewritten to a temp file and
+  ``os.replace``-d into place, so a kill mid-write leaves the previous
+  consistent manifest, never a torn one.
+* **Fingerprinted inputs** — the manifest stores a SHA-256 fingerprint
+  per chunk payload; a resume whose chunk list does not match *exactly*
+  (kind, count and every fingerprint) starts fresh instead of silently
+  splicing stale results into a different batch.
+* **Typed values** — chunk results are lists of ``bytes`` (digests) or
+  JSON-native values; each element is tagged on disk (``{"b": hex}`` vs
+  ``{"j": value}``) so round-trips are exact.
+
+The manifest is written by the parent process only — workers never see
+it — so there is no write concurrency to manage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Bumped on any incompatible manifest change; mismatches start fresh.
+MANIFEST_VERSION = 1
+
+
+def chunk_fingerprint(payload: Any) -> str:
+    """Stable content hash of one chunk payload.
+
+    ``repr`` is stable for the payload shapes the pool carries (tuples,
+    lists, str/bytes/int) and keeps the fingerprint independent of any
+    pickle protocol details.
+    """
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+def _encode_values(values: List[Any]) -> List[Dict[str, Any]]:
+    encoded = []
+    for value in values:
+        if isinstance(value, bytes):
+            encoded.append({"b": value.hex()})
+        else:
+            encoded.append({"j": value})
+    return encoded
+
+
+def _decode_values(entries: List[Dict[str, Any]]) -> List[Any]:
+    values: List[Any] = []
+    for entry in entries:
+        if "b" in entry:
+            values.append(bytes.fromhex(entry["b"]))
+        else:
+            values.append(entry["j"])
+    return values
+
+
+class BatchCheckpoint:
+    """One run's resumable manifest at ``path``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = os.fspath(path)
+        self._manifest: Optional[Dict[str, Any]] = None
+
+    def begin(self, kind: str,
+              chunks: Sequence[Any]) -> Dict[int, List[Any]]:
+        """Open (or create) the manifest for this chunk list.
+
+        Returns the already-completed chunks as ``{index: values}`` when
+        the on-disk manifest matches ``kind`` and every chunk
+        fingerprint; otherwise the manifest is reset and the returned
+        dict is empty.
+        """
+        fingerprints = [chunk_fingerprint(chunk) for chunk in chunks]
+        existing = self._read()
+        if (existing is not None
+                and existing.get("version") == MANIFEST_VERSION
+                and existing.get("kind") == kind
+                and existing.get("fingerprints") == fingerprints):
+            self._manifest = existing
+            completed: Dict[int, List[Any]] = {}
+            for key, values in existing.get("completed", {}).items():
+                index = int(key)
+                if 0 <= index < len(chunks):
+                    completed[index] = _decode_values(values)
+            return completed
+        self._manifest = {
+            "version": MANIFEST_VERSION,
+            "kind": kind,
+            "num_chunks": len(chunks),
+            "fingerprints": fingerprints,
+            "completed": {},
+        }
+        self._write()
+        return {}
+
+    def record(self, chunk_index: int, values: List[Any]) -> None:
+        """Persist one finished chunk (atomic rewrite)."""
+        if self._manifest is None:
+            raise RuntimeError("record() before begin()")
+        self._manifest["completed"][str(chunk_index)] = \
+            _encode_values(values)
+        self._write()
+
+    @property
+    def completed_count(self) -> int:
+        if self._manifest is None:
+            return 0
+        return len(self._manifest["completed"])
+
+    def _read(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self.path) as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return manifest if isinstance(manifest, dict) else None
+
+    def _write(self) -> None:
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(self._manifest, handle, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)

@@ -26,6 +26,13 @@ from typing import Any, Callable, Dict, Optional, Tuple
 #: time by task-owning modules (and by tests before they start a pool).
 _TASK_KINDS: Dict[str, Callable[[Any], Any]] = {}
 
+#: Reserved task kind for worker health checks: the worker answers
+#: immediately with ``_PONG`` instead of consulting the registry.
+#: Heartbeat messages use this chunk index, which no real chunk can have.
+PING_TASK_KIND = "parallel_exec.ping"
+PING_CHUNK_INDEX = -1
+_PONG = "pong"
+
 
 def register_task_kind(kind: str, fn: Callable[[Any], Any]) -> None:
     """Register ``fn`` to run in workers for tasks named ``kind``.
@@ -56,6 +63,9 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
         if item is None:
             return
         chunk_index, kind, payload = item
+        if kind == PING_TASK_KIND:
+            result_queue.put((worker_id, PING_CHUNK_INDEX, True, _PONG))
+            continue
         try:
             fn = _TASK_KINDS[kind]
             result = fn(payload)
@@ -83,6 +93,11 @@ class _Worker:
         #: (chunk_index, kind, payload, attempts) currently dispatched.
         self.task: Optional[Tuple[int, str, Any, int]] = None
         self.deadline: Optional[float] = None
+        #: Last time this worker was heard from (spawn counts as a sign
+        #: of life); feeds the scheduler's heartbeat checks.
+        self.last_seen = time.monotonic()
+        #: When the outstanding ping was sent, or None.
+        self.ping_sent: Optional[float] = None
 
     @property
     def busy(self) -> bool:
@@ -104,6 +119,15 @@ class _Worker:
 
     def timed_out(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
+
+    def send_ping(self, now: float) -> None:
+        """Queue a heartbeat; the worker answers when it drains to it."""
+        self.ping_sent = now
+        self.task_queue.put((PING_CHUNK_INDEX, PING_TASK_KIND, None))
+
+    def heard_from(self, now: float) -> None:
+        self.last_seen = now
+        self.ping_sent = None
 
     def kill(self) -> None:
         if self.process.is_alive():
@@ -147,10 +171,23 @@ class WorkerPool:
     def busy_workers(self):
         return [w for w in self.workers.values() if w.busy]
 
-    def replace(self, worker: _Worker) -> Tuple[Optional[Tuple], "_Worker"]:
-        """Kill ``worker``, spawn a fresh one; returns its lost task."""
+    def replace(self, worker: _Worker,
+                graceful: bool = False) -> Tuple[Optional[Tuple], "_Worker"]:
+        """Retire ``worker``, spawn a fresh one; returns its lost task.
+
+        ``graceful`` retires via the sentinel + join instead of SIGKILL.
+        This matters because the result queue's write lock is shared
+        across processes: killing a worker in the instant between its
+        result write and the lock release would leave the lock held
+        forever and deadlock every other worker's ``put``.  Use graceful
+        for workers that are alive and idle (circuit breaker); a kill is
+        only for workers that are already dead or provably stuck.
+        """
         task = worker.task
-        worker.kill()
+        if graceful:
+            worker.stop()
+        else:
+            worker.kill()
         del self.workers[worker.worker_id]
         return task, self._spawn()
 

@@ -52,6 +52,19 @@ class ChunkTimeoutError(ParallelExecError):
         self.chunk_index = chunk_index
 
 
+class ChunkQuarantinedError(ParallelExecError):
+    """Poisoned chunks were quarantined and the caller asked for a flat
+    result — the full per-chunk report is available via
+    ``run_chunks_report``."""
+
+    def __init__(self, chunk_indices: List[int]) -> None:
+        super().__init__(
+            f"{len(chunk_indices)} chunk(s) quarantined: "
+            f"{sorted(chunk_indices)}"
+        )
+        self.chunk_indices = sorted(chunk_indices)
+
+
 class ResultAssembler:
     """Collects per-chunk results and restores submission order."""
 
@@ -59,10 +72,16 @@ class ResultAssembler:
         self._slots: List[Optional[List[Any]]] = [None] * num_chunks
         self._filled = [False] * num_chunks
         self._remaining = num_chunks
+        self._failed: List[int] = []
 
     @property
     def complete(self) -> bool:
         return self._remaining == 0
+
+    @property
+    def failed(self) -> List[int]:
+        """Indices of chunks resolved as quarantined (no results)."""
+        return list(self._failed)
 
     def add(self, chunk_index: int, values: List[Any]) -> None:
         """Record one chunk's results (duplicate delivery is ignored).
@@ -77,6 +96,16 @@ class ResultAssembler:
         self._filled[chunk_index] = True
         self._remaining -= 1
 
+    def add_failed(self, chunk_index: int) -> None:
+        """Resolve a chunk as quarantined: its slot stays empty, the run
+        can still complete, and :meth:`assemble` will refuse to pretend
+        the results are whole."""
+        if self._filled[chunk_index]:
+            return
+        self._filled[chunk_index] = True
+        self._failed.append(chunk_index)
+        self._remaining -= 1
+
     def has(self, chunk_index: int) -> bool:
         return self._filled[chunk_index]
 
@@ -86,7 +115,17 @@ class ResultAssembler:
             raise ParallelExecError(
                 f"{self._remaining} chunk(s) still outstanding"
             )
+        if self._failed:
+            raise ChunkQuarantinedError(self._failed)
         out: List[Any] = []
         for values in self._slots:
             out.extend(values)  # type: ignore[arg-type]
         return out
+
+    def partial(self) -> List[Optional[List[Any]]]:
+        """Per-chunk results in submission order; None where quarantined."""
+        if self._remaining:
+            raise ParallelExecError(
+                f"{self._remaining} chunk(s) still outstanding"
+            )
+        return list(self._slots)

@@ -1,29 +1,51 @@
 """Chunked scheduling: shard a work list across the pool, keep order.
 
-The scheduler owns the retry policy:
+The scheduler owns the recovery policy (:class:`RetryPolicy`):
 
-* A **task exception** aborts the whole run immediately (re-running the
-  same deterministic chunk would fail again) as :class:`TaskError`.
+* A **task exception** aborts the whole run immediately by default
+  (re-running the same deterministic chunk would fail again) as
+  :class:`TaskError`; with ``retry_task_errors`` it is retried on
+  another worker instead, which is what makes quarantine meaningful.
 * A **worker crash** (process died mid-chunk) requeues the chunk on a
-  fresh worker, up to ``max_retries`` extra attempts, then raises
-  :class:`WorkerCrashError`.
-* A **per-chunk timeout** kills the worker holding the chunk, requeues
-  it the same way, then raises :class:`ChunkTimeoutError`.
+  fresh worker after an exponential-backoff-with-jitter delay, up to
+  ``max_retries`` extra attempts.
+* A **per-chunk timeout** kills the worker holding the chunk and
+  requeues it the same way.
+* A chunk that fails on ``quarantine_threshold`` *distinct* workers is
+  **poisoned**: the input, not a worker, is at fault.  With
+  ``policy.quarantine`` it is pulled from rotation and reported
+  (:class:`QuarantinedChunk`) while the rest of the batch completes;
+  without it, the run raises as before.
+* A worker that fails ``breaker_threshold`` chunks consecutively trips
+  its **circuit breaker** and is retired/respawned even if alive.
+* Idle workers answer **heartbeat pings**; one that stays silent past
+  ``heartbeat_timeout`` is declared wedged and replaced.
 
 One chunk is in flight per worker, so the timeout clock starts at
 dispatch, not at submission.  Completed chunks land in a
 :class:`~repro.parallel_exec.results.ResultAssembler`, which restores
-submission order regardless of completion order.
+submission order regardless of completion order — and, when a
+``checkpoint`` manifest path is given, are persisted as they finish so
+a killed run resumes without redoing them.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
-from typing import Any, Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
 
-from .pool import WorkerPool, _TASK_KINDS
+from .checkpoint import BatchCheckpoint
+from .hardening import (
+    PoolStats,
+    QuarantineLog,
+    QuarantinedChunk,
+    RetryPolicy,
+    WorkerLedger,
+)
+from .pool import PING_CHUNK_INDEX, WorkerPool, _TASK_KINDS
 from .results import (
+    ChunkQuarantinedError,
     ChunkTimeoutError,
     ResultAssembler,
     TaskError,
@@ -31,7 +53,7 @@ from .results import (
 )
 
 #: How long one poll of the result queue blocks while chunks are in
-#: flight; bounds how stale a timeout/crash check can be.
+#: flight; bounds how stale a timeout/crash/heartbeat check can be.
 _POLL_INTERVAL = 0.05
 
 
@@ -43,96 +65,300 @@ def chunked(items: Sequence[Any], chunk_size: int) -> List[List[Any]]:
             for i in range(0, len(items), chunk_size)]
 
 
+@dataclass
+class ChunkRunReport:
+    """Everything one chunked run produced, including its failures."""
+
+    #: Per-chunk results in submission order; None where quarantined.
+    chunk_results: List[Optional[List[Any]]]
+    quarantined: List[QuarantinedChunk] = field(default_factory=list)
+    stats: PoolStats = field(default_factory=PoolStats)
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+    def flat(self) -> List[Any]:
+        """All item results concatenated; raises if any chunk failed."""
+        if self.quarantined:
+            raise ChunkQuarantinedError(
+                [q.chunk_index for q in self.quarantined])
+        out: List[Any] = []
+        for values in self.chunk_results:
+            out.extend(values)  # type: ignore[arg-type]
+        return out
+
+    def summary(self) -> str:
+        lines = [self.stats.summary()]
+        if self.quarantined:
+            lines.append(f"{len(self.quarantined)} chunk(s) quarantined:")
+            lines.extend(f"  {q}" for q in self.quarantined)
+        else:
+            lines.append("no chunks quarantined")
+        return "\n".join(lines)
+
+
 def run_chunks(kind: str, chunks: Sequence[Any], *,
                workers: int,
                timeout: Optional[float] = None,
-               max_retries: int = 2) -> List[Any]:
+               max_retries: int = 2,
+               policy: Optional[RetryPolicy] = None,
+               checkpoint: Optional[str] = None) -> List[Any]:
     """Run every chunk payload through task ``kind``; flat ordered results.
 
     Each chunk's task must return a list; the returned list is the
     concatenation in chunk order.  ``workers=1`` runs everything in this
     process (no multiprocessing, no IPC) — the serial reference the
-    parallel path is tested against.
+    parallel path is tested against.  Quarantined chunks (only possible
+    with ``policy.quarantine``) raise :class:`ChunkQuarantinedError`
+    here; use :func:`run_chunks_report` to get partial results instead.
     """
+    report = run_chunks_report(kind, chunks, workers=workers,
+                               timeout=timeout, max_retries=max_retries,
+                               policy=policy, checkpoint=checkpoint)
+    return report.flat()
+
+
+def run_chunks_report(kind: str, chunks: Sequence[Any], *,
+                      workers: int,
+                      timeout: Optional[float] = None,
+                      max_retries: int = 2,
+                      policy: Optional[RetryPolicy] = None,
+                      checkpoint: Optional[str] = None) -> ChunkRunReport:
+    """Like :func:`run_chunks` but returns the full
+    :class:`ChunkRunReport` (per-chunk results, quarantine log, pool
+    stats) instead of a flat list."""
     if kind not in _TASK_KINDS:
         raise KeyError(f"unknown task kind: {kind!r}")
+    if policy is None:
+        # Legacy-compatible policy: no backoff, fail fast, and never let
+        # the quarantine threshold cut a caller's retry budget short.
+        policy = RetryPolicy(max_retries=max_retries,
+                             quarantine_threshold=max(3, max_retries + 1))
+    stats = PoolStats(chunks=len(chunks))
+    quarantine = QuarantineLog(policy.quarantine_threshold)
     if not chunks:
-        return []
-    if workers <= 1:
-        fn = _TASK_KINDS[kind]
-        out: List[Any] = []
-        for chunk_index, payload in enumerate(chunks):
-            try:
-                out.extend(fn(payload))
-            except Exception as exc:
-                raise TaskError(chunk_index,
-                                f"{type(exc).__name__}: {exc}") from exc
-        return out
+        return ChunkRunReport(chunk_results=[], stats=stats)
 
-    pool = WorkerPool(min(workers, len(chunks)))
-    try:
-        assembler = _drive(pool, kind, chunks, timeout, max_retries)
-    finally:
-        pool.shutdown()
-    return assembler.assemble()
+    assembler = ResultAssembler(len(chunks))
+    manifest: Optional[BatchCheckpoint] = None
+    if checkpoint is not None:
+        manifest = BatchCheckpoint(checkpoint)
+        for index, values in manifest.begin(kind, chunks).items():
+            assembler.add(index, values)
+            stats.checkpoint_hits += 1
+            stats.completed += 1
+
+    if workers <= 1:
+        _run_serial(kind, chunks, policy, assembler, quarantine, stats,
+                    manifest)
+    elif not assembler.complete:
+        remaining = sum(1 for i in range(len(chunks))
+                        if not assembler.has(i))
+        pool = WorkerPool(min(workers, remaining))
+        try:
+            _drive(pool, kind, chunks, timeout, policy, assembler,
+                   quarantine, stats, manifest)
+        finally:
+            pool.shutdown()
+
+    return ChunkRunReport(chunk_results=assembler.partial(),
+                          quarantined=quarantine.quarantined(),
+                          stats=stats)
+
+
+def _run_serial(kind: str, chunks: Sequence[Any], policy: RetryPolicy,
+                assembler: ResultAssembler, quarantine: QuarantineLog,
+                stats: PoolStats,
+                manifest: Optional[BatchCheckpoint]) -> None:
+    """In-process execution: same recording, no pool.
+
+    Retrying in the same process cannot change a deterministic task's
+    outcome, so a failing chunk is quarantined (or raised) immediately.
+    """
+    fn = _TASK_KINDS[kind]
+    for chunk_index, payload in enumerate(chunks):
+        if assembler.has(chunk_index):
+            continue
+        try:
+            values = fn(payload)
+        except Exception as exc:
+            stats.task_failures += 1
+            message = f"{type(exc).__name__}: {exc}"
+            if policy.quarantine:
+                quarantine.force(chunk_index, 0, message)
+                assembler.add_failed(chunk_index)
+                continue
+            raise TaskError(chunk_index, message) from exc
+        assembler.add(chunk_index, values)
+        stats.completed += 1
+        if manifest is not None:
+            manifest.record(chunk_index, values)
+
+
+def _resolve_failed(chunk_index: int, policy: RetryPolicy,
+                    assembler: ResultAssembler,
+                    quarantine: QuarantineLog, error) -> None:
+    """A chunk is out of attempts or poisoned: quarantine or raise."""
+    quarantine.force(chunk_index)
+    if not policy.quarantine:
+        raise error
+    assembler.add_failed(chunk_index)
 
 
 def _drive(pool: WorkerPool, kind: str, chunks: Sequence[Any],
-           timeout: Optional[float], max_retries: int) -> ResultAssembler:
-    assembler = ResultAssembler(len(chunks))
-    #: (chunk_index, payload, attempts) awaiting a worker.
-    pending = deque((i, payload, 1) for i, payload in enumerate(chunks))
+           timeout: Optional[float], policy: RetryPolicy,
+           assembler: ResultAssembler, quarantine: QuarantineLog,
+           stats: PoolStats,
+           manifest: Optional[BatchCheckpoint]) -> None:
+    rng = policy.make_rng()
+    ledger = WorkerLedger(policy.breaker_threshold)
+    #: (ready_at, chunk_index, payload, attempts) awaiting a worker;
+    #: ready_at implements the backoff delay between attempts.
+    pending = [(0.0, i, payload, 1) for i, payload in enumerate(chunks)
+               if not assembler.has(i)]
+
+    def retire(worker, graceful: bool = False) -> None:
+        ledger.forget(worker.worker_id)
+        pool.replace(worker, graceful=graceful)
+
+    def requeue(chunk_index: int, payload: Any, attempts: int,
+                now: float) -> None:
+        delay = policy.delay(attempts + 1, rng)
+        stats.retries += 1
+        stats.backoff_seconds += delay
+        pending.append((now + delay, chunk_index, payload, attempts + 1))
 
     while not assembler.complete:
+        now = time.monotonic()
         for worker in list(pool.workers.values()):
             if not worker.busy and not worker.alive:
                 # Died between chunks (e.g. OOM-killed while idle):
                 # replace it so the pool keeps its size.
-                pool.replace(worker)
+                retire(worker)
+
+        ready = sorted(e for e in pending if e[0] <= now)
         for worker in pool.idle_workers():
-            if not pending:
+            if not ready:
                 break
-            chunk_index, payload, attempts = pending.popleft()
+            entry = ready.pop(0)
+            pending.remove(entry)
+            _, chunk_index, payload, attempts = entry
             worker.dispatch(chunk_index, kind, payload, attempts, timeout)
+
+        if policy.heartbeat_interval is not None:
+            _heartbeat(pool, policy, stats, retire, now)
 
         message = pool.poll_result(_POLL_INTERVAL)
         if message is not None:
             worker_id, chunk_index, ok, payload = message
+            now = time.monotonic()
             worker = pool.workers.get(worker_id)
-            if worker is not None and worker.task is not None \
-                    and worker.task[0] == chunk_index:
+            if worker is not None:
+                worker.heard_from(now)
+            if chunk_index == PING_CHUNK_INDEX:
+                stats.pongs_received += 1
+                continue
+            task = worker.task if worker is not None else None
+            held = task is not None and task[0] == chunk_index
+            if held:
                 worker.finish()
-            if not ok:
+            if ok:
+                ledger.record_success(worker_id)
+                if not assembler.has(chunk_index):
+                    assembler.add(chunk_index, payload)
+                    stats.completed += 1
+                    if manifest is not None:
+                        manifest.record(chunk_index, payload)
+                continue
+            # A task exception, reported by a surviving worker.
+            stats.task_failures += 1
+            if not policy.retry_task_errors:
                 raise TaskError(chunk_index, payload)
-            assembler.add(chunk_index, payload)
+            if not held or assembler.has(chunk_index):
+                # Stale report: the chunk was already requeued (its
+                # worker timed out) or resolved by another copy.
+                continue
+            _, _, chunk_payload, attempts = task
+            if ledger.record_failure(worker_id):
+                # Breaker trip: the worker is alive and idle (we just
+                # took its failure report), so retire it gracefully —
+                # a SIGKILL here can catch its queue feeder thread still
+                # holding the shared result queue's write lock and
+                # deadlock every other worker's put().
+                stats.workers_retired += 1
+                retire(worker, graceful=True)
+            poisoned = quarantine.record(chunk_index, worker_id, payload)
+            if poisoned or attempts > policy.max_retries:
+                _resolve_failed(chunk_index, policy, assembler, quarantine,
+                                TaskError(chunk_index, payload))
+            else:
+                requeue(chunk_index, chunk_payload, attempts, now)
             continue
 
         now = time.monotonic()
         for worker in pool.busy_workers():
             chunk_index, _, payload, attempts = worker.task
             if assembler.has(chunk_index):
-                # Result arrived from a requeued copy; free this slot.
-                _, _ = pool.replace(worker)
+                # Result arrived from a requeued copy.  Just free the
+                # slot: the worker finishes its stale computation and
+                # the late report is ignored (killing it mid-run could
+                # wedge the shared result queue).
+                worker.finish()
                 continue
-            if not worker.alive:
-                if attempts > max_retries:
-                    raise WorkerCrashError(chunk_index, attempts)
-                pool.replace(worker)
-                pending.append((chunk_index, payload, attempts + 1))
-            elif worker.timed_out(now):
-                if attempts > max_retries:
-                    raise ChunkTimeoutError(chunk_index, timeout or 0.0,
-                                            attempts)
-                pool.replace(worker)
-                pending.append((chunk_index, payload, attempts + 1))
-    return assembler
+            crashed = not worker.alive
+            if not crashed and not worker.timed_out(now):
+                continue
+            worker_id = worker.worker_id
+            if crashed:
+                stats.crashes += 1
+                reason = "worker crashed"
+                error = WorkerCrashError(chunk_index, attempts)
+            else:
+                stats.timeouts += 1
+                reason = f"timed out after {timeout:g}s"
+                error = ChunkTimeoutError(chunk_index, timeout or 0.0,
+                                          attempts)
+            retire(worker)
+            poisoned = quarantine.record(chunk_index, worker_id, reason)
+            if poisoned or attempts > policy.max_retries:
+                _resolve_failed(chunk_index, policy, assembler, quarantine,
+                                error)
+            else:
+                requeue(chunk_index, payload, attempts, now)
+
+
+def _heartbeat(pool: WorkerPool, policy: RetryPolicy, stats: PoolStats,
+               retire, now: float) -> None:
+    """Ping idle workers; replace any that stay silent too long.
+
+    Busy workers are intentionally exempt: their liveness is covered by
+    the crash check and the per-chunk timeout, and a ping would sit
+    behind the running chunk in the task queue anyway.
+    """
+    for worker in list(pool.workers.values()):
+        if worker.busy or not worker.alive:
+            continue
+        if worker.ping_sent is not None:
+            if now - worker.ping_sent > policy.heartbeat_timeout:
+                # Graceful first: if the silence was a false positive
+                # the sentinel lets it exit cleanly instead of risking
+                # a kill mid-write on the shared result queue.
+                stats.workers_retired += 1
+                retire(worker, graceful=True)
+        elif now - worker.last_seen >= policy.heartbeat_interval:
+            worker.send_ping(now)
+            stats.pings_sent += 1
 
 
 def run_chunked(kind: str, items: Sequence[Any], *,
                 workers: int,
                 chunk_size: int,
                 timeout: Optional[float] = None,
-                max_retries: int = 2) -> List[Any]:
+                max_retries: int = 2,
+                policy: Optional[RetryPolicy] = None,
+                checkpoint: Optional[str] = None) -> List[Any]:
     """Chunk ``items`` and run them; results stay in item order."""
     return run_chunks(kind, chunked(items, chunk_size), workers=workers,
-                      timeout=timeout, max_retries=max_retries)
+                      timeout=timeout, max_retries=max_retries,
+                      policy=policy, checkpoint=checkpoint)

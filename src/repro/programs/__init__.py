@@ -15,11 +15,13 @@ from .factory import build_program
 from .session import RunResult, Session, default_session, run
 from .runner import make_processor, run_keccak_program
 from .batch_driver import (
+    BatchOutcome,
     BatchPermutation,
     BatchSponge,
     batch_sha3_256,
     batch_shake128,
     run_many,
+    run_many_report,
 )
 from . import sha3_driver
 from .sha3_driver import SimulatedPermutation, simulated_sha3_256, simulated_shake128
@@ -51,5 +53,7 @@ __all__ = [
     "batch_sha3_256",
     "batch_shake128",
     "run_many",
+    "run_many_report",
+    "BatchOutcome",
 ]
 

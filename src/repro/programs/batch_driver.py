@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..keccak.sponge import SHA3_SUFFIX, SHAKE_SUFFIX
 from ..keccak.state import KeccakState
 from ..parallel_exec import register_task_kind, run_chunks
+from ..parallel_exec.hardening import PoolStats, QuarantinedChunk, RetryPolicy
+from ..parallel_exec.scheduler import run_chunks_report
 from .base import KeccakProgram
 from .factory import build_program
 from .session import Session
@@ -234,6 +236,79 @@ def _hash_chunk(payload) -> List[bytes]:
 register_task_kind(_HASH_TASK_KIND, _hash_chunk)
 
 
+def _prepare_chunks(messages: Sequence[bytes], algorithm: str, length: int,
+                    arch: _ArchKey,
+                    chunk_size: Optional[int]) -> List[Tuple]:
+    if algorithm not in ("sha3_256", "shake128"):
+        raise ValueError(f"unsupported algorithm: {algorithm!r}")
+    if chunk_size is None:
+        sn = _cached_permutation(arch).max_states
+        chunk_size = 4 * sn
+    payloads = [bytes(m) for m in messages]
+    return [(algorithm, length, arch, chunk)
+            for chunk in _chunk_list(payloads, chunk_size)]
+
+
+class BatchOutcome:
+    """One batch run's digests plus its full failure/recovery report.
+
+    ``digests`` is aligned with the input messages; a message whose
+    chunk was quarantined gets ``None`` instead of a digest, so partial
+    results stay order-preserving.
+    """
+
+    def __init__(self, digests: List[Optional[bytes]],
+                 quarantined: List[QuarantinedChunk],
+                 stats: PoolStats) -> None:
+        self.digests = digests
+        self.quarantined = quarantined
+        self.stats = stats
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+    def summary(self) -> str:
+        lines = [self.stats.summary()]
+        if self.quarantined:
+            lines.append(f"{len(self.quarantined)} chunk(s) quarantined:")
+            lines.extend(f"  {chunk}" for chunk in self.quarantined)
+        else:
+            lines.append("no chunks quarantined")
+        return "\n".join(lines)
+
+
+def run_many_report(messages: Sequence[bytes], *,
+                    algorithm: str = "sha3_256",
+                    length: int = 32,
+                    workers: Optional[int] = None,
+                    elen: int = 64, lmul: int = 8, elenum: int = 30,
+                    chunk_size: Optional[int] = None,
+                    timeout: Optional[float] = None,
+                    max_retries: int = 2,
+                    policy: Optional[RetryPolicy] = None,
+                    checkpoint: Optional[str] = None) -> BatchOutcome:
+    """:func:`run_many` with the full :class:`BatchOutcome` report.
+
+    Unlike :func:`run_many` this never raises on quarantine: poisoned
+    chunks surface as ``None`` digests plus a
+    :class:`~repro.parallel_exec.hardening.QuarantinedChunk` record.
+    """
+    arch = (elen, lmul, elenum)
+    chunks = _prepare_chunks(messages, algorithm, length, arch, chunk_size)
+    report = run_chunks_report(_HASH_TASK_KIND, chunks,
+                               workers=workers or 1, timeout=timeout,
+                               max_retries=max_retries, policy=policy,
+                               checkpoint=checkpoint)
+    digests: List[Optional[bytes]] = []
+    for chunk, values in zip(chunks, report.chunk_results):
+        if values is None:
+            digests.extend([None] * len(chunk[3]))
+        else:
+            digests.extend(values)
+    return BatchOutcome(digests, report.quarantined, report.stats)
+
+
 def run_many(messages: Sequence[bytes], *,
              algorithm: str = "sha3_256",
              length: int = 32,
@@ -241,7 +316,9 @@ def run_many(messages: Sequence[bytes], *,
              elen: int = 64, lmul: int = 8, elenum: int = 30,
              chunk_size: Optional[int] = None,
              timeout: Optional[float] = None,
-             max_retries: int = 2) -> List[bytes]:
+             max_retries: int = 2,
+             policy: Optional[RetryPolicy] = None,
+             checkpoint: Optional[str] = None) -> List[bytes]:
     """Hash arbitrarily many messages on the simulator, in parallel.
 
     Messages are split into chunks, each chunk is hashed in SN-sized
@@ -251,20 +328,17 @@ def run_many(messages: Sequence[bytes], *,
     ``hashlib``.  ``workers=None``/``1`` runs serially in this process —
     same code path, no pool.  ``chunk_size`` defaults to four SN groups,
     big enough to amortize queue IPC, small enough to load-balance;
-    ``timeout``/``max_retries`` are the per-chunk retry policy of
-    :func:`repro.parallel_exec.run_chunked`.
+    ``timeout``/``max_retries`` (or a full
+    :class:`~repro.parallel_exec.hardening.RetryPolicy`) are the
+    per-chunk recovery policy of
+    :func:`repro.parallel_exec.run_chunked`, and ``checkpoint`` names a
+    JSON manifest enabling kill-and-resume.
     """
-    if algorithm not in ("sha3_256", "shake128"):
-        raise ValueError(f"unsupported algorithm: {algorithm!r}")
     arch = (elen, lmul, elenum)
-    if chunk_size is None:
-        sn = _cached_permutation(arch).max_states
-        chunk_size = 4 * sn
-    payloads = [bytes(m) for m in messages]
-    chunks = [(algorithm, length, arch, chunk)
-              for chunk in _chunk_list(payloads, chunk_size)]
+    chunks = _prepare_chunks(messages, algorithm, length, arch, chunk_size)
     return run_chunks(_HASH_TASK_KIND, chunks, workers=workers or 1,
-                      timeout=timeout, max_retries=max_retries)
+                      timeout=timeout, max_retries=max_retries,
+                      policy=policy, checkpoint=checkpoint)
 
 
 def _chunk_list(items: List[bytes], size: int) -> List[List[bytes]]:

@@ -4,6 +4,7 @@ from .cycles import DEFAULT_CYCLE_MODEL, CycleModel
 from .exceptions import (
     ExecutionLimitExceeded,
     IllegalInstructionError,
+    InjectedFaultError,
     MemoryAccessError,
     ProcessorHalted,
     SimulationError,
@@ -36,4 +37,5 @@ __all__ = [
     "IllegalInstructionError",
     "ExecutionLimitExceeded",
     "ProcessorHalted",
+    "InjectedFaultError",
 ]

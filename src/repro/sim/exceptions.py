@@ -1,10 +1,95 @@
-"""Simulator exception types."""
+"""Simulator exception taxonomy.
+
+Every :class:`SimulationError` carries *structured* execution context —
+the program counter, cycle count and retired-instruction index at the
+fault, plus the faulting mnemonic when known — exposed both as attributes
+and as the machine-readable :attr:`SimulationError.context` dict.  Deep
+raise sites (memory, register file, vector unit) do not know the pc, so
+they raise bare errors and the processor's run loops fill the missing
+fields in via :meth:`SimulationError.annotate` as the exception
+propagates; fields set at the raise site always win.
+
+The fault-injection harness (:mod:`repro.resilience`) relies on this
+contract: an injected fault is only counted as *detected* when the
+resulting exception localizes itself with pc/cycle context.
+"""
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 
 class SimulationError(Exception):
-    """Base class for all simulator errors."""
+    """Base class for all simulator errors.
+
+    Parameters beyond the message are keyword-only context:
+
+    ``pc``
+        Address of the faulting instruction.
+    ``cycle``
+        Cycle counter at the fault (retired cycles before it).
+    ``instruction``
+        Retired-instruction index at the fault (0-based: the number of
+        instructions that retired before the faulting one).
+    ``mnemonic``
+        Mnemonic of the faulting instruction, when decodable.
+    """
+
+    def __init__(self, message: str = "", *,
+                 pc: Optional[int] = None,
+                 cycle: Optional[int] = None,
+                 instruction: Optional[int] = None,
+                 mnemonic: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.pc = pc
+        self.cycle = cycle
+        self.instruction = instruction
+        self.mnemonic = mnemonic
+
+    @property
+    def context(self) -> Dict[str, Any]:
+        """Machine-readable fault context (only the fields that are set)."""
+        return {
+            key: value
+            for key, value in (
+                ("pc", self.pc),
+                ("cycle", self.cycle),
+                ("instruction", self.instruction),
+                ("mnemonic", self.mnemonic),
+            )
+            if value is not None
+        }
+
+    def annotate(self, *,
+                 pc: Optional[int] = None,
+                 cycle: Optional[int] = None,
+                 instruction: Optional[int] = None,
+                 mnemonic: Optional[str] = None) -> "SimulationError":
+        """Fill in context fields that the raise site left unset.
+
+        Called by the processor's run loops while the exception unwinds;
+        returns ``self`` so ``raise exc.annotate(...)`` reads naturally.
+        """
+        if self.pc is None:
+            self.pc = pc
+        if self.cycle is None:
+            self.cycle = cycle
+        if self.instruction is None:
+            self.instruction = instruction
+        if self.mnemonic is None:
+            self.mnemonic = mnemonic
+        return self
+
+    def __str__(self) -> str:
+        message = super().__str__()
+        ctx = self.context
+        if not ctx:
+            return message
+        detail = ", ".join(
+            f"{key}={value:#x}" if key == "pc" else f"{key}={value}"
+            for key, value in ctx.items()
+        )
+        return f"{message} [{detail}]" if message else f"[{detail}]"
 
 
 class MemoryAccessError(SimulationError):
@@ -21,3 +106,7 @@ class ExecutionLimitExceeded(SimulationError):
 
 class ProcessorHalted(SimulationError):
     """Raised internally when ``ecall``/``ebreak`` stops the processor."""
+
+
+class InjectedFaultError(SimulationError):
+    """A fault deliberately raised by the fault-injection harness."""

@@ -18,7 +18,7 @@ width — 64 for the 64-bit architecture, 32 for the 32-bit one) and
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..assembler.program import Program
 from ..isa import ISA, decode_operands
@@ -28,6 +28,7 @@ from .exceptions import (
     ExecutionLimitExceeded,
     IllegalInstructionError,
     ProcessorHalted,
+    SimulationError,
 )
 from .memory import DataMemory
 from .predecode import PredecodedProgram, build_superblocks, predecode
@@ -73,6 +74,13 @@ class SIMDProcessor:
         self._fuse_enabled = fuse and predecode
         self._predecoded: Optional[PredecodedProgram] = None
         self._predecode_cache: Dict[int, PredecodedProgram] = {}
+        #: Fault-injection hook for the *stepped* (non-predecoded) path:
+        #: called as ``hook(processor, pc)`` before each instruction
+        #: executes.  Predecoded/fused processors are instrumented by
+        #: wrapping decoded entries instead (see ``repro.resilience``),
+        #: so the fused hot loop never pays for this check.
+        self.fault_hook: Optional[
+            Callable[["SIMDProcessor", int], None]] = None
 
     # -- program loading ----------------------------------------------------------
 
@@ -123,6 +131,14 @@ class SIMDProcessor:
         """
         if self.halted:
             raise ProcessorHalted("processor is halted")
+        try:
+            return self._step()
+        except ProcessorHalted:
+            raise
+        except SimulationError as exc:
+            raise self._annotate(exc)
+
+    def _step(self) -> int:
         pc = self.scalar.pc
         pre = self._predecoded
         if pre is not None:
@@ -141,8 +157,39 @@ class SIMDProcessor:
             return cycles
         return self._step_decode(pc)
 
+    def _annotate(self, exc: SimulationError) -> SimulationError:
+        """Attach pc/cycle/instruction context as the error unwinds.
+
+        Fused blocks flush their retired prefix and repair ``scalar.pc``
+        before re-raising, so by the time the exception reaches the run
+        loop the architectural counters already sit exactly at the fault.
+        Fields the raise site filled in are preserved.
+        """
+        pc = self.scalar.pc
+        mnemonic = None
+        pre = self._predecoded
+        if pre is not None:
+            entry = pre.entry_at(pc)
+            if entry is not None:
+                mnemonic = entry.mnemonic
+        else:
+            word = self._program_words.get(pc)
+            if word is not None:
+                try:
+                    mnemonic = self._isa.find(word).mnemonic
+                except LookupError:
+                    pass
+        return exc.annotate(
+            pc=pc,
+            cycle=self.stats.cycles,
+            instruction=self.stats.instructions,
+            mnemonic=mnemonic,
+        )
+
     def _step_decode(self, pc: int) -> int:
         """The original per-step decode path (reference semantics)."""
+        if self.fault_hook is not None:
+            self.fault_hook(self, pc)
         word = self._program_words.get(pc)
         if word is None:
             raise IllegalInstructionError(
@@ -238,7 +285,17 @@ class SIMDProcessor:
         and the final approach to ``max_instructions`` fall back to the
         per-instruction loop so limit errors fire at exactly the same
         instruction as before.
+
+        Any :class:`SimulationError` escaping the run carries structured
+        pc/cycle/instruction context (see :meth:`_annotate`).
         """
+        try:
+            return self._run(max_instructions, max_cycles)
+        except SimulationError as exc:
+            raise self._annotate(exc)
+
+    def _run(self, max_instructions: int,
+             max_cycles: Optional[int]) -> ExecutionStats:
         pre = self._predecoded
         if pre is None:
             while not self.halted:

@@ -1,0 +1,113 @@
+"""Mid-block faults: fused execution must fail exactly like stepped.
+
+The fused dispatch contract says that when an interior executor raises,
+the retired prefix is flushed (instructions, cycles, per-mnemonic
+counters) and the scalar pc is repaired to the faulting instruction
+before the exception propagates.  These tests force a fault at *every*
+instruction offset of a real fused superblock — the 25-instruction
+straight-line run of the Keccak round body — and assert that the
+architecturally visible failure state is identical to per-instruction
+(``predecode=False``) execution: same retired count, same cycle count,
+same pc, same exception context.
+"""
+
+import pytest
+
+from repro.programs import keccak64_lmul8, layout
+from repro.resilience import FaultInjector, FaultSpec
+from repro.sim import SIMDProcessor
+from repro.sim.exceptions import (
+    IllegalInstructionError,
+    MemoryAccessError,
+    SimulationError,
+)
+from repro.sim.predecode import build_superblocks
+
+PROGRAM = keccak64_lmul8.build(5)
+ASSEMBLED = PROGRAM.assemble()
+
+
+def _longest_block():
+    probe = SIMDProcessor(elen=64, elenum=5)
+    probe.load_program(ASSEMBLED)
+    blocks = build_superblocks(probe, probe._predecoded).blocks
+    best = max((b for b in blocks if b is not None),
+               key=lambda b: b.length)
+    return best.start_pc, best.length
+
+
+BLOCK_START, BLOCK_LEN = _longest_block()
+OFFSETS = range(BLOCK_LEN)
+EXCEPTIONS = (MemoryAccessError, IllegalInstructionError)
+
+
+def _fresh(random_state, **kwargs):
+    proc = SIMDProcessor(elen=64, elenum=5, **kwargs)
+    proc.load_program(ASSEMBLED)
+    layout.load_states_regfile64(proc.vector.regfile, [random_state])
+    return proc
+
+
+def _fail_state(proc, spec):
+    """Run to the injected fault; capture everything a handler can see."""
+    with FaultInjector(proc) as injector:
+        injector.arm(spec)
+        with pytest.raises(SimulationError) as excinfo:
+            proc.run()
+        assert injector.fire_count == 1
+    exc = excinfo.value
+    return {
+        "type": type(exc),
+        "exc_pc": exc.pc,
+        "exc_cycle": exc.cycle,
+        "exc_instruction": exc.instruction,
+        "scalar_pc": proc.scalar.pc,
+        "instructions": proc.stats.instructions,
+        "cycles": proc.stats.cycles,
+        "mnemonic_counts": dict(proc.stats.mnemonic_counts),
+    }
+
+
+class TestMidblockFaultParity:
+    def test_block_is_genuinely_fused(self):
+        """The target block must be long enough to make interior faults
+        meaningful (not a degenerate one-instruction block)."""
+        assert BLOCK_LEN >= 8
+        lo = ASSEMBLED.symbols["round_body"]
+        hi = ASSEMBLED.symbols["round_end"]
+        assert lo <= BLOCK_START < hi
+
+    @pytest.mark.parametrize("exception", EXCEPTIONS,
+                             ids=lambda e: e.__name__)
+    @pytest.mark.parametrize("offset", OFFSETS)
+    def test_fused_matches_stepped_at_every_offset(self, offset, exception,
+                                                   random_state):
+        pc = BLOCK_START + 4 * offset
+        spec = FaultSpec("raise", pc=pc, exception=exception)
+        fused = _fail_state(_fresh(random_state), spec)
+        stepped = _fail_state(_fresh(random_state, predecode=False), spec)
+        assert fused["type"] is exception
+        assert fused["exc_pc"] == pc
+        assert fused == stepped
+
+    @pytest.mark.parametrize("offset", [0, BLOCK_LEN // 2, BLOCK_LEN - 1])
+    def test_parity_holds_across_loop_iterations(self, offset, random_state):
+        """Occurrence 3 faults on the third round: the flushed counters
+        must include two complete rounds plus the partial block."""
+        pc = BLOCK_START + 4 * offset
+        spec = FaultSpec("raise", pc=pc, occurrence=3,
+                         exception=MemoryAccessError)
+        fused = _fail_state(_fresh(random_state), spec)
+        stepped = _fail_state(_fresh(random_state, predecode=False), spec)
+        assert fused == stepped
+
+    @pytest.mark.parametrize("offset", [1, BLOCK_LEN - 1])
+    def test_predecoded_unfused_matches_stepped(self, offset, random_state):
+        """The middle engine (predecoded, fuse=False) obeys the same
+        contract — it retires per-instruction, so this pins the baseline
+        the fused flush is compared against."""
+        pc = BLOCK_START + 4 * offset
+        spec = FaultSpec("raise", pc=pc, exception=IllegalInstructionError)
+        predecoded = _fail_state(_fresh(random_state, fuse=False), spec)
+        stepped = _fail_state(_fresh(random_state, predecode=False), spec)
+        assert predecoded == stepped

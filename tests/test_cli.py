@@ -11,7 +11,7 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("tables", "sweep", "hash", "run", "batch", "asm",
-                        "dis"):
+                        "dis", "faultcampaign"):
             args = {
                 "tables": [],
                 "sweep": [],
@@ -20,6 +20,7 @@ class TestParser:
                 "batch": [],
                 "asm": ["f.s"],
                 "dis": ["f.hex"],
+                "faultcampaign": [],
             }[command]
             parsed = parser.parse_args([command] + args)
             assert parsed.command == command
@@ -161,6 +162,52 @@ class TestMixCommand:
         out = capsys.readouterr().out
         assert "keccak64_fused" in out
         assert "keccak64_lmul1" not in out
+
+
+class TestFaultCampaignCommand:
+    def test_small_campaign_exits_zero(self, capsys):
+        assert main(["faultcampaign", "--faults", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fault campaign" in out
+        assert "SILENT:         0" in out
+
+    def test_variant_and_mode_filters(self, capsys):
+        assert main(["faultcampaign", "--faults", "4", "--seed", "1",
+                     "--variants", "64-lmul8", "--modes", "fused",
+                     "--no-crosscheck"]) == 0
+        assert "4 fault(s)" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    """Bad input must produce a one-line diagnostic and exit code 2."""
+
+    def test_missing_input_file_exits_2(self, capsys):
+        assert main(["hash", "sha3_256", "--file", "/nonexistent/x"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_malformed_hex_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.hex"
+        bad.write_text("nothex\n")
+        assert main(["dis", str(bad)]) == 2
+        assert capsys.readouterr().err.startswith("repro: error:")
+
+    def test_unreadable_asm_source_exits_2(self, capsys):
+        assert main(["asm", "/nonexistent/prog.s"]) == 2
+        assert capsys.readouterr().err.startswith("repro: error:")
+
+    def test_unknown_campaign_variant_exits_2(self, capsys):
+        assert main(["faultcampaign", "--faults", "1",
+                     "--variants", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown variant" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_bad_chunk_size_exits_2(self, capsys):
+        assert main(["batch", "--count", "4", "--size", "10",
+                     "--chunk-size", "0"]) == 2
+        assert "chunk size" in capsys.readouterr().err
 
 
 class TestIsaDocCommand:
