@@ -81,7 +81,7 @@ def _cmd_hash(args: argparse.Namespace) -> int:
         from .keccak.sponge import Sponge, SHA3_SUFFIX, SHAKE_SUFFIX
 
         perm = SimulatedPermutation(elen=args.elen, lmul=args.lmul,
-                                    elenum=5)
+                                    elenum=5, engine=args.engine)
         if args.algorithm in SHA3_VARIANTS:
             bits = SHA3_VARIANTS[args.algorithm].output_bits
             sponge = Sponge(2 * bits, SHA3_SUFFIX, permutation=perm)
@@ -116,7 +116,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for _ in range(args.states)
     ]
     program = build_program(args.elen, args.lmul, args.elenum)
-    result = run(program, states, trace=True)
+    # Tracing records per-instruction cycles for the per-round metrics
+    # but disqualifies the compiled engine; an explicit --engine compiled
+    # therefore runs untraced (metrics fall back to whole-run totals).
+    trace = args.engine != "compiled"
+    result = run(program, states, trace=trace, engine=args.engine)
     correct = result.states == [keccak_f1600(s) for s in states]
     print(f"program:            {program.name} (EleNum={args.elenum}, "
           f"{args.states} state(s))")
@@ -145,13 +149,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                   chunk_size=args.chunk_size,
                                   timeout=args.timeout,
                                   policy=RetryPolicy.hardened(),
-                                  checkpoint=args.resume)
+                                  checkpoint=args.resume,
+                                  engine=args.engine)
         digests = outcome.digests
     else:
         outcome = None
         digests = run_many(messages, workers=args.workers,
                            chunk_size=args.chunk_size,
-                           timeout=args.timeout)
+                           timeout=args.timeout,
+                           engine=args.engine)
     elapsed = time.perf_counter() - start
     print(f"hashed {args.count} messages of {args.size} bytes "
           f"with {args.workers} worker(s) in {elapsed:.2f}s "
@@ -268,6 +274,16 @@ def _cmd_dis(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    from .sim.processor import ENGINES
+
+    parser.add_argument(
+        "--engine", choices=ENGINES, default="auto",
+        help="simulator execution engine (auto = compiled when eligible, "
+             "fused otherwise)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -294,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execute every permutation on the simulator")
     p_hash.add_argument("--elen", type=int, default=64, choices=(32, 64))
     p_hash.add_argument("--lmul", type=int, default=8, choices=(1, 8))
+    _add_engine_argument(p_hash)
 
     p_run = sub.add_parser("run", help="run a Keccak config on the simulator")
     p_run.add_argument("--elen", type=int, default=64, choices=(32, 64))
@@ -301,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--elenum", type=int, default=5)
     p_run.add_argument("--states", type=int, default=1)
     p_run.add_argument("--seed", type=int, default=0)
+    _add_engine_argument(p_run)
 
     p_batch = sub.add_parser(
         "batch", help="hash a generated batch across a worker pool")
@@ -320,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--resume", metavar="MANIFEST", default=None,
                          help="checkpoint manifest path: created on first "
                               "run, completed chunks are skipped on rerun")
+    _add_engine_argument(p_batch)
     p_batch.add_argument("--quarantine-report", action="store_true",
                          help="run with the hardened retry policy and "
                               "print the quarantine/pool report")

@@ -32,14 +32,28 @@ class BatchPermutation:
 
     def __init__(self, elen: int = 64, lmul: int = 8,
                  elenum: int = 30,
-                 program: Optional[KeccakProgram] = None) -> None:
+                 program: Optional[KeccakProgram] = None,
+                 engine: str = "auto") -> None:
         self.program = program or build_program(elen, lmul, elenum,
                                                 include_memory_io=True)
         if self.program.state_base is None:
             raise ValueError("batch permutation needs a memory-IO program")
-        self._session = Session()
+        self.engine = engine
+        self._session = Session(engine=engine)
         self.call_count = 0
         self.total_cycles = 0
+
+    def precompile(self) -> bool:
+        """Warm the code-generation caches for this permutation's program.
+
+        Called by the pool drivers in the *parent* process before workers
+        fork: the compile lands in the shared on-disk cache, so each
+        worker's first chunk loads the kernel by fingerprint instead of
+        recompiling.  Returns True when a compiled kernel exists.
+        """
+        if self.engine not in ("auto", "compiled"):
+            return False
+        return self._session.warm(self.program)
 
     @property
     def max_states(self) -> int:
@@ -188,10 +202,12 @@ def batch_shake128(messages: Sequence[bytes], length: int,
 #: Architecture key: (ELEN, LMUL, EleNum).
 _ArchKey = Tuple[int, int, int]
 
-#: Per-process permutation cache.  In a worker this is the warm state the
-#: pool exists for: the first chunk predecodes the program and builds its
-#: superblocks, every later chunk reuses them.
-_PERMUTATIONS: Dict[_ArchKey, BatchPermutation] = {}
+#: Per-process permutation cache, keyed (arch, engine).  In a worker
+#: this is the warm state the pool exists for: the first chunk
+#: predecodes the program (and, on the compiled engine, loads the
+#: kernel the parent pre-compiled from the on-disk cache); every later
+#: chunk reuses them.
+_PERMUTATIONS: Dict[Tuple[_ArchKey, str], BatchPermutation] = {}
 
 _HASH_TASK_KIND = "repro.batch_hash"
 
@@ -203,23 +219,29 @@ def _arch_of(permutation: Optional[BatchPermutation]) -> _ArchKey:
     return (program.elen, program.lmul, program.elenum)
 
 
-def _cached_permutation(arch: _ArchKey) -> BatchPermutation:
-    perm = _PERMUTATIONS.get(arch)
+def _cached_permutation(arch: _ArchKey,
+                        engine: str = "auto") -> BatchPermutation:
+    key = (arch, engine)
+    perm = _PERMUTATIONS.get(key)
     if perm is None:
         elen, lmul, elenum = arch
-        perm = _PERMUTATIONS[arch] = BatchPermutation(elen, lmul, elenum)
+        perm = _PERMUTATIONS[key] = BatchPermutation(elen, lmul, elenum,
+                                                     engine=engine)
     return perm
 
 
 def _hash_chunk(payload) -> List[bytes]:
     """Task body (runs in workers *and* on the serial path).
 
-    ``payload`` is ``(algorithm, length, arch, messages)``; the chunk is
-    processed in SN-sized lock-step groups on this process's cached
-    permutation and returns one digest per message, in order.
+    ``payload`` is ``(algorithm, length, arch, messages)`` with an
+    optional trailing ``engine`` (older checkpoint manifests carry
+    4-tuples, which default to ``auto``); the chunk is processed in
+    SN-sized lock-step groups on this process's cached permutation and
+    returns one digest per message, in order.
     """
-    algorithm, length, arch, messages = payload
-    perm = _cached_permutation(arch)
+    algorithm, length, arch, messages = payload[:4]
+    engine = payload[4] if len(payload) > 4 else "auto"
+    perm = _cached_permutation(tuple(arch), engine)
     sn = perm.max_states
     digests: List[bytes] = []
     for start in range(0, len(messages), sn):
@@ -237,16 +259,23 @@ register_task_kind(_HASH_TASK_KIND, _hash_chunk)
 
 
 def _prepare_chunks(messages: Sequence[bytes], algorithm: str, length: int,
-                    arch: _ArchKey,
-                    chunk_size: Optional[int]) -> List[Tuple]:
+                    arch: _ArchKey, chunk_size: Optional[int],
+                    engine: str = "auto") -> List[Tuple]:
     if algorithm not in ("sha3_256", "shake128"):
         raise ValueError(f"unsupported algorithm: {algorithm!r}")
     if chunk_size is None:
-        sn = _cached_permutation(arch).max_states
+        sn = _cached_permutation(arch, engine).max_states
         chunk_size = 4 * sn
     payloads = [bytes(m) for m in messages]
-    return [(algorithm, length, arch, chunk)
+    return [(algorithm, length, arch, chunk, engine)
             for chunk in _chunk_list(payloads, chunk_size)]
+
+
+def _warm_parent(arch: _ArchKey, engine: str,
+                 workers: Optional[int]) -> None:
+    """Pre-compile in the parent so pool workers warm-start from disk."""
+    if workers and workers > 1:
+        _cached_permutation(arch, engine).precompile()
 
 
 class BatchOutcome:
@@ -287,7 +316,8 @@ def run_many_report(messages: Sequence[bytes], *,
                     timeout: Optional[float] = None,
                     max_retries: int = 2,
                     policy: Optional[RetryPolicy] = None,
-                    checkpoint: Optional[str] = None) -> BatchOutcome:
+                    checkpoint: Optional[str] = None,
+                    engine: str = "auto") -> BatchOutcome:
     """:func:`run_many` with the full :class:`BatchOutcome` report.
 
     Unlike :func:`run_many` this never raises on quarantine: poisoned
@@ -295,7 +325,9 @@ def run_many_report(messages: Sequence[bytes], *,
     :class:`~repro.parallel_exec.hardening.QuarantinedChunk` record.
     """
     arch = (elen, lmul, elenum)
-    chunks = _prepare_chunks(messages, algorithm, length, arch, chunk_size)
+    chunks = _prepare_chunks(messages, algorithm, length, arch, chunk_size,
+                             engine)
+    _warm_parent(arch, engine, workers)
     report = run_chunks_report(_HASH_TASK_KIND, chunks,
                                workers=workers or 1, timeout=timeout,
                                max_retries=max_retries, policy=policy,
@@ -318,7 +350,8 @@ def run_many(messages: Sequence[bytes], *,
              timeout: Optional[float] = None,
              max_retries: int = 2,
              policy: Optional[RetryPolicy] = None,
-             checkpoint: Optional[str] = None) -> List[bytes]:
+             checkpoint: Optional[str] = None,
+             engine: str = "auto") -> List[bytes]:
     """Hash arbitrarily many messages on the simulator, in parallel.
 
     Messages are split into chunks, each chunk is hashed in SN-sized
@@ -332,10 +365,15 @@ def run_many(messages: Sequence[bytes], *,
     :class:`~repro.parallel_exec.hardening.RetryPolicy`) are the
     per-chunk recovery policy of
     :func:`repro.parallel_exec.run_chunked`, and ``checkpoint`` names a
-    JSON manifest enabling kill-and-resume.
+    JSON manifest enabling kill-and-resume.  ``engine`` selects the
+    simulator execution engine for every chunk (default ``auto``); with
+    ``workers > 1`` the parent pre-compiles once so workers load the
+    kernel from the shared on-disk cache.
     """
     arch = (elen, lmul, elenum)
-    chunks = _prepare_chunks(messages, algorithm, length, arch, chunk_size)
+    chunks = _prepare_chunks(messages, algorithm, length, arch, chunk_size,
+                             engine)
+    _warm_parent(arch, engine, workers)
     return run_chunks(_HASH_TASK_KIND, chunks, workers=workers or 1,
                       timeout=timeout, max_retries=max_retries,
                       policy=policy, checkpoint=checkpoint)

@@ -14,12 +14,12 @@ callers get the caching for free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..keccak.constants import STATE_BITS, STATE_BYTES
 from ..keccak.state import KeccakState
 from ..sim.cycles import CycleModel, DEFAULT_CYCLE_MODEL
-from ..sim.processor import SIMDProcessor
+from ..sim.processor import SIMDProcessor, validate_engine
 from ..sim.trace import ExecutionStats
 from . import layout
 from .base import KeccakProgram
@@ -154,8 +154,13 @@ class Session:
     processor — minus the construction and re-decode cost.
     """
 
-    def __init__(self, cycle_model: CycleModel = DEFAULT_CYCLE_MODEL) -> None:
+    def __init__(self, cycle_model: CycleModel = DEFAULT_CYCLE_MODEL,
+                 engine: str = "auto") -> None:
         self.cycle_model = cycle_model
+        #: Default execution engine for this session's runs (see
+        #: :data:`repro.sim.processor.ENGINES`); per-run ``engine=``
+        #: arguments override it.
+        self.engine = validate_engine(engine)
         self._processors: Dict[Tuple[int, int], SIMDProcessor] = {}
 
     def processor(self, elen: int, elenum: int) -> SIMDProcessor:
@@ -174,18 +179,38 @@ class Session:
 
     def run(self, program: KeccakProgram,
             states: Sequence[KeccakState] = (),
-            *, trace: bool = False) -> RunResult:
+            *, trace: bool = False,
+            engine: Optional[str] = None) -> RunResult:
         """Execute ``program`` on ``states``; returns states + metrics.
 
         The number of states must not exceed ``program.max_states``;
         remaining element slots are left zero.  ``trace=True`` records a
         full instruction trace (needed for the per-round/permutation
-        cycle metrics; without it those fall back to whole-run totals).
+        cycle metrics; without it those fall back to whole-run totals) —
+        and disqualifies the compiled engine, so traced runs execute on
+        the fused/stepped reference paths.  ``engine`` overrides the
+        session default for this run only.
         """
         _check_capacity(program, states)
         proc = self.processor(program.elen, program.elenum)
+        proc.engine = validate_engine(engine) if engine is not None \
+            else self.engine
         proc.reset(trace=trace)
         return _execute(proc, program, states)
+
+    def warm(self, program: KeccakProgram) -> bool:
+        """Pre-compile ``program`` for the compiled engine.
+
+        Populates both kernel caches (in-process and on-disk) without
+        executing anything; returns True when a compiled kernel is
+        available.  Pool drivers call this in the parent so forked
+        workers warm-start from the disk cache.
+        """
+        from ..sim import codegen
+
+        proc = self.processor(program.elen, program.elenum)
+        proc.load_program(program.assemble())
+        return codegen.warm(proc) is not None
 
 
 #: Process-wide default sessions, one per cycle model (CycleModel is a
@@ -209,10 +234,14 @@ def default_session(cycle_model: CycleModel = DEFAULT_CYCLE_MODEL
 def run(program: KeccakProgram,
         states: Sequence[KeccakState] = (),
         *, trace: bool = False,
+        engine: Optional[str] = None,
         cycle_model: CycleModel = DEFAULT_CYCLE_MODEL) -> RunResult:
     """Execute a Keccak program on the shared default session.
 
     The top-level entry point (`repro.run`): repeated runs of the same
     program reuse the session's processor and predecoded program.
+    ``engine`` selects the execution engine for this run (default: the
+    session's ``auto``, which compiles when eligible).
     """
-    return default_session(cycle_model).run(program, states, trace=trace)
+    return default_session(cycle_model).run(program, states, trace=trace,
+                                            engine=engine)

@@ -31,7 +31,7 @@ class SimulatedPermutation:
 
     def __init__(self, elen: int = 64, lmul: int = 8, elenum: int = 5,
                  program: Optional[KeccakProgram] = None,
-                 num_rounds: int = 24) -> None:
+                 num_rounds: int = 24, engine: str = "auto") -> None:
         self.program = program or build_program(
             elen, lmul, elenum, include_memory_io=True,
             num_rounds=num_rounds,
@@ -40,7 +40,7 @@ class SimulatedPermutation:
             raise ValueError(
                 "the simulated permutation needs a memory-IO program"
             )
-        self._session = Session()
+        self._session = Session(engine=engine)
         self.call_count = 0
         self.total_cycles = 0
 

@@ -189,6 +189,10 @@ class FaultInjector:
             # geometry) — drop them so the next run() rebuilds around
             # the wrapper.
             pre.superblocks = None
+            # Disqualify the compiled engine: a flat kernel would run
+            # straight past the wrapped executor (see
+            # SIMDProcessor._run_compiled).
+            self.processor.instrumented += 1
         else:
             if self.processor._program_words.get(spec.pc) is None:
                 raise ValueError(
@@ -203,6 +207,7 @@ class FaultInjector:
         for armed in self._armed.values():
             if armed.entry is not None:
                 armed.entry.execute = armed.original_execute
+                self.processor.instrumented -= 1
                 if armed.original_word is not None:
                     armed.entry.word = armed.original_word
                     armed.entry.spec = armed.original_spec

@@ -11,7 +11,7 @@ from .exceptions import (
 )
 from .memory import DataMemory
 from .predecode import DecodedInstruction, PredecodedProgram, predecode
-from .processor import SIMDProcessor
+from .processor import ENGINES, SIMDProcessor
 from .scalar_core import ScalarCore
 from .trace import ExecutionStats, TraceRecord
 from .vector_regfile import NUM_VECTOR_REGISTERS, VectorRegfile
@@ -19,6 +19,7 @@ from .vector_unit import RC32_TABLE, VectorUnit
 
 __all__ = [
     "SIMDProcessor",
+    "ENGINES",
     "DecodedInstruction",
     "PredecodedProgram",
     "predecode",

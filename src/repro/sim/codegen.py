@@ -1,0 +1,983 @@
+"""Ahead-of-time code generation: compile a program to flat Python.
+
+The paper's instruction streams are *data independent*: every branch of
+the three Keccak programs compares scalar registers whose values are
+fully determined by the program text (round counters, loop bounds set up
+by ``li``), and every vector instruction executes under a geometry
+(VL, SEW, LMUL) established by a ``vsetvli`` whose AVL is one of those
+known scalars.  This module exploits that: it *symbolically executes* an
+assembled program once at compile time — constant-propagating the scalar
+register file, folding every ``vsetvli`` into a static geometry, and
+resolving every branch — and emits the entire execution as one flat,
+specialized Python function:
+
+* packed VLEN-bit vector registers threaded through locals (``r0..r31``)
+  instead of regfile attribute lookups;
+* every immediate, ρ-rotation row, round constant and shift/mask plan
+  folded into the source as literals (a ``viota`` becomes a single XOR
+  with a precomputed broadcast constant);
+* cycle/instruction/mnemonic accounting reduced to constant increments
+  applied once at the end, bit-identical to the fused engine's batched
+  ``stats`` flushes.
+
+Compilation *bails out* (returns None, caller falls back to the fused
+engine) on anything whose semantics the flat function could not
+reproduce exactly: unknown scalar values (scalar loads, CSR reads),
+masked vector operations, partial register-group tails, misaligned
+groups, out-of-range operands — every case where the generic handlers
+would either take a masked slow path or raise.  The fallback rule keeps
+fault injection, tracing and instruction limits on the reference
+engines (see :meth:`~repro.sim.processor.SIMDProcessor._run_compiled`).
+
+Compiled kernels are cached twice:
+
+* in-process, in a bounded :class:`~repro.sim.lru.LRU` keyed by the
+  program fingerprint (word snapshot + architecture + cycle model);
+* on disk, as generated source under a *versioned* directory
+  (``$REPRO_CODEGEN_CACHE`` or ``~/.cache/repro-codegen/v<N>/``),
+  written atomically, so forked pool workers warm-start from the
+  parent's compile instead of recompiling per process.  A cache entry
+  whose embedded fingerprint does not match its key is discarded and
+  recompiled — a corrupted or stale file can cost a recompile, never a
+  wrong result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from collections import Counter
+from dataclasses import astuple
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..isa import decode_operands
+from ..isa.vector import decode_vtype
+from ..keccak.constants import RHO_BY_ROW, ROUND_CONSTANTS
+from .lru import LRU
+from .scalar_core import (
+    _ALU_IMM_OPS,
+    _ALU_OPS,
+    _BRANCHES,
+    _DIV_OPS,
+    _MASK32,
+    _MUL_OPS,
+    _SHIFT_IMM_OPS,
+    _STORES,
+)
+from .vector_unit import RC32_TABLE, _sign_extend_to
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..assembler.program import Program
+    from .processor import SIMDProcessor
+
+#: Bump whenever the generated code or META layout changes: the on-disk
+#: cache directory is versioned, so old entries are simply never seen.
+CODEGEN_VERSION = 1
+
+#: Compiled kernels (or None for programs that cannot be compiled) kept
+#: in this process, keyed by fingerprint.
+_KERNEL_CACHE = LRU(64)
+
+#: Unrolled instruction budget: symbolic execution giving up past this
+#: point keeps compile time bounded for adversarial programs (a Keccak
+#: permutation unrolls to ~2k instructions).
+_MAX_UNROLL = 200_000
+
+#: Observability counters (tests and the cold/warm CI check read these).
+COMPILE_STATS = {
+    "compiles": 0,
+    "memory_hits": 0,
+    "disk_hits": 0,
+    "bailouts": 0,
+}
+
+_MISS = object()
+
+_BITWISE_OPS = {
+    "vand": ("&", lambda a, b: a & b),
+    "vor": ("|", lambda a, b: a | b),
+    "vxor": ("^", lambda a, b: a ^ b),
+}
+
+
+class CompiledKernel:
+    """One compiled program: the function plus its run preconditions."""
+
+    __slots__ = ("fn", "meta", "source")
+
+    def __init__(self, fn, meta: dict, source: str) -> None:
+        self.fn = fn
+        self.meta = meta
+        self.source = source
+
+
+class _Bail(Exception):
+    """Raised internally when a program cannot be compiled exactly."""
+
+
+# -- fingerprinting -------------------------------------------------------------
+
+
+def program_fingerprint(processor: "SIMDProcessor",
+                        program: "Program") -> str:
+    """A stable key for (program words x architecture x cycle model).
+
+    Built on the same word snapshot the predecode cache validates
+    against: any in-place mutation of the program re-fingerprints, so a
+    compiled kernel can never be applied to words it was not built from.
+    """
+    payload = (
+        CODEGEN_VERSION,
+        processor.elen,
+        processor.elenum,
+        processor.vlen_bits,
+        processor.memory.size,
+        astuple(processor.cycle_model),
+        program.base_address,
+        tuple(inst.word for inst in program.instructions),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()[:40]
+
+
+# -- on-disk cache --------------------------------------------------------------
+
+
+def cache_dir() -> Optional[str]:
+    """The versioned cache directory, or None when disk caching is off.
+
+    ``REPRO_CODEGEN_CACHE`` overrides the default ``~/.cache`` location;
+    setting it to an empty string disables the disk cache entirely.
+    """
+    root = os.environ.get("REPRO_CODEGEN_CACHE")
+    if root is None:
+        root = os.path.join(os.path.expanduser("~"), ".cache",
+                            "repro-codegen")
+    elif not root:
+        return None
+    return os.path.join(root, f"v{CODEGEN_VERSION}")
+
+
+def _disk_path(fingerprint: str) -> Optional[str]:
+    directory = cache_dir()
+    if directory is None:
+        return None
+    return os.path.join(directory, f"{fingerprint}.py")
+
+
+def _load_disk(fingerprint: str) -> Optional[str]:
+    path = _disk_path(fingerprint)
+    if path is None:
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except OSError:
+        return None
+
+
+def _store_disk(fingerprint: str, source: str) -> None:
+    """Atomic write: a crashed or concurrent writer never leaves a torn
+    file for another process to read."""
+    path = _disk_path(fingerprint)
+    if path is None:
+        return
+    try:
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(source)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        pass  # disk cache is best-effort; in-process cache still works
+
+
+def _header(fingerprint: str) -> str:
+    return f"# repro-codegen v{CODEGEN_VERSION} {fingerprint}"
+
+
+def _kernel_from_source(source: str,
+                        fingerprint: str) -> Optional[CompiledKernel]:
+    """Compile cached source back into a kernel; None on *any* mismatch.
+
+    The embedded header and META fingerprint must both match the
+    requested key — a stale, truncated or corrupted cache entry fails
+    here and triggers a clean recompile.
+    """
+    try:
+        first_line = source.split("\n", 1)[0]
+        if first_line != _header(fingerprint):
+            return None
+        namespace: dict = {}
+        exec(compile(source, f"<repro-codegen {fingerprint[:12]}>", "exec"),
+             namespace)
+        meta = namespace["META"]
+        if meta["version"] != CODEGEN_VERSION:
+            return None
+        if meta["fingerprint"] != fingerprint:
+            return None
+        for key in ("entry_pc", "final_pc", "instructions", "cycles"):
+            if not isinstance(meta[key], int):
+                return None
+        if not isinstance(meta["sregs"], dict):
+            return None
+        fn = namespace["kernel"]
+        if not callable(fn):
+            return None
+        return CompiledKernel(fn, meta, source)
+    except Exception:
+        return None
+
+
+def clear_memory_cache() -> None:
+    """Drop every in-process kernel (tests; forces disk/regenerate)."""
+    _KERNEL_CACHE.clear()
+
+
+# -- public entry points --------------------------------------------------------
+
+
+def get_or_compile(processor: "SIMDProcessor", fingerprint: str,
+                   program: "Program") -> Optional[CompiledKernel]:
+    """The compiled kernel for ``program`` on ``processor``'s
+    architecture, or None when the program cannot be compiled.
+
+    Lookup order: in-process LRU, on-disk cache, fresh generation (which
+    then populates both).  Negative results are cached in-process so an
+    uncompilable program costs one symbolic-execution attempt, not one
+    per run.
+    """
+    cached = _KERNEL_CACHE.get(fingerprint, _MISS)
+    if cached is not _MISS:
+        COMPILE_STATS["memory_hits"] += 1
+        return cached
+
+    source = _load_disk(fingerprint)
+    if source is not None:
+        kernel = _kernel_from_source(source, fingerprint)
+        if kernel is not None:
+            COMPILE_STATS["disk_hits"] += 1
+            _KERNEL_CACHE.put(fingerprint, kernel)
+            return kernel
+
+    generated = _generate(processor, program, fingerprint)
+    if generated is None:
+        COMPILE_STATS["bailouts"] += 1
+        _KERNEL_CACHE.put(fingerprint, None)
+        return None
+    kernel = _kernel_from_source(generated, fingerprint)
+    if kernel is None:  # pragma: no cover - generator/loader mismatch
+        _KERNEL_CACHE.put(fingerprint, None)
+        return None
+    COMPILE_STATS["compiles"] += 1
+    _store_disk(fingerprint, generated)
+    _KERNEL_CACHE.put(fingerprint, kernel)
+    return kernel
+
+
+def warm(processor: "SIMDProcessor") -> Optional[CompiledKernel]:
+    """Compile the processor's loaded program without running it.
+
+    ``parallel_exec`` drivers call this in the *parent* before starting
+    the pool: the compile lands in the on-disk cache, and every forked
+    worker's first run loads by fingerprint instead of recompiling.
+    """
+    program = processor.program
+    if program is None:
+        raise ValueError("no program loaded")
+    fingerprint = program_fingerprint(processor, program)
+    return get_or_compile(processor, fingerprint, program)
+
+
+# -- code generation ------------------------------------------------------------
+
+
+def _generate(processor: "SIMDProcessor", program: "Program",
+              fingerprint: str) -> Optional[str]:
+    """Symbolically execute ``program`` and render the kernel source.
+
+    Returns None when any instruction (or any reachable architectural
+    situation) cannot be reproduced exactly by flat code — the caller
+    falls back to the fused engine, which *is* exact.
+    """
+    try:
+        gen = _Generator(processor, program)
+        gen.run()
+        return gen.render(fingerprint)
+    except _Bail:
+        return None
+
+
+class _Generator:
+    """Symbolic executor + source emitter for one program."""
+
+    def __init__(self, processor: "SIMDProcessor",
+                 program: "Program") -> None:
+        self.isa = processor._isa
+        self.cm = processor.cycle_model
+        self.vlen = processor.vlen_bits
+        self.mem_size = processor.memory.size
+        self.base = program.base_address
+        self.decoded: List[Optional[tuple]] = []
+        for inst in program.instructions:
+            try:
+                spec = self.isa.find(inst.word)
+            except LookupError:
+                self.decoded.append(None)
+                continue
+            self.decoded.append((spec, decode_operands(inst.word, spec)))
+
+        # Symbolic scalar state: every value is a known constant, or we
+        # bail.  Registers read before the program writes them become
+        # run-time preconditions (they must still hold their reset value
+        # of zero, or the kernel does not apply).
+        self.sregs = [0] * 32
+        self.written: set = set()
+        self.pre_reads: Dict[int, int] = {}
+        # Vector configuration: starts at the architectural reset values;
+        # any use before the first vsetvli becomes a precondition too.
+        self.vl, self.sew, self.lmul = 0, 64, 1
+        self.config_virgin = True
+        self.initial_config_used = False
+        self.config_touched = False
+
+        self.lines: List[str] = []
+        self.cycles = 0
+        self.instructions = 0
+        self.counts: Counter = Counter()
+        self.cyc: Counter = Counter()
+        self.uses_memory = False
+        self.final_pc = 0
+
+    # -- symbolic scalar helpers ------------------------------------------------
+
+    def _sread(self, reg: int) -> int:
+        if reg == 0:
+            return 0
+        if reg not in self.written and reg not in self.pre_reads:
+            self.pre_reads[reg] = 0
+        return self.sregs[reg]
+
+    def _swrite(self, reg: int, value: int) -> None:
+        if reg != 0:
+            self.sregs[reg] = value & _MASK32
+            self.written.add(reg)
+
+    def _account(self, mnemonic: str, cost: int) -> None:
+        self.cycles += cost
+        self.instructions += 1
+        self.counts[mnemonic] += 1
+        self.cyc[mnemonic] += cost
+
+    def _emit(self, line: str) -> None:
+        self.lines.append(line)
+
+    # -- main walk ---------------------------------------------------------------
+
+    def run(self) -> None:
+        pc = self.base
+        size = len(self.decoded)
+        for _ in range(_MAX_UNROLL):
+            offset = pc - self.base
+            index = offset >> 2
+            if offset & 3 or not 0 <= index < size:
+                raise _Bail  # would fault: keep the exact fault on fused
+            entry = self.decoded[index]
+            if entry is None:
+                raise _Bail  # undecodable word: fault on fused
+            spec, ops = entry
+            mnemonic = spec.mnemonic
+            if mnemonic == "vsetvli":
+                self._do_vsetvli(ops)
+            elif spec.extension == "zicsr":
+                raise _Bail  # CSRs observe live counters: fused only
+            elif spec.extension in ("rvv", "custom"):
+                self._do_vector(spec, ops)
+            elif mnemonic in ("ecall", "ebreak"):
+                self._account(mnemonic, self.cm.scalar_alu)
+                self.final_pc = (pc + 4) & _MASK32
+                return
+            else:
+                next_pc = self._do_scalar(spec, ops, pc)
+                if next_pc is not None:
+                    pc = next_pc
+                    continue
+            pc = (pc + 4) & _MASK32
+        raise _Bail  # did not halt within the unroll budget
+
+    # -- scalar instructions -----------------------------------------------------
+
+    def _do_scalar(self, spec, ops, pc: int) -> Optional[int]:
+        """Execute one scalar instruction symbolically.
+
+        Returns the branch/jump target, or None for fall-through.
+        """
+        m = spec.mnemonic
+        cm = self.cm
+        if m in _ALU_OPS:
+            value = _ALU_OPS[m](self._sread(ops["rs1"]),
+                                self._sread(ops["rs2"]))
+            self._swrite(ops["rd"], value)
+            self._account(m, cm.scalar_alu)
+            return None
+        if m in _ALU_IMM_OPS:
+            value = _ALU_IMM_OPS[m](self._sread(ops["rs1"]), ops["imm"])
+            self._swrite(ops["rd"], value)
+            self._account(m, cm.scalar_alu)
+            return None
+        if m in _SHIFT_IMM_OPS:
+            value = _SHIFT_IMM_OPS[m](self._sread(ops["rs1"]), ops["shamt"])
+            self._swrite(ops["rd"], value)
+            self._account(m, cm.scalar_alu)
+            return None
+        if m in _MUL_OPS:
+            value = _MUL_OPS[m](self._sread(ops["rs1"]),
+                                self._sread(ops["rs2"]))
+            self._swrite(ops["rd"], value)
+            self._account(m, cm.scalar_mul)
+            return None
+        if m in _DIV_OPS:
+            value = _DIV_OPS[m](self._sread(ops["rs1"]),
+                                self._sread(ops["rs2"]))
+            self._swrite(ops["rd"], value)
+            self._account(m, cm.scalar_div)
+            return None
+        if m in _STORES:
+            width = _STORES[m]
+            address = (self._sread(ops["rs1"]) + ops["imm"]) & _MASK32
+            if address + width // 8 > self.mem_size:
+                raise _Bail  # would fault at run time
+            value = self._sread(ops["rs2"]) & ((1 << width) - 1)
+            self.uses_memory = True
+            self._emit(f"_st({address}, {width}, {value})")
+            self._account(m, cm.scalar_store)
+            return None
+        if m in _BRANCHES:
+            taken = _BRANCHES[m](self._sread(ops["rs1"]),
+                                 self._sread(ops["rs2"]))
+            if taken:
+                self._account(m, cm.branch_taken)
+                return (pc + ops["offset"]) & _MASK32
+            self._account(m, cm.branch_not_taken)
+            return None
+        if m == "lui":
+            self._swrite(ops["rd"], (ops["imm"] << 12) & _MASK32)
+            self._account(m, cm.scalar_alu)
+            return None
+        if m == "auipc":
+            self._swrite(ops["rd"], (pc + (ops["imm"] << 12)) & _MASK32)
+            self._account(m, cm.scalar_alu)
+            return None
+        if m == "jal":
+            self._swrite(ops["rd"], (pc + 4) & _MASK32)
+            self._account(m, cm.jump)
+            return (pc + ops["offset"]) & _MASK32
+        if m == "jalr":
+            target = ((self._sread(ops["rs1"]) + ops["imm"]) & ~1) & _MASK32
+            self._swrite(ops["rd"], (pc + 4) & _MASK32)
+            self._account(m, cm.jump)
+            return target
+        if m == "fence":
+            self._account(m, cm.scalar_alu)
+            return None
+        raise _Bail  # scalar loads and everything else: fused only
+
+    # -- vsetvli -----------------------------------------------------------------
+
+    def _do_vsetvli(self, ops) -> None:
+        rd, rs1 = ops["rd"], ops["rs1"]
+        if rs1 != 0:
+            avl = self._sread(rs1)
+        elif rd != 0:
+            avl = 1 << 31
+        else:
+            if self.config_virgin:
+                self.initial_config_used = True
+            avl = self.vl
+        try:
+            parts = decode_vtype(ops["vtype"])
+        except ValueError:
+            raise _Bail  # reserved vtype faults: keep it on fused
+        sew, lmul = parts["sew"], parts["lmul"]
+        if sew <= 0 or self.vlen % sew:
+            raise _Bail
+        self.sew, self.lmul = sew, lmul
+        self.vl = min(avl, (self.vlen // sew) * lmul)
+        self.config_virgin = False
+        self.config_touched = True
+        self._swrite(rd, self.vl)
+        self._account("vsetvli", self.cm.vsetvli)
+
+    # -- vector geometry ---------------------------------------------------------
+
+    def _geometry(self, lanes_of_five: bool):
+        """(per_reg, passes) under the whole-register preconditions the
+        packed emitters need; bails to the fused engine otherwise."""
+        if self.config_virgin:
+            self.initial_config_used = True
+        vl, sew = self.vl, self.sew
+        if vl <= 0 or sew <= 0 or self.vlen % sew:
+            raise _Bail
+        per_reg = self.vlen // sew
+        if vl % per_reg or (lanes_of_five and per_reg % 5):
+            raise _Bail
+        return per_reg, vl // per_reg
+
+    def _groups_ok(self, passes: int, *bases: int) -> None:
+        for b in bases:
+            if b + passes > 32 or (self.lmul > 1 and b % self.lmul):
+                raise _Bail
+
+    def _emask(self) -> int:
+        return (1 << self.sew) - 1
+
+    def _full_mask(self) -> int:
+        return (1 << self.vlen) - 1
+
+    def _lane_mask(self, per_reg: int, lanes, bits: Optional[int] = None
+                   ) -> int:
+        """Mask selecting ``bits`` low bits of every element whose lane
+        index (slot mod 5) is in ``lanes``."""
+        sew = self.sew
+        if bits is None:
+            bits = sew
+        emask = (1 << bits) - 1
+        mask = 0
+        for slot in range(per_reg):
+            if slot % 5 in lanes:
+                mask |= emask << (slot * sew)
+        return mask
+
+    def _all_mask(self, per_reg: int, bits: int) -> int:
+        sew = self.sew
+        emask = (1 << bits) - 1
+        mask = 0
+        for slot in range(per_reg):
+            mask |= emask << (slot * sew)
+        return mask
+
+    def _rho_rows(self, simm: int, passes: int) -> List[int]:
+        if simm == -1:
+            return [p % 5 for p in range(passes)]
+        if 0 <= simm <= 4:
+            if self.lmul != 1 and passes > 1:
+                raise _Bail  # generic raises here: keep the fault exact
+            return [simm] * passes
+        raise _Bail  # invalid immediate faults on the generic handler
+
+    # -- vector instructions -----------------------------------------------------
+
+    def _do_vector(self, spec, ops) -> None:
+        m = spec.mnemonic
+        if ops.get("vm", 1) != 1:
+            raise _Bail  # masked execution: generic handlers only
+        stem = m.split(".")[0]
+        if stem in _BITWISE_OPS:
+            self._vec_bitwise(spec, ops, stem)
+        elif m in ("vslidedownm.vi", "vslideupm.vi"):
+            self._vec_slide(ops, down=(m == "vslidedownm.vi"))
+        elif m == "vrotup.vi":
+            self._vec_rotup(ops)
+        elif m == "v64rho.vi":
+            self._vec_v64rho(ops)
+        elif m == "vchi.vi":
+            self._vec_vchi(ops)
+        elif m == "viota.vx":
+            self._vec_viota(ops)
+        elif m in ("vpi.vi", "vrhopi.vi"):
+            self._vec_column_write(ops, with_rho=(m == "vrhopi.vi"))
+        elif m in ("v32lrho.vv", "v32hrho.vv"):
+            self._vec_v32pair(ops, keep_high=(m == "v32hrho.vv"),
+                              is_rho=True, mnemonic=m)
+        elif m in ("v32lrotup.vv", "v32hrotup.vv"):
+            self._vec_v32pair(ops, keep_high=(m == "v32hrotup.vv"),
+                              is_rho=False, mnemonic=m)
+        elif spec.extra.get("mop") in ("unit", "strided"):
+            if m.startswith("vl"):
+                self._vec_load(spec, ops)
+            else:
+                self._vec_store(spec, ops)
+        else:
+            raise _Bail  # anything else executes on the fused engine
+
+    def _vec_bitwise(self, spec, ops, stem: str) -> None:
+        symbol, _ = _BITWISE_OPS[stem]
+        per_reg, passes = self._geometry(False)
+        vd, vs2 = ops["vd"], ops["vs2"]
+        if spec.fmt == "v_vv":
+            vs1 = ops["vs1"]
+            self._groups_ok(passes, vd, vs2, vs1)
+            for p in range(passes):
+                self._emit(f"r{vd + p} = r{vs2 + p} {symbol} r{vs1 + p}")
+        else:
+            self._groups_ok(passes, vd, vs2)
+            sew = self.sew
+            if spec.fmt == "v_vx":
+                scalar = _sign_extend_to(self._sread(ops["rs1"]), 32, sew)
+            else:  # v_vi
+                imm = ops["imm"] & 0x1F
+                if spec.extra.get("signed_imm", True):
+                    scalar = _sign_extend_to(imm, 5, sew)
+                else:
+                    scalar = imm
+            packed = 0
+            for _ in range(per_reg):
+                packed = (packed << sew) | scalar
+            for p in range(passes):
+                self._emit(
+                    f"r{vd + p} = r{vs2 + p} {symbol} {hex(packed)}"
+                )
+        self._account(spec.mnemonic, self.cm.vector_arith(passes))
+
+    def _vec_slide(self, ops, down: bool) -> None:
+        per_reg, passes = self._geometry(True)
+        vd, vs2 = ops["vd"], ops["vs2"]
+        self._groups_ok(passes, vd, vs2)
+        offset = ops["imm"] % 5
+        sew = self.sew
+        mnemonic = "vslidedownm.vi" if down else "vslideupm.vi"
+        if offset == 0:
+            for p in range(passes):
+                self._emit(f"r{vd + p} = r{vs2 + p}")
+            self._account(mnemonic, self.cm.vector_arith(passes))
+            return
+        # Destination lane j takes source lane (j +/- offset) mod 5; lanes
+        # sharing a shift delta merge into one mask term.
+        deltas: Dict[int, List[int]] = {}
+        for j in range(5):
+            src_lane = (j + offset) % 5 if down else (j - offset) % 5
+            deltas.setdefault(src_lane - j, []).append(j)
+        for p in range(passes):
+            src = f"r{vs2 + p}"
+            terms = []
+            for delta, lanes in sorted(deltas.items()):
+                mask = hex(self._lane_mask(per_reg, lanes))
+                if delta > 0:
+                    terms.append(f"(({src} >> {delta * sew}) & {mask})")
+                elif delta < 0:
+                    terms.append(f"(({src} << {-delta * sew}) & {mask})")
+                else:
+                    terms.append(f"({src} & {mask})")
+            self._emit(f"r{vd + p} = " + " | ".join(terms))
+        self._account(mnemonic, self.cm.vector_arith(passes))
+
+    def _rotate_terms(self, src: str, amount: int, mask_bits: int,
+                      lanes, per_reg: int) -> str:
+        """Source text rotating each selected ``mask_bits``-wide element
+        of ``src`` left by ``amount``, masked to those elements."""
+        lane_set = lanes if lanes is not None else range(5)
+        if amount % mask_bits == 0:
+            keep = hex(self._lane_mask(per_reg, lane_set, mask_bits)) \
+                if lanes is not None else \
+                hex(self._all_mask(per_reg, mask_bits))
+            return f"({src} & {keep})"
+        amount %= mask_bits
+        if lanes is not None:
+            stay = self._lane_mask(per_reg, lane_set, mask_bits - amount)
+            wrap = self._lane_mask(per_reg, lane_set, amount)
+        else:
+            stay = self._all_mask(per_reg, mask_bits - amount)
+            wrap = self._all_mask(per_reg, amount)
+        down = mask_bits - amount
+        return (f"((({src} & {hex(stay)}) << {amount}) | "
+                f"(({src} >> {down}) & {hex(wrap)}))")
+
+    def _vec_rotup(self, ops) -> None:
+        if self.sew != 64:
+            raise _Bail  # generic raises for SEW != 64
+        per_reg, passes = self._geometry(False)
+        vd, vs2 = ops["vd"], ops["vs2"]
+        self._groups_ok(passes, vd, vs2)
+        amount = ops["imm"] % 64
+        for p in range(passes):
+            expr = self._rotate_terms(f"r{vs2 + p}", amount, 64, None,
+                                      per_reg)
+            self._emit(f"r{vd + p} = {expr}")
+        self._account("vrotup.vi", self.cm.vector_arith(passes))
+
+    def _vec_v64rho(self, ops) -> None:
+        if self.sew != 64:
+            raise _Bail
+        per_reg, passes = self._geometry(True)
+        vd, vs2 = ops["vd"], ops["vs2"]
+        self._groups_ok(passes, vd, vs2)
+        rows = self._rho_rows(ops["imm"], passes)
+        for p, row in enumerate(rows):
+            amounts = RHO_BY_ROW[row]
+            by_amount: Dict[int, List[int]] = {}
+            for lane in range(5):
+                by_amount.setdefault(amounts[lane], []).append(lane)
+            src = f"r{vs2 + p}"
+            terms = [
+                self._rotate_terms(src, amount, 64, lanes, per_reg)
+                for amount, lanes in sorted(by_amount.items())
+            ]
+            self._emit(f"r{vd + p} = " + " | ".join(terms))
+        self._account("v64rho.vi", self.cm.vector_arith(passes))
+
+    def _vec_vchi(self, ops) -> None:
+        if ops["imm"] != 0:
+            raise _Bail
+        per_reg, passes = self._geometry(True)
+        vd, vs2 = ops["vd"], ops["vs2"]
+        self._groups_ok(passes, vd, vs2)
+        sew = self.sew
+
+        def shuffle(k: int):
+            near = wrap = 0
+            emask = self._emask()
+            for slot in range(per_reg):
+                if slot % 5 + k < 5:
+                    near |= emask << (slot * sew)
+                else:
+                    wrap |= emask << (slot * sew)
+            return near, wrap
+
+        near1, wrap1 = shuffle(1)
+        near2, wrap2 = shuffle(2)
+        full = hex(self._full_mask())
+        for p in range(passes):
+            src = f"r{vs2 + p}"
+            self._emit(f"_a = (({src} >> {sew}) & {hex(near1)}) | "
+                       f"(({src} << {4 * sew}) & {hex(wrap1)})")
+            self._emit(f"_b = (({src} >> {2 * sew}) & {hex(near2)}) | "
+                       f"(({src} << {3 * sew}) & {hex(wrap2)})")
+            self._emit(f"r{vd + p} = {src} ^ ((_a ^ {full}) & _b)")
+        self._account("vchi.vi", self.cm.vector_arith(passes))
+
+    def _vec_viota(self, ops) -> None:
+        per_reg, passes = self._geometry(True)
+        vd, vs2 = ops["vd"], ops["vs2"]
+        self._groups_ok(passes, vd, vs2)
+        sew = self.sew
+        if sew == 64:
+            table = ROUND_CONSTANTS
+        elif sew == 32:
+            table = RC32_TABLE
+        else:
+            raise _Bail
+        index = self._sread(ops["rs1"])
+        if not 0 <= index < len(table):
+            raise _Bail  # out-of-range index faults on the generic path
+        spread = sum(1 << (5 * k * sew) for k in range(per_reg // 5))
+        packed_rc = table[index] * spread
+        for p in range(passes):
+            self._emit(f"r{vd + p} = r{vs2 + p} ^ {hex(packed_rc)}")
+        self._account("viota.vx", self.cm.vector_arith(passes))
+
+    def _vec_column_write(self, ops, with_rho: bool) -> None:
+        if with_rho and self.sew != 64:
+            raise _Bail
+        per_reg, passes = self._geometry(True)
+        vd, vs2 = ops["vd"], ops["vs2"]
+        if vd + 5 > 32:
+            raise _Bail
+        self._groups_ok(passes, vs2)
+        overlap = vs2 < vd + 5 and vd < vs2 + passes
+        if overlap and passes > 1:
+            raise _Bail  # write-through re-read semantics: generic only
+        rows = self._rho_rows(ops["imm"], passes)
+        sew = self.sew
+        mnemonic = "vrhopi.vi" if with_rho else "vpi.vi"
+        full = self._full_mask()
+        for p, row in enumerate(rows):
+            amounts = RHO_BY_ROW[row]
+            # Snapshot the source register: with a single overlapping
+            # pass the plane updates below may write into it.
+            self._emit(f"_t = r{vs2 + p}")
+            clear = hex(full ^ self._lane_mask(per_reg, (row,)))
+            for lane in range(5):
+                plane = (2 * (lane - row)) % 5
+                amount = amounts[lane] if with_rho else 0
+                expr = self._rotate_terms("_t", amount, sew, (lane,),
+                                          per_reg)
+                delta = (row - lane) * sew
+                if delta > 0:
+                    expr = f"({expr} << {delta})"
+                elif delta < 0:
+                    expr = f"({expr} >> {-delta})"
+                self._emit(
+                    f"r{vd + plane} = (r{vd + plane} & {clear}) | {expr}"
+                )
+        self._account(mnemonic, self.cm.vector_pi(passes))
+
+    def _vec_v32pair(self, ops, keep_high: bool, is_rho: bool,
+                     mnemonic: str) -> None:
+        if self.sew != 32:
+            raise _Bail
+        per_reg, passes = self._geometry(is_rho)
+        vd, vs2, vs1 = ops["vd"], ops["vs2"], ops["vs1"]
+        self._groups_ok(passes, vd, vs2, vs1)
+        for p in range(passes):
+            hi, lo = f"r{vs2 + p}", f"r{vs1 + p}"
+            if is_rho:
+                amounts = RHO_BY_ROW[p % 5]
+                by_amount: Dict[int, List[int]] = {}
+                for lane in range(5):
+                    by_amount.setdefault(amounts[lane], []).append(lane)
+                groups = [(a, lanes)
+                          for a, lanes in sorted(by_amount.items())]
+            else:
+                groups = [(1, None)]  # uniform ROT by 1 over all elements
+            terms = []
+            for amount, lanes in groups:
+                # A 64-bit rotation of hi||lo by `amount`: the kept half
+                # is built from whole-register shifts of the packed
+                # 32-bit halves (amount >= 32 swaps their roles).
+                if amount >= 32:
+                    a, first, second = amount - 32, lo, hi
+                else:
+                    a, first, second = amount, hi, lo
+                if not keep_high:
+                    first, second = second, first
+                if lanes is None:
+                    stay = self._all_mask(per_reg, 32 - a) if a else \
+                        self._all_mask(per_reg, 32)
+                    wrap = self._all_mask(per_reg, a)
+                else:
+                    stay = self._lane_mask(per_reg, lanes, 32 - a) if a \
+                        else self._lane_mask(per_reg, lanes, 32)
+                    wrap = self._lane_mask(per_reg, lanes, a)
+                if a == 0:
+                    terms.append(f"({first} & {hex(stay)})")
+                else:
+                    terms.append(
+                        f"((({first} & {hex(stay)}) << {a}) | "
+                        f"(({second} >> {32 - a}) & {hex(wrap)}))"
+                    )
+            self._emit(f"r{vd + p} = " + " | ".join(terms))
+        self._account(mnemonic, self.cm.vector_arith(passes))
+
+    # -- vector memory -----------------------------------------------------------
+
+    def _vec_addresses(self, spec, ops) -> List[int]:
+        base = self._sread(ops["rs1"]) & _MASK32
+        width_bytes = spec.extra["width"] // 8
+        if spec.extra["mop"] == "unit":
+            stride = width_bytes
+        else:
+            stride = self._sread(ops["rs2"]) & _MASK32
+        addresses = [base + i * stride for i in range(self.vl)]
+        for address in addresses:
+            if address < 0 or address + width_bytes > self.mem_size:
+                raise _Bail  # out-of-bounds access faults on fused
+        return addresses
+
+    def _vec_mem_geometry(self, width: int):
+        if self.config_virgin:
+            self.initial_config_used = True
+        if self.vlen % width:
+            raise _Bail
+        per_reg = self.vlen // width
+        vl = self.vl
+        passes = 1 if vl == 0 else -(-vl // per_reg)
+        return per_reg, passes
+
+    def _vec_load(self, spec, ops) -> None:
+        width = spec.extra["width"]
+        per_reg, passes = self._vec_mem_geometry(width)
+        vd = ops["vd"]
+        if vd + passes > 32:
+            raise _Bail
+        addresses = self._vec_addresses(spec, ops)
+        self.uses_memory = True
+        emask = (1 << width) - 1
+        for p in range(passes):
+            count = min(per_reg, self.vl - p * per_reg)
+            if count <= 0:
+                continue
+            terms = []
+            for i in range(count):
+                address = addresses[p * per_reg + i]
+                term = f"_ld({address}, {width})"
+                if i:
+                    term = f"({term} << {i * width})"
+                terms.append(term)
+            packed = " | ".join(terms)
+            if count < per_reg:
+                keep = ((1 << self.vlen) - 1) ^ ((1 << (count * width)) - 1)
+                self._emit(
+                    f"r{vd + p} = (r{vd + p} & {hex(keep)}) | ({packed})"
+                )
+            else:
+                self._emit(f"r{vd + p} = {packed}")
+        del emask
+        self._account(spec.mnemonic, self.cm.vector_memory(passes))
+
+    def _vec_store(self, spec, ops) -> None:
+        width = spec.extra["width"]
+        per_reg, passes = self._vec_mem_geometry(width)
+        vs3 = ops["vd"]  # store data register reuses the vd field
+        if vs3 + passes > 32:
+            raise _Bail
+        addresses = self._vec_addresses(spec, ops)
+        self.uses_memory = True
+        emask = hex((1 << width) - 1)
+        for i, address in enumerate(addresses):
+            p, slot = divmod(i, per_reg)
+            if slot:
+                value = f"(r{vs3 + p} >> {slot * width}) & {emask}"
+            else:
+                value = f"r{vs3 + p} & {emask}"
+            self._emit(f"_st({address}, {width}, {value})")
+        self._account(spec.mnemonic, self.cm.vector_memory(passes))
+
+    # -- rendering ---------------------------------------------------------------
+
+    def render(self, fingerprint: str) -> str:
+        meta = {
+            "version": CODEGEN_VERSION,
+            "fingerprint": fingerprint,
+            "entry_pc": self.base,
+            "final_pc": self.final_pc,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "sregs": dict(sorted(self.pre_reads.items())),
+            "vconfig": [0, 64, 1] if self.initial_config_used else None,
+        }
+        names = ", ".join(f"r{i}" for i in range(32))
+        out: List[str] = [
+            _header(fingerprint),
+            '"""Generated by repro.sim.codegen - do not edit."""',
+            f"META = {meta!r}",
+            "",
+            "",
+            "def kernel(proc):",
+            "    _v = proc.vector",
+            "    _regs = _v.regfile._regs",
+            f"    {names} = _regs",
+        ]
+        if self.uses_memory:
+            out.append("    _ld = proc.memory.load")
+            out.append("    _st = proc.memory.store")
+        out.extend(f"    {line}" for line in self.lines)
+        out.append(f"    _regs[:] = ({names})")
+        if self.written:
+            out.append("    _s = proc.scalar._regs")
+            for reg in sorted(self.written):
+                out.append(f"    _s[{reg}] = {self.sregs[reg]}")
+        if self.config_touched:
+            out.append(f"    _v.vl = {self.vl}")
+            out.append(f"    _v.sew = {self.sew}")
+            out.append(f"    _v.lmul = {self.lmul}")
+        out.append(f"    proc.scalar.pc = {self.final_pc}")
+        out.append("    proc.halted = True")
+        out.append("    _stats = proc.stats")
+        out.append(f"    _stats.cycles += {self.cycles}")
+        out.append(f"    _stats.instructions += {self.instructions}")
+        out.append(
+            f"    _stats.mnemonic_counts.update({dict(self.counts)!r})"
+        )
+        out.append(
+            f"    _stats.mnemonic_cycles.update({dict(self.cyc)!r})"
+        )
+        out.append("")
+        return "\n".join(out)

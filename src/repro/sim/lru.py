@@ -1,0 +1,73 @@
+"""A minimal least-recently-used cache for the simulator's memo tables.
+
+The predecode cache, the per-instruction geometry-specializer memos and
+the code-generation kernel cache all memoize "compiled" artifacts keyed
+on small hashable tuples.  Long-lived server :class:`~repro.Session`
+objects churn through programs and geometries, so every one of those
+memos must be bounded; this class gives them one shared, dependency-free
+eviction policy.
+
+Plain dicts preserve insertion order (Python >= 3.7), so recency is
+modelled by re-inserting on access: the first key in iteration order is
+always the least recently used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Optional, TypeVar
+
+V = TypeVar("V")
+
+_MISS = object()
+
+
+class LRU:
+    """A bounded mapping that evicts the least recently used entry."""
+
+    __slots__ = ("capacity", "_data")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._data: Dict[Hashable, object] = {}
+
+    def get(self, key: Hashable, default: Optional[V] = None):
+        """Look up ``key``, refreshing its recency on a hit."""
+        data = self._data
+        value = data.pop(key, _MISS)
+        if value is _MISS:
+            return default
+        data[key] = value  # re-insert: now the most recently used
+        return value
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert/replace ``key``, evicting the LRU entry when full."""
+        data = self._data
+        if key in data:
+            del data[key]
+        elif len(data) >= self.capacity:
+            del data[next(iter(data))]
+        data[key] = value
+
+    def pop(self, key: Hashable, default: Optional[V] = None):
+        """Remove and return ``key`` without touching other recencies."""
+        return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def keys(self):
+        return self._data.keys()
+
+    def values(self):
+        return self._data.values()

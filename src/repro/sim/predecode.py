@@ -71,6 +71,10 @@ class PredecodedProgram:
     #: invalidates both together: a mutated word re-decodes the program,
     #: which drops the stale blocks with it.
     superblocks: Optional["Superblocks"] = field(default=None, repr=False)
+    #: Lazily computed code-generation fingerprint (see
+    #: :mod:`repro.sim.codegen`); rides on the predecode for the same
+    #: invalidation-by-word-snapshot reason as ``superblocks``.
+    codegen_fingerprint: Optional[str] = field(default=None, repr=False)
 
     def matches(self, program: Program) -> bool:
         """Is this predecode still valid for ``program``?

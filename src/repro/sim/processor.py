@@ -30,14 +30,30 @@ from .exceptions import (
     ProcessorHalted,
     SimulationError,
 )
+from .lru import LRU
 from .memory import DataMemory
 from .predecode import PredecodedProgram, build_superblocks, predecode
 from .scalar_core import ScalarCore
 from .trace import ExecutionStats
 from .vector_unit import VectorUnit
 
-#: Predecoded programs kept per processor before the oldest is evicted.
+#: Predecoded programs kept per processor before the least recently
+#: used is evicted (see :class:`~repro.sim.lru.LRU`).
 _PREDECODE_CACHE_SIZE = 16
+
+#: The execution-engine axis: how ``run()`` dispatches instructions.
+#: ``auto`` prefers the compiled kernel when the run is eligible for it
+#: and falls back to the fused engine (the PR 2 default) otherwise.
+ENGINES = ("auto", "stepped", "predecoded", "fused", "compiled")
+
+
+def validate_engine(engine: str) -> str:
+    """Check an engine name, returning it for chaining."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}: expected one of {ENGINES}"
+        )
+    return engine
 
 
 class SIMDProcessor:
@@ -53,11 +69,13 @@ class SIMDProcessor:
         isa: InstructionSet = ISA,
         predecode: bool = True,
         fuse: bool = True,
+        engine: str = "auto",
     ) -> None:
         if elen not in (32, 64):
             raise ValueError(f"ELEN must be 32 or 64, got {elen}")
         if elenum < 1:
             raise ValueError(f"EleNum must be positive, got {elenum}")
+        validate_engine(engine)
         self.elen = elen
         self.elenum = elenum
         self.vlen_bits = elen * elenum
@@ -72,8 +90,16 @@ class SIMDProcessor:
         self._program: Optional[Program] = None
         self._predecode_enabled = predecode
         self._fuse_enabled = fuse and predecode
+        #: Requested execution engine; ``auto`` resolves per run (the
+        #: compiled kernel when eligible, the fused engine otherwise).
+        self.engine = engine
+        #: Count of live instrumentation wrappers on predecoded entries
+        #: (armed :class:`~repro.resilience.inject.FaultInjector` specs).
+        #: Non-zero disqualifies the compiled engine: a flat kernel
+        #: would bypass the wrapped executors entirely.
+        self.instrumented = 0
         self._predecoded: Optional[PredecodedProgram] = None
-        self._predecode_cache: Dict[int, PredecodedProgram] = {}
+        self._predecode_cache: LRU = LRU(_PREDECODE_CACHE_SIZE)
         #: Fault-injection hook for the *stepped* (non-predecoded) path:
         #: called as ``hook(processor, pc)`` before each instruction
         #: executes.  Predecoded/fused processors are instrumented by
@@ -100,11 +126,7 @@ class SIMDProcessor:
             cached = self._predecode_cache.get(id(program))
             if cached is None or not cached.matches(program):
                 cached = predecode(self, program)
-                if len(self._predecode_cache) >= _PREDECODE_CACHE_SIZE:
-                    self._predecode_cache.pop(
-                        next(iter(self._predecode_cache))
-                    )
-                self._predecode_cache[id(program)] = cached
+                self._predecode_cache.put(id(program), cached)
             self._predecoded = cached
         self.scalar.pc = program.base_address
         self.halted = False
@@ -140,7 +162,7 @@ class SIMDProcessor:
 
     def _step(self) -> int:
         pc = self.scalar.pc
-        pre = self._predecoded
+        pre = self._predecoded if self.engine != "stepped" else None
         if pre is not None:
             entry = pre.entry_at(pc)
             if entry is None:
@@ -296,7 +318,8 @@ class SIMDProcessor:
 
     def _run(self, max_instructions: int,
              max_cycles: Optional[int]) -> ExecutionStats:
-        pre = self._predecoded
+        engine = self.engine
+        pre = self._predecoded if engine != "stepped" else None
         if pre is None:
             while not self.halted:
                 if self.stats.instructions >= max_instructions:
@@ -312,7 +335,12 @@ class SIMDProcessor:
                     )
                 self.step()
             return self.stats
-        if not self._fuse_enabled or max_cycles is not None:
+        if engine in ("auto", "compiled") and max_cycles is None:
+            result = self._run_compiled(pre, max_instructions)
+            if result is not None:
+                return result
+        if engine == "predecoded" or not self._fuse_enabled \
+                or max_cycles is not None:
             return self._run_predecoded(pre, max_instructions, max_cycles)
 
         superblocks = pre.superblocks
@@ -357,6 +385,52 @@ class SIMDProcessor:
                 stats.record(pc, entry.word, entry.mnemonic, cycles)
                 pc = next_pc if next_pc is not None else pc + 4
             scalar.pc = pc
+        return stats
+
+    def _run_compiled(self, pre: PredecodedProgram,
+                      max_instructions: int) -> Optional[ExecutionStats]:
+        """Run the whole program as one compiled kernel, if eligible.
+
+        Returns None — and the caller falls back to the fused/stepped
+        engines — whenever flat code could not reproduce the exact
+        reference behaviour: tracing (per-instruction records), an armed
+        fault injector or fault hook, a pc that is not the program
+        entry, scalar/vector state differing from the values the kernel
+        was specialized against, or an instruction limit the unrolled
+        body would cross.  The kernel itself may also be uncompilable
+        (``get_or_compile`` returns None, cached negatively).
+        """
+        stats = self.stats
+        if (self.halted
+                or stats.records is not None
+                or self.fault_hook is not None
+                or self.instrumented):
+            return None
+        program = self._program
+        if program is None or self.scalar.pc != pre.base_address:
+            return None
+        from . import codegen
+
+        fingerprint = pre.codegen_fingerprint
+        if fingerprint is None:
+            fingerprint = pre.codegen_fingerprint = \
+                codegen.program_fingerprint(self, program)
+        kernel = codegen.get_or_compile(self, fingerprint, program)
+        if kernel is None:
+            return None
+        meta = kernel.meta
+        if stats.instructions + meta["instructions"] > max_instructions:
+            return None
+        scalar_regs = self.scalar._regs
+        for reg, expected in meta["sregs"].items():
+            if scalar_regs[reg] != expected:
+                return None
+        vconfig = meta["vconfig"]
+        if vconfig is not None:
+            vector = self.vector
+            if [vector.vl, vector.sew, vector.lmul] != vconfig:
+                return None
+        kernel.fn(self)
         return stats
 
     def _run_predecoded(self, pre: PredecodedProgram,

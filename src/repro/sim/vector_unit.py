@@ -23,8 +23,17 @@ from ..isa.spec import InstructionSpec
 from ..isa.vector import decode_vtype
 from .cycles import CycleModel, DEFAULT_CYCLE_MODEL
 from .exceptions import IllegalInstructionError
+from .lru import LRU
 from .memory import DataMemory
 from .vector_regfile import VectorRegfile
+
+#: Geometries cached per predecoded vector instruction.  The Keccak
+#: programs swing between at most two configurations (the m1 theta/iota
+#: geometry and the m8 rho/pi/chi geometry), so four covers the paper
+#: workloads with room for sweeps.
+_SPECIALIZER_MEMO_SIZE = 4
+
+_SPECIALIZER_MISS = object()
 
 
 def _sign_extend_to(value: int, from_bits: int, to_bits: int) -> int:
@@ -193,18 +202,22 @@ class VectorUnit:
 
         builder = self._specializers.get(spec.mnemonic)
         if builder is not None and bound_ops.get("vm") == 1:
-            # [config key, fast executor or None] — rebuilt whenever the
-            # vector configuration no longer matches.  The key is the
-            # observable configuration itself (not a generation counter)
-            # so direct vl/sew/lmul pokes by tests re-specialize too.
-            state: list = [None, None]
+            # Per-geometry fast executors (or None for geometries the
+            # builder cannot prove safe), keyed on the observable
+            # configuration itself (not a generation counter) so direct
+            # vl/sew/lmul pokes by tests re-specialize too.  Bounded:
+            # a program alternating between more geometries than the
+            # capacity just rebuilds on each swing — correctness never
+            # depends on residency.
+            memo = LRU(_SPECIALIZER_MEMO_SIZE)
+            miss = _SPECIALIZER_MISS
 
             def run_specialized() -> tuple:
                 key = (self.vl, self.sew, self.lmul)
-                if key != state[0]:
-                    state[0] = key
-                    state[1] = builder(bound_ops, scalar_value)
-                fast = state[1]
+                fast = memo.get(key, miss)
+                if fast is miss:
+                    fast = builder(bound_ops, scalar_value)
+                    memo.put(key, fast)
                 if fast is not None:
                     return fast()
                 return handler(spec, bound_ops, scalar_value), None

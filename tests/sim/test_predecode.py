@@ -126,7 +126,10 @@ class TestSuperblocks:
     def test_superblocks_built_lazily_and_cached(self):
         program = keccak64_lmul8.build(5)
         assembled = program.assemble()
-        proc = SIMDProcessor(elen=64, elenum=5, trace=False)
+        # Pin the fused engine: under "auto" the compiled kernel would
+        # run instead and superblocks would (correctly) never be built.
+        proc = SIMDProcessor(elen=64, elenum=5, trace=False,
+                             engine="fused")
         proc.load_program(assembled)
         pre = proc._predecoded
         assert pre.superblocks is None  # not built until the first run
@@ -143,7 +146,8 @@ class TestSuperblocks:
         # a re-decode produces a fresh PredecodedProgram with no blocks.
         program = keccak64_lmul8.build(5)
         assembled = program.assemble()
-        proc = SIMDProcessor(elen=64, elenum=5, trace=False)
+        proc = SIMDProcessor(elen=64, elenum=5, trace=False,
+                             engine="fused")
         proc.load_program(assembled)
         proc.run()
         old = proc._predecoded
