@@ -1,0 +1,159 @@
+"""Metrics-instrumentation overhead guard: disarmed metrics are free.
+
+Instrumented sites follow the arming rule of
+``repro.observability.metrics``: one module-attribute load and branch at
+coarse boundaries (per run, per compile, per chunk), nothing inside the
+per-instruction hot loops.  This module pins the two acceptance claims
+the same three ways the fault-hook guard does:
+
+* simulated cycle counts with metrics *armed* are bit-identical to
+  disarmed runs for all three paper programs (2564/1892/3620 per
+  permutation; metrics observe the simulation, never touch it);
+* disarmed wall-clock overhead on the ``bench_table7`` workload stays
+  under 3% against a baseline measured the same way (interleaved
+  best-of-N so frequency drift hits both legs);
+* both legs land in ``BENCH_*metrics*.json`` via ``--bench-json`` so
+  the trajectory across PRs is diffable.
+"""
+
+import time
+
+import pytest
+
+from repro.keccak import keccak_f1600
+from repro.observability import metrics
+from repro.programs import Session, build_program
+
+from conftest import make_states
+
+#: Wall-clock guard threshold (satellite requirement: disarmed metrics
+#: overhead on bench_table7 must stay under 3%).
+OVERHEAD_LIMIT = 0.03
+
+#: The paper's per-permutation cycle pins (Tables 7/8).
+PINS = [
+    ((64, 1), 2564),
+    ((64, 8), 1892),
+    ((32, 8), 3620),
+]
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    """Every test starts and ends disarmed with a clean registry."""
+    metrics.disarm()
+    metrics.registry().reset()
+    yield
+    metrics.disarm()
+    metrics.registry().reset()
+
+
+def _measure(session, program, states, trace):
+    result = session.run(program, states, trace=trace)
+    return result
+
+
+@pytest.mark.parametrize("arch,pin", PINS,
+                         ids=[f"{e}bit_lmul{l}" for (e, l), _ in PINS])
+def test_armed_cycles_bit_identical(arch, pin):
+    """Arming metrics must not move a single simulated cycle."""
+    elen, lmul = arch
+    program = build_program(elen, lmul, 5)
+    states = make_states(1)
+    expected = [keccak_f1600(s) for s in states]
+
+    session = Session()
+    disarmed = session.run(program, states, trace=True)
+    assert disarmed.states == expected
+    assert disarmed.permutation_cycles == pin
+
+    metrics.arm()
+    try:
+        armed = session.run(program, states, trace=True)
+        armed_untraced = session.run(program, states)
+    finally:
+        metrics.disarm()
+    assert armed.states == expected
+    assert armed.permutation_cycles == pin
+    assert armed.stats.cycles == disarmed.stats.cycles
+    assert armed.stats.instructions == disarmed.stats.instructions
+    assert armed_untraced.states == expected
+
+    # The armed runs actually recorded something (the guard guards an
+    # instrumented path, not a no-op).
+    runs = metrics.registry().get("session_runs_total")
+    assert runs is not None and runs.value(
+        program=program.name, geometry=f"{elen}x5") == 2
+
+
+def test_disarmed_overhead_under_3pct():
+    """The bench_table7 workload pays <3% after an arm/disarm cycle.
+
+    Mirrors the fault-hook guard: leg A is a session that was never
+    armed, leg B went through arm → instrumented runs → disarm.  Both
+    are measured disarmed, so the guard pins the wrap-on-arm claim —
+    arming flips a flag and leaves nothing wrapped, re-decoded or
+    re-compiled behind.
+    """
+    program = build_program(64, 8, 5)
+    states = make_states(1)
+    expected = [keccak_f1600(s) for s in states]
+    pristine = Session()
+    cycled = Session()
+    assert pristine.run(program, states).states == expected  # warm
+    metrics.arm()
+    try:
+        assert cycled.run(program, states).states == expected
+    finally:
+        metrics.disarm()
+
+    def best_of(session, rounds):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            session.run(program, states)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def measure_overhead():
+        # Interleave the legs in small groups so scheduler contention
+        # and clock-frequency drift hit both sides; the min over all
+        # groups approximates each leg's true floor.
+        pristine_best = float("inf")
+        cycled_best = float("inf")
+        for _ in range(8):
+            pristine_best = min(pristine_best, best_of(pristine, 3))
+            cycled_best = min(cycled_best, best_of(cycled, 3))
+        return cycled_best / pristine_best - 1.0
+
+    # A systematic >3% overhead fails every session; noise does not, so
+    # retry up to three measurement sessions (same policy as the
+    # fault-hook guard).
+    overheads = []
+    for _ in range(3):
+        overheads.append(measure_overhead())
+        if overheads[-1] < OVERHEAD_LIMIT:
+            break
+    assert overheads[-1] < OVERHEAD_LIMIT, (
+        f"disarmed metrics consistently slower in {len(overheads)} "
+        f"sessions: " + ", ".join(f"{o:+.1%}" for o in overheads)
+        + f" (limit {OVERHEAD_LIMIT:.0%})"
+    )
+
+
+@pytest.mark.parametrize("leg", ["disarmed", "armed"])
+def test_bench_metrics(benchmark, leg):
+    program = build_program(64, 8, 5)
+    states = make_states(1)
+    session = Session()
+    expected = [keccak_f1600(s) for s in states]
+    session.run(program, states)  # warm predecode + kernel caches
+    if leg == "armed":
+        metrics.arm()
+    try:
+        result = benchmark(lambda: session.run(program, states))
+    finally:
+        metrics.disarm()
+    assert result.states == expected
+    benchmark.extra_info["cycles"] = result.stats.cycles
+    benchmark.extra_info["leg"] = leg

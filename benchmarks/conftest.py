@@ -22,7 +22,9 @@ def pytest_addoption(parser):
     parser.addoption(
         "--bench-json", default=None, metavar="DIR",
         help="write per-benchmark wall-clock + cycles to "
-             "DIR/BENCH_<name>.json",
+             "DIR/BENCH_<name>.json; diff against the committed "
+             "benchmarks/baseline/ with `python -m repro stats "
+             "--bench-dir DIR`",
     )
 
 

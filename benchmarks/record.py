@@ -7,13 +7,20 @@ benchmark attached via ``benchmark.extra_info``) are written to
 trajectory across PRs can be diffed and plotted without parsing pytest
 output.
 
-Schema of each file::
+Schema of each file (shared with
+``repro.observability.trajectory.WALL_CLOCK_FIELDS`` — the round-trip
+test in ``tests/observability`` pins the two in sync)::
 
     {
       "name": "test_bench_64bit_permutation[lmul1]",
-      "wall_clock": {"min": ..., "mean": ..., "stddev": ..., "rounds": N},
+      "wall_clock": {"min": ..., "max": ..., "mean": ...,
+                     "stddev": ..., "rounds": N},
       "extra": {"cycles": ..., ...}        # whatever the bench recorded
     }
+
+``repro stats`` consumes these records: it diffs a fresh run against the
+committed ``benchmarks/baseline/`` snapshot and updates that snapshot
+with ``--update-baseline``.
 """
 
 from __future__ import annotations
@@ -22,6 +29,9 @@ import json
 import os
 import re
 from typing import Any, Dict
+
+#: The wall-clock fields every record carries, in schema order.
+WALL_CLOCK_FIELDS = ("min", "max", "mean", "stddev", "rounds")
 
 
 def _slug(name: str) -> str:
@@ -45,10 +55,4 @@ def record_benchmark(directory: str, name: str,
 def extract_stats(bench) -> Dict[str, Any]:
     """Pull the portable wall-clock numbers off a pytest-benchmark entry."""
     stats = bench.stats.stats if hasattr(bench.stats, "stats") else bench.stats
-    return {
-        "min": stats.min,
-        "max": stats.max,
-        "mean": stats.mean,
-        "stddev": stats.stddev,
-        "rounds": stats.rounds,
-    }
+    return {name: getattr(stats, name) for name in WALL_CLOCK_FIELDS}

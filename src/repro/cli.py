@@ -20,6 +20,16 @@ Commands
 ``faultcampaign``
     Seeded fault-injection campaign over the execution engines; fails
     (exit 1) on any silent divergence.
+``stats``
+    The benchmark trajectory: print the committed
+    ``benchmarks/baseline/`` snapshot, validate it
+    (``--check-baseline``), diff a fresh ``--bench-json`` run against it
+    (``--bench-dir``, exit 1 on >15% normalized wall-clock regressions
+    or any cycle change), or refresh it (``--update-baseline``).
+``profile``
+    Run a workload with metrics armed and print the registry snapshot;
+    ``--timeline FILE`` additionally exports a Chrome trace_event JSON
+    viewable in Perfetto.
 ``asm`` / ``dis``
     Assemble a source file to machine words / disassemble words back.
 
@@ -208,6 +218,84 @@ def _cmd_faultcampaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .observability import trajectory
+
+    baseline_dir = args.baseline or trajectory.default_baseline_dir()
+    if args.update_baseline:
+        if not args.bench_dir:
+            raise ValueError("--update-baseline requires --bench-dir DIR "
+                             "(a fresh --bench-json output directory)")
+        fresh = trajectory.load_records(args.bench_dir)
+        problems = trajectory.check_baseline(fresh)
+        if problems:
+            for problem in problems:
+                print(f"refusing to update baseline: {problem}",
+                      file=sys.stderr)
+            return 1
+        written = trajectory.write_baseline(fresh, baseline_dir)
+        print(f"wrote {len(written)} baseline record(s) to {baseline_dir}")
+        return 0
+
+    baseline = trajectory.load_records(baseline_dir)
+    if args.check_baseline:
+        problems = trajectory.check_baseline(baseline)
+        if problems:
+            for problem in problems:
+                print(f"baseline problem: {problem}", file=sys.stderr)
+            return 1
+        print(f"baseline ok: {len(baseline)} record(s), "
+              f"all {len(trajectory.PIN_BENCHES)} paper pin "
+              f"benchmark(s) present")
+        if not args.bench_dir:
+            return 0
+    if args.bench_dir:
+        fresh = trajectory.load_records(args.bench_dir)
+        report = trajectory.compare(fresh, baseline,
+                                    threshold=args.threshold)
+        print(report.summary())
+        return 0 if report.ok else 1
+    print(trajectory.aggregate(baseline))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import random
+
+    from .keccak.state import KeccakState
+    from .observability import metrics, timeline
+    from .programs import Session, build_program, run_many
+
+    rng = random.Random(args.seed)
+    tl = timeline.start() if args.timeline else None
+    metrics.arm()
+    try:
+        if args.workers:
+            messages = [rng.randbytes(args.size)
+                        for _ in range(args.count)]
+            run_many(messages, workers=args.workers,
+                     engine=args.engine)
+        else:
+            states = [
+                KeccakState([rng.getrandbits(64) for _ in range(25)])
+                for _ in range(args.states)
+            ]
+            program = build_program(args.elen, args.lmul, args.elenum)
+            session = Session(engine=args.engine)
+            for _ in range(args.repeat):
+                session.run(program, states)
+    finally:
+        metrics.disarm()
+        if tl is not None:
+            timeline.stop()
+    print(metrics.render_snapshot(metrics.registry().snapshot()))
+    if tl is not None:
+        path = tl.export(args.timeline)
+        print(f"# timeline written to {path} — open in Perfetto "
+              f"(ui.perfetto.dev) or chrome://tracing", file=sys.stderr)
+    return 0
+
+
 def _cmd_mix(args: argparse.Namespace) -> int:
     from .eval.instruction_mix import measure_instruction_mix
     from .keccak.state import KeccakState
@@ -359,6 +447,46 @@ def build_parser() -> argparse.ArgumentParser:
                             help="skip replaying faults on the reference "
                                  "engine")
 
+    p_stats = sub.add_parser(
+        "stats", help="benchmark trajectory: print/validate/diff the "
+                      "committed baseline")
+    p_stats.add_argument("--baseline", default=None,
+                         help="baseline directory (default: "
+                              "benchmarks/baseline)")
+    p_stats.add_argument("--bench-dir", default=None,
+                         help="fresh --bench-json output directory to "
+                              "diff against the baseline")
+    p_stats.add_argument("--check-baseline", action="store_true",
+                         help="validate the committed baseline (schema + "
+                              "paper pin benchmarks); exit 1 on problems")
+    p_stats.add_argument("--update-baseline", action="store_true",
+                         help="rewrite the baseline from --bench-dir")
+    p_stats.add_argument("--threshold", type=float, default=0.15,
+                         help="normalized wall-clock regression threshold "
+                              "(default 0.15)")
+
+    p_profile = sub.add_parser(
+        "profile", help="run a workload with metrics armed; print the "
+                        "registry snapshot")
+    p_profile.add_argument("--elen", type=int, default=64,
+                           choices=(32, 64))
+    p_profile.add_argument("--lmul", type=int, default=8, choices=(1, 8))
+    p_profile.add_argument("--elenum", type=int, default=5)
+    p_profile.add_argument("--states", type=int, default=1)
+    p_profile.add_argument("--repeat", type=int, default=10,
+                           help="session runs to profile")
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument("--workers", type=int, default=0,
+                           help="profile a run_many batch across this "
+                                "many workers instead of session runs")
+    p_profile.add_argument("--count", type=int, default=60,
+                           help="batch messages (with --workers)")
+    p_profile.add_argument("--size", type=int, default=64,
+                           help="bytes per batch message (with --workers)")
+    p_profile.add_argument("--timeline", metavar="FILE", default=None,
+                           help="export a Chrome trace_event JSON here")
+    _add_engine_argument(p_profile)
+
     p_mix = sub.add_parser("mix", help="per-step-mapping cycle breakdown")
     p_mix.add_argument("--variant", choices=(
         "64-lmul1", "64-lmul41", "64-lmul8", "64-fused", "32-lmul8"))
@@ -385,6 +513,8 @@ _HANDLERS = {
     "run": _cmd_run,
     "batch": _cmd_batch,
     "faultcampaign": _cmd_faultcampaign,
+    "stats": _cmd_stats,
+    "profile": _cmd_profile,
     "mix": _cmd_mix,
     "isa-doc": _cmd_isa_doc,
     "asm": _cmd_asm,

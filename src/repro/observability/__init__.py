@@ -1,0 +1,27 @@
+"""Observability: metrics registry, trace timelines, perf trajectory.
+
+Three complementary views of the simulator's behaviour:
+
+* :mod:`repro.observability.metrics` — a dependency-free registry of
+  labeled counters, gauges and histograms fed by instrumentation hooks
+  in the engines, the code generator and the worker pool.  Disarmed by
+  default; ``metrics.arm()`` flips one flag and instrumented sites
+  start recording at coarse boundaries only (never per instruction).
+* :mod:`repro.observability.timeline` — Chrome ``trace_event``-format
+  timelines of session runs and pool chunks, viewable in Perfetto.
+* :mod:`repro.observability.trajectory` — the cross-PR benchmark
+  trajectory: load/compare/commit ``BENCH_*.json`` records against the
+  ``benchmarks/baseline/`` snapshot (``repro stats``).
+
+Quick start::
+
+    from repro.observability import metrics
+
+    metrics.arm()
+    repro.run("keccak64_lmul1")
+    print(metrics.render_snapshot(metrics.registry().snapshot()))
+"""
+
+from . import metrics, timeline, trajectory  # noqa: F401
+
+__all__ = ["metrics", "timeline", "trajectory"]

@@ -1,0 +1,127 @@
+"""Chrome ``trace_event`` timelines of runs and pool activity.
+
+A :class:`Timeline` collects *complete* ("ph": "X") and *instant*
+("ph": "i") events in the Trace Event Format that ``chrome://tracing``
+and `Perfetto <https://ui.perfetto.dev>`_ open directly: one row (tid)
+per logical lane — the session's runs on lane 0, each pool worker on its
+own lane — with microsecond timestamps relative to the timeline start.
+
+Arming follows the metrics rule (:mod:`repro.observability.metrics`):
+instrumented sites pay one module-attribute load and branch when no
+timeline is active, and events are recorded only at coarse boundaries
+(a run, a compile, a chunk dispatch→result), never per instruction.
+
+Usage::
+
+    from repro.observability import timeline
+
+    tl = timeline.start()
+    repro.run_many(messages, workers=4)
+    timeline.stop()
+    tl.export("pool.trace.json")   # open in Perfetto
+
+Worker lanes are drawn from the parent's perspective (dispatch to
+result), so they are exact for chunk occupancy; worker-internal phases
+live in the merged metrics histograms instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import List, Optional
+
+__all__ = ["Timeline", "ACTIVE", "active", "start", "stop"]
+
+#: tid of the main/session lane; pool workers use 1 + worker_id.
+MAIN_LANE = 0
+
+
+class Timeline:
+    """An in-memory trace_event recording."""
+
+    def __init__(self) -> None:
+        self.origin = time.perf_counter()
+        self.events: List[dict] = []
+        self._pid = os.getpid()
+
+    def now(self) -> float:
+        """Seconds since the timeline origin (span start timestamps)."""
+        return time.perf_counter() - self.origin
+
+    def complete(self, name: str, start: float, duration: float,
+                 tid: int = MAIN_LANE,
+                 args: Optional[dict] = None) -> None:
+        """Record a span: ``start``/``duration`` in seconds from
+        :meth:`now`."""
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": round(start * 1e6, 3),
+            "dur": round(duration * 1e6, 3),
+            "pid": self._pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(self, name: str, tid: int = MAIN_LANE,
+                args: Optional[dict] = None) -> None:
+        event = {
+            "name": name,
+            "ph": "i",
+            "ts": round(self.now() * 1e6, 3),
+            "pid": self._pid,
+            "tid": tid,
+            "s": "t",
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def label_lane(self, tid: int, name: str) -> None:
+        """Name a lane in the viewer (metadata event)."""
+        self.events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": self._pid,
+            "tid": tid,
+            "args": {"name": name},
+        })
+
+    def to_dict(self) -> dict:
+        return {"traceEvents": list(self.events),
+                "displayTimeUnit": "ms"}
+
+    def export(self, path: str) -> str:
+        """Write the trace JSON; returns ``path`` for chaining."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+            handle.write("\n")
+        return path
+
+
+#: The active timeline, or None (the disarmed fast path: one attribute
+#: load + branch per instrumented site).
+ACTIVE: Optional[Timeline] = None
+
+
+def active() -> Optional[Timeline]:
+    return ACTIVE
+
+
+def start() -> Timeline:
+    """Begin recording into a fresh timeline and return it."""
+    global ACTIVE
+    ACTIVE = Timeline()
+    ACTIVE.label_lane(MAIN_LANE, "session")
+    return ACTIVE
+
+
+def stop() -> Optional[Timeline]:
+    """Stop recording; returns the timeline that was active."""
+    global ACTIVE
+    timeline, ACTIVE = ACTIVE, None
+    return timeline

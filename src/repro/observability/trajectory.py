@@ -1,0 +1,349 @@
+"""The benchmark trajectory: BENCH_*.json records compared across PRs.
+
+``pytest benchmarks/ --bench-json=DIR`` (see ``benchmarks/record.py``)
+writes one ``BENCH_<name>.json`` per benchmark.  Until this module
+existed those files were only uploaded as CI artifacts — never compared,
+never committed — so the performance trajectory across PRs was *empty*:
+a wall-clock or cycle regression was invisible unless someone manually
+downloaded two artifact sets and diffed them.
+
+This module fixes that pipeline:
+
+* :func:`load_records` / :func:`validate_record` — read and
+  schema-check a directory of records (the schema is
+  ``{name, wall_clock: {min, max, mean, stddev, rounds}, extra}``,
+  shared with ``benchmarks/record.py``).
+* :func:`write_baseline` — normalize records into the *committed*
+  ``benchmarks/baseline/`` snapshot (``repro stats --update-baseline``).
+* :func:`compare` — diff a fresh run against the baseline.  Simulator
+  cycle counts are deterministic and must match **exactly**; wall-clock
+  is machine-dependent, so it is first normalized by the run-to-run
+  scale factor (the median fresh/baseline ratio across all shared
+  benchmarks) and only a benchmark that slows down by more than
+  ``threshold`` (default 15%) *relative to the rest of the suite* is a
+  regression — a uniformly slower CI machine does not trip the gate,
+  one benchmark regressing does.
+
+``repro stats`` is the CLI front end; CI runs
+``repro stats --check-baseline`` on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "BenchRecord",
+    "PIN_BENCHES",
+    "TrajectoryReport",
+    "WALL_CLOCK_FIELDS",
+    "aggregate",
+    "check_baseline",
+    "compare",
+    "default_baseline_dir",
+    "load_records",
+    "normalize_record",
+    "validate_record",
+    "write_baseline",
+]
+
+#: The wall-clock statistics every record carries (``benchmarks/record.py``
+#: must stay in sync — the round-trip test pins this).
+WALL_CLOCK_FIELDS = ("min", "max", "mean", "stddev", "rounds")
+
+#: Regression threshold on normalized wall-clock (CI gate default).
+DEFAULT_THRESHOLD = 0.15
+
+#: The paper's per-permutation cycle pins (Tables 7/8).  Each of these
+#: benchmarks must be present in a valid baseline and record at least
+#: this many cycles — whole-run totals sit a few setup/halt cycles above
+#: the pin, so ``>=`` is the right check here (the exact-equality check
+#: lives in :func:`compare`, fresh vs. baseline).
+PIN_BENCHES = {
+    "test_bench_64bit_permutation[lmul1]": 2564,
+    "test_bench_64bit_permutation[lmul8]": 1892,
+    "test_bench_32bit_permutation": 3620,
+}
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark's persisted measurements."""
+
+    name: str
+    wall_clock: Dict[str, float]
+    extra: Dict[str, object]
+    path: str = ""
+
+    @property
+    def cycles(self) -> Optional[int]:
+        """The simulator cycle count the benchmark attached, if any."""
+        value = self.extra.get("cycles")
+        return int(value) if isinstance(value, (int, float)) else None
+
+
+class TrajectoryError(ValueError):
+    """A record or baseline that does not match the schema."""
+
+
+def validate_record(data: object, path: str = "<record>") -> BenchRecord:
+    """Check one parsed record against the schema; returns it typed."""
+    if not isinstance(data, dict):
+        raise TrajectoryError(f"{path}: record must be a JSON object")
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise TrajectoryError(f"{path}: missing benchmark name")
+    wall = data.get("wall_clock")
+    if not isinstance(wall, dict):
+        raise TrajectoryError(f"{path}: missing wall_clock object")
+    for fieldname in WALL_CLOCK_FIELDS:
+        value = wall.get(fieldname)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value):
+            raise TrajectoryError(
+                f"{path}: wall_clock.{fieldname} missing or not a finite "
+                f"number"
+            )
+    if wall["min"] < 0 or wall["rounds"] < 1:
+        raise TrajectoryError(f"{path}: implausible wall_clock stats")
+    extra = data.get("extra", {})
+    if not isinstance(extra, dict):
+        raise TrajectoryError(f"{path}: extra must be an object")
+    return BenchRecord(name=name,
+                       wall_clock={f: wall[f] for f in WALL_CLOCK_FIELDS},
+                       extra=dict(extra), path=path)
+
+
+def load_records(directory: str) -> Dict[str, BenchRecord]:
+    """All ``BENCH_*.json`` records in ``directory``, keyed by name."""
+    if not os.path.isdir(directory):
+        raise TrajectoryError(f"not a directory: {directory}")
+    records: Dict[str, BenchRecord] = {}
+    for filename in sorted(os.listdir(directory)):
+        if not (filename.startswith("BENCH_")
+                and filename.endswith(".json")):
+            continue
+        path = os.path.join(directory, filename)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TrajectoryError(f"{path}: unreadable record: {exc}")
+        record = validate_record(data, path)
+        if record.name in records:
+            raise TrajectoryError(
+                f"{path}: duplicate benchmark name {record.name!r}")
+        records[record.name] = record
+    return records
+
+
+def normalize_record(record: BenchRecord) -> dict:
+    """The canonical on-disk form (stable key order, schema fields only)."""
+    return {
+        "name": record.name,
+        "wall_clock": {f: record.wall_clock[f] for f in WALL_CLOCK_FIELDS},
+        "extra": dict(sorted(record.extra.items())),
+    }
+
+
+def write_baseline(records: Dict[str, BenchRecord],
+                   baseline_dir: str) -> List[str]:
+    """Write normalized records into ``baseline_dir``; returns the paths.
+
+    Stale baseline files for benchmarks that no longer exist are
+    removed, so the committed snapshot always mirrors one full run.
+    """
+    import re
+
+    os.makedirs(baseline_dir, exist_ok=True)
+    written: List[str] = []
+    fresh_files = set()
+    for name in sorted(records):
+        slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+        filename = f"BENCH_{slug}.json"
+        fresh_files.add(filename)
+        path = os.path.join(baseline_dir, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(normalize_record(records[name]), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        written.append(path)
+    for filename in os.listdir(baseline_dir):
+        if filename.startswith("BENCH_") and filename.endswith(".json") \
+                and filename not in fresh_files:
+            os.unlink(os.path.join(baseline_dir, filename))
+    return written
+
+
+def default_baseline_dir() -> str:
+    """The committed snapshot location: ``benchmarks/baseline``.
+
+    Resolved against the current directory first (the normal repo-root
+    invocation), falling back to the source checkout the package was
+    imported from.
+    """
+    local = os.path.join("benchmarks", "baseline")
+    if os.path.isdir(local):
+        return local
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(repo, "benchmarks", "baseline")
+
+
+# -- comparison -----------------------------------------------------------------
+
+
+@dataclass
+class Regression:
+    """One benchmark that got slower (or changed cycles)."""
+
+    name: str
+    kind: str  # "wall-clock" | "cycles"
+    baseline: float
+    fresh: float
+    normalized_ratio: float = 0.0
+
+    def __str__(self) -> str:
+        if self.kind == "cycles":
+            return (f"{self.name}: cycles changed "
+                    f"{int(self.baseline)} -> {int(self.fresh)}")
+        return (f"{self.name}: wall-clock {self.baseline * 1e3:.3f}ms -> "
+                f"{self.fresh * 1e3:.3f}ms "
+                f"({self.normalized_ratio:+.1%} vs suite)")
+
+
+@dataclass
+class TrajectoryReport:
+    """Outcome of one fresh-vs-baseline comparison."""
+
+    compared: int
+    scale: float
+    threshold: float
+    regressions: List[Regression] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        lines = [
+            f"compared {self.compared} benchmark(s) against baseline "
+            f"(machine scale x{self.scale:.2f}, "
+            f"threshold {self.threshold:.0%})"
+        ]
+        if self.missing:
+            lines.append(f"missing from fresh run: "
+                         f"{', '.join(self.missing)}")
+        if self.added:
+            lines.append(f"new benchmarks (no baseline yet): "
+                         f"{', '.join(self.added)}")
+        if self.improvements:
+            lines.append(f"{len(self.improvements)} benchmark(s) "
+                         f"improved >{self.threshold:.0%}")
+        if self.regressions:
+            lines.append(f"{len(self.regressions)} regression(s):")
+            lines.extend(f"  {r}" for r in self.regressions)
+        else:
+            lines.append("no regressions")
+        return "\n".join(lines)
+
+
+def compare(fresh: Dict[str, BenchRecord],
+            baseline: Dict[str, BenchRecord],
+            threshold: float = DEFAULT_THRESHOLD) -> TrajectoryReport:
+    """Diff ``fresh`` against ``baseline`` (see the module docstring)."""
+    common = sorted(set(fresh) & set(baseline))
+    report = TrajectoryReport(
+        compared=len(common),
+        scale=1.0,
+        threshold=threshold,
+        missing=sorted(set(baseline) - set(fresh)),
+        added=sorted(set(fresh) - set(baseline)),
+    )
+    if not common:
+        return report
+
+    ratios = sorted(
+        fresh[name].wall_clock["min"] /
+        max(baseline[name].wall_clock["min"], 1e-12)
+        for name in common
+    )
+    mid = len(ratios) // 2
+    scale = ratios[mid] if len(ratios) % 2 \
+        else 0.5 * (ratios[mid - 1] + ratios[mid])
+    report.scale = scale if scale > 0 else 1.0
+
+    for name in common:
+        fresh_rec, base_rec = fresh[name], baseline[name]
+        if fresh_rec.cycles is not None and base_rec.cycles is not None \
+                and fresh_rec.cycles != base_rec.cycles:
+            report.regressions.append(Regression(
+                name=name, kind="cycles",
+                baseline=base_rec.cycles, fresh=fresh_rec.cycles,
+            ))
+            continue
+        base_min = max(base_rec.wall_clock["min"], 1e-12)
+        normalized = (fresh_rec.wall_clock["min"] / base_min) \
+            / report.scale
+        if normalized > 1.0 + threshold:
+            report.regressions.append(Regression(
+                name=name, kind="wall-clock",
+                baseline=base_rec.wall_clock["min"],
+                fresh=fresh_rec.wall_clock["min"],
+                normalized_ratio=normalized - 1.0,
+            ))
+        elif normalized < 1.0 - threshold:
+            report.improvements.append(name)
+    return report
+
+
+def check_baseline(records: Dict[str, BenchRecord]) -> List[str]:
+    """Validate the committed baseline; returns the list of problems.
+
+    A healthy baseline is non-empty (the trajectory has data) and holds
+    the three paper pin benchmarks (:data:`PIN_BENCHES`) with recorded
+    cycle counts at or above the pins.
+    """
+    problems: List[str] = []
+    if not records:
+        problems.append(
+            "baseline is empty — run `repro stats --update-baseline "
+            "--bench-dir DIR` on a fresh benchmark run")
+        return problems
+    for name, pin in sorted(PIN_BENCHES.items()):
+        record = records.get(name)
+        if record is None:
+            problems.append(f"pin benchmark missing from baseline: {name}")
+        elif record.cycles is None:
+            problems.append(f"pin benchmark records no cycles: {name}")
+        elif record.cycles < pin:
+            problems.append(f"{name}: cycles {record.cycles} below the "
+                            f"paper pin {pin}")
+    return problems
+
+
+def aggregate(records: Dict[str, BenchRecord]) -> str:
+    """A one-screen table of a record set (``repro stats`` output)."""
+    if not records:
+        return "(no benchmark records)"
+    width = min(64, max(len(name) for name in records))
+    lines = [f"{'benchmark':{width}s}  {'min ms':>10s}  {'mean ms':>10s}  "
+             f"{'rounds':>6s}  {'cycles':>9s}"]
+    for name in sorted(records):
+        record = records[name]
+        cycles = record.cycles
+        lines.append(
+            f"{name[:width]:{width}s}  "
+            f"{record.wall_clock['min'] * 1e3:10.3f}  "
+            f"{record.wall_clock['mean'] * 1e3:10.3f}  "
+            f"{int(record.wall_clock['rounds']):6d}  "
+            f"{cycles if cycles is not None else '-':>9}"
+        )
+    return "\n".join(lines)

@@ -22,6 +22,8 @@ import os
 import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..observability import metrics as _metrics
+
 #: kind -> callable(payload) -> list of results.  Populated at import
 #: time by task-owning modules (and by tests before they start a pool).
 _TASK_KINDS: Dict[str, Callable[[Any], Any]] = {}
@@ -32,6 +34,21 @@ _TASK_KINDS: Dict[str, Callable[[Any], Any]] = {}
 PING_TASK_KIND = "parallel_exec.ping"
 PING_CHUNK_INDEX = -1
 _PONG = "pong"
+
+#: Reserved task kind for metrics collection: the worker answers with a
+#: snapshot of its (process-local) metrics registry, which the scheduler
+#: merges into the parent's.  Same transport pattern as the ping.
+METRICS_TASK_KIND = "parallel_exec.metrics"
+METRICS_CHUNK_INDEX = -2
+
+# Worker-side instrumentation (coarse: once per task, never inside a
+# task).  Labeled per worker so merged parent totals stay attributable.
+_QUEUE_WAIT = _metrics.registry().histogram(
+    "pool_worker_queue_wait_seconds",
+    "Time a worker sat idle waiting for its next task", ("worker",))
+_TASK_SECONDS = _metrics.registry().histogram(
+    "pool_worker_task_seconds",
+    "Worker-side task execution time", ("worker", "kind"))
 
 
 def register_task_kind(kind: str, fn: Callable[[Any], Any]) -> None:
@@ -57,18 +74,40 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
     Results are ``(worker_id, chunk_index, ok, payload)``; a task
     exception is reported (not raised) so the worker survives for the
     next chunk — the scheduler decides whether to abort the run.
+
+    The metrics registry (inherited populated through ``fork``) is reset
+    on entry so a later :data:`METRICS_TASK_KIND` snapshot contains only
+    *this worker's* activity — the parent merges pure deltas and never
+    double-counts its own series.
     """
+    _metrics.registry().reset()
     while True:
-        item = task_queue.get()
+        if _metrics.ARMED:
+            idle_from = time.monotonic()
+            item = task_queue.get()
+            _QUEUE_WAIT.observe(time.monotonic() - idle_from,
+                                worker=worker_id)
+        else:
+            item = task_queue.get()
         if item is None:
             return
         chunk_index, kind, payload = item
         if kind == PING_TASK_KIND:
             result_queue.put((worker_id, PING_CHUNK_INDEX, True, _PONG))
             continue
+        if kind == METRICS_TASK_KIND:
+            result_queue.put((worker_id, METRICS_CHUNK_INDEX, True,
+                              _metrics.registry().snapshot()))
+            continue
         try:
             fn = _TASK_KINDS[kind]
-            result = fn(payload)
+            if _metrics.ARMED:
+                started = time.monotonic()
+                result = fn(payload)
+                _TASK_SECONDS.observe(time.monotonic() - started,
+                                      worker=worker_id, kind=kind)
+            else:
+                result = fn(payload)
         except BaseException as exc:  # noqa: BLE001 - reported, not raised
             result_queue.put(
                 (worker_id, chunk_index, False,
@@ -93,6 +132,9 @@ class _Worker:
         #: (chunk_index, kind, payload, attempts) currently dispatched.
         self.task: Optional[Tuple[int, str, Any, int]] = None
         self.deadline: Optional[float] = None
+        #: When the current task was dispatched (chunk-latency metrics
+        #: and timeline spans measure dispatch → result).
+        self.dispatched_at: Optional[float] = None
         #: Last time this worker was heard from (spawn counts as a sign
         #: of life); feeds the scheduler's heartbeat checks.
         self.last_seen = time.monotonic()
@@ -111,11 +153,13 @@ class _Worker:
                  attempts: int, timeout: Optional[float]) -> None:
         self.task = (chunk_index, kind, payload, attempts)
         self.deadline = (time.monotonic() + timeout) if timeout else None
+        self.dispatched_at = time.monotonic()
         self.task_queue.put((chunk_index, kind, payload))
 
     def finish(self) -> None:
         self.task = None
         self.deadline = None
+        self.dispatched_at = None
 
     def timed_out(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -124,6 +168,10 @@ class _Worker:
         """Queue a heartbeat; the worker answers when it drains to it."""
         self.ping_sent = now
         self.task_queue.put((PING_CHUNK_INDEX, PING_TASK_KIND, None))
+
+    def request_metrics(self) -> None:
+        """Queue a metrics-snapshot request (answered like a ping)."""
+        self.task_queue.put((METRICS_CHUNK_INDEX, METRICS_TASK_KIND, None))
 
     def heard_from(self, now: float) -> None:
         self.last_seen = now

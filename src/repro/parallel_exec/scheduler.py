@@ -35,6 +35,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
 
+from ..observability import metrics as _metrics
+from ..observability import timeline as _timeline
 from .checkpoint import BatchCheckpoint
 from .hardening import (
     PoolStats,
@@ -43,7 +45,12 @@ from .hardening import (
     RetryPolicy,
     WorkerLedger,
 )
-from .pool import PING_CHUNK_INDEX, WorkerPool, _TASK_KINDS
+from .pool import (
+    METRICS_CHUNK_INDEX,
+    PING_CHUNK_INDEX,
+    WorkerPool,
+    _TASK_KINDS,
+)
 from .results import (
     ChunkQuarantinedError,
     ChunkTimeoutError,
@@ -55,6 +62,21 @@ from .results import (
 #: How long one poll of the result queue blocks while chunks are in
 #: flight; bounds how stale a timeout/crash/heartbeat check can be.
 _POLL_INTERVAL = 0.05
+
+#: How long the scheduler waits for workers to answer the end-of-run
+#: metrics-snapshot request before giving up (a wedged worker must not
+#: hang the batch on account of observability).
+_METRICS_COLLECT_TIMEOUT = 5.0
+
+# Parent-side pool metrics.  Chunk latency is dispatch → result as the
+# scheduler sees it; pool_events_total mirrors PoolStats so one armed
+# run lands retries/quarantines/heartbeats in the shared registry.
+_CHUNK_LATENCY = _metrics.registry().histogram(
+    "pool_chunk_latency_seconds",
+    "Chunk latency from dispatch to result (parent view)", ("kind",))
+_POOL_EVENTS = _metrics.registry().counter(
+    "pool_events_total", "Pool lifecycle events, mirroring PoolStats",
+    ("event",))
 
 
 def chunked(items: Sequence[Any], chunk_size: int) -> List[List[Any]]:
@@ -162,9 +184,45 @@ def run_chunks_report(kind: str, chunks: Sequence[Any], *,
         finally:
             pool.shutdown()
 
+    if _metrics.ARMED:
+        _record_pool_stats(stats)
     return ChunkRunReport(chunk_results=assembler.partial(),
                           quarantined=quarantine.quarantined(),
                           stats=stats)
+
+
+def _record_pool_stats(stats: PoolStats) -> None:
+    """Mirror one run's :class:`PoolStats` into the metrics registry."""
+    for event, value in vars(stats).items():
+        if value:
+            _POOL_EVENTS.inc(value, event=event)
+
+
+def _collect_worker_metrics(pool: WorkerPool) -> None:
+    """Merge every live worker's metrics snapshot into the parent.
+
+    Runs after the last chunk completes and before shutdown.  Workers
+    reset their (fork-inherited) registry at startup, so each snapshot
+    is a pure per-worker delta and the commutative merge rules make the
+    parent totals independent of arrival order.  A worker that fails to
+    answer within :data:`_METRICS_COLLECT_TIMEOUT` just drops its
+    snapshot — observability never hangs a finished batch.
+    """
+    expected = 0
+    for worker in pool.workers.values():
+        if worker.alive and not worker.busy:
+            worker.request_metrics()
+            expected += 1
+    registry = _metrics.registry()
+    deadline = time.monotonic() + _METRICS_COLLECT_TIMEOUT
+    while expected > 0 and time.monotonic() < deadline:
+        message = pool.poll_result(_POLL_INTERVAL)
+        if message is None:
+            continue
+        _, chunk_index, ok, payload = message
+        if chunk_index == METRICS_CHUNK_INDEX and ok:
+            registry.merge(payload)
+            expected -= 1
 
 
 def _run_serial(kind: str, chunks: Sequence[Any], policy: RetryPolicy,
@@ -213,6 +271,7 @@ def _drive(pool: WorkerPool, kind: str, chunks: Sequence[Any],
            manifest: Optional[BatchCheckpoint]) -> None:
     rng = policy.make_rng()
     ledger = WorkerLedger(policy.breaker_threshold)
+    labeled_lanes: set = set()
     #: (ready_at, chunk_index, payload, attempts) awaiting a worker;
     #: ready_at implements the backoff delay between attempts.
     pending = [(0.0, i, payload, 1) for i, payload in enumerate(chunks)
@@ -259,12 +318,32 @@ def _drive(pool: WorkerPool, kind: str, chunks: Sequence[Any],
             if chunk_index == PING_CHUNK_INDEX:
                 stats.pongs_received += 1
                 continue
+            if chunk_index == METRICS_CHUNK_INDEX:
+                if ok:
+                    _metrics.registry().merge(payload)
+                continue
             task = worker.task if worker is not None else None
             held = task is not None and task[0] == chunk_index
+            duration = (now - worker.dispatched_at
+                        if held and worker.dispatched_at is not None
+                        else None)
             if held:
                 worker.finish()
             if ok:
                 ledger.record_success(worker_id)
+                if duration is not None:
+                    if _metrics.ARMED:
+                        _CHUNK_LATENCY.observe(duration, kind=kind)
+                    tl = _timeline.ACTIVE
+                    if tl is not None:
+                        tid = 1 + worker_id
+                        if tid not in labeled_lanes:
+                            labeled_lanes.add(tid)
+                            tl.label_lane(tid, f"worker {worker_id}")
+                        tl.complete(f"chunk {chunk_index}",
+                                    tl.now() - duration, duration, tid=tid,
+                                    args={"kind": kind,
+                                          "attempts": task[3]})
                 if not assembler.has(chunk_index):
                     assembler.add(chunk_index, payload)
                     stats.completed += 1
@@ -326,6 +405,9 @@ def _drive(pool: WorkerPool, kind: str, chunks: Sequence[Any],
                                 error)
             else:
                 requeue(chunk_index, payload, attempts, now)
+
+    if _metrics.ARMED:
+        _collect_worker_metrics(pool)
 
 
 def _heartbeat(pool: WorkerPool, policy: RetryPolicy, stats: PoolStats,

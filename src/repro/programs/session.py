@@ -18,11 +18,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..keccak.constants import STATE_BITS, STATE_BYTES
 from ..keccak.state import KeccakState
+from ..observability import metrics as _metrics
+from ..observability import timeline as _timeline
 from ..sim.cycles import CycleModel, DEFAULT_CYCLE_MODEL
 from ..sim.processor import SIMDProcessor, validate_engine
 from ..sim.trace import ExecutionStats
 from . import layout
 from .base import KeccakProgram
+
+# Session-level instrumentation: one counter bump, one histogram
+# observation and (with a timeline active) one span per run.
+_SESSION_RUNS = _metrics.registry().counter(
+    "session_runs_total", "Session.run calls by program and geometry",
+    ("program", "geometry"))
+_RUN_SECONDS = _metrics.registry().histogram(
+    "session_run_seconds", "Wall-clock time of one Session.run",
+    ("program", "geometry"))
 
 
 @dataclass
@@ -189,14 +200,44 @@ class Session:
         cycle metrics; without it those fall back to whole-run totals) —
         and disqualifies the compiled engine, so traced runs execute on
         the fused/stepped reference paths.  ``engine`` overrides the
-        session default for this run only.
+        session default for this run only — the session processor is
+        restored to the session engine afterwards, so a one-off override
+        can never leak into later runs.
         """
         _check_capacity(program, states)
         proc = self.processor(program.elen, program.elenum)
         proc.engine = validate_engine(engine) if engine is not None \
             else self.engine
         proc.reset(trace=trace)
-        return _execute(proc, program, states)
+        try:
+            if not _metrics.ARMED and _timeline.ACTIVE is None:
+                return _execute(proc, program, states)
+            return self._run_observed(proc, program, states)
+        finally:
+            proc.engine = self.engine
+
+    def _run_observed(self, proc: SIMDProcessor, program: KeccakProgram,
+                      states: Sequence[KeccakState]) -> RunResult:
+        """The armed path of :meth:`run`: metrics + timeline span."""
+        import time
+
+        geometry = f"{program.elen}x{program.elenum}"
+        tl = _timeline.ACTIVE
+        span_start = tl.now() if tl is not None else 0.0
+        started = time.perf_counter()
+        result = _execute(proc, program, states)
+        elapsed = time.perf_counter() - started
+        if _metrics.ARMED:
+            _SESSION_RUNS.inc(program=program.name, geometry=geometry)
+            _RUN_SECONDS.observe(elapsed, program=program.name,
+                                 geometry=geometry)
+        if tl is not None:
+            tl.complete(program.name, span_start, elapsed,
+                        tid=_timeline.MAIN_LANE,
+                        args={"geometry": geometry,
+                              "engine": proc.engine,
+                              "states": len(states)})
+        return result
 
     def warm(self, program: KeccakProgram) -> bool:
         """Pre-compile ``program`` for the compiled engine.

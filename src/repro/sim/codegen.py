@@ -47,11 +47,13 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import time
 from collections import Counter
 from dataclasses import astuple
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..isa import decode_operands
+from ..observability import metrics as _metrics
 from ..isa.vector import decode_vtype
 from ..keccak.constants import RHO_BY_ROW, ROUND_CONSTANTS
 from .lru import LRU
@@ -85,12 +87,22 @@ _KERNEL_CACHE = LRU(64)
 _MAX_UNROLL = 200_000
 
 #: Observability counters (tests and the cold/warm CI check read these).
+#: Always-on module totals; the labeled metrics mirror them when armed
+#: (see repro.observability.metrics).
 COMPILE_STATS = {
     "compiles": 0,
     "memory_hits": 0,
     "disk_hits": 0,
     "bailouts": 0,
 }
+
+_COMPILE_EVENTS = _metrics.registry().counter(
+    "sim_codegen_total",
+    "Compiled-kernel lookups by outcome "
+    "(memory_hit/disk_hit/compile/bailout)", ("event",))
+_COMPILE_SECONDS = _metrics.registry().histogram(
+    "sim_codegen_compile_seconds",
+    "Time to symbolically compile one program")
 
 _MISS = object()
 
@@ -258,6 +270,8 @@ def get_or_compile(processor: "SIMDProcessor", fingerprint: str,
     cached = _KERNEL_CACHE.get(fingerprint, _MISS)
     if cached is not _MISS:
         COMPILE_STATS["memory_hits"] += 1
+        if _metrics.ARMED:
+            _COMPILE_EVENTS.inc(event="memory_hit")
         return cached
 
     source = _load_disk(fingerprint)
@@ -265,12 +279,19 @@ def get_or_compile(processor: "SIMDProcessor", fingerprint: str,
         kernel = _kernel_from_source(source, fingerprint)
         if kernel is not None:
             COMPILE_STATS["disk_hits"] += 1
+            if _metrics.ARMED:
+                _COMPILE_EVENTS.inc(event="disk_hit")
             _KERNEL_CACHE.put(fingerprint, kernel)
             return kernel
 
+    started = time.perf_counter() if _metrics.ARMED else 0.0
     generated = _generate(processor, program, fingerprint)
+    if _metrics.ARMED:
+        _COMPILE_SECONDS.observe(time.perf_counter() - started)
     if generated is None:
         COMPILE_STATS["bailouts"] += 1
+        if _metrics.ARMED:
+            _COMPILE_EVENTS.inc(event="bailout")
         _KERNEL_CACHE.put(fingerprint, None)
         return None
     kernel = _kernel_from_source(generated, fingerprint)
@@ -278,6 +299,8 @@ def get_or_compile(processor: "SIMDProcessor", fingerprint: str,
         _KERNEL_CACHE.put(fingerprint, None)
         return None
     COMPILE_STATS["compiles"] += 1
+    if _metrics.ARMED:
+        _COMPILE_EVENTS.inc(event="compile")
     _store_disk(fingerprint, generated)
     _KERNEL_CACHE.put(fingerprint, kernel)
     return kernel

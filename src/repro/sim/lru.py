@@ -10,10 +10,18 @@ eviction policy.
 Plain dicts preserve insertion order (Python >= 3.7), so recency is
 modelled by re-inserting on access: the first key in iteration order is
 always the least recently used.
+
+Mutations are guarded by a per-instance :class:`threading.RLock` —
+``get`` is a pop + re-insert and ``put`` a check-then-delete, both of
+which could corrupt the table if two threads interleaved them.  The
+simulator itself is single-threaded per processor, but the long-lived
+server Sessions this cache is sold for may be driven from thread pools,
+and the codegen kernel cache is module-global.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Hashable, Iterator, Optional, TypeVar
 
 V = TypeVar("V")
@@ -24,38 +32,43 @@ _MISS = object()
 class LRU:
     """A bounded mapping that evicts the least recently used entry."""
 
-    __slots__ = ("capacity", "_data")
+    __slots__ = ("capacity", "_data", "_lock")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"LRU capacity must be positive: {capacity}")
         self.capacity = capacity
         self._data: Dict[Hashable, object] = {}
+        self._lock = threading.RLock()
 
     def get(self, key: Hashable, default: Optional[V] = None):
         """Look up ``key``, refreshing its recency on a hit."""
-        data = self._data
-        value = data.pop(key, _MISS)
-        if value is _MISS:
-            return default
-        data[key] = value  # re-insert: now the most recently used
-        return value
+        with self._lock:
+            data = self._data
+            value = data.pop(key, _MISS)
+            if value is _MISS:
+                return default
+            data[key] = value  # re-insert: now the most recently used
+            return value
 
     def put(self, key: Hashable, value: V) -> None:
         """Insert/replace ``key``, evicting the LRU entry when full."""
-        data = self._data
-        if key in data:
-            del data[key]
-        elif len(data) >= self.capacity:
-            del data[next(iter(data))]
-        data[key] = value
+        with self._lock:
+            data = self._data
+            if key in data:
+                del data[key]
+            elif len(data) >= self.capacity:
+                del data[next(iter(data))]
+            data[key] = value
 
     def pop(self, key: Hashable, default: Optional[V] = None):
         """Remove and return ``key`` without touching other recencies."""
-        return self._data.pop(key, default)
+        with self._lock:
+            return self._data.pop(key, default)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data

@@ -36,6 +36,7 @@ from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 from ..assembler.program import Program
 from ..isa import decode_operands
 from ..isa.spec import InstructionSpec
+from ..observability import metrics as _metrics
 from .exceptions import IllegalInstructionError, ProcessorHalted
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -45,6 +46,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: An executor returns ``(cycles, next_pc)``; ``next_pc`` is None for
 #: sequential fall-through (the caller advances pc by 4).
 Executor = Callable[[], Tuple[int, Optional[int]]]
+
+# Superblock occupancy metrics, recorded once per build (coarse boundary
+# — see the arming rule in repro.observability.metrics).
+_BLOCK_LEN = _metrics.registry().histogram(
+    "sim_superblock_length", "Instructions per fused superblock",
+    ("geometry",), buckets=_metrics.COUNT_BUCKETS)
+_FUSED_FRACTION = _metrics.registry().gauge(
+    "sim_superblock_fused_fraction",
+    "Fraction of program entries covered by fused blocks",
+    ("geometry",))
 
 
 @dataclass
@@ -332,6 +343,7 @@ def build_superblocks(processor: "SIMDProcessor",
 
     blocks: List[Optional[FusedBlock]] = [None] * size
     max_len = 1
+    fused_entries = 0
     for start in sorted(leaders):
         end = start
         has_terminator = False
@@ -345,4 +357,12 @@ def build_superblocks(processor: "SIMDProcessor",
         block = FusedBlock(processor, entries[start:end + 1], has_terminator)
         blocks[start] = block
         max_len = max(max_len, block.length)
+        fused_entries += block.length
+    if _metrics.ARMED:
+        geometry = f"{processor.elen}x{processor.elenum}"
+        for block in blocks:
+            if block is not None:
+                _BLOCK_LEN.observe(block.length, geometry=geometry)
+        _FUSED_FRACTION.set(fused_entries / size if size else 0.0,
+                            geometry=geometry)
     return Superblocks(blocks=blocks, max_block_len=max_len)

@@ -18,9 +18,11 @@ width — 64 for the 64-bit architecture, 32 for the 32-bit one) and
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Optional
 
 from ..assembler.program import Program
+from ..observability import metrics as _metrics
 from ..isa import ISA, decode_operands
 from ..isa.spec import InstructionSet
 from .cycles import CycleModel, DEFAULT_CYCLE_MODEL
@@ -45,6 +47,20 @@ _PREDECODE_CACHE_SIZE = 16
 #: ``auto`` prefers the compiled kernel when the run is eligible for it
 #: and falls back to the fused engine (the PR 2 default) otherwise.
 ENGINES = ("auto", "stepped", "predecoded", "fused", "compiled")
+
+
+# Metric families (created once; disarmed sites pay one flag check —
+# see the arming rule in repro.observability.metrics).
+_RUNS = _metrics.registry().counter(
+    "sim_runs_total", "Processor runs by the engine that executed them",
+    ("engine",))
+_FALLBACKS = _metrics.registry().counter(
+    "sim_compiled_fallbacks_total",
+    "Runs the compiled engine declined, by reason", ("reason",))
+_PREDECODE_CACHE = _metrics.registry().counter(
+    "sim_predecode_cache_total", "Predecode cache lookups", ("event",))
+_PREDECODE_SECONDS = _metrics.registry().histogram(
+    "sim_predecode_seconds", "Time spent predecoding a program")
 
 
 def validate_engine(engine: str) -> str:
@@ -125,8 +141,17 @@ class SIMDProcessor:
         if self._predecode_enabled:
             cached = self._predecode_cache.get(id(program))
             if cached is None or not cached.matches(program):
-                cached = predecode(self, program)
+                if _metrics.ARMED:
+                    _PREDECODE_CACHE.inc(event="miss")
+                    started = time.perf_counter()
+                    cached = predecode(self, program)
+                    _PREDECODE_SECONDS.observe(
+                        time.perf_counter() - started)
+                else:
+                    cached = predecode(self, program)
                 self._predecode_cache.put(id(program), cached)
+            elif _metrics.ARMED:
+                _PREDECODE_CACHE.inc(event="hit")
             self._predecoded = cached
         self.scalar.pc = program.base_address
         self.halted = False
@@ -321,6 +346,8 @@ class SIMDProcessor:
         engine = self.engine
         pre = self._predecoded if engine != "stepped" else None
         if pre is None:
+            if _metrics.ARMED:
+                _RUNS.inc(engine="stepped")
             while not self.halted:
                 if self.stats.instructions >= max_instructions:
                     raise ExecutionLimitExceeded(
@@ -338,11 +365,17 @@ class SIMDProcessor:
         if engine in ("auto", "compiled") and max_cycles is None:
             result = self._run_compiled(pre, max_instructions)
             if result is not None:
+                if _metrics.ARMED:
+                    _RUNS.inc(engine="compiled")
                 return result
         if engine == "predecoded" or not self._fuse_enabled \
                 or max_cycles is not None:
+            if _metrics.ARMED:
+                _RUNS.inc(engine="predecoded")
             return self._run_predecoded(pre, max_instructions, max_cycles)
 
+        if _metrics.ARMED:
+            _RUNS.inc(engine="fused")
         superblocks = pre.superblocks
         if superblocks is None:
             superblocks = pre.superblocks = build_superblocks(self, pre)
@@ -405,9 +438,17 @@ class SIMDProcessor:
                 or stats.records is not None
                 or self.fault_hook is not None
                 or self.instrumented):
+            if _metrics.ARMED:
+                _FALLBACKS.inc(reason=(
+                    "halted" if self.halted
+                    else "traced" if stats.records is not None
+                    else "fault_hook" if self.fault_hook is not None
+                    else "instrumented"))
             return None
         program = self._program
         if program is None or self.scalar.pc != pre.base_address:
+            if _metrics.ARMED:
+                _FALLBACKS.inc(reason="entry_pc")
             return None
         from . import codegen
 
@@ -417,18 +458,26 @@ class SIMDProcessor:
                 codegen.program_fingerprint(self, program)
         kernel = codegen.get_or_compile(self, fingerprint, program)
         if kernel is None:
+            if _metrics.ARMED:
+                _FALLBACKS.inc(reason="uncompilable")
             return None
         meta = kernel.meta
         if stats.instructions + meta["instructions"] > max_instructions:
+            if _metrics.ARMED:
+                _FALLBACKS.inc(reason="instruction_limit")
             return None
         scalar_regs = self.scalar._regs
         for reg, expected in meta["sregs"].items():
             if scalar_regs[reg] != expected:
+                if _metrics.ARMED:
+                    _FALLBACKS.inc(reason="scalar_state")
                 return None
         vconfig = meta["vconfig"]
         if vconfig is not None:
             vector = self.vector
             if [vector.vl, vector.sew, vector.lmul] != vconfig:
+                if _metrics.ARMED:
+                    _FALLBACKS.inc(reason="vector_state")
                 return None
         kernel.fn(self)
         return stats

@@ -1,0 +1,199 @@
+"""The metrics registry: families, labels, snapshot/merge/delta."""
+
+import pickle
+
+import pytest
+
+from repro.observability.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    delta,
+    render_snapshot,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        runs = registry.counter("runs", "total runs", ("engine",))
+        runs.inc(engine="fused")
+        runs.inc(2, engine="fused")
+        runs.inc(engine="compiled")
+        assert runs.value(engine="fused") == 3
+        assert runs.value(engine="compiled") == 1
+        assert runs.value(engine="stepped") == 0
+
+    def test_rejects_negative(self, registry):
+        runs = registry.counter("runs")
+        with pytest.raises(ValueError):
+            runs.inc(-1)
+
+    def test_rejects_wrong_labels(self, registry):
+        runs = registry.counter("runs", "", ("engine",))
+        with pytest.raises(ValueError):
+            runs.inc(program="x")
+        with pytest.raises(ValueError):
+            runs.inc()  # missing the engine label
+
+
+class TestGauge:
+    def test_set_remembers_last(self, registry):
+        g = registry.gauge("occupancy")
+        g.set(0.5)
+        g.set(0.25)
+        assert g.value() == 0.25
+
+
+class TestHistogram:
+    def test_bucketing(self, registry):
+        h = registry.histogram("lat", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        snap = h.snapshot()
+        [series] = snap["series"]
+        assert series["value"]["counts"] == [1, 1, 1, 1]  # incl. +Inf
+        assert series["value"]["count"] == 4
+        assert series["value"]["sum"] == pytest.approx(5.555)
+
+    def test_boundary_lands_in_its_bucket(self, registry):
+        # bisect_left: an observation equal to an upper bound counts in
+        # that bucket (Prometheus "le" semantics).
+        h = registry.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        [series] = h.snapshot()["series"]
+        assert series["value"]["counts"] == [1, 0, 0]
+
+    def test_rejects_unsorted_buckets(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=(2.0, 1.0))
+
+    def test_count_buckets_cover_superblock_lengths(self):
+        assert COUNT_BUCKETS[0] == 1 and COUNT_BUCKETS[-1] >= 256
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self, registry):
+        a = registry.counter("runs", "help", ("engine",))
+        b = registry.counter("runs", "help", ("engine",))
+        assert a is b
+
+    def test_type_mismatch_raises(self, registry):
+        registry.counter("runs")
+        with pytest.raises(ValueError):
+            registry.gauge("runs")
+
+    def test_label_mismatch_raises(self, registry):
+        registry.counter("runs", "", ("engine",))
+        with pytest.raises(ValueError):
+            registry.counter("runs", "", ("program",))
+
+    def test_reset_keeps_family_references_valid(self, registry):
+        runs = registry.counter("runs", "", ("engine",))
+        runs.inc(engine="fused")
+        registry.reset()
+        assert runs.value(engine="fused") == 0
+        runs.inc(engine="fused")  # the old reference still records
+        assert registry.get("runs").value(engine="fused") == 1
+
+    def test_snapshot_is_plain_data(self, registry):
+        registry.counter("runs", "", ("engine",)).inc(engine="fused")
+        registry.histogram("lat").observe(0.2)
+        registry.gauge("g").set(7)
+        snap = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        assert snap["runs"]["series"] == [
+            {"labels": {"engine": "fused"}, "value": 1}
+        ]
+
+
+class TestMerge:
+    def _worker_snapshot(self, inc_by):
+        worker = MetricsRegistry()
+        worker.counter("runs", "", ("engine",)).inc(inc_by, engine="fused")
+        worker.gauge("peak").set(inc_by)
+        h = worker.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(inc_by)
+        return worker.snapshot()
+
+    def test_merge_is_commutative(self):
+        snaps = [self._worker_snapshot(n) for n in (1, 2, 3)]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+        assert forward.get("runs").value(engine="fused") == 6
+        assert forward.get("peak").value() == 3  # gauges take the max
+        [series] = forward.get("lat").snapshot()["series"]
+        assert series["value"]["count"] == 6
+
+    def test_merge_into_populated_registry_adds(self):
+        parent = MetricsRegistry()
+        parent.counter("runs", "", ("engine",)).inc(5, engine="fused")
+        parent.merge(self._worker_snapshot(2))
+        assert parent.get("runs").value(engine="fused") == 7
+
+    def test_merge_bucket_mismatch_raises(self):
+        parent = MetricsRegistry()
+        parent.histogram("lat", buckets=(0.5,)).observe(0.1)
+        with pytest.raises(ValueError):
+            parent.merge(self._worker_snapshot(1))
+
+    def test_merge_unknown_type_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge(
+                {"x": {"type": "summary", "series": []}})
+
+
+class TestDelta:
+    def test_counter_and_histogram_delta(self, registry):
+        c = registry.counter("runs", "", ("engine",))
+        h = registry.histogram("lat", buckets=(1.0,))
+        c.inc(2, engine="fused")
+        h.observe(0.5)
+        before = registry.snapshot()
+        c.inc(3, engine="fused")
+        c.inc(engine="compiled")
+        h.observe(2.0)
+        after = registry.snapshot()
+        d = delta(before, after)
+        values = {tuple(e["labels"].items()): e["value"]
+                  for e in d["runs"]["series"]}
+        assert values[(("engine", "fused"),)] == 3
+        assert values[(("engine", "compiled"),)] == 1
+        [series] = d["lat"]["series"]
+        assert series["value"]["counts"] == [0, 1]
+        assert series["value"]["count"] == 1
+
+    def test_unchanged_series_are_dropped(self, registry):
+        c = registry.counter("runs")
+        c.inc()
+        snap = registry.snapshot()
+        assert delta(snap, snap) == {}
+
+
+def test_render_snapshot_mentions_series():
+    registry = MetricsRegistry()
+    registry.counter("runs", "", ("engine",)).inc(4, engine="fused")
+    registry.histogram("lat").observe(0.25)
+    text = render_snapshot(registry.snapshot())
+    assert "runs" in text and "engine=fused" in text and "4" in text
+    assert "count=1" in text
+    assert render_snapshot(MetricsRegistry().snapshot()) \
+        == "(no metrics recorded)"
+
+
+def test_families_are_typed():
+    registry = MetricsRegistry()
+    assert isinstance(registry.counter("a"), Counter)
+    assert isinstance(registry.gauge("b"), Gauge)
+    assert isinstance(registry.histogram("c"), Histogram)

@@ -1,0 +1,186 @@
+"""The benchmark trajectory: schema, baseline, regression detection."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.observability import trajectory
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _load_record_module():
+    """Import ``benchmarks/record.py`` (not a package) by path."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_record", REPO_ROOT / "benchmarks" / "record.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _record(name, min_s, cycles=None, **extra):
+    wall = {"min": min_s, "max": min_s * 1.5, "mean": min_s * 1.2,
+            "stddev": min_s * 0.1, "rounds": 5}
+    if cycles is not None:
+        extra["cycles"] = cycles
+    return trajectory.BenchRecord(name=name, wall_clock=wall, extra=extra)
+
+
+class _FakeStats:
+    min = 0.01
+    max = 0.02
+    mean = 0.015
+    stddev = 0.001
+    rounds = 7
+
+
+class TestSchemaRoundTrip:
+    def test_record_py_and_trajectory_agree_on_fields(self):
+        record = _load_record_module()
+        assert tuple(record.WALL_CLOCK_FIELDS) \
+            == tuple(trajectory.WALL_CLOCK_FIELDS)
+
+    def test_round_trip_through_record_benchmark(self, tmp_path):
+        # benchmarks/record.py writes what trajectory.py reads — the
+        # schema-drift satellite: every documented field, no extras.
+        record = _load_record_module()
+        stats = record.extract_stats(type("B", (), {"stats": _FakeStats})())
+        assert set(stats) == set(trajectory.WALL_CLOCK_FIELDS)
+        path = record.record_benchmark(
+            str(tmp_path), "test_bench_demo[x]", stats, {"cycles": 1892})
+        assert path.endswith(".json")
+        records = trajectory.load_records(str(tmp_path))
+        loaded = records["test_bench_demo[x]"]
+        assert loaded.wall_clock == stats
+        assert loaded.cycles == 1892
+
+    def test_validate_rejects_missing_fields(self):
+        with pytest.raises(trajectory.TrajectoryError):
+            trajectory.validate_record(
+                {"name": "x", "wall_clock": {"min": 1.0}})
+        with pytest.raises(trajectory.TrajectoryError):
+            trajectory.validate_record({"wall_clock": {}})
+        with pytest.raises(trajectory.TrajectoryError):
+            trajectory.validate_record([1, 2])
+
+    def test_load_rejects_corrupt_json(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        with pytest.raises(trajectory.TrajectoryError):
+            trajectory.load_records(str(tmp_path))
+
+    def test_load_ignores_non_bench_files(self, tmp_path):
+        (tmp_path / "README.md").write_text("not a record")
+        assert trajectory.load_records(str(tmp_path)) == {}
+
+
+class TestBaseline:
+    def test_write_baseline_round_trips_and_prunes(self, tmp_path):
+        baseline_dir = tmp_path / "baseline"
+        first = {"a": _record("a", 0.01, cycles=100),
+                 "dropped": _record("dropped", 0.02)}
+        trajectory.write_baseline(first, str(baseline_dir))
+        second = {"a": _record("a", 0.01, cycles=100),
+                  "b": _record("b", 0.03)}
+        written = trajectory.write_baseline(second, str(baseline_dir))
+        assert len(written) == 2
+        loaded = trajectory.load_records(str(baseline_dir))
+        assert set(loaded) == {"a", "b"}  # stale record pruned
+        assert loaded["a"].cycles == 100
+
+    def test_normalize_is_stable_json(self, tmp_path):
+        rec = _record("n", 0.01, cycles=5, zeta=1, alpha=2)
+        out = trajectory.normalize_record(rec)
+        assert list(out) == ["name", "wall_clock", "extra"]
+        assert list(out["extra"]) == ["alpha", "cycles", "zeta"]
+        json.dumps(out)  # plain data
+
+    def test_check_baseline_flags_problems(self):
+        assert trajectory.check_baseline({})  # empty trajectory
+        healthy = {
+            name: _record(name, 0.01, cycles=pin + 9)
+            for name, pin in trajectory.PIN_BENCHES.items()
+        }
+        assert trajectory.check_baseline(healthy) == []
+        missing = dict(healthy)
+        missing.pop("test_bench_32bit_permutation")
+        assert any("missing" in p
+                   for p in trajectory.check_baseline(missing))
+        low = dict(healthy)
+        low["test_bench_32bit_permutation"] = _record(
+            "test_bench_32bit_permutation", 0.01, cycles=100)
+        assert any("below the paper pin" in p
+                   for p in trajectory.check_baseline(low))
+
+    def test_committed_baseline_is_valid(self):
+        # The acceptance criterion: the repo ships a non-empty,
+        # schema-valid baseline with all three paper pins.
+        baseline = trajectory.load_records(
+            str(REPO_ROOT / "benchmarks" / "baseline"))
+        assert trajectory.check_baseline(baseline) == []
+
+
+class TestCompare:
+    def test_no_regression_on_identical_runs(self):
+        records = {"a": _record("a", 0.01, cycles=50),
+                   "b": _record("b", 0.02)}
+        report = trajectory.compare(records, records)
+        assert report.ok and report.compared == 2
+        assert report.scale == pytest.approx(1.0)
+
+    def test_uniform_machine_slowdown_is_not_a_regression(self):
+        baseline = {n: _record(n, m) for n, m in
+                    [("a", 0.01), ("b", 0.02), ("c", 0.04)]}
+        fresh = {n: _record(n, m * 3.0) for n, m in
+                 [("a", 0.01), ("b", 0.02), ("c", 0.04)]}
+        report = trajectory.compare(fresh, baseline)
+        assert report.ok
+        assert report.scale == pytest.approx(3.0)
+
+    def test_single_benchmark_regression_is_flagged(self):
+        baseline = {n: _record(n, 0.01) for n in "abcde"}
+        fresh = {n: _record(n, 0.01) for n in "abcd"}
+        fresh["e"] = _record("e", 0.02)  # 2x slower than its peers
+        report = trajectory.compare(fresh, baseline)
+        assert not report.ok
+        [reg] = report.regressions
+        assert reg.name == "e" and reg.kind == "wall-clock"
+        assert "e" in str(reg)
+
+    def test_cycle_change_is_always_a_regression(self):
+        baseline = {"a": _record("a", 0.01, cycles=1892)}
+        fresh = {"a": _record("a", 0.01, cycles=1893)}
+        report = trajectory.compare(fresh, baseline)
+        assert not report.ok
+        [reg] = report.regressions
+        assert reg.kind == "cycles"
+
+    def test_added_and_missing_benchmarks_reported_not_failed(self):
+        baseline = {"a": _record("a", 0.01), "old": _record("old", 0.01)}
+        fresh = {"a": _record("a", 0.01), "new": _record("new", 0.01)}
+        report = trajectory.compare(fresh, baseline)
+        assert report.ok
+        assert report.missing == ["old"] and report.added == ["new"]
+        assert "old" in report.summary() and "new" in report.summary()
+
+    def test_improvements_are_counted(self):
+        baseline = {n: _record(n, 0.01) for n in "abcde"}
+        fresh = {n: _record(n, 0.01) for n in "abcd"}
+        fresh["e"] = _record("e", 0.004)
+        report = trajectory.compare(fresh, baseline)
+        assert report.ok and report.improvements == ["e"]
+
+    def test_threshold_is_respected(self):
+        baseline = {n: _record(n, 0.01) for n in "abcde"}
+        fresh = dict(baseline)
+        fresh["e"] = _record("e", 0.0112)  # +12%: inside 15%, outside 5%
+        assert trajectory.compare(fresh, baseline).ok
+        assert not trajectory.compare(fresh, baseline, threshold=0.05).ok
+
+
+def test_aggregate_renders_table():
+    records = {"bench": _record("bench", 0.01, cycles=1892)}
+    text = trajectory.aggregate(records)
+    assert "bench" in text and "1892" in text
+    assert trajectory.aggregate({}) == "(no benchmark records)"

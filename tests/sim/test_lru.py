@@ -60,6 +60,46 @@ class TestLRU:
         lru.clear()
         assert len(lru) == 0
 
+    def test_concurrent_access_stays_consistent(self):
+        # Regression (thread-safety satellite): get() is a pop +
+        # re-insert and put() a check-then-delete; unlocked, two threads
+        # interleaving them can drop entries, KeyError on the double
+        # delete, or grow the table past capacity.  Hammer one small
+        # cache from several threads and check every invariant held.
+        import threading
+
+        lru = LRU(8)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker(worker_id):
+            try:
+                barrier.wait()
+                for i in range(3000):
+                    key = (worker_id * 7 + i) % 12  # keys overlap workers
+                    lru.put(key, (key, worker_id))
+                    got = lru.get(key)
+                    # Another thread may have evicted or replaced the
+                    # key, but a hit must return a value put for it.
+                    if got is not None and got[0] != key:
+                        errors.append(f"key {key} returned {got}")
+                    lru.get((key + 5) % 12)
+                    if i % 97 == 0:
+                        lru.pop(key)
+                    if len(lru) > lru.capacity:
+                        errors.append(f"overflow: {len(lru)}")
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[:5]
+        assert len(lru) <= lru.capacity
+
 
 class TestPredecodeCacheEviction:
     def test_eviction_preserves_correctness(self, random_state):
