@@ -127,9 +127,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ]
     program = build_program(args.elen, args.lmul, args.elenum)
     # Tracing records per-instruction cycles for the per-round metrics
-    # but disqualifies the compiled engine; an explicit --engine compiled
-    # therefore runs untraced (metrics fall back to whole-run totals).
-    trace = args.engine != "compiled"
+    # but disqualifies engines that cannot reproduce it (compiled, soa);
+    # an explicit --engine pick of one of those runs untraced (cycle
+    # metrics fall back to whole-run totals — zero for functional
+    # engines, which own no cycle model).
+    from .sim import engines as engine_registry
+
+    spec = engine_registry.maybe_get(args.engine)
+    trace = spec is None or spec.caps.tracing
     result = run(program, states, trace=trace, engine=args.engine)
     correct = result.states == [keccak_f1600(s) for s in states]
     print(f"program:            {program.name} (EleNum={args.elenum}, "
@@ -368,7 +373,8 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine", choices=ENGINES, default="auto",
         help="simulator execution engine (auto = compiled when eligible, "
-             "fused otherwise)",
+             "fused otherwise; soa = functional mega-batch kernels, "
+             "digests only)",
     )
 
 

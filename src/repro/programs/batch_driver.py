@@ -15,10 +15,12 @@ software would drive the hardware.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..keccak.sponge import SHA3_SUFFIX, SHAKE_SUFFIX
 from ..keccak.state import KeccakState
+from ..sim import engines as _engines
 from ..parallel_exec import register_task_kind, run_chunks
 from ..parallel_exec.hardening import PoolStats, QuarantinedChunk, RetryPolicy
 from ..parallel_exec.scheduler import run_chunks_report
@@ -42,6 +44,14 @@ class BatchPermutation:
         self._session = Session(engine=engine)
         self.call_count = 0
         self.total_cycles = 0
+        # Batching engines (the SoA mega-batch kernels) carry many
+        # messages per kernel call: their registry spec's batch width —
+        # not the program's SN — is the lock-step group size.
+        spec = _engines.maybe_get(self.engine)
+        self._batch_width: Optional[int] = None
+        if spec is not None and spec.caps.batching \
+                and spec.batch_width is not None:
+            self._batch_width = spec.batch_width()
 
     def precompile(self) -> bool:
         """Warm the code-generation caches for this permutation's program.
@@ -49,15 +59,25 @@ class BatchPermutation:
         Called by the pool drivers in the *parent* process before workers
         fork: the compile lands in the shared on-disk cache, so each
         worker's first chunk loads the kernel by fingerprint instead of
-        recompiling.  Returns True when a compiled kernel exists.
+        recompiling.  Returns True when a kernel exists.  Engines that
+        declare a ``warm`` hook in the registry (``soa``) pre-compile
+        through it; of the built-ins only ``auto``/``compiled`` reach
+        the program compiler.
         """
+        spec = _engines.maybe_get(self.engine)
+        if spec is not None and spec.caps.functional:
+            if spec.warm is None:
+                return False
+            return bool(spec.warm(self.program))
         if self.engine not in ("auto", "compiled"):
             return False
         return self._session.warm(self.program)
 
     @property
     def max_states(self) -> int:
-        """States permuted per call."""
+        """States permuted per call (the engine's batch width, or SN)."""
+        if self._batch_width is not None:
+            return self._batch_width
         return self.program.max_states
 
     def __call__(self, states: Sequence[KeccakState]) -> List[KeccakState]:
@@ -156,22 +176,54 @@ class BatchSponge:
         return [bytes(o) for o in outputs]
 
 
+def _resolve_batch_engine(permutation: Optional[BatchPermutation],
+                          engine: Optional[str]) -> str:
+    """The effective engine for one batch call (explicit > permutation)."""
+    if engine is not None:
+        resolved = _engines.validate(engine)
+        if permutation is not None and permutation.engine != resolved:
+            raise ValueError(
+                f"engine={resolved!r} conflicts with the permutation's "
+                f"engine {permutation.engine!r}; pass one or the other")
+        return resolved
+    if permutation is not None:
+        return permutation.engine
+    return "auto"
+
+
+def _warn_permutation_with_workers() -> None:
+    warnings.warn(
+        "passing permutation= together with workers= is deprecated: the "
+        "permutation object is not used by the pool — only its "
+        "(elen, lmul, elenum) and engine are; pass elen=/lmul=/elenum=/"
+        "engine= to run_many (or this function's engine=) instead",
+        DeprecationWarning, stacklevel=3)
+
+
 def batch_sha3_256(messages: Sequence[bytes],
                    permutation: Optional[BatchPermutation] = None,
-                   workers: Optional[int] = None) -> List[bytes]:
+                   workers: Optional[int] = None,
+                   engine: Optional[str] = None) -> List[bytes]:
     """SHA3-256 of ``messages`` with batched simulator permutations.
 
-    Without ``workers`` the batch must fit the permutation's SN states
-    (the original lock-step semantics).  With ``workers`` the batch may
-    be any size: it is split into SN-sized lock-step groups, and
-    ``workers > 1`` distributes those groups across a process pool via
-    :func:`run_many` — digests come back in message order either way.
+    Without ``workers`` the batch must fit the permutation's lock-step
+    width (SN states — or the engine's batch width for batching engines
+    like ``soa``).  With ``workers`` the batch may be any size: it is
+    split into lock-step groups, and ``workers > 1`` distributes those
+    groups across a process pool via :func:`run_many` — digests come
+    back in message order either way.  ``engine`` selects the execution
+    engine (default: the permutation's, or ``auto``); it must agree
+    with an explicitly passed permutation.
     """
+    resolved = _resolve_batch_engine(permutation, engine)
     if workers is not None:
+        if permutation is not None:
+            _warn_permutation_with_workers()
         arch = _arch_of(permutation)
         return run_many(messages, algorithm="sha3_256", workers=workers,
-                        elen=arch[0], lmul=arch[1], elenum=arch[2])
-    perm = permutation or BatchPermutation()
+                        elen=arch[0], lmul=arch[1], elenum=arch[2],
+                        engine=resolved)
+    perm = permutation or BatchPermutation(engine=resolved)
     sponge = BatchSponge(len(messages), 512, SHA3_SUFFIX, perm)
     for lane, message in enumerate(messages):
         sponge.absorb(lane, message)
@@ -180,17 +232,21 @@ def batch_sha3_256(messages: Sequence[bytes],
 
 def batch_shake128(messages: Sequence[bytes], length: int,
                    permutation: Optional[BatchPermutation] = None,
-                   workers: Optional[int] = None) -> List[bytes]:
+                   workers: Optional[int] = None,
+                   engine: Optional[str] = None) -> List[bytes]:
     """SHAKE128 outputs of ``messages``, batched on the simulator.
 
-    ``workers`` behaves as in :func:`batch_sha3_256`.
+    ``workers`` and ``engine`` behave as in :func:`batch_sha3_256`.
     """
+    resolved = _resolve_batch_engine(permutation, engine)
     if workers is not None:
+        if permutation is not None:
+            _warn_permutation_with_workers()
         arch = _arch_of(permutation)
         return run_many(messages, algorithm="shake128", length=length,
                         workers=workers, elen=arch[0], lmul=arch[1],
-                        elenum=arch[2])
-    perm = permutation or BatchPermutation()
+                        elenum=arch[2], engine=resolved)
+    perm = permutation or BatchPermutation(engine=resolved)
     sponge = BatchSponge(len(messages), 256, SHAKE_SUFFIX, perm)
     for lane, message in enumerate(messages):
         sponge.absorb(lane, message)

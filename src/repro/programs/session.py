@@ -20,6 +20,7 @@ from ..keccak.constants import STATE_BITS, STATE_BYTES
 from ..keccak.state import KeccakState
 from ..observability import metrics as _metrics
 from ..observability import timeline as _timeline
+from ..sim import engines as _engines
 from ..sim.cycles import CycleModel, DEFAULT_CYCLE_MODEL
 from ..sim.processor import SIMDProcessor, validate_engine
 from ..sim.trace import ExecutionStats
@@ -57,7 +58,13 @@ class RunResult:
 
     @property
     def throughput_bits_per_cycle(self) -> float:
-        """Bits processed per cycle across all parallel states."""
+        """Bits processed per cycle across all parallel states.
+
+        Functional engines (``soa``) carry no cycle model, so their
+        results report 0 here rather than dividing by zero cycles.
+        """
+        if not self.permutation_cycles:
+            return 0.0
         return STATE_BITS * self.num_states / self.permutation_cycles
 
     @property
@@ -203,11 +210,28 @@ class Session:
         session default for this run only — the session processor is
         restored to the session engine afterwards, so a one-off override
         can never leak into later runs.
+
+        Engines whose registry spec declares ``functional`` (``soa``)
+        never touch a processor: the states are transformed directly by
+        the engine's batch kernels, capacity is negotiated by the engine
+        instead of ``program.max_states``, and the result carries zero
+        cycle metrics (the paper's cycle pins stay on the per-state
+        engines).  A traced run cascades down the engine's declared
+        fallback chain to a processor engine.
         """
+        name = validate_engine(engine) if engine is not None \
+            else self.engine
+        spec = _engines.maybe_get(name)
+        if spec is not None and spec.caps.functional:
+            if not trace:
+                return self._run_functional(spec, program, states)
+            while spec is not None and spec.caps.functional:
+                _engines.note_functional_fallback(spec, "traced")
+                name = spec.fallback or "auto"
+                spec = _engines.maybe_get(name)
         _check_capacity(program, states)
         proc = self.processor(program.elen, program.elenum)
-        proc.engine = validate_engine(engine) if engine is not None \
-            else self.engine
+        proc.engine = name
         proc.reset(trace=trace)
         try:
             if not _metrics.ARMED and _timeline.ACTIVE is None:
@@ -238,6 +262,38 @@ class Session:
                               "engine": proc.engine,
                               "states": len(states)})
         return result
+
+    def _run_functional(self, spec, program: KeccakProgram,
+                        states: Sequence[KeccakState]) -> RunResult:
+        """Run a functional (digests-only) engine: no processor involved.
+
+        Mirrors :meth:`_run_observed`'s session metrics and timeline
+        span so batch dashboards see these runs too; cycle fields are
+        zero by construction.
+        """
+        import time
+
+        armed = _metrics.ARMED
+        tl = _timeline.ACTIVE
+        if armed or tl is not None:
+            geometry = f"{program.elen}x{program.elenum}"
+            span_start = tl.now() if tl is not None else 0.0
+            started = time.perf_counter()
+        out = spec.run_states(program, list(states))
+        if armed or tl is not None:
+            elapsed = time.perf_counter() - started
+            if armed:
+                _SESSION_RUNS.inc(program=program.name, geometry=geometry)
+                _RUN_SECONDS.observe(elapsed, program=program.name,
+                                     geometry=geometry)
+            if tl is not None:
+                tl.complete(program.name, span_start, elapsed,
+                            tid=_timeline.MAIN_LANE,
+                            args={"geometry": geometry,
+                                  "engine": spec.name,
+                                  "states": len(states)})
+        return RunResult(states=out, stats=ExecutionStats(),
+                         cycles_per_round=0.0, permutation_cycles=0)
 
     def warm(self, program: KeccakProgram) -> bool:
         """Pre-compile ``program`` for the compiled engine.

@@ -11,15 +11,27 @@ from .exceptions import (
 )
 from .memory import DataMemory
 from .predecode import DecodedInstruction, PredecodedProgram, predecode
-from .processor import ENGINES, SIMDProcessor
+from . import engines
+from .processor import SIMDProcessor
 from .scalar_core import ScalarCore
 from .trace import ExecutionStats, TraceRecord
 from .vector_regfile import NUM_VECTOR_REGISTERS, VectorRegfile
 from .vector_unit import RC32_TABLE, VectorUnit
 
+
+def __getattr__(name: str):
+    # Live view: third-party engines registered in repro.sim.engines
+    # appear here (and in CLI choices) without re-importing.
+    if name == "ENGINES":
+        return engines.names()
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "SIMDProcessor",
     "ENGINES",
+    "engines",
     "DecodedInstruction",
     "PredecodedProgram",
     "predecode",

@@ -55,7 +55,13 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from ..isa import decode_operands
 from ..observability import metrics as _metrics
 from ..isa.vector import decode_vtype
-from ..keccak.constants import RHO_BY_ROW, ROUND_CONSTANTS
+from ..keccak.constants import (
+    NUM_ROUNDS,
+    RHO_BY_ROW,
+    RHO_OFFSETS,
+    ROUND_CONSTANTS,
+)
+from ..keccak.state import KeccakState
 from .lru import LRU
 from .scalar_core import (
     _ALU_IMM_OPS,
@@ -1004,3 +1010,319 @@ class _Generator:
         )
         out.append("")
         return "\n".join(out)
+
+
+# -- structure-of-arrays mega-batch kernels -------------------------------------
+#
+# The compiled engine above removes per-instruction dispatch but still
+# executes one SN-sized state group per Python call, so a 1000-message
+# batch pays ~170 engine invocations of interpreter overhead (reset,
+# memory-image build, kernel call, read-back).  The SoA compiler removes
+# *per-message* dispatch too: it emits a fully unrolled Keccak-p[1600]
+# permutation over 25 packed giant-int *columns*, where column ``i``
+# carries lane ``i`` of every message in the batch —
+#
+#     col[i] = sum(state_g.lanes[i] << (64 * g)  for g in 0..lanes-1)
+#
+# (the state-interleaved layout of the RVV lane-packing literature; see
+# ``repro.keccak.interleave`` for the in-repo seed of the idiom).  Every
+# theta/chi XOR then processes the whole batch in one Python bignum op,
+# and a lane-local rotation becomes two shifts and two masks because the
+# 64-bit fields are contiguous:
+#
+#     rot(col, r) = ((col & M[64-r]) << r) | ((col >> (64-r)) & M[r])
+#
+# with ``M[b]`` selecting the low ``b`` bits of every field.  The result
+# is a *functional* fast path: digests only, no cycle model — the paper
+# pins (2564/1892/3620 permutation cycles, 103/75/147 cycles/round) stay
+# owned by the per-state engines.  Kernels are cached exactly like
+# program kernels: same in-process LRU, same versioned on-disk cache
+# (keyed by a distinct ``("soa", version, lanes, rounds)`` fingerprint),
+# so pool parents pre-compile once and forked workers warm-start.
+
+#: Messages per SoA kernel call (the lane budget) unless
+#: ``REPRO_SOA_LANES`` overrides it.  64 lanes = 4096-bit columns:
+#: big enough to amortize dispatch, small enough that Python bignum
+#: ops stay cheap.
+SOA_DEFAULT_LANES = 64
+
+#: Always-on SoA counters, mirrored to labeled metrics when armed
+#: (same discipline as COMPILE_STATS above).
+SOA_STATS = {
+    "compiles": 0,
+    "memory_hits": 0,
+    "disk_hits": 0,
+    "kernel_calls": 0,
+    "lanes_hashed": 0,
+    "lanes_padded": 0,
+}
+
+_SOA_EVENTS = _metrics.registry().counter(
+    "sim_soa_codegen_total",
+    "SoA batch-kernel lookups by outcome (memory_hit/disk_hit/compile)",
+    ("event",))
+_SOA_COMPILE_SECONDS = _metrics.registry().histogram(
+    "sim_soa_compile_seconds",
+    "Time to generate one SoA batch kernel")
+_SOA_CALLS = _metrics.registry().counter(
+    "sim_soa_kernel_calls_total",
+    "SoA batch-kernel invocations by lane bucket", ("lanes",))
+_SOA_OCCUPANCY = _metrics.registry().histogram(
+    "sim_soa_lane_occupancy",
+    "Fraction of SoA kernel lanes carrying real states",
+    buckets=(0.125, 0.25, 0.5, 0.75, 0.875, 1.0))
+
+
+def soa_width() -> int:
+    """The configured SoA lane budget (``REPRO_SOA_LANES`` or default)."""
+    raw = os.environ.get("REPRO_SOA_LANES")
+    if raw:
+        try:
+            width = int(raw)
+        except ValueError:
+            return SOA_DEFAULT_LANES
+        if width >= 1:
+            return width
+    return SOA_DEFAULT_LANES
+
+
+def soa_bucket(count: int) -> int:
+    """The kernel lane count serving a ``count``-message group.
+
+    Power-of-two bucketing: ragged final groups share a handful of
+    kernel size classes (1, 2, 4, ... lanes) instead of compiling one
+    kernel per batch size; unused lanes carry zero states.
+    """
+    if count <= 1:
+        return 1
+    return 1 << (count - 1).bit_length()
+
+
+def soa_fingerprint(lanes: int, num_rounds: int) -> str:
+    """The cache key for one SoA kernel shape.
+
+    Deliberately architecture-independent: the SoA path computes the
+    permutation directly (no ELEN/LMUL semantics to specialize on), so
+    every geometry shares the same kernels.
+    """
+    payload = ("soa", CODEGEN_VERSION, lanes, num_rounds)
+    return hashlib.sha256(repr(payload).encode()).hexdigest()[:40]
+
+
+def _generate_soa(lanes: int, num_rounds: int, fingerprint: str) -> str:
+    """Render one unrolled ``lanes``-wide Keccak-p[1600] kernel.
+
+    Reduced-round instances run the *last* ``num_rounds`` rounds, like
+    :func:`repro.keccak.permutation.keccak_p1600`.  The giant mask and
+    round-constant literals are computed once in the module preamble
+    (from the 64-bit repunit ``_S``) and referenced by name, keeping the
+    generated source compact at any lane count.
+    """
+    width = 64 * lanes
+    meta = {
+        "version": CODEGEN_VERSION,
+        "fingerprint": fingerprint,
+        "kind": "soa",
+        "lanes": lanes,
+        "rounds": num_rounds,
+    }
+    rotations = {1} | {RHO_OFFSETS[x][y] % 64
+                       for x in range(5) for y in range(5)}
+    rotations.discard(0)
+    mask_bits = sorted({b for r in rotations for b in (r, 64 - r)})
+    out: List[str] = [
+        _header(fingerprint),
+        '"""Generated by repro.sim.codegen (SoA batch) - do not edit."""',
+        f"META = {meta!r}",
+        "",
+        f"_F = (1 << {width}) - 1",
+        "_S = _F // 0xFFFFFFFFFFFFFFFF",
+    ]
+    out.extend(f"_M{b} = ((1 << {b}) - 1) * _S" for b in mask_bits)
+    first = NUM_ROUNDS - num_rounds
+    out.extend(f"_RC{k} = {hex(ROUND_CONSTANTS[k])} * _S"
+               for k in range(first, NUM_ROUNDS))
+    names = ", ".join(f"a{i}" for i in range(25))
+    out += ["", "", "def kernel(cols):", f"    ({names}) = cols"]
+
+    def rot(src: str, amount: int) -> str:
+        amount %= 64
+        if amount == 0:
+            return src
+        down = 64 - amount
+        return (f"((({src} & _M{down}) << {amount}) | "
+                f"(({src} >> {down}) & _M{amount}))")
+
+    for k in range(first, NUM_ROUNDS):
+        out.append(f"    # round {k}")
+        # theta: column parities, then the per-sheet correction d[x].
+        for x in range(5):
+            out.append(f"    c{x} = " + " ^ ".join(
+                f"a{x + 5 * y}" for y in range(5)))
+        for x in range(5):
+            out.append(f"    d{x} = c{(x - 1) % 5} ^ "
+                       + rot(f"c{(x + 1) % 5}", 1))
+        # theta correction + rho + pi fused into one assignment per lane:
+        # b[x, y] takes the rotated, corrected source lane pi maps there.
+        for y in range(5):
+            for x in range(5):
+                sx, sy = (x + 3 * y) % 5, x
+                out.append(f"    b{x + 5 * y} = " + rot(
+                    f"(a{sx + 5 * sy} ^ d{sx})", RHO_OFFSETS[sx][sy]))
+        # chi (complement via XOR with the all-ones mask) + iota on a0.
+        for y in range(5):
+            for x in range(5):
+                i = x + 5 * y
+                b1 = (x + 1) % 5 + 5 * y
+                b2 = (x + 2) % 5 + 5 * y
+                expr = f"b{i} ^ ((b{b1} ^ _F) & b{b2})"
+                if i == 0:
+                    expr = f"({expr}) ^ _RC{k}"
+                out.append(f"    a{i} = {expr}")
+    out.append(f"    return ({names})")
+    out.append("")
+    return "\n".join(out)
+
+
+def _soa_kernel_from_source(source: str,
+                            fingerprint: str) -> Optional[CompiledKernel]:
+    """Validate + load cached SoA source; None on any mismatch."""
+    try:
+        first_line = source.split("\n", 1)[0]
+        if first_line != _header(fingerprint):
+            return None
+        namespace: dict = {}
+        exec(compile(source, f"<repro-soa {fingerprint[:12]}>", "exec"),
+             namespace)
+        meta = namespace["META"]
+        if meta["version"] != CODEGEN_VERSION:
+            return None
+        if meta["fingerprint"] != fingerprint:
+            return None
+        if meta.get("kind") != "soa":
+            return None
+        if not isinstance(meta["lanes"], int) \
+                or not isinstance(meta["rounds"], int):
+            return None
+        fn = namespace["kernel"]
+        if not callable(fn):
+            return None
+        return CompiledKernel(fn, meta, source)
+    except Exception:
+        return None
+
+
+def get_or_compile_soa(lanes: int,
+                       num_rounds: int = NUM_ROUNDS) -> CompiledKernel:
+    """The SoA kernel for one (lanes, rounds) shape.
+
+    Same lookup order as :func:`get_or_compile` — in-process LRU, disk,
+    generate — but generation is total: every shape compiles, so there
+    is no negative caching and no None result.
+    """
+    if lanes < 1:
+        raise ValueError(f"lane count must be positive: {lanes}")
+    if not 0 < num_rounds <= NUM_ROUNDS:
+        raise ValueError(
+            f"round count must be in 1..{NUM_ROUNDS}, got {num_rounds}")
+    fingerprint = soa_fingerprint(lanes, num_rounds)
+    cached = _KERNEL_CACHE.get(fingerprint, _MISS)
+    if cached is not _MISS and cached is not None:
+        SOA_STATS["memory_hits"] += 1
+        if _metrics.ARMED:
+            _SOA_EVENTS.inc(event="memory_hit")
+        return cached
+
+    source = _load_disk(fingerprint)
+    if source is not None:
+        kernel = _soa_kernel_from_source(source, fingerprint)
+        if kernel is not None:
+            SOA_STATS["disk_hits"] += 1
+            if _metrics.ARMED:
+                _SOA_EVENTS.inc(event="disk_hit")
+            _KERNEL_CACHE.put(fingerprint, kernel)
+            return kernel
+
+    started = time.perf_counter() if _metrics.ARMED else 0.0
+    generated = _generate_soa(lanes, num_rounds, fingerprint)
+    if _metrics.ARMED:
+        _SOA_COMPILE_SECONDS.observe(time.perf_counter() - started)
+    kernel = _soa_kernel_from_source(generated, fingerprint)
+    if kernel is None:  # pragma: no cover - generator/loader mismatch
+        raise RuntimeError("generated SoA kernel failed self-validation")
+    SOA_STATS["compiles"] += 1
+    if _metrics.ARMED:
+        _SOA_EVENTS.inc(event="compile")
+    _store_disk(fingerprint, generated)
+    _KERNEL_CACHE.put(fingerprint, kernel)
+    return kernel
+
+
+def warm_soa(lanes: Optional[int] = None,
+             num_rounds: int = NUM_ROUNDS) -> CompiledKernel:
+    """Pre-compile the SoA kernel for the given (default) lane budget.
+
+    The SoA analogue of :func:`warm`: pool parents call this before
+    forking so workers load the kernel from the shared disk cache.
+    """
+    return get_or_compile_soa(lanes if lanes is not None else soa_width(),
+                              num_rounds)
+
+
+def pack_states(states, lanes: int):
+    """Interleave up to ``lanes`` states into 25 packed columns.
+
+    Lane ``g``'s state occupies bits ``[64g, 64(g+1))`` of every column;
+    unused lanes stay zero (and come back zero — a zero state is a
+    fixpoint of nothing, but padded lanes are simply never read back).
+    """
+    if len(states) > lanes:
+        raise ValueError(
+            f"{len(states)} states exceed the kernel's {lanes} lanes")
+    cols = [0] * 25
+    for g, state in enumerate(states):
+        shift = 64 * g
+        state_lanes = state.lanes
+        for i in range(25):
+            cols[i] |= state_lanes[i] << shift
+    return tuple(cols)
+
+
+def unpack_states(cols, count: int):
+    """The first ``count`` lanes of packed columns, as KeccakStates."""
+    mask = 0xFFFFFFFFFFFFFFFF
+    out = []
+    for g in range(count):
+        shift = 64 * g
+        out.append(KeccakState([(col >> shift) & mask for col in cols]))
+    return out
+
+
+def run_soa(states, num_rounds: int = NUM_ROUNDS,
+            lanes: Optional[int] = None):
+    """Permute ``states`` through SoA batch kernels; returns new states.
+
+    Splits the batch into lane-budget groups (``lanes`` or
+    :func:`soa_width`), bucketing each group's kernel to the next power
+    of two so ragged tails reuse a few size classes.  This is the
+    functional entry point the ``soa`` engine spec wires into
+    :class:`~repro.programs.session.Session`.
+    """
+    total = len(states)
+    if total == 0:
+        return []
+    width = lanes if lanes is not None else soa_width()
+    out = []
+    for start in range(0, total, width):
+        group = states[start:start + width]
+        bucket = min(width, soa_bucket(len(group)))
+        kernel = get_or_compile_soa(bucket, num_rounds)
+        permuted = kernel.fn(pack_states(group, bucket))
+        SOA_STATS["kernel_calls"] += 1
+        SOA_STATS["lanes_hashed"] += len(group)
+        SOA_STATS["lanes_padded"] += bucket - len(group)
+        if _metrics.ARMED:
+            _SOA_CALLS.inc(lanes=str(bucket))
+            _SOA_OCCUPANCY.observe(len(group) / bucket)
+        out.extend(unpack_states(permuted, len(group)))
+    return out

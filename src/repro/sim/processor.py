@@ -32,6 +32,7 @@ from .exceptions import (
     ProcessorHalted,
     SimulationError,
 )
+from . import engines as _engines
 from .lru import LRU
 from .memory import DataMemory
 from .predecode import PredecodedProgram, build_superblocks, predecode
@@ -42,12 +43,6 @@ from .vector_unit import VectorUnit
 #: Predecoded programs kept per processor before the least recently
 #: used is evicted (see :class:`~repro.sim.lru.LRU`).
 _PREDECODE_CACHE_SIZE = 16
-
-#: The execution-engine axis: how ``run()`` dispatches instructions.
-#: ``auto`` prefers the compiled kernel when the run is eligible for it
-#: and falls back to the fused engine (the PR 2 default) otherwise.
-ENGINES = ("auto", "stepped", "predecoded", "fused", "compiled")
-
 
 # Metric families (created once; disarmed sites pay one flag check —
 # see the arming rule in repro.observability.metrics).
@@ -64,12 +59,23 @@ _PREDECODE_SECONDS = _metrics.registry().histogram(
 
 
 def validate_engine(engine: str) -> str:
-    """Check an engine name, returning it for chaining."""
-    if engine not in ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}: expected one of {ENGINES}"
-        )
-    return engine
+    """Check an engine name, returning it for chaining.
+
+    Thin shim over :func:`repro.sim.engines.validate`: the engine axis
+    is now open — any backend registered in ``repro.sim.engines`` is a
+    valid name here, without edits to this module.
+    """
+    return _engines.validate(engine)
+
+
+def __getattr__(name: str):
+    # ``ENGINES`` used to be a module constant; it is now a live view of
+    # the registry so third-party registrations show up in CLI choices
+    # and error messages without touching this module.
+    if name == "ENGINES":
+        return _engines.names()
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 class SIMDProcessor:
@@ -343,39 +349,65 @@ class SIMDProcessor:
 
     def _run(self, max_instructions: int,
              max_cycles: Optional[int]) -> ExecutionStats:
+        """Registry-driven dispatch: plan the engine cascade, run it.
+
+        The old if/else chain is now :func:`repro.sim.engines.plan`: the
+        requested engine (or ``auto``'s priority order) is filtered
+        against what this run needs reproduced — tracing, fault hooks,
+        ``max_cycles`` — and against structural availability (predecoded
+        program, fusion).  Capability-blocked steps are metered when the
+        engine asks for it (the compiled engine's fallback counter);
+        a runner may still decline at run time by returning None.  The
+        run counter is bumped *after* the chosen backend actually ran,
+        keyed by the registry's resolved name — never for an engine
+        whose eligibility check bailed out.
+        """
         engine = self.engine
         pre = self._predecoded if engine != "stepped" else None
-        if pre is None:
-            if _metrics.ARMED:
-                _RUNS.inc(engine="stepped")
-            while not self.halted:
-                if self.stats.instructions >= max_instructions:
-                    raise ExecutionLimitExceeded(
-                        f"exceeded {max_instructions} instructions at "
-                        f"pc={self.scalar.pc:#x} — infinite loop?"
-                    )
-                if max_cycles is not None \
-                        and self.stats.cycles >= max_cycles:
-                    raise ExecutionLimitExceeded(
-                        f"exceeded {max_cycles} cycles at "
-                        f"pc={self.scalar.pc:#x}"
-                    )
-                self.step()
-            return self.stats
-        if engine in ("auto", "compiled") and max_cycles is None:
-            result = self._run_compiled(pre, max_instructions)
+        ctx = _engines.RunContext(
+            traced=self.stats.records is not None,
+            has_fault_hook=self.fault_hook is not None,
+            instrumented=bool(self.instrumented),
+            wants_max_cycles=max_cycles is not None,
+            has_predecode=pre is not None,
+            fuse_enabled=self._fuse_enabled,
+        )
+        for step in _engines.plan(engine, ctx):
+            spec = step.spec
+            if step.blocked is not None:
+                if _metrics.ARMED and spec.meter_fallbacks:
+                    _FALLBACKS.inc(reason=step.blocked)
+                continue
+            result = spec.runner(self, pre, max_instructions, max_cycles)
             if result is not None:
                 if _metrics.ARMED:
-                    _RUNS.inc(engine="compiled")
+                    _RUNS.inc(engine=spec.name)
                 return result
-        if engine == "predecoded" or not self._fuse_enabled \
-                or max_cycles is not None:
-            if _metrics.ARMED:
-                _RUNS.inc(engine="predecoded")
-            return self._run_predecoded(pre, max_instructions, max_cycles)
+        raise SimulationError(
+            f"no registered engine could execute this run "
+            f"(engine={engine!r})")
 
-        if _metrics.ARMED:
-            _RUNS.inc(engine="fused")
+    def _run_stepped(self, max_instructions: int,
+                     max_cycles: Optional[int]) -> ExecutionStats:
+        """Per-instruction reference loop via :meth:`step`."""
+        while not self.halted:
+            if self.stats.instructions >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions at "
+                    f"pc={self.scalar.pc:#x} — infinite loop?"
+                )
+            if max_cycles is not None \
+                    and self.stats.cycles >= max_cycles:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_cycles} cycles at "
+                    f"pc={self.scalar.pc:#x}"
+                )
+            self.step()
+        return self.stats
+
+    def _run_fused(self, pre: PredecodedProgram, max_instructions: int,
+                   max_cycles: Optional[int]) -> ExecutionStats:
+        """Superblock-fused hot loop (the PR 2 default engine)."""
         superblocks = pre.superblocks
         if superblocks is None:
             superblocks = pre.superblocks = build_superblocks(self, pre)
