@@ -165,14 +165,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                   timeout=args.timeout,
                                   policy=RetryPolicy.hardened(),
                                   checkpoint=args.resume,
-                                  engine=args.engine)
+                                  engine=args.engine,
+                                  transport=args.transport)
         digests = outcome.digests
     else:
         outcome = None
         digests = run_many(messages, workers=args.workers,
                            chunk_size=args.chunk_size,
                            timeout=args.timeout,
-                           engine=args.engine)
+                           engine=args.engine,
+                           transport=args.transport)
     elapsed = time.perf_counter() - start
     print(f"hashed {args.count} messages of {args.size} bytes "
           f"with {args.workers} worker(s) in {elapsed:.2f}s "
@@ -433,6 +435,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint manifest path: created on first "
                               "run, completed chunks are skipped on rerun")
     _add_engine_argument(p_batch)
+    p_batch.add_argument("--transport", choices=("auto", "shm", "pickle"),
+                         default="auto",
+                         help="batch payload transport: shm = zero-copy "
+                              "shared-memory arena, pickle = queue "
+                              "serialization (auto picks shm for large "
+                              "multi-worker batches)")
     p_batch.add_argument("--quarantine-report", action="store_true",
                          help="run with the hardened retry policy and "
                               "print the quarantine/pool report")

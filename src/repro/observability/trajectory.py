@@ -227,10 +227,11 @@ class TrajectoryReport:
     improvements: List[str] = field(default_factory=list)
     missing: List[str] = field(default_factory=list)
     added: List[str] = field(default_factory=list)
+    empty: bool = False
 
     @property
     def ok(self) -> bool:
-        return not self.regressions
+        return not self.regressions and not self.empty
 
     def summary(self) -> str:
         lines = [
@@ -238,6 +239,10 @@ class TrajectoryReport:
             f"(machine scale x{self.scale:.2f}, "
             f"threshold {self.threshold:.0%})"
         ]
+        if self.empty:
+            lines.append(
+                "FAIL: fresh artifact set is empty — the bench job "
+                "produced no BENCH_*.json records")
         if self.missing:
             lines.append(f"missing from fresh run: "
                          f"{', '.join(self.missing)}")
@@ -266,6 +271,7 @@ def compare(fresh: Dict[str, BenchRecord],
         threshold=threshold,
         missing=sorted(set(baseline) - set(fresh)),
         added=sorted(set(fresh) - set(baseline)),
+        empty=not fresh,
     )
     if not common:
         return report

@@ -27,7 +27,7 @@ simulation itself, not setup.  The high-level front ends live in
 :func:`repro.run_many` and ``batch_sha3_256(..., workers=N)``.
 """
 
-from .checkpoint import BatchCheckpoint, chunk_fingerprint
+from .checkpoint import BatchCheckpoint, SpanCheckpoint, chunk_fingerprint
 from .hardening import (
     PoolStats,
     QuarantinedChunk,
@@ -40,22 +40,30 @@ from .results import (
     ChunkTimeoutError,
     ParallelExecError,
     ResultAssembler,
+    SpanAssembler,
     TaskError,
     WorkerCrashError,
 )
 from .scheduler import (
     ChunkRunReport,
+    ChunkView,
+    SpanDeque,
+    SpanRunReport,
     chunked,
+    plan_spans,
     run_chunked,
     run_chunks,
     run_chunks_report,
+    run_spans_report,
 )
+from .shm import ArenaPool, ShmArena, arena_pool, choose_transport
 
 __all__ = [
     "WorkerPool",
     "default_worker_count",
     "register_task_kind",
     "ResultAssembler",
+    "SpanAssembler",
     "ParallelExecError",
     "TaskError",
     "WorkerCrashError",
@@ -66,10 +74,20 @@ __all__ = [
     "QuarantineLog",
     "QuarantinedChunk",
     "BatchCheckpoint",
+    "SpanCheckpoint",
     "chunk_fingerprint",
     "ChunkRunReport",
+    "ChunkView",
+    "SpanDeque",
+    "SpanRunReport",
     "chunked",
+    "plan_spans",
     "run_chunked",
     "run_chunks",
     "run_chunks_report",
+    "run_spans_report",
+    "ArenaPool",
+    "ShmArena",
+    "arena_pool",
+    "choose_transport",
 ]

@@ -33,6 +33,10 @@ from typing import Any, Dict, List, Optional, Sequence
 #: Bumped on any incompatible manifest change; mismatches start fresh.
 MANIFEST_VERSION = 1
 
+#: Span-keyed manifests (work-stealing runs) live in their own version
+#: space: a chunk-keyed manifest can never be mistaken for a span one.
+SPAN_MANIFEST_VERSION = 2
+
 
 def chunk_fingerprint(payload: Any) -> str:
     """Stable content hash of one chunk payload.
@@ -133,3 +137,50 @@ class BatchCheckpoint:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, self.path)
+
+
+class SpanCheckpoint(BatchCheckpoint):
+    """A resumable manifest keyed by item *ranges* instead of chunks.
+
+    Work-stealing runs cannot fingerprint per-chunk payloads — the work
+    units are decided while the run executes.  Instead the caller
+    fingerprints the whole batch once (algorithm, geometry and message
+    bytes) and completed spans are recorded as ``"start:stop"`` keys.  A
+    resume whose kind, fingerprint or item count differs starts fresh;
+    a matching one returns every recorded span, and the scheduler plans
+    new spans over whatever ranges remain.
+    """
+
+    def begin(self, kind: str, fingerprint: str,  # type: ignore[override]
+              total: int) -> List[tuple]:
+        existing = self._read()
+        if (existing is not None
+                and existing.get("version") == SPAN_MANIFEST_VERSION
+                and existing.get("kind") == kind
+                and existing.get("fingerprint") == fingerprint
+                and existing.get("total") == total):
+            self._manifest = existing
+            completed = []
+            for key, values in existing.get("completed", {}).items():
+                start, stop = (int(part) for part in key.split(":"))
+                if 0 <= start <= stop <= total:
+                    completed.append((start, stop, _decode_values(values)))
+            return completed
+        self._manifest = {
+            "version": SPAN_MANIFEST_VERSION,
+            "kind": kind,
+            "fingerprint": fingerprint,
+            "total": total,
+            "completed": {},
+        }
+        self._write()
+        return []
+
+    def record(self, start: int, stop: int,  # type: ignore[override]
+               values: List[Any]) -> None:
+        """Persist one finished span (atomic rewrite)."""
+        if self._manifest is None:
+            raise RuntimeError("record() before begin()")
+        self._manifest["completed"][f"{start}:{stop}"] = \
+            _encode_values(values)
+        self._write()

@@ -25,7 +25,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
+
+#: Work-unit key in quarantine records: a chunk index (the chunk
+#: scheduler) or a ``(start, stop)`` item span (the work-stealing span
+#: scheduler).  Both are hashable and sortable within one run.
+WorkKey = Union[int, Tuple[int, int]]
 
 
 @dataclass(frozen=True)
@@ -116,9 +121,13 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class QuarantinedChunk:
-    """One poisoned chunk: where it failed and why, per attempt."""
+    """One poisoned work unit: where it failed and why, per attempt.
 
-    chunk_index: int
+    ``chunk_index`` is the unit's key — an ``int`` chunk index for the
+    chunk scheduler, a ``(start, stop)`` span for the span scheduler.
+    """
+
+    chunk_index: WorkKey
     #: Worker ids that failed on this chunk, in failure order.
     workers: Tuple[int, ...]
     #: One reason string per recorded failure, aligned with ``workers``.
@@ -141,10 +150,11 @@ class QuarantineLog:
 
     def __init__(self, threshold: int) -> None:
         self.threshold = threshold
-        self._failures: Dict[int, List[Tuple[int, str]]] = {}
-        self._quarantined: List[int] = []
+        self._failures: Dict[WorkKey, List[Tuple[int, str]]] = {}
+        self._quarantined: List[WorkKey] = []
 
-    def record(self, chunk_index: int, worker_id: int, reason: str) -> bool:
+    def record(self, chunk_index: WorkKey, worker_id: int,
+               reason: str) -> bool:
         failures = self._failures.setdefault(chunk_index, [])
         failures.append((worker_id, reason))
         distinct = len({w for w, _ in failures})
@@ -154,7 +164,7 @@ class QuarantineLog:
             return True
         return False
 
-    def force(self, chunk_index: int, worker_id: Optional[int] = None,
+    def force(self, chunk_index: WorkKey, worker_id: Optional[int] = None,
               reason: Optional[str] = None) -> None:
         """Quarantine unconditionally (e.g. retries exhausted); pass a
         worker/reason pair to log one more failure while doing so."""
@@ -166,7 +176,7 @@ class QuarantineLog:
             self._quarantined.append(chunk_index)
 
     @property
-    def quarantined_indices(self) -> List[int]:
+    def quarantined_indices(self) -> List[WorkKey]:
         return sorted(self._quarantined)
 
     def quarantined(self) -> List[QuarantinedChunk]:
@@ -225,6 +235,9 @@ class PoolStats:
     pongs_received: int = 0
     checkpoint_hits: int = 0
     backoff_seconds: float = 0.0
+    #: Spans split in half because idle workers outnumbered remaining
+    #: spans (work-stealing runs only; always 0 on the chunk scheduler).
+    steals: int = 0
 
     def summary(self) -> str:
         return (f"{self.completed}/{self.chunks} chunk(s) completed "
@@ -233,5 +246,6 @@ class PoolStats:
                 f"{self.timeouts} timeout(s), "
                 f"{self.task_failures} task failure(s), "
                 f"{self.workers_retired} worker(s) retired, "
+                f"{self.steals} span steal(s), "
                 f"{self.pongs_received}/{self.pings_sent} "
                 f"heartbeat(s) answered")

@@ -81,6 +81,18 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
     double-counts its own series.
     """
     _metrics.registry().reset()
+    try:
+        _worker_loop(worker_id, task_queue, result_queue)
+    finally:
+        # Close any shared-memory arenas this worker attached for the
+        # zero-copy transport.  The parent owns (and unlinks) the
+        # segments; this just drops the worker's mappings on clean exit.
+        from . import shm as _shm
+
+        _shm.detach_all()
+
+
+def _worker_loop(worker_id: int, task_queue, result_queue) -> None:
     while True:
         if _metrics.ARMED:
             idle_from = time.monotonic()
@@ -246,12 +258,40 @@ class WorkerPool:
         except Exception:  # queue.Empty (type depends on context)
             return None
 
-    def shutdown(self) -> None:
+    def shutdown(self, deadline: float = 10.0) -> None:
+        """Stop every worker and release the queues, drain-then-close.
+
+        The naive ordering — ``stop()`` each worker serially, then close
+        the result queue — can stall for the whole per-worker join
+        budget: a worker whose last result is still sitting in its
+        feeder thread cannot exit until the parent *reads* the shared
+        result queue, and with nobody draining, each ``stop()`` burns
+        its join timeout and then SIGKILLs the worker mid-write (which
+        can leave the queue's cross-process write lock held and wedge
+        every other worker's put).  So: send every sentinel first, keep
+        draining the result queue while workers flush and exit, and only
+        force-kill whoever is still alive once ``deadline`` expires.
+        """
+        end = time.monotonic() + deadline
         for worker in self.workers.values():
-            worker.stop()
+            if worker.process.is_alive():
+                try:
+                    worker.task_queue.put(None)
+                except (OSError, ValueError):  # pragma: no cover - closed
+                    pass
+        while (any(w.process.is_alive() for w in self.workers.values())
+               and time.monotonic() < end):
+            self.poll_result(0.05)
+        for worker in self.workers.values():
+            # Dead workers: join + close the task queue.  Survivors past
+            # the deadline are provably stuck and eat the SIGKILL.
+            worker.kill()
         self.workers.clear()
         self.result_queue.close()
-        self.result_queue.join_thread()
+        # Anything still buffered is intentionally dropped — the run is
+        # over.  cancel_join_thread() keeps close from blocking behind a
+        # feeder whose reader no longer exists.
+        self.result_queue.cancel_join_thread()
 
 
 def default_worker_count() -> int:

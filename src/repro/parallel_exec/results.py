@@ -9,7 +9,7 @@ chunk index.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
 
 class ParallelExecError(RuntimeError):
@@ -129,3 +129,92 @@ class ResultAssembler:
                 f"{self._remaining} chunk(s) still outstanding"
             )
         return list(self._slots)
+
+
+class SpanAssembler:
+    """Per-*item* result slots for span-scheduled (work-stealing) runs.
+
+    The chunk assembler above keys on chunk indices, which are fixed
+    before the run starts.  Spans are not: work stealing splits them
+    while the run executes, and a checkpoint resume may cover arbitrary
+    item ranges from an earlier run.  So this assembler tracks items,
+    not work units — any set of disjoint ``[start, stop)`` ranges that
+    covers every item completes it, regardless of how the ranges were
+    cut.
+
+    Duplicate deliveries (a requeued span whose original result arrives
+    late) are ignored whole: :meth:`add` fills a range only when *none*
+    of its slots are filled yet, so the first delivery wins exactly as
+    in :class:`ResultAssembler`.
+    """
+
+    def __init__(self, total: int) -> None:
+        self._values: List[Optional[Any]] = [None] * total
+        self._filled = [False] * total
+        self._remaining = total
+        self._failed: List[Tuple[int, int]] = []
+
+    @property
+    def complete(self) -> bool:
+        return self._remaining == 0
+
+    @property
+    def failed_spans(self) -> List[Tuple[int, int]]:
+        """Spans resolved as quarantined (their items carry None)."""
+        return list(self._failed)
+
+    def _check_range(self, start: int, stop: int) -> None:
+        if not 0 <= start <= stop <= len(self._filled):
+            raise IndexError(
+                f"span [{start}, {stop}) outside 0..{len(self._filled)}")
+
+    def covered(self, start: int, stop: int) -> bool:
+        """True when every item in ``[start, stop)`` is resolved."""
+        self._check_range(start, stop)
+        return all(self._filled[start:stop])
+
+    def add(self, start: int, stop: int, values: List[Any]) -> bool:
+        """Record one span's per-item values; False on a duplicate."""
+        self._check_range(start, stop)
+        if len(values) != stop - start:
+            raise ValueError(
+                f"span [{start}, {stop}) got {len(values)} value(s)")
+        if any(self._filled[start:stop]):
+            return False
+        for i, value in enumerate(values, start):
+            self._values[i] = value
+            self._filled[i] = True
+        self._remaining -= stop - start
+        return True
+
+    def add_failed(self, start: int, stop: int) -> None:
+        """Resolve a span as quarantined: its items stay None."""
+        self._check_range(start, stop)
+        if any(self._filled[start:stop]):
+            return
+        for i in range(start, stop):
+            self._filled[i] = True
+        self._remaining -= stop - start
+        self._failed.append((start, stop))
+
+    def uncovered_runs(self) -> List[Tuple[int, int]]:
+        """Maximal unresolved ranges, for resume replanning."""
+        runs: List[Tuple[int, int]] = []
+        start: Optional[int] = None
+        for i, filled in enumerate(self._filled):
+            if filled:
+                if start is not None:
+                    runs.append((start, i))
+                    start = None
+            elif start is None:
+                start = i
+        if start is not None:
+            runs.append((start, len(self._filled)))
+        return runs
+
+    def values(self) -> List[Optional[Any]]:
+        """Per-item results; None where the covering span failed."""
+        if self._remaining:
+            raise ParallelExecError(
+                f"{self._remaining} item(s) still outstanding")
+        return list(self._values)

@@ -32,12 +32,13 @@ a killed run resumes without redoing them.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..observability import metrics as _metrics
 from ..observability import timeline as _timeline
-from .checkpoint import BatchCheckpoint
+from .checkpoint import BatchCheckpoint, SpanCheckpoint
 from .hardening import (
     PoolStats,
     QuarantineLog,
@@ -55,6 +56,7 @@ from .results import (
     ChunkQuarantinedError,
     ChunkTimeoutError,
     ResultAssembler,
+    SpanAssembler,
     TaskError,
     WorkerCrashError,
 )
@@ -73,17 +75,82 @@ _METRICS_COLLECT_TIMEOUT = 5.0
 # run lands retries/quarantines/heartbeats in the shared registry.
 _CHUNK_LATENCY = _metrics.registry().histogram(
     "pool_chunk_latency_seconds",
-    "Chunk latency from dispatch to result (parent view)", ("kind",))
+    "Chunk latency from dispatch to result (parent view)",
+    ("kind", "transport"))
 _POOL_EVENTS = _metrics.registry().counter(
     "pool_events_total", "Pool lifecycle events, mirroring PoolStats",
     ("event",))
+_STEALS = _metrics.registry().counter(
+    "pool_steal_total",
+    "Spans split because idle workers outnumbered remaining spans")
 
 
-def chunked(items: Sequence[Any], chunk_size: int) -> List[List[Any]]:
-    """Split ``items`` into consecutive chunks of at most ``chunk_size``."""
+class ChunkView(Sequence):
+    """A zero-copy view of one chunk: ``items[start:stop]`` by reference.
+
+    ``chunked()`` used to materialize every chunk with
+    ``list(items[i:i+n])``, duplicating the whole batch in the parent
+    before a single byte was dispatched.  A view only holds indices into
+    the original sequence.  It still *looks* like the list it replaces:
+    equality, ``repr`` (checkpoint fingerprints hash ``repr(payload)``)
+    and pickling (``__reduce__`` sends just the slice, so a queue never
+    serializes the backing sequence) all match the eager list exactly.
+    """
+
+    __slots__ = ("_items", "_start", "_stop")
+
+    def __init__(self, items: Sequence[Any], start: int, stop: int) -> None:
+        self._items = items
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step == 1:
+                return ChunkView(self._items, self._start + start,
+                                 self._start + stop)
+            return [self._items[self._start + i]
+                    for i in range(start, stop, step)]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"chunk index out of range: {index}")
+        return self._items[self._start + index]
+
+    def __iter__(self):
+        for i in range(self._start, self._stop):
+            yield self._items[i]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (list, tuple, ChunkView)):
+            return len(self) == len(other) \
+                and all(a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return repr(list(self))
+
+    def __reduce__(self):
+        # Pickle as the plain list of just this chunk's items — a naive
+        # pickle of the view would drag the entire backing sequence
+        # through the queue for every chunk.
+        return (list, (list(self),))
+
+
+def chunked(items: Sequence[Any], chunk_size: int) -> List[ChunkView]:
+    """Split ``items`` into consecutive chunks of at most ``chunk_size``.
+
+    Chunks are :class:`ChunkView` index ranges over ``items`` — no item
+    is copied until a chunk crosses a process boundary (where pickling a
+    view sends only that chunk's slice).
+    """
     if chunk_size < 1:
         raise ValueError(f"chunk size must be positive: {chunk_size}")
-    return [list(items[i:i + chunk_size])
+    return [ChunkView(items, i, min(i + chunk_size, len(items)))
             for i in range(0, len(items), chunk_size)]
 
 
@@ -333,7 +400,8 @@ def _drive(pool: WorkerPool, kind: str, chunks: Sequence[Any],
                 ledger.record_success(worker_id)
                 if duration is not None:
                     if _metrics.ARMED:
-                        _CHUNK_LATENCY.observe(duration, kind=kind)
+                        _CHUNK_LATENCY.observe(duration, kind=kind,
+                                               transport="pickle")
                     tl = _timeline.ACTIVE
                     if tl is not None:
                         tid = 1 + worker_id
@@ -444,3 +512,391 @@ def run_chunked(kind: str, items: Sequence[Any], *,
     return run_chunks(kind, chunked(items, chunk_size), workers=workers,
                       timeout=timeout, max_retries=max_retries,
                       policy=policy, checkpoint=checkpoint)
+
+
+# -- adaptive spans + work stealing ------------------------------------------------
+#
+# The chunk path above fixes the work units before the first dispatch;
+# on ragged batches the run then serializes behind whichever worker drew
+# the most expensive chunk.  The span path plans *coarse* item ranges
+# from a cost estimate and lets idle workers steal half of the largest
+# remaining span, so the tail of a batch self-balances.  Spans carry no
+# payload of their own — the zero-copy transport (repro.parallel_exec.shm)
+# keeps the bytes in a shared-memory arena and a span names an item
+# range inside it.
+
+#: One work unit: the half-open item range ``[start, stop)``.
+Span = Tuple[int, int]
+
+
+def plan_spans(sizes: Sequence[int], workers: int, *,
+               lane_width: int = 1,
+               base_cost: int = 4096,
+               spans_per_worker: int = 4) -> List[Span]:
+    """Cut ``len(sizes)`` items into cost-balanced initial spans.
+
+    Each item's cost is estimated as ``base_cost + sizes[i]`` (a fixed
+    per-message overhead plus its payload bytes); spans aim for
+    ``workers * spans_per_worker`` roughly equal cost shares, and every
+    boundary except the last lands on a multiple of ``lane_width`` so a
+    span always dispatches whole lock-step lane groups (the SoA engine's
+    ``soa_width()`` batch, or SN states for per-call engines).
+    """
+    total = len(sizes)
+    if total == 0:
+        return []
+    if lane_width < 1:
+        raise ValueError(f"lane width must be positive: {lane_width}")
+    target_cost = (sum(sizes) + base_cost * total) \
+        / max(1, workers * spans_per_worker)
+    spans: List[Span] = []
+    start = 0
+    acc = 0
+    for i, size in enumerate(sizes):
+        acc += base_cost + size
+        at_lane = (i + 1) % lane_width == 0
+        if acc >= target_cost and (at_lane or i + 1 == total):
+            spans.append((start, i + 1))
+            start = i + 1
+            acc = 0
+    if start < total:
+        spans.append((start, total))
+    return spans
+
+
+class SpanDeque:
+    """The parent-owned deque of undispatched spans, with steal-half.
+
+    Dispatch normally pops the leftmost span (keeping items roughly in
+    order, which keeps checkpoint manifests compact).  When idle workers
+    outnumber the remaining spans — the tail of a ragged batch — the
+    *largest* remaining span is split in half on a lane-group boundary:
+    the caller gets the left half, the right half stays stealable.  One
+    straggler span therefore keeps getting halved until every worker is
+    busy or spans reach one lane group.
+    """
+
+    def __init__(self, spans: Sequence[Span], lane_width: int = 1) -> None:
+        self._spans = deque(spans)
+        self.lane_width = max(1, lane_width)
+        self.steals = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def push(self, span: Span) -> None:
+        self._spans.append(span)
+
+    def take(self, idle_workers: int = 1) -> Optional[Span]:
+        """The next span to dispatch, splitting under scarcity."""
+        if not self._spans:
+            return None
+        if len(self._spans) >= max(1, idle_workers):
+            return self._spans.popleft()
+        index = max(range(len(self._spans)),
+                    key=lambda i: self._spans[i][1] - self._spans[i][0])
+        start, stop = self._spans[index]
+        lanes = -(-(stop - start) // self.lane_width)
+        if lanes <= 1:  # one lane group cannot split further
+            del self._spans[index]
+            return (start, stop)
+        mid = start + (lanes // 2) * self.lane_width
+        self._spans[index] = (mid, stop)
+        self.steals += 1
+        if _metrics.ARMED:
+            _STEALS.inc()
+        return (start, mid)
+
+
+@dataclass
+class SpanRunReport:
+    """Everything one span-scheduled run produced."""
+
+    #: Per-*item* results in submission order; None where the covering
+    #: span was quarantined.
+    results: List[Optional[Any]]
+    #: Quarantine records whose ``chunk_index`` is the span tuple.
+    quarantined: List[QuarantinedChunk] = field(default_factory=list)
+    stats: PoolStats = field(default_factory=PoolStats)
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+    def flat(self) -> List[Any]:
+        """All item results; raises if any span was quarantined."""
+        if self.quarantined:
+            raise ChunkQuarantinedError(
+                [q.chunk_index for q in self.quarantined])
+        return list(self.results)
+
+    def summary(self) -> str:
+        lines = [self.stats.summary()]
+        if self.quarantined:
+            lines.append(f"{len(self.quarantined)} span(s) quarantined:")
+            lines.extend(f"  {q}" for q in self.quarantined)
+        else:
+            lines.append("no spans quarantined")
+        return "\n".join(lines)
+
+
+def run_spans_report(kind: str, total: int, *,
+                     workers: int,
+                     payload: Callable[[int, int], Any],
+                     collect: Callable[[int, int, Any], List[Any]],
+                     spans: Sequence[Span],
+                     lane_width: int = 1,
+                     timeout: Optional[float] = None,
+                     max_retries: int = 2,
+                     policy: Optional[RetryPolicy] = None,
+                     checkpoint: Optional[str] = None,
+                     fingerprint: str = "",
+                     transport: str = "shm") -> SpanRunReport:
+    """Run ``total`` items as work-stealing spans through task ``kind``.
+
+    The scheduler never touches item payloads: ``payload(start, stop)``
+    builds the (small) task descriptor a worker receives for one span,
+    and ``collect(start, stop, result)`` turns a worker's reply into the
+    per-item values — for the shared-memory transport that means reading
+    the digests the worker wrote in place.  Retry, circuit-breaker,
+    quarantine, heartbeat and checkpoint semantics mirror
+    :func:`run_chunks_report`, keyed on span ranges instead of chunk
+    indices; ``fingerprint`` guards a resumed checkpoint against a
+    different batch.
+    """
+    if kind not in _TASK_KINDS:
+        raise KeyError(f"unknown task kind: {kind!r}")
+    if policy is None:
+        policy = RetryPolicy(max_retries=max_retries,
+                             quarantine_threshold=max(3, max_retries + 1))
+    spans = list(spans)
+    stats = PoolStats(chunks=len(spans))
+    quarantine = QuarantineLog(policy.quarantine_threshold)
+    assembler = SpanAssembler(total)
+    if total == 0:
+        return SpanRunReport(results=[], stats=stats)
+
+    manifest: Optional[SpanCheckpoint] = None
+    if checkpoint is not None:
+        manifest = SpanCheckpoint(checkpoint)
+        for start, stop, values in manifest.begin(kind, fingerprint, total):
+            if assembler.add(start, stop, values):
+                stats.checkpoint_hits += 1
+                stats.completed += 1
+        if stats.checkpoint_hits:
+            # Replan over what is actually left; the deque's stealing
+            # re-splits these coarse gaps as workers go idle.
+            spans = assembler.uncovered_runs()
+            stats.chunks = stats.checkpoint_hits + len(spans)
+
+    if workers <= 1:
+        _run_serial_spans(kind, spans, payload, collect, policy, assembler,
+                          quarantine, stats, manifest)
+    elif not assembler.complete:
+        pool = WorkerPool(min(workers, len(spans)) or 1)
+        try:
+            _drive_spans(pool, kind, payload, collect, spans, lane_width,
+                         timeout, policy, assembler, quarantine, stats,
+                         manifest, transport)
+        finally:
+            pool.shutdown()
+
+    if _metrics.ARMED:
+        _record_pool_stats(stats)
+    return SpanRunReport(results=assembler.values(),
+                         quarantined=quarantine.quarantined(),
+                         stats=stats)
+
+
+def _run_serial_spans(kind: str, spans: Sequence[Span], payload, collect,
+                      policy: RetryPolicy, assembler: SpanAssembler,
+                      quarantine: QuarantineLog, stats: PoolStats,
+                      manifest: Optional[SpanCheckpoint]) -> None:
+    """In-process span execution: same recording, no pool."""
+    fn = _TASK_KINDS[kind]
+    for start, stop in spans:
+        if assembler.covered(start, stop):
+            continue
+        try:
+            result = fn(payload(start, stop))
+        except Exception as exc:
+            stats.task_failures += 1
+            message = f"{type(exc).__name__}: {exc}"
+            if policy.quarantine:
+                quarantine.force((start, stop), 0, message)
+                assembler.add_failed(start, stop)
+                continue
+            raise TaskError((start, stop), message) from exc
+        values = collect(start, stop, result)
+        if assembler.add(start, stop, values):
+            stats.completed += 1
+            if manifest is not None:
+                manifest.record(start, stop, values)
+
+
+def _resolve_failed_span(span: Span, policy: RetryPolicy,
+                         assembler: SpanAssembler,
+                         quarantine: QuarantineLog, error) -> None:
+    """A span is out of attempts or poisoned: quarantine or raise."""
+    quarantine.force(span)
+    if not policy.quarantine:
+        raise error
+    assembler.add_failed(*span)
+
+
+def _drive_spans(pool: WorkerPool, kind: str, payload, collect,
+                 spans: Sequence[Span], lane_width: int,
+                 timeout: Optional[float], policy: RetryPolicy,
+                 assembler: SpanAssembler, quarantine: QuarantineLog,
+                 stats: PoolStats, manifest: Optional[SpanCheckpoint],
+                 transport: str) -> None:
+    rng = policy.make_rng()
+    ledger = WorkerLedger(policy.breaker_threshold)
+    labeled_lanes: set = set()
+    work = SpanDeque(spans, lane_width)
+    #: dispatch id -> span; ids are fresh per dispatch so a late result
+    #: from a replaced worker still names the right span.
+    span_of: Dict[int, Span] = {}
+    next_id = 0
+    #: (ready_at, span, attempts) awaiting re-dispatch after a failure.
+    pending: List[Tuple[float, Span, int]] = []
+
+    def retire(worker, graceful: bool = False) -> None:
+        ledger.forget(worker.worker_id)
+        pool.replace(worker, graceful=graceful)
+
+    def requeue(span: Span, attempts: int, now: float) -> None:
+        delay = policy.delay(attempts + 1, rng)
+        stats.retries += 1
+        stats.backoff_seconds += delay
+        pending.append((now + delay, span, attempts + 1))
+
+    while not assembler.complete:
+        now = time.monotonic()
+        for worker in list(pool.workers.values()):
+            if not worker.busy and not worker.alive:
+                retire(worker)
+
+        idle = pool.idle_workers()
+        ready = sorted(e for e in pending if e[0] <= now)
+        for slot, worker in enumerate(idle):
+            if ready:
+                entry = ready.pop(0)
+                pending.remove(entry)
+                _, span, attempts = entry
+            else:
+                span = work.take(len(idle) - slot)
+                if span is None:
+                    break
+                attempts = 1
+            sid = next_id
+            next_id += 1
+            span_of[sid] = span
+            worker.dispatch(sid, kind, payload(*span), attempts, timeout)
+
+        if policy.heartbeat_interval is not None:
+            _heartbeat(pool, policy, stats, retire, now)
+
+        message = pool.poll_result(_POLL_INTERVAL)
+        if message is not None:
+            worker_id, sid, ok, result = message
+            now = time.monotonic()
+            worker = pool.workers.get(worker_id)
+            if worker is not None:
+                worker.heard_from(now)
+            if sid == PING_CHUNK_INDEX:
+                stats.pongs_received += 1
+                continue
+            if sid == METRICS_CHUNK_INDEX:
+                if ok:
+                    _metrics.registry().merge(result)
+                continue
+            span = span_of.get(sid)
+            task = worker.task if worker is not None else None
+            held = task is not None and task[0] == sid
+            duration = (now - worker.dispatched_at
+                        if held and worker.dispatched_at is not None
+                        else None)
+            if held:
+                worker.finish()
+            if span is None:
+                continue  # dispatch record lost with a replaced worker
+            if ok:
+                ledger.record_success(worker_id)
+                if duration is not None:
+                    if _metrics.ARMED:
+                        _CHUNK_LATENCY.observe(duration, kind=kind,
+                                               transport=transport)
+                    tl = _timeline.ACTIVE
+                    if tl is not None:
+                        tid = 1 + worker_id
+                        if tid not in labeled_lanes:
+                            labeled_lanes.add(tid)
+                            tl.label_lane(tid, f"worker {worker_id}")
+                        tl.complete(f"span {span[0]}:{span[1]}",
+                                    tl.now() - duration, duration, tid=tid,
+                                    args={"kind": kind,
+                                          "transport": transport,
+                                          "attempts": task[3]})
+                if not assembler.covered(*span):
+                    values = collect(span[0], span[1], result)
+                    if assembler.add(*span, values):
+                        stats.completed += 1
+                        if manifest is not None:
+                            manifest.record(span[0], span[1], values)
+                continue
+            # A task exception, reported by a surviving worker.
+            stats.task_failures += 1
+            if not policy.retry_task_errors:
+                raise TaskError(span, result)
+            if not held or assembler.covered(*span):
+                continue  # stale report: already requeued or resolved
+            attempts = task[3]
+            if ledger.record_failure(worker_id):
+                # Breaker trip — graceful retire, exactly as in _drive:
+                # a SIGKILL here could catch the worker's feeder thread
+                # holding the shared result queue's write lock.
+                stats.workers_retired += 1
+                retire(worker, graceful=True)
+            poisoned = quarantine.record(span, worker_id, result)
+            if poisoned or attempts > policy.max_retries:
+                _resolve_failed_span(span, policy, assembler, quarantine,
+                                     TaskError(span, result))
+            else:
+                requeue(span, attempts, now)
+            continue
+
+        now = time.monotonic()
+        for worker in pool.busy_workers():
+            sid, _, _, attempts = worker.task
+            span = span_of.get(sid)
+            if span is None or assembler.covered(*span):
+                # A duplicate dispatch already resolved this span; let
+                # the worker finish its stale copy (identical bytes land
+                # in the arena's slots, so in-place writes stay safe).
+                worker.finish()
+                continue
+            crashed = not worker.alive
+            if not crashed and not worker.timed_out(now):
+                continue
+            worker_id = worker.worker_id
+            if crashed:
+                stats.crashes += 1
+                reason = "worker crashed"
+                error = WorkerCrashError(span, attempts)
+            else:
+                stats.timeouts += 1
+                reason = f"timed out after {timeout:g}s"
+                error = ChunkTimeoutError(span, timeout or 0.0, attempts)
+            retire(worker)
+            poisoned = quarantine.record(span, worker_id, reason)
+            if poisoned or attempts > policy.max_retries:
+                _resolve_failed_span(span, policy, assembler, quarantine,
+                                     error)
+            else:
+                requeue(span, attempts, now)
+
+    stats.steals = work.steals
+    stats.chunks += work.steals  # every split adds one span to the run
+    if _metrics.ARMED:
+        _collect_worker_metrics(pool)

@@ -15,6 +15,7 @@ software would drive the hardware.
 
 from __future__ import annotations
 
+import hashlib
 import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -22,8 +23,15 @@ from ..keccak.sponge import SHA3_SUFFIX, SHAKE_SUFFIX
 from ..keccak.state import KeccakState
 from ..sim import engines as _engines
 from ..parallel_exec import register_task_kind, run_chunks
+from ..parallel_exec import shm as _shm
 from ..parallel_exec.hardening import PoolStats, QuarantinedChunk, RetryPolicy
-from ..parallel_exec.scheduler import run_chunks_report
+from ..parallel_exec.results import ChunkQuarantinedError
+from ..parallel_exec.scheduler import (
+    chunked,
+    plan_spans,
+    run_chunks_report,
+    run_spans_report,
+)
 from .base import KeccakProgram
 from .factory import build_program
 from .session import Session
@@ -203,7 +211,8 @@ def _warn_permutation_with_workers() -> None:
 def batch_sha3_256(messages: Sequence[bytes],
                    permutation: Optional[BatchPermutation] = None,
                    workers: Optional[int] = None,
-                   engine: Optional[str] = None) -> List[bytes]:
+                   engine: Optional[str] = None,
+                   transport: str = "auto") -> List[bytes]:
     """SHA3-256 of ``messages`` with batched simulator permutations.
 
     Without ``workers`` the batch must fit the permutation's lock-step
@@ -213,7 +222,9 @@ def batch_sha3_256(messages: Sequence[bytes],
     groups across a process pool via :func:`run_many` — digests come
     back in message order either way.  ``engine`` selects the execution
     engine (default: the permutation's, or ``auto``); it must agree
-    with an explicitly passed permutation.
+    with an explicitly passed permutation.  ``transport`` picks the
+    pool's byte transport exactly as in :func:`run_many` (shm arenas vs
+    pickled queues; only meaningful together with ``workers``).
     """
     resolved = _resolve_batch_engine(permutation, engine)
     if workers is not None:
@@ -222,7 +233,7 @@ def batch_sha3_256(messages: Sequence[bytes],
         arch = _arch_of(permutation)
         return run_many(messages, algorithm="sha3_256", workers=workers,
                         elen=arch[0], lmul=arch[1], elenum=arch[2],
-                        engine=resolved)
+                        engine=resolved, transport=transport)
     perm = permutation or BatchPermutation(engine=resolved)
     sponge = BatchSponge(len(messages), 512, SHA3_SUFFIX, perm)
     for lane, message in enumerate(messages):
@@ -233,10 +244,12 @@ def batch_sha3_256(messages: Sequence[bytes],
 def batch_shake128(messages: Sequence[bytes], length: int,
                    permutation: Optional[BatchPermutation] = None,
                    workers: Optional[int] = None,
-                   engine: Optional[str] = None) -> List[bytes]:
+                   engine: Optional[str] = None,
+                   transport: str = "auto") -> List[bytes]:
     """SHAKE128 outputs of ``messages``, batched on the simulator.
 
-    ``workers`` and ``engine`` behave as in :func:`batch_sha3_256`.
+    ``workers``, ``engine`` and ``transport`` behave as in
+    :func:`batch_sha3_256`.
     """
     resolved = _resolve_batch_engine(permutation, engine)
     if workers is not None:
@@ -245,7 +258,8 @@ def batch_shake128(messages: Sequence[bytes], length: int,
         arch = _arch_of(permutation)
         return run_many(messages, algorithm="shake128", length=length,
                         workers=workers, elen=arch[0], lmul=arch[1],
-                        elenum=arch[2], engine=resolved)
+                        elenum=arch[2], engine=resolved,
+                        transport=transport)
     perm = permutation or BatchPermutation(engine=resolved)
     sponge = BatchSponge(len(messages), 256, SHAKE_SUFFIX, perm)
     for lane, message in enumerate(messages):
@@ -266,6 +280,7 @@ _ArchKey = Tuple[int, int, int]
 _PERMUTATIONS: Dict[Tuple[_ArchKey, str], BatchPermutation] = {}
 
 _HASH_TASK_KIND = "repro.batch_hash"
+_HASH_SHM_TASK_KIND = "repro.batch_hash_shm"
 
 
 def _arch_of(permutation: Optional[BatchPermutation]) -> _ArchKey:
@@ -286,17 +301,21 @@ def _cached_permutation(arch: _ArchKey,
     return perm
 
 
-def _hash_chunk(payload) -> List[bytes]:
-    """Task body (runs in workers *and* on the serial path).
+def _hash_messages(algorithm: str, length: int, arch: _ArchKey,
+                   engine: str, messages: Sequence[bytes]) -> List[bytes]:
+    """Hash ``messages`` on this process's cached execution state.
 
-    ``payload`` is ``(algorithm, length, arch, messages)`` with an
-    optional trailing ``engine`` (older checkpoint manifests carry
-    4-tuples, which default to ``auto``); the chunk is processed in
-    SN-sized lock-step groups on this process's cached permutation and
-    returns one digest per message, in order.
+    The single hashing body shared by the pickle chunk task, the
+    shared-memory span task and the serial paths.  Engines declaring a
+    ``digest_batch`` hook (``reference``) take the whole batch at once;
+    everything else runs in SN-sized lock-step groups on the cached
+    permutation.
     """
-    algorithm, length, arch, messages = payload[:4]
-    engine = payload[4] if len(payload) > 4 else "auto"
+    if algorithm not in ("sha3_256", "shake128"):
+        raise ValueError(f"unsupported algorithm: {algorithm!r}")
+    spec = _engines.maybe_get(_engines.validate(engine))
+    if spec is not None and spec.digest_batch is not None:
+        return spec.digest_batch(algorithm, length, messages)
     perm = _cached_permutation(tuple(arch), engine)
     sn = perm.max_states
     digests: List[bytes] = []
@@ -304,14 +323,51 @@ def _hash_chunk(payload) -> List[bytes]:
         group = messages[start:start + sn]
         if algorithm == "sha3_256":
             digests.extend(batch_sha3_256(group, perm))
-        elif algorithm == "shake128":
-            digests.extend(batch_shake128(group, length, perm))
         else:
-            raise ValueError(f"unsupported algorithm: {algorithm!r}")
+            digests.extend(batch_shake128(group, length, perm))
     return digests
 
 
+def _hash_chunk(payload) -> List[bytes]:
+    """Pickle-transport task body (runs in workers *and* serially).
+
+    ``payload`` is ``(algorithm, length, arch, messages)`` with an
+    optional trailing ``engine`` (older checkpoint manifests carry
+    4-tuples, which default to ``auto``); returns one digest per
+    message, in order.
+    """
+    algorithm, length, arch, messages = payload[:4]
+    engine = payload[4] if len(payload) > 4 else "auto"
+    return _hash_messages(algorithm, length, tuple(arch), engine, messages)
+
+
+def _hash_span_shm(payload) -> Tuple[int, int]:
+    """Shared-memory transport task body: hash one span in place.
+
+    ``payload`` is the control descriptor
+    ``(segment_name, start, stop, algorithm, length, arch, engine)`` —
+    no message bytes cross the queue.  The worker attaches the parent's
+    arena (cached across spans), reads the packed messages, writes the
+    digests into the arena's digest region and acknowledges with just
+    the span range; the parent reads the digests back in place.
+    """
+    segment_name, start, stop, algorithm, length, arch, engine = payload
+    arena = _shm.attach_arena(segment_name)
+    spec = _engines.maybe_get(_engines.validate(engine))
+    if spec is not None and spec.digest_batch is not None:
+        # Whole-message engines hash straight from the shared buffer —
+        # no per-message copy on the worker side at all.
+        messages: Sequence[bytes] = arena.read_message_views(start, stop)
+    else:
+        messages = arena.read_messages(start, stop)
+    digests = _hash_messages(algorithm, length, tuple(arch), engine,
+                             messages)
+    arena.write_digests(start, digests)
+    return (start, stop)
+
+
 register_task_kind(_HASH_TASK_KIND, _hash_chunk)
+register_task_kind(_HASH_SHM_TASK_KIND, _hash_span_shm)
 
 
 def _prepare_chunks(messages: Sequence[bytes], algorithm: str, length: int,
@@ -323,8 +379,11 @@ def _prepare_chunks(messages: Sequence[bytes], algorithm: str, length: int,
         sn = _cached_permutation(arch, engine).max_states
         chunk_size = 4 * sn
     payloads = [bytes(m) for m in messages]
+    # ChunkViews reference `payloads` instead of copying each slice; a
+    # view pickles as the plain slice list (and reprs identically, so
+    # checkpoint fingerprints from eager-list manifests still match).
     return [(algorithm, length, arch, chunk, engine)
-            for chunk in _chunk_list(payloads, chunk_size)]
+            for chunk in chunked(payloads, chunk_size)]
 
 
 def _warm_parent(arch: _ArchKey, engine: str,
@@ -353,6 +412,13 @@ class BatchOutcome:
     def ok(self) -> bool:
         return not self.quarantined
 
+    def flat(self) -> List[bytes]:
+        """All digests; raises if any work unit was quarantined."""
+        if self.quarantined:
+            raise ChunkQuarantinedError(
+                [chunk.chunk_index for chunk in self.quarantined])
+        return list(self.digests)  # type: ignore[arg-type]
+
     def summary(self) -> str:
         lines = [self.stats.summary()]
         if self.quarantined:
@@ -361,6 +427,78 @@ class BatchOutcome:
         else:
             lines.append("no chunks quarantined")
         return "\n".join(lines)
+
+
+def _batch_fingerprint(algorithm: str, length: int, arch: _ArchKey,
+                       engine: str, payloads: Sequence[bytes]) -> str:
+    """One content hash for a whole span-scheduled batch.
+
+    Span checkpoints cannot fingerprint per-chunk payloads (work units
+    are cut while the run executes), so the manifest is guarded by a
+    single digest over the run parameters and every message byte.
+    """
+    h = hashlib.sha256()
+    h.update(repr((algorithm, length, tuple(arch), engine,
+                   len(payloads))).encode())
+    for message in payloads:
+        h.update(len(message).to_bytes(8, "little"))
+        h.update(message)
+    return h.hexdigest()
+
+
+def _run_many_shm(payloads: List[bytes], algorithm: str, length: int,
+                  arch: _ArchKey, workers: int,
+                  timeout: Optional[float], max_retries: int,
+                  policy: Optional[RetryPolicy],
+                  checkpoint: Optional[str],
+                  engine: str) -> BatchOutcome:
+    """The zero-copy batch path: arena transport + work-stealing spans.
+
+    The parent packs every message into one shared-memory arena, plans
+    cost-balanced spans aligned to the engine's lock-step width, and the
+    span scheduler dispatches only small descriptors; workers write
+    digests into the arena in place and the parent reads them back.  The
+    arena lease is released (back to the process-wide pool, for the next
+    batch to reuse) whether the run completes, quarantines or raises.
+    """
+    if algorithm not in ("sha3_256", "shake128"):
+        raise ValueError(f"unsupported algorithm: {algorithm!r}")
+    engine = _engines.validate(engine)
+    digest_size = 32 if algorithm == "sha3_256" else length
+    spec = _engines.maybe_get(engine)
+    if spec is not None and spec.digest_batch is not None:
+        lane_width = 1  # whole-message engines have no lock-step groups
+    else:
+        lane_width = _cached_permutation(arch, engine).max_states
+        _warm_parent(arch, engine, workers)
+    sizes = [len(message) for message in payloads]
+    spans = plan_spans(sizes, workers, lane_width=lane_width)
+    fingerprint = ""
+    if checkpoint is not None:
+        fingerprint = _batch_fingerprint(algorithm, length, arch, engine,
+                                         payloads)
+    pool = _shm.arena_pool()
+    arena = pool.acquire(_shm.required_size(sizes, digest_size))
+    try:
+        arena.pack(payloads, digest_size)
+        segment = arena.name
+
+        def payload(start: int, stop: int) -> Tuple:
+            return (segment, start, stop, algorithm, length, tuple(arch),
+                    engine)
+
+        def collect(start: int, stop: int, _ack) -> List[bytes]:
+            return arena.read_digests(start, stop)
+
+        report = run_spans_report(
+            _HASH_SHM_TASK_KIND, len(payloads), workers=workers,
+            payload=payload, collect=collect, spans=spans,
+            lane_width=lane_width, timeout=timeout,
+            max_retries=max_retries, policy=policy, checkpoint=checkpoint,
+            fingerprint=fingerprint, transport="shm")
+    finally:
+        pool.release(arena)
+    return BatchOutcome(report.results, report.quarantined, report.stats)
 
 
 def run_many_report(messages: Sequence[bytes], *,
@@ -373,7 +511,8 @@ def run_many_report(messages: Sequence[bytes], *,
                     max_retries: int = 2,
                     policy: Optional[RetryPolicy] = None,
                     checkpoint: Optional[str] = None,
-                    engine: str = "auto") -> BatchOutcome:
+                    engine: str = "auto",
+                    transport: str = "auto") -> BatchOutcome:
     """:func:`run_many` with the full :class:`BatchOutcome` report.
 
     Unlike :func:`run_many` this never raises on quarantine: poisoned
@@ -381,7 +520,14 @@ def run_many_report(messages: Sequence[bytes], *,
     :class:`~repro.parallel_exec.hardening.QuarantinedChunk` record.
     """
     arch = (elen, lmul, elenum)
-    chunks = _prepare_chunks(messages, algorithm, length, arch, chunk_size,
+    payloads = [bytes(m) for m in messages]
+    mode = _shm.choose_transport(transport, sum(len(m) for m in payloads),
+                                 workers or 1)
+    if mode == "shm":
+        return _run_many_shm(payloads, algorithm, length, arch,
+                             workers or 1, timeout, max_retries, policy,
+                             checkpoint, engine)
+    chunks = _prepare_chunks(payloads, algorithm, length, arch, chunk_size,
                              engine)
     _warm_parent(arch, engine, workers)
     report = run_chunks_report(_HASH_TASK_KIND, chunks,
@@ -407,7 +553,8 @@ def run_many(messages: Sequence[bytes], *,
              max_retries: int = 2,
              policy: Optional[RetryPolicy] = None,
              checkpoint: Optional[str] = None,
-             engine: str = "auto") -> List[bytes]:
+             engine: str = "auto",
+             transport: str = "auto") -> List[bytes]:
     """Hash arbitrarily many messages on the simulator, in parallel.
 
     Messages are split into chunks, each chunk is hashed in SN-sized
@@ -425,17 +572,28 @@ def run_many(messages: Sequence[bytes], *,
     simulator execution engine for every chunk (default ``auto``); with
     ``workers > 1`` the parent pre-compiles once so workers load the
     kernel from the shared on-disk cache.
+
+    ``transport`` picks how message bytes reach the workers:
+    ``"pickle"`` serializes chunks through the task queues (the
+    original path), ``"shm"`` packs the batch into a shared-memory
+    arena that workers read from — and write digests into — in place,
+    with adaptive work-stealing spans instead of fixed chunks.  The
+    default ``"auto"`` uses shm for multi-worker batches big enough to
+    amortize packing and falls back to pickle otherwise (serial runs,
+    tiny batches, platforms without POSIX shared memory).
     """
     arch = (elen, lmul, elenum)
-    chunks = _prepare_chunks(messages, algorithm, length, arch, chunk_size,
+    payloads = [bytes(m) for m in messages]
+    mode = _shm.choose_transport(transport, sum(len(m) for m in payloads),
+                                 workers or 1)
+    if mode == "shm":
+        outcome = _run_many_shm(payloads, algorithm, length, arch,
+                                workers or 1, timeout, max_retries, policy,
+                                checkpoint, engine)
+        return outcome.flat()
+    chunks = _prepare_chunks(payloads, algorithm, length, arch, chunk_size,
                              engine)
     _warm_parent(arch, engine, workers)
     return run_chunks(_HASH_TASK_KIND, chunks, workers=workers or 1,
                       timeout=timeout, max_retries=max_retries,
                       policy=policy, checkpoint=checkpoint)
-
-
-def _chunk_list(items: List[bytes], size: int) -> List[List[bytes]]:
-    if size < 1:
-        raise ValueError(f"chunk size must be positive: {size}")
-    return [items[i:i + size] for i in range(0, len(items), size)]

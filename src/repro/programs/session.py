@@ -211,13 +211,14 @@ class Session:
         restored to the session engine afterwards, so a one-off override
         can never leak into later runs.
 
-        Engines whose registry spec declares ``functional`` (``soa``)
-        never touch a processor: the states are transformed directly by
-        the engine's batch kernels, capacity is negotiated by the engine
-        instead of ``program.max_states``, and the result carries zero
-        cycle metrics (the paper's cycle pins stay on the per-state
-        engines).  A traced run cascades down the engine's declared
-        fallback chain to a processor engine.
+        Engines whose registry spec declares ``functional`` (``soa``,
+        ``reference``) never touch a processor: the states are
+        transformed directly by the engine — the SoA batch kernels, or
+        the pure round-function reference — capacity is negotiated by
+        the engine instead of ``program.max_states``, and the result
+        carries zero cycle metrics (the paper's cycle pins stay on the
+        per-state engines).  A traced run cascades down the engine's
+        declared fallback chain to a processor engine.
         """
         name = validate_engine(engine) if engine is not None \
             else self.engine

@@ -113,6 +113,12 @@ class EngineSpec:
     #: Functional entry point: ``run_states(program, states)`` returning
     #: the transformed states (functional engines only).
     run_states: Optional[Callable] = None
+    #: Whole-message fast path for digest-only batch traffic:
+    #: ``digest_batch(algorithm, length, messages) -> [digest, ...]``.
+    #: Engines that can produce final digests without simulating sponge
+    #: rounds (the hashlib-backed ``reference`` engine) declare it; the
+    #: batch drivers use it to skip per-permutation dispatch entirely.
+    digest_batch: Optional[Callable] = None
     #: For batching engines: ``batch_width()`` — how many messages one
     #: kernel call carries (the :class:`BatchPermutation` lane budget).
     batch_width: Optional[Callable[[], int]] = None
@@ -365,4 +371,44 @@ register(EngineSpec(
     fallback="compiled",
     priority=0,
     description="structure-of-arrays mega-batch kernels (digests only)",
+))
+
+
+# -- the reference digest engine ---------------------------------------------------
+#
+# The serving story (ROADMAP item 1) needs a backend that produces
+# *correct digests at native speed* for traffic that does not ask for
+# cycle metrics — and the transport/scheduler benchmarks need a
+# compute-light leg so they measure byte movement, not simulation.  This
+# engine is that backend: ``run_states`` applies the pure-Python
+# round-function reference (so Session-level program runs stay exact),
+# and ``digest_batch`` hands whole messages to hashlib.  It owns no
+# cycle model; traced runs cascade to the compiled engine like ``soa``.
+
+
+def _reference_run_states(program, states):
+    from ..keccak.permutation import keccak_p1600
+
+    return [keccak_p1600(state, program.num_rounds) for state in states]
+
+
+def _reference_digest_batch(algorithm, length, messages):
+    import hashlib
+
+    if algorithm == "sha3_256":
+        return [hashlib.sha3_256(m).digest() for m in messages]
+    if algorithm == "shake128":
+        return [hashlib.shake_128(m).digest(length) for m in messages]
+    raise ValueError(f"unsupported algorithm: {algorithm!r}")
+
+
+register(EngineSpec(
+    name="reference",
+    caps=EngineCaps(tracing=False, instrumentation=False, max_cycles=False,
+                    functional=True),
+    run_states=_reference_run_states,
+    digest_batch=_reference_digest_batch,
+    fallback="compiled",
+    priority=0,
+    description="hashlib/round-function digests, no cycle model",
 ))

@@ -171,6 +171,15 @@ class TestCompare:
         report = trajectory.compare(fresh, baseline)
         assert report.ok and report.improvements == ["e"]
 
+    def test_empty_fresh_artifact_set_fails(self):
+        # A bench job that produced no BENCH_*.json at all must fail
+        # the trajectory check, not sail through with zero comparisons.
+        baseline = {"a": _record("a", 0.01)}
+        report = trajectory.compare({}, baseline)
+        assert not report.ok
+        assert report.empty
+        assert "empty" in report.summary()
+
     def test_threshold_is_respected(self):
         baseline = {n: _record(n, 0.01) for n in "abcde"}
         fresh = dict(baseline)

@@ -58,11 +58,16 @@ def _hang_forever(payload):
     return list(payload)  # pragma: no cover - always killed first
 
 
+def _big_result(payload):
+    return b"x" * payload
+
+
 register_task_kind("test.echo", _echo)
 register_task_kind("test.double", _double)
 register_task_kind("test.fail13", _fail_on_13)
 register_task_kind("test.crash_once", _crash_once)
 register_task_kind("test.hang", _hang_forever)
+register_task_kind("test.big_result", _big_result)
 
 
 class TestChunking:
@@ -175,3 +180,37 @@ class TestHashingFrontEnd:
 
     def test_empty_batch(self):
         assert run_many([], workers=2) == []
+
+
+class TestShutdownDrain:
+    """Shutdown must drain-then-close, not stall behind blocked feeders.
+
+    A worker whose result is still sitting in its queue feeder thread
+    cannot exit until the parent reads the result queue; the old
+    serial ``stop()`` loop burned its join timeout per worker and then
+    SIGKILLed them mid-write.  The drained shutdown lets every worker
+    flush and exit cleanly within one bounded deadline.
+    """
+
+    def test_shutdown_with_undrained_results_is_bounded_and_clean(self):
+        from repro.parallel_exec.pool import WorkerPool
+
+        pool = WorkerPool(2)
+        procs = [w.process for w in pool.workers.values()]
+        # Park one multi-MB undrained result in each worker's feeder —
+        # far beyond the pipe buffer, so the feeders block mid-put.
+        for worker in pool.workers.values():
+            worker.dispatch(0, "test.big_result", 4 << 20, 1, None)
+        deadline = time.monotonic() + 30
+        while any(w.task_queue.qsize() for w in pool.workers.values()) \
+                and time.monotonic() < deadline:
+            time.sleep(0.05)
+        time.sleep(0.5)  # let the workers reach the blocking put
+        start = time.monotonic()
+        pool.shutdown(deadline=10.0)
+        elapsed = time.monotonic() - start
+        assert elapsed < 10.0, f"shutdown hit the deadline ({elapsed:.1f}s)"
+        for proc in procs:
+            assert not proc.is_alive()
+            assert proc.exitcode == 0, (
+                f"worker force-killed instead of drained: {proc.exitcode}")

@@ -51,7 +51,8 @@ def _spec(name, **overrides):
 class TestRegistry:
     def test_builtin_names_and_shims(self):
         assert engines.names() == (
-            "auto", "stepped", "predecoded", "fused", "compiled", "soa")
+            "auto", "stepped", "predecoded", "fused", "compiled", "soa",
+            "reference")
         assert processor_module.ENGINES == engines.names()
         assert sim.ENGINES == engines.names()
         assert validate_engine("soa") == "soa"
@@ -79,6 +80,10 @@ class TestRegistry:
         soa = engines.get("soa")
         assert soa.caps.functional and soa.caps.batching
         assert not soa.caps.owns_pins
+        reference = engines.get("reference")
+        assert reference.caps.functional
+        assert reference.digest_batch is not None
+        assert not reference.caps.owns_pins
         for name in ("stepped", "predecoded", "fused"):
             assert engines.get(name).caps.owns_pins
             assert engines.get(name).caps.tracing

@@ -95,6 +95,20 @@ class TestBatchCommand:
                      "--verify"]) == 0
         assert "match hashlib" in capsys.readouterr().out
 
+    def test_batch_shm_transport_verifies(self, capsys):
+        from repro.parallel_exec import shm as _shm
+
+        if not _shm.HAVE_SHM:
+            pytest.skip("no multiprocessing.shared_memory")
+        assert main(["batch", "--count", "12", "--size", "40",
+                     "--workers", "2", "--engine", "reference",
+                     "--transport", "shm", "--verify"]) == 0
+        assert "match hashlib" in capsys.readouterr().out
+
+    def test_batch_rejects_unknown_transport(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--transport", "carrier-pigeon"])
+
     def test_batch_prints_first_digest_without_verify(self, capsys):
         import hashlib as _hashlib
         import random
