@@ -1,0 +1,101 @@
+"""Serving-path SLO benchmark: open-loop load against a live daemon.
+
+Each round boots a real :class:`HashServer` on a unix socket, fires a
+fixed open-loop request schedule at it with the load generator, and
+tears the daemon down with a full drain — so the measured time covers
+the entire serving path (accept, admission, coalescing, executor,
+response) and not just the hash kernel.  The client-side latency
+quantiles (p50/p99) land in ``extra_info`` and join the perf
+trajectory via ``--bench-json``, one row for the inline executor and
+one for the pooled executor, so a regression in the batching loop or
+the pool handoff shows up as an SLO shift, not just a throughput blip.
+
+The pooled row measures *steady-state* serving: the worker pool is
+forked once and shared across rounds (a drain normally closes the
+executor, so a close-deferring wrapper keeps it alive), which keeps
+the per-round minimum stable enough for the trajectory's regression
+gate instead of being dominated by fork noise.
+
+Correctness rides along: every response is verified against
+``hashlib`` and a single mismatch fails the round.
+"""
+
+import asyncio
+import os
+import shutil
+import tempfile
+
+import pytest
+
+from repro.serve import HashServer, PooledExecutor, ServeConfig
+from repro.serve.loadgen import run_load_async
+
+REQUESTS = 120
+MESSAGE_SIZE = 64
+WORKERS = 2
+
+
+class _KeepOpen:
+    """Executor wrapper whose close() defers to the benchmark teardown,
+    so one warm worker pool serves every round."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def close(self):
+        pass
+
+
+def _serve_round(executor=None):
+    async def main():
+        scratch = tempfile.mkdtemp(dir="/tmp", prefix="rslo")
+        sock = os.path.join(scratch, "s.sock")
+        config = ServeConfig(
+            socket_path=sock, workers=0, engine="reference",
+            observability=False, default_deadline=60.0,
+            batch_window=0.002, max_batch=64)
+        server = HashServer(
+            config, executor=_KeepOpen(executor) if executor else None)
+        await server.start()
+        try:
+            return await run_load_async(
+                sock, None, 0, REQUESTS, 0.0, MESSAGE_SIZE,
+                "sha3_256", 32, None, 7, True, 60.0)
+        finally:
+            await server.drain()
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    return asyncio.run(main())
+
+
+def test_serve_round_trip_is_correct():
+    report = _serve_round()
+    assert report.ok == REQUESTS
+    assert report.mismatches == 0
+
+
+@pytest.mark.parametrize("mode", ["inline", "pooled"])
+def test_bench_serve_slo(benchmark, mode):
+    executor = PooledExecutor(WORKERS, engine="reference") \
+        if mode == "pooled" else None
+    try:
+        _serve_round(executor)  # warm the pool and import state
+
+        def run():
+            return _serve_round(executor)
+
+        report = benchmark.pedantic(run, rounds=5, iterations=1)
+    finally:
+        if executor is not None:
+            executor.close()
+    assert report.ok == REQUESTS
+    assert report.mismatches == 0
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["workers"] = WORKERS if mode == "pooled" else 0
+    benchmark.extra_info["requests"] = REQUESTS
+    benchmark.extra_info["message_size"] = MESSAGE_SIZE
+    benchmark.extra_info["p50_ms"] = round(report.p50() * 1000, 3)
+    benchmark.extra_info["p99_ms"] = round(report.p99() * 1000, 3)

@@ -17,6 +17,17 @@ Commands
     (``repro.run_many``), optionally verifying against ``hashlib``;
     supports checkpoint/resume (``--resume``) and the hardened pool's
     quarantine report (``--quarantine-report``).
+``serve``
+    Run the traffic-hardened hashing daemon: asyncio front end over a
+    unix socket and/or TCP with token-bucket admission, bounded queues,
+    per-request deadlines, batch coalescing onto the engines, rolling
+    worker restarts and graceful SIGTERM drain (``/metrics`` and
+    ``/debug/timeline`` expose the observability registry).
+``loadgen``
+    Open-loop load generator against a running daemon; reports
+    per-outcome counts and p50/p99 latency, optionally verifying every
+    digest against ``hashlib`` (exit 1 on mismatch or too few
+    successes).
 ``faultcampaign``
     Seeded fault-injection campaign over the execution engines; fails
     (exit 1) on any silent divergence.
@@ -147,9 +158,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if correct else 1
 
 
+def _raise_keyboard_interrupt(signum, frame):
+    raise KeyboardInterrupt
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     import hashlib
     import random
+    import signal
     import time
 
     from .parallel_exec import RetryPolicy
@@ -159,22 +175,40 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     messages = [rng.randbytes(args.size) for _ in range(args.count)]
     hardened = args.resume or args.quarantine_report
     start = time.perf_counter()
-    if hardened:
-        outcome = run_many_report(messages, workers=args.workers,
-                                  chunk_size=args.chunk_size,
-                                  timeout=args.timeout,
-                                  policy=RetryPolicy.hardened(),
-                                  checkpoint=args.resume,
-                                  engine=args.engine,
-                                  transport=args.transport)
-        digests = outcome.digests
-    else:
-        outcome = None
-        digests = run_many(messages, workers=args.workers,
-                           chunk_size=args.chunk_size,
-                           timeout=args.timeout,
-                           engine=args.engine,
-                           transport=args.transport)
+    # SIGTERM's default disposition kills the process without unwinding:
+    # finally blocks never run, so shm arena leases leak and the
+    # checkpoint manifest can be mid-update.  Routing it (like SIGINT)
+    # through KeyboardInterrupt lets the scheduler's cleanup run — the
+    # last atomically-written manifest survives and the run is always
+    # resumable with --resume.
+    previous = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    try:
+        if hardened:
+            outcome = run_many_report(messages, workers=args.workers,
+                                      chunk_size=args.chunk_size,
+                                      timeout=args.timeout,
+                                      policy=RetryPolicy.hardened(),
+                                      checkpoint=args.resume,
+                                      engine=args.engine,
+                                      transport=args.transport)
+            digests = outcome.digests
+        else:
+            outcome = None
+            digests = run_many(messages, workers=args.workers,
+                               chunk_size=args.chunk_size,
+                               timeout=args.timeout,
+                               engine=args.engine,
+                               transport=args.transport)
+    except KeyboardInterrupt:
+        if args.resume:
+            print(f"repro batch: interrupted; manifest {args.resume} is "
+                  f"consistent — rerun with --resume to continue",
+                  file=sys.stderr)
+        else:
+            print("repro batch: interrupted", file=sys.stderr)
+        return 130
+    finally:
+        signal.signal(signal.SIGTERM, previous)
     elapsed = time.perf_counter() - start
     print(f"hashed {args.count} messages of {args.size} bytes "
           f"with {args.workers} worker(s) in {elapsed:.2f}s "
@@ -198,6 +232,52 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     elif digests and digests[0] is not None:
         print(digests[0].hex())
     return status
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import HashServer, ServeConfig
+
+    if args.socket is None and args.host is None:
+        raise ValueError("serve needs --socket PATH and/or --host ADDR")
+    config = ServeConfig(
+        socket_path=args.socket, host=args.host, port=args.port,
+        workers=args.workers, engine=args.engine,
+        max_queue=args.max_queue, rate=args.rate, burst=args.burst,
+        batch_window=args.batch_window, max_batch=args.max_batch,
+        default_deadline=args.deadline_ms / 1000.0,
+        state_path=args.state, drain_grace=args.drain_grace,
+        transport=args.transport)
+    server = HashServer(config)
+    asyncio.run(server.run())
+    outcomes = ", ".join(f"{k}={v}" for k, v in
+                         sorted(server.outcomes.items())) or "none"
+    print(f"repro serve: drained cleanly ({outcomes})")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .serve import run_load
+
+    if args.socket is None and args.host is None:
+        raise ValueError("loadgen needs --socket PATH or --host ADDR")
+    report = run_load(
+        socket_path=args.socket, host=args.host, port=args.port,
+        requests=args.requests, rate=args.rate, size=args.size,
+        algorithm=args.algorithm, length=args.length,
+        deadline_ms=args.deadline_ms, seed=args.seed,
+        verify=args.verify)
+    print(report.summary())
+    if report.mismatches:
+        print(f"{report.mismatches} digest mismatch(es) against hashlib",
+              file=sys.stderr)
+        return 1
+    if report.ok < args.min_ok:
+        print(f"only {report.ok} ok responses, expected at least "
+              f"{args.min_ok}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_faultcampaign(args: argparse.Namespace) -> int:
@@ -445,6 +525,67 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run with the hardened retry policy and "
                               "print the quarantine/pool report")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the traffic-hardened hashing daemon")
+    p_serve.add_argument("--socket", default=None,
+                         help="unix socket path to listen on")
+    p_serve.add_argument("--host", default=None,
+                         help="TCP address to listen on (with --port)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="pool workers (0 = inline execution)")
+    p_serve.add_argument("--max-queue", type=int, default=256,
+                         help="bounded accept queue; full = 429")
+    p_serve.add_argument("--rate", type=float, default=0.0,
+                         help="token-bucket admission rate in req/s "
+                              "(0 = unlimited)")
+    p_serve.add_argument("--burst", type=float, default=64.0,
+                         help="token-bucket burst capacity")
+    p_serve.add_argument("--batch-window", type=float, default=0.002,
+                         help="coalescing window in seconds")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="max requests per coalesced dispatch")
+    p_serve.add_argument("--deadline-ms", type=float, default=5000.0,
+                         help="default per-request deadline (clients "
+                              "override with X-Deadline-Ms)")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         help="seconds to flush in-flight work on "
+                              "SIGTERM")
+    p_serve.add_argument("--state", default=None,
+                         help="write a drain checkpoint JSON here on "
+                              "graceful shutdown")
+    p_serve.add_argument("--transport", default="auto",
+                         choices=("auto", "shm", "pickle"),
+                         help="pool byte transport (as in batch)")
+    _add_engine_argument(p_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="open-loop load generator against a daemon")
+    p_load.add_argument("--socket", default=None,
+                        help="daemon unix socket path")
+    p_load.add_argument("--host", default=None, help="daemon TCP host")
+    p_load.add_argument("--port", type=int, default=0,
+                        help="daemon TCP port")
+    p_load.add_argument("--requests", type=int, default=100)
+    p_load.add_argument("--rate", type=float, default=0.0,
+                        help="open-loop arrival rate in req/s "
+                             "(0 = max client concurrency)")
+    p_load.add_argument("--size", type=int, default=64,
+                        help="bytes per message")
+    p_load.add_argument("--algorithm", default="sha3_256",
+                        choices=("sha3_256", "shake128"))
+    p_load.add_argument("--length", type=int, default=32,
+                        help="XOF output bytes (shake128)")
+    p_load.add_argument("--deadline-ms", type=float, default=None,
+                        help="send X-Deadline-Ms with every request")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--verify", action="store_true",
+                        help="check every 200 body against hashlib")
+    p_load.add_argument("--min-ok", type=int, default=0,
+                        help="exit 1 unless at least this many requests "
+                             "succeeded")
+
     p_campaign = sub.add_parser(
         "faultcampaign",
         help="seeded fault-injection campaign over the execution engines")
@@ -526,6 +667,8 @@ _HANDLERS = {
     "hash": _cmd_hash,
     "run": _cmd_run,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "faultcampaign": _cmd_faultcampaign,
     "stats": _cmd_stats,
     "profile": _cmd_profile,

@@ -62,6 +62,7 @@ __all__ = [
     "delta",
     "disarm",
     "registry",
+    "render_prometheus",
     "render_snapshot",
 ]
 
@@ -377,6 +378,64 @@ def render_snapshot(snapshot: dict) -> str:
             else:
                 lines.append(f"  {label_text:40s} {value}")
     return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def _prom_escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _prom_labels(labels: Dict[str, object], extra: str = "") -> str:
+    parts = [f'{k}="{_prom_escape(str(v))}"'
+             for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_number(value) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """A snapshot in the Prometheus text exposition format (v0.0.4).
+
+    Counters and gauges render one sample per labeled series;
+    histograms render the standard cumulative ``_bucket`` samples
+    (including ``+Inf``) plus ``_sum`` and ``_count``, so any
+    Prometheus scraper can compute quantiles from the daemon's
+    ``/metrics`` endpoint without a client library on our side.
+    """
+    lines: List[str] = []
+    for name, data in sorted(snapshot.items()):
+        if not data["series"]:
+            continue
+        kind = data["type"]
+        if data.get("help"):
+            lines.append(f"# HELP {name} {data['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in data["series"]:
+            labels = entry["labels"]
+            value = entry["value"]
+            if kind != "histogram":
+                lines.append(
+                    f"{name}{_prom_labels(labels)} {_prom_number(value)}")
+                continue
+            cumulative = 0
+            bounds = [_prom_number(b) for b in data["buckets"]] + ["+Inf"]
+            for bound, count in zip(bounds, value["counts"]):
+                cumulative += count
+                le = 'le="' + bound + '"'
+                lines.append(f"{name}_bucket{_prom_labels(labels, le)} "
+                             f"{cumulative}")
+            lines.append(f"{name}_sum{_prom_labels(labels)} "
+                         f"{_prom_number(value['sum'])}")
+            lines.append(f"{name}_count{_prom_labels(labels)} "
+                         f"{cumulative}")
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 # -- the process-wide registry and arming flag ----------------------------------

@@ -27,7 +27,12 @@ simulation itself, not setup.  The high-level front ends live in
 :func:`repro.run_many` and ``batch_sha3_256(..., workers=N)``.
 """
 
-from .checkpoint import BatchCheckpoint, SpanCheckpoint, chunk_fingerprint
+from .checkpoint import (
+    BatchCheckpoint,
+    ManifestVersionError,
+    SpanCheckpoint,
+    chunk_fingerprint,
+)
 from .hardening import (
     PoolStats,
     QuarantinedChunk,
@@ -74,6 +79,7 @@ __all__ = [
     "QuarantineLog",
     "QuarantinedChunk",
     "BatchCheckpoint",
+    "ManifestVersionError",
     "SpanCheckpoint",
     "chunk_fingerprint",
     "ChunkRunReport",

@@ -30,12 +30,24 @@ import json
 import os
 from typing import Any, Dict, List, Optional, Sequence
 
-#: Bumped on any incompatible manifest change; mismatches start fresh.
+#: Bumped on any incompatible manifest change.
 MANIFEST_VERSION = 1
 
 #: Span-keyed manifests (work-stealing runs) live in their own version
 #: space: a chunk-keyed manifest can never be mistaken for a span one.
 SPAN_MANIFEST_VERSION = 2
+
+
+class ManifestVersionError(ValueError):
+    """The on-disk manifest has an incompatible format version.
+
+    Distinct from a fingerprint mismatch (different *inputs*, safely
+    restarted from scratch): a version mismatch means the manifest was
+    written by an incompatible build — or a chunk-keyed manifest was
+    handed to a span run or vice versa — and silently discarding it
+    would throw away real completed work.  Surfaces to the CLI as a
+    one-line exit-2 diagnostic.
+    """
 
 
 def chunk_fingerprint(payload: Any) -> str:
@@ -71,9 +83,27 @@ def _decode_values(entries: List[Dict[str, Any]]) -> List[Any]:
 class BatchCheckpoint:
     """One run's resumable manifest at ``path``."""
 
+    #: The manifest format this checkpoint class reads and writes.
+    expected_version = MANIFEST_VERSION
+
     def __init__(self, path: str) -> None:
         self.path = os.fspath(path)
         self._manifest: Optional[Dict[str, Any]] = None
+
+    def _check_version(self, existing: Optional[Dict[str, Any]]) -> None:
+        if existing is None:
+            return
+        version = existing.get("version")
+        if isinstance(version, int) and version != self.expected_version:
+            kinds = {MANIFEST_VERSION: "chunk-keyed",
+                     SPAN_MANIFEST_VERSION: "span-keyed"}
+            found = kinds.get(version, f"unknown (version {version})")
+            raise ManifestVersionError(
+                f"checkpoint manifest {self.path} is "
+                f"{found} format version {version}, but this run needs "
+                f"version {self.expected_version} — finish it with the "
+                f"run parameters that created it, or remove the file to "
+                f"start over")
 
     def begin(self, kind: str,
               chunks: Sequence[Any]) -> Dict[int, List[Any]]:
@@ -82,10 +112,14 @@ class BatchCheckpoint:
         Returns the already-completed chunks as ``{index: values}`` when
         the on-disk manifest matches ``kind`` and every chunk
         fingerprint; otherwise the manifest is reset and the returned
-        dict is empty.
+        dict is empty.  A manifest from an *incompatible format version*
+        (a different build, or a span manifest handed to a chunk run)
+        raises :class:`ManifestVersionError` instead of silently
+        discarding completed work.
         """
         fingerprints = [chunk_fingerprint(chunk) for chunk in chunks]
         existing = self._read()
+        self._check_version(existing)
         if (existing is not None
                 and existing.get("version") == MANIFEST_VERSION
                 and existing.get("kind") == kind
@@ -151,9 +185,12 @@ class SpanCheckpoint(BatchCheckpoint):
     new spans over whatever ranges remain.
     """
 
+    expected_version = SPAN_MANIFEST_VERSION
+
     def begin(self, kind: str, fingerprint: str,  # type: ignore[override]
               total: int) -> List[tuple]:
         existing = self._read()
+        self._check_version(existing)
         if (existing is not None
                 and existing.get("version") == SPAN_MANIFEST_VERSION
                 and existing.get("kind") == kind

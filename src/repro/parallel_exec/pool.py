@@ -251,6 +251,23 @@ class WorkerPool:
         del self.workers[worker.worker_id]
         return task, self._spawn()
 
+    def rolling_restart(self) -> int:
+        """Gracefully replace every non-busy worker, one at a time.
+
+        The pool never shrinks: each worker is drained via the sentinel
+        and a fresh process takes its slot before the next one retires.
+        Busy workers are skipped (their in-flight task would be lost);
+        callers wanting a full cycle restart between batches.  Returns
+        the number of workers replaced.
+        """
+        replaced = 0
+        for worker in list(self.workers.values()):
+            if worker.busy:
+                continue
+            self.replace(worker, graceful=True)
+            replaced += 1
+        return replaced
+
     def poll_result(self, timeout: float) -> Optional[Tuple]:
         """Next ``(worker_id, chunk_index, ok, payload)`` or None."""
         try:

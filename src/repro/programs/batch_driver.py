@@ -328,6 +328,18 @@ def _hash_messages(algorithm: str, length: int, arch: _ArchKey,
     return digests
 
 
+def hash_messages(algorithm: str, length: int, arch: _ArchKey,
+                  engine: str, messages: Sequence[bytes]) -> List[bytes]:
+    """Hash ``messages`` serially on this process's cached state.
+
+    The public face of :func:`_hash_messages` for in-process callers
+    that manage their own batching (the serving executors): same warm
+    permutation cache and engine dispatch as the pool task bodies, no
+    pool, no chunking policy.
+    """
+    return _hash_messages(algorithm, length, tuple(arch), engine, messages)
+
+
 def _hash_chunk(payload) -> List[bytes]:
     """Pickle-transport task body (runs in workers *and* serially).
 

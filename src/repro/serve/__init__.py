@@ -1,0 +1,52 @@
+"""The traffic-serving layer: ``repro serve`` (ROADMAP item 1).
+
+The library hashes batches; this package turns it into a *daemon* that
+serves hash/XOF requests from many concurrent clients and stays
+correct and bounded-latency when overloaded:
+
+* :mod:`~repro.serve.admission` — token-bucket admission control; a
+  request the bucket or the bounded queue cannot take is rejected with
+  an explicit ``overloaded`` outcome (HTTP 429), never queued
+  unboundedly.
+* :mod:`~repro.serve.executor` — turns coalesced request batches into
+  multi-state lock-step groups for the simulator engines: an inline
+  serial executor and a pooled one over the persistent
+  :class:`~repro.parallel_exec.pool.WorkerPool` (zero-copy shm arenas
+  when the batch warrants it).  Per-request deadlines propagate into
+  the dispatch loop — an expired group is shed *before* it reaches a
+  worker — and a worker that trips its circuit breaker is replaced by
+  a rolling restart instead of collapsing the pool.
+* :mod:`~repro.serve.http` — a dependency-free HTTP/1.1 subset over
+  asyncio streams (unix socket and TCP).
+* :mod:`~repro.serve.daemon` — the asyncio front end: request
+  lifecycle, batch coalescing window, graceful drain on SIGTERM (stop
+  accepting, flush in-flight, checkpoint, exit 0), and the
+  ``/metrics`` + ``/debug/timeline`` observability endpoints.
+* :mod:`~repro.serve.loadgen` — an open-loop load generator measuring
+  p50/p99 latency against a running daemon
+  (``benchmarks/bench_serve_slo.py`` builds on it).
+"""
+
+from .admission import TokenBucket
+from .daemon import HashServer, ServeConfig
+from .executor import (
+    DEADLINE_EXCEEDED,
+    ERROR,
+    OK,
+    InlineExecutor,
+    PooledExecutor,
+)
+from .loadgen import LoadReport, run_load
+
+__all__ = [
+    "TokenBucket",
+    "HashServer",
+    "ServeConfig",
+    "InlineExecutor",
+    "PooledExecutor",
+    "LoadReport",
+    "run_load",
+    "OK",
+    "DEADLINE_EXCEEDED",
+    "ERROR",
+]

@@ -1,0 +1,69 @@
+"""Token-bucket admission control for the serving daemon.
+
+Admission happens *before* a request touches the queue: a bucket that
+cannot produce a token means the daemon is taking traffic faster than
+it agreed to, and the request is rejected immediately with an
+``overloaded`` outcome (HTTP 429) instead of being buffered into an
+ever-growing backlog that every later request pays for.  The bounded
+request queue behind the bucket is the second gate — the bucket shapes
+*rate*, the queue bounds *backlog* — and both reject explicitly.
+
+The clock is injectable so tests are deterministic (no sleeping to
+refill a bucket).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    ``rate <= 0`` disables shaping entirely (every acquire succeeds),
+    which is the daemon's default — the bounded queue still protects
+    the pool.  The bucket starts full so a cold daemon can absorb one
+    burst immediately.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate > 0 and burst <= 0:
+            raise ValueError(f"burst must be positive: {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    @property
+    def unlimited(self) -> bool:
+        return self.rate <= 0
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; False means reject the request."""
+        if self.unlimited:
+            return True
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def available(self) -> float:
+        """Current token count (diagnostics only; races with acquires)."""
+        if self.unlimited:
+            return float("inf")
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens

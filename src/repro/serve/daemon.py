@@ -1,0 +1,507 @@
+"""The ``repro serve`` daemon: asyncio front end over the executors.
+
+Request lifecycle (each gate rejects *explicitly* — nothing is ever
+queued unboundedly)::
+
+    connection → parse (400 on garbage)
+      → draining?            → 503 "draining"
+      → token bucket empty?  → 429 "overloaded"
+      → bounded queue full?  → 429 "overloaded"
+      → accepted: coalesced by the batcher (window/size), grouped by
+        (algorithm, length), executed on the executor with the request
+        deadline attached
+      → resolved: 200 digest | 504 "deadline_exceeded" | 500 "error"
+
+Drain state machine (SIGTERM/SIGINT)::
+
+    serving → draining: stop accepting (close listeners, 503 new
+              requests on live connections)
+            → flush: wait until every accepted request has been
+              *answered* (bounded by ``drain_grace``)
+            → checkpoint: atomically write the state file (outcome
+              totals + a metrics snapshot)
+            → stopped: shut the executor down (pool drained), exit 0
+
+Batching: the coalescing window (``batch_window``) trades a bounded
+amount of latency for multi-state occupancy — requests arriving within
+the window share one lock-step dispatch, which is exactly the paper's
+N-messages-for-the-price-of-one story applied to live traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..observability import metrics as _metrics
+from ..observability import timeline as _timeline
+from . import http as _http
+from .admission import TokenBucket
+from .executor import (
+    DEADLINE_EXCEEDED,
+    ERROR,
+    OK,
+    InlineExecutor,
+    PooledExecutor,
+)
+
+__all__ = ["ServeConfig", "HashServer", "OVERLOADED", "DRAINING"]
+
+#: Rejection outcomes (the executor owns OK/DEADLINE_EXCEEDED/ERROR).
+OVERLOADED = "overloaded"
+DRAINING = "draining"
+
+_ALGORITHMS = ("sha3_256", "shake128")
+
+_STATUS = {OK: 200, DEADLINE_EXCEEDED: 504, ERROR: 500,
+           OVERLOADED: 429, DRAINING: 503}
+
+_REQUESTS = _metrics.registry().counter(
+    "serve_requests_total",
+    "Requests by final outcome", ("outcome",))
+_QUEUE_DEPTH = _metrics.registry().gauge(
+    "serve_queue_depth",
+    "Accepted requests waiting for a batch slot")
+_LATENCY = _metrics.registry().histogram(
+    "serve_request_latency_seconds",
+    "Accept-to-answer latency of served requests", ("algorithm",))
+_BATCH_SIZE = _metrics.registry().histogram(
+    "serve_batch_size",
+    "Requests coalesced per executor dispatch",
+    buckets=_metrics.COUNT_BUCKETS)
+
+#: Batcher shutdown sentinel (queued behind the last real request).
+_STOP = object()
+
+
+@dataclass
+class ServeConfig:
+    """Everything the daemon needs; CLI flags map onto these fields."""
+
+    socket_path: Optional[str] = None
+    host: Optional[str] = None
+    port: int = 0
+    #: 0 = inline execution; >= 1 = a persistent worker pool.
+    workers: int = 0
+    engine: str = "auto"
+    elen: int = 64
+    lmul: int = 8
+    elenum: int = 30
+    #: Bounded accept queue — the backlog gate behind the token bucket.
+    max_queue: int = 256
+    #: Token-bucket admission: requests/second (0 = unlimited) + burst.
+    rate: float = 0.0
+    burst: float = 64.0
+    #: Coalescing window (seconds) and per-dispatch size cap.
+    batch_window: float = 0.002
+    max_batch: int = 64
+    #: Deadline applied when a request carries no ``X-Deadline-Ms``.
+    default_deadline: float = 5.0
+    max_body: int = 1 << 20
+    max_length: int = 4096
+    #: Drain checkpoint (atomic JSON) written on graceful shutdown.
+    state_path: Optional[str] = None
+    drain_grace: float = 30.0
+    #: Executor dispatches allowed in flight at once.
+    max_inflight_batches: int = 2
+    #: Arm metrics + start a timeline for the daemon's lifetime.
+    observability: bool = True
+    transport: str = "auto"
+
+    def arch(self) -> Tuple[int, int, int]:
+        return (self.elen, self.lmul, self.elenum)
+
+
+class _Pending:
+    """One accepted request waiting for its batch to resolve."""
+
+    __slots__ = ("algorithm", "length", "message", "deadline",
+                 "accepted_at", "future")
+
+    def __init__(self, algorithm: str, length: int, message: bytes,
+                 deadline: Optional[float], accepted_at: float,
+                 future: "asyncio.Future") -> None:
+        self.algorithm = algorithm
+        self.length = length
+        self.message = message
+        self.deadline = deadline
+        self.accepted_at = accepted_at
+        self.future = future
+
+
+class HashServer:
+    """The daemon: listeners, admission, batcher, drain.
+
+    Tests may inject an ``executor`` double; by default one is built
+    from the config (inline for ``workers=0``, pooled otherwise).
+    """
+
+    def __init__(self, config: ServeConfig, executor=None) -> None:
+        if config.socket_path is None and config.host is None:
+            raise ValueError("serve needs a unix socket path or a host")
+        self.config = config
+        if executor is None:
+            if config.workers >= 1:
+                executor = PooledExecutor(
+                    config.workers, engine=config.engine,
+                    arch=config.arch(), transport=config.transport)
+            else:
+                executor = InlineExecutor(config.engine, config.arch())
+        self.executor = executor
+        self.draining = False
+        self.outcomes: Dict[str, int] = {}
+        self._bucket = TokenBucket(config.rate, config.burst)
+        self._pending = 0
+        self._queue: Optional[asyncio.Queue] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self._group_tasks: set = set()
+        self._servers: List[asyncio.AbstractServer] = []
+        self._sem: Optional[asyncio.Semaphore] = None
+        self._prev_armed = False
+        self._own_timeline = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind listeners and start the batcher (idempotence not needed:
+        one server, one start)."""
+        if self.config.observability:
+            self._prev_armed = _metrics.ARMED
+            _metrics.arm()
+            if _timeline.ACTIVE is None:
+                _timeline.start()
+                self._own_timeline = True
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._sem = asyncio.Semaphore(self.config.max_inflight_batches)
+        self._batcher = loop.create_task(self._batch_loop())
+        # The listen backlog must cover a full connection burst: asyncio's
+        # default (100) silently refuses connect #101 of an open-loop
+        # spike even though admission control would have answered it with
+        # an honest 429.  Size it to the whole admission pipeline.
+        backlog = max(128, self.config.max_queue * 2)
+        if self.config.socket_path is not None:
+            self._servers.append(await asyncio.start_unix_server(
+                self._handle_conn, path=self.config.socket_path,
+                backlog=backlog))
+        if self.config.host is not None:
+            self._servers.append(await asyncio.start_server(
+                self._handle_conn, host=self.config.host,
+                port=self.config.port, backlog=backlog))
+
+    def addresses(self) -> List[str]:
+        """Bound endpoints, TCP ports resolved (for logs and tests)."""
+        out: List[str] = []
+        if self.config.socket_path is not None:
+            out.append(f"unix:{self.config.socket_path}")
+        for server in self._servers:
+            for sock in server.sockets or []:
+                name = sock.getsockname()
+                if isinstance(name, tuple):
+                    out.append(f"http://{name[0]}:{name[1]}")
+        return out
+
+    @property
+    def tcp_port(self) -> Optional[int]:
+        for server in self._servers:
+            for sock in server.sockets or []:
+                name = sock.getsockname()
+                if isinstance(name, tuple):
+                    return name[1]
+        return None
+
+    async def run(self) -> None:
+        """Start, serve until SIGTERM/SIGINT, drain, return (exit 0)."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed: List[signal.Signals] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        print(f"repro serve: listening on {', '.join(self.addresses())}",
+              flush=True)
+        try:
+            await stop.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.drain()
+
+    async def drain(self) -> None:
+        """The graceful path: stop accepting, flush, checkpoint, stop."""
+        if self.draining:
+            return
+        self.draining = True
+        for server in self._servers:
+            server.close()
+        # Flush: every *accepted* request must be answered.  New arrivals
+        # on live keep-alive connections see 503 and don't join the count.
+        grace_end = time.monotonic() + self.config.drain_grace
+        while self._pending > 0 and time.monotonic() < grace_end:
+            await asyncio.sleep(0.01)
+        if self._batcher is not None:
+            try:
+                self._queue.put_nowait(_STOP)
+            except asyncio.QueueFull:  # grace expired with a full queue
+                self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:  # pragma: no cover - forced
+                pass
+        if self._group_tasks:
+            await asyncio.gather(*list(self._group_tasks),
+                                 return_exceptions=True)
+        self._write_state()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.executor.close)
+        if self.config.socket_path is not None:
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+        if self.config.observability:
+            if self._own_timeline:
+                _timeline.stop()
+            if not self._prev_armed:
+                _metrics.disarm()
+
+    def _write_state(self) -> None:
+        """Atomically checkpoint outcome totals + metrics on drain."""
+        if self.config.state_path is None:
+            return
+        state = {
+            "drained_at": time.time(),
+            "pending_at_exit": self._pending,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "metrics": _metrics.registry().snapshot()
+            if self.config.observability else {},
+        }
+        tmp = f"{self.config.state_path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(state, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, self.config.state_path)
+
+    # -- request path --------------------------------------------------------
+
+    def _count(self, outcome: str) -> None:
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        if _metrics.ARMED:
+            _REQUESTS.inc(outcome=outcome)
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await _http.read_request(
+                        reader, self.config.max_body)
+                except _http.ProtocolError as exc:
+                    _http.write_response(
+                        writer, 400, f"bad request: {exc}\n".encode(),
+                        keep_alive=False)
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                keep = await self._dispatch(request, writer)
+                if request.headers.get("connection", "").lower() \
+                        == "close":
+                    keep = False
+                await writer.drain()
+                if not keep:
+                    break
+        except (ConnectionError, BrokenPipeError):
+            pass  # peer vanished: nothing left to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, request: "_http.Request",
+                        writer: asyncio.StreamWriter) -> bool:
+        """Route one request; returns whether to keep the connection."""
+        method, path = request.method, request.path
+        if path.startswith("/hash/") and method == "POST":
+            return await self._handle_hash(request, writer)
+        if method == "GET" and path == "/healthz":
+            if self.draining:
+                _http.write_response(writer, 503, b"draining\n")
+            else:
+                _http.write_response(writer, 200, b"ok\n")
+            return True
+        if method == "GET" and path == "/metrics":
+            body = _metrics.render_prometheus(
+                _metrics.registry().snapshot()).encode()
+            _http.write_response(writer, 200, body,
+                                 "text/plain; version=0.0.4")
+            return True
+        if method == "GET" and path == "/debug/timeline":
+            active = _timeline.ACTIVE
+            payload = (active.to_dict() if active is not None
+                       else {"traceEvents": []})
+            _http.write_response(writer, 200,
+                                 json.dumps(payload).encode(),
+                                 "application/json")
+            return True
+        if method == "POST" and path == "/admin/rolling-restart":
+            loop = asyncio.get_running_loop()
+            replaced = await loop.run_in_executor(
+                None, self.executor.restart_workers)
+            _http.write_response(writer, 200,
+                                 f"restarted {replaced}\n".encode())
+            return True
+        _http.write_response(writer, 404, b"not found\n",
+                             keep_alive=False)
+        return False
+
+    def _parse_hash(self, request: "_http.Request"
+                    ) -> Tuple[str, int, Optional[float]]:
+        """(algorithm, output length, absolute deadline) or ValueError."""
+        algorithm = request.path[len("/hash/"):]
+        if algorithm not in _ALGORITHMS:
+            raise LookupError(f"unknown algorithm: {algorithm!r}")
+        length = 32
+        if algorithm == "shake128":
+            text = request.query_params().get("length", "32")
+            try:
+                length = int(text)
+            except ValueError:
+                raise ValueError(f"bad length: {text!r}")
+            if not 1 <= length <= self.config.max_length:
+                raise ValueError(
+                    f"length {length} outside 1..{self.config.max_length}")
+        deadline_ms = request.headers.get("x-deadline-ms")
+        if deadline_ms is not None:
+            try:
+                budget = float(deadline_ms) / 1000.0
+            except ValueError:
+                raise ValueError(f"bad x-deadline-ms: {deadline_ms!r}")
+            # An explicit non-positive budget is an *expired* deadline,
+            # not an unlimited one — the request is shed, never run.
+            deadline = time.monotonic() + max(budget, 0.0)
+        elif self.config.default_deadline > 0:
+            deadline = time.monotonic() + self.config.default_deadline
+        else:
+            deadline = None
+        return algorithm, length, deadline
+
+    async def _handle_hash(self, request: "_http.Request",
+                           writer: asyncio.StreamWriter) -> bool:
+        if self.draining:
+            self._count(DRAINING)
+            _http.write_response(writer, 503, b"draining\n",
+                                 keep_alive=False)
+            return False
+        try:
+            algorithm, length, deadline = self._parse_hash(request)
+        except LookupError as exc:
+            _http.write_response(writer, 404, f"{exc}\n".encode())
+            return True
+        except ValueError as exc:
+            _http.write_response(writer, 400, f"{exc}\n".encode())
+            return True
+        if not self._bucket.try_acquire():
+            self._count(OVERLOADED)
+            _http.write_response(writer, 429, b"overloaded\n")
+            return True
+        loop = asyncio.get_running_loop()
+        pending = _Pending(algorithm, length, request.body, deadline,
+                           time.monotonic(), loop.create_future())
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self._count(OVERLOADED)
+            _http.write_response(writer, 429, b"overloaded\n")
+            return True
+        self._pending += 1
+        if _metrics.ARMED:
+            _QUEUE_DEPTH.set(self._queue.qsize())
+        outcome, digest = await pending.future
+        if outcome == OK:
+            _http.write_response(writer, 200, digest.hex().encode())
+        else:
+            _http.write_response(writer, _STATUS.get(outcome, 500),
+                                 f"{outcome}\n".encode())
+        await writer.drain()
+        # Answered on the wire — only now does it leave the drain count.
+        self._pending -= 1
+        return True
+
+    # -- batching ------------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        """Coalesce accepted requests into executor dispatches."""
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                return
+            batch: List[_Pending] = [item]
+            window_end = time.monotonic() + self.config.batch_window
+            stop_after = False
+            while len(batch) < self.config.max_batch:
+                remaining = window_end - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(),
+                                                  remaining)
+                except asyncio.TimeoutError:
+                    break
+                if item is _STOP:
+                    stop_after = True
+                    break
+                batch.append(item)
+            if _metrics.ARMED:
+                _QUEUE_DEPTH.set(self._queue.qsize())
+            groups: Dict[Tuple[str, int], List[_Pending]] = {}
+            for pending in batch:
+                groups.setdefault((pending.algorithm, pending.length),
+                                  []).append(pending)
+            for (algorithm, length), group in groups.items():
+                await self._sem.acquire()
+                task = loop.create_task(
+                    self._run_group(algorithm, length, group))
+                self._group_tasks.add(task)
+                task.add_done_callback(self._group_tasks.discard)
+            if stop_after:
+                return
+
+    async def _run_group(self, algorithm: str, length: int,
+                         group: List[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            items = [(p.message, p.deadline) for p in group]
+            if _metrics.ARMED:
+                _BATCH_SIZE.observe(len(items))
+            try:
+                results = await loop.run_in_executor(
+                    None, self.executor.hash_batch, algorithm, length,
+                    items)
+            except Exception:
+                results = [(ERROR, None)] * len(group)
+            for pending, (outcome, digest) in zip(group, results):
+                self._resolve(pending, outcome, digest)
+        finally:
+            self._sem.release()
+
+    def _resolve(self, pending: _Pending, outcome: str,
+                 digest: Optional[bytes]) -> None:
+        self._count(outcome)
+        if _metrics.ARMED:
+            _LATENCY.observe(time.monotonic() - pending.accepted_at,
+                             algorithm=pending.algorithm)
+        if not pending.future.done():
+            pending.future.set_result((outcome, digest))

@@ -1,0 +1,127 @@
+"""A dependency-free HTTP/1.1 subset over asyncio streams.
+
+Just enough protocol for the daemon and its load generator: one request
+per read, ``Content-Length`` bodies only (no chunked transfer), headers
+lower-cased, bodies bounded by the caller's ``max_body``.  Anything
+malformed raises :class:`ProtocolError`, which the daemon answers with
+a 400 and a closed connection — a hardened service never lets a bad
+frame wedge its reader.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ProtocolError", "Request", "read_request", "write_response"]
+
+#: Hard ceilings against malicious/broken peers.
+_MAX_REQUEST_LINE = 8 * 1024
+_MAX_HEADER_LINE = 8 * 1024
+_MAX_HEADERS = 64
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(ValueError):
+    """The peer sent something that is not the HTTP subset we speak."""
+
+
+class Request:
+    """One parsed request: method, path, query string, headers, body."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, path: str, query: str,
+                 headers: Dict[str, str], body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    def query_params(self) -> Dict[str, str]:
+        """``a=1&b=2`` → ``{"a": "1", "b": "2"}`` (last key wins)."""
+        params: Dict[str, str] = {}
+        for part in self.query.split("&"):
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            params[key] = value
+        return params
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes:
+    try:
+        line = await reader.readline()
+    except (ValueError, asyncio.LimitOverrunError) as exc:
+        raise ProtocolError(f"oversized line: {exc}") from exc
+    if len(line) > limit:
+        raise ProtocolError(f"line exceeds {limit} bytes")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int) -> Optional[Request]:
+    """The next request on ``reader``, or None on a clean EOF."""
+    line = await _read_line(reader, _MAX_REQUEST_LINE)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"bad request line: {line[:100]!r}")
+    method, target = parts[0].upper(), parts[1]
+    path, _, query = target.partition("?")
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await _read_line(reader, _MAX_HEADER_LINE)
+        if raw in (b"\r\n", b"\n"):
+            break
+        if not raw:
+            raise ProtocolError("connection closed mid-headers")
+        if len(headers) >= _MAX_HEADERS:
+            raise ProtocolError(f"more than {_MAX_HEADERS} headers")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"bad header line: {raw[:100]!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(f"bad content-length: {length_text!r}")
+    if length < 0:
+        raise ProtocolError(f"bad content-length: {length}")
+    if length > max_body:
+        raise ProtocolError(f"body of {length} bytes exceeds the "
+                            f"{max_body}-byte limit")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("connection closed mid-body") from exc
+    return Request(method, path, query, headers, body)
+
+
+def write_response(writer: asyncio.StreamWriter, status: int,
+                   body: bytes, content_type: str = "text/plain",
+                   keep_alive: bool = True) -> None:
+    """Queue one response on ``writer`` (caller drains/closes)."""
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n")
+    writer.write(head.encode("latin-1") + body)

@@ -1,0 +1,179 @@
+"""An open-loop load generator for the serving daemon.
+
+Open-loop means request *k* launches at ``t0 + k/rate`` whether or not
+earlier requests have completed — the arrival process does not slow
+down when the server does, which is what exposes real overload behavior
+(a closed loop self-throttles and hides it; see how quickly p99 departs
+from p50 once the pool saturates).  A concurrency cap bounds the
+client's own memory, not the arrival schedule.
+
+Each request rides its own connection, verifies the digest against
+``hashlib`` when asked, and lands in a :class:`LoadReport` with
+per-outcome counts and a latency distribution (p50/p99 feed
+``benchmarks/bench_serve_slo.py`` and the CI smoke step).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import random
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LoadReport", "request", "run_load", "run_load_async"]
+
+#: Sockets the generator will hold open at once.
+_MAX_OPEN = 256
+
+
+class LoadReport:
+    """What came back: outcome counts, mismatches, latency quantiles."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.outcomes: Dict[str, int] = {}
+        self.mismatches = 0
+        self.latencies: List[float] = []
+
+    def count(self, outcome: str) -> None:
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+
+    @property
+    def ok(self) -> int:
+        return self.outcomes.get("ok", 0)
+
+    def _quantile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    def p50(self) -> float:
+        return self._quantile(0.50)
+
+    def p99(self) -> float:
+        return self._quantile(0.99)
+
+    def summary(self) -> str:
+        outcomes = ", ".join(f"{k}={v}" for k, v in
+                             sorted(self.outcomes.items())) or "none"
+        return (f"sent={self.sent} {outcomes} "
+                f"mismatches={self.mismatches} "
+                f"p50={self.p50() * 1000:.2f}ms "
+                f"p99={self.p99() * 1000:.2f}ms")
+
+
+async def _open_connection(socket_path: Optional[str],
+                           host: Optional[str], port: int):
+    if socket_path is not None:
+        return await asyncio.open_unix_connection(socket_path)
+    return await asyncio.open_connection(host, port)
+
+
+async def request(path: str, body: bytes = b"", method: str = "POST",
+                  socket_path: Optional[str] = None,
+                  host: Optional[str] = None, port: int = 0,
+                  headers: Optional[Dict[str, str]] = None,
+                  timeout: float = 30.0) -> Tuple[int, bytes]:
+    """One HTTP exchange with the daemon; returns (status, body).
+
+    The shared low-level client of the load generator, the CLI and the
+    serve tests — one request per connection, ``Connection: close``.
+    """
+    reader, writer = await _open_connection(socket_path, host, port)
+    try:
+        lines = [f"{method} {path} HTTP/1.1",
+                 "Host: repro-serve",
+                 f"Content-Length: {len(body)}",
+                 "Connection: close"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover
+            pass
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].split()
+    if len(status_line) < 2 or not status_line[1].isdigit():
+        raise ConnectionError(f"bad response: {raw[:100]!r}")
+    return int(status_line[1]), payload
+
+
+def _expected_digest(algorithm: str, length: int, message: bytes) -> str:
+    if algorithm == "sha3_256":
+        return hashlib.sha3_256(message).hexdigest()
+    return hashlib.shake_128(message).hexdigest(length)
+
+
+async def run_load_async(socket_path: Optional[str], host: Optional[str],
+                          port: int, requests: int, rate: float,
+                          size: int, algorithm: str, length: int,
+                          deadline_ms: Optional[float], seed: int,
+                          verify: bool, timeout: float) -> LoadReport:
+    rng = random.Random(seed)
+    report = LoadReport()
+    limiter = asyncio.Semaphore(_MAX_OPEN)
+    path = f"/hash/{algorithm}"
+    if algorithm == "shake128":
+        path += f"?length={length}"
+    headers = {}
+    if deadline_ms is not None:
+        headers["X-Deadline-Ms"] = str(deadline_ms)
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+
+    async def one(index: int, message: bytes) -> None:
+        async with limiter:
+            begin = loop.time()
+            try:
+                status, payload = await request(
+                    path, message, socket_path=socket_path, host=host,
+                    port=port, headers=headers, timeout=timeout)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                report.count("connection_error")
+                return
+            elapsed = loop.time() - begin
+            if status == 200:
+                report.count("ok")
+                report.latencies.append(elapsed)
+                if verify and payload.decode("latin-1", "replace") \
+                        != _expected_digest(algorithm, length, message):
+                    report.mismatches += 1
+            else:
+                text = payload.decode("latin-1", "replace").strip()
+                report.count(text.split("\n")[0] or f"http_{status}")
+
+    tasks = []
+    for index in range(requests):
+        if rate > 0:
+            launch_at = started + index / rate
+            delay = launch_at - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        message = rng.getrandbits(8 * size).to_bytes(size, "little") \
+            if size else b""
+        report.sent += 1
+        tasks.append(loop.create_task(one(index, message)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    return report
+
+
+def run_load(socket_path: Optional[str] = None,
+             host: Optional[str] = None, port: int = 0, *,
+             requests: int = 100, rate: float = 0.0, size: int = 64,
+             algorithm: str = "sha3_256", length: int = 32,
+             deadline_ms: Optional[float] = None, seed: int = 0,
+             verify: bool = True, timeout: float = 30.0) -> LoadReport:
+    """Drive ``requests`` requests at ``rate``/s (0 = as fast as the
+    concurrency cap allows) and return the :class:`LoadReport`."""
+    return asyncio.run(run_load_async(
+        socket_path, host, port, requests, rate, size, algorithm, length,
+        deadline_ms, seed, verify, timeout))

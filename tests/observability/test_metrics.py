@@ -11,6 +11,7 @@ from repro.observability.metrics import (
     Histogram,
     MetricsRegistry,
     delta,
+    render_prometheus,
     render_snapshot,
 )
 
@@ -190,6 +191,85 @@ def test_render_snapshot_mentions_series():
     assert "count=1" in text
     assert render_snapshot(MetricsRegistry().snapshot()) \
         == "(no metrics recorded)"
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge_samples(self, registry):
+        registry.counter("runs_total", "total runs",
+                         ("engine",)).inc(4, engine="fused")
+        registry.gauge("depth", "queue depth").set(3)
+        text = render_prometheus(registry.snapshot())
+        assert "# HELP runs_total total runs" in text
+        assert "# TYPE runs_total counter" in text
+        assert 'runs_total{engine="fused"} 4' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 3" in text.splitlines()
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        h = registry.histogram("lat", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        text = render_prometheus(registry.snapshot())
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_sum 5.55" in text
+        assert "lat_count 3" in text
+
+    def test_label_values_are_escaped(self, registry):
+        registry.counter("c", "", ("path",)).inc(path='a"b\\c\nd')
+        text = render_prometheus(registry.snapshot())
+        assert r'c{path="a\"b\\c\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_every_sample_line_parses(self, registry):
+        import re
+        registry.counter("runs_total", "", ("engine",)).inc(engine="x")
+        registry.histogram("lat", "l").observe(0.2)
+        registry.gauge("g", "g").set(1.5)
+        sample = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+                            r"(\{[^{}]*\})? \S+$")
+        for line in render_prometheus(registry.snapshot()).splitlines():
+            if line and not line.startswith("#"):
+                assert sample.match(line), line
+
+
+class TestServeFamilies:
+    """The serving daemon's families obey the registry merge rules —
+    what makes worker-side serve metrics safe to fold into the parent."""
+
+    def _serve_snapshot(self, ok, depth, latency):
+        worker = MetricsRegistry()
+        worker.counter("serve_requests_total", "", ("outcome",)).inc(
+            ok, outcome="ok")
+        worker.gauge("serve_queue_depth", "").set(depth)
+        worker.histogram("serve_request_latency_seconds", "",
+                         ("algorithm",),
+                         buckets=(0.01, 0.1, 1.0)).observe(
+            latency, algorithm="sha3_256")
+        return worker.snapshot()
+
+    def test_outcome_counts_add_and_depth_takes_max(self):
+        parent = MetricsRegistry()
+        parent.merge(self._serve_snapshot(3, 5, 0.05))
+        parent.merge(self._serve_snapshot(2, 1, 0.5))
+        assert parent.get("serve_requests_total").value(outcome="ok") == 5
+        assert parent.get("serve_queue_depth").value() == 5  # max, not sum
+        [series] = parent.get(
+            "serve_request_latency_seconds").snapshot()["series"]
+        assert series["value"]["count"] == 2
+        assert series["value"]["counts"] == [0, 1, 1, 0]
+
+    def test_merged_serve_snapshot_still_renders(self):
+        parent = MetricsRegistry()
+        parent.merge(self._serve_snapshot(1, 2, 0.02))
+        text = render_prometheus(parent.snapshot())
+        assert 'serve_requests_total{outcome="ok"} 1' in text
+        assert 'serve_request_latency_seconds_bucket' \
+            '{algorithm="sha3_256",le="+Inf"} 1' in text
 
 
 def test_families_are_typed():

@@ -20,11 +20,13 @@ import pytest
 
 from repro.parallel_exec import (
     BatchCheckpoint,
+    ManifestVersionError,
     chunk_fingerprint,
     register_task_kind,
     run_chunks,
     run_chunks_report,
 )
+from repro.parallel_exec.checkpoint import SpanCheckpoint
 from repro.programs import run_many, run_many_report
 
 
@@ -79,6 +81,56 @@ class TestManifest:
     def test_fingerprint_is_content_sensitive(self):
         assert chunk_fingerprint([1, 2]) != chunk_fingerprint([2, 1])
         assert chunk_fingerprint([1, 2]) == chunk_fingerprint([1, 2])
+
+
+class TestManifestVersion:
+    """Version mismatches refuse to run rather than discard real work."""
+
+    def test_span_manifest_rejected_by_chunk_run(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        spans = SpanCheckpoint(path)
+        spans.begin("test.cp_triple", "fp", 4)
+        spans.record(0, 2, [3, 6])
+
+        with pytest.raises(ManifestVersionError) as excinfo:
+            BatchCheckpoint(path).begin("test.cp_triple", [[1, 2]])
+        message = str(excinfo.value)
+        assert "span-keyed" in message
+        assert "\n" not in message  # one-line CLI diagnostic
+
+    def test_chunk_manifest_rejected_by_span_run(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        BatchCheckpoint(path).begin("test.cp_triple", [[1, 2]])
+        with pytest.raises(ManifestVersionError, match="chunk-keyed"):
+            SpanCheckpoint(path).begin("test.cp_triple", "fp", 4)
+
+    def test_unknown_future_version_rejected(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        with open(path, "w") as handle:
+            json.dump({"version": 99, "kind": "test.cp_triple"}, handle)
+        with pytest.raises(ManifestVersionError, match="version 99"):
+            BatchCheckpoint(path).begin("test.cp_triple", [[1]])
+
+    def test_mismatch_leaves_manifest_untouched(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        spans = SpanCheckpoint(path)
+        spans.begin("test.cp_triple", "fp", 4)
+        spans.record(0, 2, [3, 6])
+        with open(path) as handle:
+            before = handle.read()
+
+        with pytest.raises(ManifestVersionError):
+            BatchCheckpoint(path).begin("test.cp_triple", [[1]])
+        with open(path) as handle:
+            assert handle.read() == before  # completed work preserved
+
+    def test_versionless_manifest_still_starts_fresh(self, tmp_path):
+        # Pre-versioning garbage has no int version field: keep the old
+        # lenient behavior instead of inventing an incompatibility.
+        path = str(tmp_path / "manifest.json")
+        with open(path, "w") as handle:
+            json.dump({"kind": "test.cp_triple"}, handle)
+        assert BatchCheckpoint(path).begin("test.cp_triple", [[1]]) == {}
 
 
 class TestSchedulerCheckpointing:
@@ -180,5 +232,65 @@ class TestKillAndResume:
                                   checkpoint=manifest)
         assert outcome.ok
         assert outcome.stats.checkpoint_hits == completed_before_resume
+        assert outcome.digests == [hashlib.sha3_256(m).digest()
+                                   for m in messages]
+
+    def test_sigterm_exits_130_and_leaves_resumable_manifest(
+            self, tmp_path):
+        # SIGTERM (systemd stop, ^C via the terminal) must not leave a
+        # torn manifest or a traceback: exit 130, a one-line pointer at
+        # --resume, and a manifest the next run can pick up.
+        manifest = str(tmp_path / "batch.json")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [os.path.join(os.path.dirname(__file__),
+                                       "..", "..", "src"),
+                          env.get("PYTHONPATH", "")]))
+        child = subprocess.Popen(self._batch_argv(manifest), env=env,
+                                 stdout=subprocess.DEVNULL,
+                                 stderr=subprocess.PIPE, text=True,
+                                 start_new_session=True)
+        interrupted = False
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if child.poll() is not None:
+                    break  # finished before the signal could land
+                try:
+                    with open(manifest) as handle:
+                        saved = json.load(handle)
+                    if len(saved.get("completed", {})) >= 2:
+                        os.kill(child.pid, signal.SIGTERM)
+                        interrupted = True
+                        break
+                except (OSError, json.JSONDecodeError):
+                    pass
+                time.sleep(0.01)
+            _, stderr = child.communicate(timeout=30)
+        finally:
+            if child.poll() is None:  # pragma: no cover - cleanup path
+                os.killpg(child.pid, signal.SIGKILL)
+                child.wait(timeout=30)
+        if not interrupted:  # pragma: no cover - tiny-machine fallback
+            pytest.skip("batch finished before SIGTERM could land")
+
+        assert child.returncode == 130
+        assert "interrupted" in stderr
+        assert "--resume" in stderr
+        assert "Traceback" not in stderr
+
+        with open(manifest) as handle:
+            saved = json.load(handle)  # consistent, not torn
+        completed_before_resume = len(saved["completed"])
+        assert completed_before_resume >= 2
+
+        import random
+        rng = random.Random(self.SEED)
+        messages = [rng.randbytes(self.SIZE) for _ in range(self.COUNT)]
+        outcome = run_many_report(messages, workers=2,
+                                  chunk_size=self.CHUNK,
+                                  checkpoint=manifest)
+        assert outcome.ok
+        assert outcome.stats.checkpoint_hits >= completed_before_resume
         assert outcome.digests == [hashlib.sha3_256(m).digest()
                                    for m in messages]

@@ -1,0 +1,60 @@
+"""Token-bucket admission: deterministic via an injectable clock."""
+
+import pytest
+
+from repro.serve import TokenBucket
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        clock = _Clock()
+        bucket = TokenBucket(rate=10.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] \
+            == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        clock = _Clock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.1)  # exactly one token at 10/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_burst_caps_the_refill(self):
+        clock = _Clock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.available() == 2.0
+
+    def test_zero_rate_is_unlimited(self):
+        bucket = TokenBucket(rate=0.0, burst=0.0)
+        assert bucket.unlimited
+        assert all(bucket.try_acquire() for _ in range(1000))
+        assert bucket.available() == float("inf")
+
+    def test_positive_rate_needs_positive_burst(self):
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1.0, burst=0.0)
+
+    def test_fractional_tokens_accumulate(self):
+        clock = _Clock()
+        bucket = TokenBucket(rate=1.0, burst=5.0, clock=clock)
+        for _ in range(5):
+            assert bucket.try_acquire()
+        for _ in range(3):
+            clock.advance(0.25)
+            assert not bucket.try_acquire()
+        clock.advance(0.25)  # the fourth quarter completes one token
+        assert bucket.try_acquire()

@@ -1,0 +1,337 @@
+"""Daemon behaviour: lifecycle, overload, deadlines, drain, endpoints.
+
+All tests drive a real :class:`HashServer` over a real unix socket (or
+TCP) inside ``asyncio.run`` — no event-loop plugin needed.  Executor
+doubles make the overload/drain timing deterministic; the correctness
+tests use the genuine inline executor on the ``reference`` engine.
+"""
+
+import asyncio
+import hashlib
+import json
+import os
+import re
+import shutil
+import tempfile
+import time
+
+import pytest
+
+from repro.serve import (
+    DEADLINE_EXCEEDED,
+    OK,
+    HashServer,
+    InlineExecutor,
+    ServeConfig,
+)
+from repro.serve.loadgen import request, run_load_async
+
+
+@pytest.fixture
+def sock():
+    # Unix socket paths are capped around 107 bytes; pytest's tmp_path
+    # can blow past that, so lease a short /tmp directory instead.
+    scratch = tempfile.mkdtemp(dir="/tmp", prefix="rsv")
+    try:
+        yield os.path.join(scratch, "s.sock")
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+class SlowExecutor:
+    """Deterministic double: fixed service time, honest deadlines."""
+
+    workers = 0
+
+    def __init__(self, delay: float = 0.2) -> None:
+        self.delay = delay
+        self.batches = []
+
+    def hash_batch(self, algorithm, length, items):
+        time.sleep(self.delay)
+        self.batches.append(len(items))
+        out = []
+        now = time.monotonic()
+        for message, deadline in items:
+            if deadline is not None and deadline <= now:
+                out.append((DEADLINE_EXCEEDED, None))
+            else:
+                out.append((OK, hashlib.sha3_256(message).digest()))
+        return out
+
+    def restart_workers(self, reason="rolling"):
+        return 0
+
+    def close(self):
+        pass
+
+
+def _config(sock, **overrides):
+    base = dict(socket_path=sock, engine="reference",
+                observability=False, batch_window=0.002)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+def _run(config, body, executor=None):
+    async def main():
+        server = HashServer(config, executor=executor)
+        await server.start()
+        try:
+            return await body(server)
+        finally:
+            await server.drain()
+
+    return asyncio.run(main())
+
+
+class TestCorrectness:
+    def test_sha3_digests_match_hashlib(self, sock):
+        async def body(server):
+            return await run_load_async(sock, None, 0, 40, 0.0, 64,
+                                        "sha3_256", 32, None, 1, True,
+                                        15.0)
+
+        report = _run(_config(sock), body)
+        assert report.ok == 40
+        assert report.mismatches == 0
+
+    def test_shake_with_length_param(self, sock):
+        async def body(server):
+            status, payload = await request(
+                "/hash/shake128?length=16", b"xof input",
+                socket_path=sock)
+            return status, payload
+
+        status, payload = _run(_config(sock), body)
+        assert status == 200
+        assert payload.decode() == \
+            hashlib.shake_128(b"xof input").hexdigest(16)
+
+    def test_tcp_listener(self, sock):
+        async def body(server):
+            port = server.tcp_port
+            assert port is not None
+            return await request("/hash/sha3_256", b"over tcp",
+                                 host="127.0.0.1", port=port)
+
+        config = _config(sock, host="127.0.0.1", port=0)
+        status, payload = _run(config, body)
+        assert status == 200
+        assert payload.decode() == hashlib.sha3_256(b"over tcp").hexdigest()
+
+
+class TestAdmission:
+    def test_overload_rejects_excess_never_queues_unboundedly(self, sock):
+        # One slow batch in flight + a 2-slot queue: flooding 16
+        # concurrent requests must answer every one of them, with the
+        # excess rejected as `overloaded` (429) — not buffered.
+        executor = SlowExecutor(delay=0.25)
+        config = _config(sock, max_queue=2, max_batch=1,
+                         max_inflight_batches=1, batch_window=0.0)
+
+        async def body(server):
+            results = await asyncio.gather(
+                *[request("/hash/sha3_256", b"m%d" % i, socket_path=sock,
+                          timeout=30.0) for i in range(16)])
+            assert server._queue.qsize() <= 2
+            return results
+
+        results = _run(config, body, executor=executor)
+        statuses = [status for status, _ in results]
+        assert len(statuses) == 16  # every request got an answer
+        rejected = [b for s, b in results if s == 429]
+        assert rejected and all(b == b"overloaded\n" for b in rejected)
+        assert statuses.count(200) >= 1
+        assert set(statuses) <= {200, 429}
+
+    def test_token_bucket_sheds_rate(self, sock):
+        config = _config(sock, rate=0.001, burst=1.0)
+
+        async def body(server):
+            first = await request("/hash/sha3_256", b"a",
+                                  socket_path=sock)
+            second = await request("/hash/sha3_256", b"b",
+                                   socket_path=sock)
+            return first, second
+
+        (s1, _), (s2, body2) = _run(config, body)
+        assert s1 == 200
+        assert (s2, body2) == (429, b"overloaded\n")
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_shed_with_504(self, sock):
+        async def body(server):
+            return await request("/hash/sha3_256", b"too late",
+                                 socket_path=sock,
+                                 headers={"X-Deadline-Ms": "0"})
+
+        status, payload = _run(_config(sock), body)
+        assert status == 504
+        assert payload == b"deadline_exceeded\n"
+
+    def test_generous_deadline_succeeds(self, sock):
+        async def body(server):
+            return await request("/hash/sha3_256", b"in time",
+                                 socket_path=sock,
+                                 headers={"X-Deadline-Ms": "30000"})
+
+        status, payload = _run(_config(sock), body)
+        assert status == 200
+        assert payload.decode() == hashlib.sha3_256(b"in time").hexdigest()
+
+
+class TestDrain:
+    def test_drain_answers_every_inflight_request(self, sock):
+        executor = SlowExecutor(delay=0.2)
+        state = sock + ".state.json"
+        config = _config(sock, state_path=state, max_batch=4)
+
+        async def body(server):
+            tasks = [asyncio.ensure_future(
+                request("/hash/sha3_256", b"r%d" % i, socket_path=sock))
+                for i in range(4)]
+            await asyncio.sleep(0.05)  # all four accepted, none done
+            assert server._pending == 4
+            await server.drain()
+            return await asyncio.gather(*tasks)
+
+        results = _run(config, body, executor=executor)
+        assert [status for status, _ in results] == [200] * 4
+        saved = json.load(open(state))
+        assert saved["outcomes"] == {"ok": 4}
+        assert saved["pending_at_exit"] == 0
+        assert not os.path.exists(sock)  # socket file removed
+
+    def test_draining_rejects_new_requests_with_503(self, sock):
+        async def body(server):
+            server.draining = True
+            return await request("/hash/sha3_256", b"late",
+                                 socket_path=sock)
+
+        status, payload = _run(_config(sock), body)
+        assert (status, payload) == (503, b"draining\n")
+
+
+class TestEndpoints:
+    def test_metrics_exposition_parses(self, sock):
+        config = _config(sock, observability=True)
+
+        async def body(server):
+            await request("/hash/sha3_256", b"one", socket_path=sock)
+            status, payload = await request("/metrics", method="GET",
+                                            socket_path=sock)
+            return status, payload.decode()
+
+        status, text = _run(config, body)
+        assert status == 200
+        sample = re.compile(
+            r"^[A-Za-z_:][A-Za-z0-9_:]*(\{[^{}]*\})? -?[0-9eE.+inf-]+$")
+        lines = [l for l in text.splitlines() if l]
+        assert lines
+        for line in lines:
+            if not line.startswith("#"):
+                assert sample.match(line), line
+        assert 'serve_requests_total{outcome="ok"} 1' in lines
+
+    def test_timeline_endpoint_serves_trace_json(self, sock):
+        config = _config(sock, observability=True)
+
+        async def body(server):
+            status, payload = await request("/debug/timeline",
+                                            method="GET",
+                                            socket_path=sock)
+            return status, json.loads(payload)
+
+        status, trace = _run(config, body)
+        assert status == 200
+        assert isinstance(trace["traceEvents"], list)
+
+    def test_healthz_flips_on_drain(self, sock):
+        async def body(server):
+            healthy = await request("/healthz", method="GET",
+                                    socket_path=sock)
+            server.draining = True
+            drained = await request("/healthz", method="GET",
+                                    socket_path=sock)
+            return healthy, drained
+
+        healthy, drained = _run(_config(sock), body)
+        assert healthy == (200, b"ok\n")
+        assert drained == (503, b"draining\n")
+
+    def test_rolling_restart_endpoint(self, sock):
+        async def body(server):
+            return await request("/admin/rolling-restart",
+                                 socket_path=sock)
+
+        status, payload = _run(_config(sock), body)
+        assert (status, payload) == (200, b"restarted 0\n")
+
+
+class TestProtocolHardening:
+    def test_unknown_algorithm_404(self, sock):
+        async def body(server):
+            return await request("/hash/md5", b"x", socket_path=sock)
+
+        status, _ = _run(_config(sock), body)
+        assert status == 404
+
+    def test_bad_length_400(self, sock):
+        async def body(server):
+            return await request("/hash/shake128?length=bogus", b"x",
+                                 socket_path=sock)
+
+        status, _ = _run(_config(sock), body)
+        assert status == 400
+
+    def test_oversized_length_400(self, sock):
+        async def body(server):
+            return await request("/hash/shake128?length=999999", b"x",
+                                 socket_path=sock)
+
+        status, _ = _run(_config(sock), body)
+        assert status == 400
+
+    def test_bad_deadline_header_400(self, sock):
+        async def body(server):
+            return await request("/hash/sha3_256", b"x",
+                                 socket_path=sock,
+                                 headers={"X-Deadline-Ms": "soon"})
+
+        status, _ = _run(_config(sock), body)
+        assert status == 400
+
+    def test_garbage_request_line_400(self, sock):
+        async def body(server):
+            reader, writer = await asyncio.open_unix_connection(sock)
+            writer.write(b"NOT HTTP AT ALL\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return raw
+
+        raw = _run(_config(sock), body)
+        assert raw.startswith(b"HTTP/1.1 400 ")
+
+    def test_oversized_body_400(self, sock):
+        config = _config(sock, max_body=128)
+
+        async def body(server):
+            return await request("/hash/sha3_256", b"z" * 1024,
+                                 socket_path=sock)
+
+        status, _ = _run(config, body)
+        assert status == 400
+
+    def test_unknown_path_404(self, sock):
+        async def body(server):
+            return await request("/nope", method="GET", socket_path=sock)
+
+        status, _ = _run(_config(sock), body)
+        assert status == 404
+
+    def test_config_requires_an_endpoint(self):
+        with pytest.raises(ValueError, match="socket"):
+            HashServer(ServeConfig(), executor=InlineExecutor("reference"))

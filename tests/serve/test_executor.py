@@ -1,0 +1,145 @@
+"""Serving executors: correctness, deadline shedding, rolling restarts.
+
+The inline and pooled executors must agree with ``hashlib`` bit for
+bit, shed exactly the items whose deadlines expired before dispatch,
+and survive a rolling restart without losing the pool.
+"""
+
+import hashlib
+import time
+
+import pytest
+
+from repro.serve import DEADLINE_EXCEEDED, ERROR, OK, InlineExecutor, \
+    PooledExecutor
+from repro.serve.executor import _plan_groups, _split_expired
+
+MESSAGES = [bytes([i]) * (40 + i) for i in range(70)]
+SHA3 = [hashlib.sha3_256(m).digest() for m in MESSAGES]
+SHAKE16 = [hashlib.shake_128(m).digest(16) for m in MESSAGES]
+
+
+def _items(messages, deadline=None):
+    return [(m, deadline) for m in messages]
+
+
+class TestPlanning:
+    def test_groups_cover_every_index_once(self):
+        items = _items(MESSAGES)
+        groups = _plan_groups(items, 16)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(len(items)))
+        assert all(len(g) <= 16 for g in groups)
+
+    def test_urgent_deadlines_dispatch_first(self):
+        now = time.monotonic()
+        items = [(b"a", now + 9.0), (b"b", now + 1.0), (b"c", None),
+                 (b"d", now + 5.0)]
+        groups = _plan_groups(items, 2)
+        assert groups[0] == [1, 3]  # soonest deadlines lead
+        assert groups[1] == [0, 2]  # undated items go last
+
+    def test_split_expired(self):
+        now = time.monotonic()
+        items = [(b"a", now - 1.0), (b"b", now + 60.0), (b"c", None)]
+        live, expired = _split_expired(items, [0, 1, 2], now)
+        assert (live, expired) == ([1, 2], [0])
+
+
+class TestInlineExecutor:
+    def test_sha3_matches_hashlib(self):
+        ex = InlineExecutor(engine="reference")
+        results = ex.hash_batch("sha3_256", 32, _items(MESSAGES))
+        assert [r for r in results] == [(OK, d) for d in SHA3]
+
+    def test_shake_matches_hashlib(self):
+        ex = InlineExecutor(engine="reference")
+        results = ex.hash_batch("shake128", 16, _items(MESSAGES))
+        assert results == [(OK, d) for d in SHAKE16]
+
+    def test_expired_items_are_shed_not_hashed(self):
+        ex = InlineExecutor(engine="reference")
+        past = time.monotonic() - 1.0
+        items = [(m, past if i % 2 else None)
+                 for i, m in enumerate(MESSAGES)]
+        results = ex.hash_batch("sha3_256", 32, items)
+        for i, (outcome, digest) in enumerate(results):
+            if i % 2:
+                assert (outcome, digest) == (DEADLINE_EXCEEDED, None)
+            else:
+                assert (outcome, digest) == (OK, SHA3[i])
+
+    def test_bad_algorithm_is_error_not_raise(self):
+        ex = InlineExecutor(engine="reference")
+        results = ex.hash_batch("md5", 16, _items(MESSAGES[:3]))
+        assert results == [(ERROR, None)] * 3
+
+    def test_empty_batch(self):
+        assert InlineExecutor(engine="reference").hash_batch(
+            "sha3_256", 32, []) == []
+
+    def test_restart_is_a_noop(self):
+        assert InlineExecutor(engine="reference").restart_workers() == 0
+
+
+class TestPooledExecutor:
+    @pytest.fixture(scope="class")
+    def pooled(self):
+        ex = PooledExecutor(2, engine="reference")
+        yield ex
+        ex.close()
+
+    def test_matches_hashlib_in_input_order(self, pooled):
+        results = pooled.hash_batch("sha3_256", 32, _items(MESSAGES))
+        assert results == [(OK, d) for d in SHA3]
+
+    def test_shake_matches_hashlib(self, pooled):
+        results = pooled.hash_batch("shake128", 16, _items(MESSAGES))
+        assert results == [(OK, d) for d in SHAKE16]
+
+    def test_expired_work_shed_before_workers(self, pooled):
+        past = time.monotonic() - 1.0
+        items = [(m, past) for m in MESSAGES]
+        results = pooled.hash_batch("sha3_256", 32, items)
+        assert results == [(DEADLINE_EXCEEDED, None)] * len(MESSAGES)
+
+    def test_mixed_deadlines_shed_only_expired(self, pooled):
+        past = time.monotonic() - 1.0
+        items = [(m, past if i % 3 == 0 else None)
+                 for i, m in enumerate(MESSAGES)]
+        results = pooled.hash_batch("sha3_256", 32, items)
+        for i, (outcome, digest) in enumerate(results):
+            if i % 3 == 0:
+                assert outcome == DEADLINE_EXCEEDED
+            else:
+                assert (outcome, digest) == (OK, SHA3[i])
+
+    def test_rolling_restart_replaces_every_worker(self, pooled):
+        before = {w.process.pid for w in pooled._pool.workers.values()}
+        assert pooled.restart_workers() == 2
+        after = {w.process.pid for w in pooled._pool.workers.values()}
+        assert not before & after
+        assert len(after) == 2  # pool size never dips
+        results = pooled.hash_batch("sha3_256", 32, _items(MESSAGES[:8]))
+        assert results == [(OK, d) for d in SHA3[:8]]
+
+    def test_shm_transport_agrees(self):
+        ex = PooledExecutor(2, engine="reference", transport="shm")
+        try:
+            big = [bytes([i % 251]) * 2048 for i in range(80)]
+            results = ex.hash_batch("sha3_256", 32, _items(big))
+            assert results == [
+                (OK, hashlib.sha3_256(m).digest()) for m in big]
+        finally:
+            ex.close()
+
+    def test_closed_executor_rejects_work(self):
+        ex = PooledExecutor(1, engine="reference")
+        ex.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.hash_batch("sha3_256", 32, _items(MESSAGES[:1]))
+        assert ex.restart_workers() == 0  # idempotent after close
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError, match="worker"):
+            PooledExecutor(0, engine="reference")

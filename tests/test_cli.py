@@ -235,3 +235,65 @@ class TestIsaDocCommand:
         target = tmp_path / "isa.md"
         assert main(["isa-doc", "--output", str(target)]) == 0
         assert "vslidedownm.vi" in target.read_text()
+
+
+class TestQuarantineReport:
+    def test_clean_run_prints_pool_summary(self, capsys):
+        assert main(["batch", "--count", "8", "--size", "32",
+                     "--workers", "1", "--chunk-size", "4",
+                     "--quarantine-report", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "no chunks quarantined" in out
+        assert "all 8 digest(s) match hashlib.sha3_256" in out
+
+    def test_report_includes_pool_stats_line(self, capsys):
+        assert main(["batch", "--count", "6", "--size", "24",
+                     "--workers", "2", "--chunk-size", "2",
+                     "--quarantine-report"]) == 0
+        out = capsys.readouterr().out
+        # The PoolStats summary rides along with the quarantine verdict.
+        assert "3/3 chunk(s) completed" in out
+        assert "no chunks quarantined" in out
+
+
+class TestManifestVersionCli:
+    def test_resume_with_alien_manifest_exits_2(self, tmp_path, capsys):
+        import json
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps(
+            {"version": 99, "kind": "repro.batch_hash"}))
+        assert main(["batch", "--count", "4", "--size", "16",
+                     "--resume", str(manifest)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "version 99" in err
+        assert len(err.strip().splitlines()) == 1  # no traceback
+
+
+class TestServeLoadgenCli:
+    def test_commands_registered(self):
+        parser = build_parser()
+        serve = parser.parse_args(["serve", "--socket", "/tmp/x.sock"])
+        assert serve.command == "serve"
+        assert serve.workers == 0
+        load = parser.parse_args(["loadgen", "--socket", "/tmp/x.sock",
+                                  "--requests", "5"])
+        assert load.command == "loadgen"
+        assert load.requests == 5
+
+    def test_serve_requires_an_endpoint(self, capsys):
+        assert main(["serve"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "--socket" in err
+
+    def test_loadgen_requires_an_endpoint(self, capsys):
+        assert main(["loadgen"]) == 2
+        assert "--socket" in capsys.readouterr().err
+
+    def test_loadgen_against_nothing_fails_min_ok(self, capsys):
+        assert main(["loadgen", "--socket", "/tmp/no-such-daemon.sock",
+                     "--requests", "3", "--min-ok", "1"]) == 1
+        captured = capsys.readouterr()
+        assert "connection_error=3" in captured.out
+        assert "expected at least 1" in captured.err
