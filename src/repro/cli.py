@@ -184,7 +184,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     previous = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
     try:
         if hardened:
-            outcome = run_many_report(messages, workers=args.workers,
+            outcome = run_many_report(messages, algorithm=args.algorithm,
+                                      length=args.length,
+                                      workers=args.workers,
                                       chunk_size=args.chunk_size,
                                       timeout=args.timeout,
                                       policy=RetryPolicy.hardened(),
@@ -194,7 +196,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             digests = outcome.digests
         else:
             outcome = None
-            digests = run_many(messages, workers=args.workers,
+            digests = run_many(messages, algorithm=args.algorithm,
+                               length=args.length, workers=args.workers,
                                chunk_size=args.chunk_size,
                                timeout=args.timeout,
                                engine=args.engine,
@@ -222,13 +225,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
               file=sys.stderr)
         status = 1
     if args.verify:
-        expected = [hashlib.sha3_256(m).digest() for m in messages]
+        # hashlib where it exists; the repository's pure-Python
+        # reference path for the tree algorithms hashlib lacks.
+        from .serve.loadgen import _expected_digest
+
+        expected = [bytes.fromhex(
+            _expected_digest(args.algorithm, args.length, m))
+            for m in messages]
         completed = [(got, want) for got, want in zip(digests, expected)
                      if got is not None]
+        oracle = "hashlib" if args.algorithm.startswith(("sha3", "shake")) \
+            else "the pure-Python reference"
         if any(got != want for got, want in completed):
-            print("MISMATCH against hashlib.sha3_256", file=sys.stderr)
+            print(f"MISMATCH against {oracle} ({args.algorithm})",
+                  file=sys.stderr)
             return 1
-        print(f"all {len(completed)} digest(s) match hashlib.sha3_256")
+        print(f"all {len(completed)} digest(s) match {oracle} "
+              f"({args.algorithm})")
     elif digests and digests[0] is not None:
         print(digests[0].hex())
     return status
@@ -507,8 +520,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--chunk-size", type=int, default=None,
                          help="messages per pool chunk")
     p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument("--algorithm", default="sha3_256",
+                         choices=("sha3_256", "shake128", "shake256",
+                                  "k12", "parallelhash128",
+                                  "parallelhash256"),
+                         help="batch algorithm (tree algorithms hash "
+                              "each message as its own leaf tree)")
+    p_batch.add_argument("--length", type=int, default=32,
+                         help="XOF output bytes (ignored by sha3_256)")
     p_batch.add_argument("--verify", action="store_true",
-                         help="check every digest against hashlib")
+                         help="check every digest against hashlib (or "
+                              "the pure-Python reference for the "
+                              "algorithms hashlib lacks)")
     p_batch.add_argument("--timeout", type=float, default=None,
                          help="per-chunk timeout in seconds")
     p_batch.add_argument("--resume", metavar="MANIFEST", default=None,
@@ -574,9 +597,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--size", type=int, default=64,
                         help="bytes per message")
     p_load.add_argument("--algorithm", default="sha3_256",
-                        choices=("sha3_256", "shake128"))
+                        choices=("sha3_256", "shake128", "shake256",
+                                 "k12", "parallelhash128",
+                                 "parallelhash256"))
     p_load.add_argument("--length", type=int, default=32,
-                        help="XOF output bytes (shake128)")
+                        help="XOF output bytes (any non-sha3_256 "
+                             "algorithm)")
     p_load.add_argument("--deadline-ms", type=float, default=None,
                         help="send X-Deadline-Ms with every request")
     p_load.add_argument("--seed", type=int, default=0)

@@ -12,7 +12,7 @@ exactly per SP 800-185 and validates against the NIST sample vectors.
 
 from __future__ import annotations
 
-from .sponge import Sponge
+from .sponge import SHAKE_SUFFIX, Sponge
 
 #: Domain-separation suffix of cSHAKE (the two bits ``00`` + first pad bit).
 CSHAKE_SUFFIX = 0x04
@@ -60,22 +60,32 @@ def bytepad(data: bytes, width: int) -> bytes:
     return bytes(out)
 
 
-def _cshake(data: bytes, length: int, function_name: bytes,
-            customization: bytes, capacity_bits: int,
-            rate_bytes: int) -> bytes:
-    from .hashes import SHAKE128, SHAKE256
+def cshake_sponge(function_name: bytes = b"", customization: bytes = b"",
+                  capacity_bits: int = 256) -> Sponge:
+    """A streaming sponge primed as cSHAKE(N, S) at the given capacity.
 
+    Absorb message bytes into the returned sponge and squeeze any output
+    length (repeatedly — the sponge streams).  Per SP 800-185, empty N
+    *and* S degrade to plain SHAKE, so the returned sponge carries the
+    SHAKE suffix in that case and the cSHAKE suffix otherwise.  This is
+    the shared final-node primitive of TupleHash and ParallelHash.
+    """
     if not function_name and not customization:
-        # SP 800-185: cSHAKE with empty N and S *is* SHAKE.
-        xof_cls = SHAKE128 if capacity_bits == 256 else SHAKE256
-        return xof_cls(data).digest(length)
+        return Sponge(capacity_bits, SHAKE_SUFFIX)
+    rate_bytes = (1600 - capacity_bits) // 8
     sponge = Sponge(capacity_bits, CSHAKE_SUFFIX)
     sponge.absorb(bytepad(
         encode_string(function_name) + encode_string(customization),
         rate_bytes,
     ))
-    sponge.absorb(data)
-    return sponge.squeeze(length)
+    return sponge
+
+
+def _cshake(data: bytes, length: int, function_name: bytes,
+            customization: bytes, capacity_bits: int,
+            rate_bytes: int) -> bytes:
+    sponge = cshake_sponge(function_name, customization, capacity_bits)
+    return sponge.absorb(data).squeeze(length)
 
 
 def cshake128(data: bytes, length: int, function_name: bytes = b"",

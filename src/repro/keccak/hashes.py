@@ -1,15 +1,26 @@
-"""The six SHA-3 family functions (FIPS 202).
+"""The six SHA-3 family functions (FIPS 202) plus XOF objects.
 
 SHA3-224/256/384/512 fixed-length hashes and the SHAKE128/256 extendable
 output functions, all built on :class:`repro.keccak.sponge.Sponge`.  The API
 mirrors :mod:`hashlib` (``update`` / ``digest`` / ``hexdigest``), which the
 test suite exploits to cross-check every function against CPython's own
-SHA-3 implementation.
+SHA-3 implementation.  Every XOF object additionally supports a streaming
+``read(length)`` squeeze: successive calls continue the output stream
+without re-absorbing the message.
+
+:func:`new` also constructs the reduced-round and tree-hashing XOFs
+(TurboSHAKE128/256, KangarooTwelve, ParallelHash128/256) so serving
+clients can reach the whole family through one hashlib-style factory.
 """
 
 from __future__ import annotations
 
+from functools import partial
+
+from .kangarootwelve import K12
+from .permutation import keccak_f1600, keccak_p1600
 from .sponge import SHA3_SUFFIX, SHAKE_SUFFIX, Sponge
+from .treehash import ParallelHash128, ParallelHash256
 
 
 class _Sha3Base:
@@ -84,16 +95,26 @@ class SHA3_512(_Sha3Base):
 
 
 class _ShakeBase:
-    """Common machinery for the SHAKE extendable-output functions."""
+    """Common machinery for the SHAKE-shaped extendable-output functions.
+
+    Subclasses set the strength (capacity = 2 * strength) and may
+    override the domain suffix and permutation — TurboSHAKE reuses this
+    machinery with the 12-round permutation.
+    """
 
     #: Security strength in bits; capacity = 2 * strength.
     strength_bits: int = 0
     name: str = "shake"
+    #: Domain-separation suffix byte absorbed at finalization.
+    suffix: int = SHAKE_SUFFIX
+    #: The sponge's permutation (FIPS 202's 24 rounds by default).
+    permutation = staticmethod(keccak_f1600)
 
     def __init__(self, data: bytes = b"") -> None:
         if self.strength_bits == 0:
             raise TypeError("instantiate a concrete SHAKE subclass")
-        self._sponge = Sponge(2 * self.strength_bits, SHAKE_SUFFIX)
+        self._sponge = Sponge(2 * self.strength_bits, self.suffix,
+                              self.permutation)
         if data:
             self._sponge.absorb(data)
 
@@ -118,6 +139,11 @@ class _ShakeBase:
         """Streaming squeeze: successive calls continue the output stream."""
         return self._sponge.squeeze(length)
 
+    @property
+    def squeezing(self) -> bool:
+        """True once ``read`` has started streaming output."""
+        return self._sponge.squeezing
+
     def copy(self) -> "_ShakeBase":
         clone = type(self)()
         clone._sponge = self._sponge.copy()
@@ -136,6 +162,22 @@ class SHAKE256(_ShakeBase):
 
     strength_bits = 256
     name = "shake_256"
+
+
+class TurboSHAKE128(_ShakeBase):
+    """TurboSHAKE128 XOF: 12 rounds, capacity 256, domain byte 0x1F."""
+
+    strength_bits = 128
+    name = "turboshake128"
+    permutation = staticmethod(partial(keccak_p1600, num_rounds=12))
+
+
+class TurboSHAKE256(_ShakeBase):
+    """TurboSHAKE256 XOF: 12 rounds, capacity 512, domain byte 0x1F."""
+
+    strength_bits = 256
+    name = "turboshake256"
+    permutation = staticmethod(partial(keccak_p1600, num_rounds=12))
 
 
 # -- one-shot helpers ---------------------------------------------------------
@@ -186,16 +228,31 @@ SHAKE_VARIANTS = {
 }
 
 #: Constructor registry for :func:`new`: canonical names plus the
-#: underscore-free spellings hashlib also accepts.
+#: underscore-free spellings hashlib also accepts.  The XOF entries
+#: (SHAKE, TurboSHAKE, K12, ParallelHash) all expose the streaming
+#: ``read(length)`` squeeze on top of ``digest(length)``.
 _CONSTRUCTORS = {**SHA3_VARIANTS, **SHAKE_VARIANTS,
-                 "shake128": SHAKE128, "shake256": SHAKE256}
+                 "shake128": SHAKE128, "shake256": SHAKE256,
+                 "turboshake128": TurboSHAKE128,
+                 "turboshake_128": TurboSHAKE128,
+                 "turboshake256": TurboSHAKE256,
+                 "turboshake_256": TurboSHAKE256,
+                 "k12": K12,
+                 "kangarootwelve": K12,
+                 "parallelhash128": ParallelHash128,
+                 "parallelhash_128": ParallelHash128,
+                 "parallelhash256": ParallelHash256,
+                 "parallelhash_256": ParallelHash256}
 
 
 def new(name: str, data: bytes = b""):
     """hashlib-style constructor: ``new("sha3_256", b"...")``.
 
-    Accepts the six family names in any case, with ``-`` or ``_``
-    separators (``"SHA3-256"``, ``"shake_128"``, ``"shake128"``...).
+    Accepts the FIPS 202 family names in any case, with ``-`` or ``_``
+    separators (``"SHA3-256"``, ``"shake_128"``, ``"shake128"``...),
+    plus the reduced-round and tree-hashing XOFs: ``"turboshake128"``,
+    ``"turboshake256"``, ``"k12"``/``"kangarootwelve"`` and
+    ``"parallelhash128"``/``"parallelhash256"``.
     Raises ``ValueError`` for anything else, like ``hashlib.new``.
     """
     normalized = name.strip().lower().replace("-", "_")

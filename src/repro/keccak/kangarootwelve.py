@@ -10,11 +10,20 @@ Keccak deployments use, and its permutation is the same hardware the
 custom vector instructions accelerate — just 12 rounds instead of 24, so
 every cycle result in this repository halves almost exactly for K12
 workloads.
+
+K12's leaf chunks are *independent* sponges, so multi-chunk inputs hash
+their leaves through the tree planner (:mod:`repro.keccak.treehash`):
+lane-width groups on the SoA mega-batch kernels by default, fanned out
+across the worker pool for large inputs, and the sequential pure-Python
+sponge when the planner declines (tiny inputs, ``engine="reference"``).
+All paths are bit-identical; the final node is always absorbed by the
+streaming sponge so ``read``-style incremental squeezing works.
 """
 
 from __future__ import annotations
 
 from functools import partial
+from typing import Optional
 
 from .permutation import keccak_p1600
 from .sponge import Sponge
@@ -42,12 +51,18 @@ def turboshake256(message: bytes, length: int,
 
 def _turboshake(message: bytes, length: int, domain: int,
                 capacity_bits: int) -> bytes:
+    return turboshake_sponge(domain, capacity_bits) \
+        .absorb(message).squeeze(length)
+
+
+def turboshake_sponge(domain: int = 0x1F,
+                      capacity_bits: int = 256) -> Sponge:
+    """A streaming 12-round sponge with TurboSHAKE domain validation."""
     if not 0x01 <= domain <= 0x7F:
         raise ValueError(
             f"TurboSHAKE domain byte must be in 0x01..0x7F, got {domain:#x}"
         )
-    sponge = Sponge(capacity_bits, suffix=domain, permutation=_PERM12)
-    return sponge.absorb(message).squeeze(length)
+    return Sponge(capacity_bits, suffix=domain, permutation=_PERM12)
 
 
 def length_encode(value: int) -> bytes:
@@ -65,33 +80,135 @@ def length_encode(value: int) -> bytes:
     return bytes(digits) + bytes([len(digits)])
 
 
-def kangarootwelve(message: bytes, length: int,
-                   customization: bytes = b"") -> bytes:
-    """KangarooTwelve(M, C, L): tree-hashing XOF over TurboSHAKE128.
+def k12_sponge(message: bytes, customization: bytes = b"", *,
+               engine: Optional[str] = None,
+               workers: Optional[int] = None,
+               transport: str = "auto",
+               checkpoint: Optional[str] = None) -> Sponge:
+    """The finalizable KangarooTwelve sponge for (M, C): absorb done.
 
-    Inputs up to one 8 KiB chunk hash in a single TurboSHAKE128 call
-    (domain 0x07); longer inputs hash the remaining chunks as tree leaves
-    (domain 0x0B) whose chaining values are absorbed into the final node
-    (domain 0x06).
+    Returns the root-node sponge with every input byte absorbed —
+    squeeze it for output (streaming; this is what backs the
+    :class:`K12` object's ``read``).  Single-chunk inputs absorb into a
+    domain-0x07 TurboSHAKE128 sponge directly; multi-chunk inputs hash
+    their leaf chunks (domain 0x0B) through the tree planner with the
+    requested ``engine``/``workers``/``transport`` and absorb the head,
+    chaining values and framing into the domain-0x06 final node.
     """
-    if length < 0:
-        raise ValueError(f"cannot squeeze {length} bytes")
-    stream = message + customization + length_encode(len(customization))
+    stream = bytes(message) + bytes(customization) \
+        + length_encode(len(customization))
     if len(stream) <= K12_CHUNK_BYTES:
-        return turboshake128(stream, length, domain=0x07)
+        return turboshake_sponge(domain=0x07).absorb(stream)
+
+    from .treehash import K12_LEAF, hash_leaves
 
     head = stream[:K12_CHUNK_BYTES]
     leaves = [
         stream[offset : offset + K12_CHUNK_BYTES]
         for offset in range(K12_CHUNK_BYTES, len(stream), K12_CHUNK_BYTES)
     ]
-    node = bytearray(head)
-    node.extend(b"\x03" + b"\x00" * 7)
-    for leaf in leaves:
-        node.extend(turboshake128(leaf, _CV_BYTES, domain=0x0B))
-    node.extend(length_encode(len(leaves)))
-    node.extend(b"\xff\xff")
-    return turboshake128(bytes(node), length, domain=0x06)
+    cvs = hash_leaves(leaves, K12_LEAF, engine=engine, workers=workers,
+                      transport=transport, checkpoint=checkpoint)
+    node = turboshake_sponge(domain=0x06)
+    node.absorb(head)
+    node.absorb(b"\x03" + b"\x00" * 7)
+    for cv in cvs:
+        node.absorb(cv)
+    node.absorb(length_encode(len(leaves)))
+    node.absorb(b"\xff\xff")
+    return node
+
+
+def kangarootwelve(message: bytes, length: int,
+                   customization: bytes = b"", *,
+                   engine: Optional[str] = None,
+                   workers: Optional[int] = None,
+                   transport: str = "auto",
+                   checkpoint: Optional[str] = None) -> bytes:
+    """KangarooTwelve(M, C, L): tree-hashing XOF over TurboSHAKE128.
+
+    Inputs up to one 8 KiB chunk hash in a single TurboSHAKE128 call
+    (domain 0x07); longer inputs hash the remaining chunks as tree leaves
+    (domain 0x0B) whose chaining values are absorbed into the final node
+    (domain 0x06).  Leaves run through the tree planner: ``engine``
+    selects the batch engine (default: the SoA mega-batch kernels, with
+    ``"reference"`` forcing the sequential pure-Python path), ``workers``
+    fans large leaf sets across the process pool, ``transport`` and
+    ``checkpoint`` pass through to :func:`repro.programs.run_many` on
+    the pooled path.  Every combination is bit-identical.
+    """
+    if length < 0:
+        raise ValueError(f"cannot squeeze {length} bytes")
+    sponge = k12_sponge(message, customization, engine=engine,
+                        workers=workers, transport=transport,
+                        checkpoint=checkpoint)
+    return sponge.squeeze(length)
+
+
+class K12:
+    """hashlib-style KangarooTwelve object with a streaming squeeze.
+
+    ``update`` buffers message bytes (the tree cut depends on the final
+    length, so leaves are hashed at finalization); ``digest(length)`` is
+    restartable, ``read(length)`` streams successive output without
+    re-absorbing — the serve daemon's long-output path.
+    """
+
+    name = "k12"
+    #: TurboSHAKE128 rate (hashlib-compatible block size).
+    block_size = 168
+
+    def __init__(self, data: bytes = b"", customization: bytes = b"", *,
+                 engine: Optional[str] = None,
+                 workers: Optional[int] = None) -> None:
+        self._buffer = bytearray(data)
+        self._customization = bytes(customization)
+        self._engine = engine
+        self._workers = workers
+        self._final: Optional[Sponge] = None
+        self._reader: Optional[Sponge] = None
+
+    @property
+    def squeezing(self) -> bool:
+        """True once ``read`` has started streaming output."""
+        return self._reader is not None
+
+    def update(self, data: bytes) -> None:
+        """Absorb more message bytes (before any ``read``)."""
+        if self._reader is not None:
+            raise RuntimeError("cannot absorb after read() started")
+        self._final = None
+        self._buffer.extend(data)
+
+    def _final_sponge(self) -> Sponge:
+        if self._final is None:
+            self._final = k12_sponge(bytes(self._buffer),
+                                     self._customization,
+                                     engine=self._engine,
+                                     workers=self._workers)
+        return self._final
+
+    def digest(self, length: int) -> bytes:
+        """``length`` output bytes (restartable: copies the sponge)."""
+        return self._final_sponge().copy().squeeze(length)
+
+    def hexdigest(self, length: int) -> str:
+        """``length`` output bytes as hex."""
+        return self.digest(length).hex()
+
+    def read(self, length: int) -> bytes:
+        """Streaming squeeze: successive calls continue the stream."""
+        if self._reader is None:
+            self._reader = self._final_sponge().copy()
+        return self._reader.squeeze(length)
+
+    def copy(self) -> "K12":
+        clone = K12(customization=self._customization,
+                    engine=self._engine, workers=self._workers)
+        clone._buffer = bytearray(self._buffer)
+        clone._final = self._final
+        clone._reader = None if self._reader is None else self._reader.copy()
+        return clone
 
 
 def k12_pattern(length: int) -> bytes:

@@ -12,7 +12,7 @@ from . import (
 )
 from .base import DEFAULT_STATE_BASE, KeccakProgram
 from .factory import build_program
-from .session import RunResult, Session, default_session, run
+from .session import RunResult, Session, SessionXof, default_session, run
 from .runner import make_processor, run_keccak_program
 from .batch_driver import (
     BatchOutcome,
@@ -20,8 +20,11 @@ from .batch_driver import (
     BatchSponge,
     batch_sha3_256,
     batch_shake128,
+    digest_size,
+    hash_messages,
     run_many,
     run_many_report,
+    supported_algorithms,
 )
 from . import sha3_driver
 from .sha3_driver import SimulatedPermutation, simulated_sha3_256, simulated_shake128
@@ -31,6 +34,7 @@ __all__ = [
     "DEFAULT_STATE_BASE",
     "RunResult",
     "Session",
+    "SessionXof",
     "run",
     "default_session",
     "run_keccak_program",
@@ -54,6 +58,9 @@ __all__ = [
     "batch_shake128",
     "run_many",
     "run_many_report",
+    "hash_messages",
+    "digest_size",
+    "supported_algorithms",
     "BatchOutcome",
 ]
 

@@ -38,14 +38,21 @@ from .session import Session
 
 
 class BatchPermutation:
-    """Permute up to SN states simultaneously on the simulator."""
+    """Permute up to SN states simultaneously on the simulator.
+
+    ``num_rounds`` selects the Keccak-p[1600, nr] variant when no
+    explicit program is passed (12 rounds for the TurboSHAKE/K12 leaf
+    permutation; the default 24 is Keccak-f[1600]).
+    """
 
     def __init__(self, elen: int = 64, lmul: int = 8,
                  elenum: int = 30,
                  program: Optional[KeccakProgram] = None,
-                 engine: str = "auto") -> None:
+                 engine: str = "auto",
+                 num_rounds: int = 24) -> None:
         self.program = program or build_program(elen, lmul, elenum,
-                                                include_memory_io=True)
+                                                include_memory_io=True,
+                                                num_rounds=num_rounds)
         if self.program.state_base is None:
             raise ValueError("batch permutation needs a memory-IO program")
         self.engine = engine
@@ -272,15 +279,56 @@ def batch_shake128(messages: Sequence[bytes], length: int,
 #: Architecture key: (ELEN, LMUL, EleNum).
 _ArchKey = Tuple[int, int, int]
 
-#: Per-process permutation cache, keyed (arch, engine).  In a worker
-#: this is the warm state the pool exists for: the first chunk
+#: Per-process permutation cache, keyed (arch, engine, rounds).  In a
+#: worker this is the warm state the pool exists for: the first chunk
 #: predecodes the program (and, on the compiled engine, loads the
 #: kernel the parent pre-compiled from the on-disk cache); every later
 #: chunk reuses them.
-_PERMUTATIONS: Dict[Tuple[_ArchKey, str], BatchPermutation] = {}
+_PERMUTATIONS: Dict[Tuple[_ArchKey, str, int], BatchPermutation] = {}
 
 _HASH_TASK_KIND = "repro.batch_hash"
 _HASH_SHM_TASK_KIND = "repro.batch_hash_shm"
+
+#: Sponge shape of every flat batch algorithm:
+#: (capacity bits, domain suffix, permutation rounds, fixed digest size
+#: or None when the caller's ``length`` decides).  ``k12_leaf`` is the
+#: KangarooTwelve leaf sponge — TurboSHAKE128 with the tree's leaf
+#: domain byte, fixed 32-byte chaining values.
+_SPONGE_ALGORITHMS: Dict[str, Tuple[int, int, int, Optional[int]]] = {
+    "sha3_256": (512, SHA3_SUFFIX, 24, 32),
+    "shake128": (256, SHAKE_SUFFIX, 24, None),
+    "shake256": (512, SHAKE_SUFFIX, 24, None),
+    "k12_leaf": (256, 0x0B, 12, 32),
+}
+
+#: Whole-message tree algorithms: each message is hashed by the
+#: tree-hashing front end (:mod:`repro.keccak.treehash`) *inside* the
+#: worker — the leaf batching happens in-process there, so pool workers
+#: each run their own two-level tree.
+_TREE_ALGORITHMS = ("k12", "parallelhash128", "parallelhash256")
+
+
+def supported_algorithms() -> Tuple[str, ...]:
+    """Every algorithm name the batch drivers accept."""
+    return tuple(_SPONGE_ALGORITHMS) + _TREE_ALGORITHMS
+
+
+def _validate_algorithm(algorithm: str) -> str:
+    if algorithm not in _SPONGE_ALGORITHMS \
+            and algorithm not in _TREE_ALGORITHMS:
+        raise ValueError(f"unsupported algorithm: {algorithm!r}")
+    return algorithm
+
+
+def digest_size(algorithm: str, length: int) -> int:
+    """Output bytes per message for one batch call.
+
+    Fixed-output algorithms (``sha3_256``, ``k12_leaf`` chaining
+    values) ignore ``length``; the XOFs and tree algorithms honor it.
+    """
+    _validate_algorithm(algorithm)
+    fixed = _SPONGE_ALGORITHMS.get(algorithm, (0, 0, 0, None))[3]
+    return fixed if fixed is not None else length
 
 
 def _arch_of(permutation: Optional[BatchPermutation]) -> _ArchKey:
@@ -290,15 +338,40 @@ def _arch_of(permutation: Optional[BatchPermutation]) -> _ArchKey:
     return (program.elen, program.lmul, program.elenum)
 
 
-def _cached_permutation(arch: _ArchKey,
-                        engine: str = "auto") -> BatchPermutation:
-    key = (arch, engine)
+def _cached_permutation(arch: _ArchKey, engine: str = "auto",
+                        num_rounds: int = 24) -> BatchPermutation:
+    key = (arch, engine, num_rounds)
     perm = _PERMUTATIONS.get(key)
     if perm is None:
         elen, lmul, elenum = arch
         perm = _PERMUTATIONS[key] = BatchPermutation(elen, lmul, elenum,
-                                                     engine=engine)
+                                                     engine=engine,
+                                                     num_rounds=num_rounds)
     return perm
+
+
+def _batch_digest(messages: Sequence[bytes], algorithm: str, length: int,
+                  perm: BatchPermutation) -> List[bytes]:
+    """One lock-step group of any flat sponge algorithm on ``perm``."""
+    capacity_bits, suffix, _rounds, fixed = _SPONGE_ALGORITHMS[algorithm]
+    sponge = BatchSponge(len(messages), capacity_bits, suffix, perm)
+    for lane, message in enumerate(messages):
+        sponge.absorb(lane, message)
+    return sponge.squeeze(fixed if fixed is not None else length)
+
+
+def _hash_tree_messages(algorithm: str, length: int, engine: str,
+                        messages: Sequence[bytes]) -> List[bytes]:
+    """Whole-message tree hashing: each message is its own leaf tree."""
+    from ..keccak import treehash as _treehash
+    from ..keccak.kangarootwelve import kangarootwelve as _k12
+
+    if algorithm == "k12":
+        return [_k12(bytes(m), length, engine=engine)
+                for m in messages]
+    final = _treehash.parallelhash128 if algorithm == "parallelhash128" \
+        else _treehash.parallelhash256
+    return [final(bytes(m), length, engine=engine) for m in messages]
 
 
 def _hash_messages(algorithm: str, length: int, arch: _ArchKey,
@@ -306,25 +379,27 @@ def _hash_messages(algorithm: str, length: int, arch: _ArchKey,
     """Hash ``messages`` on this process's cached execution state.
 
     The single hashing body shared by the pickle chunk task, the
-    shared-memory span task and the serial paths.  Engines declaring a
-    ``digest_batch`` hook (``reference``) take the whole batch at once;
-    everything else runs in SN-sized lock-step groups on the cached
-    permutation.
+    shared-memory span task and the serial paths.  Tree algorithms
+    (``k12``, ``parallelhash128/256``) hash whole messages through the
+    tree front end; engines declaring a ``digest_batch`` hook
+    (``reference``) take the whole batch at once; everything else runs
+    in lock-step groups on the cached permutation (SN states, or the
+    SoA engine's batch width), with the rounds the algorithm demands.
     """
-    if algorithm not in ("sha3_256", "shake128"):
-        raise ValueError(f"unsupported algorithm: {algorithm!r}")
-    spec = _engines.maybe_get(_engines.validate(engine))
+    _validate_algorithm(algorithm)
+    engine = _engines.validate(engine)
+    if algorithm in _TREE_ALGORITHMS:
+        return _hash_tree_messages(algorithm, length, engine, messages)
+    spec = _engines.maybe_get(engine)
     if spec is not None and spec.digest_batch is not None:
         return spec.digest_batch(algorithm, length, messages)
-    perm = _cached_permutation(tuple(arch), engine)
+    num_rounds = _SPONGE_ALGORITHMS[algorithm][2]
+    perm = _cached_permutation(tuple(arch), engine, num_rounds)
     sn = perm.max_states
     digests: List[bytes] = []
     for start in range(0, len(messages), sn):
-        group = messages[start:start + sn]
-        if algorithm == "sha3_256":
-            digests.extend(batch_sha3_256(group, perm))
-        else:
-            digests.extend(batch_shake128(group, length, perm))
+        digests.extend(_batch_digest(messages[start:start + sn],
+                                     algorithm, length, perm))
     return digests
 
 
@@ -382,14 +457,30 @@ register_task_kind(_HASH_TASK_KIND, _hash_chunk)
 register_task_kind(_HASH_SHM_TASK_KIND, _hash_span_shm)
 
 
+def _algorithm_rounds(algorithm: str) -> int:
+    """Permutation rounds of the kernels ``algorithm`` runs on.
+
+    Tree algorithms report their *leaf* rounds (12 for K12, 24 for
+    ParallelHash) — that is the kernel the pool should pre-warm.
+    """
+    if algorithm == "k12":
+        return 12
+    if algorithm in _TREE_ALGORITHMS:
+        return 24
+    return _SPONGE_ALGORITHMS[algorithm][2]
+
+
 def _prepare_chunks(messages: Sequence[bytes], algorithm: str, length: int,
                     arch: _ArchKey, chunk_size: Optional[int],
                     engine: str = "auto") -> List[Tuple]:
-    if algorithm not in ("sha3_256", "shake128"):
-        raise ValueError(f"unsupported algorithm: {algorithm!r}")
+    _validate_algorithm(algorithm)
     if chunk_size is None:
-        sn = _cached_permutation(arch, engine).max_states
-        chunk_size = 4 * sn
+        if algorithm in _TREE_ALGORITHMS:
+            chunk_size = 1  # each message is a whole leaf tree
+        else:
+            sn = _cached_permutation(arch, engine,
+                                     _algorithm_rounds(algorithm)).max_states
+            chunk_size = 4 * sn
     payloads = [bytes(m) for m in messages]
     # ChunkViews reference `payloads` instead of copying each slice; a
     # view pickles as the plain slice list (and reprs identically, so
@@ -399,10 +490,10 @@ def _prepare_chunks(messages: Sequence[bytes], algorithm: str, length: int,
 
 
 def _warm_parent(arch: _ArchKey, engine: str,
-                 workers: Optional[int]) -> None:
+                 workers: Optional[int], num_rounds: int = 24) -> None:
     """Pre-compile in the parent so pool workers warm-start from disk."""
     if workers and workers > 1:
-        _cached_permutation(arch, engine).precompile()
+        _cached_permutation(arch, engine, num_rounds).precompile()
 
 
 class BatchOutcome:
@@ -473,16 +564,23 @@ def _run_many_shm(payloads: List[bytes], algorithm: str, length: int,
     arena lease is released (back to the process-wide pool, for the next
     batch to reuse) whether the run completes, quarantines or raises.
     """
-    if algorithm not in ("sha3_256", "shake128"):
-        raise ValueError(f"unsupported algorithm: {algorithm!r}")
+    _validate_algorithm(algorithm)
     engine = _engines.validate(engine)
-    digest_size = 32 if algorithm == "sha3_256" else length
+    out_size = digest_size(algorithm, length)
     spec = _engines.maybe_get(engine)
-    if spec is not None and spec.digest_batch is not None:
+    num_rounds = _algorithm_rounds(algorithm)
+    if algorithm in _TREE_ALGORITHMS:
+        # Whole-message trees: the leaf batching happens inside each
+        # worker, so spans need no lock-step alignment — but the leaf
+        # kernels are still worth pre-warming in the parent.
+        lane_width = 1
+        _warm_parent(arch, engine, workers, num_rounds)
+    elif spec is not None and spec.digest_batch is not None:
         lane_width = 1  # whole-message engines have no lock-step groups
     else:
-        lane_width = _cached_permutation(arch, engine).max_states
-        _warm_parent(arch, engine, workers)
+        lane_width = _cached_permutation(arch, engine,
+                                         num_rounds).max_states
+        _warm_parent(arch, engine, workers, num_rounds)
     sizes = [len(message) for message in payloads]
     spans = plan_spans(sizes, workers, lane_width=lane_width)
     fingerprint = ""
@@ -490,9 +588,9 @@ def _run_many_shm(payloads: List[bytes], algorithm: str, length: int,
         fingerprint = _batch_fingerprint(algorithm, length, arch, engine,
                                          payloads)
     pool = _shm.arena_pool()
-    arena = pool.acquire(_shm.required_size(sizes, digest_size))
+    arena = pool.acquire(_shm.required_size(sizes, out_size))
     try:
-        arena.pack(payloads, digest_size)
+        arena.pack(payloads, out_size)
         segment = arena.name
 
         def payload(start: int, stop: int) -> Tuple:
@@ -541,7 +639,7 @@ def run_many_report(messages: Sequence[bytes], *,
                              checkpoint, engine)
     chunks = _prepare_chunks(payloads, algorithm, length, arch, chunk_size,
                              engine)
-    _warm_parent(arch, engine, workers)
+    _warm_parent(arch, engine, workers, _algorithm_rounds(algorithm))
     report = run_chunks_report(_HASH_TASK_KIND, chunks,
                                workers=workers or 1, timeout=timeout,
                                max_retries=max_retries, policy=policy,
@@ -573,7 +671,13 @@ def run_many(messages: Sequence[bytes], *,
     lock-step batches (SN states per program run, the paper's Table 7/8
     batching), and chunks are distributed across ``workers`` persistent
     processes.  Digests return in message order; every digest matches
-    ``hashlib``.  ``workers=None``/``1`` runs serially in this process —
+    ``hashlib`` (or, for the algorithms hashlib lacks, the pure-Python
+    reference).  ``algorithm`` accepts the flat sponge algorithms
+    (``sha3_256``, ``shake128``, ``shake256``, the ``k12_leaf``
+    chaining-value sponge) and the whole-message tree algorithms
+    (``k12``, ``parallelhash128``, ``parallelhash256``) — tree messages
+    are hashed one per work unit, with the leaf batching happening
+    inside each worker.  ``workers=None``/``1`` runs serially in this process —
     same code path, no pool.  ``chunk_size`` defaults to four SN groups,
     big enough to amortize queue IPC, small enough to load-balance;
     ``timeout``/``max_retries`` (or a full
@@ -605,7 +709,7 @@ def run_many(messages: Sequence[bytes], *,
         return outcome.flat()
     chunks = _prepare_chunks(payloads, algorithm, length, arch, chunk_size,
                              engine)
-    _warm_parent(arch, engine, workers)
+    _warm_parent(arch, engine, workers, _algorithm_rounds(algorithm))
     return run_chunks(_HASH_TASK_KIND, chunks, workers=workers or 1,
                       timeout=timeout, max_retries=max_retries,
                       policy=policy, checkpoint=checkpoint)

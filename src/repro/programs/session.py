@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..keccak.constants import STATE_BITS, STATE_BYTES
+from ..keccak.sponge import SHAKE_SUFFIX, Sponge
 from ..keccak.state import KeccakState
 from ..observability import metrics as _metrics
 from ..observability import timeline as _timeline
@@ -180,6 +181,8 @@ class Session:
         #: arguments override it.
         self.engine = validate_engine(engine)
         self._processors: Dict[Tuple[int, int], SIMDProcessor] = {}
+        self._xof_programs: Dict[Tuple[int, int, int, int],
+                                 KeccakProgram] = {}
 
     def processor(self, elen: int, elenum: int) -> SIMDProcessor:
         """The session's processor for one architecture (created lazily)."""
@@ -296,6 +299,34 @@ class Session:
         return RunResult(states=out, stats=ExecutionStats(),
                          cycles_per_round=0.0, permutation_cycles=0)
 
+    def xof(self, data: bytes = b"", *,
+            capacity_bits: int = 256,
+            suffix: int = SHAKE_SUFFIX,
+            num_rounds: int = 24,
+            elen: int = 64, lmul: int = 8, elenum: int = 30,
+            engine: Optional[str] = None) -> "SessionXof":
+        """A streaming XOF whose permutations execute on this session.
+
+        Returns a :class:`SessionXof`: absorb with ``update``, then
+        stream output with incremental ``read(n)`` calls — each rate
+        block of the sponge is one program run on the session's warm
+        processor (or functional engine).  The defaults are SHAKE128 on
+        the paper's V64H8 architecture; ``suffix``/``capacity_bits``/
+        ``num_rounds`` select any sponge in the family (e.g. a
+        TurboSHAKE domain byte with ``num_rounds=12``).
+        """
+        key = (elen, lmul, elenum, num_rounds)
+        program = self._xof_programs.get(key)
+        if program is None:
+            from .factory import build_program
+
+            program = build_program(elen, lmul, elenum,
+                                    include_memory_io=True,
+                                    num_rounds=num_rounds)
+            self._xof_programs[key] = program
+        return SessionXof(self, program, capacity_bits, suffix,
+                          data=data, engine=engine)
+
     def warm(self, program: KeccakProgram) -> bool:
         """Pre-compile ``program`` for the compiled engine.
 
@@ -309,6 +340,54 @@ class Session:
         proc = self.processor(program.elen, program.elenum)
         proc.load_program(program.assemble())
         return codegen.warm(proc) is not None
+
+
+class SessionXof:
+    """An incremental sponge whose permutations run on a :class:`Session`.
+
+    The streaming counterpart of the batch drivers' whole-message paths:
+    ``update`` absorbs (block-by-block program runs), ``read(n)``
+    squeezes the next ``n`` output bytes — successive calls continue the
+    stream without re-absorbing, exactly like
+    :meth:`repro.keccak.hashes._ShakeBase.read` and the serve daemon's
+    long-output responses.  ``digest(n)`` stays restartable by copying
+    the sponge.
+    """
+
+    def __init__(self, session: Session, program: KeccakProgram,
+                 capacity_bits: int, suffix: int, *,
+                 data: bytes = b"",
+                 engine: Optional[str] = None) -> None:
+        self.program = program
+
+        def permute(state: KeccakState) -> KeccakState:
+            return session.run(program, [state], engine=engine).states[0]
+
+        self._sponge = Sponge(capacity_bits, suffix, permute)
+        if data:
+            self._sponge.absorb(data)
+
+    @property
+    def squeezing(self) -> bool:
+        """True once ``read`` has started streaming output."""
+        return self._sponge.squeezing
+
+    def update(self, data: bytes) -> "SessionXof":
+        """Absorb more message bytes (before any ``read``)."""
+        self._sponge.absorb(data)
+        return self
+
+    def read(self, length: int) -> bytes:
+        """Streaming squeeze: successive calls continue the stream."""
+        return self._sponge.squeeze(length)
+
+    def digest(self, length: int) -> bytes:
+        """``length`` output bytes (restartable: copies the sponge)."""
+        return self._sponge.copy().squeeze(length)
+
+    def hexdigest(self, length: int) -> str:
+        """``length`` output bytes as hex."""
+        return self.digest(length).hex()
 
 
 #: Process-wide default sessions, one per cycle model (CycleModel is a

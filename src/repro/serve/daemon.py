@@ -56,7 +56,16 @@ __all__ = ["ServeConfig", "HashServer", "OVERLOADED", "DRAINING"]
 OVERLOADED = "overloaded"
 DRAINING = "draining"
 
-_ALGORITHMS = ("sha3_256", "shake128")
+#: Served algorithms: the flat FIPS 202 pair plus the tree-hashing XOFs
+#: (whose leaf batching runs inside the executor's workers).  All XOFs
+#: accept a ``?length=`` query parameter; sha3_256 is fixed at 32.
+_ALGORITHMS = ("sha3_256", "shake128", "shake256", "k12",
+               "parallelhash128", "parallelhash256")
+
+#: Default output bytes per algorithm when no ``?length=`` is given.
+_DEFAULT_LENGTHS = {"sha3_256": 32, "shake128": 32, "shake256": 32,
+                    "k12": 32, "parallelhash128": 32,
+                    "parallelhash256": 64}
 
 _STATUS = {OK: 200, DEADLINE_EXCEEDED: 504, ERROR: 500,
            OVERLOADED: 429, DRAINING: 503}
@@ -372,9 +381,9 @@ class HashServer:
         algorithm = request.path[len("/hash/"):]
         if algorithm not in _ALGORITHMS:
             raise LookupError(f"unknown algorithm: {algorithm!r}")
-        length = 32
-        if algorithm == "shake128":
-            text = request.query_params().get("length", "32")
+        length = _DEFAULT_LENGTHS[algorithm]
+        if algorithm != "sha3_256":
+            text = request.query_params().get("length", str(length))
             try:
                 length = int(text)
             except ValueError:

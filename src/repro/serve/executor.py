@@ -43,7 +43,9 @@ from ..parallel_exec.scheduler import _collect_worker_metrics
 from ..programs.batch_driver import (
     _HASH_SHM_TASK_KIND,
     _HASH_TASK_KIND,
+    _TREE_ALGORITHMS,
     _cached_permutation,
+    digest_size as _digest_size,
     hash_messages,
 )
 from ..sim import engines as _engines
@@ -75,8 +77,16 @@ _SHED = _metrics.registry().counter(
     "Items shed before dispatch because their deadline expired")
 
 
-def _lane_width(arch: Tuple[int, int, int], engine: str) -> int:
-    """The engine's lock-step group size for this architecture."""
+def _lane_width(arch: Tuple[int, int, int], engine: str,
+                algorithm: str = "sha3_256") -> int:
+    """The engine's lock-step group size for this architecture.
+
+    Tree algorithms (``k12``, ``parallelhash128/256``) are whole-message
+    work units — their leaf batching happens inside the worker — so
+    their groups only amortize dispatch IPC, like digest-batch engines.
+    """
+    if algorithm in _TREE_ALGORITHMS:
+        return _DIGEST_BATCH_GROUP
     spec = _engines.maybe_get(engine)
     if spec is not None and spec.digest_batch is not None:
         return _DIGEST_BATCH_GROUP
@@ -117,8 +127,9 @@ class InlineExecutor:
 
     def hash_batch(self, algorithm: str, length: int,
                    items: Sequence[Item]) -> List[ItemResult]:
+        width = _lane_width(self.arch, self.engine, algorithm)
         results: List[Optional[ItemResult]] = [None] * len(items)
-        for group in _plan_groups(items, self._width):
+        for group in _plan_groups(items, width):
             live, expired = _split_expired(items, group, time.monotonic())
             for index in expired:
                 results[index] = (DEADLINE_EXCEEDED, None)
@@ -240,11 +251,12 @@ class PooledExecutor:
 
     def _run_batch(self, algorithm: str, length: int,
                    items: Sequence[Item]) -> List[ItemResult]:
-        digest_size = 32 if algorithm == "sha3_256" else length
+        digest_size = _digest_size(algorithm, length)
         total_bytes = sum(len(message) for message, _ in items)
         mode = _shm.choose_transport(self.transport, total_bytes,
                                      self.workers)
-        groups = _plan_groups(items, self._width)
+        groups = _plan_groups(items, _lane_width(self.arch, self.engine,
+                                                 algorithm))
         # The shm arena holds messages in deadline order, so a group is
         # a contiguous span of packed positions.
         order = [index for group in groups for index in group]

@@ -107,9 +107,30 @@ async def request(path: str, body: bytes = b"", method: str = "POST",
 
 
 def _expected_digest(algorithm: str, length: int, message: bytes) -> str:
+    """Ground-truth hex digest for one verified load-test response.
+
+    hashlib covers the FIPS 202 algorithms; the tree-hashing XOFs have
+    no hashlib backend, so they verify against the repository's
+    pure-Python reference path (``engine="reference"`` — the sequential
+    sponge every accelerated path is differential-tested against).
+    """
     if algorithm == "sha3_256":
         return hashlib.sha3_256(message).hexdigest()
-    return hashlib.shake_128(message).hexdigest(length)
+    if algorithm == "shake128":
+        return hashlib.shake_128(message).hexdigest(length)
+    if algorithm == "shake256":
+        return hashlib.shake_256(message).hexdigest(length)
+    from ..keccak import kangarootwelve, parallelhash128, parallelhash256
+
+    if algorithm == "k12":
+        return kangarootwelve(message, length, engine="reference").hex()
+    if algorithm == "parallelhash128":
+        return parallelhash128(message, length,
+                               engine="reference").hex()
+    if algorithm == "parallelhash256":
+        return parallelhash256(message, length,
+                               engine="reference").hex()
+    raise ValueError(f"unsupported algorithm: {algorithm!r}")
 
 
 async def run_load_async(socket_path: Optional[str], host: Optional[str],
@@ -121,7 +142,7 @@ async def run_load_async(socket_path: Optional[str], host: Optional[str],
     report = LoadReport()
     limiter = asyncio.Semaphore(_MAX_OPEN)
     path = f"/hash/{algorithm}"
-    if algorithm == "shake128":
+    if algorithm != "sha3_256":
         path += f"?length={length}"
     headers = {}
     if deadline_ms is not None:

@@ -399,6 +399,15 @@ def _reference_digest_batch(algorithm, length, messages):
         return [hashlib.sha3_256(m).digest() for m in messages]
     if algorithm == "shake128":
         return [hashlib.shake_128(m).digest(length) for m in messages]
+    if algorithm == "shake256":
+        return [hashlib.shake_256(m).digest(length) for m in messages]
+    if algorithm == "k12_leaf":
+        # hashlib has no TurboSHAKE: the pure-Python 12-round sponge
+        # with the K12 leaf domain byte is the ground truth here.
+        from ..keccak.kangarootwelve import turboshake128
+
+        return [turboshake128(bytes(m), 32, domain=0x0B)
+                for m in messages]
     raise ValueError(f"unsupported algorithm: {algorithm!r}")
 
 

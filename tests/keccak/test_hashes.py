@@ -188,3 +188,60 @@ class TestMonteCarloChains:
             ours = SHAKE128(ours).digest(16)
             theirs = hashlib.shake_128(theirs).digest(16)
         assert ours == theirs
+
+
+class TestNewFactory:
+    """new() reaches the whole family, including the tree-hashing XOFs."""
+
+    def test_fips_names_normalize(self):
+        from repro.keccak import new
+
+        assert new("SHA3-256", b"abc").digest() == \
+            hashlib.sha3_256(b"abc").digest()
+        assert new("shake_128", b"abc").digest(32) == \
+            hashlib.shake_128(b"abc").digest(32)
+
+    def test_turboshake_names(self):
+        from repro.keccak import new
+        from repro.keccak.kangarootwelve import turboshake128, turboshake256
+
+        assert new("turboshake128", b"m").digest(32) == \
+            turboshake128(b"m", 32)
+        assert new("turboshake-256", b"m").digest(32) == \
+            turboshake256(b"m", 32)
+
+    def test_k12_names(self):
+        from repro.keccak import new
+        from repro.keccak.kangarootwelve import kangarootwelve
+
+        for name in ("k12", "kangarootwelve"):
+            assert new(name, b"m").digest(32) == kangarootwelve(b"m", 32)
+
+    def test_parallelhash_names(self):
+        from repro.keccak import new, parallelhash128, parallelhash256
+
+        assert new("parallelhash128", b"m").digest(32) == \
+            parallelhash128(b"m", 32)
+        assert new("parallelhash_256", b"m").digest(64) == \
+            parallelhash256(b"m", 64)
+
+    def test_every_xof_streams_read(self):
+        # The streaming contract: read(n) + read(n) == digest(2n) for
+        # every XOF new() can construct (ParallelHash reads stream the
+        # XOF variant, which by design differs from digest()).
+        from repro.keccak import new, parallelhash128_xof
+        from repro.keccak.kangarootwelve import turboshake128
+
+        ts = new("turboshake128", b"seed")
+        assert ts.read(16) + ts.read(16) == turboshake128(b"seed", 32)
+        k12 = new("k12", b"seed")
+        assert k12.read(16) + k12.read(16) == k12.digest(32)
+        ph = new("parallelhash128", b"seed")
+        assert ph.read(16) + ph.read(16) == \
+            parallelhash128_xof(b"seed", 32)
+
+    def test_unknown_name_rejected(self):
+        from repro.keccak import new
+
+        with pytest.raises(ValueError):
+            new("md5")

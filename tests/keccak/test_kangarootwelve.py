@@ -4,12 +4,15 @@ import pytest
 
 from repro.keccak import KeccakState, keccak_f1600, keccak_round
 from repro.keccak.kangarootwelve import (
+    K12,
     K12_CHUNK_BYTES,
     k12_pattern,
+    k12_sponge,
     kangarootwelve,
     length_encode,
     turboshake128,
     turboshake256,
+    turboshake_sponge,
 )
 from repro.keccak.permutation import keccak_p1600
 
@@ -157,3 +160,122 @@ class TestK12Structure:
         full = rounds_full * cycles_per_round
         k12 = rounds_k12 * cycles_per_round
         assert k12 == full / 2
+
+
+class TestTurboShakeSponge:
+    def test_streaming_matches_one_shot(self):
+        sponge = turboshake_sponge(domain=0x1F)
+        sponge.absorb(b"stream").absorb(b"ing")
+        assert sponge.squeeze(16) + sponge.squeeze(16) == \
+            turboshake128(b"streaming", 32)
+
+    def test_capacity_selects_256_variant(self):
+        sponge = turboshake_sponge(domain=0x1F, capacity_bits=512)
+        assert sponge.absorb(b"m").squeeze(32) == turboshake256(b"m", 32)
+
+    def test_domain_validated(self):
+        with pytest.raises(ValueError):
+            turboshake_sponge(domain=0x00)
+        with pytest.raises(ValueError):
+            turboshake_sponge(domain=0x80)
+
+
+class TestK12Boundaries:
+    """The framing edge cases: empty customization, the one-chunk
+    boundary at 8192 bytes, and zero-length output."""
+
+    def test_empty_customization_appends_single_zero_byte(self):
+        # C = "" encodes as length_encode(0) = 00: S = M || 00.
+        message = b"boundary"
+        assert kangarootwelve(message, 32) == \
+            kangarootwelve(message, 32, b"")
+        assert kangarootwelve(message, 32) == \
+            turboshake128(message + b"\x00", 32, domain=0x07)
+
+    def test_exactly_one_chunk_stays_single_node(self):
+        # |S| = 8191 + 1 = 8192 = one chunk exactly: still domain 0x07.
+        message = b"a" * (K12_CHUNK_BYTES - 1)
+        assert kangarootwelve(message, 32) == \
+            turboshake128(message + b"\x00", 32, domain=0x07)
+
+    def test_one_byte_past_the_chunk_switches_to_tree(self):
+        # |S| = 8192 + 1: the final length_encode byte pushes the
+        # stream over the boundary, so the 8192-byte message itself is
+        # already tree mode with a single 1-byte leaf.
+        message = b"a" * K12_CHUNK_BYTES
+        single = turboshake128(message + b"\x00", 32, domain=0x07)
+        tree = kangarootwelve(message, 32)
+        assert tree != single
+        # The leaf is length_encode(0)'s lone 00 byte: reconstruct the
+        # final node by hand to pin the framing.
+        leaf_cv = turboshake128(b"\x00", 32, domain=0x0B)
+        node = (message + b"\x03" + b"\x00" * 7 + leaf_cv
+                + length_encode(1) + b"\xff\xff")
+        assert tree == turboshake128(node, 32, domain=0x06)
+
+    def test_customization_can_push_over_the_boundary(self):
+        # M fits a chunk alone but M||C||len(C) does not.
+        message = b"m" * (K12_CHUNK_BYTES - 4)
+        custom = b"c" * 16
+        single_form = turboshake128(
+            message + custom + length_encode(len(custom)), 32, domain=0x07)
+        assert kangarootwelve(message, 32, custom) != single_form
+
+    def test_zero_length_output(self):
+        assert kangarootwelve(b"m", 0) == b""
+        assert kangarootwelve(k12_pattern(3 * K12_CHUNK_BYTES), 0) == b""
+
+    def test_k12_sponge_streams_across_chunk_boundaries(self):
+        message = k12_pattern(2 * K12_CHUNK_BYTES + 7)
+        sponge = k12_sponge(message)
+        assert sponge.squeeze(24) + sponge.squeeze(40) == \
+            kangarootwelve(message, 64)
+
+
+class TestK12Object:
+    def test_update_matches_one_shot(self):
+        message = k12_pattern(2 * K12_CHUNK_BYTES + 100)
+        obj = K12()
+        obj.update(message[:5000])
+        obj.update(message[5000:])
+        assert obj.digest(32) == kangarootwelve(message, 32)
+        assert obj.hexdigest(32) == obj.digest(32).hex()
+
+    def test_customization_forwarded(self):
+        obj = K12(b"msg", b"ctx")
+        assert obj.digest(32) == kangarootwelve(b"msg", 32, b"ctx")
+
+    def test_read_streams_and_digest_stays_restartable(self):
+        obj = K12(b"stream me")
+        assert not obj.squeezing
+        first = obj.read(32)
+        second = obj.read(32)
+        assert obj.squeezing
+        assert first + second == kangarootwelve(b"stream me", 64)
+        # digest() is unaffected by the reader's position.
+        assert obj.digest(32) == first
+
+    def test_update_after_read_rejected(self):
+        obj = K12(b"x")
+        obj.read(1)
+        with pytest.raises(RuntimeError):
+            obj.update(b"more")
+
+    def test_update_invalidates_cached_final(self):
+        obj = K12(b"a")
+        assert obj.digest(32) == kangarootwelve(b"a", 32)
+        obj.update(b"b")
+        assert obj.digest(32) == kangarootwelve(b"ab", 32)
+
+    def test_copy_preserves_stream_position(self):
+        obj = K12(b"copy me")
+        obj.read(16)
+        clone = obj.copy()
+        assert clone.read(16) == obj.read(16)
+
+    def test_copy_before_read_is_independent(self):
+        obj = K12(b"base")
+        clone = obj.copy()
+        obj.update(b"-more")
+        assert clone.digest(32) == kangarootwelve(b"base", 32)
+        assert obj.digest(32) == kangarootwelve(b"base-more", 32)

@@ -138,3 +138,77 @@ class TestBatchSpongeValidation:
         digests = sponge.squeeze(32)
         assert digests[0] == hashlib.sha3_256(b"hello world").digest()
         assert digests[1] == hashlib.sha3_256(b"other").digest()
+
+
+class TestAlgorithmRegistry:
+    """The generalized sponge-algorithm registry behind run_many."""
+
+    def test_supported_algorithms(self):
+        from repro.programs.batch_driver import supported_algorithms
+
+        names = supported_algorithms()
+        for name in ("sha3_256", "shake128", "shake256", "k12_leaf",
+                     "k12", "parallelhash128", "parallelhash256"):
+            assert name in names
+
+    def test_digest_size(self):
+        from repro.programs.batch_driver import digest_size
+
+        assert digest_size("sha3_256", 99) == 32  # fixed output wins
+        assert digest_size("shake128", 48) == 48
+        assert digest_size("k12", 64) == 64
+        assert digest_size("k12_leaf", 99) == 32  # chaining values
+
+    def test_unknown_algorithm_rejected(self):
+        from repro.programs.batch_driver import hash_messages
+
+        with pytest.raises(ValueError, match="algorithm"):
+            hash_messages("md5", 32, (64, 8, 30), "auto", [b"x"])
+
+    def test_hash_messages_shake_variants_match_hashlib(self):
+        from repro.programs.batch_driver import hash_messages
+
+        messages = [bytes([n]) * (n + 1) for n in range(9)]
+        assert hash_messages("shake128", 48, (64, 8, 30), "auto",
+                             messages) == \
+            [hashlib.shake_128(m).digest(48) for m in messages]
+        assert hash_messages("shake256", 64, (64, 8, 30), "auto",
+                             messages) == \
+            [hashlib.shake_256(m).digest(64) for m in messages]
+
+    def test_hash_messages_k12_leaf_is_turboshake_0b(self):
+        from repro.keccak.kangarootwelve import turboshake128
+        from repro.programs.batch_driver import hash_messages
+
+        messages = [b"leaf-%d" % n * (n + 1) for n in range(5)]
+        assert hash_messages("k12_leaf", 32, (64, 8, 30), "auto",
+                             messages) == \
+            [turboshake128(m, 32, domain=0x0B) for m in messages]
+
+    def test_run_many_tree_algorithms_single_worker(self):
+        from repro.keccak import parallelhash128
+        from repro.keccak.kangarootwelve import kangarootwelve
+        from repro.programs import run_many
+
+        messages = [bytes([n]) * 9000 for n in range(3)]
+        assert run_many(messages, algorithm="k12", length=32,
+                        workers=1) == \
+            [kangarootwelve(m, 32, engine="reference") for m in messages]
+        assert run_many(messages, algorithm="parallelhash128", length=32,
+                        workers=1) == \
+            [parallelhash128(m, 32, engine="reference") for m in messages]
+
+    def test_run_many_rejects_unknown_algorithm(self):
+        from repro.programs import run_many
+
+        with pytest.raises(ValueError, match="algorithm"):
+            run_many([b"x"], algorithm="blake3")
+
+    def test_reduced_round_permutations_cached_separately(self):
+        from repro.programs.batch_driver import _cached_permutation
+
+        full = _cached_permutation((64, 8, 30), "auto")
+        reduced = _cached_permutation((64, 8, 30), "auto", num_rounds=12)
+        assert full is not reduced
+        assert full is _cached_permutation((64, 8, 30), "auto",
+                                           num_rounds=24)

@@ -104,8 +104,9 @@ class TestBatchDriverCache:
 
         spies = {}
 
-        def fake_cached(arch, engine="auto"):
-            return spies.setdefault((arch, engine), _Spy(engine))
+        def fake_cached(arch, engine="auto", num_rounds=24):
+            return spies.setdefault((arch, engine, num_rounds),
+                                    _Spy(engine))
 
         monkeypatch.setattr(batch_driver, "_cached_permutation",
                             fake_cached)

@@ -1,0 +1,71 @@
+"""Session.xof: the streaming squeeze on simulator-backed sponges.
+
+SessionXof is the incremental counterpart of the batch drivers — every
+permutation runs as a program on the session's processor, so the
+streaming path exercises the same generated code as the one-shot
+drivers while matching hashlib (and TurboSHAKE for 12-round programs)
+bit-for-bit.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.keccak.kangarootwelve import turboshake128, turboshake256
+from repro.programs import Session, SessionXof
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+class TestSessionXof:
+    def test_matches_hashlib_shake128(self, session):
+        xof = session.xof(b"session xof")
+        assert xof.digest(64) == hashlib.shake_128(b"session xof") \
+            .digest(64)
+
+    def test_capacity_512_is_shake256(self, session):
+        xof = session.xof(b"m", capacity_bits=512)
+        assert xof.digest(32) == hashlib.shake_256(b"m").digest(32)
+
+    def test_read_continues_the_stream(self, session):
+        xof = session.xof(b"stream")
+        assert not xof.squeezing
+        combined = xof.read(40) + xof.read(24)
+        assert xof.squeezing
+        assert combined == hashlib.shake_128(b"stream").digest(64)
+
+    def test_digest_is_restartable(self, session):
+        xof = session.xof(b"again")
+        assert xof.digest(32) == xof.digest(32)
+        assert xof.hexdigest(32) == xof.digest(32).hex()
+
+    def test_update_chains_and_matches_one_shot(self, session):
+        xof = session.xof()
+        xof.update(b"a" * 200).update(b"b" * 13)
+        assert xof.digest(32) == \
+            hashlib.shake_128(b"a" * 200 + b"b" * 13).digest(32)
+
+    def test_twelve_round_program_is_turboshake(self, session):
+        xof = session.xof(b"m", suffix=0x1F, num_rounds=12)
+        assert xof.digest(32) == turboshake128(b"m", 32)
+        xof256 = session.xof(b"m", capacity_bits=512, suffix=0x1F,
+                             num_rounds=12)
+        assert xof256.digest(32) == turboshake256(b"m", 32)
+
+    def test_k12_leaf_domain(self, session):
+        xof = session.xof(b"leaf bytes", suffix=0x0B, num_rounds=12)
+        assert xof.digest(32) == \
+            turboshake128(b"leaf bytes", 32, domain=0x0B)
+
+    def test_programs_are_cached_per_shape(self, session):
+        first = session.xof(b"a")
+        second = session.xof(b"b")
+        assert first.program is second.program
+        reduced = session.xof(b"c", num_rounds=12)
+        assert reduced.program is not first.program
+
+    def test_is_session_xof_instance(self, session):
+        assert isinstance(session.xof(), SessionXof)

@@ -335,3 +335,56 @@ class TestProtocolHardening:
     def test_config_requires_an_endpoint(self):
         with pytest.raises(ValueError, match="socket"):
             HashServer(ServeConfig(), executor=InlineExecutor("reference"))
+
+
+class TestTreeAlgorithmEndpoints:
+    """k12 and ParallelHash served over the same /hash/ surface."""
+
+    def test_k12_with_length_param(self, sock):
+        from repro.keccak.kangarootwelve import kangarootwelve
+
+        async def body(server):
+            return await request("/hash/k12?length=16", b"tree input",
+                                 socket_path=sock)
+
+        status, payload = _run(_config(sock), body)
+        assert status == 200
+        assert payload.decode() == \
+            kangarootwelve(b"tree input", 16, engine="reference").hex()
+
+    def test_parallelhash256_default_length_is_64(self, sock):
+        from repro.keccak import parallelhash256
+
+        async def body(server):
+            return await request("/hash/parallelhash256", b"ph input",
+                                 socket_path=sock)
+
+        status, payload = _run(_config(sock), body)
+        assert status == 200
+        assert payload.decode() == \
+            parallelhash256(b"ph input", 64, engine="reference").hex()
+
+    def test_loadgen_verifies_parallelhash128(self, sock):
+        async def body(server):
+            return await run_load_async(sock, None, 0, 12, 0.0, 48,
+                                        "parallelhash128", 32, None, 3,
+                                        True, 15.0)
+
+        report = _run(_config(sock), body)
+        assert report.ok == 12
+        assert report.mismatches == 0
+
+    def test_loadgen_verifies_k12(self, sock):
+        async def body(server):
+            return await run_load_async(sock, None, 0, 12, 0.0, 48,
+                                        "k12", 24, None, 3, True, 15.0)
+
+        report = _run(_config(sock), body)
+        assert report.ok == 12
+        assert report.mismatches == 0
+
+    def test_expected_digest_rejects_unknown(self):
+        from repro.serve.loadgen import _expected_digest
+
+        with pytest.raises(ValueError):
+            _expected_digest("md5", 16, b"x")

@@ -143,3 +143,50 @@ class TestPooledExecutor:
     def test_needs_at_least_one_worker(self):
         with pytest.raises(ValueError, match="worker"):
             PooledExecutor(0, engine="reference")
+
+
+class TestTreeAlgorithms:
+    """The tree-hashing XOFs ride the same executor surface."""
+
+    def test_inline_k12_matches_reference(self):
+        from repro.keccak.kangarootwelve import kangarootwelve
+
+        ex = InlineExecutor(engine="reference")
+        results = ex.hash_batch("k12", 32, _items(MESSAGES[:8]))
+        assert results == [
+            (OK, kangarootwelve(m, 32, engine="reference"))
+            for m in MESSAGES[:8]
+        ]
+
+    def test_inline_parallelhash_matches_reference(self):
+        from repro.keccak import parallelhash128, parallelhash256
+
+        ex = InlineExecutor(engine="reference")
+        assert ex.hash_batch("parallelhash128", 32,
+                             _items(MESSAGES[:6])) == [
+            (OK, parallelhash128(m, 32, engine="reference"))
+            for m in MESSAGES[:6]
+        ]
+        assert ex.hash_batch("parallelhash256", 64,
+                             _items(MESSAGES[:6])) == [
+            (OK, parallelhash256(m, 64, engine="reference"))
+            for m in MESSAGES[:6]
+        ]
+
+    def test_pooled_k12_matches_inline(self):
+        ex = PooledExecutor(2, engine="reference")
+        try:
+            pooled = ex.hash_batch("k12", 32, _items(MESSAGES[:12]))
+        finally:
+            ex.close()
+        inline = InlineExecutor(engine="reference") \
+            .hash_batch("k12", 32, _items(MESSAGES[:12]))
+        assert pooled == inline
+
+    def test_lane_width_for_tree_algorithms_is_grouped(self):
+        from repro.serve.executor import _DIGEST_BATCH_GROUP, _lane_width
+
+        assert _lane_width((64, 8, 30), "reference", "k12") == \
+            _DIGEST_BATCH_GROUP
+        assert _lane_width((64, 8, 30), "reference",
+                           "parallelhash128") == _DIGEST_BATCH_GROUP
