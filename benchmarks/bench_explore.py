@@ -1,0 +1,71 @@
+"""Benchmark harness for the timing-model design-space exploration.
+
+Times a reduced ``repro explore`` grid (one EleNum, one variant, the
+bank/issue microarchitecture axes) and records the default-timing
+V64H8 permutation cycles — the paper's 1892-cycle pin, measured through
+the TimingModel path — into the benchmark trajectory
+(``PIN_BENCHES`` row ``test_bench_explore_grid``).
+"""
+
+import pytest
+
+from repro.eval.explore import (
+    build_artifact,
+    check_pins,
+    explore,
+    explore_grid,
+    pareto_frontier,
+    render_explore,
+)
+
+GRID = explore_grid(elenums=(5,), variants=((64, 8),),
+                    banks=(1, 2), issue_widths=(1, 2))
+
+
+@pytest.fixture(scope="module")
+def results():
+    return explore(GRID)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def print_explore(results):
+    yield
+    print()
+    print(render_explore(results))
+
+
+def test_grid_shape(results):
+    assert len(results) == 4
+    assert sum(r.point.is_default_timing for r in results) == 1
+
+
+def test_default_row_reproduces_pin(results):
+    default = [r for r in results if r.point.is_default_timing]
+    assert len(default) == 1
+    assert default[0].permutation_cycles == 1892
+    assert default[0].cycles_per_round == 75.0
+
+
+def test_artifact_is_valid(results):
+    doc = build_artifact(results)
+    assert check_pins(doc) == []
+
+
+def test_microarch_knobs_strictly_help(results):
+    """Banked regfiles and dual issue must reduce cycles (and the
+    frontier must not be the single default point)."""
+    by_knobs = {(r.point.register_banks, r.point.issue_width): r
+                for r in results}
+    assert by_knobs[(2, 1)].permutation_cycles \
+        < by_knobs[(1, 1)].permutation_cycles
+    assert by_knobs[(1, 2)].permutation_cycles \
+        < by_knobs[(1, 1)].permutation_cycles
+    assert len(pareto_frontier(results)) >= 2
+
+
+def test_bench_explore_grid(benchmark):
+    """Time the reduced sweep; record the default-timing pin cycles."""
+    measured = benchmark(lambda: explore(GRID))
+    default = [r for r in measured if r.point.is_default_timing]
+    benchmark.extra_info["cycles"] = default[0].permutation_cycles
+    benchmark.extra_info["points"] = len(measured)

@@ -38,6 +38,17 @@ AREA_ANCHORS: Dict[int, Tuple[Tuple[int, int], ...]] = {
 #: Slices of the bare Ibex core running the C-code baseline.
 IBEX_SLICES = 432
 
+#: Fractional area cost of each vector register bank beyond the first.
+#: Extra banks replicate the register-file read/write porting and bank
+#: arbitration, not the execution lanes, so the increment is a fraction
+#: of the datapath area (a multi-bank VRF costs ports, not ALUs).
+BANK_AREA_FACTOR = 0.08
+
+#: Area cost of each scalar issue slot beyond the first, as a fraction
+#: of the bare Ibex core (a second decode/issue lane duplicates the
+#: front end but shares memories and the vector interface).
+ISSUE_AREA_FACTOR = 0.25
+
 
 def slices(elen: int, elenum: int) -> float:
     """Estimated slice count of the SIMD processor for (ELEN, EleNum)."""
@@ -56,6 +67,28 @@ def slices(elen: int, elenum: int) -> float:
         (x0, y0), (x1, y1) = anchors[1], anchors[2]
     slope = (y1 - y0) / (x1 - x0)
     return y0 + slope * (elenum - x0)
+
+
+def explore_slices(elen: int, elenum: int, *,
+                   register_banks: int = 1,
+                   issue_width: int = 1) -> float:
+    """Slice estimate for an explored (micro)architecture point.
+
+    Extends :func:`slices` along the ``repro explore`` sweep axes: extra
+    vector register banks scale the vector datapath by
+    :data:`BANK_AREA_FACTOR` each, extra scalar issue slots add
+    :data:`ISSUE_AREA_FACTOR` of an Ibex core each.  At the defaults
+    (one bank, single issue) this is exactly :func:`slices`, so the
+    paper's published anchor points survive unchanged in every sweep.
+    """
+    if register_banks < 1:
+        raise ValueError(f"register_banks must be >= 1, got {register_banks}")
+    if issue_width < 1:
+        raise ValueError(f"issue_width must be >= 1, got {issue_width}")
+    base = slices(elen, elenum)
+    banked = base * (1.0 + BANK_AREA_FACTOR * (register_banks - 1))
+    issue = IBEX_SLICES * ISSUE_AREA_FACTOR * (issue_width - 1)
+    return banked + issue
 
 
 def slices_per_element(elen: int) -> float:

@@ -7,6 +7,12 @@ Commands
     Regenerate Tables 7 and 8 and the Section 4.2 headline report.
 ``sweep``
     Design-space sweep with Pareto frontier (includes the fused variant).
+``explore``
+    Distributed design-space exploration across timing models: sweep
+    (EleNum, ELEN, LMUL, register banks, issue width) over the worker
+    pool, join the calibrated area model, emit an area-vs-throughput
+    Pareto-front artifact (``--out``), and verify the paper pins
+    (``--check-pins``).
 ``hash``
     Hash a file or string with any SHA-3 family function — optionally
     executing every permutation on the processor simulator.
@@ -87,6 +93,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for p in pareto_frontier(points):
         print(f"  {p.label:48s} {p.throughput_e3:9.2f} tput e3  "
               f"{p.area_slices:8.0f} slices")
+    return 0
+
+
+def _parse_csv_ints(text: str, what: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ValueError(f"{what} must be a comma-separated integer list, "
+                         f"got {text!r}")
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .eval import explore as explore_mod
+
+    elenums = _parse_csv_ints(args.elenums, "--elenums")
+    banks = _parse_csv_ints(args.banks, "--banks")
+    issue_widths = _parse_csv_ints(args.issue_widths, "--issue-widths")
+    variants = []
+    for part in args.variants.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            elen, lmul = part.split("x")
+            variants.append((int(elen), int(lmul)))
+        except ValueError:
+            raise ValueError(f"--variants entries look like 64x8, "
+                             f"got {part!r}")
+    chaining = (False, True) if args.chaining else (False,)
+    grid = explore_mod.explore_grid(
+        elenums=elenums, variants=variants, banks=banks,
+        issue_widths=issue_widths, chaining=chaining)
+    results = explore_mod.explore(grid, workers=args.workers,
+                                  transport=args.transport)
+    print(explore_mod.render_explore(results, top=args.top))
+    doc = explore_mod.build_artifact(results)
+    explore_mod.validate_artifact(doc)
+    if args.out:
+        path = explore_mod.write_artifact(doc, args.out)
+        print(f"# wrote {len(doc['points'])}-point Pareto artifact to "
+              f"{path}", file=sys.stderr)
+    if args.check_pins:
+        problems = explore_mod.check_pins(doc)
+        if problems:
+            for problem in problems:
+                print(f"pin mismatch: {problem}", file=sys.stderr)
+            return 1
+        defaults = sum(1 for row in doc["points"] if row["default_timing"])
+        print(f"# pins ok: {defaults} default-timing row(s) reproduce "
+              f"the paper cycle pins exactly", file=sys.stderr)
     return 0
 
 
@@ -340,6 +396,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     baseline = trajectory.load_records(baseline_dir)
     if args.check_baseline:
         problems = trajectory.check_baseline(baseline)
+        # The committed explore artifact rides in the same directory
+        # (EXPLORE_pareto.json — ignored by the BENCH_ loader): when
+        # present it must be schema-valid and its default-timing rows
+        # must reproduce the paper cycle pins exactly.
+        import os
+
+        from .eval import explore as explore_mod
+
+        artifact = os.path.join(baseline_dir, "EXPLORE_pareto.json")
+        if os.path.exists(artifact):
+            try:
+                explore_mod.validate_artifact_file(artifact)
+            except ValueError as exc:
+                problems.append(f"explore artifact invalid: {exc}")
         if problems:
             for problem in problems:
                 print(f"baseline problem: {problem}", file=sys.stderr)
@@ -347,6 +417,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"baseline ok: {len(baseline)} record(s), "
               f"all {len(trajectory.PIN_BENCHES)} paper pin "
               f"benchmark(s) present")
+        if os.path.exists(artifact):
+            print(f"explore artifact ok: {artifact}")
         if not args.bench_dir:
             return 0
     if args.bench_dir:
@@ -486,6 +558,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="design-space sweep + Pareto")
     p_sweep.add_argument("--no-fused", action="store_true",
                          help="exclude the future-work fused variant")
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="distributed design-space exploration over timing models")
+    p_explore.add_argument("--elenums", default="5,15,30",
+                           help="comma-separated EleNum axis "
+                                "(multiples of 5)")
+    p_explore.add_argument("--variants", default="64x1,64x8,32x8",
+                           help="comma-separated ELENxLMUL variants")
+    p_explore.add_argument("--banks", default="1,2",
+                           help="comma-separated vector register bank "
+                                "counts")
+    p_explore.add_argument("--issue-widths", default="1,2",
+                           help="comma-separated scalar issue widths")
+    p_explore.add_argument("--chaining", action="store_true",
+                           help="also sweep chained configurations")
+    p_explore.add_argument("--workers", type=int, default=1,
+                           help="worker processes (1 = serial)")
+    p_explore.add_argument("--transport", default="auto",
+                           choices=("auto", "shm", "pickle"),
+                           help="pool transport for parallel sweeps "
+                                "(auto = shm)")
+    p_explore.add_argument("--top", type=int, default=None,
+                           help="print only the first N table rows")
+    p_explore.add_argument("--out", default=None, metavar="FILE",
+                           help="write the Pareto-front artifact JSON "
+                                "here (schema-validated)")
+    p_explore.add_argument("--check-pins", action="store_true",
+                           help="exit 1 unless every default-timing row "
+                                "reproduces the paper cycle pins exactly")
 
     p_hash = sub.add_parser("hash", help="hash with a SHA-3 function")
     p_hash.add_argument("algorithm",
@@ -690,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
 _HANDLERS = {
     "tables": _cmd_tables,
     "sweep": _cmd_sweep,
+    "explore": _cmd_explore,
     "hash": _cmd_hash,
     "run": _cmd_run,
     "batch": _cmd_batch,

@@ -14,7 +14,7 @@ callers get the caching for free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..keccak.constants import STATE_BITS, STATE_BYTES
 from ..keccak.sponge import SHAKE_SUFFIX, Sponge
@@ -23,7 +23,9 @@ from ..observability import metrics as _metrics
 from ..observability import timeline as _timeline
 from ..sim import engines as _engines
 from ..sim.cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from ..sim.lru import LRU
 from ..sim.processor import SIMDProcessor, validate_engine
+from ..sim.timing import TimingModel
 from ..sim.trace import ExecutionStats
 from . import layout
 from .base import KeccakProgram
@@ -173,9 +175,16 @@ class Session:
     processor — minus the construction and re-decode cost.
     """
 
-    def __init__(self, cycle_model: CycleModel = DEFAULT_CYCLE_MODEL,
+    def __init__(self,
+                 cycle_model: Union[CycleModel, TimingModel]
+                 = DEFAULT_CYCLE_MODEL,
                  engine: str = "auto") -> None:
-        self.cycle_model = cycle_model
+        #: Normalized :class:`~repro.sim.timing.TimingModel` — bare
+        #: :class:`CycleModel` arguments get identity knobs, so every
+        #: processor this session creates keys its caches on the same
+        #: timing fingerprint.
+        self.timing_model = TimingModel.of(cycle_model)
+        self.cycle_model = self.timing_model
         #: Default execution engine for this session's runs (see
         #: :data:`repro.sim.processor.ENGINES`); per-run ``engine=``
         #: arguments override it.
@@ -390,21 +399,25 @@ class SessionXof:
         return self.digest(length).hex()
 
 
-#: Process-wide default sessions, one per cycle model (CycleModel is a
-#: frozen dataclass, hence hashable).  Bounded: a sweep over ad-hoc cycle
-#: models must not accumulate processors forever.
-_DEFAULT_SESSIONS: Dict[CycleModel, Session] = {}
+#: Process-wide default sessions, one per *timing model* (TimingModel is
+#: a frozen dataclass, hence hashable; bare CycleModels normalize to the
+#: identity TimingModel, so both spellings share one session).  A true
+#: LRU, not an unbounded dict: one Session owns processors plus their
+#: predecode caches, so a design-space sweep over thousands of timing
+#: configurations must recycle the oldest sessions instead of leaking
+#: one per configuration.
 _MAX_DEFAULT_SESSIONS = 8
+_DEFAULT_SESSIONS: LRU = LRU(_MAX_DEFAULT_SESSIONS)
 
 
-def default_session(cycle_model: CycleModel = DEFAULT_CYCLE_MODEL
-                    ) -> Session:
+def default_session(cycle_model: Union[CycleModel, TimingModel]
+                    = DEFAULT_CYCLE_MODEL) -> Session:
     """The shared session for ``cycle_model`` (created on first use)."""
-    session = _DEFAULT_SESSIONS.get(cycle_model)
+    model = TimingModel.of(cycle_model)
+    session = _DEFAULT_SESSIONS.get(model)
     if session is None:
-        if len(_DEFAULT_SESSIONS) >= _MAX_DEFAULT_SESSIONS:
-            _DEFAULT_SESSIONS.pop(next(iter(_DEFAULT_SESSIONS)))
-        session = _DEFAULT_SESSIONS[cycle_model] = Session(cycle_model)
+        session = Session(model)
+        _DEFAULT_SESSIONS.put(model, session)
     return session
 
 
@@ -412,7 +425,8 @@ def run(program: KeccakProgram,
         states: Sequence[KeccakState] = (),
         *, trace: bool = False,
         engine: Optional[str] = None,
-        cycle_model: CycleModel = DEFAULT_CYCLE_MODEL) -> RunResult:
+        cycle_model: Union[CycleModel, TimingModel]
+        = DEFAULT_CYCLE_MODEL) -> RunResult:
     """Execute a Keccak program on the shared default session.
 
     The top-level entry point (`repro.run`): repeated runs of the same

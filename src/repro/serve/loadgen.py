@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import hashlib
+import math
 import random
 from typing import Dict, List, Optional, Tuple
 
@@ -43,11 +44,18 @@ class LoadReport:
         return self.outcomes.get("ok", 0)
 
     def _quantile(self, q: float) -> float:
+        """Nearest-rank quantile: the smallest sample with cumulative
+        frequency >= q, i.e. ``ordered[ceil(q * n) - 1]``.
+
+        The previous rounded ``(n - 1)``-based index under-reported
+        tail quantiles at small sample counts (p99 of 67 samples landed
+        on the 66th sample instead of the maximum).
+        """
         if not self.latencies:
             return 0.0
         ordered = sorted(self.latencies)
-        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
-        return ordered[index]
+        rank = math.ceil(q * len(ordered))
+        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
 
     def p50(self) -> float:
         return self._quantile(0.50)

@@ -1,6 +1,7 @@
 """Functional + cycle-level simulator of the SIMD RISC-V based processor."""
 
 from .cycles import DEFAULT_CYCLE_MODEL, CycleModel
+from .timing import DEFAULT_TIMING_MODEL, TimingModel
 from .exceptions import (
     ExecutionLimitExceeded,
     IllegalInstructionError,
@@ -41,6 +42,8 @@ __all__ = [
     "DataMemory",
     "CycleModel",
     "DEFAULT_CYCLE_MODEL",
+    "TimingModel",
+    "DEFAULT_TIMING_MODEL",
     "ExecutionStats",
     "TraceRecord",
     "RC32_TABLE",

@@ -49,7 +49,6 @@ import os
 import tempfile
 import time
 from collections import Counter
-from dataclasses import astuple
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..isa import decode_operands
@@ -63,6 +62,7 @@ from ..keccak.constants import (
 )
 from ..keccak.state import KeccakState
 from .lru import LRU
+from .timing import TimingModel
 from .scalar_core import (
     _ALU_IMM_OPS,
     _ALU_OPS,
@@ -81,7 +81,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Bump whenever the generated code or META layout changes: the on-disk
 #: cache directory is versioned, so old entries are simply never seen.
-CODEGEN_VERSION = 1
+#: v2: cache keys carry the TimingModel fingerprint (issue width, banks,
+#: chaining, dispatch override), not just the base CycleModel fields — a
+#: kernel compiled under one timing model bakes that model's cycle
+#: increments into flat code and must never be served under another.
+CODEGEN_VERSION = 2
 
 #: Compiled kernels (or None for programs that cannot be compiled) kept
 #: in this process, keyed by fingerprint.
@@ -139,11 +143,16 @@ class _Bail(Exception):
 
 def program_fingerprint(processor: "SIMDProcessor",
                         program: "Program") -> str:
-    """A stable key for (program words x architecture x cycle model).
+    """A stable key for (program words x architecture x timing model).
 
     Built on the same word snapshot the predecode cache validates
     against: any in-place mutation of the program re-fingerprints, so a
     compiled kernel can never be applied to words it was not built from.
+    The timing-model fingerprint covers every cost-determining knob
+    (base cycle costs, issue width, register banks, chaining, dispatch
+    override) — compiled kernels precompute their stats increments, so
+    a kernel compiled under one timing model must never be served under
+    another.
     """
     payload = (
         CODEGEN_VERSION,
@@ -151,7 +160,7 @@ def program_fingerprint(processor: "SIMDProcessor",
         processor.elenum,
         processor.vlen_bits,
         processor.memory.size,
-        astuple(processor.cycle_model),
+        TimingModel.of(processor.cycle_model).fingerprint(),
         program.base_address,
         tuple(inst.word for inst in program.instructions),
     )
@@ -1103,7 +1112,9 @@ def soa_fingerprint(lanes: int, num_rounds: int) -> str:
 
     Deliberately architecture-independent: the SoA path computes the
     permutation directly (no ELEN/LMUL semantics to specialize on), so
-    every geometry shares the same kernels.
+    every geometry shares the same kernels.  It is timing-independent
+    too — SoA kernels are functional (digests only, zero cycle metrics),
+    so no timing-model fingerprint belongs in this key.
     """
     payload = ("soa", CODEGEN_VERSION, lanes, num_rounds)
     return hashlib.sha256(repr(payload).encode()).hexdigest()[:40]

@@ -19,13 +19,14 @@ width — 64 for the 64-bit architecture, 32 for the 32-bit one) and
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 from ..assembler.program import Program
 from ..observability import metrics as _metrics
 from ..isa import ISA, decode_operands
 from ..isa.spec import InstructionSet
 from .cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from .timing import TimingModel
 from .exceptions import (
     ExecutionLimitExceeded,
     IllegalInstructionError,
@@ -86,7 +87,7 @@ class SIMDProcessor:
         elen: int = 64,
         elenum: int = 16,
         memory_size: int = 1 << 20,
-        cycle_model: CycleModel = DEFAULT_CYCLE_MODEL,
+        cycle_model: Union[CycleModel, TimingModel] = DEFAULT_CYCLE_MODEL,
         trace: bool = False,
         isa: InstructionSet = ISA,
         predecode: bool = True,
@@ -103,9 +104,16 @@ class SIMDProcessor:
         self.vlen_bits = elen * elenum
         self._isa = isa
         self.memory = DataMemory(memory_size)
-        self.cycle_model = cycle_model
-        self.scalar = ScalarCore(self.memory, cycle_model)
-        self.vector = VectorUnit(self.vlen_bits, self.memory, cycle_model)
+        #: The normalized :class:`~repro.sim.timing.TimingModel`.  Bare
+        #: :class:`CycleModel` arguments are wrapped with identity knobs,
+        #: so ``cycle_model`` and ``timing_model`` are the same object —
+        #: every cost the cores read and every cache fingerprint comes
+        #: from this one model.
+        self.timing_model = TimingModel.of(cycle_model)
+        self.cycle_model = self.timing_model
+        self.scalar = ScalarCore(self.memory, self.timing_model)
+        self.vector = VectorUnit(self.vlen_bits, self.memory,
+                                 self.timing_model)
         self.stats = ExecutionStats(records=[] if trace else None)
         self.halted = False
         self._program_words: Dict[int, int] = {}

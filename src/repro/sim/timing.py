@@ -1,0 +1,218 @@
+"""The pluggable timing model: microarchitectural knobs over the costs.
+
+:class:`~repro.sim.cycles.CycleModel` holds the calibrated per-class
+costs (what one ALU op, one register pass, one dispatch *costs*).  This
+module layers the *microarchitecture* on top: how many scalar
+instructions issue per cycle, how many vector register banks serve
+register passes concurrently, whether chaining hides the dispatch
+latency, and an explicit dispatch-overhead override.  These are the
+knobs a parameterized vector unit exposes (register bank count, issue
+width) and the ones the design-space sweeps in ``repro explore`` turn.
+
+The default :data:`DEFAULT_TIMING_MODEL` is the identity over the
+calibrated costs: single issue, one bank, no chaining — every cost
+reduces exactly to the :class:`CycleModel` formula, so the paper's
+cycle pins (2564 / 1892 / 3620 per permutation, 103 / 75 / 147 per
+round) are bit-identical under it.
+
+A :class:`TimingModel` exposes the complete cost interface the
+simulator consumes — the scalar cost attributes plus
+``vector_arith`` / ``vector_pi`` / ``vector_memory`` — so the scalar
+core, vector unit, predecoder and code generator take either model
+unchanged.  Everything that *caches* anything derived from costs must
+key on :meth:`TimingModel.fingerprint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import astuple, dataclass
+from functools import cached_property
+from typing import Optional, Union
+
+from .cycles import CycleModel, DEFAULT_CYCLE_MODEL
+
+#: Bumped whenever the fingerprint payload layout or cost semantics
+#: change, so stale disk-cache keys can never collide with new ones.
+_FINGERPRINT_VERSION = 1
+
+
+def _ceil_div(value: int, divisor: int) -> int:
+    return -(-value // divisor)
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Microarchitectural timing knobs over a calibrated cost model.
+
+    ``issue_width``
+        Scalar instructions issued per cycle.  Every scalar cost becomes
+        ``max(1, ceil(cost / issue_width))`` — a dual-issue front end
+        halves the Ibex bookkeeping between vector instructions but can
+        never make an instruction free.
+    ``register_banks``
+        Independent vector register file banks.  The register passes of
+        one vector instruction spread across banks:
+        ``ceil(passes / banks)`` regfile cycles instead of ``passes``.
+        Memory round-trips (the VecLSU term) are *not* banked — the
+        memory port stays single.
+    ``chaining``
+        When True, vector arithmetic dispatch overlaps the previous
+        instruction's execution, hiding the dispatch cycle(s) on the
+        arith/pi path.  Vector memory ops still pay dispatch (the LSU
+        hand-off cannot chain).
+    ``dispatch_overhead``
+        Explicit override for the VecISAInterface dispatch cost;
+        ``None`` means the base model's ``vector_dispatch``.
+
+    The defaults are the identity: costs equal the ``base``
+    :class:`CycleModel` exactly, preserving the paper pins.
+    """
+
+    base: CycleModel = DEFAULT_CYCLE_MODEL
+    issue_width: int = 1
+    register_banks: int = 1
+    chaining: bool = False
+    dispatch_overhead: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+        if self.register_banks < 1:
+            raise ValueError("register_banks must be >= 1")
+        if self.dispatch_overhead is not None and self.dispatch_overhead < 0:
+            raise ValueError("dispatch_overhead must be >= 0")
+
+    # -- normalization -----------------------------------------------------
+
+    @classmethod
+    def of(cls, model: Union["TimingModel", CycleModel, None]
+           ) -> "TimingModel":
+        """Normalize any cost-model argument to a :class:`TimingModel`.
+
+        Accepts a :class:`TimingModel` (returned as-is), a bare
+        :class:`CycleModel` (wrapped with identity knobs, preserving the
+        long-standing ``cycle_model=CycleModel(...)`` call sites), or
+        ``None`` (the default model).
+        """
+        if model is None:
+            return DEFAULT_TIMING_MODEL
+        if isinstance(model, TimingModel):
+            return model
+        if isinstance(model, CycleModel):
+            if model == DEFAULT_CYCLE_MODEL:
+                return DEFAULT_TIMING_MODEL
+            return cls(base=model)
+        raise TypeError(
+            f"expected TimingModel or CycleModel, got {type(model).__name__}"
+        )
+
+    # -- scalar costs ------------------------------------------------------
+
+    def _scalar(self, cost: int) -> int:
+        return max(1, _ceil_div(cost, self.issue_width))
+
+    @cached_property
+    def scalar_alu(self) -> int:
+        return self._scalar(self.base.scalar_alu)
+
+    @cached_property
+    def scalar_load(self) -> int:
+        return self._scalar(self.base.scalar_load)
+
+    @cached_property
+    def scalar_store(self) -> int:
+        return self._scalar(self.base.scalar_store)
+
+    @cached_property
+    def scalar_mul(self) -> int:
+        return self._scalar(self.base.scalar_mul)
+
+    @cached_property
+    def scalar_div(self) -> int:
+        return self._scalar(self.base.scalar_div)
+
+    @cached_property
+    def branch_taken(self) -> int:
+        return self._scalar(self.base.branch_taken)
+
+    @cached_property
+    def branch_not_taken(self) -> int:
+        return self._scalar(self.base.branch_not_taken)
+
+    @cached_property
+    def jump(self) -> int:
+        return self._scalar(self.base.jump)
+
+    @cached_property
+    def vsetvli(self) -> int:
+        return self._scalar(self.base.vsetvli)
+
+    # -- vector costs ------------------------------------------------------
+
+    @cached_property
+    def vector_dispatch(self) -> int:
+        if self.dispatch_overhead is not None:
+            return self.dispatch_overhead
+        return self.base.vector_dispatch
+
+    @property
+    def vpi_extra(self) -> int:
+        return self.base.vpi_extra
+
+    @property
+    def vector_memory_extra_per_pass(self) -> int:
+        return self.base.vector_memory_extra_per_pass
+
+    def pass_cycles(self, register_passes: int) -> int:
+        """Regfile cycles for ``register_passes`` passes across banks."""
+        return _ceil_div(register_passes, self.register_banks)
+
+    def vector_arith(self, register_passes: int) -> int:
+        """A vector arithmetic / slide / rotate / iota instruction."""
+        if register_passes < 1:
+            raise ValueError("a vector op needs at least one register pass")
+        dispatch = 0 if self.chaining else self.vector_dispatch
+        return self.pass_cycles(register_passes) + dispatch
+
+    def vector_pi(self, register_passes: int) -> int:
+        """The vpi instruction (column-mode write interface)."""
+        return self.vector_arith(register_passes) + self.base.vpi_extra
+
+    def vector_memory(self, register_passes: int) -> int:
+        """A vector load or store (regfile passes banked; the per-pass
+        memory round-trips and the LSU dispatch are not)."""
+        return (
+            self.pass_cycles(register_passes)
+            + register_passes * self.base.vector_memory_extra_per_pass
+            + self.vector_dispatch
+        )
+
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable short hash of every cost-determining field.
+
+        This is the cache key component for anything that bakes cycle
+        costs: compiled kernels (in-process LRU and on-disk), default
+        sessions, predecode memos.  Two models with equal fingerprints
+        produce identical cycle counts for every instruction.
+        """
+        payload = (
+            _FINGERPRINT_VERSION,
+            astuple(self.base),
+            self.issue_width,
+            self.register_banks,
+            self.chaining,
+            self.dispatch_overhead,
+        )
+        return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]
+
+    @property
+    def is_default(self) -> bool:
+        """True when every cost reduces to the calibrated paper model."""
+        return self == DEFAULT_TIMING_MODEL
+
+
+#: The calibrated identity model — the paper's pins hold under it.
+DEFAULT_TIMING_MODEL = TimingModel()

@@ -1,0 +1,73 @@
+"""The process-wide default-session cache: LRU-bounded, keyed by
+normalized timing model."""
+
+import pytest
+
+from repro.programs import session as session_mod
+from repro.programs.session import default_session
+from repro.sim.cycles import CycleModel, DEFAULT_CYCLE_MODEL
+from repro.sim.lru import LRU
+from repro.sim.timing import DEFAULT_TIMING_MODEL, TimingModel
+
+
+@pytest.fixture(autouse=True)
+def isolated_session_cache():
+    """Snapshot and restore the module-global cache around each test."""
+    saved = list(zip(session_mod._DEFAULT_SESSIONS.keys(),
+                     session_mod._DEFAULT_SESSIONS.values()))
+    session_mod._DEFAULT_SESSIONS.clear()
+    yield
+    session_mod._DEFAULT_SESSIONS.clear()
+    for key, value in saved:
+        session_mod._DEFAULT_SESSIONS.put(key, value)
+
+
+def test_cache_is_a_bounded_lru():
+    assert isinstance(session_mod._DEFAULT_SESSIONS, LRU)
+    assert session_mod._DEFAULT_SESSIONS.capacity \
+        == session_mod._MAX_DEFAULT_SESSIONS
+
+
+def test_same_model_returns_same_session():
+    assert default_session() is default_session()
+    custom = TimingModel(register_banks=2)
+    assert default_session(custom) is default_session(custom)
+
+
+def test_default_spellings_share_one_session():
+    """CycleModel, TimingModel and implicit-default callers must all
+    land on the same cache entry, not three."""
+    a = default_session()
+    assert default_session(DEFAULT_CYCLE_MODEL) is a
+    assert default_session(CycleModel()) is a
+    assert default_session(DEFAULT_TIMING_MODEL) is a
+    assert default_session(TimingModel()) is a
+    assert len(session_mod._DEFAULT_SESSIONS) == 1
+
+
+def test_eviction_is_bounded_and_lru_ordered():
+    cap = session_mod._MAX_DEFAULT_SESSIONS
+    models = [TimingModel(dispatch_overhead=n) for n in range(cap + 2)]
+    sessions = [default_session(m) for m in models]
+    assert len(session_mod._DEFAULT_SESSIONS) == cap
+
+    # The two oldest were evicted; re-requesting builds fresh sessions.
+    for old_model, old_session in zip(models[:2], sessions[:2]):
+        assert old_model not in session_mod._DEFAULT_SESSIONS
+        assert default_session(old_model) is not old_session
+    # The most recent survivors are still served from cache.
+    assert default_session(models[-1]) is sessions[-1]
+
+
+def test_access_refreshes_recency():
+    cap = session_mod._MAX_DEFAULT_SESSIONS
+    first = default_session(TimingModel(dispatch_overhead=0))
+    for n in range(1, cap):
+        default_session(TimingModel(dispatch_overhead=n))
+    # Touch the oldest entry, then insert one more: the touched entry
+    # must survive and the second-oldest must be evicted instead.
+    assert default_session(TimingModel(dispatch_overhead=0)) is first
+    default_session(TimingModel(dispatch_overhead=cap))
+    assert default_session(TimingModel(dispatch_overhead=0)) is first
+    assert TimingModel(dispatch_overhead=1) \
+        not in session_mod._DEFAULT_SESSIONS

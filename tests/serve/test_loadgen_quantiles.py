@@ -1,0 +1,50 @@
+"""Nearest-rank quantiles in the load generator's LoadReport.
+
+Pins the fix for the rounded ``(n - 1)``-based index, which
+under-reported tail quantiles at small sample counts."""
+
+import random
+
+from repro.serve.loadgen import LoadReport
+
+
+def _report(latencies):
+    report = LoadReport()
+    report.latencies = list(latencies)
+    return report
+
+
+def test_empty_is_zero():
+    assert _report([]).p50() == 0.0
+    assert _report([]).p99() == 0.0
+
+
+def test_single_sample_is_both_quantiles():
+    report = _report([0.25])
+    assert report.p50() == 0.25
+    assert report.p99() == 0.25
+
+
+def test_p50_even_n_is_lower_middle():
+    # nearest-rank: ceil(0.5 * 4) = 2nd sample.  The old rounded
+    # (n - 1)-index returned the 3rd.
+    assert _report([4.0, 1.0, 3.0, 2.0]).p50() == 2.0
+
+
+def test_p50_odd_n_is_middle():
+    assert _report([5.0, 1.0, 3.0, 2.0, 4.0]).p50() == 3.0
+
+
+def test_p99_small_n_is_the_maximum():
+    # ceil(0.99 * 67) = 67 -> the largest sample.  The old index
+    # round(0.99 * 66) = 65 landed one sample short of the tail.
+    samples = [float(n) for n in range(1, 68)]
+    random.Random(0).shuffle(samples)
+    report = _report(samples)
+    assert report.p99() == 67.0
+    assert report.p50() == 34.0
+
+
+def test_p99_large_n_nearest_rank():
+    # ceil(0.99 * 200) = 198th sample of 1..200.
+    assert _report(range(1, 201)).p99() == 198.0
